@@ -1,0 +1,58 @@
+"""Ablations for the tractable solver's design choices (DESIGN.md §3).
+
+Two knobs the anchored-search rendition of the paper's NL algorithm
+adds on top of the theory:
+
+* the *live-table prune* (sequence-NFA × graph product reachability) —
+  disabling it must not change answers, only work;
+* the *weighted generalisation* (Dijkstra gap filling) — the paper's
+  E → R+ remark; costs a little over BFS.
+"""
+
+import pytest
+
+from repro import language
+from repro.core.nice_paths import TractableSolver, path_weight
+from repro.graphs.generators import random_labeled_graph
+
+LANGUAGE = "a*(bb^+ + eps)c*"
+
+
+def _weight_fn(u, label, v):
+    return 1 + (hash((u, label, v)) % 5)
+
+
+@pytest.mark.parametrize("pruning", [True, False], ids=["pruned", "unpruned"])
+def test_live_pruning_ablation(benchmark, pruning):
+    lang = language(LANGUAGE)
+    solver = TractableSolver(lang, use_live_pruning=pruning)
+    graph = random_labeled_graph(60, 150, "abc", seed=21)
+
+    path = benchmark(solver.shortest_simple_path, graph, 0, 59)
+    benchmark.extra_info["dfs_steps"] = solver.last_stats.dfs_steps
+    if path is not None:
+        assert lang.accepts(path.word)
+
+
+def test_pruning_work_reduction():
+    lang = language(LANGUAGE)
+    graph = random_labeled_graph(60, 150, "abc", seed=21)
+    fast = TractableSolver(lang)
+    slow = TractableSolver(lang, use_live_pruning=False)
+    fast.shortest_simple_path(graph, 0, 59)
+    slow.shortest_simple_path(graph, 0, 59)
+    assert fast.last_stats.dfs_steps <= slow.last_stats.dfs_steps
+
+
+@pytest.mark.parametrize("weighted", [False, True], ids=["edges", "weights"])
+def test_weighted_gap_filling(benchmark, weighted):
+    lang = language(LANGUAGE)
+    solver = TractableSolver(lang)
+    graph = random_labeled_graph(50, 130, "abc", seed=8)
+    weight_fn = _weight_fn if weighted else None
+
+    path = benchmark(
+        solver.shortest_simple_path, graph, 0, 49, weight_fn
+    )
+    if path is not None and weighted:
+        assert path_weight(path, _weight_fn) >= len(path)

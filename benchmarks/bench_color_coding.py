@@ -1,0 +1,68 @@
+"""E9 — k-RSPQ via color coding (Theorem 7).
+
+Measured claims:
+
+* runtime is FPT: it scales exponentially in k but near-linearly in
+  |G| for fixed k (the O(2^O(k)·|G|·log|G|) bound);
+* answers agree with exhaustive search on small instances.
+"""
+
+import pytest
+
+from benchmarks.conftest import measure_seconds
+
+from repro import language
+from repro.algorithms.color_coding import ColorCodingSolver
+from repro.algorithms.exact import ExactSolver
+from repro.graphs.generators import random_labeled_graph
+
+LANGUAGE = "a*ba*"
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_scaling_in_k(benchmark, k):
+    lang = language(LANGUAGE)
+    solver = ColorCodingSolver(lang, seed=1, failure_probability=0.05)
+    graph = random_labeled_graph(30, 70, "ab", seed=9)
+    benchmark(solver.exists, graph, 0, 29, k)
+
+
+@pytest.mark.parametrize("n", [20, 40, 80])
+def test_scaling_in_graph_size(benchmark, n):
+    lang = language(LANGUAGE)
+    solver = ColorCodingSolver(lang, seed=1, failure_probability=0.05)
+    graph = random_labeled_graph(n, 2 * n, "ab", seed=n)
+    benchmark(solver.exists, graph, 0, n - 1, 3)
+
+
+def test_graph_scaling_is_polynomial():
+    lang = language(LANGUAGE)
+    solver = ColorCodingSolver(lang, seed=1, failure_probability=0.1)
+    sizes = [25, 50, 100]
+    times = []
+    for n in sizes:
+        graph = random_labeled_graph(n, 2 * n, "ab", seed=n)
+        seconds, _ = measure_seconds(solver.exists, graph, 0, n - 1, 3)
+        times.append(max(seconds, 1e-6))
+    # For fixed k the growth must stay near-linear (allow quadratic+noise).
+    assert times[-1] <= times[0] * (sizes[-1] / sizes[0]) ** 2 * 20
+
+
+def test_agreement_with_exact(benchmark):
+    lang = language(LANGUAGE)
+    cc = ColorCodingSolver(lang, seed=7)
+    exact = ExactSolver(lang)
+    instances = [
+        (random_labeled_graph(10, 25, "ab", seed=s), s % 10, (s + 3) % 10)
+        for s in range(6)
+    ]
+
+    def run():
+        return [cc.exists(g, x, y, 4) for g, x, y in instances]
+
+    answers = benchmark(run)
+    for (graph, x, y), got in zip(instances, answers):
+        path = exact.shortest_simple_path(graph, x, y)
+        truth = path is not None and len(path) <= 4
+        if got:
+            assert truth

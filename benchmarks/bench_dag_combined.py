@@ -1,0 +1,61 @@
+"""E11 — polynomial combined complexity on DAGs (Theorem 8 base case).
+
+On DAGs every path is simple, so even NP-complete languages are
+answered by one product BFS; cost grows with |G|·|A_L| — we scale both
+factors and verify agreement with the exact solver.
+"""
+
+import pytest
+
+from repro import language
+from repro.algorithms.dag import DagRspqSolver
+from repro.algorithms.exact import ExactSolver
+from repro.graphs.generators import grid_graph, layered_dag
+
+HARD_LANGUAGE = "((a+b)(a+b))*"  # even-length: NP-complete in general
+
+
+@pytest.mark.parametrize("layers", [6, 12, 24])
+def test_scaling_in_graph(benchmark, layers):
+    graph = layered_dag(layers, 4, "ab", density=0.5, seed=layers)
+    solver = DagRspqSolver(graph)
+    lang = language(HARD_LANGUAGE)
+    benchmark(
+        solver.shortest_simple_path, lang, (0, 0), (layers - 1, 3)
+    )
+
+
+@pytest.mark.parametrize("size", [2, 4, 8])
+def test_scaling_in_language(benchmark, size):
+    # Combined complexity: the language is part of the input.
+    graph = grid_graph(6, 6)
+    solver = DagRspqSolver(graph)
+    text = "(" + "(a+b)" * size + ")*"
+    lang = language(text)
+    benchmark(solver.shortest_simple_path, lang, (0, 0), (5, 5))
+
+
+def test_agreement_with_exact_on_grids(benchmark):
+    graph = grid_graph(4, 4)
+    solver = DagRspqSolver(graph)
+    lang = language(HARD_LANGUAGE)
+
+    def run():
+        return solver.shortest_simple_path(lang, (0, 0), (3, 3))
+
+    mine = benchmark(run)
+    truth = ExactSolver(lang).shortest_simple_path(graph, (0, 0), (3, 3))
+    assert (mine is None) == (truth is None)
+    if mine is not None:
+        assert len(mine) == len(truth)
+
+
+def test_hard_language_easy_on_dag_shape():
+    # The headline: a language that is NP-complete on general graphs is
+    # answered on a large DAG instantly by product BFS.
+    graph = grid_graph(12, 12)
+    solver = DagRspqSolver(graph)
+    path = solver.shortest_simple_path(language(HARD_LANGUAGE), (0, 0),
+                                       (11, 11))
+    assert path is not None
+    assert len(path) == 22

@@ -1,0 +1,68 @@
+"""E3 — Example 1: a*(bb⁺ + ε)c* is tractable though a*bc* is not.
+
+Measures the polynomial solver on growing random graphs and asserts
+the paper's punchline: the same instances defeat no one for the
+Example-1 language, while its NP-complete neighbour a*bc* must fall
+back to exponential search.
+"""
+
+import pytest
+
+from benchmarks.conftest import growth_ratios, measure_seconds
+
+from repro import classify, language
+from repro.core.nice_paths import TractableSolver
+from repro.graphs.generators import random_labeled_graph
+
+EXAMPLE1 = "a*(bb^+ + eps)c*"
+HARD_NEIGHBOUR = "a*bc*"
+
+
+def test_example1_is_tractable_and_neighbour_is_not():
+    assert classify(language(EXAMPLE1).dfa).is_tractable()
+    assert not classify(language(HARD_NEIGHBOUR).dfa).is_tractable()
+
+
+@pytest.mark.parametrize("n", [30, 60, 120])
+def test_solver_scaling(benchmark, n):
+    lang = language(EXAMPLE1)
+    solver = TractableSolver(lang)
+    graph = random_labeled_graph(n, 2 * n, "abc", seed=n)
+
+    def query():
+        return solver.shortest_simple_path(graph, 0, n - 1)
+
+    path = benchmark(query)
+    if path is not None:
+        assert lang.accepts(path.word)
+
+
+def test_polynomial_growth_shape():
+    """Runtime grows polynomially: doubling n must not explode."""
+    lang = language(EXAMPLE1)
+    solver = TractableSolver(lang)
+    sizes = [40, 80, 160]
+    times = []
+    for n in sizes:
+        graph = random_labeled_graph(n, 2 * n, "abc", seed=11)
+        seconds, _ = measure_seconds(
+            solver.shortest_simple_path, graph, 0, n - 1
+        )
+        times.append(max(seconds, 1e-6))
+    for size_ratio, time_ratio in growth_ratios(sizes, times):
+        # Allow up to ~cubic growth plus generous noise.
+        assert time_ratio <= size_ratio ** 3 * 12, (sizes, times)
+
+
+def test_example1_case_analysis(benchmark):
+    """The worked Example-1 case split on one structured instance."""
+    from repro.graphs.generators import component_chain_graph
+
+    lang = language(EXAMPLE1)
+    solver = TractableSolver(lang)
+    graph, x, y = component_chain_graph(
+        ["aaaa", "bbb", "cccc"], detour_density=0.5, seed=5
+    )
+    path = benchmark(solver.shortest_simple_path, graph, x, y)
+    assert path is not None
+    assert lang.accepts(path.word)

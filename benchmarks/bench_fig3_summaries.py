@@ -1,0 +1,57 @@
+"""E4 — Figures 2/3 (Examples 2/3): summaries and nice paths.
+
+Reconstructs the paper's Example-2 summary (with the illustrative
+bound N = 3), and benchmarks the solver on growing component-chain
+graphs of the Figure-3 shape.
+"""
+
+import pytest
+
+from repro import language
+from repro.algorithms.exact import ExactSolver
+from repro.core.nice_paths import TractableSolver
+from repro.core.summary import GapMarker, summarize
+from repro.graphs.dbgraph import Path
+from repro.graphs.generators import component_chain_graph, figure3_graph
+
+EXAMPLE2 = "a(c{2,} + eps)(a+b)*(ac)?a*"
+
+FIG3_VERTICES = tuple("v%d" % i for i in range(1, 16))
+FIG3_LABELS = ("a", "c", "c", "c", "c", "c", "c", "c", "a", "b", "b", "b",
+               "a", "a")
+
+
+def test_example2_summary(benchmark):
+    lang = language(EXAMPLE2)
+    path = Path(FIG3_VERTICES, FIG3_LABELS)
+
+    summary = benchmark(summarize, path, lang.dfa, 3)
+    markers = [e for e in summary.elements if isinstance(e, GapMarker)]
+    # Two long-run components: the c-loop and the (a+b)-loop.
+    assert [m.symbols for m in markers] == [frozenset("c"), frozenset("ab")]
+
+
+def test_figure3_nice_path(benchmark):
+    lang = language(EXAMPLE2)
+    graph, x, y = figure3_graph()
+    solver = TractableSolver(lang)
+
+    path = benchmark(solver.shortest_simple_path, graph, x, y)
+    exact = ExactSolver(lang).shortest_simple_path(graph, x, y)
+    assert path is not None
+    assert len(path) == len(exact)
+
+
+@pytest.mark.parametrize("scale", [2, 4, 8])
+def test_component_chain_scaling(benchmark, scale):
+    lang = language(EXAMPLE2)
+    solver = TractableSolver(lang)
+    graph, x, y = component_chain_graph(
+        ["a", "c" * (2 * scale), "b" * scale, "a" * scale],
+        detour_density=0.4,
+        seed=scale,
+    )
+
+    path = benchmark(solver.shortest_simple_path, graph, x, y)
+    if path is not None:
+        assert lang.accepts(path.word)

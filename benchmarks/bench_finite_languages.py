@@ -1,0 +1,62 @@
+"""E12 — finite languages and the AC0 / NL-hard split (Lemma 17).
+
+* Finite L: query cost is dominated by |L| and word length, with a
+  mild dependence on graph size — the constant-depth flavour of AC0.
+* Infinite L: the Lemma-17 embedding turns plain Reachability into
+  RSPQ(L) instances, pinning NL-hardness.
+"""
+
+import pytest
+
+from repro import language
+from repro.algorithms.bounded import FiniteLanguageSolver
+from repro.algorithms.exact import ExactSolver
+from repro.algorithms.reductions import reachability_to_rspq
+from repro.graphs.generators import random_labeled_graph
+
+FINITE = "abc + ab + ba"
+
+
+@pytest.mark.parametrize("n", [20, 80, 320])
+def test_finite_language_scaling(benchmark, n):
+    lang = language(FINITE)
+    solver = FiniteLanguageSolver(lang)
+    graph = random_labeled_graph(n, 3 * n, "abc", seed=n)
+    benchmark(solver.shortest_simple_path, graph, 0, n - 1)
+
+
+def test_finite_matches_exact(benchmark):
+    lang = language(FINITE)
+    solver = FiniteLanguageSolver(lang)
+    exact = ExactSolver(lang)
+    instances = [
+        (random_labeled_graph(12, 30, "abc", seed=s), s % 12, (s + 5) % 12)
+        for s in range(8)
+    ]
+
+    def run():
+        return [
+            solver.shortest_simple_path(g, x, y) for g, x, y in instances
+        ]
+
+    mine = benchmark(run)
+    for (graph, x, y), path in zip(instances, mine):
+        truth = exact.shortest_simple_path(graph, x, y)
+        assert (path is None) == (truth is None)
+        if path is not None:
+            assert len(path) == len(truth)
+
+
+@pytest.mark.parametrize("n", [20, 40])
+def test_reachability_embedding(benchmark, n):
+    # Lemma 17: solving RSPQ(L) on the embedded instance answers
+    # Reachability — infinite languages are at least NL-hard.
+    lang = language("ab^+")
+    edges = {(i, i + 1) for i in range(n - 1)} | {(n - 1, 0)}
+    solver = ExactSolver(lang)
+
+    def run():
+        graph, x, y = reachability_to_rspq(edges, 0, n - 1, lang.dfa)
+        return solver.exists(graph, x, y)
+
+    assert benchmark(run)

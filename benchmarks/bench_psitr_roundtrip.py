@@ -1,0 +1,67 @@
+"""E8 — the Ψtr characterisation (Theorem 4).
+
+Round trips: every tractable catalog language is decomposed into a Ψtr
+expression that is *verified equivalent*; compiled Ψtr expressions are
+in trC (the easy direction); hard languages never admit an equivalent
+extraction.
+"""
+
+import pytest
+
+from repro import catalog
+from repro.core.psitr import decompose, equivalent_to, extract
+from repro.core.trc import is_in_trc
+
+
+@pytest.mark.parametrize(
+    "entry", catalog.tractable_entries(), ids=lambda e: e.name
+)
+def test_decomposition_roundtrip(benchmark, entry):
+    lang = entry.language()
+
+    def roundtrip():
+        expression = decompose(lang)
+        return expression, equivalent_to(expression, lang.dfa)
+
+    expression, equal = benchmark(roundtrip)
+    assert equal
+    benchmark.extra_info["psitr"] = str(expression)[:120]
+
+
+def test_easy_direction_compiled_expressions_are_trc(benchmark):
+    expressions = []
+    for entry in catalog.tractable_entries():
+        expression = extract(entry.language().ast)
+        if expression is not None:
+            expressions.append((entry, expression))
+
+    def check_all():
+        return [
+            is_in_trc(
+                expression.to_language(
+                    alphabet=entry.language().alphabet
+                ).dfa
+            )
+            for entry, expression in expressions
+        ]
+
+    results = benchmark(check_all)
+    assert all(results)
+
+
+def test_hard_languages_have_no_equivalent_extraction(benchmark):
+    entries = catalog.hard_entries()
+
+    def attempt_all():
+        outcomes = []
+        for entry in entries:
+            lang = entry.language()
+            expression = extract(lang.ast)
+            outcomes.append(
+                expression is None
+                or not equivalent_to(expression, lang.dfa)
+            )
+        return outcomes
+
+    results = benchmark(attempt_all)
+    assert all(results)

@@ -1,0 +1,77 @@
+"""E13 — walk vs trail vs simple-path semantics (introduction).
+
+Quantifies, on a random-graph population, how often the three
+semantics disagree for the paper's motivating languages, and measures
+the cost gap between the polynomial walk evaluation and the
+backtracking trail/simple evaluations.
+"""
+
+import pytest
+
+from repro import language
+from repro.algorithms.semantics import (
+    SIMPLE,
+    TRAIL,
+    WALK,
+    SemanticsEvaluator,
+)
+from repro.graphs.generators import labeled_cycle, random_labeled_graph
+
+
+def _population(num, seed0=0):
+    instances = []
+    for seed in range(num):
+        graph = random_labeled_graph(8, 20, "ab", seed=seed0 + seed)
+        instances.append((graph, seed % 8, (seed + 3) % 8))
+    return instances
+
+
+@pytest.mark.parametrize("regex", ["(aa)*", "a*ba*"], ids=["even", "aba"])
+def test_disagreement_rates(benchmark, regex):
+    evaluator = SemanticsEvaluator(language(regex))
+    instances = _population(12)
+
+    def run():
+        walk_only = trail_only = agree = 0
+        for graph, x, y in instances:
+            answers = evaluator.evaluate_all(graph, x, y)
+            if answers[WALK] and not answers[TRAIL]:
+                walk_only += 1
+            elif answers[TRAIL] and not answers[SIMPLE]:
+                trail_only += 1
+            else:
+                agree += 1
+        return walk_only, trail_only, agree
+
+    walk_only, trail_only, agree = benchmark(run)
+    assert walk_only + trail_only + agree == len(instances)
+    benchmark.extra_info["walk_only"] = walk_only
+    benchmark.extra_info["trail_only"] = trail_only
+
+
+def test_canonical_separation_instance():
+    # (aa)* on an odd cycle: walk yes, simple no — the intro's gap.
+    graph = labeled_cycle("aaa")
+    evaluator = SemanticsEvaluator(language("(aa)*"))
+    answers = evaluator.evaluate_all(graph, 0, 1)
+    assert answers[WALK] and not answers[SIMPLE]
+
+
+@pytest.mark.parametrize("semantics", [WALK, TRAIL, SIMPLE])
+def test_evaluation_cost_by_semantics(benchmark, semantics):
+    evaluator = SemanticsEvaluator(language("(aa)*"))
+    graph = random_labeled_graph(14, 40, "ab", seed=5)
+    benchmark(evaluator.exists, graph, 0, 13, semantics)
+
+
+def test_walk_counting_explosion(benchmark):
+    # Counting walks is polynomial per length but the counts themselves
+    # explode — the "yottabyte" observation.
+    evaluator = SemanticsEvaluator(language("(a+b)*"))
+    graph = random_labeled_graph(10, 40, "ab", seed=2)
+
+    def run():
+        return evaluator.count_walks(graph, 0, 9, 12)
+
+    count = benchmark(run)
+    benchmark.extra_info["walk_count"] = count

@@ -1,0 +1,69 @@
+"""Workload realism — RSPQs on scale-free social networks.
+
+The introduction names social networks among RSPQ applications; this
+bench runs the dispatching solver over Barabási–Albert topologies with
+skewed relation labels ('f' = follows, 'k' = knows), measuring the
+tractable path ("friend chain with at most one in-person hop",
+``f*(k + ε)f*``) against hub-heavy graph growth, plus the exact
+fallback for a hard query on the same graphs.
+"""
+
+import pytest
+
+from repro import language
+from repro.algorithms.exact import ExactSolver
+from repro.core.nice_paths import TractableSolver
+from repro.core.solver import RspqSolver, STRATEGY_TRACTABLE
+from repro.graphs.generators import scale_free_social_graph
+
+FRIEND_CHAIN = "f*(k + eps)f*"
+HARD_QUERY = "f*kf*"  # mandatory in-person hop: a*ba* in disguise
+
+
+@pytest.mark.parametrize("n", [50, 100, 200])
+def test_friend_chain_scaling(benchmark, n):
+    graph = scale_free_social_graph(n, seed=n)
+    solver = TractableSolver(language(FRIEND_CHAIN))
+    benchmark(solver.shortest_simple_path, graph, 0, n - 1)
+
+
+def test_dispatch_on_social_queries(benchmark):
+    graph = scale_free_social_graph(60, seed=2)
+    solver = RspqSolver(language(FRIEND_CHAIN))
+    assert solver.strategy == STRATEGY_TRACTABLE
+
+    def run():
+        return [
+            solver.shortest_simple_path(graph, 0, target)
+            for target in (10, 20, 30, 40, 50)
+        ]
+
+    paths = benchmark(run)
+    hits = [p for p in paths if p is not None]
+    benchmark.extra_info["reachable_targets"] = len(hits)
+    for path in hits:
+        assert path.is_simple()
+
+
+def test_hard_query_exact_fallback(benchmark):
+    graph = scale_free_social_graph(30, seed=3)
+    lang = language(HARD_QUERY)
+    solver = ExactSolver(lang)
+
+    path = benchmark(solver.shortest_simple_path, graph, 0, 29)
+    if path is not None:
+        assert path.word.count("k") == 1
+
+
+def test_tractable_matches_exact_on_social_graphs():
+    lang = language(FRIEND_CHAIN)
+    fast = TractableSolver(lang)
+    slow = ExactSolver(lang)
+    for seed in range(6):
+        graph = scale_free_social_graph(14, seed=seed)
+        for target in (5, 9, 13):
+            a = fast.shortest_simple_path(graph, 0, target)
+            b = slow.shortest_simple_path(graph, 0, target)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert len(a) == len(b)

@@ -1,0 +1,71 @@
+"""Ablation — three renditions of the same query, one language.
+
+Compares, on identical instances for the Example-1 language:
+
+* the **literal** summary-enumeration algorithm (Lemmas 15-16; the
+  paper's own procedure, exponential constants),
+* the **anchored** Ψtr-driven production solver (this repo's practical
+  rendition),
+* the **exact** backtracking baseline.
+
+All three must agree (asserted); the interesting measurement is the
+cost spread — the reason the anchored rendition exists.
+"""
+
+import pytest
+
+from repro import language
+from repro.algorithms.exact import ExactSolver
+from repro.core.nice_paths import TractableSolver
+from repro.core.summary_solver import SummarySolver
+from repro.graphs.generators import random_labeled_graph
+
+LANGUAGE = "a*(bb^+ + eps)c*"
+
+
+def _instance(n, seed):
+    return random_labeled_graph(n, 2 * n, "abc", seed=seed), 0, n - 1
+
+
+@pytest.fixture(scope="module")
+def solvers():
+    lang = language(LANGUAGE)
+    return {
+        "summary": SummarySolver(lang, bound=3),
+        "anchored": TractableSolver(lang),
+        "exact": ExactSolver(lang),
+    }
+
+
+@pytest.mark.parametrize("variant", ["summary", "anchored", "exact"])
+def test_small_instance(benchmark, solvers, variant):
+    graph, x, y = _instance(12, seed=5)
+    solver = solvers[variant]
+    path = benchmark(solver.shortest_simple_path, graph, x, y)
+    reference = solvers["exact"].shortest_simple_path(graph, x, y)
+    assert (path is None) == (reference is None)
+    if path is not None:
+        assert len(path) == len(reference)
+
+
+@pytest.mark.parametrize("variant", ["anchored", "exact"])
+def test_medium_instance(benchmark, solvers, variant):
+    # The literal summary algorithm is out of its depth here — that is
+    # the measured point of the comparison.
+    graph, x, y = _instance(80, seed=9)
+    solver = solvers[variant]
+    benchmark(solver.shortest_simple_path, graph, x, y)
+
+
+def test_three_way_agreement(solvers):
+    for seed in range(10):
+        graph, x, y = _instance(8, seed=seed)
+        answers = {
+            name: solver.shortest_simple_path(graph, x, y)
+            for name, solver in solvers.items()
+        }
+        lengths = {
+            name: None if path is None else len(path)
+            for name, path in answers.items()
+        }
+        assert len(set(lengths.values())) == 1, (seed, lengths)

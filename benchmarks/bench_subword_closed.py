@@ -1,0 +1,54 @@
+"""E14 — the Mendelzon-Wood fragment vs trC.
+
+The prior tractable class (subword-closed languages = trC(0)) is a
+*strict* subset of trC: Example 1's language separates them.  We
+benchmark both membership tests over the catalog and solve queries for
+a language in the gap.
+"""
+
+import pytest
+
+from repro import catalog, language
+from repro.core.nice_paths import TractableSolver
+from repro.core.trc import is_in_trc, is_in_trc_zero
+from repro.graphs.generators import random_labeled_graph
+
+
+def test_fragment_tables(benchmark):
+    langs = [(e, e.language().dfa) for e in catalog.entries()]
+
+    def run():
+        return [
+            (entry.name, is_in_trc_zero(dfa), is_in_trc(dfa))
+            for entry, dfa in langs
+        ]
+
+    rows = benchmark(run)
+    for name, subword, trc in rows:
+        entry = catalog.by_name(name)
+        assert subword is entry.subword_closed
+        assert trc is entry.in_trc
+        # Mendelzon-Wood ⊆ trC.
+        if subword:
+            assert trc
+
+
+def test_strictness_witness():
+    lang = language("a*(bb^+ + eps)c*")
+    assert is_in_trc(lang.dfa)
+    assert not is_in_trc_zero(lang.dfa)
+
+
+@pytest.mark.parametrize("regex", ["a*c*", "a*(bb^+ + eps)c*"],
+                         ids=["mw-fragment", "gap-language"])
+def test_solving_inside_and_beyond_mw(benchmark, regex):
+    lang = language(regex)
+    solver = TractableSolver(lang)
+    graph = random_labeled_graph(60, 150, "abc", seed=17)
+    benchmark(solver.shortest_simple_path, graph, 0, 59)
+
+
+@pytest.mark.parametrize("entry", catalog.entries(), ids=lambda e: e.name)
+def test_subword_membership_cost(benchmark, entry):
+    dfa = entry.language().dfa
+    assert benchmark(is_in_trc_zero, dfa) is entry.subword_closed

@@ -1,0 +1,54 @@
+"""E1 — the trichotomy table (Theorem 2).
+
+Regenerates the paper's headline classification for every catalog
+language and benchmarks the classifier itself.  The "table" the paper
+reports is the complexity class per language; we assert it exactly.
+"""
+
+import pytest
+
+from repro import catalog, classify
+
+
+def _classification_table():
+    rows = []
+    for entry in catalog.entries():
+        lang = entry.language()
+        result = classify(lang.dfa, with_witness=False)
+        rows.append(
+            (entry.name, entry.regex, result.complexity_class.value,
+             lang.num_states)
+        )
+    return rows
+
+
+def test_trichotomy_table_matches_paper(benchmark):
+    rows = benchmark(_classification_table)
+    expected = {entry.name: entry.complexity for entry in catalog.entries()}
+    for name, _regex, complexity, _m in rows:
+        assert complexity == expected[name], name
+    benchmark.extra_info["table"] = [
+        "%s | %s | %s | M=%d" % row for row in rows
+    ]
+
+
+@pytest.mark.parametrize(
+    "entry",
+    catalog.entries(),
+    ids=lambda e: e.name,
+)
+def test_classify_single_language(benchmark, entry):
+    lang = entry.language()
+    result = benchmark(classify, lang.dfa, with_witness=False)
+    assert result.complexity_class.value == entry.complexity
+
+
+def test_classification_with_witness_extraction(benchmark):
+    entry = catalog.by_name("fig1-language")
+    lang = entry.language()
+
+    def classify_with_witness():
+        return classify(lang.dfa, with_witness=True)
+
+    result = benchmark(classify_with_witness)
+    assert result.witness is not None

@@ -1,0 +1,73 @@
+"""E10 — vertex-labeled graphs (Section 4.1, Theorems 5-6).
+
+The paper's discriminating examples: a*bc* and (ab)* drop from
+NP-complete to polynomial when the graph is vertex-labeled, while
+a*ba* and (aa)* stay NP-complete.  We benchmark the trC_vlg
+recognizer and vl-graph query evaluation.
+"""
+
+import pytest
+
+from repro import language
+from repro.core.vlg import is_in_trc_vlg, solve_vlg
+from repro.graphs.generators import random_vl_graph
+
+PAPER_TABLE = [
+    ("a*bc*", True),
+    ("(ab)*", True),
+    ("a*ba*", False),
+    ("(aa)*", False),
+]
+
+
+def test_vlg_classification_table(benchmark):
+    langs = [(text, language(text)) for text, _e in PAPER_TABLE]
+
+    def classify_all():
+        return [(text, is_in_trc_vlg(lang.dfa)) for text, lang in langs]
+
+    rows = benchmark(classify_all)
+    assert rows == PAPER_TABLE
+    benchmark.extra_info["table"] = [
+        "%s | trC_vlg=%s" % row for row in rows
+    ]
+
+
+@pytest.mark.parametrize("text,expected", PAPER_TABLE,
+                         ids=[t for t, _e in PAPER_TABLE])
+def test_single_vlg_membership(benchmark, text, expected):
+    lang = language(text)
+    assert benchmark(is_in_trc_vlg, lang.dfa) is expected
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_vl_graph_query(benchmark, n):
+    graph = random_vl_graph(n, 3 * n, "ab", seed=n)
+    lang = language("a(ba)*")  # alternation: trC_vlg
+    vertices = list(graph.vertices())
+    a_starts = [v for v in vertices if graph.label_of(v) == "a"]
+    if not a_starts:
+        pytest.skip("no a-labeled vertex in this seed")
+    source = a_starts[0]
+    target = vertices[-1]
+    result = benchmark(solve_vlg, lang, graph, source, target)
+    if result.found:
+        # Check the vertex word against the language.
+        word = graph.label_of(source) + "".join(
+            graph.label_of(v) for v in result.path.vertices[1:]
+        )
+        assert lang.accepts(word)
+
+
+def test_vlg_vs_dbgraph_divergence():
+    # (ab)* is NP-complete on edge-labeled graphs but its vl-graph
+    # evaluation here goes through the (tractable) quotient machinery
+    # whenever the quotient lands in trC; at minimum the classification
+    # tables must diverge exactly as the paper states.
+    from repro.core.trc import is_in_trc
+
+    for text, vlg_tractable in PAPER_TABLE:
+        lang = language(text)
+        db_tractable = is_in_trc(lang.dfa)
+        assert not db_tractable  # all four are NP-complete on db-graphs
+        assert is_in_trc_vlg(lang.dfa) is vlg_tractable

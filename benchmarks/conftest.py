@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one experiment row of EXPERIMENTS.md
+(which maps to a figure, example or theorem-level claim of the paper).
+Benchmarks both *measure* (via pytest-benchmark) and *assert the shape*
+of the paper's claim (who wins, growth order), so a bench run doubles
+as a reproduction check.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def measure_seconds(fn, *args, **kwargs):
+    """Wall-clock one call (for shape assertions, not for reporting)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def growth_ratios(sizes, times):
+    """Consecutive runtime ratios, paired with size ratios."""
+    pairs = []
+    for (size_a, time_a), (size_b, time_b) in zip(
+        zip(sizes, times), zip(sizes[1:], times[1:])
+    ):
+        if time_a <= 0:
+            continue
+        pairs.append((size_b / size_a, time_b / time_a))
+    return pairs

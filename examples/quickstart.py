@@ -1,0 +1,63 @@
+"""Quickstart: the trichotomy and regular simple path queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the three public entry points:
+
+1. ``repro.language`` — build a regular language from a regex,
+2. ``repro.classify`` — Theorem 2's trichotomy (AC0 / NL-c / NP-c),
+3. ``repro.RspqSolver`` — evaluate regular *simple* path queries with
+   the right algorithm for the language's class.
+"""
+
+from repro import DbGraph, RspqSolver, classify, language
+
+
+def main():
+    # -- 1. Languages ------------------------------------------------------
+    # The paper's Example 1: tractable although its neighbour a*bc* is
+    # NP-complete.
+    tractable = language("a*(bb+ + ε)c*", name="example1")
+    hard = language("a*bc*", name="hard-neighbour")
+
+    # -- 2. The trichotomy -------------------------------------------------
+    for lang in (tractable, hard, language("abc"), language("(aa)*")):
+        result = classify(lang.dfa)
+        print("%-22s -> %s" % (lang, result.complexity_class.value))
+    print()
+
+    # -- 3. Queries ----------------------------------------------------------
+    # A small db-graph: an a-chain, an optional bb-detour, then c-edges.
+    graph = DbGraph.from_edges(
+        [
+            (0, "a", 1), (1, "a", 2),
+            (2, "b", 3), (3, "b", 4),   # the bb detour
+            (2, "c", 5),                 # shortcut without b's
+            (4, "c", 5), (5, "c", 6),
+        ]
+    )
+    solver = RspqSolver(tractable)
+    result = solver.solve(graph, 0, 6)
+    print("query 0 -> 6 under %s" % tractable)
+    print("  strategy :", result.strategy)
+    print("  found    :", result.found)
+    print("  path     :", result.path)
+    print("  word     :", result.path.word)
+
+    # A single b cannot be completed into bb⁺ — the detour is forced
+    # whole or not at all.
+    broken = DbGraph.from_edges([(0, "a", 1), (1, "b", 2), (2, "c", 3)])
+    print("\nquery on a-b-c chain (single b):",
+          RspqSolver(tractable).solve(broken, 0, 3).found)
+
+    # Hard languages still work — via exponential search with a budget.
+    hard_solver = RspqSolver(hard, exact_budget=100000)
+    print("hard language on the same graph:",
+          hard_solver.solve(broken, 0, 3).found,
+          "(strategy: %s)" % hard_solver.strategy)
+
+
+if __name__ == "__main__":
+    main()

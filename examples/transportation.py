@@ -1,0 +1,56 @@
+"""Transportation routing with label constraints (introduction's
+Google-Maps motivation).
+
+A traveller wants routes that use highways ('h') first, optionally one
+ferry ('f'), then regional roads ('r') — and never passes through the
+same city twice (a *simple* path).  The constraint language
+``h*(f + ε)r*`` is in trC, so the polynomial solver applies.
+
+Run with::
+
+    python examples/transportation.py
+"""
+
+from repro import RspqSolver, classify, language
+from repro.algorithms.rpq import RpqSolver
+from repro.graphs.generators import transportation_network
+
+
+def main():
+    graph, cities = transportation_network(12, seed=4)
+    print("network:", graph)
+
+    constraint = language("h*(f + ε)r*", name="highways-ferry-regional")
+    print("constraint:", constraint,
+          "->", classify(constraint.dfa).complexity_class.value)
+
+    solver = RspqSolver(constraint)
+    walker = RpqSolver(constraint)
+    origin = cities[0]
+
+    print("\nroutes from %s:" % origin)
+    for destination in cities[1:8]:
+        result = solver.solve(graph, origin, destination)
+        walk_ok = walker.exists(graph, origin, destination)
+        if result.found:
+            stops = " -> ".join(str(v) for v in result.path.vertices)
+            print("  %-4s simple route (%d legs, labels %s): %s"
+                  % (destination, result.length, result.path.word, stops))
+        else:
+            print("  %-4s no simple route (walk exists: %s)"
+                  % (destination, walk_ok))
+
+    # Avoiding a city: query the induced subgraph without it.
+    avoided = cities[5]
+    remaining = [c for c in graph.vertices() if c != avoided]
+    censored = graph.subgraph(remaining)
+    target = cities[7]
+    print("\navoiding %s:" % avoided)
+    result = solver.solve(censored, origin, target)
+    print("  %s -> %s: %s" % (
+        origin, target,
+        result.path.word if result.found else "unreachable"))
+
+
+if __name__ == "__main__":
+    main()

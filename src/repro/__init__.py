@@ -1,0 +1,51 @@
+"""repro — reproduction of "A Trichotomy for Regular Simple Path Queries
+on Graphs" (Bagan, Bonifati, Groz, PODS 2013).
+
+Public API highlights
+---------------------
+
+* :func:`repro.language` — build a regular language from a regex string.
+* :class:`repro.DbGraph` — directed edge-labeled graph database.
+* :func:`repro.classify` — the trichotomy (Theorem 2): AC0 / NL-complete
+  / NP-complete.
+* :class:`repro.RspqSolver` — evaluate regular *simple* path queries,
+  automatically using the polynomial algorithm for tractable languages.
+"""
+
+from .errors import (
+    AutomatonError,
+    BudgetExceededError,
+    GraphError,
+    NotInTrCError,
+    RegexSyntaxError,
+    ReproError,
+)
+from .languages import Language, language
+from .graphs.dbgraph import DbGraph
+from .graphs.vlgraph import EvlGraph, VlGraph
+from .core.trichotomy import ComplexityClass, classify
+from .core.trc import is_in_trc
+from .core.solver import RspqSolver, solve_rspq
+from . import catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutomatonError",
+    "BudgetExceededError",
+    "ComplexityClass",
+    "DbGraph",
+    "EvlGraph",
+    "GraphError",
+    "Language",
+    "NotInTrCError",
+    "RegexSyntaxError",
+    "ReproError",
+    "RspqSolver",
+    "VlGraph",
+    "catalog",
+    "classify",
+    "is_in_trc",
+    "language",
+    "solve_rspq",
+]

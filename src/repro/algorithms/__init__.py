@@ -1,0 +1,28 @@
+"""Baseline and comparison algorithms."""
+
+from .bounded import FiniteLanguageSolver, find_simple_word_path
+from .color_coding import ColorCodingSolver
+from .dag import DagRspqSolver, is_dag
+from .disjoint_paths import vertex_disjoint_paths_exist
+from .exact import ExactSolver
+from .rpq import RpqSolver
+from .parameterized import k_rspq, para_rspq_finite
+from .semantics import SEMANTICS, SemanticsEvaluator
+from . import reductions, treewidth
+
+__all__ = [
+    "ColorCodingSolver",
+    "DagRspqSolver",
+    "ExactSolver",
+    "FiniteLanguageSolver",
+    "RpqSolver",
+    "SEMANTICS",
+    "SemanticsEvaluator",
+    "find_simple_word_path",
+    "is_dag",
+    "k_rspq",
+    "para_rspq_finite",
+    "reductions",
+    "treewidth",
+    "vertex_disjoint_paths_exist",
+]

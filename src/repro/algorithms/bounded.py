@@ -1,0 +1,89 @@
+"""RSPQ for finite languages — the AC0 case of the trichotomy.
+
+For finite L every accepted word has length ≤ M - 1 (a longer run would
+repeat a state and pump an infinite family).  The Lemma 17 easiness
+argument expresses "there is a simple w-labeled path" as a fixed
+first-order formula; operationally this is a constant-depth search: for
+each of the finitely many words ``w ∈ L``, check for a simple w-labeled
+path with a depth-``|w|`` DFS whose branching is pruned by w's letters.
+
+The work is ``O(Σ_{w∈L} (branching)^{|w|})`` — constant-depth in the
+graph size, matching the AC0 upper bound's spirit (data-independent
+formula depth), and trivially polynomial for fixed L.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..graphs.dbgraph import Path
+from ..languages import Language
+
+
+class FiniteLanguageSolver:
+    """Exact RSPQ evaluation for a finite language."""
+
+    def __init__(self, language, max_words=100000):
+        if isinstance(language, str):
+            language = Language(language)
+        if not language.is_finite():
+            raise ReproError(
+                "FiniteLanguageSolver requires a finite language"
+            )
+        self.language = language
+        bound = language.dfa.num_states  # words are shorter than M
+        self.words = sorted(
+            language.words(bound, limit=max_words), key=lambda w: (len(w), w)
+        )
+
+    def shortest_simple_path(self, graph, source, target):
+        """Shortest simple L-labeled path (words tried short-first)."""
+        graph.require_vertex(source)
+        graph.require_vertex(target)
+        for word in self.words:
+            path = find_simple_word_path(graph, source, target, word)
+            if path is not None:
+                return path
+        return None
+
+    def exists(self, graph, source, target):
+        """Decision variant of RSPQ(L) for finite L."""
+        return self.shortest_simple_path(graph, source, target) is not None
+
+
+def find_simple_word_path(graph, source, target, word):
+    """A simple path from source to target spelling exactly ``word``.
+
+    Depth-|word| DFS; this is the ``path_w(x, y)`` FO predicate of the
+    Lemma 17 easiness proof made executable.
+    """
+    if source == target:
+        return Path.single(source) if word == "" else None
+    if word == "":
+        return None
+    vertices = [source]
+    visited = {source}
+
+    def dfs(position):
+        current = vertices[-1]
+        if position == len(word):
+            return current == target
+        # The last letter must land exactly on the target; intermediate
+        # letters must avoid it (a simple path visits it only once).
+        for nxt in sorted(graph.successors(current, word[position]), key=repr):
+            if nxt in visited:
+                continue
+            if position < len(word) - 1 and nxt == target:
+                continue
+            if position == len(word) - 1 and nxt != target:
+                continue
+            vertices.append(nxt)
+            visited.add(nxt)
+            if dfs(position + 1):
+                return True
+            visited.discard(nxt)
+            vertices.pop()
+        return False
+
+    if dfs(0):
+        return Path(tuple(vertices), tuple(word))
+    return None

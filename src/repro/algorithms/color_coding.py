@@ -1,0 +1,158 @@
+"""k-RSPQ by color coding (Theorem 7, after Alon-Yuster-Zwick).
+
+k-RSPQ asks for a simple L-labeled path of size (number of edges) at
+most k.  Theorem 7: FPT in k, time ``O(2^O(k) |A_L| |G| log |G|)``.
+
+The engine is the paper's dynamic program over colored vertices:
+
+    f(v, q, S) = 1  iff a path from x to v uses exactly the colors S
+                 (all distinct) and drives A_L from its initial state
+                 to q,
+
+computed over a k'-coloring with k' = k + 1 (a path with k edges has
+k + 1 vertices).  A coloring family guarantees some coloring renders
+the witness path colorful:
+
+* ``exhaustive`` — all ``k'^n`` colorings (exact, tiny inputs only);
+* ``monte-carlo`` — ``ceil(e^{k'} · ln(1/δ))`` random colorings: a
+  fixed simple path is colorful with probability ≥ k'!/k'^{k'} ≥
+  e^{-k'}, so the failure probability is at most δ (one-sided: "yes"
+  answers are always certified by a found path).
+
+Theorem 9's explicit deterministic k-perfect family is replaced by the
+Monte-Carlo construction — see DESIGN.md §3 (substitutions).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from itertools import product as iter_product
+
+from ..graphs.dbgraph import Path
+from ..languages import Language
+
+
+class ColorCodingSolver:
+    """FPT solver for bounded-length simple L-labeled paths."""
+
+    def __init__(self, language, seed=0, failure_probability=1e-3):
+        if isinstance(language, str):
+            language = Language(language)
+        self.language = language
+        self.dfa = language.dfa
+        self.seed = seed
+        self.failure_probability = failure_probability
+
+    # -- coloring families -------------------------------------------------------
+
+    def _num_trials(self, num_colors):
+        """Monte-Carlo repetitions for the target failure probability."""
+        single = math.exp(num_colors)  # 1 / P[path colorful] upper bound
+        return max(1, int(math.ceil(single * math.log(1.0 / self.failure_probability))))
+
+    def colorings(self, vertices, num_colors, family="monte-carlo"):
+        """Yield colorings (dicts vertex -> color in [0, num_colors))."""
+        vertices = list(vertices)
+        if family == "exhaustive":
+            for assignment in iter_product(
+                range(num_colors), repeat=len(vertices)
+            ):
+                yield dict(zip(vertices, assignment))
+            return
+        if family != "monte-carlo":
+            raise ValueError("unknown coloring family %r" % (family,))
+        rng = random.Random(self.seed)
+        for _ in range(self._num_trials(num_colors)):
+            yield {
+                vertex: rng.randrange(num_colors) for vertex in vertices
+            }
+
+    # -- the f(v, q, S) dynamic program ---------------------------------------------
+
+    def colorful_path(self, graph, source, target, coloring, num_colors):
+        """Shortest *colorful* L-labeled path under ``coloring`` (or None).
+
+        Implements the paper's DP with parent pointers; colorful means
+        all vertex colors distinct, which forces simplicity.
+        """
+        start_state = self.dfa.initial
+        start_key = (source, start_state, 1 << coloring[source])
+        table = {start_key: None}  # key -> parent (key, label) or None
+        frontier = [start_key]
+        best = None
+        if source == target and start_state in self.dfa.accepting:
+            return Path.single(source)
+        while frontier and best is None:
+            next_frontier = []
+            for key in frontier:
+                vertex, state, used = key
+                for label, nxt in sorted(graph.out_edges(vertex), key=repr):
+                    if label not in self.dfa.alphabet:
+                        continue
+                    bit = 1 << coloring[nxt]
+                    if used & bit:
+                        continue
+                    next_state = self.dfa.transition(state, label)
+                    next_key = (nxt, next_state, used | bit)
+                    if next_key in table:
+                        continue
+                    table[next_key] = (key, label)
+                    if nxt == target and next_state in self.dfa.accepting:
+                        best = next_key
+                        break
+                    next_frontier.append(next_key)
+                if best is not None:
+                    break
+            frontier = next_frontier
+        if best is None:
+            return None
+        vertices = []
+        labels = []
+        key = best
+        while table[key] is not None:
+            parent, label = table[key]
+            vertices.append(key[0])
+            labels.append(label)
+            key = parent
+        vertices.append(key[0])
+        vertices.reverse()
+        labels.reverse()
+        return Path(tuple(vertices), tuple(labels))
+
+    # -- public API --------------------------------------------------------------------
+
+    def bounded_simple_path(
+        self, graph, source, target, max_edges, family="monte-carlo"
+    ):
+        """A simple L-labeled path with ≤ ``max_edges`` edges, or None.
+
+        One-sided error under the Monte-Carlo family: a returned path is
+        always a certified answer; ``None`` is wrong with probability at
+        most ``failure_probability``.
+        """
+        graph.require_vertex(source)
+        graph.require_vertex(target)
+        num_colors = max_edges + 1
+        best = None
+        for coloring in self.colorings(
+            graph.vertices(), num_colors, family=family
+        ):
+            path = self.colorful_path(
+                graph, source, target, coloring, num_colors
+            )
+            if path is not None and len(path) <= max_edges:
+                if best is None or len(path) < len(best):
+                    best = path
+                if len(best) == 0:
+                    break
+        return best
+
+    def exists(self, graph, source, target, max_edges, family="monte-carlo"):
+        """Decision variant of k-RSPQ."""
+        return (
+            self.bounded_simple_path(
+                graph, source, target, max_edges, family=family
+            )
+            is not None
+        )

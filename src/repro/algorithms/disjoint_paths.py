@@ -1,0 +1,88 @@
+"""Exact Vertex-Disjoint-Path solver.
+
+Vertex-Disjoint-Path (the source of the Lemma 5 reduction):
+
+    Input: a digraph G, four vertices x1, y1, x2, y2.
+    Question: are there two vertex-disjoint paths, one from x1 to y1
+    and one from x2 to y2?
+
+The problem is NP-complete for directed graphs [Fortune-Hopcroft-Wyllie
+/ Garey-Johnson], so this solver is a backtracking search: enumerate
+simple x1→y1 paths (shortest-first would not help completeness) and,
+for each, test reachability of y2 from x2 in the leftover graph.  Used
+to validate the reduction experimentally, not as a scalable algorithm.
+"""
+
+from __future__ import annotations
+
+from ..errors import BudgetExceededError
+
+
+def _adjacency(edges):
+    adjacency = {}
+    for source, target in edges:
+        adjacency.setdefault(source, set()).add(target)
+        adjacency.setdefault(target, set())
+    return adjacency
+
+
+def _reachable_avoiding(adjacency, start, goal, forbidden):
+    if start in forbidden or goal in forbidden:
+        return False
+    seen = {start}
+    stack = [start]
+    while stack:
+        vertex = stack.pop()
+        if vertex == goal:
+            return True
+        for nxt in adjacency.get(vertex, ()):
+            if nxt not in seen and nxt not in forbidden:
+                seen.add(nxt)
+                stack.append(nxt)
+    return False
+
+
+def vertex_disjoint_paths_exist(edges, x1, y1, x2, y2, budget=None):
+    """Decide Vertex-Disjoint-Path by backtracking (exponential).
+
+    ``edges`` is an iterable of ``(source, target)`` pairs.  The two
+    paths must be vertex-disjoint *including endpoints*, matching the
+    instances the Lemma 5 reduction produces (the four terminals are
+    pairwise distinct there).  Trivial paths (x = y) are allowed.
+    """
+    adjacency = _adjacency(edges)
+    for vertex in (x1, y1, x2, y2):
+        adjacency.setdefault(vertex, set())
+    steps = [0]
+
+    def charge():
+        steps[0] += 1
+        if budget is not None and steps[0] > budget:
+            raise BudgetExceededError(
+                "disjoint-path search exceeded %d steps" % budget,
+                steps=steps[0],
+            )
+
+    path_vertices = [x1]
+    on_path = {x1}
+
+    def dfs(vertex):
+        charge()
+        if vertex == y1:
+            return _reachable_avoiding(adjacency, x2, y2, on_path)
+        for nxt in sorted(adjacency.get(vertex, ()), key=repr):
+            if nxt in on_path:
+                continue
+            on_path.add(nxt)
+            path_vertices.append(nxt)
+            if dfs(nxt):
+                return True
+            path_vertices.pop()
+            on_path.discard(nxt)
+        return False
+
+    if {x1, y1} & {x2, y2}:
+        # Shared terminals can never be disjoint (endpoints included)
+        # unless the shared vertex is... never: both paths contain it.
+        return False
+    return dfs(x1)

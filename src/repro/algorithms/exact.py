@@ -1,0 +1,219 @@
+"""Exact RSPQ for arbitrary regular languages (worst-case exponential).
+
+This is the baseline the trichotomy says cannot be avoided for
+``L ∉ trC`` (unless NL = NP): a depth-first search over the product
+graph ``G × A_L`` that tracks the set of visited vertices to enforce
+simplicity.  Two prunings keep it practical on tractable-ish inputs
+while leaving the exponential worst case intact:
+
+* *liveness*: a partial path whose product node cannot reach an
+  accepting target node even by a non-simple walk is abandoned;
+* *admissible bounding* (for shortest-path search): walk distance to the
+  goal in the product graph lower-bounds the remaining simple-path
+  length.
+
+The solver doubles as the ground-truth oracle for the polynomial trC
+solver in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import BudgetExceededError
+from ..graphs.dbgraph import Path
+from ..languages import Language
+
+
+class ExactSolver:
+    """Backtracking RSPQ solver, correct for every regular language.
+
+    Parameters
+    ----------
+    language:
+        :class:`~repro.languages.Language` or regex string.
+    budget:
+        Optional cap on search steps; exceeding it raises
+        :class:`~repro.errors.BudgetExceededError` (the worst case is
+        exponential, so callers may want a guard).
+    """
+
+    def __init__(self, language, budget=None):
+        if isinstance(language, str):
+            language = Language(language)
+        self.language = language
+        self.dfa = language.dfa
+        self.budget = budget
+        self.steps = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _goal_distances(self, graph, target):
+        """BFS distance from every product node to an accepting target
+        node, ignoring simplicity (admissible heuristic; None = dead)."""
+        distances = {}
+        queue = deque()
+        for final in self.dfa.accepting:
+            node = (target, final)
+            distances[node] = 0
+            queue.append(node)
+        # Backward BFS over the product graph.
+        while queue:
+            vertex, state = queue.popleft()
+            base = distances[(vertex, state)]
+            for label, source in graph.in_edges(vertex):
+                if label not in self.dfa.alphabet:
+                    continue
+                for state_before in self.dfa.states():
+                    if self.dfa.transition(state_before, label) != state:
+                        continue
+                    node = (source, state_before)
+                    if node not in distances:
+                        distances[node] = base + 1
+                        queue.append(node)
+        return distances
+
+    def _charge(self):
+        self.steps += 1
+        if self.budget is not None and self.steps > self.budget:
+            raise BudgetExceededError(
+                "exact solver exceeded its %d-step budget" % self.budget,
+                steps=self.steps,
+            )
+
+    # -- public API ------------------------------------------------------------
+
+    def shortest_simple_path(self, graph, source, target, weight_fn=None):
+        """A shortest simple L-labeled path from source to target, or None.
+
+        ``weight_fn(u, label, v) -> R+`` switches to minimum total
+        weight (weights must be strictly positive).
+        """
+        return self._solve(
+            graph, source, target, find_shortest=True, weight_fn=weight_fn
+        )
+
+    def any_simple_path(self, graph, source, target):
+        """Some simple L-labeled path (first found), or None."""
+        return self._solve(graph, source, target, find_shortest=False)
+
+    def exists(self, graph, source, target):
+        """Decision variant of RSPQ(L)."""
+        return self.any_simple_path(graph, source, target) is not None
+
+    def _solve(self, graph, source, target, find_shortest, weight_fn=None):
+        graph.require_vertex(source)
+        graph.require_vertex(target)
+        self.steps = 0
+        if source == target:
+            if self.dfa.initial in self.dfa.accepting:
+                return Path.single(source)
+            return None
+        goal_distance = self._goal_distances(graph, target)
+        start = (source, self.dfa.initial)
+        if start not in goal_distance:
+            return None
+        best = [None]
+        best_metric = [None]
+        vertices = [source]
+        labels = []
+        weight_so_far = [0.0]
+        visited = {source}
+
+        def remaining_bound(node):
+            # Admissible lower bound on the remaining cost: walk distance
+            # in edges (unweighted) or zero (weighted).
+            if weight_fn is not None:
+                return 0
+            return goal_distance[node]
+
+        def current_metric():
+            if weight_fn is not None:
+                return weight_so_far[0]
+            return len(labels)
+
+        def dfs(vertex, state):
+            self._charge()
+            if best[0] is not None:
+                if not find_shortest:
+                    return
+                if (
+                    current_metric() + remaining_bound((vertex, state))
+                    >= best_metric[0]
+                ):
+                    return
+            if vertex == target and state in self.dfa.accepting:
+                best[0] = Path(tuple(vertices), tuple(labels))
+                best_metric[0] = current_metric()
+                if weight_fn is None:
+                    return
+                # Weighted: a longer path may still be lighter; fall
+                # through so siblings keep searching, but do not extend
+                # this complete path further (extensions cannot return
+                # to the target without revisiting it).
+                return
+            for label, nxt in sorted(graph.out_edges(vertex), key=repr):
+                if label not in self.dfa.alphabet or nxt in visited:
+                    continue
+                next_state = self.dfa.transition(state, label)
+                node = (nxt, next_state)
+                if node not in goal_distance:
+                    continue
+                step = 1 if weight_fn is None else weight_fn(vertex, label, nxt)
+                if weight_fn is not None and step <= 0:
+                    raise ValueError(
+                        "edge weights must be strictly positive"
+                    )
+                if best[0] is not None and find_shortest and (
+                    current_metric() + step + remaining_bound(node)
+                    >= best_metric[0]
+                ):
+                    continue
+                vertices.append(nxt)
+                labels.append(label)
+                weight_so_far[0] += step
+                visited.add(nxt)
+                dfs(nxt, next_state)
+                visited.discard(nxt)
+                weight_so_far[0] -= step
+                vertices.pop()
+                labels.pop()
+                if best[0] is not None and not find_shortest:
+                    return
+
+        dfs(source, self.dfa.initial)
+        return best[0]
+
+    def count_simple_paths(self, graph, source, target, max_length=None):
+        """Number of distinct simple L-labeled paths (exponential walk).
+
+        Used by the semantics-comparison experiment; ``max_length``
+        bounds the search depth when given.
+        """
+        graph.require_vertex(source)
+        graph.require_vertex(target)
+        self.steps = 0
+        count = [0]
+        visited = {source}
+        length = [0]
+
+        def dfs(vertex, state):
+            self._charge()
+            if vertex == target and state in self.dfa.accepting:
+                count[0] += 1
+            for label, nxt in graph.out_edges(vertex):
+                if label not in self.dfa.alphabet or nxt in visited:
+                    continue
+                if max_length is not None and length[0] >= max_length:
+                    continue
+                visited.add(nxt)
+                length[0] += 1
+                dfs(nxt, self.dfa.transition(state, label))
+                length[0] -= 1
+                visited.discard(nxt)
+
+        if source == target:
+            # Only the empty path is simple from x to x.
+            return 1 if self.dfa.initial in self.dfa.accepting else 0
+        dfs(source, self.dfa.initial)
+        return count[0]

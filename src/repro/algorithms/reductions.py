@@ -1,0 +1,204 @@
+"""The paper's reductions, as executable graph/language constructions.
+
+* :func:`disjoint_paths_to_rspq` — Lemma 5 (Figure 1): from a
+  Vertex-Disjoint-Path instance and a Property-(1) hardness witness,
+  build a db-graph ``G'`` and query ``(x, y)`` such that RSPQ(L) on
+  ``(G', x, y)`` answers the original instance.  This is the NP-hardness
+  half of Theorem 1.
+* :func:`reachability_to_rspq` — Lemma 17: embed plain Reachability into
+  RSPQ(L) for any infinite regular L via a pumping triple ``u v* w ⊆ L``
+  (the NL-hardness half of the trichotomy's middle class).
+* :func:`emptiness_to_trc_instance` — Theorem 3 (DFA case hardness):
+  ``L' = 1⁺ L 1⁺`` is in trC iff L is empty.
+* :func:`universality_to_trc_instance` — Theorem 3 (NFA/regex case):
+  ``L' = (0+1)* a* b a*  +  L a*`` is in trC iff L = {0,1}*.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..graphs.dbgraph import DbGraph
+from ..languages import Language
+from ..languages.dfa import DFA
+from ..languages.nfa import NFA, EPSILON
+from ..core.trc import _as_minimal_dfa
+from ..core.witness import HardnessWitness, find_hardness_witness
+
+
+# -- Lemma 5: Vertex-Disjoint-Path -> RSPQ(L) ----------------------------------------
+
+
+def disjoint_paths_to_rspq(edges, x1, y1, x2, y2, witness):
+    """Build the Lemma-5 instance ``(G', x, y)``.
+
+    ``edges`` is the input digraph as ``(source, target)`` pairs (its
+    vertices may be any hashable values); ``witness`` a verified
+    :class:`~repro.core.witness.HardnessWitness` for the target
+    language.  Every input edge becomes two word-edges labeled ``w1``
+    and ``w2``; fresh terminals x, y attach via ``wl``, ``wm``, ``wr``
+    exactly as in Figure 1.  Returns ``(graph, x, y)``.
+    """
+    if not isinstance(witness, HardnessWitness):
+        raise ReproError("a HardnessWitness is required for the reduction")
+    graph = DbGraph()
+    original = set()
+    for source, target in edges:
+        original.add(source)
+        original.add(target)
+
+    def wrap(vertex):
+        return ("g", vertex)
+
+    for source, target in edges:
+        graph.add_word_edge(wrap(source), witness.w1, wrap(target))
+        graph.add_word_edge(wrap(source), witness.w2, wrap(target))
+    for terminal in (x1, y1, x2, y2):
+        graph.add_vertex(wrap(terminal))
+    x = ("terminal", "x")
+    y = ("terminal", "y")
+    if witness.wl:
+        graph.add_word_edge(x, witness.wl, wrap(x1))
+    else:
+        # Empty wl: the query source is x1 itself.
+        x = wrap(x1)
+    graph.add_word_edge(wrap(y1), witness.wm, wrap(x2))
+    if witness.wr:
+        graph.add_word_edge(wrap(y2), witness.wr, y)
+    else:
+        y = wrap(y2)
+    return graph, x, y
+
+
+def rspq_instance_for_language(language, edges, x1, y1, x2, y2):
+    """Convenience: find the witness for ``language`` and reduce.
+
+    Raises :class:`ReproError` when the language is in trC (no
+    reduction exists — that is the point of the trichotomy).
+    """
+    if isinstance(language, str):
+        language = Language(language)
+    witness = find_hardness_witness(language.dfa)
+    if witness is None:
+        raise ReproError(
+            "language is in trC; the Lemma 5 reduction does not apply"
+        )
+    return disjoint_paths_to_rspq(edges, x1, y1, x2, y2, witness)
+
+
+# -- Lemma 17: Reachability -> RSPQ(L) for infinite L ----------------------------------
+
+
+def pumping_triple(lang_or_dfa):
+    """Words ``(u, v, w)`` with ``u v* w ⊆ L`` and ``v`` non-empty.
+
+    Exists for every infinite regular language (Pumping Lemma).  Found
+    on the minimal DFA: a reachable, co-reachable state on a cycle.
+    """
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    if dfa.is_finite():
+        raise ReproError("pumping triple requires an infinite language")
+    from ..languages.analysis import looping_states
+    from ..core.witness import _shortest_word_between
+
+    useful = dfa.reachable_states() & dfa.co_reachable_states()
+    for state in sorted(looping_states(dfa) & useful):
+        u = _shortest_word_between(dfa, dfa.initial, state)
+        w = dfa.shortest_accepted(start=state)
+        v = _shortest_word_between(dfa, state, state, require_nonempty=True)
+        if u is None or w is None or v is None:
+            continue
+        return u, v, w
+    raise ReproError("no pumping triple found (should be impossible)")
+
+
+def reachability_to_rspq(edges, source, target, lang_or_dfa):
+    """Lemma 17 reduction: Reachability ≤ RSPQ(L) for infinite L.
+
+    Each input edge is labeled by the pump word ``v``; fresh terminals
+    attach via ``u`` and ``w``.  There is a (simple) path from source
+    to target in the input iff there is a simple L-labeled path from
+    the new x' to y'.  Returns ``(graph, x', y')``.
+    """
+    u, v, w = pumping_triple(lang_or_dfa)
+    graph = DbGraph()
+    for edge_source, edge_target in edges:
+        graph.add_word_edge(("g", edge_source), v, ("g", edge_target))
+    graph.add_vertex(("g", source))
+    graph.add_vertex(("g", target))
+    x = ("terminal", "x")
+    y = ("terminal", "y")
+    if u:
+        graph.add_word_edge(x, u, ("g", source))
+    else:
+        x = ("g", source)
+    if w:
+        graph.add_word_edge(("g", target), w, y)
+    else:
+        y = ("g", target)
+    return graph, x, y
+
+
+# -- Theorem 3 hardness constructions ---------------------------------------------------
+
+
+def emptiness_to_trc_instance(dfa):
+    """Theorem 3 (1), hardness: build a DFA for ``L' = 1⁺ L 1⁺``.
+
+    ``L' ∈ trC  ⟺  L = ∅`` (assuming ε ∉ L, which the construction
+    enforces by rejecting such inputs).  The input alphabet must not
+    contain '1'.
+    """
+    if "1" in dfa.alphabet:
+        raise ReproError("input alphabet must not contain '1'")
+    if dfa.accepts(""):
+        raise ReproError("construction assumes ε ∉ L (check separately)")
+    alphabet = set(dfa.alphabet) | {"1"}
+    # State layout: 0 = qI (no '1' read yet), 1 = qS (≥ one '1' read),
+    # 2 = qF (final), 3 = sink, then the copies of the input states.
+    q_initial, q_started, q_final, sink = 0, 1, 2, 3
+    offset = 4
+    num_states = dfa.num_states + offset
+
+    def copy(state):
+        return offset + state
+
+    transitions = {}
+    for symbol in alphabet:
+        transitions[(q_initial, symbol)] = (
+            q_started if symbol == "1" else sink
+        )
+        transitions[(q_started, symbol)] = (
+            q_started
+            if symbol == "1"
+            else copy(dfa.transition(dfa.initial, symbol))
+        )
+        transitions[(q_final, symbol)] = q_final if symbol == "1" else sink
+        transitions[(sink, symbol)] = sink
+    for state in dfa.states():
+        for symbol in alphabet:
+            if symbol == "1":
+                transitions[(copy(state), "1")] = (
+                    q_final if state in dfa.accepting else sink
+                )
+            else:
+                transitions[(copy(state), symbol)] = copy(
+                    dfa.transition(state, symbol)
+                )
+    return DFA(num_states, alphabet, transitions, q_initial, {q_final})
+
+
+def universality_to_trc_instance(nfa):
+    """Theorem 3 (2), hardness: NFA for ``L' = (0+1)* a* b a* + L a*``.
+
+    For ``L ⊆ {0,1}*``: ``L' ∈ trC ⟺ L = {0,1}*``.  Input and output
+    are NFAs (the reduction keeps the nondeterministic representation,
+    which is the whole point of the PSPACE lower bound).
+    """
+    if not nfa.alphabet <= {"0", "1"}:
+        raise ReproError("universality instance must be over {0,1}")
+    from ..languages.regex.parser import parse
+    from ..languages.nfa import nfa_from_ast
+
+    left = nfa_from_ast(parse("(0+1)*a*ba*"))
+    right = nfa.concat(nfa_from_ast(parse("a*")))
+    return left.union(right)

@@ -1,0 +1,43 @@
+"""Regular path queries under *arbitrary walk* semantics.
+
+The classical tractable baseline the paper contrasts with: select node
+pairs connected by **any** walk (vertices may repeat) whose label word
+lies in L.  Evaluated by BFS over the product graph in
+``O(|G| · |A_L|)`` — this is the notion that "has overridden" simple
+paths in theory, per the introduction.
+"""
+
+from __future__ import annotations
+
+from ..graphs.product import rpq_reachable, shortest_walk
+from ..languages import Language
+
+
+class RpqSolver:
+    """Arbitrary-walk RPQ evaluation (product-graph BFS)."""
+
+    def __init__(self, language):
+        if isinstance(language, str):
+            language = Language(language)
+        self.language = language
+        self.dfa = language.dfa
+
+    def exists(self, graph, source, target):
+        """True iff some L-labeled walk connects source to target."""
+        return target in rpq_reachable(graph, self.dfa, source)
+
+    def shortest_walk(self, graph, source, target):
+        """A shortest L-labeled walk (possibly non-simple), or None."""
+        return shortest_walk(graph, self.dfa, source, target)
+
+    def reachable_set(self, graph, source):
+        """All vertices selected by the RPQ from ``source``."""
+        return rpq_reachable(graph, self.dfa, source)
+
+    def evaluate_all_pairs(self, graph):
+        """The full RPQ answer ``{(x, y)}`` (one BFS per source)."""
+        pairs = set()
+        for source in graph.vertices():
+            for target in rpq_reachable(graph, self.dfa, source):
+                pairs.add((source, target))
+        return pairs

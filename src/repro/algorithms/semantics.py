@@ -1,0 +1,165 @@
+"""Path semantics for regular path queries: walk, trail, simple.
+
+The introduction motivates RSPQs by contrasting three evaluation
+semantics for the same regular expression (and SPARQL 1.1's draft
+hybrid sits between them):
+
+* **walk** (arbitrary path): vertices and edges may repeat — the
+  classical tractable RPQ semantics;
+* **trail**: edges must be distinct (SPARQL's "simple path" drafts and
+  several engines use this);
+* **simple**: vertices must be distinct — the paper's subject.
+
+This module evaluates and counts matches under each semantics so the
+semantics-comparison experiment (E13) can show where they disagree.
+Trail and simple evaluation are exponential backtracking in general
+(both are NP-hard); counting walks is a polynomial DP per length.
+"""
+
+from __future__ import annotations
+
+from ..errors import BudgetExceededError
+from ..graphs.product import rpq_reachable
+from ..languages import Language
+
+WALK = "walk"
+TRAIL = "trail"
+SIMPLE = "simple"
+
+SEMANTICS = (WALK, TRAIL, SIMPLE)
+
+
+class SemanticsEvaluator:
+    """Evaluate one regular path query under all three semantics."""
+
+    def __init__(self, language, budget=None):
+        if isinstance(language, str):
+            language = Language(language)
+        self.language = language
+        self.dfa = language.dfa
+        self.budget = budget
+
+    # -- existence -------------------------------------------------------------
+
+    def exists(self, graph, source, target, semantics):
+        """Is there a matching path under the given semantics?"""
+        if semantics == WALK:
+            return target in rpq_reachable(graph, self.dfa, source)
+        if semantics == TRAIL:
+            return self._trail_exists(graph, source, target)
+        if semantics == SIMPLE:
+            from .exact import ExactSolver
+
+            return ExactSolver(self.language, budget=self.budget).exists(
+                graph, source, target
+            )
+        raise ValueError("unknown semantics %r" % (semantics,))
+
+    def evaluate_all(self, graph, source, target):
+        """Mapping semantics -> bool for one query."""
+        return {
+            semantics: self.exists(graph, source, target, semantics)
+            for semantics in SEMANTICS
+        }
+
+    def _trail_exists(self, graph, source, target):
+        steps = [0]
+
+        def charge():
+            steps[0] += 1
+            if self.budget is not None and steps[0] > self.budget:
+                raise BudgetExceededError(
+                    "trail search exceeded %d steps" % self.budget,
+                    steps=steps[0],
+                )
+
+        used_edges = set()
+
+        def dfs(vertex, state):
+            charge()
+            if vertex == target and state in self.dfa.accepting:
+                return True
+            for label, nxt in sorted(graph.out_edges(vertex), key=repr):
+                if label not in self.dfa.alphabet:
+                    continue
+                edge = (vertex, label, nxt)
+                if edge in used_edges:
+                    continue
+                used_edges.add(edge)
+                if dfs(nxt, self.dfa.transition(state, label)):
+                    return True
+                used_edges.discard(edge)
+            return False
+
+        graph.require_vertex(source)
+        graph.require_vertex(target)
+        return dfs(source, self.dfa.initial)
+
+    # -- counting ----------------------------------------------------------------
+
+    def count_walks(self, graph, source, target, max_length):
+        """Number of L-labeled walks of length ≤ max_length (poly DP).
+
+        This is the quantity whose explosion the "counting beyond a
+        yottabyte" discussion [3] warns about.
+        """
+        vertices = list(graph.vertices())
+        counts = {(source, self.dfa.initial): 1}
+        total = 0
+        if source == target and self.dfa.initial in self.dfa.accepting:
+            total += 1
+        for _ in range(max_length):
+            next_counts = {}
+            for (vertex, state), count in counts.items():
+                for label, nxt in graph.out_edges(vertex):
+                    if label not in self.dfa.alphabet:
+                        continue
+                    key = (nxt, self.dfa.transition(state, label))
+                    next_counts[key] = next_counts.get(key, 0) + count
+            counts = next_counts
+            for (vertex, state), count in counts.items():
+                if vertex == target and state in self.dfa.accepting:
+                    total += count
+        return total
+
+    def count_trails(self, graph, source, target, max_length=None):
+        """Number of L-labeled trails (edge-distinct); exponential."""
+        steps = [0]
+        count = [0]
+
+        def charge():
+            steps[0] += 1
+            if self.budget is not None and steps[0] > self.budget:
+                raise BudgetExceededError(
+                    "trail counting exceeded %d steps" % self.budget,
+                    steps=steps[0],
+                )
+
+        used_edges = set()
+
+        def dfs(vertex, state, length):
+            charge()
+            if vertex == target and state in self.dfa.accepting:
+                count[0] += 1
+            if max_length is not None and length >= max_length:
+                return
+            for label, nxt in graph.out_edges(vertex):
+                if label not in self.dfa.alphabet:
+                    continue
+                edge = (vertex, label, nxt)
+                if edge in used_edges:
+                    continue
+                used_edges.add(edge)
+                dfs(nxt, self.dfa.transition(state, label), length + 1)
+                used_edges.discard(edge)
+
+        dfs(source, self.dfa.initial, 0)
+        return count[0]
+
+    def count_simple(self, graph, source, target, max_length=None):
+        """Number of simple L-labeled paths; exponential."""
+        from .exact import ExactSolver
+
+        return ExactSolver(self.language, budget=self.budget).count_simple_paths(
+            graph, source, target, max_length=max_length
+        )

@@ -1,0 +1,265 @@
+"""Catalog of named languages with ground-truth classifications.
+
+Every language the paper mentions by name, plus representative members
+of each trichotomy class, with the complexity the paper assigns (or
+that follows directly from its characterisations).  Tests validate the
+implementation against this table; benches iterate over it.
+
+``expected`` fields:
+
+* ``complexity`` — "AC0" | "NL-complete" | "NP-complete" (Theorem 2),
+* ``in_trc`` / ``finite`` — the two underlying predicates,
+* ``in_trc_vlg`` — Definition 5 membership where the paper states it
+  (None when the paper is silent and we have no independent ground
+  truth),
+* ``subword_closed`` — membership in the Mendelzon–Wood class trC(0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .languages import Language
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """A named language with its paper-derived ground truth."""
+
+    name: str
+    regex: str
+    complexity: str
+    in_trc: bool
+    finite: bool
+    subword_closed: bool
+    in_trc_vlg: Optional[bool] = None
+    note: str = ""
+
+    def language(self, alphabet=None):
+        """Instantiate the :class:`Language` (fresh object each call)."""
+        return Language(self.regex, alphabet=alphabet, name=self.name)
+
+
+ENTRIES = (
+    # -- NP-complete classics (introduction, [29]) ------------------------------
+    CatalogEntry(
+        name="even-a",
+        regex="(aa)*",
+        complexity="NP-complete",
+        in_trc=False,
+        finite=False,
+        subword_closed=False,
+        in_trc_vlg=False,
+        note="even-length paths; hard already in Mendelzon-Wood",
+    ),
+    CatalogEntry(
+        name="a-b-a",
+        regex="a*ba*",
+        complexity="NP-complete",
+        in_trc=False,
+        finite=False,
+        subword_closed=False,
+        in_trc_vlg=False,
+        note="the paper's canonical hard language",
+    ),
+    CatalogEntry(
+        name="a-b-c",
+        regex="a*bc*",
+        complexity="NP-complete",
+        in_trc=False,
+        finite=False,
+        subword_closed=False,
+        in_trc_vlg=True,
+        note="NP-complete on db-graphs but polynomial on vl-graphs (§4.1)",
+    ),
+    CatalogEntry(
+        name="fig1-language",
+        regex="a*b(cc)*d",
+        complexity="NP-complete",
+        in_trc=False,
+        finite=False,
+        subword_closed=False,
+        note="the Figure 1 reduction example",
+    ),
+    CatalogEntry(
+        name="ab-star",
+        regex="(ab)*",
+        complexity="NP-complete",
+        in_trc=False,
+        finite=False,
+        subword_closed=False,
+        in_trc_vlg=True,
+        note="polynomial for vertex-labeled graphs, NP-complete otherwise",
+    ),
+    CatalogEntry(
+        name="a-bplus-c",
+        regex="a*b^+c*",
+        complexity="NP-complete",
+        in_trc=False,
+        finite=False,
+        subword_closed=False,
+        note="mandatory b-block: same obstruction as a*bc*",
+    ),
+    # -- tractable infinite languages (trC) ----------------------------------------
+    CatalogEntry(
+        name="example1",
+        regex="a*(bb^+ + eps)c*",
+        complexity="NL-complete",
+        in_trc=True,
+        finite=False,
+        subword_closed=False,
+        note="Example 1: tractable although a*bc* is not",
+    ),
+    CatalogEntry(
+        name="example2",
+        regex="a(c{2,} + eps)(a+b)*(ac)?a*",
+        complexity="NL-complete",
+        in_trc=True,
+        finite=False,
+        subword_closed=False,
+        note="Example 2 / Figure 2; three looping components",
+    ),
+    CatalogEntry(
+        name="all-words",
+        regex="(a+b)*",
+        complexity="NL-complete",
+        in_trc=True,
+        finite=False,
+        subword_closed=True,
+        in_trc_vlg=True,
+        note="plain reachability",
+    ),
+    CatalogEntry(
+        name="a-star",
+        regex="a*",
+        complexity="NL-complete",
+        in_trc=True,
+        finite=False,
+        subword_closed=True,
+        in_trc_vlg=True,
+        note="single-label reachability",
+    ),
+    CatalogEntry(
+        name="a-star-c-star",
+        regex="a*c*",
+        complexity="NL-complete",
+        in_trc=True,
+        finite=False,
+        subword_closed=True,
+        in_trc_vlg=True,
+        note="subword-closed, hence trC(0) (Mendelzon-Wood fragment)",
+    ),
+    CatalogEntry(
+        name="a-optb-c",
+        regex="a*(b + eps)c*",
+        complexity="NL-complete",
+        in_trc=True,
+        finite=False,
+        subword_closed=True,
+        note="optional middle letter keeps tractability; deleting any "
+        "letters of a^i b? c^j stays in the language",
+    ),
+    CatalogEntry(
+        name="class-star",
+        regex="[ab]*",
+        complexity="NL-complete",
+        in_trc=True,
+        finite=False,
+        subword_closed=True,
+        in_trc_vlg=True,
+        note="character-class star",
+    ),
+    CatalogEntry(
+        name="b-run",
+        regex="b{3,}",
+        complexity="NL-complete",
+        in_trc=True,
+        finite=False,
+        subword_closed=False,
+        note="A>=k with a mandatory head absorbed into the lead word",
+    ),
+    CatalogEntry(
+        name="word-then-star",
+        regex="ab^+",
+        complexity="NL-complete",
+        in_trc=True,
+        finite=False,
+        subword_closed=False,
+        note="uv*w shape from the Lemma 17 hardness construction",
+    ),
+    # -- finite languages (AC0) ------------------------------------------------------
+    CatalogEntry(
+        name="single-word",
+        regex="abc",
+        complexity="AC0",
+        in_trc=True,
+        finite=True,
+        subword_closed=False,
+        note="one fixed word",
+    ),
+    CatalogEntry(
+        name="two-words",
+        regex="ab + ba",
+        complexity="AC0",
+        in_trc=True,
+        finite=True,
+        subword_closed=False,
+        note="finite union",
+    ),
+    CatalogEntry(
+        name="short-words",
+        regex="(a + b)(a + b)?",
+        complexity="AC0",
+        in_trc=True,
+        finite=True,
+        subword_closed=False,
+        note="all words of length 1-2",
+    ),
+    CatalogEntry(
+        name="empty-language",
+        regex="∅",
+        complexity="AC0",
+        in_trc=True,
+        finite=True,
+        subword_closed=True,
+        note="degenerate: no path qualifies",
+    ),
+    CatalogEntry(
+        name="epsilon-only",
+        regex="eps",
+        complexity="AC0",
+        in_trc=True,
+        finite=True,
+        subword_closed=True,
+        note="only the empty path qualifies",
+    ),
+)
+
+
+def entries():
+    """All catalog entries."""
+    return ENTRIES
+
+
+def by_name(name):
+    """Look up an entry by name (raises KeyError when absent)."""
+    for entry in ENTRIES:
+        if entry.name == name:
+            return entry
+    raise KeyError(name)
+
+
+def tractable_entries():
+    """Entries with polynomial RSPQ (AC0 or NL-complete)."""
+    return tuple(e for e in ENTRIES if e.complexity != "NP-complete")
+
+
+def hard_entries():
+    """Entries with NP-complete RSPQ."""
+    return tuple(e for e in ENTRIES if e.complexity == "NP-complete")
+
+
+def infinite_trc_entries():
+    """Entries in trC that are infinite (the NL-complete class)."""
+    return tuple(e for e in ENTRIES if e.complexity == "NL-complete")

@@ -1,0 +1,139 @@
+"""Command-line interface: classify languages and run queries.
+
+Usage (also via ``python -m repro``)::
+
+    repro classify 'a*(bb+ + eps)c*'
+    repro witness 'a*ba*'
+    repro solve 'a*c*' graph.txt 0 5
+    repro psitr 'a*(bb+ + eps)c*'
+
+The graph file uses the text format of :mod:`repro.graphs.io`
+(``e source label target`` per line).  Exit status is 0 on success, 1
+for "no path" answers, 2 for usage or input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .errors import ReproError
+from .languages import language
+from .core.trichotomy import classify
+from .core.witness import find_hardness_witness
+from .core.psitr import decompose
+from .core.solver import RspqSolver
+from .graphs import io as graph_io
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regular simple path queries: the PODS'13 trichotomy.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = sub.add_parser(
+        "classify", help="classify RSPQ(L) per Theorem 2"
+    )
+    p_classify.add_argument("regex", help="regular expression for L")
+
+    p_witness = sub.add_parser(
+        "witness", help="print a Property-(1) hardness witness (L ∉ trC)"
+    )
+    p_witness.add_argument("regex")
+
+    p_psitr = sub.add_parser(
+        "psitr", help="print a Ψtr decomposition (L ∈ trC)"
+    )
+    p_psitr.add_argument("regex")
+
+    p_solve = sub.add_parser(
+        "solve", help="find a shortest simple L-labeled path in a graph"
+    )
+    p_solve.add_argument("regex")
+    p_solve.add_argument("graph", help="path to a graph file (text format)")
+    p_solve.add_argument("source")
+    p_solve.add_argument("target")
+    p_solve.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="step budget for the exponential solver (NP-complete L)",
+    )
+    return parser
+
+
+def _cmd_classify(args):
+    lang = language(args.regex)
+    result = classify(lang.dfa, with_witness=False)
+    print("language   : %s" % args.regex)
+    print("minimal DFA: %d states over {%s}" % (
+        lang.num_states, ", ".join(sorted(lang.alphabet))))
+    print("finite     : %s" % result.finite)
+    print("in trC     : %s" % result.in_trc)
+    print("RSPQ(L) is : %s" % result.complexity_class.value)
+    return 0
+
+
+def _cmd_witness(args):
+    lang = language(args.regex)
+    witness = find_hardness_witness(lang.dfa)
+    if witness is None:
+        print("L is in trC — RSPQ(L) is tractable, no hardness witness.")
+        return 1
+    print("Property-(1) witness (drives the Lemma 5 reduction):")
+    for name, word in zip(
+        ("wl", "w1", "wm", "w2", "wr"), witness.words()
+    ):
+        print("  %s = %r" % (name, word))
+    return 0
+
+
+def _cmd_psitr(args):
+    lang = language(args.regex)
+    expression = decompose(lang)
+    print(expression)
+    return 0
+
+
+def _cmd_solve(args):
+    lang = language(args.regex)
+    graph = graph_io.load(args.graph)
+    solver = RspqSolver(lang, exact_budget=args.budget)
+    result = solver.solve(graph, args.source, args.target)
+    print("strategy: %s" % result.strategy)
+    if not result.found:
+        print("no simple path labeled in L from %s to %s"
+              % (args.source, args.target))
+        return 1
+    print("length  : %d" % result.length)
+    print("word    : %s" % result.path.word)
+    print("path    : %s" % " -> ".join(str(v) for v in result.path.vertices))
+    return 0
+
+
+_COMMANDS = {
+    "classify": _cmd_classify,
+    "witness": _cmd_witness,
+    "psitr": _cmd_psitr,
+    "solve": _cmd_solve,
+}
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 2
+    except OSError as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Core contribution: trC, the trichotomy, Ψtr, and the tractable solver."""
+
+from .trc import is_in_trc, find_trc_counterexample, is_in_trc_zero
+from .trichotomy import Classification, ComplexityClass, classify
+from .witness import HardnessWitness, find_hardness_witness, verify_witness
+from .nice_paths import TractableSolver, path_weight
+from .summary_solver import SummarySolver
+from .solver import RspqResult, RspqSolver, solve_rspq
+from .summary import Summary, annotate, summarize
+from . import psitr, vlg
+
+__all__ = [
+    "Classification",
+    "Summary",
+    "annotate",
+    "summarize",
+    "ComplexityClass",
+    "HardnessWitness",
+    "RspqResult",
+    "RspqSolver",
+    "SummarySolver",
+    "TractableSolver",
+    "path_weight",
+    "classify",
+    "find_hardness_witness",
+    "find_trc_counterexample",
+    "is_in_trc",
+    "is_in_trc_zero",
+    "psitr",
+    "solve_rspq",
+    "verify_witness",
+]

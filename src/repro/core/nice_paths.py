@@ -1,0 +1,713 @@
+"""Polynomial simple-path search for trC languages (Lemmas 12-16).
+
+The paper's NL algorithm enumerates *candidate summaries* — logarithmic
+descriptions of a path where each long stay inside an automaton
+component is compressed to ``Σ*_C`` — and completes each candidate into
+a *nice path* whose compressed gaps are filled with shortest
+component-internal paths under the ``acc(i)`` disjointness discipline of
+Definition 4.
+
+This module implements the deterministic, practical rendition driven by
+the Ψtr decomposition of L (Theorem 4 and the remark following it):
+
+* a Ψtr-sequence ``w0 (A1≥k1+ε) … (Am≥km+ε) w'`` fixes the *shape* of a
+  summary: concrete anchored edges for the words and for the first k and
+  last k letters of each star term, with a ``A*``-gap in between;
+* candidate summaries are enumerated by walking actual graph edges (so
+  only realizable anchor tuples are ever considered), pruned by a
+  product reachability table (sequence-NFA × graph);
+* each complete anchor assignment is completed gap by gap, in path
+  order, with BFS-shortest ``A*``-paths avoiding all anchored vertices
+  and all earlier ``acc(i)`` balls — exactly Definition 4;
+* the minimum over all completions is returned.  By the (adapted)
+  Lemma 14, the shortest simple L-labeled path is *nice*, so its own
+  anchors appear in the enumeration and its completion is found; hence
+  the algorithm is exact and returns a shortest simple L-labeled path.
+
+Soundness never depends on the adaptation: every produced path is
+checked simple and L-labeled.  Completeness is additionally
+cross-validated against the exponential exact solver in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import GraphError, NotInTrCError
+from ..graphs.dbgraph import Path
+from ..languages import Language
+from .psitr import (
+    OptionalWordTerm,
+    PsitrExpression,
+    PsitrSequence,
+    StarTerm,
+    decompose,
+)
+
+# -- internal segment normal form ------------------------------------------------
+
+_WORD = "word"       # mandatory word (lead / trail)
+_OPTWORD = "optword"  # (w + ε)
+_STAR = "star"       # (A≥k + ε)
+
+
+def _segments_of(sequence):
+    """Normalise a PsitrSequence into the solver's segment list."""
+    segments = []
+    if sequence.lead:
+        segments.append((_WORD, sequence.lead))
+    for term in sequence.terms:
+        if isinstance(term, OptionalWordTerm):
+            segments.append((_OPTWORD, term.word))
+        elif isinstance(term, StarTerm):
+            segments.append((_STAR, (term.symbols, term.min_count)))
+        else:  # pragma: no cover - PsitrSequence already validates
+            raise TypeError("unknown term %r" % (term,))
+    if sequence.trail:
+        segments.append((_WORD, sequence.trail))
+    return segments
+
+
+def _min_remaining(segments):
+    """Minimal number of edges each segment suffix must still contribute."""
+    totals = [0] * (len(segments) + 1)
+    for index in range(len(segments) - 1, -1, -1):
+        kind, payload = segments[index]
+        contribution = len(payload) if kind == _WORD else 0
+        totals[index] = totals[index + 1] + contribution
+    return totals
+
+
+# -- sequence NFA for live-set pruning --------------------------------------------
+
+
+class _SequenceNfa:
+    """Tiny positional NFA over a segment list, used only for pruning.
+
+    States are integers.  ``letter_arcs[state]`` is a list of
+    ``(symbols, target)``; ``eps_arcs[state]`` a list of targets.  The
+    DFS knows exactly which state it is in at each anchored position, so
+    the live table ``(vertex, state)`` prunes both prefix feasibility
+    (from x) and suffix feasibility (to y).
+    """
+
+    def __init__(self, segments):
+        self.letter_arcs = []
+        self.eps_arcs = []
+        self.entry = []  # entry state of each segment
+        self.star_loop = {}  # segment index -> looping state
+
+        def new_state():
+            self.letter_arcs.append([])
+            self.eps_arcs.append([])
+            return len(self.letter_arcs) - 1
+
+        current = new_state()
+        self.start = current
+        for index, (kind, payload) in enumerate(segments):
+            self.entry.append(current)
+            if kind in (_WORD, _OPTWORD):
+                begin = current
+                for symbol in payload:
+                    nxt = new_state()
+                    self.letter_arcs[current].append(
+                        (frozenset((symbol,)), nxt)
+                    )
+                    current = nxt
+                if kind == _OPTWORD:
+                    self.eps_arcs[begin].append(current)
+            else:
+                symbols, min_count = payload
+                begin = current
+                for _ in range(min_count):
+                    nxt = new_state()
+                    self.letter_arcs[current].append((symbols, nxt))
+                    current = nxt
+                # self-loop for additional letters
+                self.letter_arcs[current].append((symbols, current))
+                self.star_loop[index] = current
+                after = new_state()
+                self.eps_arcs[begin].append(after)
+                self.eps_arcs[current].append(after)
+                current = after
+        self.entry.append(current)
+        self.final = current
+        self.num_states = len(self.letter_arcs)
+
+    def eps_closure_forward(self, states):
+        seen = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for target in self.eps_arcs[state]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen
+
+    def predecessors(self):
+        """Reverse arcs: list per state of (symbols, source) and ε sources."""
+        rev_letters = [[] for _ in range(self.num_states)]
+        rev_eps = [[] for _ in range(self.num_states)]
+        for state in range(self.num_states):
+            for symbols, target in self.letter_arcs[state]:
+                rev_letters[target].append((symbols, state))
+            for target in self.eps_arcs[state]:
+                rev_eps[target].append(state)
+        return rev_letters, rev_eps
+
+
+def _live_table(graph, nfa, source, target):
+    """Set of ``(vertex, state)`` pairs on some x→y completion walk.
+
+    Forward product reachability from ``(source, start)`` intersected
+    with backward reachability from ``(target, final)``; simplicity is
+    ignored (this is a pruning overapproximation).
+    """
+    forward = set()
+    stack = []
+    for state in nfa.eps_closure_forward((nfa.start,)):
+        node = (source, state)
+        forward.add(node)
+        stack.append(node)
+    while stack:
+        vertex, state = stack.pop()
+        for symbols, nfa_target in nfa.letter_arcs[state]:
+            for label, graph_target in graph.out_edges(vertex):
+                if label not in symbols:
+                    continue
+                for closed in nfa.eps_closure_forward((nfa_target,)):
+                    node = (graph_target, closed)
+                    if node not in forward:
+                        forward.add(node)
+                        stack.append(node)
+    rev_letters, rev_eps = nfa.predecessors()
+    backward = set()
+    stack = []
+
+    def add_backward(node):
+        if node not in backward:
+            backward.add(node)
+            stack.append(node)
+
+    add_backward((target, nfa.final))
+    while stack:
+        vertex, state = stack.pop()
+        for eps_source in rev_eps[state]:
+            add_backward((vertex, eps_source))
+        for symbols, nfa_source in rev_letters[state]:
+            for label, graph_source in graph.in_edges(vertex):
+                if label in symbols:
+                    add_backward((graph_source, nfa_source))
+    return forward & backward
+
+
+# -- candidate anchors and completion ------------------------------------------------
+
+
+@dataclass
+class _Run:
+    """A fully pinned stretch of the candidate path."""
+
+    vertices: list
+    labels: list
+
+
+@dataclass
+class _Gap:
+    """A compressed ``A*`` stretch between two pinned vertices."""
+
+    symbols: frozenset
+
+
+class SolverStats:
+    """Work counters exposed for the benchmarks."""
+
+    def __init__(self):
+        self.candidates = 0
+        self.completions = 0
+        self.dfs_steps = 0
+        self.gap_bfs = 0
+
+    def __repr__(self):
+        return (
+            "SolverStats(candidates=%d, completions=%d, dfs_steps=%d, "
+            "gap_bfs=%d)"
+            % (self.candidates, self.completions, self.dfs_steps, self.gap_bfs)
+        )
+
+
+def path_weight(path, weight_fn):
+    """Total weight of a path under ``weight_fn(u, label, v) -> R+``."""
+    return sum(weight_fn(u, label, v) for u, label, v in path.steps())
+
+
+def _gap_distances(graph, entry, symbols, blocked, weight_fn, stats):
+    """Shortest distances from ``entry`` inside a gap's restrictions.
+
+    Unweighted gaps use BFS; weighted gaps use Dijkstra (the paper's
+    remark that the algorithm generalises to db-graphs weighted by
+    ``E → R+``).  Returns ``(dist, parent)``.
+    """
+    stats.gap_bfs += 1
+    dist = {entry: 0}
+    parent = {}
+    if weight_fn is None:
+        queue = deque([entry])
+        while queue:
+            current = queue.popleft()
+            for label, target in graph.out_edges(current):
+                if label not in symbols:
+                    continue
+                if target in blocked or target in dist:
+                    continue
+                dist[target] = dist[current] + 1
+                parent[target] = (current, label)
+                queue.append(target)
+        return dist, parent
+    import heapq
+
+    heap = [(0, repr(entry), entry)]
+    settled = set()
+    while heap:
+        weight, _tie, current = heapq.heappop(heap)
+        if current in settled:
+            continue
+        settled.add(current)
+        for label, target in graph.out_edges(current):
+            if label not in symbols or target in blocked:
+                continue
+            step = weight_fn(current, label, target)
+            if step <= 0:
+                raise GraphError(
+                    "edge weights must be strictly positive, got %r for "
+                    "(%r, %r, %r)" % (step, current, label, target)
+                )
+            candidate = weight + step
+            if target not in dist or candidate < dist[target]:
+                dist[target] = candidate
+                parent[target] = (current, label)
+                heapq.heappush(heap, (candidate, repr(target), target))
+    return dist, parent
+
+
+def _complete_candidate(graph, pieces, stats, weight_fn=None):
+    """Fill the gaps of a pinned candidate (Definition 4 discipline).
+
+    ``pieces`` alternates _Run and _Gap, starting and ending with runs.
+    Returns a simple :class:`Path` or ``None`` when some gap cannot be
+    filled.
+    """
+    pinned = set()
+    for piece in pieces:
+        if isinstance(piece, _Run):
+            pinned.update(piece.vertices)
+    acc_union = set()
+    vertices = list(pieces[0].vertices)
+    labels = list(pieces[0].labels)
+    index = 1
+    while index < len(pieces):
+        gap = pieces[index]
+        next_run = pieces[index + 1]
+        entry = vertices[-1]
+        exit_vertex = next_run.vertices[0]
+        blocked = (pinned - {entry, exit_vertex}) | acc_union
+        dist, parent = _gap_distances(
+            graph, entry, gap.symbols, blocked, weight_fn, stats
+        )
+        found = dist.get(exit_vertex)
+        if found is None or exit_vertex == entry:
+            return None
+        # acc(i): everything within distance `found` under the gap's
+        # restrictions (P_i paths of size w(p) <= length_i, Definition 4).
+        acc_union.update(
+            vertex for vertex, d in dist.items() if d <= found
+        )
+        # Reconstruct the shortest gap path.
+        gap_labels = deque()
+        gap_vertices = deque()
+        cursor = exit_vertex
+        while cursor != entry:
+            previous, label = parent[cursor]
+            gap_vertices.appendleft(cursor)
+            gap_labels.appendleft(label)
+            cursor = previous
+        vertices.extend(gap_vertices)
+        labels.extend(gap_labels)
+        # Append the following run (its first vertex is already placed).
+        vertices.extend(next_run.vertices[1:])
+        labels.extend(next_run.labels)
+        index += 2
+    path = Path(tuple(vertices), tuple(labels))
+    if not path.is_simple():  # pragma: no cover - guaranteed by discipline
+        return None
+    return path
+
+
+class _SequenceSearch:
+    """Anchored DFS for one Ψtr-sequence on one query."""
+
+    def __init__(self, graph, sequence, source, target, stats, budget=None,
+                 weight_fn=None, use_live_pruning=True):
+        self.graph = graph
+        self.segments = _segments_of(sequence)
+        self.source = source
+        self.target = target
+        self.stats = stats
+        self.budget = budget
+        self.weight_fn = weight_fn
+        self.use_live_pruning = use_live_pruning
+        self.nfa = _SequenceNfa(self.segments)
+        if use_live_pruning:
+            self.live = _live_table(graph, self.nfa, source, target)
+        else:
+            self.live = None
+        self.min_remaining = _min_remaining(self.segments)
+        self.best = None
+        self.best_metric = None
+        self._reach_cache = {}
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _alive(self, vertex, state):
+        if self.live is None:
+            return True
+        return (vertex, state) in self.live
+
+    def _metric(self, path):
+        if self.weight_fn is None:
+            return len(path)
+        return path_weight(path, self.weight_fn)
+
+    def _reach(self, vertex, symbols):
+        """Vertices reachable from ``vertex`` via ≥1 edges in ``symbols``
+        (unrestricted — a pruning superset)."""
+        key = (vertex, symbols)
+        cached = self._reach_cache.get(key)
+        if cached is not None:
+            return cached
+        seen = set()
+        queue = deque()
+        for label, nxt in self.graph.out_edges(vertex):
+            if label in symbols and nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+        while queue:
+            current = queue.popleft()
+            for label, nxt in self.graph.out_edges(current):
+                if label in symbols and nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        self._reach_cache[key] = seen
+        return seen
+
+    def _candidate_length(self, pieces):
+        """Pinned length so far (gaps count 1 minimum each)."""
+        total = 0
+        for piece in pieces:
+            if isinstance(piece, _Run):
+                total += len(piece.labels)
+            else:
+                total += 1
+        return total
+
+    # -- DFS ----------------------------------------------------------------------
+
+    def run(self, best_bound=None):
+        if best_bound is not None:
+            self.best_bound = best_bound
+        else:
+            self.best_bound = None
+        start_run = _Run([self.source], [])
+        self._search(0, self.nfa.start, [start_run], {self.source})
+        return self.best
+
+    def _too_long(self, pieces, seg_index):
+        if self.weight_fn is not None:
+            # Edge counts do not bound weights; skip the length prune.
+            return False
+        if self.best is not None:
+            bound = len(self.best)
+        elif self.best_bound is not None:
+            bound = self.best_bound
+        else:
+            return False
+        return (
+            self._candidate_length(pieces) + self.min_remaining[seg_index]
+            >= bound
+        )
+
+    def _search(self, seg_index, state, pieces, pinned):
+        self.stats.dfs_steps += 1
+        if self.budget is not None and self.stats.dfs_steps > self.budget:
+            return
+        if self._too_long(pieces, seg_index):
+            return
+        current = pieces[-1].vertices[-1]
+        if state is not None and not self._alive(current, state):
+            return
+        if seg_index == len(self.segments):
+            if current != self.target:
+                return
+            self.stats.candidates += 1
+            path = _complete_candidate(
+                self.graph, pieces, self.stats, weight_fn=self.weight_fn
+            )
+            self.stats.completions += 1
+            if path is not None:
+                metric = self._metric(path)
+                if self.best is None or metric < self.best_metric:
+                    self.best = path
+                    self.best_metric = metric
+            return
+        kind, payload = self.segments[seg_index]
+        if kind == _WORD:
+            self._follow_word(
+                seg_index, state, pieces, pinned, payload, optional=False
+            )
+        elif kind == _OPTWORD:
+            self._follow_word(
+                seg_index, state, pieces, pinned, payload, optional=True
+            )
+        else:
+            self._follow_star(seg_index, state, pieces, pinned, payload)
+
+    def _next_entry_state(self, seg_index):
+        return self.nfa.entry[seg_index + 1]
+
+    def _follow_word(self, seg_index, state, pieces, pinned, word, optional):
+        if optional:
+            # Skip branch: ε for (w + ε).
+            self._search(
+                seg_index + 1, self._next_entry_state(seg_index), pieces, pinned
+            )
+        self._follow_letters(
+            seg_index,
+            state,
+            pieces,
+            pinned,
+            word,
+            0,
+            lambda pcs, pnd: self._search(
+                seg_index + 1, self._next_entry_state(seg_index), pcs, pnd
+            ),
+        )
+
+    def _follow_letters(
+        self, seg_index, state, pieces, pinned, word, offset, continuation
+    ):
+        """Pin edges spelling ``word[offset:]`` then call continuation."""
+        if offset == len(word):
+            continuation(pieces, pinned)
+            return
+        symbol = word[offset]
+        run = pieces[-1]
+        current = run.vertices[-1]
+        next_state = self._letter_target(state, symbol)
+        for target in sorted(
+            self.graph.successors(current, symbol), key=repr
+        ):
+            if target in pinned:
+                continue
+            if next_state is not None and not self._alive(target, next_state):
+                continue
+            run.vertices.append(target)
+            run.labels.append(symbol)
+            pinned.add(target)
+            self._follow_letters(
+                seg_index,
+                next_state,
+                pieces,
+                pinned,
+                word,
+                offset + 1,
+                continuation,
+            )
+            pinned.discard(target)
+            run.vertices.pop()
+            run.labels.pop()
+
+    def _letter_target(self, state, symbol):
+        if state is None:
+            return None
+        for symbols, target in self.nfa.letter_arcs[state]:
+            if symbol in symbols:
+                return target
+        return None
+
+    def _class_targets(self, state, symbol):
+        if state is None:
+            return [None]
+        return [
+            target
+            for symbols, target in self.nfa.letter_arcs[state]
+            if symbol in symbols
+        ] or [None]
+
+    def _follow_star(self, seg_index, state, pieces, pinned, payload):
+        symbols, min_count = payload
+        after_state = self._next_entry_state(seg_index)
+        # Branch 1: ε.
+        self._search(seg_index + 1, after_state, pieces, pinned)
+        # Branch 2: exact pinned matches of length m in [min_count, 2k].
+        for length in range(min_count, 2 * min_count + 1):
+            self._follow_class_letters(
+                state,
+                pieces,
+                pinned,
+                symbols,
+                length,
+                lambda pcs, pnd: self._search(
+                    seg_index + 1, after_state, pcs, pnd
+                ),
+            )
+        # Branch 3: k anchors + gap + k anchors (total length >= 2k+1).
+        loop_state = self.nfa.star_loop.get(seg_index)
+
+        def after_head(pcs, pnd):
+            head_vertex = pcs[-1].vertices[-1]
+            reachable = self._reach(head_vertex, symbols)
+            for exit_vertex in sorted(reachable, key=repr):
+                if exit_vertex in pnd:
+                    continue
+                if loop_state is not None and not self._alive(
+                    exit_vertex, loop_state
+                ):
+                    continue
+                gap = _Gap(symbols)
+                new_run = _Run([exit_vertex], [])
+                pcs.append(gap)
+                pcs.append(new_run)
+                pnd.add(exit_vertex)
+                self._follow_class_letters(
+                    loop_state,
+                    pcs,
+                    pnd,
+                    symbols,
+                    min_count,
+                    lambda pcs2, pnd2: self._search(
+                        seg_index + 1, after_state, pcs2, pnd2
+                    ),
+                )
+                pnd.discard(exit_vertex)
+                pcs.pop()
+                pcs.pop()
+
+        self._follow_class_letters(
+            state, pieces, pinned, symbols, min_count, after_head
+        )
+
+    def _follow_class_letters(
+        self, state, pieces, pinned, symbols, count, continuation
+    ):
+        """Pin ``count`` edges with labels in ``symbols``."""
+        if count == 0:
+            continuation(pieces, pinned)
+            return
+        run = pieces[-1]
+        current = run.vertices[-1]
+        for label, target in sorted(
+            self.graph.out_edges(current), key=repr
+        ):
+            if label not in symbols or target in pinned:
+                continue
+            next_state = self._letter_target(state, label)
+            if next_state is not None and not self._alive(target, next_state):
+                continue
+            run.vertices.append(target)
+            run.labels.append(label)
+            pinned.add(target)
+            self._follow_class_letters(
+                next_state, pieces, pinned, symbols, count - 1, continuation
+            )
+            pinned.discard(target)
+            run.vertices.pop()
+            run.labels.pop()
+
+
+class TractableSolver:
+    """Shortest simple L-labeled paths for ``L ∈ trC`` in polynomial time.
+
+    Parameters
+    ----------
+    language:
+        A :class:`~repro.languages.Language` (or regex string) in trC.
+    expression:
+        Optional pre-computed :class:`PsitrExpression`; by default the
+        language is decomposed via :func:`repro.core.psitr.decompose`
+        (syntactic extraction, then validated synthesis).
+    dfs_budget:
+        Optional cap on DFS steps per query (None = unlimited).
+    """
+
+    def __init__(self, language, expression=None, dfs_budget=None,
+                 use_live_pruning=True):
+        if isinstance(language, str):
+            language = Language(language)
+        self.language = language
+        if expression is None:
+            expression = decompose(language)
+        if not isinstance(expression, PsitrExpression):
+            raise TypeError("expression must be a PsitrExpression")
+        self.expression = expression
+        self.dfs_budget = dfs_budget
+        self.use_live_pruning = use_live_pruning
+        self.last_stats = None
+
+    def shortest_simple_path(self, graph, source, target, weight_fn=None):
+        """A shortest simple L-labeled path, or ``None``.
+
+        Runs the anchored search for every Ψtr-sequence of the
+        decomposition and returns the overall shortest completion.  The
+        result is always verified simple and L-labeled.
+
+        ``weight_fn(u, label, v) -> R+`` switches to weighted-shortest
+        semantics (the paper's E → R+ generalisation); weights must be
+        strictly positive.
+        """
+        graph.require_vertex(source)
+        graph.require_vertex(target)
+        stats = SolverStats()
+        self.last_stats = stats
+        if source == target:
+            if self.language.accepts(""):
+                return Path.single(source)
+            return None
+        best = None
+        best_metric = None
+        for sequence in self.expression.sequences:
+            search = _SequenceSearch(
+                graph, sequence, source, target, stats,
+                budget=self.dfs_budget, weight_fn=weight_fn,
+                use_live_pruning=self.use_live_pruning,
+            )
+            found = search.run(
+                best_bound=(
+                    len(best)
+                    if best is not None and weight_fn is None
+                    else None
+                )
+            )
+            if found is not None:
+                metric = (
+                    len(found)
+                    if weight_fn is None
+                    else path_weight(found, weight_fn)
+                )
+                if best is None or metric < best_metric:
+                    best = found
+                    best_metric = metric
+        if best is not None:
+            if not best.is_simple():
+                raise GraphError("solver produced a non-simple path (bug)")
+            if not self.language.accepts(best.word):
+                raise GraphError(
+                    "solver produced a path outside L (bug): %r" % best.word
+                )
+        return best
+
+    def exists(self, graph, source, target):
+        """Decision variant of RSPQ(L)."""
+        return self.shortest_simple_path(graph, source, target) is not None

@@ -1,0 +1,638 @@
+"""The Ψtr regular-expression fragment (Section 3.5, Theorem 4).
+
+Ψtr-terms are ``(w + ε)`` and ``(A≥k + ε)``; a Ψtr-sequence is a
+concatenation ``w φ1 … φl w′`` of terms between two plain words; the
+fragment Ψtr is the set of finite disjunctions of Ψtr-sequences.
+Theorem 4: L ∈ trC iff L is recognised by a Ψtr expression.
+
+This module provides:
+
+* :class:`StarTerm` / :class:`OptionalWordTerm` / :class:`PsitrSequence`
+  / :class:`PsitrExpression` — the fragment's AST, compilable to NFAs;
+* :func:`extract` — a syntactic extractor turning an ordinary regex AST
+  into an equivalent Ψtr expression when the shape allows (this is how
+  the tractable solver obtains its anchor decompositions in practice);
+* :func:`synthesize` — a best-effort DFA → Ψtr synthesizer in the spirit
+  of Lemma 18 (component chains with validated repetition bounds); every
+  result is *verified equivalent* to the input language before being
+  returned, so a successful synthesis is always correct.
+
+The anchored simple-path solver (:mod:`repro.core.nice_paths`) consumes
+:class:`PsitrSequence` objects directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from ..errors import NotInTrCError, ReproError
+from ..languages import Language
+from ..languages.nfa import NFA, empty_nfa, epsilon_nfa, nfa_from_ast, word_nfa
+from ..languages.regex import ast as rx
+from ..languages.regex import builder
+from ..languages.analysis import (
+    internal_alphabet,
+    looping_states,
+    strongly_connected_components,
+)
+from .trc import _as_minimal_dfa, is_in_trc
+
+#: Cap on the number of sequences produced by distributing unions /
+#: character classes during extraction.
+_MAX_SEQUENCES = 512
+
+
+@dataclass(frozen=True)
+class StarTerm:
+    """The term ``(A≥k + ε)``: the empty word or ≥ k letters from A."""
+
+    symbols: FrozenSet[str]
+    min_count: int
+
+    def __post_init__(self):
+        if self.min_count < 1:
+            raise ValueError("min_count must be >= 1 (A≥0 + ε is A* = A≥1 + ε)")
+        if not self.symbols:
+            raise ValueError("StarTerm needs at least one symbol")
+
+    def to_regex(self):
+        """The term as an ordinary regex AST."""
+        return builder.optional(
+            builder.at_least(self.symbols, self.min_count)
+        )
+
+    def __str__(self):
+        return "([%s]>=%d + ε)" % ("".join(sorted(self.symbols)), self.min_count)
+
+
+@dataclass(frozen=True)
+class OptionalWordTerm:
+    """The term ``(w + ε)`` for a non-empty concrete word ``w``."""
+
+    word: str
+
+    def __post_init__(self):
+        if not self.word:
+            raise ValueError("OptionalWordTerm needs a non-empty word")
+
+    def to_regex(self):
+        """The term as an ordinary regex AST."""
+        return builder.optional(builder.word(self.word))
+
+    def __str__(self):
+        return "(%s + ε)" % self.word
+
+
+@dataclass(frozen=True)
+class PsitrSequence:
+    """A Ψtr-sequence ``lead · φ1 … φl · trail``."""
+
+    lead: str
+    terms: Tuple
+    trail: str
+
+    def __post_init__(self):
+        for term in self.terms:
+            if not isinstance(term, (StarTerm, OptionalWordTerm)):
+                raise TypeError("invalid Ψtr term %r" % (term,))
+
+    def to_regex(self):
+        """The sequence as an ordinary regex AST."""
+        parts = [builder.word(self.lead)]
+        parts.extend(term.to_regex() for term in self.terms)
+        parts.append(builder.word(self.trail))
+        return builder.concat(*parts)
+
+    def to_nfa(self):
+        """Compile the sequence to an NFA."""
+        nfa = word_nfa(self.lead)
+        for term in self.terms:
+            nfa = nfa.concat(nfa_from_ast(term.to_regex()))
+        return nfa.concat(word_nfa(self.trail))
+
+    def alphabet(self):
+        """Letters occurring anywhere in the sequence."""
+        letters = set(self.lead) | set(self.trail)
+        for term in self.terms:
+            if isinstance(term, StarTerm):
+                letters |= term.symbols
+            else:
+                letters |= set(term.word)
+        return letters
+
+    def min_word_length(self):
+        """Length of the shortest word matching the sequence."""
+        return len(self.lead) + len(self.trail)
+
+    def __str__(self):
+        middle = " ".join(str(term) for term in self.terms)
+        pieces = [piece for piece in (self.lead, middle, self.trail) if piece]
+        return " ".join(pieces) if pieces else "ε"
+
+
+@dataclass(frozen=True)
+class PsitrExpression:
+    """A disjunction of Ψtr-sequences — a full Ψtr expression."""
+
+    sequences: Tuple[PsitrSequence, ...]
+
+    def to_regex(self):
+        """The whole expression as an ordinary regex AST."""
+        if not self.sequences:
+            return rx.Empty()
+        return builder.union(*(seq.to_regex() for seq in self.sequences))
+
+    def to_nfa(self):
+        """Compile the expression to an NFA (union of sequences)."""
+        if not self.sequences:
+            return empty_nfa()
+        nfa = self.sequences[0].to_nfa()
+        for sequence in self.sequences[1:]:
+            nfa = nfa.union(sequence.to_nfa())
+        return nfa
+
+    def to_language(self, alphabet=None):
+        """Compile to a :class:`Language` (minimal DFA built)."""
+        return Language(self.to_nfa(), alphabet=alphabet)
+
+    def alphabet(self):
+        """Letters occurring anywhere in the expression."""
+        letters = set()
+        for sequence in self.sequences:
+            letters |= sequence.alphabet()
+        return letters
+
+    def __str__(self):
+        if not self.sequences:
+            return "∅"
+        return "  +  ".join(str(seq) for seq in self.sequences)
+
+
+def equivalent_to(expression, lang_or_dfa):
+    """True iff the Ψtr expression recognises exactly the language."""
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    compiled = Language(expression.to_nfa(), alphabet=dfa.alphabet)
+    return compiled.dfa.equivalent(dfa)
+
+
+# =========================================================================
+# Extraction: ordinary regex AST -> Ψtr expression (syntactic)
+# =========================================================================
+
+
+class _NotPsitr(Exception):
+    """Internal: the AST shape does not fit the fragment."""
+
+
+def _atom_class(node):
+    """Letter set of an atomic node, or None.
+
+    Unions of single letters (``a + b``) count as character classes,
+    matching the paper's habit of writing ``(a + b)*`` for ``[ab]*``.
+    """
+    if isinstance(node, rx.Literal):
+        return frozenset((node.symbol,))
+    if isinstance(node, rx.CharClass):
+        return frozenset(node.symbols)
+    if isinstance(node, rx.Union):
+        letters = set()
+        for part in node.parts:
+            sub = _atom_class(part)
+            if sub is None or isinstance(part, rx.Union):
+                return None
+            letters |= sub
+        return frozenset(letters)
+    return None
+
+
+def _analyze_run(node):
+    """Analyze a candidate ``A≥k``/classword body.
+
+    Returns ``(classes, star_class, count)`` where ``classes`` is the
+    list of mandatory single-letter classes when there is no star part,
+    ``star_class`` is the class ``A`` when the body contains an ``A*`` /
+    ``A+`` / ``A{m,}`` piece, and ``count`` is the mandatory letter count
+    ``k``.  Raises :class:`_NotPsitr` on unsupported shapes.
+    """
+    parts = node.parts if isinstance(node, rx.Concat) else (node,)
+    classes = []
+    star_class = None
+    count = 0
+
+    def merge_star(cls):
+        nonlocal star_class
+        if star_class is not None and star_class != cls:
+            raise _NotPsitr()
+        star_class = cls
+
+    for part in parts:
+        cls = _atom_class(part)
+        if cls is not None:
+            classes.append(cls)
+            count += 1
+            continue
+        if isinstance(part, rx.Star):
+            inner = _atom_class(part.inner)
+            if inner is None:
+                raise _NotPsitr()
+            merge_star(inner)
+            continue
+        if isinstance(part, rx.Plus):
+            inner = _atom_class(part.inner)
+            if inner is None:
+                raise _NotPsitr()
+            merge_star(inner)
+            classes.append(inner)
+            count += 1
+            continue
+        if isinstance(part, rx.Repeat):
+            inner = _atom_class(part.inner)
+            if inner is None:
+                raise _NotPsitr()
+            if part.high is None:
+                merge_star(inner)
+                classes.extend([inner] * part.low)
+                count += part.low
+            elif part.high == part.low:
+                classes.extend([inner] * part.low)
+                count += part.low
+            else:
+                raise _NotPsitr()
+            continue
+        raise _NotPsitr()
+    if star_class is not None:
+        # Every mandatory letter must come from the star's own class for
+        # the body to read as A≥k.
+        for cls in classes:
+            if not cls <= star_class:
+                raise _NotPsitr()
+    return classes, star_class, count
+
+
+def _expand_classword(classes):
+    """All concrete words obtainable from a list of letter classes."""
+    words = [""]
+    for cls in classes:
+        words = [word + letter for word in words for letter in sorted(cls)]
+        if len(words) > _MAX_SEQUENCES:
+            raise _NotPsitr()
+    return words
+
+
+# Internal factor markers used while scanning a sequence.
+_WORD = "word"          # mandatory concrete word(s)
+_OPTWORD = "optword"    # (w + ε) with word alternatives
+_STAR = "star"          # (A≥k + ε)
+
+
+def _classify_factor(node):
+    """Classify one concatenation factor into Ψtr building blocks.
+
+    Returns a list of ``(kind, payload)`` factors; a single syntactic
+    factor may expand to ``[word(A^k), star(A, 1)]`` for a bare ``A≥k``.
+    """
+    if isinstance(node, rx.Epsilon):
+        return []
+    # Optional wrappers: (X)?, X + ε
+    inner_options = None
+    if isinstance(node, rx.Optional):
+        inner_options = [node.inner]
+    elif isinstance(node, rx.Union):
+        branches = list(node.parts)
+        if any(isinstance(branch, rx.Epsilon) for branch in branches):
+            inner_options = [
+                branch
+                for branch in branches
+                if not isinstance(branch, rx.Epsilon)
+            ]
+    if inner_options is not None:
+        stars = []
+        words = []
+        for option in inner_options:
+            classes, star_class, count = _analyze_run(option)
+            if star_class is not None:
+                stars.append(StarTerm(star_class, max(count, 1)))
+            else:
+                words.extend(_expand_classword(classes))
+        factors = []
+        if stars or words:
+            factors.append((_OPTWORD if not stars else _STAR, (stars, words)))
+        return factors
+    # Bare factor.
+    classes, star_class, count = _analyze_run(node)
+    factors = []
+    if star_class is None:
+        if classes:
+            factors.append((_WORD, _expand_classword(classes)))
+        return factors
+    if count:
+        factors.append((_WORD, _expand_classword(classes)))
+    # A* (and the star part of a bare A≥k) is (A≥1 + ε).
+    factors.append((_STAR, ([StarTerm(star_class, 1)], [])))
+    return factors
+
+
+def _sequences_from_branch(branch):
+    """Ψtr-sequences for one top-level union branch, or raise _NotPsitr."""
+    parts = branch.parts if isinstance(branch, rx.Concat) else (branch,)
+    factor_lists = []
+    for part in parts:
+        if isinstance(part, rx.Union):
+            # Union factors are either (… + ε) terms / letter classes
+            # (handled by _classify_factor) or general alternations; the
+            # latter distribute only when the union is the whole branch.
+            try:
+                factor_lists.append(_classify_factor(part))
+                continue
+            except _NotPsitr:
+                if len(parts) == 1:
+                    merged = []
+                    for sub in part.parts:
+                        merged.extend(_sequences_from_branch(sub))
+                    return merged
+                raise
+        else:
+            factor_lists.append(_classify_factor(part))
+    # Assemble: cartesian product over word alternatives.
+    partials = [([], [""], None)]  # (terms, lead_words, trail_word_state)
+    # We build sequences left to right keeping, for each partial, the
+    # accumulated terms plus the words pinned so far.  Mandatory words are
+    # only legal while no term has been emitted (lead) or after the last
+    # term (trail); a second mandatory word after the trail started, or a
+    # term after the trail started, violates the fragment.
+    sequences = [{"lead": "", "terms": [], "trail": "", "in_trail": False}]
+
+    def fork(base, **changes):
+        new = {
+            "lead": base["lead"],
+            "terms": list(base["terms"]),
+            "trail": base["trail"],
+            "in_trail": base["in_trail"],
+        }
+        new.update(changes)
+        return new
+
+    for factors in factor_lists:
+        for kind, payload in factors:
+            next_sequences = []
+            for seq in sequences:
+                if kind == _WORD:
+                    for word in payload:
+                        if not word:
+                            next_sequences.append(fork(seq))
+                            continue
+                        if not seq["terms"] and not seq["in_trail"]:
+                            next_sequences.append(
+                                fork(seq, lead=seq["lead"] + word)
+                            )
+                        else:
+                            next_sequences.append(
+                                fork(
+                                    seq,
+                                    trail=seq["trail"] + word,
+                                    in_trail=True,
+                                )
+                            )
+                else:
+                    stars, words = payload
+                    if seq["in_trail"]:
+                        raise _NotPsitr()
+                    for star in stars:
+                        next_sequences.append(
+                            fork(seq, terms=seq["terms"] + [star])
+                        )
+                    for word in words:
+                        if word:
+                            next_sequences.append(
+                                fork(
+                                    seq,
+                                    terms=seq["terms"]
+                                    + [OptionalWordTerm(word)],
+                                )
+                            )
+                        else:
+                            next_sequences.append(fork(seq))
+                    if not stars and not words:
+                        next_sequences.append(fork(seq))
+            sequences = next_sequences
+            if len(sequences) > _MAX_SEQUENCES:
+                raise _NotPsitr()
+    return [
+        PsitrSequence(seq["lead"], tuple(seq["terms"]), seq["trail"])
+        for seq in sequences
+    ]
+
+
+def extract(ast_node):
+    """Extract a Ψtr expression from a regex AST, or return ``None``.
+
+    The result, when not ``None``, recognises exactly the same language
+    (the transformation is syntactic: unions and character classes are
+    distributed, ``A^kA*`` shapes are folded into ``A≥k`` terms).
+    """
+    if isinstance(ast_node, rx.Empty):
+        return PsitrExpression(())
+    branches = (
+        ast_node.parts if isinstance(ast_node, rx.Union) else (ast_node,)
+    )
+    sequences = []
+    try:
+        for branch in branches:
+            sequences.extend(_sequences_from_branch(branch))
+    except _NotPsitr:
+        return None
+    if len(sequences) > _MAX_SEQUENCES:
+        return None
+    return PsitrExpression(tuple(sequences))
+
+
+# =========================================================================
+# Synthesis: DFA -> Ψtr expression (best effort, always validated)
+# =========================================================================
+
+
+def _transit_words(dfa, source, targets, allowed_skip, bound):
+    """All words of length ≤ bound from ``source`` to any state in
+    ``targets`` whose intermediate states avoid looping detours.
+
+    Used to enumerate the finite connector words between component
+    stays.  Exponential in ``bound`` — callers keep ``bound`` small.
+    """
+    results = []
+    stack = [(source, "")]
+    while stack:
+        state, word = stack.pop()
+        if state in targets and word:
+            results.append(word)
+            # A target may also be passed through.
+        if len(word) >= bound:
+            continue
+        for symbol in sorted(dfa.alphabet):
+            nxt = dfa.transition(state, symbol)
+            if nxt in allowed_skip or nxt in targets:
+                stack.append((nxt, word + symbol))
+    return results
+
+
+def synthesize(lang_or_dfa, max_connector_length=None, max_sequences=4096):
+    """Best-effort DFA → Ψtr synthesis for a trC language.
+
+    Strategy (a pragmatic rendition of Lemma 18): enumerate chains of
+    looping components through the condensation DAG; for each chain,
+    generate candidate sequences  ``w0 (Σ_{C1}≥k1 + ε) w1 … (Σ_{Cm}≥km
+    + ε) wm`` with connector words enumerated up to a bound and ``k``
+    values from the component structure; finally *verify* the union is
+    equivalent to L and return it, raising :class:`ReproError` when the
+    search fails.  Intended for small automata; the general Lemma-18
+    construction with its ``4M²`` bounds is intentionally not
+    materialised (see DESIGN.md §3).
+    """
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    if not is_in_trc(dfa):
+        raise NotInTrCError("synthesis requires L ∈ trC")
+    if dfa.is_empty():
+        return PsitrExpression(())
+    M = dfa.num_states
+    if max_connector_length is None:
+        max_connector_length = 2 * M
+    components = strongly_connected_components(dfa)
+    loops = looping_states(dfa)
+    looping_components = [
+        component for component in components if component & loops
+    ]
+    alphabets = {
+        component: internal_alphabet(dfa, component)
+        for component in looping_components
+    }
+    # Finite part: all accepted words short enough to avoid any loop.
+    finite_words = [
+        word for word in dfa.enumerate_words(max_connector_length)
+    ]
+    sequences = [
+        PsitrSequence(word, (), "") for word in finite_words
+    ]
+    # Chains of looping components (the condensation is a DAG, so chains
+    # are subsequences of the topological order consistent with
+    # reachability).
+    order = looping_components
+    reach = {
+        component: dfa.reachable_states(next(iter(component)))
+        for component in order
+    }
+
+    def chains_from(index, chain):
+        yield chain
+        for nxt in range(index, len(order)):
+            if not chain or order[nxt] != chain[-1]:
+                previous = chain[-1] if chain else None
+                if previous is None or (order[nxt] & reach[previous]):
+                    yield from chains_from(nxt + 1, chain + [order[nxt]])
+
+    seen_chains = set()
+    for chain in chains_from(0, []):
+        key = tuple(id(component) for component in chain)
+        if not chain or key in seen_chains:
+            continue
+        seen_chains.add(key)
+        sequences.extend(
+            _sequences_for_chain(
+                dfa, chain, alphabets, max_connector_length
+            )
+        )
+        if len(sequences) > max_sequences:
+            raise ReproError("Ψtr synthesis exceeded the sequence budget")
+    expression = PsitrExpression(tuple(dict.fromkeys(sequences)))
+    if not equivalent_to(expression, dfa):
+        raise ReproError(
+            "Ψtr synthesis produced a non-equivalent candidate; the "
+            "syntactic extractor or a hand-written Ψtr form is required "
+            "for this language"
+        )
+    return expression
+
+
+def _sequences_for_chain(dfa, chain, alphabets, bound):
+    """Candidate sequences whose stars follow a given component chain."""
+    # Enumerate connector words between the initial state, each
+    # component, and the accepting states, all with length ≤ bound.
+    results = []
+    non_loop_skip = set(dfa.states())
+    first = chain[0]
+    entry_words = ["" ] if dfa.initial in first else _transit_words(
+        dfa, dfa.initial, first, non_loop_skip, bound
+    )
+    for entry in entry_words:
+        results.extend(
+            _extend_chain_sequences(
+                dfa, chain, 0, alphabets, bound, entry, []
+            )
+        )
+    return results
+
+
+def _extend_chain_sequences(dfa, chain, index, alphabets, bound, lead, terms):
+    component = chain[index]
+    alphabet = alphabets[component]
+    star = StarTerm(alphabet, 1)
+    results = []
+    if index + 1 < len(chain):
+        connectors = _transit_words(
+            dfa,
+            next(iter(component)),
+            chain[index + 1],
+            set(dfa.states()),
+            bound,
+        )
+        for connector in connectors:
+            for middle in ({OptionalWordTerm(connector)} if connector else set()):
+                results.extend(
+                    _extend_chain_sequences(
+                        dfa,
+                        chain,
+                        index + 1,
+                        alphabets,
+                        bound,
+                        lead,
+                        terms + [star, middle],
+                    )
+                )
+    else:
+        for state in sorted(component):
+            exits = _transit_words(
+                dfa, state, dfa.accepting, set(dfa.states()), bound
+            )
+            if state in dfa.accepting:
+                exits = [""] + exits
+            for exit_word in exits:
+                results.append(
+                    PsitrSequence(lead, tuple(terms + [star]), exit_word)
+                )
+    return results
+
+
+def decompose(language_obj):
+    """Anchor decomposition of a language for the tractable solver.
+
+    Order of attempts:
+
+    1. syntactic extraction from the language's own regex AST,
+    2. best-effort synthesis from the minimal DFA.
+
+    Every returned expression is validated equivalent to the language.
+    Raises :class:`NotInTrCError` for non-trC input and
+    :class:`ReproError` when no decomposition is found.
+    """
+    if not isinstance(language_obj, Language):
+        language_obj = Language(language_obj)
+    if not is_in_trc(language_obj.dfa):
+        raise NotInTrCError(
+            "language is not in trC; RSPQ is NP-complete (Theorem 1)"
+        )
+    if language_obj.ast is not None:
+        expression = extract(language_obj.ast)
+        if expression is not None and equivalent_to(
+            expression, language_obj.dfa
+        ):
+            return expression
+    return synthesize(language_obj.dfa)

@@ -1,0 +1,123 @@
+"""Front-door RSPQ solver: classify, then dispatch (Theorem 2 in code).
+
+``RspqSolver`` inspects the language once and picks the regime:
+
+* finite L            → :class:`FiniteLanguageSolver` (the AC0 case),
+* infinite L ∈ trC    → :class:`TractableSolver` (the NL case) when an
+  anchor decomposition is available, otherwise the exact solver with a
+  warning flag,
+* L ∉ trC             → :class:`ExactSolver` (the NP-complete case; a
+  work budget may be supplied).
+
+Results report which strategy ran, so experiments can verify the
+dispatch matches the trichotomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ReproError
+from ..graphs.dbgraph import Path
+from ..languages import Language
+from ..algorithms.bounded import FiniteLanguageSolver
+from ..algorithms.exact import ExactSolver
+from .nice_paths import TractableSolver
+from .psitr import decompose
+from .trichotomy import Classification, classify
+
+
+STRATEGY_FINITE = "finite-AC0"
+STRATEGY_TRACTABLE = "trc-nice-path"
+STRATEGY_EXACT = "exact-backtracking"
+
+
+@dataclass
+class RspqResult:
+    """Outcome of one RSPQ evaluation."""
+
+    found: bool
+    path: Optional[Path]
+    strategy: str
+    classification: Classification
+
+    @property
+    def length(self):
+        return None if self.path is None else len(self.path)
+
+
+class RspqSolver:
+    """Evaluate regular simple path queries with the right algorithm.
+
+    Parameters
+    ----------
+    language:
+        :class:`~repro.languages.Language` or regex string.
+    exact_budget:
+        Step budget handed to the exponential solver when it is used.
+    force_exact:
+        Skip the tractable machinery (useful for baselines in benches).
+    """
+
+    def __init__(self, language, exact_budget=None, force_exact=False):
+        if isinstance(language, str):
+            language = Language(language)
+        self.language = language
+        self.classification = classify(language.dfa, with_witness=False)
+        self.exact_budget = exact_budget
+        self._finite_solver = None
+        self._tractable_solver = None
+        self._exact_solver = None
+        self.strategy = STRATEGY_EXACT
+        if force_exact:
+            pass
+        elif self.classification.finite:
+            self._finite_solver = FiniteLanguageSolver(language)
+            self.strategy = STRATEGY_FINITE
+        elif self.classification.in_trc:
+            try:
+                expression = decompose(language)
+            except ReproError:
+                expression = None
+            if expression is not None:
+                self._tractable_solver = TractableSolver(
+                    language, expression=expression
+                )
+                self.strategy = STRATEGY_TRACTABLE
+        if self.strategy == STRATEGY_EXACT:
+            self._exact_solver = ExactSolver(language, budget=exact_budget)
+
+    def shortest_simple_path(self, graph, source, target):
+        """Shortest simple L-labeled path or ``None``."""
+        if self._finite_solver is not None:
+            return self._finite_solver.shortest_simple_path(
+                graph, source, target
+            )
+        if self._tractable_solver is not None:
+            return self._tractable_solver.shortest_simple_path(
+                graph, source, target
+            )
+        return self._exact_solver.shortest_simple_path(graph, source, target)
+
+    def solve(self, graph, source, target):
+        """Full result object with path and strategy information."""
+        path = self.shortest_simple_path(graph, source, target)
+        return RspqResult(
+            found=path is not None,
+            path=path,
+            strategy=self.strategy,
+            classification=self.classification,
+        )
+
+    def exists(self, graph, source, target):
+        """Decision variant of RSPQ(L)."""
+        if self._exact_solver is not None:
+            return self._exact_solver.exists(graph, source, target)
+        return self.shortest_simple_path(graph, source, target) is not None
+
+
+def solve_rspq(language, graph, source, target, exact_budget=None):
+    """One-shot helper: build a solver and answer a single query."""
+    solver = RspqSolver(language, exact_budget=exact_budget)
+    return solver.solve(graph, source, target)

@@ -1,0 +1,159 @@
+"""Path annotations and summaries (Definitions 2 and 3).
+
+These are the paper's bookkeeping devices for the NL algorithm:
+
+* the *L-annotation* of a path maps each vertex to the state of the
+  minimal DFA reached after reading the path's label prefix
+  (Definition 2);
+* the *summary* compresses, for every component C of ``A_L`` in which
+  the annotated path stays for more than ``N`` vertices (a *long-run
+  component*), everything between the first such vertex and the N-th
+  from last into a ``Σ*_C`` marker (Definition 3).
+
+The production solver (:mod:`repro.core.nice_paths`) uses the Ψtr-driven
+rendition of the same idea; this module exposes the literal definitions
+for inspection, tests and the Figure-3 experiment, including the bound
+``N = 2M²`` and the paper's Example-2 ``N = 3`` illustration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import GraphError
+from ..graphs.dbgraph import Path
+from ..languages.analysis import strongly_connected_components
+from .trc import _as_minimal_dfa
+
+
+def default_bound(dfa):
+    """The paper's ``N = 2M²``."""
+    return 2 * dfa.num_states * dfa.num_states
+
+
+def annotate(path, lang_or_dfa):
+    """The L-annotation of a path (Definition 2).
+
+    Returns the list of DFA states ``[ρ(v_1), …, ρ(v_{m+1})]`` with
+    ``ρ(v_1) = i_L`` and ``ρ(v_{i+1}) = Δ(i_L, a_1 … a_i)``.
+
+    Note that the paper's annotation maps *occurrences*, which for a
+    simple path coincide with vertices; we return the list indexed by
+    position so the function is total for arbitrary paths too.
+    """
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    states = [dfa.initial]
+    for label in path.labels:
+        states.append(dfa.transition(states[-1], label))
+    return states
+
+
+@dataclass(frozen=True)
+class GapMarker:
+    """A ``Σ*_C`` marker replacing a long component-internal stretch."""
+
+    symbols: frozenset
+
+    def __str__(self):
+        return "Σ*_{%s}" % "".join(sorted(self.symbols))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """A path summary (Definition 3).
+
+    ``elements`` interleaves vertices, edge labels and
+    :class:`GapMarker` objects, e.g. ``(v1, 'a', v2, Σ*_C, v7, 'c', v8)``.
+    ``long_run_components`` is ``lrc(p)`` as a tuple of frozensets of
+    DFA states, in path order.
+    """
+
+    elements: Tuple
+    long_run_components: Tuple
+
+    def vertices(self):
+        """The pinned vertices, in order."""
+        return [
+            element
+            for index, element in enumerate(self.elements)
+            if index % 2 == 0
+        ]
+
+    def num_gaps(self):
+        return sum(
+            1 for element in self.elements if isinstance(element, GapMarker)
+        )
+
+    def size(self):
+        """Number of elements — the paper bounds this by ``2M³ + O(M)``."""
+        return len(self.elements)
+
+    def __str__(self):
+        parts = []
+        for element in self.elements:
+            parts.append(str(element))
+        return "(" + ", ".join(parts) + ")"
+
+
+def summarize(path, lang_or_dfa, bound=None):
+    """The summary of ``path`` w.r.t. ``A_L`` (Definition 3).
+
+    ``bound`` is the paper's ``N`` (default ``2M²``; the paper's
+    Example 2 uses ``N = 3`` for readability, pass it explicitly to
+    reproduce the example).  For every component hosting more than
+    ``bound`` annotated vertices, the stretch from its first vertex to
+    its ``bound``-th-from-last is replaced by a ``Σ*_C`` marker.
+    """
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    if bound is None:
+        bound = default_bound(dfa)
+    if bound < 1:
+        raise GraphError("summary bound must be >= 1")
+    annotation = annotate(path, dfa)
+    components = strongly_connected_components(dfa)
+    component_index = {}
+    for index, component in enumerate(components):
+        for state in component:
+            component_index[state] = index
+    positions_by_component = {}
+    for position, state in enumerate(annotation):
+        positions_by_component.setdefault(
+            component_index[state], []
+        ).append(position)
+    # Long-run components: more than `bound` vertices annotated in them.
+    long_runs = []
+    for index, positions in sorted(positions_by_component.items()):
+        if len(positions) >= bound + 1:
+            first = positions[0]
+            last = positions[-1]
+            cut = last - bound  # β'_i = β_i - N
+            if cut > first:
+                long_runs.append((first, cut, index))
+    long_runs.sort()
+    # Emit elements, replacing [first..cut] stretches with markers.
+    from ..languages.analysis import internal_alphabet
+
+    elements = []
+    lrc = []
+    position = 0
+    run_cursor = 0
+    while position < len(path.vertices):
+        if elements:
+            # Label of the edge entering the current vertex.
+            elements.append(path.labels[position - 1])
+        elements.append(path.vertices[position])
+        if (
+            run_cursor < len(long_runs)
+            and long_runs[run_cursor][0] == position
+        ):
+            first, cut, comp_idx = long_runs[run_cursor]
+            component = components[comp_idx]
+            elements.append(GapMarker(internal_alphabet(dfa, component)))
+            elements.append(path.vertices[cut])
+            lrc.append(component)
+            position = cut + 1
+            run_cursor += 1
+        else:
+            position += 1
+    return Summary(tuple(elements), tuple(lrc))

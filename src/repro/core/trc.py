@@ -1,0 +1,191 @@
+"""The tractable fragment trC (Definition 1) and its decision procedure.
+
+Definition 1: ``L ∈ trC(i)`` iff for all words ``wl, wm, wr`` and all
+non-empty ``w1, w2``: ``wl w1^i wm w2^i wr ∈ L  ⇒  wl w1^i w2^i wr ∈ L``;
+``trC = ∪_i trC(i)``.
+
+The effective membership test implements the automaton characterisation
+of Lemma 6 (refined by the Theorem-3 appendix algorithm):
+
+    L ∈ trC  ⟺  for every pair of states ``q1, q2`` of the minimal DFA
+    with ``Loop(q1) ≠ ∅``, ``Loop(q2) ≠ ∅`` and ``q2 ∈ Δ(q1, Σ*)``:
+    ``Loop(q2)^M · L_{q2}  ⊆  L_{q1}``        (M = |Q_L|)
+
+Each inclusion is checked without determinization by intersecting an NFA
+for ``Loop(q2)^M · L_{q2}`` with the complement quotient ``¬L_{q1}``
+(same DFA, initial state ``q1``, accepting set flipped) and testing
+emptiness — the polynomial-time shadow of the paper's NL algorithm.
+
+A brute-force definitional check over bounded words is provided as a
+cross-validation oracle for tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+from ..languages import Language
+from ..languages.analysis import looping_states
+from ..languages.dfa import DFA
+from ..languages.nfa import NFA
+
+
+def _as_minimal_dfa(lang_or_dfa):
+    """Accept a Language or DFA and return the minimal complete DFA."""
+    if isinstance(lang_or_dfa, Language):
+        return lang_or_dfa.dfa
+    if isinstance(lang_or_dfa, DFA):
+        return lang_or_dfa.minimized()
+    raise TypeError("expected a Language or DFA, got %r" % (lang_or_dfa,))
+
+
+def loops_then_quotient_nfa(dfa, state, power):
+    """NFA for ``Loop(state)^power · L_state``.
+
+    States ``(copy, q)``: ``copy < power`` counts completed loops; on a
+    transition landing on ``state`` we may nondeterministically close the
+    current loop.  Once ``copy == power`` the automaton simply runs the
+    DFA from ``state`` and accepts in its accepting states.
+    """
+    if power < 0:
+        raise ValueError("power must be non-negative")
+    states = set()
+    transitions = {}
+    for copy in range(power):
+        for q in dfa.states():
+            source = (copy, q)
+            states.add(source)
+            arcs = []
+            for symbol in dfa.alphabet:
+                target_q = dfa.transition(q, symbol)
+                arcs.append((symbol, (copy, target_q)))
+                if target_q == state:
+                    arcs.append((symbol, (copy + 1, state)))
+            transitions[source] = arcs
+    for q in dfa.states():
+        source = (power, q)
+        states.add(source)
+        transitions[source] = [
+            (symbol, (power, dfa.transition(q, symbol)))
+            for symbol in dfa.alphabet
+        ]
+    accepting = {(power, q) for q in dfa.accepting}
+    return NFA(
+        states,
+        dfa.alphabet,
+        transitions,
+        initial=[(0, state)],
+        accepting=accepting,
+    )
+
+
+def violating_pairs(lang_or_dfa):
+    """Yield state pairs ``(q1, q2)`` violating the Lemma-6 condition.
+
+    Empty iff ``L ∈ trC``.  Works on the minimal DFA.
+    """
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    loops = looping_states(dfa)
+    power = dfa.num_states
+    non_accepting = set(dfa.states()) - dfa.accepting
+    reachable_from = {q1: dfa.reachable_states(q1) for q1 in sorted(loops)}
+    for q2 in sorted(loops):
+        # The Loop(q2)^M · L_{q2} automaton is shared by every q1.
+        nfa = None
+        for q1 in sorted(loops):
+            if q2 not in reachable_from[q1]:
+                continue
+            if nfa is None:
+                nfa = loops_then_quotient_nfa(dfa, q2, power)
+            product = nfa.intersect_dfa(
+                dfa, dfa_initial=q1, dfa_accepting=non_accepting
+            )
+            if not product.is_empty():
+                yield q1, q2
+
+def is_in_trc(lang_or_dfa):
+    """Decide ``L ∈ trC`` (Lemma 6 characterisation on the minimal DFA).
+
+    Accepts a :class:`~repro.languages.Language` or a raw
+    :class:`~repro.languages.dfa.DFA` (minimised internally).
+    """
+    for _pair in violating_pairs(lang_or_dfa):
+        return False
+    return True
+
+
+def violation_word(lang_or_dfa, q1, q2):
+    """A shortest word in ``Loop(q2)^M · L_{q2} \\ L_{q1}`` for a
+    violating pair — concrete evidence of non-membership."""
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    power = dfa.num_states
+    non_accepting = set(dfa.states()) - dfa.accepting
+    product = loops_then_quotient_nfa(dfa, q2, power).intersect_dfa(
+        dfa, dfa_initial=q1, dfa_accepting=non_accepting
+    )
+    return product.shortest_accepted()
+
+
+# -- brute-force definitional oracle -------------------------------------------
+
+
+def _decompositions(word, repetitions):
+    """Yield ``(wl, w1, wm, w2, wr)`` with
+    ``word == wl + w1*i + wm + w2*i + wr`` and ``w1, w2`` non-empty."""
+    n = len(word)
+    i = repetitions
+    # Choose the boundaries of the two repeated blocks.
+    for start1 in range(n + 1):
+        for len1 in range(1, (n - start1) // max(i, 1) + 1):
+            block1 = word[start1:start1 + len1]
+            if word[start1:start1 + i * len1] != block1 * i:
+                continue
+            mid_start = start1 + i * len1
+            for start2 in range(mid_start, n + 1):
+                for len2 in range(1, (n - start2) // max(i, 1) + 1):
+                    block2 = word[start2:start2 + len2]
+                    if word[start2:start2 + i * len2] != block2 * i:
+                        continue
+                    yield (
+                        word[:start1],
+                        block1,
+                        word[mid_start:start2],
+                        block2,
+                        word[start2 + i * len2:],
+                    )
+
+
+def find_trc_counterexample(lang_or_dfa, repetitions, max_length):
+    """Brute-force search for a Definition-1 violation of ``trC(i)``.
+
+    Enumerates accepted words up to ``max_length`` and all decompositions
+    ``wl w1^i wm w2^i wr``; returns the first decomposition whose pumped
+    form ``wl w1^i w2^i wr`` is rejected, or ``None``.
+
+    Exponential — only a testing oracle.  ``None`` does **not** prove
+    membership in ``trC(i)`` (the bound may be too small); a non-``None``
+    result *does* prove ``L ∉ trC(i)``.
+    """
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1 for the oracle")
+    for word in dfa.enumerate_words(max_length):
+        for wl, w1, wm, w2, wr in _decompositions(word, repetitions):
+            if not wm and not (w1 and w2):
+                continue
+            pumped = wl + w1 * repetitions + w2 * repetitions + wr
+            if not dfa.accepts(pumped):
+                return (wl, w1, wm, w2, wr)
+    return None
+
+
+def is_in_trc_zero(lang_or_dfa):
+    """Membership in ``trC(0)`` — the subword-closed Mendelzon–Wood class.
+
+    ``trC(0)`` requires ``wl wm wr ∈ L ⇒ wl wr ∈ L`` (delete any factor),
+    which is exactly closure under subwords.  Decided exactly via the
+    downward-closure construction.
+    """
+    from ..languages.properties import is_subword_closed
+
+    return is_subword_closed(_as_minimal_dfa(lang_or_dfa))

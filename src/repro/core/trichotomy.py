@@ -1,0 +1,98 @@
+"""The trichotomy (Theorem 2): AC0 / NL-complete / NP-complete.
+
+For a regular language L, the data complexity of RSPQ(L) is:
+
+1. ``AC0``          if L is finite,
+2. ``NL-complete``  if L ∈ trC and L is infinite,
+3. ``NP-complete``  if L ∉ trC.
+
+:func:`classify` returns the class together with the *evidence*: for the
+tractable classes a proof sketch (finiteness bound / trC confirmation),
+for the hard class a verified hardness witness ready to drive the
+Lemma-5 reduction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..languages import Language
+from ..languages.dfa import DFA
+from .trc import _as_minimal_dfa, is_in_trc
+from .witness import HardnessWitness, find_hardness_witness
+
+
+class ComplexityClass(enum.Enum):
+    """Data complexity of RSPQ(L) per Theorem 2."""
+
+    AC0 = "AC0"
+    NL_COMPLETE = "NL-complete"
+    NP_COMPLETE = "NP-complete"
+
+    def is_tractable(self):
+        """Polynomial-time evaluability (NL ⊆ P)."""
+        return self is not ComplexityClass.NP_COMPLETE
+
+
+@dataclass
+class Classification:
+    """Result of :func:`classify`.
+
+    Attributes
+    ----------
+    complexity_class:
+        The Theorem-2 class.
+    finite:
+        Whether L is finite (the AC0 criterion, Lemma 17).
+    in_trc:
+        Whether L ∈ trC (the Theorem-1 criterion).
+    longest_word_bound:
+        For finite L: no accepted word is longer than this (≤ M - 1).
+    witness:
+        For L ∉ trC: a verified Property-(1) hardness witness.
+    """
+
+    complexity_class: ComplexityClass
+    finite: bool
+    in_trc: bool
+    longest_word_bound: Optional[int] = None
+    witness: Optional[HardnessWitness] = None
+
+    def is_tractable(self):
+        return self.complexity_class.is_tractable()
+
+    def __str__(self):
+        return "Classification(%s)" % self.complexity_class.value
+
+
+def classify(lang_or_dfa, with_witness=True):
+    """Classify RSPQ(L) per Theorem 2.
+
+    ``with_witness=False`` skips the hardness-witness search for speed
+    (classification itself never needs it).
+    """
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    finite = dfa.is_finite()
+    if finite:
+        # Every accepted word of a finite language visits each state at
+        # most once along the run, so |w| <= M - 1.
+        return Classification(
+            ComplexityClass.AC0,
+            finite=True,
+            in_trc=True,  # finite languages are trivially in trC
+            longest_word_bound=dfa.num_states - 1,
+        )
+    in_trc = is_in_trc(dfa)
+    if in_trc:
+        return Classification(
+            ComplexityClass.NL_COMPLETE, finite=False, in_trc=True
+        )
+    witness = find_hardness_witness(dfa) if with_witness else None
+    return Classification(
+        ComplexityClass.NP_COMPLETE,
+        finite=False,
+        in_trc=False,
+        witness=witness,
+    )

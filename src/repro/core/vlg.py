@@ -1,0 +1,216 @@
+"""RSPQs on vertex-labeled and vertex+edge-labeled graphs (Section 4.1).
+
+The paper adapts the dichotomy to vl-graphs via the relation
+``w1 ≡vl w2`` (same last letter) and ``Loop_a(q)`` (loops whose last
+letter is ``a``):
+
+* Definition 5 / Theorem 5: RSPQ(L, vlg) is in NL iff L ∈ trC_vlg, and
+  NP-complete otherwise, where trC_vlg relaxes Definition 1 to word
+  pairs with a common last letter.
+* Definition 6 / Theorem 6: the evl analogue with ``≡evl`` (same last
+  vertex label, any edge label) over the pair alphabet ``Σ_V × Σ_E``.
+
+Membership tests mirror the edge-labeled Lemma-6 test with
+``Loop_a(q2)^M`` in place of ``Loop(q2)^M``, quantified over the common
+last letter ``a`` (for evl: over vertex-label groups of pair symbols).
+A brute-force definitional oracle is provided for cross-validation, and
+:func:`solve_vlg` evaluates queries on vl-graphs (exactly, via the
+encoding into db-graphs and the quotient language λ(x)⁻¹L).
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..graphs.vlgraph import EvlGraph, VlGraph
+from ..languages import Language
+from ..languages.analysis import (
+    has_loop_with_last_letter,
+    loop_with_last_letter_nfa,
+)
+from .trc import _as_minimal_dfa
+
+
+def _looping_letters(dfa, state):
+    """Letters ``a`` with ``Loop_a(state) ≠ ∅``."""
+    return {
+        letter
+        for letter in dfa.alphabet
+        if has_loop_with_last_letter(dfa, state, letter)
+    }
+
+
+def _vlg_violating_pairs(dfa, letter_groups):
+    """Pairs violating the vl-adapted Lemma-6 condition.
+
+    ``letter_groups`` maps each letter to its equivalence group under
+    the relevant relation: for vl-graphs every letter is its own group
+    (``≡vl`` = same last letter); for evl-graphs pair symbols group by
+    vertex label (``≡evl``).  The condition tested is, for every
+    ``q1, q2`` with ``q2`` reachable from ``q1`` and every group g such
+    that both states have a loop ending in g:
+    ``(Loop_g(q2))^M · L_{q2} ⊆ L_{q1}``.
+    """
+    power = dfa.num_states
+    non_accepting = set(dfa.states()) - dfa.accepting
+    loop_groups = {
+        state: {
+            letter_groups[letter]
+            for letter in _looping_letters(dfa, state)
+        }
+        for state in dfa.states()
+    }
+    pairs = []
+    for q1 in dfa.states():
+        if not loop_groups[q1]:
+            continue
+        reachable = dfa.reachable_states(q1)
+        for q2 in reachable:
+            common = loop_groups[q1] & loop_groups[q2]
+            if not common:
+                continue
+            for group in sorted(common):
+                nfa = _loop_group_power_then_quotient_nfa(
+                    dfa, q2, group, letter_groups, power
+                )
+                bad = nfa.intersect_dfa(
+                    dfa, dfa_initial=q1, dfa_accepting=non_accepting
+                )
+                if not bad.is_empty():
+                    pairs.append((q1, q2, group))
+                    break
+    return pairs
+
+
+def _loop_group_power_then_quotient_nfa(dfa, state, group, letter_groups, power):
+    """NFA for ``(Loop_g(state))^power · L_state`` where ``Loop_g`` is
+    the set of loops whose last letter belongs to group ``g``."""
+    states = set()
+    transitions = {}
+    for copy in range(power):
+        for q in dfa.states():
+            source = (copy, q)
+            states.add(source)
+            arcs = []
+            for symbol in dfa.alphabet:
+                target_q = dfa.transition(q, symbol)
+                arcs.append((symbol, (copy, target_q)))
+                if target_q == state and letter_groups[symbol] == group:
+                    arcs.append((symbol, (copy + 1, state)))
+            transitions[source] = arcs
+    for q in dfa.states():
+        source = (power, q)
+        states.add(source)
+        transitions[source] = [
+            (symbol, (power, dfa.transition(q, symbol)))
+            for symbol in dfa.alphabet
+        ]
+    accepting = {(power, q) for q in dfa.accepting}
+    from ..languages.nfa import NFA
+
+    return NFA(
+        states,
+        dfa.alphabet,
+        transitions,
+        initial=[(0, state)],
+        accepting=accepting,
+    )
+
+
+def is_in_trc_vlg(lang_or_dfa):
+    """Decide ``L ∈ trC_vlg`` (Definition 5 / Theorem 5 criterion)."""
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    groups = {letter: letter for letter in dfa.alphabet}
+    return not _vlg_violating_pairs(dfa, groups)
+
+
+def is_in_trc_evlg(lang_or_dfa, vertex_label_of):
+    """Decide ``L ∈ trC_evlg`` over a pair-encoded alphabet.
+
+    ``vertex_label_of`` maps each encoded symbol to its vertex-label
+    component, defining the ``≡evl`` groups.
+    """
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    groups = {letter: vertex_label_of(letter) for letter in dfa.alphabet}
+    return not _vlg_violating_pairs(dfa, groups)
+
+
+# -- brute-force definitional oracle ----------------------------------------------
+
+
+def find_trc_vlg_counterexample(lang_or_dfa, repetitions, max_length):
+    """Search for a Definition-5 violation with bounded word lengths.
+
+    Same contract as
+    :func:`repro.core.trc.find_trc_counterexample`, but decompositions
+    must satisfy ``w1 ≡vl w2`` (identical last letters).
+    """
+    from .trc import _decompositions
+
+    dfa = _as_minimal_dfa(lang_or_dfa)
+    for word in dfa.enumerate_words(max_length):
+        for wl, w1, wm, w2, wr in _decompositions(word, repetitions):
+            if not w1 or not w2 or w1[-1] != w2[-1]:
+                continue
+            pumped = wl + w1 * repetitions + w2 * repetitions + wr
+            if not dfa.accepts(pumped):
+                return (wl, w1, wm, w2, wr)
+    return None
+
+
+# -- evaluation on vl-graphs ---------------------------------------------------------
+
+
+def solve_vlg(language, vlgraph, source, target, exact_budget=None):
+    """Exact RSPQ on a vertex-labeled graph.
+
+    The query asks for a simple path ``x = v1, …, vk = y`` whose
+    *vertex-label word* ``λ(v1) λ(v2) … λ(vk)`` belongs to L.  Encoding:
+    the db-graph carries ``λ(target)`` on each edge, so edge words spell
+    ``λ(v2) … λ(vk)`` and the query becomes RSPQ(λ(x)⁻¹ L) on the
+    encoded graph.  Evaluation uses the generic dispatcher, so languages
+    whose quotient is tractable on the encoded graph run in polynomial
+    time; the remainder fall back to exact search.
+
+    Returns the result of the underlying db-graph solver.
+    """
+    from .solver import RspqSolver
+
+    if not isinstance(vlgraph, VlGraph):
+        raise GraphError("solve_vlg expects a VlGraph")
+    if isinstance(language, str):
+        language = Language(language)
+    encoded = vlgraph.to_dbgraph()
+    start_label = vlgraph.label_of(source)
+    quotient_dfa = language.dfa.completed(
+        set(vertex_label for vertex_label in _vl_labels(vlgraph))
+    )
+    quotient_state = quotient_dfa.run(start_label)
+    quotient = Language(
+        quotient_dfa.with_initial(quotient_state), name="quotient"
+    )
+    solver = RspqSolver(quotient, exact_budget=exact_budget)
+    return solver.solve(encoded, source, target)
+
+
+def _vl_labels(vlgraph):
+    return {vlgraph.label_of(vertex) for vertex in vlgraph.vertices()}
+
+
+def solve_evlg(language, evlgraph, source, target, encoding=None,
+               exact_budget=None):
+    """Exact RSPQ on a vertex+edge-labeled graph via the pair encoding.
+
+    ``language`` must be given over the *encoded* pair alphabet (use
+    ``encoding`` from :meth:`EvlGraph.to_dbgraph` to build it).  The
+    word of a path is the sequence of ``(λ(v_{i+1}), edge label)``
+    pairs, matching the convention of :func:`solve_vlg`.
+    """
+    from .solver import RspqSolver
+
+    if not isinstance(evlgraph, EvlGraph):
+        raise GraphError("solve_evlg expects an EvlGraph")
+    encoded, used_encoding = evlgraph.to_dbgraph(pair_encoding=encoding)
+    if isinstance(language, str):
+        language = Language(language)
+    solver = RspqSolver(language, exact_budget=exact_budget)
+    return solver.solve(encoded, source, target), used_encoding

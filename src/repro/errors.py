@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised by this package derive from :class:`ReproError`, so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class RegexSyntaxError(ReproError):
+    """Raised when a regular expression cannot be parsed.
+
+    Attributes
+    ----------
+    text:
+        The full input that failed to parse.
+    position:
+        Zero-based offset of the offending character (best effort).
+    """
+
+    def __init__(self, message, text="", position=None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class GraphError(ReproError):
+    """Raised for structural problems in a graph (unknown vertex, ...)."""
+
+
+class AutomatonError(ReproError):
+    """Raised for malformed automata (missing states, partial DFA, ...)."""
+
+
+class NotInTrCError(ReproError):
+    """Raised when a trC-only operation is applied to a non-trC language.
+
+    Carries the Property-(1) witness when one is available so the caller
+    can inspect *why* the language is intractable.
+    """
+
+    def __init__(self, message, witness=None):
+        super().__init__(message)
+        self.witness = witness
+
+
+class BudgetExceededError(ReproError):
+    """Raised when an exponential-time solver exceeds its work budget.
+
+    The exact backtracking solver is worst-case exponential; callers can
+    bound the number of search steps and receive this error instead of an
+    unbounded run.
+    """
+
+    def __init__(self, message, steps=0):
+        super().__init__(message)
+        self.steps = steps

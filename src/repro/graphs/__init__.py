@@ -1,0 +1,18 @@
+"""Graph-database substrate: db-graphs, vl/evl graphs, generators, IO."""
+
+from .dbgraph import DbGraph, Path
+from .vlgraph import EvlGraph, VlGraph
+from .product import ProductGraph, rpq_reachable, shortest_walk
+from . import generators, io
+
+__all__ = [
+    "DbGraph",
+    "EvlGraph",
+    "Path",
+    "ProductGraph",
+    "VlGraph",
+    "generators",
+    "io",
+    "rpq_reachable",
+    "shortest_walk",
+]

@@ -1,0 +1,324 @@
+"""Synthetic workload generators.
+
+Every generator takes an explicit ``seed`` where randomness is involved
+so all experiments are reproducible.  The families cover:
+
+* uniform random labeled digraphs (the generic workload),
+* layered DAGs (combined-complexity experiments, Theorem 8),
+* grid graphs (the Barrett et al. hardness family mentioned in Related
+  Work),
+* the Figure-3 "component chain" family (summaries / nice paths),
+* the Figure-4 loop-elimination counterexample family,
+* disjoint-path gadgets (Lemma 5 reduction experiments),
+* a small transportation-network generator (the Google-Maps motivation
+  from the introduction).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .dbgraph import DbGraph
+from .vlgraph import VlGraph
+
+
+def random_labeled_graph(num_vertices, num_edges, alphabet, seed=0):
+    """Uniform random digraph: ``num_edges`` distinct labeled edges.
+
+    Self-loop edges are allowed (they can never appear on a simple path
+    of length ≥ 1 but exercise the solvers' filtering).
+    """
+    rng = random.Random(seed)
+    alphabet = sorted(alphabet)
+    graph = DbGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    max_edges = num_vertices * num_vertices * len(alphabet)
+    num_edges = min(num_edges, max_edges)
+    added = 0
+    attempts = 0
+    while added < num_edges and attempts < 50 * num_edges + 100:
+        attempts += 1
+        source = rng.randrange(num_vertices)
+        target = rng.randrange(num_vertices)
+        label = rng.choice(alphabet)
+        if not graph.has_edge(source, label, target):
+            graph.add_edge(source, label, target)
+            added += 1
+    return graph
+
+
+def random_vl_graph(num_vertices, num_edges, alphabet, seed=0):
+    """Uniform random vertex-labeled digraph."""
+    rng = random.Random(seed)
+    alphabet = sorted(alphabet)
+    graph = VlGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, rng.choice(alphabet))
+    added = 0
+    attempts = 0
+    while added < num_edges and attempts < 50 * num_edges + 100:
+        attempts += 1
+        source = rng.randrange(num_vertices)
+        target = rng.randrange(num_vertices)
+        before = graph.num_edges
+        graph.add_edge(source, target)
+        if graph.num_edges > before:
+            added += 1
+    return graph
+
+
+def labeled_path(word, start=0):
+    """A path graph spelling ``word`` on vertices ``start..start+len``."""
+    graph = DbGraph()
+    graph.add_vertex(start)
+    for index, symbol in enumerate(word):
+        graph.add_edge(start + index, symbol, start + index + 1)
+    return graph
+
+
+def labeled_cycle(word, start=0):
+    """A cycle spelling ``word`` repeatedly (``len(word)`` vertices)."""
+    graph = DbGraph()
+    size = len(word)
+    for index, symbol in enumerate(word):
+        graph.add_edge(
+            start + index, symbol, start + (index + 1) % size
+        )
+    return graph
+
+
+def layered_dag(num_layers, layer_width, alphabet, density=0.5, seed=0):
+    """A DAG of ``num_layers`` layers with random inter-layer edges.
+
+    Vertices are pairs ``(layer, index)``.  Every path in a DAG is
+    simple, which is exactly the Theorem-8 corner case.
+    """
+    rng = random.Random(seed)
+    alphabet = sorted(alphabet)
+    graph = DbGraph()
+    for layer in range(num_layers):
+        for index in range(layer_width):
+            graph.add_vertex((layer, index))
+    for layer in range(num_layers - 1):
+        for index in range(layer_width):
+            for next_index in range(layer_width):
+                if rng.random() < density:
+                    graph.add_edge(
+                        (layer, index),
+                        rng.choice(alphabet),
+                        (layer + 1, next_index),
+                    )
+    return graph
+
+
+def grid_graph(rows, cols, right_label="a", down_label="b"):
+    """Directed grid: right edges labeled ``right_label``, down edges
+    ``down_label`` — the hardness family of Barrett et al."""
+    graph = DbGraph()
+    for row in range(rows):
+        for col in range(cols):
+            graph.add_vertex((row, col))
+    for row in range(rows):
+        for col in range(cols):
+            if col + 1 < cols:
+                graph.add_edge((row, col), right_label, (row, col + 1))
+            if row + 1 < rows:
+                graph.add_edge((row, col), down_label, (row + 1, col))
+    return graph
+
+
+def figure3_graph():
+    """The Figure-3 graph of the paper (Examples 2/3), reconstructed.
+
+    15 vertices ``v1..v15`` for the language
+    ``a(c≥2+ε)(a+b)*(ac)?a*`` of Figure 2.  The long path runs through
+    the ``c``-looping component C1 (vertices v4..v9, with the detour
+    vertices v5/v6 providing alternative component-internal routes —
+    the paper's acc(1)), then through the ``a/b`` component C2
+    (v10..v13, detours v11/v12 = acc(2)), then two final ``a`` edges.
+    Returns ``(graph, v1, v15)``.
+    """
+    graph = DbGraph()
+    v = {i: "v%d" % i for i in range(1, 16)}
+    edges = [
+        (1, "a", 2), (2, "c", 3), (3, "c", 4),
+        # C1: c-labeled chain v4 -> v9 with shortcuts (v5, v6 optional)
+        (4, "c", 5), (5, "c", 6), (6, "c", 7),
+        (4, "c", 6), (5, "c", 7),
+        (7, "c", 8), (8, "c", 9),
+        # exit C1 with an (a+b)* letter
+        (9, "a", 10),
+        # C2: b-labeled chain v10 -> v13 with shortcuts (v11, v12 optional)
+        (10, "b", 11), (11, "b", 12), (12, "b", 13),
+        (10, "b", 12), (11, "b", 13),
+        # final a* tail
+        (13, "a", 14), (14, "a", 15),
+    ]
+    for source, label, target in edges:
+        graph.add_edge(v[source], label, v[target])
+    return graph, v[1], v[15]
+
+
+def _b_chain(graph, source, target, length):
+    """A fresh b-labeled chain of ``length`` edges from source to target."""
+    current = source
+    for _step in range(length - 1):
+        nxt = graph.fresh_vertex("b")
+        graph.add_edge(current, "b", nxt)
+        current = nxt
+    graph.add_edge(current, "b", target)
+
+
+def figure4_graph(k):
+    """The Figure-4 loop-elimination counterexample, faithful version.
+
+    For the language ``a*(bb+ + ε)c*`` with ``k`` playing N:
+
+    * an ``a``-path ``x_0 .. x_{2k}``,
+    * a ``c``-path ``y_0 .. y_{2k}``,
+    * a ``b``-path of length ``2k`` from ``x_{2k}`` to ``y_0`` that
+      meets the middles: ``k`` b-edges reach ``x_k``, **one** b-edge
+      crosses to ``y_k``, and ``k - 1`` more reach ``y_0``.
+
+    The walk a^{2k} b^{2k} c^{2k} from ``x_0`` to ``y_{2k}`` is
+    L-labeled but self-intersects at both middles; eliminating one loop
+    leaves a loop whose removal yields ``a^k b c^k ∉ L``.  In fact *no*
+    simple L-labeled path connects the terminals — the family is a
+    negative instance that naive loop-removal would wrongly accept.
+    Returns ``(graph, x0, y_2k)``.  Requires ``k ≥ 2``.
+    """
+    if k < 2:
+        raise ValueError("figure4_graph needs k >= 2")
+    graph = DbGraph()
+    xs = ["x%d" % i for i in range(2 * k + 1)]
+    ys = ["y%d" % i for i in range(2 * k + 1)]
+    for i in range(2 * k):
+        graph.add_edge(xs[i], "a", xs[i + 1])
+        graph.add_edge(ys[i], "c", ys[i + 1])
+    _b_chain(graph, xs[2 * k], xs[k], k)
+    graph.add_edge(xs[k], "b", ys[k])
+    _b_chain(graph, ys[k], ys[0], k - 1)
+    return graph, xs[0], ys[2 * k]
+
+
+def figure4_cross_graph(k):
+    """A positive variant of the Figure-4 shape.
+
+    Same three chains, but the bridge between the middles is ``k``
+    b-edges long, so the cut-across route ``a^k b^k c^k`` is a simple
+    L-labeled path for ``a*(bb+ + ε)c*`` (k ≥ 2).  Exercises the same
+    anchored-gap machinery on a yes-instance and scales with k.
+    Returns ``(graph, x0, y_2k)``.
+    """
+    if k < 2:
+        raise ValueError("figure4_cross_graph needs k >= 2")
+    graph = DbGraph()
+    xs = ["x%d" % i for i in range(2 * k + 1)]
+    ys = ["y%d" % i for i in range(2 * k + 1)]
+    for i in range(2 * k):
+        graph.add_edge(xs[i], "a", xs[i + 1])
+        graph.add_edge(ys[i], "c", ys[i + 1])
+    _b_chain(graph, xs[2 * k], xs[k], k)
+    _b_chain(graph, xs[k], ys[k], k)
+    _b_chain(graph, ys[k], ys[0], k)
+    return graph, xs[0], ys[2 * k]
+
+
+def two_terminal_random_digraph(num_vertices, num_edges, seed=0):
+    """Unlabeled random digraph + 4 random distinct terminals.
+
+    Input family for Vertex-Disjoint-Path experiments.  Returns
+    ``(edges, x1, y1, x2, y2)`` where ``edges`` is a set of vertex pairs.
+    """
+    rng = random.Random(seed)
+    if num_vertices < 4:
+        raise ValueError("need at least 4 vertices for terminals")
+    edges = set()
+    attempts = 0
+    while len(edges) < num_edges and attempts < 50 * num_edges + 100:
+        attempts += 1
+        source = rng.randrange(num_vertices)
+        target = rng.randrange(num_vertices)
+        if source != target:
+            edges.add((source, target))
+    terminals = rng.sample(range(num_vertices), 4)
+    return edges, terminals[0], terminals[1], terminals[2], terminals[3]
+
+
+def transportation_network(num_cities, seed=0):
+    """A toy road network: cities connected by 'h' (highway), 'r'
+    (regional road) and 'f' (ferry) edges.
+
+    Returns ``(graph, cities)`` where cities are ``c0..c{n-1}``.  The
+    network is a ring of regional roads plus random highways and a few
+    ferries, mirroring the introduction's Google-Maps-style motivation
+    (enforce a stopover, avoid a city, prefer road types).
+    """
+    rng = random.Random(seed)
+    graph = DbGraph()
+    cities = ["c%d" % i for i in range(num_cities)]
+    for index in range(num_cities):
+        graph.add_edge(cities[index], "r", cities[(index + 1) % num_cities])
+        graph.add_edge(cities[(index + 1) % num_cities], "r", cities[index])
+    num_highways = max(1, num_cities // 2)
+    for _ in range(num_highways):
+        a, b = rng.sample(range(num_cities), 2)
+        graph.add_edge(cities[a], "h", cities[b])
+        graph.add_edge(cities[b], "h", cities[a])
+    for _ in range(max(1, num_cities // 5)):
+        a, b = rng.sample(range(num_cities), 2)
+        graph.add_edge(cities[a], "f", cities[b])
+    return graph, cities
+
+
+def scale_free_social_graph(num_vertices, alphabet="fk", seed=0):
+    """A scale-free "social network" with labeled relationships.
+
+    Uses networkx's Barabási–Albert preferential attachment as the
+    topology source (the introduction names social networks as an RSPQ
+    application), orients each undirected edge in both directions, and
+    assigns labels with a skew: the first symbol of ``alphabet`` is the
+    common relation (e.g. 'f' = follows), the rest are rare.
+    """
+    import networkx as nx
+
+    rng = random.Random(seed)
+    alphabet = list(alphabet)
+    if num_vertices < 3:
+        raise ValueError("need at least 3 vertices")
+    backbone = nx.barabasi_albert_graph(
+        num_vertices, 2, seed=rng.randrange(2 ** 30)
+    )
+    graph = DbGraph()
+    for vertex in backbone.nodes():
+        graph.add_vertex(vertex)
+    for a, b in backbone.edges():
+        for source, target in ((a, b), (b, a)):
+            if rng.random() < 0.75 or len(alphabet) == 1:
+                label = alphabet[0]
+            else:
+                label = rng.choice(alphabet[1:])
+            graph.add_edge(source, label, target)
+    return graph
+
+
+def component_chain_graph(segment_words, detour_density=0.3, seed=0):
+    """Chain of labeled segments with random shortcut detours.
+
+    ``segment_words`` is a list of words; the main path spells their
+    concatenation.  With probability ``detour_density`` per interior
+    vertex, a two-edge detour (same labels as the skipped edges) is
+    added, creating alternative simple paths — a generalisation of the
+    Figure-3 shape used by the summary benches.  Returns
+    ``(graph, source, target)``.
+    """
+    rng = random.Random(seed)
+    word = "".join(segment_words)
+    graph = labeled_path(word)
+    for index in range(len(word) - 1):
+        if rng.random() < detour_density:
+            detour = graph.fresh_vertex("d")
+            graph.add_edge(index, word[index], detour)
+            graph.add_edge(detour, word[index + 1], index + 2)
+    return graph, 0, len(word)

@@ -1,0 +1,77 @@
+"""Plain-text serialization for db-graphs.
+
+Format — one record per line:
+
+* ``v <vertex>`` declares an isolated vertex,
+* ``e <source> <label> <target>`` declares an edge,
+* blank lines and ``#`` comments are ignored.
+
+Vertex names are written verbatim, so names must not contain whitespace.
+Round-trips through :func:`dumps`/:func:`loads` preserve the graph
+exactly (vertex names become strings).
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from .dbgraph import DbGraph
+
+
+def dumps(graph):
+    """Serialize ``graph`` into the text format."""
+    lines = []
+    touched = set()
+    for source, label, target in graph.edges():
+        for vertex in (source, target):
+            if " " in str(vertex):
+                raise GraphError(
+                    "vertex name %r contains whitespace" % (vertex,)
+                )
+        lines.append("e %s %s %s" % (source, label, target))
+        touched.add(source)
+        touched.add(target)
+    for vertex in graph.vertices():
+        if vertex not in touched:
+            if " " in str(vertex):
+                raise GraphError(
+                    "vertex name %r contains whitespace" % (vertex,)
+                )
+            lines.append("v %s" % (vertex,))
+    return "\n".join(lines) + "\n"
+
+
+def loads(text):
+    """Parse the text format into a :class:`DbGraph`."""
+    graph = DbGraph()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if fields[0] == "v" and len(fields) == 2:
+            graph.add_vertex(fields[1])
+        elif fields[0] == "e" and len(fields) == 4:
+            source, label, target = fields[1], fields[2], fields[3]
+            if len(label) != 1:
+                raise GraphError(
+                    "line %d: label %r is not a single symbol"
+                    % (line_number, label)
+                )
+            graph.add_edge(source, label, target)
+        else:
+            raise GraphError(
+                "line %d: unrecognised record %r" % (line_number, raw_line)
+            )
+    return graph
+
+
+def dump(graph, path):
+    """Write ``graph`` to the file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(graph))
+
+
+def load(path):
+    """Read a graph from the file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

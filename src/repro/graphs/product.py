@@ -1,0 +1,143 @@
+"""Product of a db-graph with a DFA — the classic RPQ structure.
+
+The product graph has nodes ``(vertex, state)`` and an edge
+``(v, q) -> (w, δ(q, a))`` for every graph edge ``(v, a, w)``.  BFS over
+it answers *arbitrary-path* regular path queries in linear time and
+provides the reachability pruning used by the simple-path solvers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import GraphError
+from .dbgraph import Path
+
+
+class ProductGraph:
+    """Lazy product ``G × A_L`` with cached reachability queries."""
+
+    def __init__(self, graph, dfa):
+        self.graph = graph
+        self.dfa = dfa
+        self._forward_cache = {}
+        self._backward_cache = {}
+
+    def successors(self, vertex, state):
+        """Product successors of ``(vertex, state)``."""
+        for label, target in self.graph.out_edges(vertex):
+            if label in self.dfa.alphabet:
+                yield target, self.dfa.transition(state, label)
+
+    def forward_reachable(self, vertex, state):
+        """All product nodes reachable from ``(vertex, state)``."""
+        key = (vertex, state)
+        cached = self._forward_cache.get(key)
+        if cached is not None:
+            return cached
+        seen = {key}
+        queue = deque([key])
+        while queue:
+            node = queue.popleft()
+            for successor in self.successors(*node):
+                if successor not in seen:
+                    seen.add(successor)
+                    queue.append(successor)
+        self._forward_cache[key] = seen
+        return seen
+
+    def backward_reachable(self, vertex, state):
+        """All product nodes that can reach ``(vertex, state)``."""
+        key = (vertex, state)
+        cached = self._backward_cache.get(key)
+        if cached is not None:
+            return cached
+        seen = {key}
+        queue = deque([key])
+        while queue:
+            node_vertex, node_state = queue.popleft()
+            for label, source in self.graph.in_edges(node_vertex):
+                if label not in self.dfa.alphabet:
+                    continue
+                for state_before in self.dfa.states():
+                    if self.dfa.transition(state_before, label) != node_state:
+                        continue
+                    predecessor = (source, state_before)
+                    if predecessor not in seen:
+                        seen.add(predecessor)
+                        queue.append(predecessor)
+        self._backward_cache[key] = seen
+        return seen
+
+    def can_accept_from(self, vertex, state, target_vertex):
+        """True iff some walk from ``(vertex, state)`` reaches
+        ``(target_vertex, f)`` with ``f`` accepting."""
+        reachable = self.forward_reachable(vertex, state)
+        return any(
+            (target_vertex, final) in reachable for final in self.dfa.accepting
+        )
+
+    def live_states(self, target_vertex):
+        """Product nodes from which ``target_vertex`` is acceptable.
+
+        The union of backward-reachable sets of ``(target, f)`` over all
+        accepting states ``f`` — the standard pruning set: any partial
+        walk whose product node falls outside is hopeless even without
+        the simplicity constraint.
+        """
+        live = set()
+        for final in self.dfa.accepting:
+            live |= self.backward_reachable(target_vertex, final)
+        return live
+
+
+def rpq_reachable(graph, dfa, source):
+    """All vertices reachable from ``source`` by an L-labeled *walk*."""
+    graph.require_vertex(source)
+    product = ProductGraph(graph, dfa)
+    reachable = product.forward_reachable(source, dfa.initial)
+    return {
+        vertex for vertex, state in reachable if state in dfa.accepting
+    }
+
+
+def shortest_walk(graph, dfa, source, target):
+    """Shortest L-labeled walk from ``source`` to ``target`` (or None).
+
+    Plain BFS on the product graph with parent pointers.  The walk is
+    *not* necessarily simple.
+    """
+    graph.require_vertex(source)
+    graph.require_vertex(target)
+    start = (source, dfa.initial)
+    parents = {start: None}
+    queue = deque([start])
+    goal = None
+    if source == target and dfa.initial in dfa.accepting:
+        return Path.single(source)
+    while queue and goal is None:
+        vertex, state = queue.popleft()
+        for label, next_vertex in graph.out_edges(vertex):
+            if label not in dfa.alphabet:
+                continue
+            next_state = dfa.transition(state, label)
+            node = (next_vertex, next_state)
+            if node in parents:
+                continue
+            parents[node] = ((vertex, state), label)
+            if next_vertex == target and next_state in dfa.accepting:
+                goal = node
+                break
+            queue.append(node)
+    if goal is None:
+        return None
+    vertices = deque()
+    labels = deque()
+    node = goal
+    while parents[node] is not None:
+        previous, label = parents[node]
+        vertices.appendleft(node[0])
+        labels.appendleft(label)
+        node = previous
+    vertices.appendleft(node[0])
+    return Path(tuple(vertices), tuple(labels))

@@ -1,0 +1,189 @@
+"""Vertex-labeled and vertex+edge-labeled graphs (Section 4.1).
+
+The paper treats these as special db-graphs:
+
+* A *vl-graph* (vertices labeled) becomes a db-graph in which the label
+  of an edge ``(x, y)`` is the label of its **target** vertex, so no two
+  edges entering the same vertex carry different labels.
+* An *evl-graph* (vertices and edges labeled) becomes a db-graph over the
+  product alphabet ``Σ_V × Σ_E``; we encode the pair ``(v_label,
+  e_label)`` as a single fresh symbol via an explicit pair alphabet.
+
+Queries on these graphs are regular languages over the vertex alphabet
+(vl) or the pair alphabet (evl); the encoders return ordinary
+:class:`~repro.graphs.dbgraph.DbGraph` objects plus the mapping needed to
+interpret words.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from .dbgraph import DbGraph
+
+
+class VlGraph:
+    """A directed graph whose *vertices* carry labels."""
+
+    def __init__(self):
+        self._labels = {}
+        self._edges = set()
+
+    def add_vertex(self, vertex, label):
+        """Add ``vertex`` with ``label`` (re-adding must not change it)."""
+        if not isinstance(label, str) or len(label) != 1:
+            raise GraphError("vertex labels are single symbols, got %r" % (label,))
+        existing = self._labels.get(vertex)
+        if existing is not None and existing != label:
+            raise GraphError(
+                "vertex %r already labeled %r, cannot relabel to %r"
+                % (vertex, existing, label)
+            )
+        self._labels[vertex] = label
+        return vertex
+
+    def add_edge(self, source, target):
+        """Add the (unlabeled) edge; both endpoints must exist."""
+        for vertex in (source, target):
+            if vertex not in self._labels:
+                raise GraphError("unknown vertex %r (add it with a label)" % (vertex,))
+        self._edges.add((source, target))
+
+    @property
+    def num_vertices(self):
+        return len(self._labels)
+
+    @property
+    def num_edges(self):
+        return len(self._edges)
+
+    def vertices(self):
+        return iter(sorted(self._labels, key=repr))
+
+    def label_of(self, vertex):
+        try:
+            return self._labels[vertex]
+        except KeyError:
+            raise GraphError("unknown vertex %r" % (vertex,))
+
+    def edges(self):
+        return iter(sorted(self._edges, key=repr))
+
+    def to_dbgraph(self):
+        """Encode as a db-graph: edge ``(x, y)`` gets label ``λ(y)``.
+
+        The *source* vertex's label is not represented on any edge, which
+        matches the paper's convention that a path's word is the sequence
+        of labels of the traversed vertices **after** the start vertex.
+        Callers that want the full vertex-word (including the start
+        label) should prepend ``label_of(x)`` themselves; the vl-solver
+        in :mod:`repro.core.vlg` handles this via language quotients.
+        """
+        result = DbGraph()
+        for vertex in self._labels:
+            result.add_vertex(vertex)
+        for source, target in self._edges:
+            result.add_edge(source, self._labels[target], target)
+        return result
+
+    def __repr__(self):
+        return "VlGraph(|V|=%d, |E|=%d)" % (self.num_vertices, self.num_edges)
+
+
+class EvlGraph:
+    """A directed graph with labels on both vertices and edges."""
+
+    def __init__(self):
+        self._labels = {}
+        self._edges = set()
+        self._edge_labels = set()
+
+    def add_vertex(self, vertex, label):
+        if not isinstance(label, str) or len(label) != 1:
+            raise GraphError("vertex labels are single symbols, got %r" % (label,))
+        existing = self._labels.get(vertex)
+        if existing is not None and existing != label:
+            raise GraphError(
+                "vertex %r already labeled %r, cannot relabel to %r"
+                % (vertex, existing, label)
+            )
+        self._labels[vertex] = label
+        return vertex
+
+    def add_edge(self, source, edge_label, target):
+        if not isinstance(edge_label, str) or len(edge_label) != 1:
+            raise GraphError("edge labels are single symbols, got %r" % (edge_label,))
+        for vertex in (source, target):
+            if vertex not in self._labels:
+                raise GraphError("unknown vertex %r (add it with a label)" % (vertex,))
+        self._edges.add((source, edge_label, target))
+        self._edge_labels.add(edge_label)
+
+    @property
+    def num_vertices(self):
+        return len(self._labels)
+
+    @property
+    def num_edges(self):
+        return len(self._edges)
+
+    def vertices(self):
+        return iter(sorted(self._labels, key=repr))
+
+    def label_of(self, vertex):
+        try:
+            return self._labels[vertex]
+        except KeyError:
+            raise GraphError("unknown vertex %r" % (vertex,))
+
+    def edges(self):
+        return iter(sorted(self._edges, key=repr))
+
+    def pair_alphabet(self):
+        """All ``(vertex_label, edge_label)`` pairs that can occur."""
+        vertex_labels = sorted(set(self._labels.values()))
+        edge_labels = sorted(self._edge_labels)
+        return [(v, e) for v in vertex_labels for e in edge_labels]
+
+    def to_dbgraph(self, pair_encoding=None):
+        """Encode as a db-graph over an encoded pair alphabet.
+
+        Edge ``(x, e, y)`` becomes an edge labeled ``enc((λ(y), e))``.
+        Returns ``(dbgraph, encoding)`` where ``encoding`` maps label
+        pairs to single symbols.  A default encoding assigns successive
+        printable symbols.
+        """
+        if pair_encoding is None:
+            pair_encoding = default_pair_encoding(self.pair_alphabet())
+        result = DbGraph()
+        for vertex in self._labels:
+            result.add_vertex(vertex)
+        for source, edge_label, target in self._edges:
+            pair = (self._labels[target], edge_label)
+            result.add_edge(source, pair_encoding[pair], target)
+        return result, pair_encoding
+
+    def __repr__(self):
+        return "EvlGraph(|V|=%d, |E|=%d)" % (self.num_vertices, self.num_edges)
+
+
+_ENCODING_POOL = (
+    "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "abcdefghijklmnopqrstuvwxyz"
+    "!#$%&'@~`_-.:;<>"
+)
+
+
+def default_pair_encoding(pairs):
+    """Assign a distinct single symbol to every label pair."""
+    pairs = list(pairs)
+    if len(pairs) > len(_ENCODING_POOL):
+        raise GraphError(
+            "pair alphabet too large for the default encoding (%d > %d)"
+            % (len(pairs), len(_ENCODING_POOL))
+        )
+    return {pair: _ENCODING_POOL[index] for index, pair in enumerate(pairs)}
+
+
+def encode_pair_word(word_pairs, encoding):
+    """Encode a sequence of ``(vertex_label, edge_label)`` pairs."""
+    return "".join(encoding[pair] for pair in word_pairs)

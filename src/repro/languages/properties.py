@@ -1,0 +1,65 @@
+"""Language-level properties: finiteness, subword closure, equivalence.
+
+The subword-closure test implements the Mendelzon–Wood tractable class
+(languages closed by subword), which the paper identifies with ``trC(0)``
+in its conclusion.  A language is subword-closed iff its downward closure
+(delete any letters) is contained in it.
+"""
+
+from __future__ import annotations
+
+from .dfa import DFA
+from .nfa import NFA, EPSILON
+
+
+def downward_closure_nfa(dfa):
+    """NFA for the subword (downward) closure of L(dfa).
+
+    For every letter transition ``p --a--> q`` we add an ε-transition
+    ``p --ε--> q``: skipping a letter of an accepted word produces exactly
+    the subwords.
+    """
+    transitions = {state: [] for state in dfa.states()}
+    for state, symbol, target in dfa.transitions():
+        transitions[state].append((symbol, target))
+        transitions[state].append((EPSILON, target))
+    return NFA(
+        dfa.states(),
+        dfa.alphabet,
+        transitions,
+        initial=[dfa.initial],
+        accepting=dfa.accepting,
+    )
+
+
+def is_subword_closed(dfa):
+    """True iff L is closed under taking (scattered) subwords."""
+    closure = downward_closure_nfa(dfa)
+    # closed iff closure ⊆ L iff closure ∩ complement(L) = ∅
+    outside = closure.intersect_dfa(
+        dfa, dfa_accepting=set(dfa.states()) - dfa.accepting
+    )
+    return outside.is_empty()
+
+
+def languages_equal(dfa_a, dfa_b):
+    """Language equality for two DFAs (alphabets may differ)."""
+    return dfa_a.equivalent(dfa_b)
+
+
+def sample_words(dfa, max_length, limit=None):
+    """List of accepted words of length ≤ ``max_length`` (testing aid)."""
+    words = []
+    for word in dfa.enumerate_words(max_length):
+        words.append(word)
+        if limit is not None and len(words) >= limit:
+            break
+    return words
+
+
+def language_density(dfa, max_length):
+    """Number of accepted words per length, ``0..max_length`` inclusive.
+
+    A cheap fingerprint used by tests and benches to compare languages.
+    """
+    return [dfa.count_words_of_length(n) for n in range(max_length + 1)]

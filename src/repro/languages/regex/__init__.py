@@ -1,0 +1,6 @@
+"""Regular-expression AST, parser and combinators."""
+
+from . import ast, builder
+from .parser import parse
+
+__all__ = ["ast", "builder", "parse"]

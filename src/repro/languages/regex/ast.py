@@ -1,0 +1,237 @@
+"""Abstract syntax tree for regular expressions.
+
+The node types mirror the operators used throughout the paper:
+
+* ``Empty``     -- the empty language (∅)
+* ``Epsilon``   -- the language {ε}
+* ``Literal``   -- a single letter ``a``
+* ``CharClass`` -- a set of letters ``[abc]`` (sugar for a union of literals)
+* ``Concat``    -- concatenation ``e1 e2 … ek``
+* ``Union``     -- alternation ``e1 + e2 + … + ek``
+* ``Star``      -- Kleene star ``e*``
+* ``Plus``      -- one-or-more ``e+``
+* ``Optional``  -- zero-or-one ``e?``
+* ``Repeat``    -- bounded/unbounded repetition ``e{m}``, ``e{m,n}``,
+  ``e{m,}``; the paper's ``A≥k`` (= ``A^k A^*``) is ``Repeat(A, k, None)``
+
+Nodes are immutable and hashable so they can key caches and appear inside
+sets.  ``str()`` produces a parseable round-trip representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional as Opt
+from typing import Tuple
+
+
+class RegexNode:
+    """Base class for regex AST nodes."""
+
+    #: precedence used for parenthesisation when printing:
+    #: union(1) < concat(2) < repetition(3) < atom(4)
+    precedence = 4
+
+    def _wrap(self, child):
+        """Render ``child``, adding parentheses when precedence demands."""
+        text = str(child)
+        if child.precedence < self.precedence:
+            return "(" + text + ")"
+        return text
+
+    def children(self):
+        """Iterable of direct sub-expressions (empty for atoms)."""
+        return ()
+
+    def alphabet(self):
+        """Set of letters that occur syntactically in this expression."""
+        letters = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Literal):
+                letters.add(node.symbol)
+            elif isinstance(node, CharClass):
+                letters.update(node.symbols)
+            else:
+                stack.extend(node.children())
+        return letters
+
+    def size(self):
+        """Number of AST nodes; a convenient measure of expression size."""
+        total = 1
+        for child in self.children():
+            total += child.size()
+        return total
+
+
+@dataclass(frozen=True)
+class Empty(RegexNode):
+    """The empty language."""
+
+    precedence = 4
+
+    def __str__(self):
+        return "∅"
+
+
+@dataclass(frozen=True)
+class Epsilon(RegexNode):
+    """The language containing only the empty word."""
+
+    precedence = 4
+
+    def __str__(self):
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Literal(RegexNode):
+    """A single alphabet symbol."""
+
+    symbol: str
+
+    precedence = 4
+
+    def __post_init__(self):
+        if len(self.symbol) != 1:
+            raise ValueError(
+                "Literal holds exactly one symbol, got %r" % (self.symbol,)
+            )
+
+    def __str__(self):
+        return self.symbol
+
+
+@dataclass(frozen=True)
+class CharClass(RegexNode):
+    """A set of symbols, any one of which matches (``[abc]``)."""
+
+    symbols: Tuple[str, ...]
+
+    precedence = 4
+
+    def __post_init__(self):
+        ordered = tuple(sorted(set(self.symbols)))
+        object.__setattr__(self, "symbols", ordered)
+        if not ordered:
+            raise ValueError("CharClass requires at least one symbol")
+
+    def __str__(self):
+        return "[" + "".join(self.symbols) + "]"
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    """Concatenation of two or more expressions."""
+
+    parts: Tuple[RegexNode, ...]
+
+    precedence = 2
+
+    def __post_init__(self):
+        if len(self.parts) < 2:
+            raise ValueError("Concat requires at least two parts")
+
+    def children(self):
+        return self.parts
+
+    def __str__(self):
+        return "".join(self._wrap(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Union(RegexNode):
+    """Alternation of two or more expressions (written ``+`` in the paper)."""
+
+    parts: Tuple[RegexNode, ...]
+
+    precedence = 1
+
+    def __post_init__(self):
+        if len(self.parts) < 2:
+            raise ValueError("Union requires at least two parts")
+
+    def children(self):
+        return self.parts
+
+    def __str__(self):
+        return " + ".join(self._wrap(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Star(RegexNode):
+    """Kleene closure ``e*``."""
+
+    inner: RegexNode
+
+    precedence = 3
+
+    def children(self):
+        return (self.inner,)
+
+    def __str__(self):
+        return self._wrap(self.inner) + "*"
+
+
+@dataclass(frozen=True)
+class Plus(RegexNode):
+    """One-or-more repetitions ``e+`` (postfix, distinct from union ``+``)."""
+
+    inner: RegexNode
+
+    precedence = 3
+
+    def children(self):
+        return (self.inner,)
+
+    def __str__(self):
+        return self._wrap(self.inner) + "^+"
+
+
+@dataclass(frozen=True)
+class Optional(RegexNode):
+    """Zero-or-one occurrence ``e?``."""
+
+    inner: RegexNode
+
+    precedence = 3
+
+    def children(self):
+        return (self.inner,)
+
+    def __str__(self):
+        return self._wrap(self.inner) + "?"
+
+
+@dataclass(frozen=True)
+class Repeat(RegexNode):
+    """Bounded or half-bounded repetition.
+
+    ``Repeat(e, m, n)`` matches between ``m`` and ``n`` copies of ``e``;
+    ``n is None`` means unbounded, so ``Repeat(e, k, None)`` is the
+    paper's ``e≥k`` = ``e^k e*``.
+    """
+
+    inner: RegexNode
+    low: int = 0
+    high: Opt[int] = field(default=None)
+
+    precedence = 3
+
+    def __post_init__(self):
+        if self.low < 0:
+            raise ValueError("Repeat lower bound must be non-negative")
+        if self.high is not None and self.high < self.low:
+            raise ValueError("Repeat upper bound below lower bound")
+
+    def children(self):
+        return (self.inner,)
+
+    def __str__(self):
+        base = self._wrap(self.inner)
+        if self.high is None:
+            return "%s{%d,}" % (base, self.low)
+        if self.high == self.low:
+            return "%s{%d}" % (base, self.low)
+        return "%s{%d,%d}" % (base, self.low, self.high)

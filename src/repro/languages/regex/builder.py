@@ -1,0 +1,141 @@
+"""Programmatic combinators for building regex ASTs.
+
+These helpers normalise trivial cases (flattening nested concatenations,
+dropping epsilon in concatenations, deduplicating union branches) so that
+generated expressions stay readable.  They perform *syntactic* tidying
+only; no language-level simplification is attempted here.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    CharClass,
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    Optional,
+    Plus,
+    RegexNode,
+    Repeat,
+    Star,
+    Union,
+)
+
+
+def epsilon():
+    """The {ε} expression."""
+    return Epsilon()
+
+
+def empty():
+    """The ∅ expression."""
+    return Empty()
+
+
+def literal(symbol):
+    """A single-letter expression."""
+    return Literal(symbol)
+
+
+def word(text):
+    """Concatenation of the letters of ``text`` (``word('') == ε``)."""
+    if not text:
+        return Epsilon()
+    if len(text) == 1:
+        return Literal(text)
+    return Concat(tuple(Literal(ch) for ch in text))
+
+
+def char_class(symbols):
+    """Any single letter from ``symbols`` (string or iterable of letters)."""
+    ordered = tuple(sorted(set(symbols)))
+    if not ordered:
+        return Empty()
+    if len(ordered) == 1:
+        return Literal(ordered[0])
+    return CharClass(ordered)
+
+
+def concat(*parts):
+    """Concatenate expressions, flattening and dropping ε parts."""
+    flat = []
+    for part in parts:
+        if isinstance(part, Empty):
+            return Empty()
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*parts):
+    """Union of expressions, flattening, deduplicating, dropping ∅."""
+    flat = []
+    seen = set()
+    for part in parts:
+        candidates = part.parts if isinstance(part, Union) else (part,)
+        for candidate in candidates:
+            if isinstance(candidate, Empty):
+                continue
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            flat.append(candidate)
+    if not flat:
+        return Empty()
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def star(inner):
+    """Kleene star with trivial normalisations (``∅* = ε* = ε``)."""
+    if isinstance(inner, (Empty, Epsilon)):
+        return Epsilon()
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def plus(inner):
+    """One-or-more repetitions."""
+    if isinstance(inner, Empty):
+        return Empty()
+    if isinstance(inner, Epsilon):
+        return Epsilon()
+    return Plus(inner)
+
+
+def optional(inner):
+    """Zero-or-one occurrence."""
+    if isinstance(inner, (Empty, Epsilon)):
+        return Epsilon()
+    if isinstance(inner, (Optional, Star)):
+        return inner
+    return Optional(inner)
+
+
+def repeat(inner, low, high=None):
+    """Between ``low`` and ``high`` repetitions (``high=None`` unbounded)."""
+    if high == 0:
+        return Epsilon()
+    if low == 0 and high is None:
+        return star(inner)
+    if low == 1 and high is None:
+        return plus(inner)
+    if low == 0 and high == 1:
+        return optional(inner)
+    return Repeat(inner, low, high)
+
+
+def at_least(symbols, k):
+    """The paper's ``A≥k`` term: at least ``k`` letters from ``symbols``."""
+    return repeat(char_class(symbols), k, None)

@@ -1,0 +1,16 @@
+"""Deciding, given L, whether RSPQ(L) is tractable (Theorem 3)."""
+
+from .dfa_recognizer import RecognitionReport, recognize_tractable_dfa
+from .nfa_recognizer import (
+    NfaRecognitionReport,
+    recognize_tractable_nfa,
+    recognize_tractable_regex,
+)
+
+__all__ = [
+    "NfaRecognitionReport",
+    "RecognitionReport",
+    "recognize_tractable_dfa",
+    "recognize_tractable_nfa",
+    "recognize_tractable_regex",
+]

@@ -1,0 +1,68 @@
+"""Recognition of tractable languages from a DFA (Theorem 3, case 1).
+
+"Is RSPQ(L) tractable?" for L given by a *DFA* is NL-complete.  The
+polynomial algorithm implemented here follows the appendix proof:
+
+1. reduce to the minimal-DFA case by collapsing Nerode-equivalent
+   states (the appendix does this on the fly; we minimise explicitly,
+   which is the deterministic-polynomial shadow of the same step);
+2. for each state pair ``(q1, q2)`` with ``q2`` reachable from ``q1``
+   and both looping, build the automaton for ``Loop(q2)^M L_{q2} \\
+   L_{q1}`` (the M-copies construction) and test emptiness.
+
+The instance is accepted iff no pair violates the inclusion — i.e. iff
+L ∈ trC, iff RSPQ(L) is not NP-complete (Theorem 1).
+
+Work accounting is exposed so the recognition bench (E7) can plot cost
+against automaton size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.trc import is_in_trc, violating_pairs
+from ..languages.dfa import DFA
+
+
+@dataclass
+class RecognitionReport:
+    """Outcome of a tractability-recognition run."""
+
+    tractable: bool
+    minimal_states: int
+    input_states: int
+    pairs_checked: int
+    violating_pair: tuple = None
+
+
+def recognize_tractable_dfa(dfa):
+    """Theorem 3 (1): decide tractability of RSPQ(L) from a DFA.
+
+    Accepts any complete DFA (not necessarily minimal) and returns a
+    :class:`RecognitionReport`.
+    """
+    if not isinstance(dfa, DFA):
+        raise TypeError("recognize_tractable_dfa expects a DFA")
+    minimal = dfa.minimized()
+    from ..languages.analysis import looping_states
+
+    loops = looping_states(minimal)
+    pairs = 0
+    for q1 in sorted(loops):
+        reachable = minimal.reachable_states(q1)
+        pairs += len(loops & reachable)
+    for pair in violating_pairs(minimal):
+        return RecognitionReport(
+            tractable=False,
+            minimal_states=minimal.num_states,
+            input_states=dfa.num_states,
+            pairs_checked=pairs,
+            violating_pair=pair,
+        )
+    return RecognitionReport(
+        tractable=True,
+        minimal_states=minimal.num_states,
+        input_states=dfa.num_states,
+        pairs_checked=pairs,
+    )

@@ -1,0 +1,55 @@
+"""Recognition of tractable languages from an NFA or regex (Theorem 3,
+case 2).
+
+For NFAs and regular expressions the recognition problem jumps to
+PSPACE-complete.  The upper bound's algorithmic content — determinize,
+then run the DFA test — is implemented verbatim; the unavoidable
+exponential lives in the subset construction, and the report records
+the blowup so the recognition bench (E7) can chart it against the
+Theorem-3 lower-bound family built from Universality instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..languages import Language
+from ..languages.dfa import from_nfa
+from ..languages.nfa import NFA, nfa_from_ast
+from ..languages.regex.parser import parse
+from .dfa_recognizer import RecognitionReport, recognize_tractable_dfa
+
+
+@dataclass
+class NfaRecognitionReport:
+    """DFA report plus the determinization cost."""
+
+    tractable: bool
+    nfa_states: int
+    determinized_states: int
+    minimal_states: int
+    pairs_checked: int
+
+
+def recognize_tractable_nfa(nfa):
+    """Theorem 3 (2): decide tractability from an NFA.
+
+    Determinizes (worst-case exponential — that is the theorem's
+    point), minimises, then applies the polynomial DFA procedure.
+    """
+    if not isinstance(nfa, NFA):
+        raise TypeError("recognize_tractable_nfa expects an NFA")
+    dfa = from_nfa(nfa)
+    report = recognize_tractable_dfa(dfa)
+    return NfaRecognitionReport(
+        tractable=report.tractable,
+        nfa_states=nfa.num_states(),
+        determinized_states=dfa.num_states,
+        minimal_states=report.minimal_states,
+        pairs_checked=report.pairs_checked,
+    )
+
+
+def recognize_tractable_regex(text):
+    """Theorem 3 (2), regex representation: parse, Thompson, determinize."""
+    return recognize_tractable_nfa(nfa_from_ast(parse(text)))

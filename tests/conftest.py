@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import language
+from repro.graphs.generators import random_labeled_graph
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20130622)  # PODS 2013 conference date
+
+
+def random_instance(seed, alphabet, max_vertices=12):
+    """A reproducible random (graph, x, y) triple."""
+    rand = random.Random(seed)
+    n = rand.randint(4, max_vertices)
+    m = rand.randint(n, 3 * n)
+    graph = random_labeled_graph(n, m, alphabet, seed=seed)
+    return graph, rand.randrange(n), rand.randrange(n)
+
+
+def paths_agree(path_a, path_b):
+    """Both None, or both found with equal length."""
+    if (path_a is None) != (path_b is None):
+        return False
+    return path_a is None or len(path_a) == len(path_b)

@@ -1,0 +1,133 @@
+"""Tests for DFA structural analysis (components, loops, aperiodicity)."""
+
+import pytest
+
+from repro.languages import language
+from repro.languages.analysis import (
+    component_of,
+    has_loop,
+    has_loop_with_last_letter,
+    internal_alphabet,
+    is_aperiodic,
+    loop_nfa,
+    looping_states,
+    strongly_connected_components,
+    transition_monoid,
+)
+
+
+def _dfa(text, alphabet=None):
+    return language(text, alphabet=alphabet).dfa
+
+
+class TestComponents:
+    def test_topological_order(self):
+        dfa = _dfa("a*ba*")
+        components = strongly_connected_components(dfa)
+        index = {}
+        for position, component in enumerate(components):
+            for state in component:
+                index[state] = position
+        for state, _symbol, target in dfa.transitions():
+            assert index[state] <= index[target]
+
+    def test_component_of(self):
+        dfa = _dfa("a*")
+        components = strongly_connected_components(dfa)
+        assert dfa.initial in component_of(components, dfa.initial)
+
+    def test_example2_has_three_looping_components(self):
+        # Figure 2: C1 = {q4}, C2 = {q5, q6}, C3 = {q7} (plus sink loops).
+        dfa = _dfa("a(c{2,} + eps)(a+b)*(ac)?a*")
+        loops = looping_states(dfa)
+        components = [
+            c for c in strongly_connected_components(dfa) if c & loops
+        ]
+        non_sink = [
+            c
+            for c in components
+            if any(dfa.with_initial(q).is_empty() is False for q in c)
+        ]
+        assert len(non_sink) == 3
+
+    def test_internal_alphabet(self):
+        dfa = _dfa("a*ba*")
+        for component in strongly_connected_components(dfa):
+            (state,) = list(component)[:1]
+            if has_loop(dfa, state) and not dfa.with_initial(state).is_empty():
+                assert internal_alphabet(dfa, component) == {"a"}
+
+
+class TestLoops:
+    def test_has_loop(self):
+        dfa = _dfa("a*b")
+        assert has_loop(dfa, dfa.initial)
+        after_b = dfa.transition(dfa.initial, "b")
+        # The accepting state of a*b has no non-sink loop back to itself.
+        assert not has_loop(dfa, after_b) or dfa.with_initial(after_b).is_empty()
+
+    def test_looping_states_of_finite_language(self):
+        dfa = _dfa("ab", alphabet={"a", "b"})
+        loops = looping_states(dfa)
+        # Only the sink can loop in a finite language's DFA.
+        for state in loops:
+            assert dfa.with_initial(state).is_empty()
+
+    def test_loop_nfa_words(self):
+        dfa = _dfa("(ab)*c")
+        q0 = dfa.initial
+        nfa = loop_nfa(dfa, q0, min_loops=1)
+        assert nfa.accepts("ab")
+        assert nfa.accepts("abab")
+        assert not nfa.accepts("a")
+        assert not nfa.accepts("")
+
+    def test_loop_nfa_power(self):
+        dfa = _dfa("a*")
+        nfa = loop_nfa(dfa, dfa.initial, min_loops=3)
+        assert nfa.accepts("aaa")
+        assert nfa.accepts("aaaa")  # splits as a · a · aa
+        assert not nfa.accepts("aa")
+
+    def test_loop_with_last_letter(self):
+        dfa = _dfa("(ab)*")
+        q0 = dfa.initial
+        q1 = dfa.transition(q0, "a")
+        assert has_loop_with_last_letter(dfa, q0, "b")
+        assert not has_loop_with_last_letter(dfa, q0, "a")
+        assert has_loop_with_last_letter(dfa, q1, "a")
+        assert not has_loop_with_last_letter(dfa, q1, "b")
+
+
+class TestAperiodicity:
+    @pytest.mark.parametrize(
+        "text,aperiodic",
+        [
+            ("a*ba*", True),
+            ("a*(bb+ + eps)c*", True),
+            ("(aa)*", False),
+            # (ab)* is star-free, hence aperiodic — yet not in trC:
+            # aperiodicity is necessary for trC, not sufficient.
+            ("(ab)*", True),
+            ("abc", True),
+            ("(a+b)*", True),
+            ("(aaa)*", False),
+        ],
+    )
+    def test_known_languages(self, text, aperiodic):
+        assert is_aperiodic(_dfa(text)) is aperiodic
+
+    def test_trc_languages_are_aperiodic(self):
+        # The paper: every trC language is aperiodic (Claim 2).
+        from repro import catalog
+        from repro.core.trc import is_in_trc
+
+        for entry in catalog.entries():
+            dfa = _dfa(entry.regex)
+            if is_in_trc(dfa):
+                assert is_aperiodic(dfa), entry.name
+
+    def test_transition_monoid_size(self):
+        # Over one letter, the monoid of (aa)* is {identity, swap}.
+        monoid = transition_monoid(_dfa("(aa)*"))
+        assert len(monoid) == 2

@@ -1,0 +1,79 @@
+"""Tests for the finite-language (AC0) solver."""
+
+import pytest
+
+from tests.conftest import paths_agree, random_instance
+
+from repro import catalog
+from repro.algorithms.bounded import FiniteLanguageSolver, find_simple_word_path
+from repro.algorithms.exact import ExactSolver
+from repro.errors import ReproError
+from repro.graphs.dbgraph import DbGraph, Path
+from repro.graphs.generators import labeled_cycle, labeled_path
+from repro.languages import language
+
+
+class TestFindSimpleWordPath:
+    def test_exact_word(self):
+        graph = labeled_path("abc")
+        path = find_simple_word_path(graph, 0, 3, "abc")
+        assert path is not None
+        assert path.word == "abc"
+
+    def test_word_not_present(self):
+        graph = labeled_path("abc")
+        assert find_simple_word_path(graph, 0, 3, "abd") is None
+
+    def test_simplicity_enforced(self):
+        # aa on a 1-cycle would have to revisit the vertex.
+        graph = labeled_cycle("a")
+        assert find_simple_word_path(graph, 0, 0, "a") is None
+
+    def test_target_not_revisited_midway(self):
+        # Path through the target mid-word is not simple.
+        graph = DbGraph.from_edges(
+            [(0, "a", 1), (1, "a", 2), (2, "a", 1)]
+        )
+        assert find_simple_word_path(graph, 0, 1, "aaa") is None
+
+    def test_empty_word(self):
+        graph = labeled_path("a")
+        assert find_simple_word_path(graph, 0, 0, "") == Path.single(0)
+        assert find_simple_word_path(graph, 0, 1, "") is None
+
+
+class TestFiniteSolver:
+    def test_requires_finite_language(self):
+        with pytest.raises(ReproError):
+            FiniteLanguageSolver(language("a*"))
+
+    def test_shortest_word_preferred(self):
+        graph = DbGraph.from_edges(
+            [(0, "a", 9), (0, "b", 1), (1, "b", 9)]
+        )
+        solver = FiniteLanguageSolver(language("bb + a"))
+        path = solver.shortest_simple_path(graph, 0, 9)
+        assert path.word == "a"
+
+    @pytest.mark.parametrize(
+        "entry",
+        [e for e in catalog.entries() if e.finite],
+        ids=lambda e: e.name,
+    )
+    def test_agreement_with_exact(self, entry):
+        lang = entry.language()
+        alphabet = sorted(lang.alphabet) or ["a"]
+        solver = FiniteLanguageSolver(lang)
+        exact = ExactSolver(lang)
+        for seed in range(15):
+            graph, x, y = random_instance(seed, alphabet, max_vertices=8)
+            assert paths_agree(
+                solver.shortest_simple_path(graph, x, y),
+                exact.shortest_simple_path(graph, x, y),
+            ), (entry.name, seed)
+
+    def test_word_list_is_complete(self):
+        solver = FiniteLanguageSolver(language("(a + b)(a + b)?"))
+        assert sorted(solver.words) == sorted(
+            ["a", "b", "aa", "ab", "ba", "bb"]
+        )

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import io as graph_io
+from repro.graphs.dbgraph import DbGraph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = DbGraph.from_edges(
+        [("s", "a", "m"), ("m", "b", "n"), ("n", "b", "o"), ("o", "c", "t")]
+    )
+    target = tmp_path / "graph.txt"
+    graph_io.dump(graph, target)
+    return str(target)
+
+
+class TestClassify:
+    def test_tractable(self, capsys):
+        assert main(["classify", "a*(bb+ + eps)c*"]) == 0
+        out = capsys.readouterr().out
+        assert "NL-complete" in out
+        assert "in trC     : True" in out
+
+    def test_hard(self, capsys):
+        assert main(["classify", "a*ba*"]) == 0
+        assert "NP-complete" in capsys.readouterr().out
+
+    def test_finite(self, capsys):
+        assert main(["classify", "ab + ba"]) == 0
+        assert "AC0" in capsys.readouterr().out
+
+
+class TestWitness:
+    def test_hard_language(self, capsys):
+        assert main(["witness", "(aa)*"]) == 0
+        out = capsys.readouterr().out
+        assert "w1 =" in out and "wr =" in out
+
+    def test_tractable_language(self, capsys):
+        assert main(["witness", "a*"]) == 1
+        assert "tractable" in capsys.readouterr().out
+
+
+class TestPsitr:
+    def test_decomposition_printed(self, capsys):
+        assert main(["psitr", "a*(bb+ + eps)c*"]) == 0
+        out = capsys.readouterr().out
+        assert ">=" in out
+
+    def test_hard_language_fails_cleanly(self, capsys):
+        assert main(["psitr", "a*ba*"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSolve:
+    def test_found(self, capsys, graph_file):
+        code = main(["solve", "a*(bb+ + eps)c*", graph_file, "s", "t"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "word    : abbc" in out
+        assert "trc-nice-path" in out
+
+    def test_not_found(self, capsys, graph_file):
+        code = main(["solve", "c*", graph_file, "s", "t"])
+        assert code == 1
+        assert "no simple path" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        code = main(["solve", "a*", "/nonexistent/graph.txt", "0", "1"])
+        assert code == 2
+
+    def test_bad_regex(self, capsys):
+        assert main(["classify", "(((("]) == 2

@@ -1,0 +1,95 @@
+"""Tests for the color-coding k-RSPQ solver (Theorem 7)."""
+
+import pytest
+
+from tests.conftest import random_instance
+
+from repro.algorithms.color_coding import ColorCodingSolver
+from repro.algorithms.exact import ExactSolver
+from repro.graphs.dbgraph import Path
+from repro.graphs.generators import labeled_cycle, labeled_path
+from repro.languages import language
+
+
+class TestColorfulDp:
+    def test_exact_coloring_finds_path(self):
+        graph = labeled_path("aba")
+        solver = ColorCodingSolver("aba")
+        coloring = {0: 0, 1: 1, 2: 2, 3: 3}
+        path = solver.colorful_path(graph, 0, 3, coloring, 4)
+        assert path is not None
+        assert path.word == "aba"
+
+    def test_colliding_colors_hide_path(self):
+        graph = labeled_path("aba")
+        solver = ColorCodingSolver("aba")
+        coloring = {0: 0, 1: 1, 2: 0, 3: 2}  # 0 and 2 share a color
+        assert solver.colorful_path(graph, 0, 3, coloring, 4) is None
+
+    def test_trivial_source_target(self):
+        graph = labeled_path("a")
+        solver = ColorCodingSolver("a*")
+        assert solver.colorful_path(graph, 0, 0, {0: 0, 1: 1}, 2) == (
+            Path.single(0)
+        )
+
+
+class TestExhaustiveFamily:
+    def test_matches_exact_on_small_graphs(self):
+        lang = language("a*ba*")
+        cc = ColorCodingSolver(lang)
+        exact = ExactSolver(lang)
+        for seed in range(10):
+            graph, x, y = random_instance(seed, "ab", max_vertices=5)
+            k = 3
+            truth_path = exact.shortest_simple_path(graph, x, y)
+            truth = truth_path is not None and len(truth_path) <= k
+            got = cc.exists(graph, x, y, k, family="exhaustive")
+            assert got == truth, seed
+
+
+class TestMonteCarloFamily:
+    @pytest.mark.parametrize("regex", ["a*ba*", "(aa)*", "a*c*"])
+    def test_matches_exact_with_high_probability(self, regex):
+        lang = language(regex)
+        cc = ColorCodingSolver(lang, seed=42)
+        exact = ExactSolver(lang)
+        alphabet = sorted(lang.alphabet)
+        for seed in range(15):
+            graph, x, y = random_instance(seed, alphabet, max_vertices=8)
+            k = 4
+            truth_path = exact.shortest_simple_path(graph, x, y)
+            truth = truth_path is not None and len(truth_path) <= k
+            got = cc.exists(graph, x, y, k)
+            # One-sided error: positives are always certified.
+            if got:
+                assert truth
+            else:
+                assert not truth, (
+                    "Monte-Carlo miss (prob < 1e-3) on seed %d" % seed
+                )
+
+    def test_positive_answers_are_certified(self):
+        graph = labeled_path("ab")
+        path = ColorCodingSolver("ab").bounded_simple_path(graph, 0, 2, 2)
+        assert path is not None
+        assert path.is_simple()
+        assert path.word == "ab"
+
+    def test_respects_length_bound(self):
+        graph = labeled_path("aaaa")
+        solver = ColorCodingSolver("a{4}")
+        # Path needs 4 edges; bound of 3 must fail.
+        assert not solver.exists(graph, 0, 4, 3)
+        assert solver.exists(graph, 0, 4, 4)
+
+
+class TestTrialCount:
+    def test_trial_count_grows_with_k(self):
+        solver = ColorCodingSolver("a*")
+        assert solver._num_trials(3) < solver._num_trials(6)
+
+    def test_failure_probability_scales_trials(self):
+        strict = ColorCodingSolver("a*", failure_probability=1e-6)
+        loose = ColorCodingSolver("a*", failure_probability=1e-1)
+        assert strict._num_trials(4) > loose._num_trials(4)

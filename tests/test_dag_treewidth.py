@@ -1,0 +1,87 @@
+"""Tests for the DAG solver (Theorem 8 base case) and width diagnostics."""
+
+import pytest
+
+from repro.algorithms.dag import DagRspqSolver, is_dag
+from repro.algorithms.exact import ExactSolver
+from repro.algorithms.treewidth import (
+    greedy_feedback_vertex_set,
+    undirected_treewidth_upper_bound,
+)
+from repro.errors import GraphError
+from repro.graphs.dbgraph import DbGraph
+from repro.graphs.generators import (
+    grid_graph,
+    labeled_cycle,
+    labeled_path,
+    layered_dag,
+)
+from repro.languages import language
+
+
+class TestIsDag:
+    def test_path_is_dag(self):
+        assert is_dag(labeled_path("abc"))
+
+    def test_cycle_is_not(self):
+        assert not is_dag(labeled_cycle("ab"))
+
+    def test_grid_is_dag(self):
+        assert is_dag(grid_graph(3, 3))
+
+
+class TestDagSolver:
+    def test_rejects_cyclic_graphs(self):
+        with pytest.raises(GraphError):
+            DagRspqSolver(labeled_cycle("ab"))
+
+    def test_agrees_with_exact_on_random_dags(self):
+        for seed in range(10):
+            graph = layered_dag(4, 3, "ab", density=0.6, seed=seed)
+            solver = DagRspqSolver(graph)
+            for regex in ["a*", "(ab)*", "a*ba*", "(aa)*"]:
+                lang = language(regex)
+                exact = ExactSolver(lang)
+                mine = solver.shortest_simple_path(lang, (0, 0), (3, 2))
+                truth = exact.shortest_simple_path(graph, (0, 0), (3, 2))
+                assert (mine is None) == (truth is None), (seed, regex)
+                if mine is not None:
+                    assert len(mine) == len(truth)
+
+    def test_hard_languages_are_easy_on_dags(self):
+        # The point of Theorem 8's DAG case: (aa)* is NP-complete in
+        # general but trivially polynomial here.
+        graph = grid_graph(4, 4)
+        solver = DagRspqSolver(graph)
+        path = solver.shortest_simple_path("((a+b)(a+b))*", (0, 0), (3, 3))
+        assert path is not None
+        assert len(path) % 2 == 0
+
+
+class TestWidthDiagnostics:
+    def test_fvs_of_dag_is_empty(self):
+        assert greedy_feedback_vertex_set(grid_graph(3, 3)) == set()
+
+    def test_fvs_breaks_cycles(self):
+        graph = labeled_cycle("aaaa")
+        fvs = greedy_feedback_vertex_set(graph)
+        assert fvs
+        remaining = graph.subgraph(
+            [v for v in graph.vertices() if v not in fvs]
+        )
+        assert is_dag(remaining)
+
+    def test_treewidth_bound_of_path(self):
+        assert undirected_treewidth_upper_bound(labeled_path("aaa")) <= 1
+
+    def test_treewidth_bound_of_grid(self):
+        bound = undirected_treewidth_upper_bound(grid_graph(3, 3))
+        assert 3 <= bound <= 4  # treewidth of the 3x3 grid is 3
+
+    def test_treewidth_bound_of_clique(self):
+        graph = DbGraph()
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    graph.add_edge(i, "a", j)
+        assert undirected_treewidth_upper_bound(graph) == 4

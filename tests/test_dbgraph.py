@@ -1,0 +1,177 @@
+"""Tests for the db-graph substrate and Path objects."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.dbgraph import DbGraph, Path
+from repro.graphs import io as graph_io
+
+
+class TestDbGraph:
+    def test_add_edge_creates_vertices(self):
+        graph = DbGraph()
+        graph.add_edge("x", "a", "y")
+        assert graph.has_vertex("x")
+        assert graph.has_vertex("y")
+        assert graph.num_edges == 1
+
+    def test_duplicate_edge_ignored(self):
+        graph = DbGraph()
+        graph.add_edge(1, "a", 2)
+        graph.add_edge(1, "a", 2)
+        assert graph.num_edges == 1
+
+    def test_multigraph_labels(self):
+        graph = DbGraph()
+        graph.add_edge(1, "a", 2)
+        graph.add_edge(1, "b", 2)
+        assert graph.num_edges == 2
+        assert graph.successors(1) == {2}
+        assert graph.successors(1, "a") == {2}
+
+    def test_multi_letter_label_rejected(self):
+        graph = DbGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, "ab", 2)
+
+    def test_word_edge_expansion(self):
+        graph = DbGraph()
+        inner = graph.add_word_edge("x", "abc", "y")
+        assert len(inner) == 2
+        assert graph.num_edges == 3
+        # Follow the expansion.
+        current, word = "x", ""
+        for _ in range(3):
+            ((label, nxt),) = list(graph.out_edges(current))
+            word += label
+            current = nxt
+        assert current == "y"
+        assert word == "abc"
+
+    def test_word_edge_empty_rejected(self):
+        graph = DbGraph()
+        with pytest.raises(GraphError):
+            graph.add_word_edge("x", "", "y")
+
+    def test_predecessors(self):
+        graph = DbGraph.from_edges([(1, "a", 2), (3, "b", 2)])
+        assert graph.predecessors(2) == {1, 3}
+        assert graph.predecessors(2, "a") == {1}
+
+    def test_subgraph(self):
+        graph = DbGraph.from_edges([(1, "a", 2), (2, "a", 3)])
+        sub = graph.subgraph([1, 2])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+
+    def test_subgraph_unknown_vertex(self):
+        graph = DbGraph()
+        graph.add_vertex(1)
+        with pytest.raises(GraphError):
+            graph.subgraph([1, 99])
+
+    def test_reversed(self):
+        graph = DbGraph.from_edges([(1, "a", 2)])
+        rev = graph.reversed()
+        assert rev.has_edge(2, "a", 1)
+        assert not rev.has_edge(1, "a", 2)
+
+    def test_restricted_to_labels(self):
+        graph = DbGraph.from_edges([(1, "a", 2), (1, "b", 2)])
+        only_a = graph.restricted_to_labels({"a"})
+        assert only_a.num_edges == 1
+
+    def test_reachable_within(self):
+        graph = DbGraph.from_edges(
+            [(1, "a", 2), (2, "a", 3), (2, "b", 4), (4, "a", 5)]
+        )
+        assert graph.reachable_within(1, allowed_labels={"a"}) == {1, 2, 3}
+        assert graph.reachable_within(1, forbidden={2}) == {1}
+
+    def test_networkx_roundtrip(self):
+        graph = DbGraph.from_edges([(1, "a", 2), (2, "b", 1)])
+        back = DbGraph.from_networkx(graph.to_networkx())
+        assert sorted(back.edges()) == sorted(graph.edges())
+
+    def test_fresh_vertex_no_collision(self):
+        graph = DbGraph()
+        graph.add_vertex("_w0")
+        fresh = graph.fresh_vertex()
+        assert fresh != "_w0"
+
+
+class TestPath:
+    def test_length_and_word(self):
+        path = Path((1, 2, 3), ("a", "b"))
+        assert len(path) == 2
+        assert path.word == "ab"
+        assert path.source == 1
+        assert path.target == 3
+
+    def test_single(self):
+        path = Path.single("x")
+        assert len(path) == 0
+        assert path.word == ""
+        assert path.is_simple()
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(GraphError):
+            Path((1, 2), ())
+
+    def test_simplicity(self):
+        assert Path((1, 2, 3), ("a", "a")).is_simple()
+        assert not Path((1, 2, 1), ("a", "a")).is_simple()
+
+    def test_extend(self):
+        path = Path.single(1).extend("a", 2).extend("b", 3)
+        assert path.vertices == (1, 2, 3)
+        assert path.word == "ab"
+
+    def test_concat(self):
+        left = Path((1, 2), ("a",))
+        right = Path((2, 3), ("b",))
+        assert left.concat(right).word == "ab"
+
+    def test_concat_mismatch(self):
+        with pytest.raises(GraphError):
+            Path((1, 2), ("a",)).concat(Path((9, 3), ("b",)))
+
+    def test_steps(self):
+        path = Path((1, 2, 3), ("a", "b"))
+        assert list(path.steps()) == [(1, "a", 2), (2, "b", 3)]
+
+    def test_graph_is_path(self):
+        graph = DbGraph.from_edges([(1, "a", 2), (2, "b", 3)])
+        assert graph.is_path(Path((1, 2, 3), ("a", "b")))
+        assert not graph.is_path(Path((1, 2, 3), ("b", "b")))
+
+
+class TestIo:
+    def test_roundtrip(self):
+        graph = DbGraph.from_edges(
+            [("x", "a", "y"), ("y", "b", "z")]
+        )
+        graph.add_vertex("lonely")
+        back = graph_io.loads(graph_io.dumps(graph))
+        assert sorted(back.edges()) == sorted(graph.edges())
+        assert back.has_vertex("lonely")
+
+    def test_comments_and_blanks(self):
+        text = "# comment\n\ne x a y\nv z\n"
+        graph = graph_io.loads(text)
+        assert graph.num_edges == 1
+        assert graph.has_vertex("z")
+
+    def test_bad_record(self):
+        with pytest.raises(GraphError):
+            graph_io.loads("nonsense line\n")
+
+    def test_bad_label(self):
+        with pytest.raises(GraphError):
+            graph_io.loads("e x ab y\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        graph = DbGraph.from_edges([("a", "x", "b")])
+        target = tmp_path / "graph.txt"
+        graph_io.dump(graph, target)
+        assert sorted(graph_io.load(target).edges()) == sorted(graph.edges())

@@ -1,0 +1,113 @@
+"""Failure-injection and edge-case tests across modules."""
+
+import pytest
+
+from repro import DbGraph, language
+from repro.core.nice_paths import TractableSolver
+from repro.core.psitr import PsitrExpression
+from repro.core.solver import RspqSolver
+from repro.errors import (
+    AutomatonError,
+    GraphError,
+    NotInTrCError,
+    RegexSyntaxError,
+    ReproError,
+)
+from repro.graphs.generators import labeled_path
+from repro.languages import Language
+from repro.languages.dfa import DFA
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [AutomatonError, GraphError, NotInTrCError, RegexSyntaxError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_not_in_trc_carries_witness_slot(self):
+        err = NotInTrCError("nope", witness="w")
+        assert err.witness == "w"
+
+
+class TestDegenerateLanguages:
+    def test_empty_language_solver(self):
+        solver = RspqSolver(language("∅", alphabet={"a"}))
+        graph = labeled_path("a")
+        assert not solver.exists(graph, 0, 1)
+        assert not solver.exists(graph, 0, 0)
+
+    def test_epsilon_language_solver(self):
+        solver = RspqSolver(language("eps", alphabet={"a"}))
+        graph = labeled_path("a")
+        assert solver.exists(graph, 0, 0)
+        assert not solver.exists(graph, 0, 1)
+
+    def test_single_letter_alphabet_queries(self):
+        solver = TractableSolver(language("a*"))
+        graph = DbGraph()
+        graph.add_vertex("only")
+        path = solver.shortest_simple_path(graph, "only", "only")
+        assert path is not None and len(path) == 0
+
+    def test_labels_outside_language_alphabet(self):
+        # Graph edges labeled with symbols L has never seen.
+        solver = TractableSolver(language("a*"))
+        graph = DbGraph.from_edges([(0, "z", 1), (0, "a", 2)])
+        assert solver.shortest_simple_path(graph, 0, 1) is None
+        assert solver.shortest_simple_path(graph, 0, 2) is not None
+
+
+class TestEmptyGraphs:
+    def test_query_on_empty_graph(self):
+        solver = RspqSolver(language("a*"))
+        graph = DbGraph()
+        with pytest.raises(GraphError):
+            solver.shortest_simple_path(graph, 0, 1)
+
+    def test_isolated_vertices(self):
+        solver = RspqSolver(language("a*"))
+        graph = DbGraph()
+        graph.add_vertex(0)
+        graph.add_vertex(1)
+        assert not solver.exists(graph, 0, 1)
+
+
+class TestMalformedInputs:
+    def test_solver_rejects_bad_expression_type(self):
+        with pytest.raises(TypeError):
+            TractableSolver(language("a*"), expression="not an expression")
+
+    def test_empty_psitr_expression_finds_nothing(self):
+        solver = TractableSolver(
+            language("∅", alphabet={"a"}),
+            expression=PsitrExpression(()),
+        )
+        graph = labeled_path("a")
+        assert solver.shortest_simple_path(graph, 0, 1) is None
+
+    def test_dfa_with_dangling_accepting_state(self):
+        with pytest.raises(AutomatonError):
+            DFA(2, ["a"], {(0, "a"): 0, (1, "a"): 1}, 0, [5])
+
+    def test_language_from_dfa_keeps_no_ast(self):
+        dfa = language("a*").dfa
+        lang = Language(dfa)
+        assert lang.ast is None
+        assert lang.accepts("aaa")
+
+
+class TestSelfLoops:
+    def test_self_loops_never_on_simple_paths(self):
+        graph = DbGraph.from_edges([(0, "a", 0), (0, "a", 1)])
+        solver = TractableSolver(language("a*"))
+        path = solver.shortest_simple_path(graph, 0, 1)
+        assert path.vertices == (0, 1)
+
+    def test_self_loop_only_graph(self):
+        graph = DbGraph.from_edges([(0, "a", 0)])
+        graph.add_vertex(1)
+        solver = RspqSolver(language("a^+"))
+        assert not solver.exists(graph, 0, 1)
+        assert not solver.exists(graph, 0, 0)

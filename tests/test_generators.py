@@ -1,0 +1,137 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.algorithms.dag import is_dag
+from repro.graphs.generators import (
+    component_chain_graph,
+    figure3_graph,
+    figure4_graph,
+    grid_graph,
+    labeled_cycle,
+    labeled_path,
+    layered_dag,
+    random_labeled_graph,
+    random_vl_graph,
+    transportation_network,
+    two_terminal_random_digraph,
+)
+
+
+class TestDeterminism:
+    def test_random_graph_reproducible(self):
+        a = random_labeled_graph(10, 20, "ab", seed=5)
+        b = random_labeled_graph(10, 20, "ab", seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = random_labeled_graph(10, 20, "ab", seed=5)
+        b = random_labeled_graph(10, 20, "ab", seed=6)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+
+class TestShapes:
+    def test_labeled_path(self):
+        graph = labeled_path("abc")
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 3
+
+    def test_labeled_cycle(self):
+        graph = labeled_cycle("ab")
+        assert graph.num_vertices == 2
+        assert graph.has_edge(0, "a", 1)
+        assert graph.has_edge(1, "b", 0)
+
+    def test_grid_dimensions(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_vertices == 12
+        # right edges: 3 rows x 3, down edges: 2 x 4.
+        assert graph.num_edges == 9 + 8
+
+    def test_layered_dag_is_acyclic(self):
+        graph = layered_dag(4, 3, "ab", density=0.9, seed=1)
+        assert is_dag(graph)
+
+    def test_random_graph_edge_count(self):
+        graph = random_labeled_graph(8, 30, "ab", seed=0)
+        assert graph.num_edges == 30
+
+    def test_random_graph_edge_cap(self):
+        graph = random_labeled_graph(2, 10**6, "a", seed=0)
+        assert graph.num_edges <= 2 * 2 * 1
+
+
+class TestPaperFamilies:
+    def test_figure3_query_endpoints(self):
+        graph, x, y = figure3_graph()
+        assert graph.has_vertex(x)
+        assert graph.has_vertex(y)
+        assert graph.num_vertices == 15
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_figure4_structure(self, k):
+        graph, x, y = figure4_graph(k)
+        assert graph.has_vertex(x)
+        assert graph.has_vertex(y)
+        # a-chain and c-chain have 2k edges each; the b-path 2k total
+        # (k to the first middle, 1 bridge, k-1 to y_0).
+        labels = {}
+        for _s, label, _t in graph.edges():
+            labels[label] = labels.get(label, 0) + 1
+        assert labels["a"] == 2 * k
+        assert labels["c"] == 2 * k
+        assert labels["b"] == 2 * k
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_figure4_cross_structure(self, k):
+        from repro.graphs.generators import figure4_cross_graph
+
+        graph, _x, _y = figure4_cross_graph(k)
+        labels = {}
+        for _s, label, _t in graph.edges():
+            labels[label] = labels.get(label, 0) + 1
+        assert labels["b"] == 3 * k
+
+    def test_figure4_requires_k_at_least_two(self):
+        with pytest.raises(ValueError):
+            figure4_graph(1)
+
+    def test_component_chain_has_main_path(self):
+        graph, x, y = component_chain_graph(["aa", "bb"], seed=3)
+        from repro.algorithms.exact import ExactSolver
+
+        assert ExactSolver("aabb").exists(graph, x, y)
+
+
+class TestDomainGenerators:
+    def test_transportation_network_connected_ring(self):
+        graph, cities = transportation_network(8, seed=2)
+        reach = graph.reachable_within(cities[0])
+        assert set(cities) <= reach
+
+    def test_two_terminal_instance(self):
+        edges, x1, y1, x2, y2 = two_terminal_random_digraph(10, 20, seed=4)
+        assert len({x1, y1, x2, y2}) == 4
+        assert all(a != b for a, b in edges)
+
+    def test_random_vl_graph_labels(self):
+        graph = random_vl_graph(10, 15, "ab", seed=1)
+        assert graph.num_vertices == 10
+        for vertex in graph.vertices():
+            assert graph.label_of(vertex) in {"a", "b"}
+
+    def test_scale_free_social_graph(self):
+        from repro.graphs.generators import scale_free_social_graph
+
+        graph = scale_free_social_graph(40, seed=7)
+        assert graph.num_vertices == 40
+        assert graph.labels() <= {"f", "k"}
+        # Every edge exists in both directions (some label each way).
+        for source, _label, target in graph.edges():
+            assert graph.successors(target) & {source}
+
+    def test_scale_free_requires_three_vertices(self):
+        from repro.graphs.generators import scale_free_social_graph
+
+        with pytest.raises(ValueError):
+            scale_free_social_graph(2)

@@ -1,0 +1,101 @@
+"""Property-based cross-validation of the solvers (hypothesis).
+
+The single most important invariant in the repository: on arbitrary
+graphs, the polynomial trC solver, the finite-language solver and the
+dispatching solver all agree with the exponential exact solver — same
+yes/no answer and same shortest length.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import catalog
+from repro.algorithms.exact import ExactSolver
+from repro.core.nice_paths import TractableSolver
+from repro.core.solver import RspqSolver
+from repro.graphs.dbgraph import DbGraph
+from repro.languages import language
+
+
+@st.composite
+def small_graph_and_query(draw, alphabet):
+    """A random db-graph (≤ 8 vertices) with a query pair."""
+    num_vertices = draw(st.integers(2, 8))
+    letters = sorted(alphabet)
+    num_edges = draw(st.integers(1, 3 * num_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_vertices - 1),
+                st.sampled_from(letters),
+                st.integers(0, num_vertices - 1),
+            ),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    graph = DbGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    for source, label, target in edges:
+        graph.add_edge(source, label, target)
+    x = draw(st.integers(0, num_vertices - 1))
+    y = draw(st.integers(0, num_vertices - 1))
+    return graph, x, y
+
+
+class TestTractableSolverAgreement:
+    @given(small_graph_and_query("abc"))
+    @settings(max_examples=60, deadline=None)
+    def test_example1_language(self, instance):
+        graph, x, y = instance
+        lang = language("a*(bb^+ + eps)c*")
+        mine = TractableSolver(lang).shortest_simple_path(graph, x, y)
+        truth = ExactSolver(lang).shortest_simple_path(graph, x, y)
+        assert (mine is None) == (truth is None)
+        if mine is not None:
+            assert len(mine) == len(truth)
+
+    @given(small_graph_and_query("ab"))
+    @settings(max_examples=60, deadline=None)
+    def test_two_star_language(self, instance):
+        graph, x, y = instance
+        lang = language("a*(b + eps)a*b*")
+        # Only run when the language is actually tractable (it is).
+        mine = TractableSolver(lang).shortest_simple_path(graph, x, y)
+        truth = ExactSolver(lang).shortest_simple_path(graph, x, y)
+        assert (mine is None) == (truth is None)
+        if mine is not None:
+            assert len(mine) == len(truth)
+
+
+class TestDispatcherAgreement:
+    @given(
+        small_graph_and_query("ab"),
+        st.sampled_from(["(aa)*", "a*ba*", "ab + ba", "a*"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_strategies(self, instance, regex):
+        graph, x, y = instance
+        lang = language(regex)
+        mine = RspqSolver(lang).shortest_simple_path(graph, x, y)
+        truth = ExactSolver(lang).shortest_simple_path(graph, x, y)
+        assert (mine is None) == (truth is None)
+        if mine is not None:
+            assert len(mine) == len(truth)
+
+
+class TestSolutionValidity:
+    @given(small_graph_and_query("abc"))
+    @settings(max_examples=40, deadline=None)
+    def test_paths_are_simple_graph_paths_in_l(self, instance):
+        graph, x, y = instance
+        lang = language("a*(bb^+ + eps)c*")
+        path = TractableSolver(lang).shortest_simple_path(graph, x, y)
+        if path is None:
+            return
+        assert path.source == x
+        assert path.target == y
+        assert path.is_simple()
+        assert graph.is_path(path)
+        assert lang.accepts(path.word)

@@ -1,0 +1,79 @@
+"""End-to-end integration scenarios across modules."""
+
+import pytest
+
+from tests.conftest import paths_agree
+
+from repro import DbGraph, RspqSolver, classify, language, solve_rspq
+from repro.algorithms.exact import ExactSolver
+from repro.algorithms.rpq import RpqSolver
+from repro.core.nice_paths import TractableSolver
+from repro.graphs.generators import transportation_network
+
+
+class TestTransportationScenario:
+    """The introduction's Google-Maps motivation, end to end."""
+
+    def test_stopover_query(self):
+        graph, cities = transportation_network(10, seed=1)
+        # Highways then one ferry then regional roads, nodes distinct.
+        lang = language("h*(f + eps)r*")
+        assert classify(lang.dfa).is_tractable()
+        solver = RspqSolver(lang)
+        exact = ExactSolver(lang)
+        hits = 0
+        for target in cities[1:6]:
+            mine = solver.shortest_simple_path(graph, cities[0], target)
+            truth = exact.shortest_simple_path(graph, cities[0], target)
+            assert paths_agree(mine, truth)
+            hits += mine is not None
+        assert hits > 0
+
+    def test_walk_vs_simple_on_network(self):
+        graph, cities = transportation_network(8, seed=3)
+        lang = language("r*")
+        rpq = RpqSolver(lang)
+        solver = RspqSolver(lang)
+        for target in cities[1:4]:
+            if solver.exists(graph, cities[0], target):
+                assert rpq.exists(graph, cities[0], target)
+
+
+class TestHardnessPipeline:
+    """classify -> witness -> reduction -> solve, in one flow."""
+
+    def test_full_np_pipeline(self):
+        from repro.algorithms.disjoint_paths import (
+            vertex_disjoint_paths_exist,
+        )
+        from repro.algorithms.reductions import disjoint_paths_to_rspq
+
+        lang = language("a*b(cc)*d")
+        result = classify(lang.dfa)
+        assert not result.is_tractable()
+        edges = {(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)}
+        truth = vertex_disjoint_paths_exist(edges, 0, 1, 2, 3)
+        graph, x, y = disjoint_paths_to_rspq(
+            edges, 0, 1, 2, 3, result.witness
+        )
+        assert ExactSolver(lang).exists(graph, x, y) == truth
+
+
+class TestMixedWorkflow:
+    def test_one_shot_helper(self):
+        graph = DbGraph.from_edges([(0, "a", 1), (1, "b", 2), (2, "c", 3)])
+        result = solve_rspq("a*(b + eps)c*", graph, 0, 3)
+        assert result.found
+        assert result.path.word == "abc"
+        assert result.strategy == "trc-nice-path"
+
+    def test_language_objects_are_reusable(self):
+        lang = language("a*c*")
+        solver = TractableSolver(lang)
+        graph_one = DbGraph.from_edges([(0, "a", 1), (1, "c", 2)])
+        graph_two = DbGraph.from_edges([(0, "c", 1)])
+        assert solver.shortest_simple_path(graph_one, 0, 2).word == "ac"
+        assert solver.shortest_simple_path(graph_two, 0, 1).word == "c"
+
+    def test_classification_strings(self):
+        assert str(classify(language("abc").dfa)) == "Classification(AC0)"

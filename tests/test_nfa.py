@@ -1,0 +1,144 @@
+"""Unit and property tests for the NFA layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AutomatonError
+from repro.languages.dfa import from_nfa
+from repro.languages.nfa import (
+    NFA,
+    empty_nfa,
+    epsilon_nfa,
+    literal_nfa,
+    nfa_from_ast,
+    star_nfa,
+    word_nfa,
+)
+from repro.languages.regex.parser import parse
+
+
+class TestBasics:
+    def test_literal_accepts_only_its_letter(self):
+        nfa = literal_nfa("a")
+        assert nfa.accepts("a")
+        assert not nfa.accepts("")
+        assert not nfa.accepts("aa")
+
+    def test_word_nfa(self):
+        nfa = word_nfa("abc")
+        assert nfa.accepts("abc")
+        assert not nfa.accepts("ab")
+        assert not nfa.accepts("abcd")
+
+    def test_epsilon_nfa(self):
+        nfa = epsilon_nfa()
+        assert nfa.accepts("")
+
+    def test_empty_nfa(self):
+        nfa = empty_nfa()
+        assert nfa.is_empty()
+
+    def test_invalid_transition_target(self):
+        with pytest.raises(AutomatonError):
+            NFA([0], ["a"], {0: [("a", 99)]}, [0], [0])
+
+    def test_unknown_initial_state(self):
+        with pytest.raises(AutomatonError):
+            NFA([0], ["a"], {0: []}, [7], [0])
+
+
+class TestCombinators:
+    def test_concat(self):
+        nfa = word_nfa("ab").concat(word_nfa("c"))
+        assert nfa.accepts("abc")
+        assert not nfa.accepts("ab")
+
+    def test_union(self):
+        nfa = word_nfa("ab").union(word_nfa("ba"))
+        assert nfa.accepts("ab")
+        assert nfa.accepts("ba")
+        assert not nfa.accepts("aa")
+
+    def test_star(self):
+        nfa = star_nfa(word_nfa("ab"))
+        for word, expected in [("", True), ("ab", True), ("abab", True),
+                               ("aba", False)]:
+            assert nfa.accepts(word) is expected
+
+    def test_power(self):
+        nfa = word_nfa("a").power(3)
+        assert nfa.accepts("aaa")
+        assert not nfa.accepts("aa")
+        assert not nfa.accepts("aaaa")
+
+    def test_power_zero_is_epsilon(self):
+        nfa = word_nfa("a").power(0)
+        assert nfa.accepts("")
+        assert not nfa.accepts("a")
+
+    def test_reverse(self):
+        nfa = word_nfa("abc").reverse()
+        assert nfa.accepts("cba")
+        assert not nfa.accepts("abc")
+
+    def test_shortest_accepted(self):
+        nfa = nfa_from_ast(parse("aaa + b"))
+        assert nfa.shortest_accepted() == "b"
+
+    def test_shortest_accepted_empty_language(self):
+        assert empty_nfa().shortest_accepted() is None
+
+    def test_intersect_dfa(self):
+        dfa = from_nfa(nfa_from_ast(parse("a*b")))
+        nfa = nfa_from_ast(parse("(a+b)(a+b)"))
+        both = nfa.intersect_dfa(dfa)
+        assert both.accepts("ab")
+        assert not both.accepts("ba")
+        assert not both.accepts("b")
+
+
+class TestThompson:
+    @pytest.mark.parametrize(
+        "text,accepted,rejected",
+        [
+            ("(aa)*", ["", "aa", "aaaa"], ["a", "aaa"]),
+            ("a*ba*", ["b", "ab", "aabaa"], ["", "a", "bb"]),
+            ("a{2,3}", ["aa", "aaa"], ["a", "aaaa"]),
+            ("a{2,}", ["aa", "aaaaa"], ["", "a"]),
+            ("[ab]?c", ["c", "ac", "bc"], ["", "abc"]),
+            ("a*(bb+ + ε)c*", ["", "abbc", "bbb", "ac"], ["bc", "abc"]),
+        ],
+    )
+    def test_language_membership(self, text, accepted, rejected):
+        nfa = nfa_from_ast(parse(text))
+        for word in accepted:
+            assert nfa.accepts(word), (text, word)
+        for word in rejected:
+            assert not nfa.accepts(word), (text, word)
+
+
+@st.composite
+def _regex_text(draw):
+    """Small random regexes over {a, b}."""
+    depth = draw(st.integers(0, 2))
+
+    def build(level):
+        if level == 0:
+            return draw(st.sampled_from(["a", "b", "ab", "ba", "eps"]))
+        left = build(level - 1)
+        right = build(level - 1)
+        shape = draw(st.sampled_from(["(%s)(%s)", "(%s) + (%s)", "(%s)*%s"]))
+        return shape % (left, right)
+
+    return build(depth)
+
+
+class TestNfaDfaAgreement:
+    @given(_regex_text(), st.lists(st.sampled_from("ab"), max_size=6))
+    @settings(max_examples=120, deadline=None)
+    def test_subset_construction_preserves_membership(self, text, letters):
+        word = "".join(letters)
+        nfa = nfa_from_ast(parse(text))
+        dfa = from_nfa(nfa, alphabet={"a", "b"})
+        assert dfa.accepts(word) == nfa.accepts(word)

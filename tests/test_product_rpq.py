@@ -1,0 +1,95 @@
+"""Tests for the product graph and walk-semantics RPQ evaluation."""
+
+from repro.algorithms.rpq import RpqSolver
+from repro.graphs.dbgraph import DbGraph
+from repro.graphs.generators import labeled_cycle, labeled_path
+from repro.graphs.product import ProductGraph, rpq_reachable, shortest_walk
+from repro.languages import language
+
+
+class TestRpqReachable:
+    def test_straight_line(self):
+        graph = labeled_path("ab")
+        assert rpq_reachable(graph, language("ab").dfa, 0) == {2}
+
+    def test_walks_may_repeat_vertices(self):
+        # (aa)* on a 3-cycle reaches everything eventually.
+        graph = labeled_cycle("aaa")
+        reach = rpq_reachable(graph, language("(aa)*").dfa, 0)
+        assert reach == {0, 1, 2}
+
+    def test_empty_language(self):
+        graph = labeled_path("a")
+        assert rpq_reachable(graph, language("∅", alphabet={"a"}).dfa, 0) == set()
+
+    def test_epsilon_reaches_self(self):
+        graph = labeled_path("a")
+        assert 0 in rpq_reachable(graph, language("a*").dfa, 0)
+
+
+class TestShortestWalk:
+    def test_shortest_walk_length(self):
+        graph = labeled_cycle("aaa")
+        walk = shortest_walk(graph, language("(aa)*").dfa, 0, 2)
+        assert walk is not None
+        assert len(walk) == 2
+        assert walk.word == "aa"
+
+    def test_walk_can_be_non_simple(self):
+        # 0 -> 1 -> 0 -> 1: (aa)* needs even length; simple paths cannot
+        # reach vertex 1 in the 2-cycle with even length, walks can...
+        graph = labeled_cycle("aa")
+        lang = language("(aaa)*")
+        walk = shortest_walk(graph, lang.dfa, 0, 1)
+        assert walk is not None
+        assert len(walk) == 3
+        assert not walk.is_simple()
+
+    def test_no_walk(self):
+        graph = labeled_path("ab")
+        assert shortest_walk(graph, language("ba").dfa, 0, 2) is None
+
+    def test_trivial_walk(self):
+        graph = labeled_path("a")
+        walk = shortest_walk(graph, language("a*").dfa, 0, 0)
+        assert walk is not None and len(walk) == 0
+
+
+class TestProductGraph:
+    def test_forward_backward_consistency(self):
+        graph = labeled_path("aab")
+        dfa = language("a*b").dfa
+        product = ProductGraph(graph, dfa)
+        forward = product.forward_reachable(0, dfa.initial)
+        # The accepting pair (3, final) is forward reachable...
+        finals = [(3, q) for q in dfa.accepting]
+        assert any(node in forward for node in finals)
+        # ... and the start is backward reachable from it.
+        for node in finals:
+            if node in forward:
+                backward = product.backward_reachable(*node)
+                assert (0, dfa.initial) in backward
+
+    def test_live_states_prune(self):
+        graph = DbGraph.from_edges([(0, "a", 1), (0, "b", 2)])
+        dfa = language("a").dfa
+        product = ProductGraph(graph, dfa)
+        live = product.live_states(1)
+        assert (0, dfa.initial) in live
+        assert all(vertex != 2 for vertex, _state in live)
+
+
+class TestRpqSolver:
+    def test_evaluate_all_pairs(self):
+        graph = labeled_path("aa")
+        pairs = RpqSolver("a^+").evaluate_all_pairs(graph)
+        assert pairs == {(0, 1), (1, 2), (0, 2)}
+
+    def test_walk_vs_simple_divergence(self):
+        # The motivating gap: (aa)* on an odd cycle.
+        graph = labeled_cycle("aaa")
+        walk_solver = RpqSolver("(aa)*")
+        assert walk_solver.exists(graph, 0, 1)
+        from repro.algorithms.exact import ExactSolver
+
+        assert not ExactSolver("(aa)*").exists(graph, 0, 1)

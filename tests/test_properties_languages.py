@@ -1,0 +1,72 @@
+"""Tests for language-level properties (subword closure, density)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import catalog
+from repro.languages import Language, language
+from repro.languages.properties import (
+    downward_closure_nfa,
+    is_subword_closed,
+    language_density,
+    sample_words,
+)
+
+
+class TestSubwordClosure:
+    @pytest.mark.parametrize("entry", catalog.entries(), ids=lambda e: e.name)
+    def test_catalog_ground_truth(self, entry):
+        assert is_subword_closed(entry.language().dfa) is entry.subword_closed
+
+    def test_downward_closure_contains_subwords(self):
+        lang = language("abc")
+        closure = downward_closure_nfa(lang.dfa)
+        for subword in ["", "a", "b", "c", "ab", "ac", "bc", "abc"]:
+            assert closure.accepts(subword)
+        assert not closure.accepts("ba")
+
+    @given(st.sampled_from(["a*", "a*c*", "(a+b)*", "a*b?c*"]))
+    @settings(max_examples=20, deadline=None)
+    def test_closure_of_closed_language_is_same_language(self, regex):
+        lang = language(regex)
+        closed = Language(downward_closure_nfa(lang.dfa))
+        assert closed.equivalent(lang)
+
+
+class TestDensityAndSampling:
+    def test_density_vector(self):
+        assert language_density(language("(a+b)*").dfa, 3) == [1, 2, 4, 8]
+
+    def test_density_of_even_language(self):
+        assert language_density(language("(aa)*").dfa, 4) == [1, 0, 1, 0, 1]
+
+    def test_sample_words_limit(self):
+        words = sample_words(language("(a+b)*").dfa, 4, limit=5)
+        assert len(words) == 5
+
+    def test_sample_words_ordering(self):
+        words = sample_words(language("a*b").dfa, 4)
+        assert words == sorted(words, key=len)
+
+
+class TestLanguageHandle:
+    def test_words_and_shortest(self):
+        lang = language("aa + b")
+        assert lang.shortest_word() == "b"
+        assert set(lang.words(2)) == {"aa", "b"}
+
+    def test_equivalence_of_different_sources(self):
+        from repro.languages.dfa import dfa_from_words
+
+        by_regex = language("ab + ba")
+        by_words = Language(dfa_from_words(["ab", "ba"]))
+        assert by_regex.equivalent(by_words)
+
+    def test_rejects_unknown_source(self):
+        with pytest.raises(TypeError):
+            Language(12345)
+
+    def test_name_in_repr(self):
+        lang = language("a*", name="alpha")
+        assert "alpha" in repr(lang)

@@ -1,0 +1,149 @@
+"""Tests for the Ψtr fragment (Theorem 4)."""
+
+import pytest
+
+from repro import catalog
+from repro.core.psitr import (
+    OptionalWordTerm,
+    PsitrExpression,
+    PsitrSequence,
+    StarTerm,
+    decompose,
+    equivalent_to,
+    extract,
+    synthesize,
+)
+from repro.core.trc import is_in_trc
+from repro.errors import NotInTrCError, ReproError
+from repro.languages import Language, language
+
+
+class TestTermConstruction:
+    def test_star_term_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            StarTerm(frozenset("a"), 0)
+
+    def test_star_term_requires_symbols(self):
+        with pytest.raises(ValueError):
+            StarTerm(frozenset(), 1)
+
+    def test_optional_word_requires_word(self):
+        with pytest.raises(ValueError):
+            OptionalWordTerm("")
+
+    def test_sequence_rejects_foreign_terms(self):
+        with pytest.raises(TypeError):
+            PsitrSequence("a", ("not a term",), "b")
+
+
+class TestCompilation:
+    def test_sequence_language(self):
+        seq = PsitrSequence(
+            "x", (StarTerm(frozenset("a"), 2), OptionalWordTerm("yz")), "w"
+        )
+        lang = Language(seq.to_nfa())
+        assert lang.accepts("xw")            # both terms skipped
+        assert lang.accepts("xaaw")          # two a's
+        assert lang.accepts("xaaaw")
+        assert lang.accepts("xyzw")
+        assert lang.accepts("xaayzw")
+        assert not lang.accepts("xaw")       # one a < k
+        assert not lang.accepts("xyw")       # partial word
+
+    def test_expression_union(self):
+        expr = PsitrExpression(
+            (PsitrSequence("a", (), ""), PsitrSequence("b", (), ""))
+        )
+        lang = expr.to_language()
+        assert lang.accepts("a")
+        assert lang.accepts("b")
+        assert not lang.accepts("ab")
+
+    def test_empty_expression(self):
+        assert PsitrExpression(()).to_language(alphabet={"a"}).is_empty()
+
+
+class TestExtraction:
+    @pytest.mark.parametrize(
+        "entry", catalog.tractable_entries(), ids=lambda e: e.name
+    )
+    def test_catalog_extraction_roundtrip(self, entry):
+        lang = entry.language()
+        expr = extract(lang.ast)
+        assert expr is not None, "extraction failed for %s" % entry.name
+        assert equivalent_to(expr, lang.dfa)
+
+    @pytest.mark.parametrize(
+        "entry", catalog.hard_entries(), ids=lambda e: e.name
+    )
+    def test_hard_languages_not_extracted_or_not_equivalent(self, entry):
+        # Theorem 4: a Ψtr expression would certify trC membership, so
+        # no *equivalent* Ψtr extraction may exist for hard languages.
+        lang = entry.language()
+        expr = extract(lang.ast)
+        assert expr is None or not equivalent_to(expr, lang.dfa)
+
+    def test_extracted_expressions_define_trc_languages(self):
+        # Lemma 19 (easy direction of Theorem 4): Ψtr ⊆ trC.
+        for entry in catalog.tractable_entries():
+            expr = extract(entry.language().ast)
+            if expr is None:
+                continue
+            compiled = expr.to_language(alphabet=entry.language().alphabet)
+            assert is_in_trc(compiled.dfa), entry.name
+
+    def test_middle_mandatory_word_rejected(self):
+        # a*b(cc)*d has a mandatory middle letter — outside Ψtr.
+        expr = extract(language("a*b(cc)*d").ast)
+        assert expr is None or not equivalent_to(
+            expr, language("a*b(cc)*d").dfa
+        )
+
+
+class TestHandwrittenTerms:
+    def test_star_terms_from_paper_notation(self):
+        # (A≥k + ε) written as [ab]{2,} wrapped optional.
+        expr = extract(language("([ab]{2,})?").ast)
+        assert expr is not None
+        lang = expr.to_language(alphabet={"a", "b"})
+        assert lang.accepts("")
+        assert lang.accepts("ab")
+        assert lang.accepts("bbb")
+        assert not lang.accepts("a")
+
+
+class TestSynthesis:
+    def test_synthesis_requires_trc(self):
+        with pytest.raises(NotInTrCError):
+            synthesize(language("(aa)*").dfa)
+
+    def test_synthesis_of_simple_star(self):
+        expr = synthesize(language("a*").dfa)
+        assert equivalent_to(expr, language("a*").dfa)
+
+    def test_synthesis_of_empty(self):
+        expr = synthesize(language("∅", alphabet={"a"}).dfa)
+        assert equivalent_to(expr, language("∅", alphabet={"a"}).dfa)
+
+    def test_synthesis_validates_or_raises(self):
+        # Either a validated-equivalent expression or an explicit error;
+        # silent wrong output is never acceptable.
+        lang = language("a*c*")
+        try:
+            expr = synthesize(lang.dfa)
+        except ReproError:
+            return
+        assert equivalent_to(expr, lang.dfa)
+
+
+class TestDecompose:
+    def test_decompose_rejects_hard_languages(self):
+        with pytest.raises(NotInTrCError):
+            decompose(language("a*ba*"))
+
+    @pytest.mark.parametrize(
+        "entry", catalog.tractable_entries(), ids=lambda e: e.name
+    )
+    def test_decompose_tractable_catalog(self, entry):
+        expr = decompose(entry.language())
+        assert equivalent_to(expr, entry.language().dfa)

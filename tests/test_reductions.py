@@ -1,0 +1,168 @@
+"""Tests for the paper's reductions (Lemmas 5, 17; Theorem 3)."""
+
+import random
+
+import pytest
+
+from repro import language
+from repro.algorithms.disjoint_paths import vertex_disjoint_paths_exist
+from repro.algorithms.exact import ExactSolver
+from repro.algorithms.reductions import (
+    disjoint_paths_to_rspq,
+    emptiness_to_trc_instance,
+    pumping_triple,
+    reachability_to_rspq,
+    rspq_instance_for_language,
+    universality_to_trc_instance,
+)
+from repro.core.trc import is_in_trc
+from repro.core.witness import find_hardness_witness
+from repro.errors import ReproError
+from repro.languages import Language
+from repro.languages.nfa import nfa_from_ast
+from repro.languages.regex.parser import parse
+
+
+def _random_vdp_instance(seed):
+    rng = random.Random(seed)
+    n = rng.choice([4, 5, 6])
+    edges = set()
+    for _ in range(rng.randint(n, 2 * n)):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            edges.add((a, b))
+    x1, y1, x2, y2 = rng.sample(range(n), 4)
+    return edges, x1, y1, x2, y2
+
+
+class TestLemma5:
+    @pytest.mark.parametrize(
+        "regex", ["a*ba*", "(aa)*", "a*b(cc)*d", "a*bc*", "(ab)*"]
+    )
+    def test_reduction_preserves_answers(self, regex):
+        lang = language(regex)
+        witness = find_hardness_witness(lang.dfa)
+        solver = ExactSolver(lang)
+        for seed in range(15):
+            edges, x1, y1, x2, y2 = _random_vdp_instance(seed)
+            truth = vertex_disjoint_paths_exist(edges, x1, y1, x2, y2)
+            graph, x, y = disjoint_paths_to_rspq(
+                edges, x1, y1, x2, y2, witness
+            )
+            assert solver.exists(graph, x, y) == truth, (regex, seed)
+
+    def test_figure1_instance_structure(self):
+        # The Figure 1 example: L = a*b(cc)*d on the 5-vertex instance.
+        lang = language("a*b(cc)*d")
+        witness = find_hardness_witness(lang.dfa)
+        edges = {("x1", "v"), ("v", "y1"), ("y2", "x1"), ("x2", "y2"),
+                 ("v", "x2")}
+        graph, x, y = disjoint_paths_to_rspq(
+            edges, "x1", "y1", "x2", "y2", witness
+        )
+        truth = vertex_disjoint_paths_exist(edges, "x1", "y1", "x2", "y2")
+        assert ExactSolver(lang).exists(graph, x, y) == truth
+
+    def test_convenience_wrapper_rejects_trc(self):
+        with pytest.raises(ReproError):
+            rspq_instance_for_language("a*", {(0, 1)}, 0, 1, 2, 3)
+
+    def test_reduction_size_is_linear(self):
+        lang = language("a*ba*")
+        witness = find_hardness_witness(lang.dfa)
+        edges = {(i, i + 1) for i in range(20)}
+        graph, _x, _y = disjoint_paths_to_rspq(edges, 0, 5, 6, 20, witness)
+        word_cost = len(witness.w1) + len(witness.w2)
+        bound = (
+            len(edges) * word_cost
+            + len(witness.wl) + len(witness.wm) + len(witness.wr) + 25
+        )
+        assert graph.num_edges <= bound
+
+
+class TestLemma17:
+    def test_pumping_triple_properties(self):
+        lang = language("ab^+c")
+        u, v, w = pumping_triple(lang.dfa)
+        assert v
+        for pumps in range(4):
+            assert lang.accepts(u + v * pumps + w)
+
+    def test_pumping_triple_requires_infinite(self):
+        with pytest.raises(ReproError):
+            pumping_triple(language("abc").dfa)
+
+    @pytest.mark.parametrize("regex", ["a*", "ab^+", "a*(bb^+ + eps)c*"])
+    def test_reachability_embedding(self, regex):
+        lang = language(regex)
+        edges = {(0, 1), (1, 2), (2, 3), (4, 0)}
+        solver = ExactSolver(lang)
+        graph, x, y = reachability_to_rspq(edges, 0, 3, lang.dfa)
+        assert solver.exists(graph, x, y)
+        graph, x, y = reachability_to_rspq(edges, 1, 0, lang.dfa)
+        assert not solver.exists(graph, x, y)
+
+
+class TestTheorem3Constructions:
+    def test_emptiness_reduction_empty_side(self):
+        empty = language("∅", alphabet={"a"})
+        instance = emptiness_to_trc_instance(empty.dfa)
+        assert is_in_trc(Language(instance).dfa)
+
+    @pytest.mark.parametrize("regex", ["a", "ab", "a*b"])
+    def test_emptiness_reduction_nonempty_side(self, regex):
+        lang = language(regex)
+        instance = emptiness_to_trc_instance(lang.dfa)
+        assert not is_in_trc(Language(instance).dfa)
+
+    def test_emptiness_reduction_language_shape(self):
+        lang = language("ab")
+        instance = Language(emptiness_to_trc_instance(lang.dfa))
+        assert instance.accepts("1ab1")
+        assert instance.accepts("11ab111")
+        assert not instance.accepts("ab")
+        assert not instance.accepts("1ab")
+        assert not instance.accepts("1ba1")
+
+    def test_emptiness_rejects_epsilon_languages(self):
+        with pytest.raises(ReproError):
+            emptiness_to_trc_instance(language("a*").dfa)
+
+    def test_universality_reduction_universal_side(self):
+        universal = nfa_from_ast(parse("(0+1)*"))
+        instance = universality_to_trc_instance(universal)
+        assert is_in_trc(Language(instance).dfa)
+
+    @pytest.mark.parametrize("regex", ["(00+1)*", "0*", "(0+1)*1"])
+    def test_universality_reduction_non_universal_side(self, regex):
+        nfa = nfa_from_ast(parse(regex))
+        instance = universality_to_trc_instance(nfa)
+        assert not is_in_trc(Language(instance).dfa)
+
+    def test_universality_rejects_wrong_alphabet(self):
+        with pytest.raises(ReproError):
+            universality_to_trc_instance(nfa_from_ast(parse("a*")))
+
+
+class TestDisjointPathSolver:
+    def test_simple_yes_instance(self):
+        edges = {(0, 1), (2, 3)}
+        assert vertex_disjoint_paths_exist(edges, 0, 1, 2, 3)
+
+    def test_shared_bottleneck_no_instance(self):
+        # Both paths must pass through vertex 4.
+        edges = {(0, 4), (4, 1), (2, 4), (4, 3)}
+        assert not vertex_disjoint_paths_exist(edges, 0, 1, 2, 3)
+
+    def test_shared_terminal_is_no(self):
+        edges = {(0, 1), (1, 2)}
+        assert not vertex_disjoint_paths_exist(edges, 0, 1, 1, 2)
+
+    def test_budget(self):
+        from repro.errors import BudgetExceededError
+
+        # y1 = 9 is unreachable, so the search enumerates every simple
+        # path out of the 8-clique before giving up — far over budget.
+        edges = {(i, j) for i in range(8) for j in range(8) if i != j}
+        with pytest.raises(BudgetExceededError):
+            vertex_disjoint_paths_exist(edges, 0, 9, 2, 3, budget=3)

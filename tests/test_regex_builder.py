@@ -1,0 +1,69 @@
+"""Unit tests for the regex builder combinators."""
+
+from repro.languages import language
+from repro.languages.regex import ast as rx
+from repro.languages.regex import builder as b
+
+
+class TestNormalisation:
+    def test_word_empty_is_epsilon(self):
+        assert b.word("") == rx.Epsilon()
+
+    def test_word_single_letter(self):
+        assert b.word("a") == rx.Literal("a")
+
+    def test_concat_drops_epsilon(self):
+        assert b.concat(b.word("a"), b.epsilon(), b.word("b")) == b.word("ab")
+
+    def test_concat_with_empty_is_empty(self):
+        assert b.concat(b.word("a"), b.empty()) == rx.Empty()
+
+    def test_concat_flattens(self):
+        nested = b.concat(b.word("ab"), b.word("cd"))
+        assert nested == b.word("abcd")
+
+    def test_union_deduplicates(self):
+        assert b.union(b.word("a"), b.word("a")) == rx.Literal("a")
+
+    def test_union_drops_empty(self):
+        assert b.union(b.word("a"), b.empty()) == rx.Literal("a")
+
+    def test_union_of_nothing_is_empty(self):
+        assert b.union() == rx.Empty()
+
+    def test_star_of_epsilon(self):
+        assert b.star(b.epsilon()) == rx.Epsilon()
+
+    def test_star_idempotent(self):
+        inner = b.star(b.word("a"))
+        assert b.star(inner) == inner
+
+    def test_optional_of_star_is_star(self):
+        inner = b.star(b.word("a"))
+        assert b.optional(inner) == inner
+
+    def test_char_class_singleton(self):
+        assert b.char_class("a") == rx.Literal("a")
+
+    def test_repeat_zero_zero(self):
+        assert b.repeat(b.word("a"), 0, 0) == rx.Epsilon()
+
+    def test_at_least(self):
+        node = b.at_least("ab", 2)
+        assert node == rx.Repeat(rx.CharClass(("a", "b")), 2, None)
+
+
+class TestSemantics:
+    """Built expressions must denote the same language as parsed ones."""
+
+    def test_at_least_language(self):
+        built = language(b.at_least("a", 2))
+        parsed = language("aa a*".replace(" ", ""))
+        assert built.equivalent(parsed)
+
+    def test_union_concat_language(self):
+        built = language(
+            b.concat(b.star(b.word("a")), b.optional(b.word("b")))
+        )
+        parsed = language("a*(b + eps)")
+        assert built.equivalent(parsed)

@@ -1,0 +1,88 @@
+"""Tests for walk / trail / simple path semantics (introduction, E13)."""
+
+import pytest
+
+from repro.algorithms.semantics import (
+    SEMANTICS,
+    SIMPLE,
+    TRAIL,
+    WALK,
+    SemanticsEvaluator,
+)
+from repro.graphs.dbgraph import DbGraph
+from repro.graphs.generators import labeled_cycle, labeled_path
+from repro.languages import language
+
+
+class TestHierarchy:
+    """simple ⇒ trail ⇒ walk on every instance."""
+
+    def test_on_random_instances(self):
+        from tests.conftest import random_instance
+
+        for regex in ["(aa)*", "a*ba*", "(ab)*"]:
+            evaluator = SemanticsEvaluator(language(regex))
+            for seed in range(10):
+                graph, x, y = random_instance(seed, "ab", max_vertices=7)
+                answers = evaluator.evaluate_all(graph, x, y)
+                if answers[SIMPLE]:
+                    assert answers[TRAIL]
+                if answers[TRAIL]:
+                    assert answers[WALK]
+
+
+class TestSeparations:
+    def test_walk_but_no_trail(self):
+        # a^4 on a 2-cycle: the walk 0->1->0->1->0 repeats both edges;
+        # no trail of length 4 exists with only two edges available.
+        graph = labeled_cycle("aa")
+        evaluator = SemanticsEvaluator(language("a{4}"))
+        assert evaluator.exists(graph, 0, 0, WALK)
+        assert not evaluator.exists(graph, 0, 0, TRAIL)
+
+    def test_trail_but_no_simple_path(self):
+        # Figure-eight: two triangles sharing vertex 1; the word a^6
+        # traverses both loops edge-distinctly but revisits vertex 1.
+        graph = DbGraph.from_edges(
+            [(0, "a", 1), (1, "a", 2), (2, "a", 0),
+             (1, "a", 3), (3, "a", 4), (4, "a", 1)]
+        )
+        evaluator = SemanticsEvaluator(language("a{6}"))
+        assert evaluator.exists(graph, 0, 0, WALK)
+        assert evaluator.exists(graph, 0, 0, TRAIL)
+        assert not evaluator.exists(graph, 0, 0, SIMPLE)
+
+    def test_unknown_semantics_rejected(self):
+        evaluator = SemanticsEvaluator(language("a"))
+        with pytest.raises(ValueError):
+            evaluator.exists(labeled_path("a"), 0, 1, "bogus")
+
+
+class TestCounting:
+    def test_count_walks_explosion(self):
+        # Arenas et al.'s yottabyte point: walk counts blow up.
+        graph = DbGraph.from_edges(
+            [(0, "a", 1), (0, "a", 2), (1, "a", 3), (2, "a", 3),
+             (3, "a", 4), (3, "a", 5), (4, "a", 6), (5, "a", 6)]
+        )
+        evaluator = SemanticsEvaluator(language("a*"))
+        assert evaluator.count_walks(graph, 0, 6, 4) == 4
+
+    def test_count_walks_vs_simple(self):
+        graph = labeled_cycle("aa")
+        evaluator = SemanticsEvaluator(language("(aa)*"))
+        # Walks 0->0 of length <= 6: lengths 0, 2, 4, 6.
+        assert evaluator.count_walks(graph, 0, 0, 6) == 4
+        # Only the empty path is simple.
+        assert evaluator.count_simple(graph, 0, 0) == 1
+
+    def test_count_trails(self):
+        graph = DbGraph.from_edges(
+            [(0, "a", 1), (1, "a", 2), (0, "a", 2)]
+        )
+        evaluator = SemanticsEvaluator(language("a*"))
+        # 0->2: direct edge, and the two-edge route.
+        assert evaluator.count_trails(graph, 0, 2) == 2
+
+    def test_semantics_constant_list(self):
+        assert set(SEMANTICS) == {WALK, TRAIL, SIMPLE}

@@ -1,0 +1,105 @@
+"""Tests for path annotations and summaries (Definitions 2-3)."""
+
+import pytest
+
+from repro import language
+from repro.core.summary import (
+    GapMarker,
+    annotate,
+    default_bound,
+    summarize,
+)
+from repro.errors import GraphError
+from repro.graphs.dbgraph import Path
+from repro.graphs.generators import figure3_graph, labeled_path
+
+
+FIG3_VERTICES = tuple("v%d" % i for i in range(1, 16))
+FIG3_LABELS = ("a", "c", "c", "c", "c", "c", "c", "c", "a", "b", "b", "b",
+               "a", "a")
+
+
+@pytest.fixture
+def example2():
+    return language("a(c{2,} + eps)(a+b)*(ac)?a*")
+
+
+@pytest.fixture
+def fig3_path():
+    graph, _x, _y = figure3_graph()
+    path = Path(FIG3_VERTICES, FIG3_LABELS)
+    assert graph.is_path(path)
+    return path
+
+
+class TestAnnotation:
+    def test_annotation_length(self, example2, fig3_path):
+        states = annotate(fig3_path, example2.dfa)
+        assert len(states) == len(fig3_path.vertices)
+
+    def test_annotation_starts_at_initial(self, example2, fig3_path):
+        states = annotate(fig3_path, example2.dfa)
+        assert states[0] == example2.dfa.initial
+
+    def test_annotation_tracks_run(self, example2, fig3_path):
+        states = annotate(fig3_path, example2.dfa)
+        assert states[-1] == example2.dfa.run(fig3_path.word)
+
+    def test_accepting_iff_word_in_language(self, example2, fig3_path):
+        states = annotate(fig3_path, example2.dfa)
+        assert (states[-1] in example2.dfa.accepting) == example2.accepts(
+            fig3_path.word
+        )
+
+
+class TestSummaries:
+    def test_example2_summary_with_paper_bound(self, example2, fig3_path):
+        # The paper uses N = 3 for the Figure-3 illustration: the two
+        # looping components C1 (c-loop) and C2 (a/b-loop) are long runs.
+        summary = summarize(fig3_path, example2.dfa, bound=3)
+        assert summary.num_gaps() == 2
+        markers = [
+            element
+            for element in summary.elements
+            if isinstance(element, GapMarker)
+        ]
+        assert markers[0].symbols == frozenset("c")
+        assert markers[1].symbols == frozenset("ab")
+
+    def test_default_bound_compresses_nothing_here(self, example2, fig3_path):
+        # With the worst-case N = 2M² no stretch of this short path
+        # qualifies as a long run.
+        assert summarize(fig3_path, example2.dfa).num_gaps() == 0
+
+    def test_summary_endpoints_preserved(self, example2, fig3_path):
+        summary = summarize(fig3_path, example2.dfa, bound=3)
+        pinned = summary.vertices()
+        assert pinned[0] == fig3_path.source
+        assert pinned[-1] == fig3_path.target
+
+    def test_summary_of_short_path_is_path(self, example2):
+        path = Path(("v1", "v2"), ("a",))
+        summary = summarize(path, example2.dfa, bound=3)
+        assert summary.num_gaps() == 0
+        assert summary.elements == ("v1", "a", "v2")
+
+    def test_bad_bound(self, example2, fig3_path):
+        with pytest.raises(GraphError):
+            summarize(fig3_path, example2.dfa, bound=0)
+
+    def test_default_bound_value(self, example2):
+        assert default_bound(example2.dfa) == 2 * example2.num_states ** 2
+
+    def test_size_bound(self, example2, fig3_path):
+        # Definition 3 remark: at most ~2M³ elements for fixed L.
+        summary = summarize(fig3_path, example2.dfa, bound=3)
+        assert summary.size() <= 2 * example2.num_states ** 3
+
+    def test_long_single_component_run(self):
+        lang = language("a*")
+        path = Path(tuple(range(10)), ("a",) * 9)
+        summary = summarize(path, lang.dfa, bound=2)
+        assert summary.num_gaps() == 1
+        # First vertex kept, marker, then the last N+1 vertices.
+        assert summary.elements[0] == 0
+        assert isinstance(summary.elements[1], GapMarker)

@@ -1,0 +1,138 @@
+"""Tests for trC membership (Definition 1 / Lemma 6) and its oracle."""
+
+import pytest
+
+from repro import catalog
+from repro.languages import Language, language
+from repro.languages.dfa import from_nfa
+from repro.core.trc import (
+    find_trc_counterexample,
+    is_in_trc,
+    is_in_trc_zero,
+    loops_then_quotient_nfa,
+    violating_pairs,
+    violation_word,
+)
+
+
+class TestCatalogMembership:
+    @pytest.mark.parametrize("entry", catalog.entries(), ids=lambda e: e.name)
+    def test_matches_ground_truth(self, entry):
+        assert is_in_trc(entry.language().dfa) is entry.in_trc
+
+    def test_accepts_language_objects(self):
+        assert is_in_trc(language("a*")) is True
+
+    def test_rejects_other_inputs(self):
+        with pytest.raises(TypeError):
+            is_in_trc("a*")
+
+
+class TestDefinitionOracle:
+    """The automaton test must agree with brute-force Definition 1."""
+
+    @pytest.mark.parametrize(
+        "regex", ["(aa)*", "a*ba*", "a*bc*", "(ab)*"],
+        ids=["even-a", "aba", "abc", "abstar"],
+    )
+    def test_hard_languages_have_counterexamples(self, regex):
+        lang = language(regex)
+        i = lang.num_states  # Lemma 2: trC iff trC(M)
+        counter = find_trc_counterexample(lang.dfa, i, max_length=4 * i + 4)
+        assert counter is not None
+        wl, w1, wm, w2, wr = counter
+        original = wl + w1 * i + wm + w2 * i + wr
+        pumped = wl + w1 * i + w2 * i + wr
+        assert lang.accepts(original)
+        assert not lang.accepts(pumped)
+
+    @pytest.mark.parametrize(
+        "regex", ["a*", "a*c*", "a*(bb^+ + eps)c*"],
+        ids=["astar", "ac", "example1"],
+    )
+    def test_tractable_languages_have_none_short(self, regex):
+        lang = language(regex)
+        i = lang.num_states
+        assert find_trc_counterexample(lang.dfa, i, max_length=10) is None
+
+
+class TestViolatingPairs:
+    def test_hard_language_yields_pair_and_word(self):
+        lang = language("a*ba*")
+        pairs = list(violating_pairs(lang.dfa))
+        assert pairs
+        q1, q2 = pairs[0]
+        word = violation_word(lang.dfa, q1, q2)
+        assert word is not None
+        # The word is in Loop(q2)^M · L_{q2} but not in L_{q1}.
+        assert lang.dfa.run_from(q1, word) not in lang.dfa.accepting
+
+    def test_tractable_language_yields_none(self):
+        assert list(violating_pairs(language("a*c*").dfa)) == []
+
+
+class TestLoopsThenQuotientNfa:
+    def test_language_shape(self):
+        dfa = language("a*b").dfa
+        q0 = dfa.initial
+        nfa = loops_then_quotient_nfa(dfa, q0, 2)
+        # Words: >= 2 a-loops then a word of L_{q0} = a*b.
+        assert nfa.accepts("aab")
+        assert nfa.accepts("aaab")
+        assert not nfa.accepts("ab")
+        assert not nfa.accepts("b")
+        assert not nfa.accepts("aa")
+
+
+class TestClosureProperties:
+    """Lemma 1: trC is closed by intersection, union, word reversal."""
+
+    TRC = ["a*", "a*c*", "a*(bb^+ + eps)c*", "a*(b + eps)c*"]
+
+    @pytest.mark.parametrize("left", TRC[:2], ids=["a", "ac"])
+    @pytest.mark.parametrize("right", TRC[2:], ids=["ex1", "optb"])
+    def test_union_closed(self, left, right):
+        combined = language(left).dfa.union(language(right).dfa)
+        assert is_in_trc(Language(combined).dfa)
+
+    @pytest.mark.parametrize("left", TRC[:2], ids=["a", "ac"])
+    @pytest.mark.parametrize("right", TRC[2:], ids=["ex1", "optb"])
+    def test_intersection_closed(self, left, right):
+        combined = language(left).dfa.intersection(language(right).dfa)
+        assert is_in_trc(Language(combined).dfa)
+
+    @pytest.mark.parametrize("regex", TRC, ids=["a", "ac", "ex1", "optb"])
+    def test_reversal_closed(self, regex):
+        reversed_lang = Language(language(regex).dfa.reverse_nfa())
+        assert is_in_trc(reversed_lang.dfa)
+
+    def test_union_of_hard_stays_hard_here(self):
+        # Not a closure claim from the paper — a sanity check that our
+        # union construction does not accidentally "fix" hard languages.
+        combined = language("a*ba*").dfa.union(language("(aa)*").dfa)
+        assert not is_in_trc(Language(combined).dfa)
+
+
+class TestLemma2Monotonicity:
+    """trC(i) ⊆ trC(i+1): a violation at i+1 implies one at i is *not*
+    required, but a violation at i+1 for word pumping must persist when
+    the oracle is run at smaller i on hard languages."""
+
+    def test_counterexample_monotone_for_even_a(self):
+        lang = language("(aa)*")
+        # (aa)* violates trC(i) for every i >= 1.
+        for i in (1, 2, 3):
+            assert find_trc_counterexample(lang.dfa, i, max_length=10) is not None
+
+
+class TestTrcZero:
+    @pytest.mark.parametrize("entry", catalog.entries(), ids=lambda e: e.name)
+    def test_matches_subword_closure(self, entry):
+        assert is_in_trc_zero(entry.language().dfa) is entry.subword_closed
+
+    def test_strict_inclusion_in_trc(self):
+        # Example 1 is in trC but not subword-closed: the Mendelzon-Wood
+        # fragment is strictly smaller (the paper's point in §1).
+        lang = language("a*(bb^+ + eps)c*")
+        assert is_in_trc(lang.dfa)
+        assert not is_in_trc_zero(lang.dfa)

@@ -1,0 +1,76 @@
+"""Tests for the trichotomy classification (Theorem 2)."""
+
+import pytest
+
+from repro import catalog, classify
+from repro.core.trichotomy import ComplexityClass
+from repro.core.witness import verify_witness
+from repro.languages import Language, language
+
+
+class TestCatalogClassification:
+    @pytest.mark.parametrize("entry", catalog.entries(), ids=lambda e: e.name)
+    def test_class_matches_paper(self, entry):
+        result = classify(entry.language().dfa)
+        assert result.complexity_class.value == entry.complexity
+        assert result.finite is entry.finite
+        assert result.in_trc is entry.in_trc
+
+    @pytest.mark.parametrize(
+        "entry", catalog.hard_entries(), ids=lambda e: e.name
+    )
+    def test_hard_classifications_carry_verified_witness(self, entry):
+        lang = entry.language()
+        result = classify(lang.dfa)
+        assert result.witness is not None
+        assert verify_witness(lang.dfa, result.witness)
+
+    def test_witness_can_be_skipped(self):
+        result = classify(language("a*ba*").dfa, with_witness=False)
+        assert result.complexity_class is ComplexityClass.NP_COMPLETE
+        assert result.witness is None
+
+
+class TestFiniteCase:
+    def test_longest_word_bound(self):
+        result = classify(language("abc").dfa)
+        lang = language("abc")
+        assert result.longest_word_bound is not None
+        longest = max(len(w) for w in lang.words(10))
+        assert longest <= result.longest_word_bound
+
+    def test_empty_language_is_ac0(self):
+        result = classify(language("∅", alphabet={"a"}).dfa)
+        assert result.complexity_class is ComplexityClass.AC0
+
+
+class TestTractabilityPredicate:
+    def test_tractable_classes(self):
+        assert ComplexityClass.AC0.is_tractable()
+        assert ComplexityClass.NL_COMPLETE.is_tractable()
+        assert not ComplexityClass.NP_COMPLETE.is_tractable()
+
+    def test_classification_is_tractable_helper(self):
+        assert classify(language("a*").dfa).is_tractable()
+        assert not classify(language("(aa)*").dfa).is_tractable()
+
+    def test_classify_accepts_language(self):
+        assert classify(language("a*")).in_trc
+
+
+class TestBoundaryExamples:
+    """The pairs the paper uses to locate the frontier."""
+
+    def test_example1_vs_its_hard_neighbour(self):
+        # a*(bb+ + ε)c* tractable, a*bc* hard (Example 1's punchline).
+        assert classify(language("a*(bb^+ + eps)c*").dfa).is_tractable()
+        assert not classify(language("a*bc*").dfa).is_tractable()
+
+    def test_optional_b_vs_mandatory_b(self):
+        assert classify(language("a*(b + eps)c*").dfa).is_tractable()
+        assert not classify(language("a*bc*").dfa).is_tractable()
+
+    def test_bb_run_at_end_is_tractable(self):
+        # ab+ (= uv*w) is NL-complete; the trailing run does not hurt.
+        result = classify(language("ab^+").dfa)
+        assert result.complexity_class is ComplexityClass.NL_COMPLETE

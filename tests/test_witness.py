@@ -1,0 +1,88 @@
+"""Tests for Property-(1) hardness witnesses (Lemma 4)."""
+
+import pytest
+
+from repro import catalog
+from repro.core.trc import is_in_trc
+from repro.core.witness import (
+    HardnessWitness,
+    find_hardness_witness,
+    verify_witness,
+)
+from repro.languages import language
+
+
+class TestWitnessSearch:
+    @pytest.mark.parametrize(
+        "entry", catalog.hard_entries(), ids=lambda e: e.name
+    )
+    def test_every_hard_catalog_language_has_witness(self, entry):
+        lang = entry.language()
+        witness = find_hardness_witness(lang.dfa)
+        assert witness is not None
+        assert verify_witness(lang.dfa, witness)
+
+    @pytest.mark.parametrize(
+        "entry", catalog.tractable_entries(), ids=lambda e: e.name
+    )
+    def test_tractable_languages_have_none(self, entry):
+        assert find_hardness_witness(entry.language().dfa) is None
+
+
+class TestWitnessSemantics:
+    def test_witness_words_pump_inside_l(self):
+        lang = language("a*ba*")
+        witness = find_hardness_witness(lang.dfa)
+        # wl w1^j wm w2^i wr ∈ L for all i, j (conditions 1-5).
+        for i in range(3):
+            for j in range(3):
+                word = (
+                    witness.wl
+                    + witness.w1 * j
+                    + witness.wm
+                    + witness.w2 * i
+                    + witness.wr
+                )
+                assert lang.accepts(word), (i, j, word)
+
+    def test_witness_without_middle_never_in_l(self):
+        lang = language("a*ba*")
+        witness = find_hardness_witness(lang.dfa)
+        # wl (w1|w2)* wr ∩ L = ∅ (condition 6): check small samples.
+        pieces = [witness.w1, witness.w2]
+        samples = [""]
+        for _ in range(3):
+            samples = [s + p for s in samples for p in pieces] + samples
+        for middle in set(samples):
+            assert not lang.accepts(witness.wl + middle + witness.wr)
+
+    def test_verify_rejects_corrupted_witness(self):
+        lang = language("a*ba*")
+        witness = find_hardness_witness(lang.dfa)
+        broken = HardnessWitness(
+            witness.q1, witness.q2, witness.wl, witness.w1,
+            witness.wm + witness.wm, witness.w2, witness.wr,
+        )
+        # Doubling wm drives past q2 (b twice hits the sink) — invalid.
+        assert not verify_witness(lang.dfa, broken)
+
+    def test_verify_rejects_empty_loop_words(self):
+        lang = language("a*ba*")
+        witness = find_hardness_witness(lang.dfa)
+        broken = HardnessWitness(
+            witness.q1, witness.q2, witness.wl, "", witness.wm,
+            witness.w2, witness.wr,
+        )
+        assert not verify_witness(lang.dfa, broken)
+
+    def test_figure1_language_witness_shape(self):
+        # For a*b(cc)*d the paper picks wl=w1=a, wm=b, w2=cc, wr=d;
+        # any verified witness must satisfy the same six conditions.
+        lang = language("a*b(cc)*d")
+        witness = find_hardness_witness(lang.dfa)
+        dfa = lang.dfa
+        assert dfa.run(witness.wl) == witness.q1
+        assert dfa.run_from(witness.q1, witness.w1) == witness.q1
+        assert dfa.run_from(witness.q1, witness.wm) == witness.q2
+        assert dfa.run_from(witness.q2, witness.w2) == witness.q2
+        assert dfa.run_from(witness.q2, witness.wr) in dfa.accepting
