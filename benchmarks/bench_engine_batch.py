@@ -1,0 +1,115 @@
+"""Engine batch execution vs per-query ``solve_rspq`` — the plan cache.
+
+A 100+-query mixed-regime workload (finite / trC / NP-complete
+languages, all three trichotomy strategies exercised) against one graph.
+Per-query ``solve_rspq`` re-parses the regex, re-minimises the DFA,
+re-classifies and re-decomposes the language for every single query;
+:class:`repro.engine.QueryEngine` compiles the graph to an indexed view
+once and keeps one plan per distinct language in its LRU cache.
+
+Asserted shape (the ISSUE-1 acceptance criteria):
+
+* with a warm plan cache, ``run_batch`` is at least 3× faster than the
+  per-query baseline on the same workload;
+* the engine's answers match the baseline *path for path* — identical
+  vertices and labels, not merely identical lengths.
+"""
+
+import pytest
+
+from benchmarks.conftest import measure_seconds
+
+from repro.core.solver import solve_rspq
+from repro.engine import QueryEngine
+from repro.graphs.generators import random_labeled_graph
+
+# Mixed regime: finite (AC0), infinite trC (NL), not-in-trC (NP-complete).
+LANGUAGES = [
+    "ab + ba",              # finite
+    "abc",                  # finite
+    "a*",                   # trC
+    "c*",                   # trC
+    "a*(bb^+ + eps)c*",     # trC (Example 1)
+    "b*c*",                 # trC
+    "a*ba*",                # NP-complete
+    "(aa)*",                # NP-complete
+]
+
+NUM_QUERIES = 104
+
+
+def _workload():
+    """One graph and 104 queries cycling through the mixed languages."""
+    graph = random_labeled_graph(40, 120, "abc", seed=17)
+    n = graph.num_vertices
+    queries = []
+    for index in range(NUM_QUERIES):
+        regex = LANGUAGES[index % len(LANGUAGES)]
+        source = (3 * index) % n
+        target = (5 * index + 7) % n
+        if source == target:
+            target = (target + 1) % n
+        queries.append((regex, source, target))
+    return graph, queries
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _workload()
+
+
+def _run_baseline(graph, queries):
+    return [
+        solve_rspq(regex, graph, source, target)
+        for regex, source, target in queries
+    ]
+
+
+def test_engine_matches_baseline_path_for_path(workload):
+    graph, queries = workload
+    engine = QueryEngine(graph)
+    batch = engine.run_batch(queries)
+    baseline = _run_baseline(graph, queries)
+    assert len(batch) == len(baseline)
+    for query, engine_result, reference in zip(
+        queries, batch.results, baseline
+    ):
+        assert engine_result.found == reference.found, query
+        assert engine_result.path == reference.path, query
+        assert engine_result.strategy == reference.strategy, query
+
+
+def test_warm_engine_at_least_3x_faster(workload):
+    graph, queries = workload
+    engine = QueryEngine(graph)
+    engine.run_batch(queries)  # warm the plan cache
+    engine_seconds, batch = measure_seconds(engine.run_batch, queries)
+    baseline_seconds, _ = measure_seconds(_run_baseline, graph, queries)
+    assert batch.plans_compiled == 0  # fully warm
+    assert batch.plan_cache_hits == len(queries)
+    assert baseline_seconds >= 3 * engine_seconds, (
+        "expected >= 3x speedup, got %.1fx (engine %.4fs, baseline %.4fs)"
+        % (baseline_seconds / engine_seconds, engine_seconds, baseline_seconds)
+    )
+
+
+def test_strategies_are_mixed(workload):
+    graph, queries = workload
+    engine = QueryEngine(graph)
+    batch = engine.run_batch(queries)
+    counts = batch.strategy_counts()
+    assert len(counts) == 3, counts  # all three trichotomy regimes ran
+
+
+def test_engine_batch(benchmark, workload):
+    graph, queries = workload
+    engine = QueryEngine(graph)
+    engine.run_batch(queries)  # warm
+    batch = benchmark(engine.run_batch, queries)
+    assert batch.plans_compiled == 0
+
+
+def test_per_query_baseline(benchmark, workload):
+    graph, queries = workload
+    results = benchmark(_run_baseline, graph, queries)
+    assert len(results) == len(queries)

@@ -10,6 +10,8 @@ Public API highlights
   / NP-complete.
 * :class:`repro.RspqSolver` — evaluate regular *simple* path queries,
   automatically using the polynomial algorithm for tractable languages.
+* :class:`repro.QueryEngine` — batch evaluation against one compiled
+  :class:`repro.IndexedGraph` with an LRU plan cache (:mod:`repro.engine`).
 """
 
 from .errors import (
@@ -26,6 +28,7 @@ from .graphs.vlgraph import EvlGraph, VlGraph
 from .core.trichotomy import ComplexityClass, classify
 from .core.trc import is_in_trc
 from .core.solver import RspqSolver, solve_rspq
+from .engine import IndexedGraph, QueryEngine
 from . import catalog
 
 __version__ = "1.0.0"
@@ -37,8 +40,10 @@ __all__ = [
     "DbGraph",
     "EvlGraph",
     "GraphError",
+    "IndexedGraph",
     "Language",
     "NotInTrCError",
+    "QueryEngine",
     "RegexSyntaxError",
     "ReproError",
     "RspqSolver",

@@ -15,7 +15,7 @@ formula depth), and trivially polynomial for fixed L.
 from __future__ import annotations
 
 from ..errors import ReproError
-from ..graphs.dbgraph import Path
+from ..graphs.dbgraph import Path, sorted_successors_fn
 from ..languages import Language
 
 
@@ -34,12 +34,15 @@ class FiniteLanguageSolver:
         self.words = sorted(
             language.words(bound, limit=max_words), key=lambda w: (len(w), w)
         )
+        self.words_tried = 0  # work counter for the last query
 
     def shortest_simple_path(self, graph, source, target):
         """Shortest simple L-labeled path (words tried short-first)."""
         graph.require_vertex(source)
         graph.require_vertex(target)
+        self.words_tried = 0
         for word in self.words:
+            self.words_tried += 1
             path = find_simple_word_path(graph, source, target, word)
             if path is not None:
                 return path
@@ -60,6 +63,7 @@ def find_simple_word_path(graph, source, target, word):
         return Path.single(source) if word == "" else None
     if word == "":
         return None
+    sorted_successors = sorted_successors_fn(graph)
     vertices = [source]
     visited = {source}
 
@@ -69,7 +73,7 @@ def find_simple_word_path(graph, source, target, word):
             return current == target
         # The last letter must land exactly on the target; intermediate
         # letters must avoid it (a simple path visits it only once).
-        for nxt in sorted(graph.successors(current, word[position]), key=repr):
+        for nxt in sorted_successors(current, word[position]):
             if nxt in visited:
                 continue
             if position < len(word) - 1 and nxt == target:

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..errors import BudgetExceededError
-from ..graphs.dbgraph import Path
+from ..graphs.dbgraph import Path, sorted_out_edges_fn
 from ..languages import Language
 
 
@@ -45,6 +45,16 @@ class ExactSolver:
         self.dfa = language.dfa
         self.budget = budget
         self.steps = 0
+        # Reverse transition index: (state_after, label) -> states_before.
+        # Computed once per solver so the backward product BFS in
+        # _goal_distances is O(in-edges) per node instead of scanning
+        # every DFA state per incoming edge.
+        reverse = {}
+        for state_before, label, state_after in self.dfa.transitions():
+            reverse.setdefault((state_after, label), []).append(state_before)
+        self._reverse_transitions = {
+            key: tuple(values) for key, values in reverse.items()
+        }
 
     # -- internals -----------------------------------------------------------
 
@@ -58,15 +68,16 @@ class ExactSolver:
             distances[node] = 0
             queue.append(node)
         # Backward BFS over the product graph.
+        empty = ()
         while queue:
             vertex, state = queue.popleft()
             base = distances[(vertex, state)]
             for label, source in graph.in_edges(vertex):
                 if label not in self.dfa.alphabet:
                     continue
-                for state_before in self.dfa.states():
-                    if self.dfa.transition(state_before, label) != state:
-                        continue
+                for state_before in self._reverse_transitions.get(
+                    (state, label), empty
+                ):
                     node = (source, state_before)
                     if node not in distances:
                         distances[node] = base + 1
@@ -110,6 +121,7 @@ class ExactSolver:
                 return Path.single(source)
             return None
         goal_distance = self._goal_distances(graph, target)
+        sorted_out = sorted_out_edges_fn(graph)
         start = (source, self.dfa.initial)
         if start not in goal_distance:
             return None
@@ -152,7 +164,7 @@ class ExactSolver:
                 # this complete path further (extensions cannot return
                 # to the target without revisiting it).
                 return
-            for label, nxt in sorted(graph.out_edges(vertex), key=repr):
+            for label, nxt in sorted_out(vertex):
                 if label not in self.dfa.alphabet or nxt in visited:
                     continue
                 next_state = self.dfa.transition(state, label)

@@ -6,10 +6,15 @@ Usage (also via ``python -m repro``)::
     repro witness 'a*ba*'
     repro solve 'a*c*' graph.txt 0 5
     repro psitr 'a*(bb+ + eps)c*'
+    repro batch graph.txt queries.txt
 
 The graph file uses the text format of :mod:`repro.graphs.io`
-(``e source label target`` per line).  Exit status is 0 on success, 1
-for "no path" answers, 2 for usage or input errors.
+(``e source label target`` per line).  A batch queries file has one
+``source target regex`` query per line (the regex may contain spaces;
+``#`` comments and blank lines are ignored); the batch is executed by
+:class:`repro.engine.QueryEngine` — graph compiled once, plans cached.
+Exit status is 0 on success, 1 for "no path" answers, 2 for usage or
+input errors.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from .core.trichotomy import classify
 from .core.witness import find_hardness_witness
 from .core.psitr import decompose
 from .core.solver import RspqSolver
+from .engine import QueryEngine
 from .graphs import io as graph_io
 
 
@@ -60,6 +66,39 @@ def _build_parser():
         type=int,
         default=None,
         help="step budget for the exponential solver (NP-complete L)",
+    )
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run many queries against one graph via the plan-cached "
+        "engine (repro.engine.QueryEngine)",
+        description="Evaluate a file of RSPQs against one graph.  The "
+        "graph is compiled to an indexed view once and query plans "
+        "(regex -> DFA -> classification -> decomposition) are cached "
+        "in an LRU, so repeated languages are planned only once.  Each "
+        "query line reads 'source target regex' (the regex may contain "
+        "spaces; '#' comments and blank lines are skipped).",
+    )
+    p_batch.add_argument("graph", help="path to a graph file (text format)")
+    p_batch.add_argument(
+        "queries", help="path to a queries file (source target regex)"
+    )
+    p_batch.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="step budget for queries dispatched to the exact solver",
+    )
+    p_batch.add_argument(
+        "--plan-cache-size",
+        type=int,
+        default=128,
+        help="LRU capacity of the query-plan cache (default 128)",
+    )
+    p_batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-query solver steps and timings",
     )
     return parser
 
@@ -113,11 +152,80 @@ def _cmd_solve(args):
     return 0
 
 
+def _parse_queries(path):
+    """Parse a queries file into ``(regex, source, target)`` triples."""
+    queries = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split(None, 2)
+            if len(fields) != 3:
+                raise ReproError(
+                    "queries line %d: expected 'source target regex', "
+                    "got %r" % (line_number, raw_line.rstrip("\n"))
+                )
+            source, target, regex = fields
+            queries.append((regex, source, target))
+    return queries
+
+
+def _cmd_batch(args):
+    if args.plan_cache_size < 1:
+        raise ReproError(
+            "--plan-cache-size must be >= 1, got %d" % args.plan_cache_size
+        )
+    graph = graph_io.load(args.graph)
+    queries = _parse_queries(args.queries)
+    engine = QueryEngine(
+        graph,
+        plan_cache_size=args.plan_cache_size,
+        exact_budget=args.budget,
+    )
+    batch = engine.run_batch(queries)
+    for result in batch.results:
+        if result.error is not None:
+            answer = "error: %s" % result.error
+        elif result.found:
+            answer = "length %d, word %s" % (result.length, result.path.word)
+        else:
+            answer = "no path"
+        flag = "  [warning: decompose failed, exact fallback]" if (
+            result.decompose_failed
+        ) else ""
+        print(
+            "[%s] %s -> %s under %s: %s%s"
+            % (
+                result.strategy,
+                result.source,
+                result.target,
+                result.language,
+                answer,
+                flag,
+            )
+        )
+        if args.stats:
+            print(
+                "    steps=%s plan_cache_hit=%s time=%.6fs"
+                % (
+                    result.stats.steps,
+                    result.stats.plan_cache_hit,
+                    result.stats.seconds,
+                )
+            )
+    print(batch.summary())
+    if batch.error_count:
+        return 2
+    return 0 if batch.found_count == len(queries) else 1
+
+
 _COMMANDS = {
     "classify": _cmd_classify,
     "witness": _cmd_witness,
     "psitr": _cmd_psitr,
     "solve": _cmd_solve,
+    "batch": _cmd_batch,
 }
 
 

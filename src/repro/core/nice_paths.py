@@ -36,7 +36,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import GraphError, NotInTrCError
-from ..graphs.dbgraph import Path
+from ..graphs.dbgraph import (
+    Path,
+    sorted_out_edges_fn,
+    sorted_successors_fn,
+)
 from ..languages import Language
 from .psitr import (
     OptionalWordTerm,
@@ -359,6 +363,8 @@ class _SequenceSearch:
         self.budget = budget
         self.weight_fn = weight_fn
         self.use_live_pruning = use_live_pruning
+        self._sorted_out = sorted_out_edges_fn(graph)
+        self._sorted_successors = sorted_successors_fn(graph)
         self.nfa = _SequenceNfa(self.segments)
         if use_live_pruning:
             self.live = _live_table(graph, self.nfa, source, target)
@@ -506,9 +512,7 @@ class _SequenceSearch:
         run = pieces[-1]
         current = run.vertices[-1]
         next_state = self._letter_target(state, symbol)
-        for target in sorted(
-            self.graph.successors(current, symbol), key=repr
-        ):
+        for target in self._sorted_successors(current, symbol):
             if target in pinned:
                 continue
             if next_state is not None and not self._alive(target, next_state):
@@ -608,9 +612,7 @@ class _SequenceSearch:
             return
         run = pieces[-1]
         current = run.vertices[-1]
-        for label, target in sorted(
-            self.graph.out_edges(current), key=repr
-        ):
+        for label, target in self._sorted_out(current):
             if label not in symbols or target in pinned:
                 continue
             next_state = self._letter_target(state, label)

@@ -4,8 +4,9 @@
 
 * finite L            → :class:`FiniteLanguageSolver` (the AC0 case),
 * infinite L ∈ trC    → :class:`TractableSolver` (the NL case) when an
-  anchor decomposition is available, otherwise the exact solver with a
-  warning flag,
+  anchor decomposition is available, otherwise the exact solver with
+  the ``decompose_failed`` warning flag set (surfaced on both the
+  solver and every :class:`RspqResult` it produces),
 * L ∉ trC             → :class:`ExactSolver` (the NP-complete case; a
   work budget may be supplied).
 
@@ -41,6 +42,9 @@ class RspqResult:
     path: Optional[Path]
     strategy: str
     classification: Classification
+    #: True when L ∈ trC but no Ψtr decomposition could be computed, so
+    #: the query silently fell back to the exponential exact solver.
+    decompose_failed: bool = False
 
     @property
     def length(self):
@@ -70,6 +74,7 @@ class RspqSolver:
         self._tractable_solver = None
         self._exact_solver = None
         self.strategy = STRATEGY_EXACT
+        self.decompose_failed = False
         if force_exact:
             pass
         elif self.classification.finite:
@@ -85,6 +90,10 @@ class RspqSolver:
                     language, expression=expression
                 )
                 self.strategy = STRATEGY_TRACTABLE
+            else:
+                # L is tractable but we could not build the anchor
+                # decomposition; warn rather than silently go exponential.
+                self.decompose_failed = True
         if self.strategy == STRATEGY_EXACT:
             self._exact_solver = ExactSolver(language, budget=exact_budget)
 
@@ -108,7 +117,21 @@ class RspqSolver:
             path=path,
             strategy=self.strategy,
             classification=self.classification,
+            decompose_failed=self.decompose_failed,
         )
+
+    def last_steps(self):
+        """Work counter of the most recent query (strategy-specific).
+
+        Exact: DFS expansions; tractable: anchored-DFS steps; finite:
+        words tried.  ``None`` when no query has run yet.
+        """
+        if self._finite_solver is not None:
+            return self._finite_solver.words_tried
+        if self._tractable_solver is not None:
+            stats = self._tractable_solver.last_stats
+            return None if stats is None else stats.dfs_steps
+        return self._exact_solver.steps
 
     def exists(self, graph, source, target):
         """Decision variant of RSPQ(L)."""

@@ -1,0 +1,74 @@
+"""repro.engine — indexed graphs, cached query plans, batch execution.
+
+The trichotomy solvers are correct one query at a time, but a workload
+of many queries repeats two kinds of work:
+
+**Per-graph work.**  ``DbGraph`` stores adjacency as dicts of sets; the
+solvers want a *deterministic* neighbour order, which the seed obtained
+by re-sorting adjacency by ``repr`` at every expansion.
+:class:`IndexedGraph` compiles the graph once: vertices become
+contiguous ints, forward and reverse adjacency become pre-sorted
+tuples, and each label gets CSR-style ``indptr``/``targets`` arrays for
+label-restricted traversal.  It duck-types the ``DbGraph`` read API, so
+every solver runs on it unchanged — and returns bit-identical paths,
+because the compiled order *is* the repr order the solvers sorted into.
+
+**Per-language work.**  Answering ``solve_rspq(regex, ...)`` parses the
+regex, determinises and minimises the automaton, classifies it against
+the trichotomy, and (for trC languages) computes a Ψtr decomposition —
+all before touching the graph.  A :class:`~repro.engine.plan.QueryPlan`
+does that once; :class:`QueryEngine` keeps plans in an LRU
+:class:`~repro.engine.plan.PlanCache` keyed by regex text (or by
+canonical minimal-DFA signature for ``Language`` objects), so repeated
+languages skip straight to the search.
+
+When does compilation pay off?
+------------------------------
+
+* **Many queries, one graph** — the target workload.  Graph compilation
+  is one O(V + E) pass amortised over the whole batch, and each plan is
+  amortised over every query that shares its language.  On a mixed
+  100-query workload the engine is several times faster than per-query
+  ``solve_rspq`` (``benchmarks/bench_engine_batch.py`` asserts ≥ 3×).
+* **One query, one graph** — roughly break-even: you pay one graph
+  pass and one plan compile, the same work ``solve_rspq`` does, minus
+  the re-sorting the solvers no longer repeat.
+* **Mutating graphs** — the compiled view is a snapshot; recompile
+  after mutation (``QueryEngine(IndexedGraph(graph))``).  If the graph
+  changes on every query, stay with ``solve_rspq`` on the raw
+  ``DbGraph``, whose own sorted-adjacency caches invalidate safely.
+
+Entry points
+------------
+
+* ``QueryEngine(graph).run_batch([(language, source, target), ...])`` —
+  batch evaluation with per-query stats (strategy, solver steps, plan
+  cache hit, seconds) and a ``summary()``.
+* ``QueryEngine(graph).query(language, source, target)`` — one query.
+* ``IndexedGraph(graph)`` — the compiled view, usable directly with any
+  solver in :mod:`repro.algorithms` / :mod:`repro.core`.
+* CLI: ``repro batch GRAPH QUERIES`` (see ``repro batch --help``).
+"""
+
+from .indexed import IndexedGraph
+from .plan import PlanCache, PlanCacheStats, QueryPlan, plan_key
+from .engine import (
+    STRATEGY_ERROR,
+    BatchResult,
+    EngineResult,
+    QueryEngine,
+    QueryStats,
+)
+
+__all__ = [
+    "BatchResult",
+    "EngineResult",
+    "IndexedGraph",
+    "PlanCache",
+    "PlanCacheStats",
+    "QueryEngine",
+    "QueryPlan",
+    "QueryStats",
+    "STRATEGY_ERROR",
+    "plan_key",
+]

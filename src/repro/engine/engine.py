@@ -1,0 +1,233 @@
+"""The batch query engine: one compiled graph, many cached plans.
+
+:class:`QueryEngine` binds an :class:`~repro.engine.indexed.IndexedGraph`
+(compiled once from the caller's :class:`~repro.graphs.dbgraph.DbGraph`)
+to a :class:`~repro.engine.plan.PlanCache` and answers
+``(language, source, target)`` queries through both — see
+:mod:`repro.engine` for the cost model.  Results are identical,
+path-for-path, to what per-query :func:`repro.core.solver.solve_rspq`
+returns on the raw graph; the engine only removes redundant work.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import ReproError
+from ..graphs.dbgraph import Path
+from .indexed import IndexedGraph
+from .plan import PlanCache, QueryPlan, plan_key
+
+#: Strategy marker for queries that raised instead of answering.
+STRATEGY_ERROR = "error"
+
+
+@dataclass
+class QueryStats:
+    """Per-query execution counters."""
+
+    strategy: str
+    steps: Optional[int]
+    plan_cache_hit: bool
+    seconds: float
+
+
+@dataclass
+class EngineResult:
+    """One answered query: the RSPQ outcome plus engine bookkeeping."""
+
+    language: Any  # the regex string / Language the caller queried with
+    source: Any
+    target: Any
+    found: bool
+    path: Optional[Path]
+    strategy: str
+    decompose_failed: bool
+    stats: QueryStats
+    #: Error message when the query failed (batch mode isolates
+    #: failures per query); None for answered queries.
+    error: Optional[str] = None
+
+    @property
+    def length(self):
+        return None if self.path is None else len(self.path)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of :meth:`QueryEngine.run_batch`."""
+
+    results: list
+    seconds: float
+
+    def __len__(self):
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def found_count(self):
+        return sum(1 for result in self.results if result.found)
+
+    @property
+    def error_count(self):
+        return sum(1 for result in self.results if result.error is not None)
+
+    @property
+    def plan_cache_hits(self):
+        return sum(
+            1 for result in self.results if result.stats.plan_cache_hit
+        )
+
+    @property
+    def plans_compiled(self):
+        return sum(
+            1
+            for result in self.results
+            if result.error is None and not result.stats.plan_cache_hit
+        )
+
+    def strategy_counts(self):
+        """``Counter`` of queries answered per strategy."""
+        return Counter(result.strategy for result in self.results)
+
+    def summary(self):
+        """A short multi-line report (used by the batch CLI)."""
+        by_strategy = ", ".join(
+            "%s=%d" % (strategy, count)
+            for strategy, count in sorted(self.strategy_counts().items())
+        )
+        errors = (
+            ", %d errors" % self.error_count if self.error_count else ""
+        )
+        return (
+            "%d queries in %.3fs (%d found%s) — plans: %d compiled, "
+            "%d cache hits — strategies: %s"
+            % (
+                len(self.results),
+                self.seconds,
+                self.found_count,
+                errors,
+                self.plans_compiled,
+                self.plan_cache_hits,
+                by_strategy or "none",
+            )
+        )
+
+
+class QueryEngine:
+    """Evaluate many RSPQs against one graph with shared compiled state.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`DbGraph` (compiled to an :class:`IndexedGraph` here,
+        once) or an already-compiled :class:`IndexedGraph`.
+    plan_cache_size:
+        Capacity of the LRU plan cache (distinct languages kept warm).
+    exact_budget:
+        Step budget handed to plans that dispatch to the exponential
+        solver (None = unbounded).
+    """
+
+    def __init__(self, graph, plan_cache_size=128, exact_budget=None):
+        if isinstance(graph, IndexedGraph):
+            self.graph = graph
+        else:
+            self.graph = IndexedGraph(graph)
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.exact_budget = exact_budget
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan_for(self, language):
+        """The cached plan for ``language``, compiling on a miss.
+
+        Returns ``(plan, cache_hit)``.
+        """
+        key = plan_key(language)
+        plan = self.plan_cache.get(key)
+        if plan is not None:
+            return plan, True
+        plan = QueryPlan.compile(
+            language, key=key, exact_budget=self.exact_budget
+        )
+        self.plan_cache.put(key, plan)
+        return plan, False
+
+    # -- querying ----------------------------------------------------------------
+
+    def query(self, language, source, target):
+        """Answer one RSPQ; returns an :class:`EngineResult`.
+
+        Raises :class:`~repro.errors.ReproError` on bad input (unknown
+        vertex, unparseable regex, exceeded budget); ``run_batch``
+        isolates such failures per query instead.
+        """
+        start = time.perf_counter()
+        plan, cache_hit = self.plan_for(language)
+        path = plan.solver.shortest_simple_path(self.graph, source, target)
+        seconds = time.perf_counter() - start
+        return EngineResult(
+            language=language,
+            source=source,
+            target=target,
+            found=path is not None,
+            path=path,
+            strategy=plan.strategy,
+            decompose_failed=plan.decompose_failed,
+            stats=QueryStats(
+                strategy=plan.strategy,
+                steps=plan.solver.last_steps(),
+                plan_cache_hit=cache_hit,
+                seconds=seconds,
+            ),
+        )
+
+    def exists(self, language, source, target):
+        """Decision variant (plan-cached)."""
+        plan, _cache_hit = self.plan_for(language)
+        return plan.solver.exists(self.graph, source, target)
+
+    def run_batch(self, queries):
+        """Answer an iterable of ``(language, source, target)`` triples.
+
+        Queries run in order against the shared indexed graph; plans are
+        compiled at most once per distinct language (LRU permitting).
+        A query that raises :class:`~repro.errors.ReproError` (unknown
+        vertex, bad regex, exceeded budget) does not abort the batch:
+        it yields an :class:`EngineResult` with ``error`` set and the
+        remaining queries still run.  Returns a :class:`BatchResult`.
+        """
+        start = time.perf_counter()
+        results = []
+        for language, source, target in queries:
+            query_start = time.perf_counter()
+            try:
+                results.append(self.query(language, source, target))
+            except ReproError as err:
+                results.append(
+                    EngineResult(
+                        language=language,
+                        source=source,
+                        target=target,
+                        found=False,
+                        path=None,
+                        strategy=STRATEGY_ERROR,
+                        decompose_failed=False,
+                        stats=QueryStats(
+                            strategy=STRATEGY_ERROR,
+                            steps=None,
+                            plan_cache_hit=False,
+                            seconds=time.perf_counter() - query_start,
+                        ),
+                        error=str(err),
+                    )
+                )
+        return BatchResult(
+            results=results, seconds=time.perf_counter() - start
+        )

@@ -1,0 +1,245 @@
+"""Compiled, integer-indexed adjacency view of a db-graph.
+
+:class:`IndexedGraph` takes one pass over a :class:`~repro.graphs.dbgraph.DbGraph`
+and freezes it into dense structures tuned for the solvers' hot loops:
+
+* vertices mapped to contiguous ints ``0..n-1`` in the same repr-sorted
+  order that ``DbGraph.vertices()`` uses, so every solver that expands
+  neighbours "in repr order" returns bit-identical paths on either view;
+* per-vertex forward and reverse adjacency stored as pre-sorted tuples
+  (``sorted_out_edges`` / ``in_edges`` become array reads, not
+  sort-per-call);
+* per-label CSR arrays (``indptr`` + flat target ids) for
+  label-restricted traversals — the layout the color-coding exemplar
+  uses to amortise graph preparation across many trials.
+
+The view is a *snapshot*: it implements the read side of the ``DbGraph``
+API (duck-typed — the solvers never notice the difference) and raises
+:class:`~repro.errors.GraphError` on unknown vertices, but it does not
+track later mutations of the source graph.  Compile once per graph,
+reuse across every query; see :mod:`repro.engine` for when that pays.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from ..errors import GraphError
+from ..graphs.dbgraph import DbGraph
+
+
+class IndexedGraph:
+    """Immutable compiled view of a db-graph (see module docstring)."""
+
+    __slots__ = (
+        "_vertex_of",
+        "_id_of",
+        "_labels",
+        "_num_edges",
+        "_out",
+        "_in",
+        "_out_pair_sets",
+        "_label_indptr",
+        "_label_targets",
+        "_sorted_succ_by_label",
+    )
+
+    def __init__(self, graph):
+        if isinstance(graph, IndexedGraph):
+            raise GraphError("graph is already an IndexedGraph")
+        # Contiguous ids in the graph's own deterministic vertex order.
+        self._vertex_of = tuple(graph.vertices())
+        self._id_of = {
+            vertex: index for index, vertex in enumerate(self._vertex_of)
+        }
+        self._labels = frozenset(graph.labels())
+        self._num_edges = graph.num_edges
+        n = len(self._vertex_of)
+
+        # Forward adjacency: pre-sorted (label, target) tuples per id,
+        # in exactly the repr order the solvers would sort into.
+        sorted_out = getattr(graph, "sorted_out_edges", None)
+        if sorted_out is None:  # any duck-typed graph
+            def sorted_out(vertex, _graph=graph):
+                return sorted(_graph.out_edges(vertex), key=repr)
+        self._out = tuple(
+            tuple(sorted_out(vertex)) for vertex in self._vertex_of
+        )
+        self._out_pair_sets = tuple(frozenset(pairs) for pairs in self._out)
+
+        # Reverse adjacency, same discipline.
+        self._in = tuple(
+            tuple(sorted(graph.in_edges(vertex), key=repr))
+            for vertex in self._vertex_of
+        )
+
+        # Per-label CSR: label -> (indptr, flat target ids), built in a
+        # single pass over the adjacency (O(V·|Σ| + E), not a rescan of
+        # every edge per label).  Slices are already sorted because the
+        # forward adjacency is.
+        self._label_indptr = {
+            label: array("l", [0]) for label in self._labels
+        }
+        self._label_targets = {label: array("l") for label in self._labels}
+        for source_id in range(n):
+            for edge_label, target in self._out[source_id]:
+                self._label_targets[edge_label].append(self._id_of[target])
+            for label in self._labels:
+                self._label_indptr[label].append(
+                    len(self._label_targets[label])
+                )
+
+        # (vertex, label) -> sorted target tuple, filled lazily from the
+        # CSR slices on first use.
+        self._sorted_succ_by_label = {}
+
+    # -- id mapping -------------------------------------------------------------
+
+    def vertex_id(self, vertex):
+        """The contiguous int id of ``vertex``."""
+        try:
+            return self._id_of[vertex]
+        except KeyError:
+            raise GraphError("unknown vertex %r" % (vertex,))
+
+    def vertex_at(self, index):
+        """The vertex carrying id ``index``."""
+        return self._vertex_of[index]
+
+    def out_neighbor_ids(self, vertex_id, label):
+        """CSR slice of ``label``-successors of ``vertex_id`` (ids)."""
+        indptr = self._label_indptr.get(label)
+        if indptr is None:
+            return ()
+        targets = self._label_targets[label]
+        return targets[indptr[vertex_id]:indptr[vertex_id + 1]]
+
+    # -- DbGraph read API (duck-typed) ----------------------------------------------
+
+    @property
+    def num_vertices(self):
+        return len(self._vertex_of)
+
+    @property
+    def num_edges(self):
+        return self._num_edges
+
+    def vertices(self):
+        """Iterator over all vertices in id (= repr) order."""
+        return iter(self._vertex_of)
+
+    def labels(self):
+        return self._labels
+
+    def has_vertex(self, vertex):
+        return vertex in self._id_of
+
+    def require_vertex(self, vertex):
+        if vertex not in self._id_of:
+            raise GraphError("unknown vertex %r" % (vertex,))
+
+    def has_edge(self, source, label, target):
+        source_id = self._id_of.get(source)
+        if source_id is None:
+            return False
+        return (label, target) in self._out_pair_sets[source_id]
+
+    def out_edges(self, vertex):
+        """Iterator of ``(label, target)`` pairs (pre-sorted)."""
+        return iter(self._out[self.vertex_id(vertex)])
+
+    def in_edges(self, vertex):
+        """Iterator of ``(label, source)`` pairs (pre-sorted)."""
+        return iter(self._in[self.vertex_id(vertex)])
+
+    def sorted_out_edges(self, vertex):
+        """``(label, target)`` pairs in repr order — O(1), precompiled."""
+        return self._out[self.vertex_id(vertex)]
+
+    def sorted_successors(self, vertex, label):
+        """``label``-successors in repr order — cached CSR read."""
+        key = (vertex, label)
+        targets = self._sorted_succ_by_label.get(key)
+        if targets is None:
+            targets = tuple(
+                self._vertex_of[target_id]
+                for target_id in self.out_neighbor_ids(
+                    self.vertex_id(vertex), label
+                )
+            )
+            self._sorted_succ_by_label[key] = targets
+        return targets
+
+    def successors(self, vertex, label=None):
+        if label is None:
+            return {
+                target for _label, target in self._out[self.vertex_id(vertex)]
+            }
+        return set(self.sorted_successors(vertex, label))
+
+    def predecessors(self, vertex, label=None):
+        pairs = self._in[self.vertex_id(vertex)]
+        if label is None:
+            return {source for _label, source in pairs}
+        return {
+            source for edge_label, source in pairs if edge_label == label
+        }
+
+    def edges(self):
+        """Iterator over all ``(source, label, target)`` triples."""
+        for source_id, source in enumerate(self._vertex_of):
+            for label, target in self._out[source_id]:
+                yield source, label, target
+
+    def out_degree(self, vertex):
+        return len(self._out[self.vertex_id(vertex)])
+
+    def in_degree(self, vertex):
+        return len(self._in[self.vertex_id(vertex)])
+
+    def is_path(self, path):
+        """Check a ``Path`` is edge-consistent with this graph."""
+        for source, label, target in path.steps():
+            if not self.has_edge(source, label, target):
+                return False
+        return True
+
+    def reachable_within(self, start, allowed_labels=None, forbidden=()):
+        """Same contract as :meth:`DbGraph.reachable_within`."""
+        start_id = self.vertex_id(start)
+        blocked = set(forbidden)
+        if start in blocked:
+            return set()
+        seen = {start}
+        stack = [start_id]
+        seen_ids = {start_id}
+        while stack:
+            vertex_id = stack.pop()
+            for label, target in self._out[vertex_id]:
+                if allowed_labels is not None and label not in allowed_labels:
+                    continue
+                target_id = self._id_of[target]
+                if target in blocked or target_id in seen_ids:
+                    continue
+                seen_ids.add(target_id)
+                seen.add(target)
+                stack.append(target_id)
+        return seen
+
+    # -- conversion -----------------------------------------------------------------
+
+    def to_dbgraph(self):
+        """Thaw back into a mutable :class:`DbGraph`."""
+        result = DbGraph()
+        for vertex in self._vertex_of:
+            result.add_vertex(vertex)
+        for source, label, target in self.edges():
+            result.add_edge(source, label, target)
+        return result
+
+    def __repr__(self):
+        return "IndexedGraph(|V|=%d, |E|=%d, Σ=%s)" % (
+            self.num_vertices,
+            self.num_edges,
+            "".join(sorted(self._labels)),
+        )

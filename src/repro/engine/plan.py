@@ -1,0 +1,161 @@
+"""Query plans and the LRU plan cache.
+
+Planning an RSPQ is expensive relative to running one: a regex is
+parsed, determinised, minimised, classified against the trichotomy and
+(for trC languages) decomposed into a Ψtr expression before the first
+graph vertex is ever touched.  A :class:`QueryPlan` freezes all of that
+— the classification, the chosen strategy and a ready
+:class:`~repro.core.solver.RspqSolver` — so repeated queries on the same
+language skip straight to the search.
+
+Plans are cached in :class:`PlanCache`, a small LRU keyed by
+:func:`plan_key`: regex strings key by their text (no re-parse on a
+hit), :class:`~repro.languages.Language` objects by the canonical
+signature of their minimal DFA (two different regexes for the same
+language share a plan).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.solver import RspqSolver
+from ..languages import Language
+
+
+def plan_key(language):
+    """A hashable cache key for a regex string or ``Language``.
+
+    Strings key by their exact text — the cheap path, no parsing.
+    ``Language`` objects key by the canonical minimal-DFA signature
+    (state count, alphabet, initial, accepting set, transition table),
+    which is representation-independent: ``a*`` and ``(a*)*`` collide on
+    purpose.
+    """
+    if isinstance(language, str):
+        return ("regex", language)
+    if isinstance(language, Language):
+        dfa = language.dfa
+        return (
+            "dfa",
+            dfa.num_states,
+            tuple(sorted(dfa.alphabet)),
+            dfa.initial,
+            tuple(sorted(dfa.accepting)),
+            tuple(sorted(dfa.transitions())),
+        )
+    raise TypeError(
+        "plan keys need a regex string or Language, got %r" % (language,)
+    )
+
+
+@dataclass
+class QueryPlan:
+    """A compiled, reusable evaluation plan for one language."""
+
+    key: Any
+    solver: RspqSolver
+    compile_seconds: float
+
+    @property
+    def language(self):
+        return self.solver.language
+
+    @property
+    def strategy(self):
+        return self.solver.strategy
+
+    @property
+    def classification(self):
+        return self.solver.classification
+
+    @property
+    def decompose_failed(self):
+        return self.solver.decompose_failed
+
+    @classmethod
+    def compile(cls, language, key=None, exact_budget=None):
+        """Build a plan (regex → DFA → classification → solver) once."""
+        if key is None:
+            key = plan_key(language)
+        start = time.perf_counter()
+        solver = RspqSolver(language, exact_budget=exact_budget)
+        return cls(
+            key=key,
+            solver=solver,
+            compile_seconds=time.perf_counter() - start,
+        )
+
+    def describe(self):
+        """One-line human summary (used by the batch CLI)."""
+        note = " (decompose failed — exact fallback)" if (
+            self.decompose_failed
+        ) else ""
+        return "%s [%s]%s" % (
+            self.language,
+            self.strategy,
+            note,
+        )
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters for one :class:`PlanCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """A bounded LRU mapping plan keys to :class:`QueryPlan` objects."""
+
+    def __init__(self, capacity=128):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._plans = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def __len__(self):
+        return len(self._plans)
+
+    def __contains__(self, key):
+        return key in self._plans
+
+    def get(self, key):
+        """The cached plan for ``key`` (refreshing recency), or None."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.stats.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.stats.hits += 1
+        return plan
+
+    def put(self, key, plan):
+        """Insert ``plan``, evicting the least recently used if full."""
+        if key in self._plans:
+            self._plans.move_to_end(key)
+        self._plans[key] = plan
+        if len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self):
+        self._plans.clear()
+
+    def plans(self):
+        """Cached plans, least recently used first."""
+        return list(self._plans.values())

@@ -28,12 +28,29 @@ class DbGraph:
         self._labels = set()
         self._num_edges = 0
         self._fresh_counter = 0
+        # Deterministic-order caches (repr-sorted views), lazily built
+        # and invalidated wholesale whenever the graph mutates.  The
+        # mutation counter keeps staleness checks to one int compare.
+        self._mutations = 0
+        self._cache_mutations = -1
+        self._sorted_vertices = None
+        self._sorted_succ = {}
+        self._sorted_succ_by_label = {}
+
+    def _sync_caches(self):
+        if self._cache_mutations != self._mutations:
+            self._cache_mutations = self._mutations
+            self._sorted_vertices = None
+            self._sorted_succ = {}
+            self._sorted_succ_by_label = {}
 
     # -- construction -----------------------------------------------------------
 
     def add_vertex(self, vertex):
         """Add ``vertex`` (idempotent); returns the vertex."""
-        self._vertices.add(vertex)
+        if vertex not in self._vertices:
+            self._vertices.add(vertex)
+            self._mutations += 1
         return vertex
 
     def add_edge(self, source, label, target):
@@ -57,6 +74,7 @@ class DbGraph:
         self._succ_by_label[(source, label)].add(target)
         self._labels.add(label)
         self._num_edges += 1
+        self._mutations += 1
 
     def fresh_vertex(self, prefix="_w"):
         """A vertex name guaranteed not to collide with existing ones."""
@@ -98,8 +116,16 @@ class DbGraph:
         return self._num_edges
 
     def vertices(self):
-        """Iterator over all vertices (copy-safe)."""
-        return iter(sorted(self._vertices, key=repr))
+        """Iterator over all vertices, in deterministic (repr) order.
+
+        The sort is cached and invalidated on mutation, so repeated
+        calls — ``copy()``, ``subgraph()``, solver preprocessing — cost
+        O(V) instead of O(V log V) each.
+        """
+        self._sync_caches()
+        if self._sorted_vertices is None:
+            self._sorted_vertices = sorted(self._vertices, key=repr)
+        return iter(self._sorted_vertices)
 
     def labels(self):
         """The set of labels that occur on edges."""
@@ -123,6 +149,32 @@ class DbGraph:
         """Iterator of ``(label, source)`` pairs into ``vertex``."""
         return iter(self._pred.get(vertex, ()))
 
+    def sorted_out_edges(self, vertex):
+        """``(label, target)`` pairs from ``vertex`` in repr order.
+
+        Cached per vertex (invalidated on mutation); the hot-path
+        counterpart of :meth:`out_edges` for solvers that need a
+        deterministic expansion order.
+        """
+        self._sync_caches()
+        pairs = self._sorted_succ.get(vertex)
+        if pairs is None:
+            pairs = tuple(sorted(self._succ.get(vertex, ()), key=repr))
+            self._sorted_succ[vertex] = pairs
+        return pairs
+
+    def sorted_successors(self, vertex, label):
+        """Targets of ``label``-edges from ``vertex`` in repr order (cached)."""
+        self._sync_caches()
+        key = (vertex, label)
+        targets = self._sorted_succ_by_label.get(key)
+        if targets is None:
+            targets = tuple(
+                sorted(self._succ_by_label.get(key, ()), key=repr)
+            )
+            self._sorted_succ_by_label[key] = targets
+        return targets
+
     def successors(self, vertex, label=None):
         """Targets of edges from ``vertex`` (optionally by label)."""
         if label is None:
@@ -140,9 +192,13 @@ class DbGraph:
         }
 
     def edges(self):
-        """Iterator over all ``(source, label, target)`` triples."""
-        for source in sorted(self._vertices, key=repr):
-            for label, target in sorted(self._succ.get(source, ()), key=repr):
+        """Iterator over all ``(source, label, target)`` triples.
+
+        Deterministic (repr-sorted) order, served from the cached sorted
+        views rather than re-sorting on every call.
+        """
+        for source in self.vertices():
+            for label, target in self.sorted_out_edges(source):
                 yield source, label, target
 
     def out_degree(self, vertex):
@@ -268,6 +324,53 @@ class DbGraph:
             self.num_edges,
             "".join(sorted(self._labels)),
         )
+
+
+def sorted_out_edges_fn(graph):
+    """A callable ``v -> repr-sorted (label, target) pairs`` for ``graph``.
+
+    Solvers need a deterministic expansion order on their hot paths.
+    When the graph exposes a cached or precompiled ``sorted_out_edges``
+    (``DbGraph``, :class:`repro.engine.IndexedGraph`) that accessor is
+    used directly; otherwise the sort is memoised per vertex so any
+    graph-shaped object pays it at most once per solve.
+    """
+    accessor = getattr(graph, "sorted_out_edges", None)
+    if accessor is not None:
+        return accessor
+    memo = {}
+
+    def fallback(vertex):
+        pairs = memo.get(vertex)
+        if pairs is None:
+            pairs = tuple(sorted(graph.out_edges(vertex), key=repr))
+            memo[vertex] = pairs
+        return pairs
+
+    return fallback
+
+
+def sorted_successors_fn(graph):
+    """A callable ``(v, label) -> repr-sorted targets`` for ``graph``.
+
+    Same dispatch-or-memoise contract as :func:`sorted_out_edges_fn`.
+    """
+    accessor = getattr(graph, "sorted_successors", None)
+    if accessor is not None:
+        return accessor
+    memo = {}
+
+    def fallback(vertex, label):
+        key = (vertex, label)
+        targets = memo.get(key)
+        if targets is None:
+            targets = tuple(
+                sorted(graph.successors(vertex, label), key=repr)
+            )
+            memo[key] = targets
+        return targets
+
+    return fallback
 
 
 class Path:

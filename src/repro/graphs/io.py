@@ -6,9 +6,10 @@ Format — one record per line:
 * ``e <source> <label> <target>`` declares an edge,
 * blank lines and ``#`` comments are ignored.
 
-Vertex names are written verbatim, so names must not contain whitespace.
-Round-trips through :func:`dumps`/:func:`loads` preserve the graph
-exactly (vertex names become strings).
+Vertex names and labels are written verbatim, so neither may contain
+whitespace (a whitespace label or name would split into extra record
+fields and misparse).  Round-trips through :func:`dumps`/:func:`loads`
+preserve the graph exactly (vertex names become strings).
 """
 
 from __future__ import annotations
@@ -17,26 +18,39 @@ from ..errors import GraphError
 from .dbgraph import DbGraph
 
 
+def _checked_vertex(vertex):
+    name = str(vertex)
+    if any(ch.isspace() for ch in name):
+        raise GraphError("vertex name %r contains whitespace" % (vertex,))
+    return name
+
+
+def _checked_label(label):
+    if label.isspace():
+        raise GraphError(
+            "label %r is whitespace and cannot be serialized" % (label,)
+        )
+    return label
+
+
 def dumps(graph):
     """Serialize ``graph`` into the text format."""
     lines = []
     touched = set()
     for source, label, target in graph.edges():
-        for vertex in (source, target):
-            if " " in str(vertex):
-                raise GraphError(
-                    "vertex name %r contains whitespace" % (vertex,)
-                )
-        lines.append("e %s %s %s" % (source, label, target))
+        lines.append(
+            "e %s %s %s"
+            % (
+                _checked_vertex(source),
+                _checked_label(label),
+                _checked_vertex(target),
+            )
+        )
         touched.add(source)
         touched.add(target)
     for vertex in graph.vertices():
         if vertex not in touched:
-            if " " in str(vertex):
-                raise GraphError(
-                    "vertex name %r contains whitespace" % (vertex,)
-                )
-            lines.append("v %s" % (vertex,))
+            lines.append("v %s" % _checked_vertex(vertex))
     return "\n".join(lines) + "\n"
 
 

@@ -74,3 +74,78 @@ class TestSolve:
 
     def test_bad_regex(self, capsys):
         assert main(["classify", "(((("]) == 2
+
+
+class TestBatch:
+    @pytest.fixture
+    def queries_file(self, tmp_path):
+        target = tmp_path / "queries.txt"
+        target.write_text(
+            "# mixed workload — regexes may contain spaces\n"
+            "\n"
+            "s t a*(bb+ + eps)c*\n"
+            "s t ab + ba\n"
+            "s o a*ba*\n"
+            "s t a*(bb+ + eps)c*\n"
+        )
+        return str(target)
+
+    def test_batch_runs_all_queries(self, capsys, graph_file, queries_file):
+        code = main(["batch", graph_file, queries_file])
+        out = capsys.readouterr().out
+        assert code == 1  # some queries found no path
+        assert "4 queries" in out
+        assert "trc-nice-path" in out
+        assert "exact-backtracking" in out
+        assert "cache hits" in out
+
+    def test_batch_reuses_plans(self, capsys, graph_file, queries_file):
+        main(["batch", graph_file, queries_file])
+        out = capsys.readouterr().out
+        # 3 distinct languages over 4 queries: one plan is reused.
+        assert "3 compiled, 1 cache hits" in out
+
+    def test_batch_stats_flag(self, capsys, graph_file, queries_file):
+        code = main(["batch", graph_file, queries_file, "--stats"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "plan_cache_hit=True" in out
+        assert "steps=" in out
+
+    def test_batch_all_found_exits_zero(self, capsys, graph_file, tmp_path):
+        queries = tmp_path / "ok.txt"
+        queries.write_text("s t a*(bb+ + eps)c*\n")
+        assert main(["batch", graph_file, str(queries)]) == 0
+
+    def test_batch_malformed_line(self, capsys, graph_file, tmp_path):
+        queries = tmp_path / "bad.txt"
+        queries.write_text("s t\n")
+        assert main(["batch", graph_file, str(queries)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_missing_file(self, capsys, graph_file):
+        assert main(["batch", graph_file, "/nonexistent/queries.txt"]) == 2
+
+    def test_batch_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "batch" in capsys.readouterr().out
+
+    def test_batch_bad_cache_size(self, capsys, graph_file, tmp_path):
+        queries = tmp_path / "one.txt"
+        queries.write_text("s t a*\n")
+        code = main(
+            ["batch", graph_file, str(queries), "--plan-cache-size", "0"]
+        )
+        assert code == 2
+        assert "plan-cache-size" in capsys.readouterr().err
+
+    def test_batch_query_error_isolated(self, capsys, graph_file, tmp_path):
+        queries = tmp_path / "mixed.txt"
+        queries.write_text("zzz t a*\ns t a*(bb+ + eps)c*\n")
+        code = main(["batch", graph_file, str(queries)])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "error: unknown vertex 'zzz'" in out
+        assert "word abbc" in out  # the good query still ran
+        assert "1 errors" in out

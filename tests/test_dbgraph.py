@@ -175,3 +175,87 @@ class TestIo:
         target = tmp_path / "graph.txt"
         graph_io.dump(graph, target)
         assert sorted(graph_io.load(target).edges()) == sorted(graph.edges())
+
+
+class TestSortedCaches:
+    """Deterministic-order views are cached and invalidated on mutation."""
+
+    def test_vertices_cached_list_reused(self):
+        graph = DbGraph.from_edges([(2, "a", 1), (3, "b", 1)])
+        first = list(graph.vertices())
+        second = list(graph.vertices())
+        assert first == second == [1, 2, 3]
+
+    def test_vertices_refresh_after_mutation(self):
+        graph = DbGraph()
+        graph.add_vertex(2)
+        assert list(graph.vertices()) == [2]
+        graph.add_vertex(1)
+        assert list(graph.vertices()) == [1, 2]
+        graph.add_edge(0, "a", 3)  # implicit vertices also invalidate
+        assert list(graph.vertices()) == [0, 1, 2, 3]
+
+    def test_edges_refresh_after_mutation(self):
+        graph = DbGraph.from_edges([(1, "b", 2)])
+        assert list(graph.edges()) == [(1, "b", 2)]
+        graph.add_edge(1, "a", 2)
+        assert list(graph.edges()) == [(1, "a", 2), (1, "b", 2)]
+
+    def test_sorted_out_edges_matches_repr_sort(self):
+        graph = DbGraph.from_edges(
+            [(1, "b", 3), (1, "a", 2), (1, "a", 12), (1, "c", 2)]
+        )
+        assert graph.sorted_out_edges(1) == tuple(
+            sorted(graph.out_edges(1), key=repr)
+        )
+        assert graph.sorted_out_edges(3) == ()
+        graph.add_edge(1, "a", 1)
+        assert graph.sorted_out_edges(1) == tuple(
+            sorted(graph.out_edges(1), key=repr)
+        )
+
+    def test_sorted_successors_matches_repr_sort(self):
+        graph = DbGraph.from_edges(
+            [(1, "a", 12), (1, "a", 2), (1, "b", 3)]
+        )
+        assert graph.sorted_successors(1, "a") == tuple(
+            sorted(graph.successors(1, "a"), key=repr)
+        )
+        assert graph.sorted_successors(1, "z") == ()
+        graph.add_edge(1, "a", 7)
+        assert 7 in graph.sorted_successors(1, "a")
+
+    def test_duplicate_mutations_keep_caches_valid(self):
+        graph = DbGraph.from_edges([(1, "a", 2)])
+        list(graph.edges())
+        graph.add_edge(1, "a", 2)  # no-op duplicate
+        graph.add_vertex(1)  # no-op duplicate
+        assert list(graph.edges()) == [(1, "a", 2)]
+        assert list(graph.vertices()) == [1, 2]
+
+
+class TestIoLabelValidation:
+    """Whitespace labels must be rejected at dump time (regression)."""
+
+    def test_whitespace_label_rejected_at_dump(self):
+        graph = DbGraph.from_edges([("x", " ", "y")])
+        with pytest.raises(GraphError):
+            graph_io.dumps(graph)
+
+    def test_tab_and_newline_labels_rejected(self):
+        for label in ("\t", "\n"):
+            graph = DbGraph.from_edges([("x", label, "y")])
+            with pytest.raises(GraphError):
+                graph_io.dumps(graph)
+
+    def test_whitespace_vertex_rejected_any_kind(self):
+        graph = DbGraph.from_edges([("x\ty", "a", "z")])
+        with pytest.raises(GraphError):
+            graph_io.dumps(graph)
+
+    def test_valid_labels_roundtrip(self):
+        graph = DbGraph.from_edges(
+            [("x", "a", "y"), ("y", "b", "z"), ("z", "c", "x")]
+        )
+        back = graph_io.loads(graph_io.dumps(graph))
+        assert sorted(back.edges()) == sorted(graph.edges())

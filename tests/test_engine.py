@@ -1,0 +1,359 @@
+"""Tests for the indexed-adjacency query engine (repro.engine)."""
+
+import pytest
+
+from tests.conftest import random_instance
+
+from repro import catalog
+from repro.algorithms.bounded import FiniteLanguageSolver
+from repro.algorithms.exact import ExactSolver
+from repro.core.nice_paths import TractableSolver
+from repro.core.solver import solve_rspq
+from repro.engine import (
+    IndexedGraph,
+    PlanCache,
+    QueryEngine,
+    QueryPlan,
+    plan_key,
+)
+from repro.errors import GraphError
+from repro.graphs.dbgraph import DbGraph
+from repro.graphs.generators import labeled_path, random_labeled_graph
+from repro.languages import language
+
+
+@pytest.fixture
+def graph():
+    return random_labeled_graph(25, 75, "abc", seed=11)
+
+
+class TestIndexedGraph:
+    def test_read_api_matches_dbgraph(self, graph):
+        indexed = IndexedGraph(graph)
+        assert indexed.num_vertices == graph.num_vertices
+        assert indexed.num_edges == graph.num_edges
+        assert indexed.labels() == graph.labels()
+        assert list(indexed.vertices()) == list(graph.vertices())
+        assert list(indexed.edges()) == list(graph.edges())
+        for vertex in graph.vertices():
+            assert sorted(indexed.out_edges(vertex)) == sorted(
+                graph.out_edges(vertex)
+            )
+            assert sorted(indexed.in_edges(vertex)) == sorted(
+                graph.in_edges(vertex)
+            )
+            assert indexed.successors(vertex) == graph.successors(vertex)
+            assert indexed.predecessors(vertex) == graph.predecessors(vertex)
+            assert indexed.out_degree(vertex) == graph.out_degree(vertex)
+            assert indexed.in_degree(vertex) == graph.in_degree(vertex)
+            for label in graph.labels():
+                assert indexed.successors(vertex, label) == graph.successors(
+                    vertex, label
+                )
+                assert indexed.predecessors(
+                    vertex, label
+                ) == graph.predecessors(vertex, label)
+
+    def test_sorted_views_match_dbgraph_caches(self, graph):
+        indexed = IndexedGraph(graph)
+        for vertex in graph.vertices():
+            assert indexed.sorted_out_edges(vertex) == graph.sorted_out_edges(
+                vertex
+            )
+            for label in graph.labels():
+                assert indexed.sorted_successors(
+                    vertex, label
+                ) == graph.sorted_successors(vertex, label)
+
+    def test_vertex_ids_are_contiguous_and_ordered(self, graph):
+        indexed = IndexedGraph(graph)
+        ordered = list(graph.vertices())
+        for index, vertex in enumerate(ordered):
+            assert indexed.vertex_id(vertex) == index
+            assert indexed.vertex_at(index) == vertex
+
+    def test_csr_neighbor_ids(self, graph):
+        indexed = IndexedGraph(graph)
+        for vertex in graph.vertices():
+            vertex_id = indexed.vertex_id(vertex)
+            for label in graph.labels():
+                via_csr = {
+                    indexed.vertex_at(target_id)
+                    for target_id in indexed.out_neighbor_ids(
+                        vertex_id, label
+                    )
+                }
+                assert via_csr == graph.successors(vertex, label)
+
+    def test_has_edge_and_is_path(self, graph):
+        indexed = IndexedGraph(graph)
+        for source, label, target in graph.edges():
+            assert indexed.has_edge(source, label, target)
+        assert not indexed.has_edge("nope", "a", "nada")
+        path = solve_rspq("a*", graph, 0, 1).path
+        if path is not None:
+            assert indexed.is_path(path)
+
+    def test_unknown_vertex_raises(self, graph):
+        indexed = IndexedGraph(graph)
+        with pytest.raises(GraphError):
+            indexed.require_vertex("missing")
+        with pytest.raises(GraphError):
+            indexed.vertex_id("missing")
+
+    def test_reachable_within_matches(self, graph):
+        indexed = IndexedGraph(graph)
+        assert indexed.reachable_within(0) == graph.reachable_within(0)
+        assert indexed.reachable_within(
+            0, allowed_labels={"a"}
+        ) == graph.reachable_within(0, allowed_labels={"a"})
+        assert indexed.reachable_within(
+            0, forbidden={1, 2}
+        ) == graph.reachable_within(0, forbidden={1, 2})
+
+    def test_to_dbgraph_roundtrip(self, graph):
+        back = IndexedGraph(graph).to_dbgraph()
+        assert list(back.edges()) == list(graph.edges())
+        assert set(back.vertices()) == set(graph.vertices())
+
+    def test_double_compile_rejected(self, graph):
+        indexed = IndexedGraph(graph)
+        with pytest.raises(GraphError):
+            IndexedGraph(indexed)
+
+
+class TestSolversOnIndexedView:
+    """Every solver returns bit-identical paths on the compiled view."""
+
+    def test_exact_solver_identical_paths(self):
+        solver = ExactSolver("a*ba*")
+        for seed in range(8):
+            graph, x, y = random_instance(seed, "ab", max_vertices=9)
+            on_dict = solver.shortest_simple_path(graph, x, y)
+            on_indexed = solver.shortest_simple_path(
+                IndexedGraph(graph), x, y
+            )
+            assert on_dict == on_indexed, seed
+
+    def test_tractable_solver_identical_paths(self):
+        solver = TractableSolver(language("a*(bb^+ + eps)c*"))
+        for seed in range(8):
+            graph, x, y = random_instance(seed, "abc", max_vertices=9)
+            on_dict = solver.shortest_simple_path(graph, x, y)
+            on_indexed = solver.shortest_simple_path(
+                IndexedGraph(graph), x, y
+            )
+            assert on_dict == on_indexed, seed
+
+    def test_finite_solver_identical_paths(self):
+        solver = FiniteLanguageSolver(language("ab + ba + abc"))
+        for seed in range(8):
+            graph, x, y = random_instance(seed, "abc", max_vertices=9)
+            on_dict = solver.shortest_simple_path(graph, x, y)
+            on_indexed = solver.shortest_simple_path(
+                IndexedGraph(graph), x, y
+            )
+            assert on_dict == on_indexed, seed
+
+
+class TestPlanKey:
+    def test_regex_strings_key_by_text(self):
+        assert plan_key("a*") == plan_key("a*")
+        assert plan_key("a*") != plan_key("(a*)*")
+
+    def test_languages_key_by_canonical_dfa(self):
+        # Different regexes, same language: one plan.
+        assert plan_key(language("a*")) == plan_key(language("(a*)*"))
+        assert plan_key(language("a*")) != plan_key(language("a^+"))
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            plan_key(42)
+
+
+class TestPlanCache:
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        plans = {
+            regex: QueryPlan.compile(regex) for regex in ("a", "b", "c")
+        }
+        cache.put(plan_key("a"), plans["a"])
+        cache.put(plan_key("b"), plans["b"])
+        assert cache.get(plan_key("a")) is plans["a"]  # refresh 'a'
+        cache.put(plan_key("c"), plans["c"])  # evicts 'b', not 'a'
+        assert cache.get(plan_key("b")) is None
+        assert cache.get(plan_key("a")) is plans["a"]
+        assert cache.get(plan_key("c")) is plans["c"]
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_stats_counters(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get(plan_key("a")) is None
+        cache.put(plan_key("a"), QueryPlan.compile("a"))
+        assert cache.get(plan_key("a")) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestQueryEngine:
+    def test_matches_solve_rspq_path_for_path(self, graph):
+        engine = QueryEngine(graph)
+        regexes = ["a*", "ab + ba", "a*ba*", "a*(bb^+ + eps)c*"]
+        for index, regex in enumerate(regexes * 3):
+            source = index % graph.num_vertices
+            target = (index * 3 + 1) % graph.num_vertices
+            mine = engine.query(regex, source, target)
+            reference = solve_rspq(regex, graph, source, target)
+            assert mine.found == reference.found
+            assert mine.path == reference.path
+            assert mine.strategy == reference.strategy
+
+    def test_plan_reuse_within_batch(self, graph):
+        engine = QueryEngine(graph)
+        queries = [("a*", 0, index) for index in range(1, 11)]
+        batch = engine.run_batch(queries)
+        assert batch.plans_compiled == 1
+        assert batch.plan_cache_hits == 9
+        assert len(batch) == 10
+
+    def test_warm_cache_compiles_nothing(self, graph):
+        engine = QueryEngine(graph)
+        queries = [("a*", 0, 1), ("ab", 0, 2), ("a*ba*", 0, 3)]
+        engine.run_batch(queries)
+        batch = engine.run_batch(queries)
+        assert batch.plans_compiled == 0
+        assert batch.plan_cache_hits == 3
+
+    def test_per_query_stats(self, graph):
+        engine = QueryEngine(graph)
+        result = engine.query("a*", 0, 1)
+        assert result.stats.strategy == result.strategy
+        assert result.stats.steps is not None and result.stats.steps >= 0
+        assert result.stats.plan_cache_hit is False
+        assert result.stats.seconds >= 0
+        again = engine.query("a*", 0, 1)
+        assert again.stats.plan_cache_hit is True
+        assert again.path == result.path
+
+    def test_accepts_precompiled_graph(self, graph):
+        indexed = IndexedGraph(graph)
+        engine = QueryEngine(indexed)
+        assert engine.graph is indexed
+        assert engine.query("a*", 0, 1).found == (
+            solve_rspq("a*", graph, 0, 1).found
+        )
+
+    def test_accepts_language_objects(self, graph):
+        engine = QueryEngine(graph)
+        lang = language("a*")
+        first = engine.query(lang, 0, 1)
+        second = engine.query(language("(a*)*"), 0, 1)  # same language
+        assert second.stats.plan_cache_hit is True
+        assert first.path == second.path
+
+    def test_exists(self, graph):
+        engine = QueryEngine(graph)
+        assert engine.exists("a*", 0, 1) == (
+            engine.query("a*", 0, 1).found
+        )
+
+    def test_batch_summary_mentions_counts(self, graph):
+        engine = QueryEngine(graph)
+        batch = engine.run_batch([("a*", 0, 1), ("ab", 0, 2)])
+        text = batch.summary()
+        assert "2 queries" in text
+        assert "compiled" in text
+
+    def test_strategy_counts(self, graph):
+        engine = QueryEngine(graph)
+        batch = engine.run_batch(
+            [("a*", 0, 1), ("ab", 0, 2), ("a*ba*", 0, 3)]
+        )
+        counts = batch.strategy_counts()
+        assert sum(counts.values()) == 3
+        assert len(counts) == 3
+
+    def test_lru_bounded_engine_still_correct(self, graph):
+        # Cache of 2 with 3 cycling languages: thrashes but stays right.
+        engine = QueryEngine(graph, plan_cache_size=2)
+        regexes = ["a*", "ab", "a*ba*"] * 3
+        for index, regex in enumerate(regexes):
+            mine = engine.query(regex, 0, (index % 5) + 1)
+            reference = solve_rspq(regex, graph, 0, (index % 5) + 1)
+            assert mine.path == reference.path
+        assert engine.plan_cache.stats.evictions > 0
+
+
+class TestCatalogAgreement:
+    """Engine answers match the dispatcher on every catalog language."""
+
+    @pytest.mark.parametrize(
+        "entry", catalog.entries(), ids=lambda e: e.name
+    )
+    def test_catalog_language(self, entry):
+        lang = entry.language()
+        alphabet = sorted(lang.alphabet) or ["a"]
+        graph, x, y = random_instance(3, alphabet, max_vertices=8)
+        engine = QueryEngine(graph)
+        mine = engine.query(lang, x, y)
+        reference = solve_rspq(lang, graph, x, y)
+        assert mine.found == reference.found
+        assert mine.path == reference.path
+        assert mine.strategy == reference.strategy
+        assert mine.decompose_failed == reference.decompose_failed
+
+
+class TestBatchErrorIsolation:
+    """One failing query must not discard the rest of the batch."""
+
+    def test_unknown_vertex_isolated(self, graph):
+        engine = QueryEngine(graph)
+        batch = engine.run_batch(
+            [("a*", 0, 1), ("a*", "nope", 1), ("a*", 0, 2)]
+        )
+        assert len(batch) == 3
+        assert batch.error_count == 1
+        failed = batch.results[1]
+        assert failed.error is not None and "nope" in failed.error
+        assert failed.found is False and failed.path is None
+        assert failed.strategy == "error"
+        assert batch.results[0].error is None
+        assert batch.results[2].error is None
+
+    def test_bad_regex_isolated(self, graph):
+        engine = QueryEngine(graph)
+        batch = engine.run_batch([("((((", 0, 1), ("a*", 0, 1)]) 
+        assert batch.error_count == 1
+        assert batch.results[1].error is None
+
+    def test_budget_exceeded_isolated(self):
+        from repro.graphs.generators import labeled_cycle
+
+        graph = labeled_cycle("a" * 9)
+        engine = QueryEngine(graph, exact_budget=3)
+        batch = engine.run_batch([("(aa)*", 0, 1), ("a*", 0, 1)])
+        assert batch.results[0].error is not None
+        assert "budget" in batch.results[0].error
+        assert batch.results[1].found
+
+    def test_errors_in_summary(self, graph):
+        engine = QueryEngine(graph)
+        batch = engine.run_batch([("a*", "nope", 1)])
+        assert "1 errors" in batch.summary()
+        assert batch.plans_compiled == 0
+
+    def test_single_query_api_still_raises(self, graph):
+        engine = QueryEngine(graph)
+        with pytest.raises(GraphError):
+            engine.query("a*", "nope", 1)
+
+    def test_result_carries_language(self, graph):
+        engine = QueryEngine(graph)
+        batch = engine.run_batch([("a*", 0, 1), ("ab", 0, 2)])
+        assert [result.language for result in batch.results] == ["a*", "ab"]

@@ -94,3 +94,62 @@ class TestCounting:
         graph = labeled_cycle("aa")
         assert ExactSolver("a*").count_simple_paths(graph, 0, 0) == 1
         assert ExactSolver("a^+").count_simple_paths(graph, 0, 0) == 0
+
+
+def _naive_goal_distances(solver, graph, target):
+    """The seed's per-edge all-states scan, kept as the test oracle."""
+    from collections import deque
+
+    distances = {}
+    queue = deque()
+    for final in solver.dfa.accepting:
+        node = (target, final)
+        distances[node] = 0
+        queue.append(node)
+    while queue:
+        vertex, state = queue.popleft()
+        base = distances[(vertex, state)]
+        for label, source in graph.in_edges(vertex):
+            if label not in solver.dfa.alphabet:
+                continue
+            for state_before in solver.dfa.states():
+                if solver.dfa.transition(state_before, label) != state:
+                    continue
+                node = (source, state_before)
+                if node not in distances:
+                    distances[node] = base + 1
+                    queue.append(node)
+    return distances
+
+
+class TestGoalDistances:
+    """The reverse transition index leaves the heuristic unchanged."""
+
+    @pytest.mark.parametrize(
+        "regex", ["a*", "a*ba*", "(aa)*", "a*(bb^+ + eps)c*", "ab + ba"]
+    )
+    def test_distances_match_naive_scan(self, regex):
+        from repro.graphs.generators import random_labeled_graph
+
+        solver = ExactSolver(regex)
+        for seed in range(5):
+            graph = random_labeled_graph(10, 30, "abc", seed=seed)
+            for target in (0, 5, 9):
+                assert solver._goal_distances(
+                    graph, target
+                ) == _naive_goal_distances(solver, graph, target), (
+                    regex,
+                    seed,
+                    target,
+                )
+
+    def test_reverse_index_covers_all_transitions(self):
+        solver = ExactSolver("a*(bb^+ + eps)c*")
+        listed = sorted(
+            (before, label, after)
+            for (after, label), befores in (
+                solver._reverse_transitions.items()
+            )
+            for before in befores
+        )
+        assert listed == sorted(solver.dfa.transitions())

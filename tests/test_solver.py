@@ -87,3 +87,50 @@ class TestCrossStrategyAgreement:
             assert solver.exists(graph, x, y) == (
                 solver.shortest_simple_path(graph, x, y) is not None
             )
+
+
+class TestDecomposeFailedFlag:
+    """The documented trC-fallback warning flag (both branches)."""
+
+    def test_successful_decomposition_leaves_flag_clear(self):
+        solver = RspqSolver(language("a*(bb^+ + eps)c*"))
+        assert solver.strategy == STRATEGY_TRACTABLE
+        assert solver.decompose_failed is False
+        result = solver.solve(labeled_path("a"), 0, 1)
+        assert result.decompose_failed is False
+
+    def test_failed_decomposition_sets_flag_and_falls_back(self, monkeypatch):
+        from repro.core import solver as solver_module
+        from repro.errors import ReproError
+
+        def broken_decompose(_language):
+            raise ReproError("synthetic decomposition failure")
+
+        monkeypatch.setattr(solver_module, "decompose", broken_decompose)
+        solver = RspqSolver(language("a*"))
+        assert solver.strategy == STRATEGY_EXACT
+        assert solver.decompose_failed is True
+        result = solver.solve(labeled_path("aa"), 0, 2)
+        assert result.decompose_failed is True
+        assert result.found and result.length == 2
+
+    def test_other_regimes_never_warn(self):
+        assert RspqSolver(language("ab")).decompose_failed is False
+        assert RspqSolver(language("a*ba*")).decompose_failed is False
+        assert RspqSolver(
+            language("a*"), force_exact=True
+        ).decompose_failed is False
+
+
+class TestLastSteps:
+    def test_steps_reported_per_strategy(self):
+        graph = labeled_path("ab")
+        finite = RspqSolver(language("ab"))
+        finite.solve(graph, 0, 2)
+        assert finite.last_steps() >= 1
+        tractable = RspqSolver(language("a*b*"))
+        tractable.solve(graph, 0, 2)
+        assert tractable.last_steps() >= 1
+        exact = RspqSolver(language("a*ba*"))
+        exact.solve(graph, 0, 2)
+        assert exact.last_steps() >= 1
