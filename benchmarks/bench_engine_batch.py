@@ -18,44 +18,20 @@ Asserted shape (the ISSUE-1 acceptance criteria):
 import pytest
 
 from benchmarks.conftest import measure_seconds
+from benchmarks.workloads import mixed_workload
 
 from repro.core.solver import solve_rspq
 from repro.engine import QueryEngine
-from repro.graphs.generators import random_labeled_graph
-
-# Mixed regime: finite (AC0), infinite trC (NL), not-in-trC (NP-complete).
-LANGUAGES = [
-    "ab + ba",              # finite
-    "abc",                  # finite
-    "a*",                   # trC
-    "c*",                   # trC
-    "a*(bb^+ + eps)c*",     # trC (Example 1)
-    "b*c*",                 # trC
-    "a*ba*",                # NP-complete
-    "(aa)*",                # NP-complete
-]
 
 NUM_QUERIES = 104
 
 
-def _workload():
-    """One graph and 104 queries cycling through the mixed languages."""
-    graph = random_labeled_graph(40, 120, "abc", seed=17)
-    n = graph.num_vertices
-    queries = []
-    for index in range(NUM_QUERIES):
-        regex = LANGUAGES[index % len(LANGUAGES)]
-        source = (3 * index) % n
-        target = (5 * index + 7) % n
-        if source == target:
-            target = (target + 1) % n
-        queries.append((regex, source, target))
-    return graph, queries
-
-
 @pytest.fixture(scope="module")
 def workload():
-    return _workload()
+    """One graph and 104 queries cycling through the mixed languages."""
+    return mixed_workload(
+        num_queries=NUM_QUERIES, seed=17, num_vertices=40, num_edges=120
+    )
 
 
 def _run_baseline(graph, queries):

@@ -1,0 +1,175 @@
+"""Parallel batch execution vs serial — re-entrant plans under load.
+
+A ≥100-query mixed-regime workload (finite / trC / NP-hard languages,
+with a hot language concentrating load on one shared plan) runs through
+``QueryEngine.run_batch`` serially and with ``workers=4``.
+
+Asserted shape (the ISSUE-2 acceptance criteria):
+
+* parallel results are **path-for-path identical** to serial — same
+  vertices, same labels, same strategies, for thread and process
+  scheduling alike;
+* under thread contention each distinct language is compiled **exactly
+  once** (single-flight), verified via the real plan-cache counters;
+* on hardware with more than one core, the parallel batch is **faster
+  than serial wall-clock** (>1×) — threads on free-threaded builds,
+  worker processes on GIL builds.  On a single-core machine the
+  speedup test is skipped (no scheduler can beat serial there) and the
+  overhead-bound test keeps the parallel path honest instead.
+"""
+
+import os
+import sys
+
+import pytest
+
+from benchmarks.conftest import measure_seconds
+from benchmarks.workloads import distinct_languages, mixed_workload
+
+from repro.engine import QueryEngine
+
+WORKERS = 4
+NUM_QUERIES = 150
+
+#: The hot language: every 3rd query shares this plan.
+HOT_LANGUAGE = "a*(bb^+ + eps)c*"
+
+
+def _available_cores():
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _scaling_mode():
+    """The scheduler that can actually use extra cores on this build."""
+    gil_enabled = getattr(sys, "_is_gil_enabled", lambda: True)()
+    return "process" if gil_enabled else "thread"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mixed_workload(
+        num_queries=NUM_QUERIES,
+        seed=23,
+        num_vertices=300,
+        num_edges=950,
+        hot_language=HOT_LANGUAGE,
+        hot_every=3,
+    )
+
+
+def _assert_identical(serial, parallel):
+    assert len(serial) == len(parallel)
+    for reference, result in zip(serial.results, parallel.results):
+        key = (str(reference.language), reference.source, reference.target)
+        assert result.found == reference.found, key
+        assert result.path == reference.path, key
+        assert result.strategy == reference.strategy, key
+        assert result.error == reference.error, key
+
+
+def test_thread_parallel_matches_serial_path_for_path(workload):
+    graph, queries = workload
+    serial = QueryEngine(graph).run_batch(queries)
+    parallel = QueryEngine(graph).run_batch(queries, workers=WORKERS)
+    _assert_identical(serial, parallel)
+
+
+def test_process_parallel_matches_serial_path_for_path(workload):
+    graph, queries = workload
+    serial = QueryEngine(graph).run_batch(queries)
+    parallel = QueryEngine(graph).run_batch(
+        queries, workers=2, mode="process"
+    )
+    _assert_identical(serial, parallel)
+
+
+def test_thread_contention_compiles_each_plan_exactly_once(workload):
+    graph, queries = workload
+    engine = QueryEngine(graph)
+    batch = engine.run_batch(queries, workers=WORKERS)
+    assert batch.cache_stats.compiles == len(distinct_languages(queries))
+    assert batch.cache_stats.evictions == 0
+    rerun = engine.run_batch(queries, workers=WORKERS)
+    assert rerun.cache_stats.compiles == 0  # fully warm
+    assert rerun.cache_stats.hits == len(queries)
+
+
+def test_parallel_overhead_is_bounded(workload):
+    """Even where parallelism cannot win (1 core), it must not explode."""
+    graph, queries = workload
+    serial_engine = QueryEngine(graph)
+    parallel_engine = QueryEngine(graph)
+    serial_seconds, _ = measure_seconds(serial_engine.run_batch, queries)
+    parallel_seconds, _ = measure_seconds(
+        parallel_engine.run_batch, queries, workers=WORKERS
+    )
+    assert parallel_seconds < 5 * serial_seconds + 0.5, (
+        "thread scheduling overhead out of bounds: serial %.3fs, "
+        "parallel %.3fs" % (serial_seconds, parallel_seconds)
+    )
+
+
+def test_parallel_speedup_over_serial():
+    """>1× wall-clock vs serial on the same workload (needs >1 core)."""
+    cores = _available_cores()
+    if cores < 2:
+        pytest.skip(
+            "parallel wall-clock speedup needs >1 CPU core, this "
+            "machine exposes %d" % cores
+        )
+    # A heavier instance so per-worker compute dwarfs scheduling costs.
+    graph, queries = mixed_workload(
+        num_queries=200,
+        seed=23,
+        num_vertices=400,
+        num_edges=1400,
+        hot_language=HOT_LANGUAGE,
+        hot_every=3,
+    )
+    mode = _scaling_mode()
+    workers = min(WORKERS, cores)
+    serial_engine = QueryEngine(graph)
+    parallel_engine = QueryEngine(graph)
+    # Best of two runs each: one noisy scheduling hiccup must not
+    # decide a wall-clock comparison.
+    serial_seconds, serial_batch = min(
+        (measure_seconds(serial_engine.run_batch, queries)
+         for _ in range(2)),
+        key=lambda pair: pair[0],
+    )
+    parallel_seconds, parallel_batch = min(
+        (measure_seconds(
+            parallel_engine.run_batch, queries, workers=workers, mode=mode
+        ) for _ in range(2)),
+        key=lambda pair: pair[0],
+    )
+    _assert_identical(serial_batch, parallel_batch)
+    assert parallel_seconds < serial_seconds, (
+        "expected >1x speedup with %d %s workers, got %.2fx "
+        "(serial %.3fs, parallel %.3fs)"
+        % (
+            workers,
+            mode,
+            serial_seconds / parallel_seconds,
+            serial_seconds,
+            parallel_seconds,
+        )
+    )
+
+
+def test_parallel_batch(benchmark, workload):
+    graph, queries = workload
+    engine = QueryEngine(graph)
+    engine.run_batch(queries)  # warm the plan cache
+    batch = benchmark(engine.run_batch, queries, workers=WORKERS)
+    assert batch.cache_stats.compiles == 0
+
+
+def test_serial_batch_baseline(benchmark, workload):
+    graph, queries = workload
+    engine = QueryEngine(graph)
+    engine.run_batch(queries)  # warm the plan cache
+    batch = benchmark(engine.run_batch, queries)
+    assert batch.cache_stats.compiles == 0

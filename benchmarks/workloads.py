@@ -1,0 +1,100 @@
+"""Deterministic mixed-regime RSPQ workloads for benches and stress tests.
+
+Every benchmark and concurrency test used to hand-roll its own query
+list; this module is the single source of seeded, reproducible
+workloads that exercise all three regimes of the trichotomy:
+
+* **finite** languages — the AC0 case, dispatched to
+  :class:`~repro.algorithms.bounded.FiniteLanguageSolver`;
+* **infinite trC** languages — the NL case, dispatched to
+  :class:`~repro.core.nice_paths.TractableSolver`;
+* **NP-hard** languages (∉ trC) — dispatched to
+  :class:`~repro.algorithms.exact.ExactSolver`.
+
+All randomness flows through ``random.Random(seed)``, so the same
+arguments always produce the same graph and the same query list —
+which is what lets the parallel-execution tests assert bit-identical
+results against a serial rerun.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.generators import random_labeled_graph
+
+#: Finite languages (AC0 regime) over the default ``abc`` alphabet.
+FINITE_LANGUAGES = ("ab + ba", "abc")
+
+#: Infinite trC languages (NL regime), including the paper's Example 1.
+TRACTABLE_LANGUAGES = ("a*", "c*", "a*(bb^+ + eps)c*", "b*c*")
+
+#: Languages outside trC (NP-complete regime).
+HARD_LANGUAGES = ("a*ba*", "(aa)*")
+
+#: The default mixed-regime rotation, in dispatch-diverse order.
+MIXED_LANGUAGES = FINITE_LANGUAGES + TRACTABLE_LANGUAGES + HARD_LANGUAGES
+
+
+def mixed_queries(graph, num_queries, seed=0, languages=MIXED_LANGUAGES,
+                  hot_language=None, hot_every=None):
+    """``num_queries`` seeded ``(language, source, target)`` triples.
+
+    Languages rotate through ``languages``; endpoints are drawn
+    uniformly (source ≠ target whenever the graph allows it) from the
+    graph's own deterministic vertex order, so the same seed always
+    yields the same workload.
+
+    ``hot_language`` + ``hot_every`` plant a skew: every
+    ``hot_every``-th query uses ``hot_language``, concentrating load on
+    one plan — the shape that stresses shared-plan re-entrancy and
+    single-flight compilation in the parallel engine.
+    """
+    if num_queries < 0:
+        raise ValueError("num_queries must be >= 0")
+    if (hot_language is None) != (hot_every is None):
+        raise ValueError(
+            "hot_language and hot_every must be given together"
+        )
+    if hot_every is not None and hot_every < 1:
+        raise ValueError("hot_every must be >= 1")
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    if not vertices:
+        raise ValueError("graph has no vertices")
+    queries = []
+    for index in range(num_queries):
+        if hot_every is not None and index % hot_every == 0:
+            regex = hot_language
+        else:
+            regex = languages[index % len(languages)]
+        source = rng.choice(vertices)
+        target = rng.choice(vertices)
+        if target == source and len(vertices) > 1:
+            target = vertices[
+                (vertices.index(source) + 1) % len(vertices)
+            ]
+        queries.append((regex, source, target))
+    return queries
+
+
+def mixed_workload(num_queries=104, seed=17, num_vertices=40, num_edges=120,
+                   alphabet="abc", **query_kwargs):
+    """A seeded random graph plus a mixed-regime query list.
+
+    Returns ``(graph, queries)``.  Keyword arguments beyond the graph
+    shape are forwarded to :func:`mixed_queries` (``languages``,
+    ``hot_language``, ``hot_every``).
+    """
+    graph = random_labeled_graph(
+        num_vertices, num_edges, alphabet, seed=seed
+    )
+    queries = mixed_queries(
+        graph, num_queries, seed=seed + 1, **query_kwargs
+    )
+    return graph, queries
+
+
+def distinct_languages(queries):
+    """The set of distinct language specs appearing in ``queries``."""
+    return {language for language, _source, _target in queries}

@@ -17,11 +17,13 @@ Public API highlights
 from .errors import (
     AutomatonError,
     BudgetExceededError,
+    DeadlineExceededError,
     GraphError,
     NotInTrCError,
     RegexSyntaxError,
     ReproError,
 )
+from .execution import ExecutionContext
 from .languages import Language, language
 from .graphs.dbgraph import DbGraph
 from .graphs.vlgraph import EvlGraph, VlGraph
@@ -38,7 +40,9 @@ __all__ = [
     "BudgetExceededError",
     "ComplexityClass",
     "DbGraph",
+    "DeadlineExceededError",
     "EvlGraph",
+    "ExecutionContext",
     "GraphError",
     "IndexedGraph",
     "Language",

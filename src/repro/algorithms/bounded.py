@@ -15,12 +15,20 @@ formula depth), and trivially polynomial for fixed L.
 from __future__ import annotations
 
 from ..errors import ReproError
+from ..execution import ExecutionContext
 from ..graphs.dbgraph import Path, sorted_successors_fn
 from ..languages import Language
 
 
 class FiniteLanguageSolver:
-    """Exact RSPQ evaluation for a finite language."""
+    """Exact RSPQ evaluation for a finite language.
+
+    The solver is immutable once constructed; per-query work counters
+    live in the :class:`~repro.execution.ExecutionContext` passed to
+    each query, so one instance can serve concurrent queries.  Without
+    an explicit context the solver creates one per query and the legacy
+    ``words_tried`` shim reads the most recent of those.
+    """
 
     def __init__(self, language, max_words=100000):
         if isinstance(language, str):
@@ -34,23 +42,32 @@ class FiniteLanguageSolver:
         self.words = sorted(
             language.words(bound, limit=max_words), key=lambda w: (len(w), w)
         )
-        self.words_tried = 0  # work counter for the last query
+        self._legacy_ctx = ExecutionContext()
 
-    def shortest_simple_path(self, graph, source, target):
+    @property
+    def words_tried(self):
+        """Words tried by the last context-less query (legacy shim)."""
+        return self._legacy_ctx.words_tried
+
+    def shortest_simple_path(self, graph, source, target, ctx=None):
         """Shortest simple L-labeled path (words tried short-first)."""
+        if ctx is None:
+            ctx = self._legacy_ctx = ExecutionContext()
         graph.require_vertex(source)
         graph.require_vertex(target)
-        self.words_tried = 0
         for word in self.words:
-            self.words_tried += 1
+            ctx.charge_word()
             path = find_simple_word_path(graph, source, target, word)
             if path is not None:
                 return path
         return None
 
-    def exists(self, graph, source, target):
+    def exists(self, graph, source, target, ctx=None):
         """Decision variant of RSPQ(L) for finite L."""
-        return self.shortest_simple_path(graph, source, target) is not None
+        return (
+            self.shortest_simple_path(graph, source, target, ctx=ctx)
+            is not None
+        )
 
 
 def find_simple_word_path(graph, source, target, word):

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from ..errors import BudgetExceededError
+from ..execution import ExecutionContext
 from ..graphs.dbgraph import Path, sorted_out_edges_fn
 from ..languages import Language
 
@@ -28,14 +28,22 @@ from ..languages import Language
 class ExactSolver:
     """Backtracking RSPQ solver, correct for every regular language.
 
+    The solver is immutable once constructed; per-query counters and
+    budget accounting live in the
+    :class:`~repro.execution.ExecutionContext` given to each query, so
+    one instance can serve concurrent queries.  A query without an
+    explicit context gets a fresh one (budgeted by ``self.budget``) and
+    the legacy ``steps`` shim reads the most recent of those.
+
     Parameters
     ----------
     language:
         :class:`~repro.languages.Language` or regex string.
     budget:
-        Optional cap on search steps; exceeding it raises
-        :class:`~repro.errors.BudgetExceededError` (the worst case is
-        exponential, so callers may want a guard).
+        Default cap on search steps for context-less queries; exceeding
+        it raises :class:`~repro.errors.BudgetExceededError` (the worst
+        case is exponential, so callers may want a guard).  An explicit
+        context's own ``budget`` — possibly None — takes precedence.
     """
 
     def __init__(self, language, budget=None):
@@ -44,7 +52,7 @@ class ExactSolver:
         self.language = language
         self.dfa = language.dfa
         self.budget = budget
-        self.steps = 0
+        self._legacy_ctx = ExecutionContext(budget=budget)
         # Reverse transition index: (state_after, label) -> states_before.
         # Computed once per solver so the backward product BFS in
         # _goal_distances is O(in-edges) per node instead of scanning
@@ -84,38 +92,45 @@ class ExactSolver:
                         queue.append(node)
         return distances
 
-    def _charge(self):
-        self.steps += 1
-        if self.budget is not None and self.steps > self.budget:
-            raise BudgetExceededError(
-                "exact solver exceeded its %d-step budget" % self.budget,
-                steps=self.steps,
-            )
+    @property
+    def steps(self):
+        """Expansions of the last context-less query (legacy shim)."""
+        return self._legacy_ctx.steps
+
+    @steps.setter
+    def steps(self, value):
+        self._legacy_ctx.steps = value
 
     # -- public API ------------------------------------------------------------
 
-    def shortest_simple_path(self, graph, source, target, weight_fn=None):
+    def shortest_simple_path(self, graph, source, target, weight_fn=None,
+                             ctx=None):
         """A shortest simple L-labeled path from source to target, or None.
 
         ``weight_fn(u, label, v) -> R+`` switches to minimum total
         weight (weights must be strictly positive).
         """
         return self._solve(
-            graph, source, target, find_shortest=True, weight_fn=weight_fn
+            graph, source, target, find_shortest=True, weight_fn=weight_fn,
+            ctx=ctx,
         )
 
-    def any_simple_path(self, graph, source, target):
+    def any_simple_path(self, graph, source, target, ctx=None):
         """Some simple L-labeled path (first found), or None."""
-        return self._solve(graph, source, target, find_shortest=False)
+        return self._solve(
+            graph, source, target, find_shortest=False, ctx=ctx
+        )
 
-    def exists(self, graph, source, target):
+    def exists(self, graph, source, target, ctx=None):
         """Decision variant of RSPQ(L)."""
-        return self.any_simple_path(graph, source, target) is not None
+        return self.any_simple_path(graph, source, target, ctx=ctx) is not None
 
-    def _solve(self, graph, source, target, find_shortest, weight_fn=None):
+    def _solve(self, graph, source, target, find_shortest, weight_fn=None,
+               ctx=None):
+        if ctx is None:
+            ctx = self._legacy_ctx = ExecutionContext(budget=self.budget)
         graph.require_vertex(source)
         graph.require_vertex(target)
-        self.steps = 0
         if source == target:
             if self.dfa.initial in self.dfa.accepting:
                 return Path.single(source)
@@ -145,7 +160,7 @@ class ExactSolver:
             return len(labels)
 
         def dfs(vertex, state):
-            self._charge()
+            ctx.charge_step()
             if best[0] is not None:
                 if not find_shortest:
                     return
@@ -196,21 +211,23 @@ class ExactSolver:
         dfs(source, self.dfa.initial)
         return best[0]
 
-    def count_simple_paths(self, graph, source, target, max_length=None):
+    def count_simple_paths(self, graph, source, target, max_length=None,
+                           ctx=None):
         """Number of distinct simple L-labeled paths (exponential walk).
 
         Used by the semantics-comparison experiment; ``max_length``
         bounds the search depth when given.
         """
+        if ctx is None:
+            ctx = self._legacy_ctx = ExecutionContext(budget=self.budget)
         graph.require_vertex(source)
         graph.require_vertex(target)
-        self.steps = 0
         count = [0]
         visited = {source}
         length = [0]
 
         def dfs(vertex, state):
-            self._charge()
+            ctx.charge_step()
             if vertex == target and state in self.dfa.accepting:
                 count[0] += 1
             for label, nxt in graph.out_edges(vertex):

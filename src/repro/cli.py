@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``)::
     repro solve 'a*c*' graph.txt 0 5
     repro psitr 'a*(bb+ + eps)c*'
     repro batch graph.txt queries.txt
+    repro batch graph.txt queries.txt --workers 4 --jsonl results.jsonl
 
 The graph file uses the text format of :mod:`repro.graphs.io`
 (``e source label target`` per line).  A batch queries file has one
@@ -20,6 +21,7 @@ input errors.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .errors import ReproError
@@ -100,6 +102,29 @@ def _build_parser():
         action="store_true",
         help="print per-query solver steps and timings",
     )
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel workers for the batch (default 1 = serial); "
+        "results are identical path-for-path for every worker count",
+    )
+    p_batch.add_argument(
+        "--parallel-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="scheduler for --workers > 1: 'thread' shares one plan "
+        "cache (single-flight compiles), 'process' shards across "
+        "worker processes for CPU scaling on GIL builds",
+    )
+    p_batch.add_argument(
+        "--jsonl",
+        metavar="OUT",
+        default=None,
+        help="stream each query result as one JSON object per line to "
+        "OUT (machine-readable: strategy, found, length, word, steps, "
+        "seconds, plan_cache_hit, error)",
+    )
     return parser
 
 
@@ -171,10 +196,49 @@ def _parse_queries(path):
     return queries
 
 
+def _result_record(result):
+    """One :class:`EngineResult` as a JSON-serialisable dict."""
+    return {
+        "language": str(result.language),
+        "source": result.source,
+        "target": result.target,
+        "strategy": result.strategy,
+        "found": result.found,
+        "length": result.length,
+        "word": None if result.path is None else result.path.word,
+        "path": (
+            None
+            if result.path is None
+            else list(result.path.vertices)
+        ),
+        "decompose_failed": result.decompose_failed,
+        "steps": result.stats.steps,
+        "seconds": result.stats.seconds,
+        "plan_cache_hit": result.stats.plan_cache_hit,
+        "error": result.error,
+    }
+
+
+def _write_jsonl(path, results):
+    """Stream one compact JSON object per result to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for result in results:
+            handle.write(
+                json.dumps(
+                    _result_record(result), sort_keys=True, default=str
+                )
+            )
+            handle.write("\n")
+
+
 def _cmd_batch(args):
     if args.plan_cache_size < 1:
         raise ReproError(
             "--plan-cache-size must be >= 1, got %d" % args.plan_cache_size
+        )
+    if args.workers < 1:
+        raise ReproError(
+            "--workers must be >= 1, got %d" % args.workers
         )
     graph = graph_io.load(args.graph)
     queries = _parse_queries(args.queries)
@@ -183,7 +247,11 @@ def _cmd_batch(args):
         plan_cache_size=args.plan_cache_size,
         exact_budget=args.budget,
     )
-    batch = engine.run_batch(queries)
+    batch = engine.run_batch(
+        queries, workers=args.workers, mode=args.parallel_mode
+    )
+    if args.jsonl:
+        _write_jsonl(args.jsonl, batch.results)
     for result in batch.results:
         if result.error is not None:
             answer = "error: %s" % result.error

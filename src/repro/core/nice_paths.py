@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import GraphError, NotInTrCError
+from ..execution import ExecutionContext
 from ..graphs.dbgraph import (
     Path,
     sorted_out_edges_fn,
@@ -227,13 +228,31 @@ class _Gap:
 
 
 class SolverStats:
-    """Work counters exposed for the benchmarks."""
+    """Work counters exposed for the benchmarks.
+
+    Duck-types the charging surface of
+    :class:`~repro.execution.ExecutionContext` (which carries the same
+    counters plus budget/deadline accounting), so the search internals
+    accept either.
+    """
 
     def __init__(self):
         self.candidates = 0
         self.completions = 0
         self.dfs_steps = 0
         self.gap_bfs = 0
+
+    def charge_dfs_step(self):
+        self.dfs_steps += 1
+
+    def charge_gap_bfs(self):
+        self.gap_bfs += 1
+
+    def count_candidate(self):
+        self.candidates += 1
+
+    def count_completion(self):
+        self.completions += 1
 
     def __repr__(self):
         return (
@@ -255,7 +274,7 @@ def _gap_distances(graph, entry, symbols, blocked, weight_fn, stats):
     remark that the algorithm generalises to db-graphs weighted by
     ``E → R+``).  Returns ``(dist, parent)``.
     """
-    stats.gap_bfs += 1
+    stats.charge_gap_bfs()
     dist = {entry: 0}
     parent = {}
     if weight_fn is None:
@@ -446,7 +465,7 @@ class _SequenceSearch:
         )
 
     def _search(self, seg_index, state, pieces, pinned):
-        self.stats.dfs_steps += 1
+        self.stats.charge_dfs_step()
         if self.budget is not None and self.stats.dfs_steps > self.budget:
             return
         if self._too_long(pieces, seg_index):
@@ -457,11 +476,11 @@ class _SequenceSearch:
         if seg_index == len(self.segments):
             if current != self.target:
                 return
-            self.stats.candidates += 1
+            self.stats.count_candidate()
             path = _complete_candidate(
                 self.graph, pieces, self.stats, weight_fn=self.weight_fn
             )
-            self.stats.completions += 1
+            self.stats.count_completion()
             if path is not None:
                 metric = self._metric(path)
                 if self.best is None or metric < self.best_metric:
@@ -656,9 +675,13 @@ class TractableSolver:
         self.expression = expression
         self.dfs_budget = dfs_budget
         self.use_live_pruning = use_live_pruning
+        #: Stats of the last context-less query (legacy shim); queries
+        #: that pass an explicit ExecutionContext never touch this, so
+        #: a shared solver stays re-entrant.
         self.last_stats = None
 
-    def shortest_simple_path(self, graph, source, target, weight_fn=None):
+    def shortest_simple_path(self, graph, source, target, weight_fn=None,
+                             ctx=None):
         """A shortest simple L-labeled path, or ``None``.
 
         Runs the anchored search for every Ψtr-sequence of the
@@ -668,11 +691,17 @@ class TractableSolver:
         ``weight_fn(u, label, v) -> R+`` switches to weighted-shortest
         semantics (the paper's E → R+ generalisation); weights must be
         strictly positive.
+
+        ``ctx`` carries the per-query DFS counters (and optional
+        deadline); one is created — and remembered as ``last_stats`` —
+        when the caller does not supply one.
         """
         graph.require_vertex(source)
         graph.require_vertex(target)
-        stats = SolverStats()
-        self.last_stats = stats
+        if ctx is None:
+            ctx = ExecutionContext()
+            self.last_stats = ctx
+        stats = ctx
         if source == target:
             if self.language.accepts(""):
                 return Path.single(source)
@@ -710,6 +739,9 @@ class TractableSolver:
                 )
         return best
 
-    def exists(self, graph, source, target):
+    def exists(self, graph, source, target, ctx=None):
         """Decision variant of RSPQ(L)."""
-        return self.shortest_simple_path(graph, source, target) is not None
+        return (
+            self.shortest_simple_path(graph, source, target, ctx=ctx)
+            is not None
+        )

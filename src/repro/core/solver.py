@@ -54,6 +54,16 @@ class RspqResult:
 class RspqSolver:
     """Evaluate regular simple path queries with the right algorithm.
 
+    Construction does all the per-language work (classification,
+    decomposition, sub-solver setup); after that the solver is
+    immutable and re-entrant: every query's mutable state lives in the
+    :class:`~repro.execution.ExecutionContext` threaded through
+    :meth:`shortest_simple_path` / :meth:`solve` / :meth:`exists`, so
+    one instance — e.g. inside a cached
+    :class:`~repro.engine.plan.QueryPlan` — can serve concurrent
+    queries.  Context-less calls remain supported for single-threaded
+    use (``last_steps()`` then reads the implicit context).
+
     Parameters
     ----------
     language:
@@ -97,21 +107,29 @@ class RspqSolver:
         if self.strategy == STRATEGY_EXACT:
             self._exact_solver = ExactSolver(language, budget=exact_budget)
 
-    def shortest_simple_path(self, graph, source, target):
-        """Shortest simple L-labeled path or ``None``."""
+    def shortest_simple_path(self, graph, source, target, ctx=None):
+        """Shortest simple L-labeled path or ``None``.
+
+        ``ctx`` (an :class:`~repro.execution.ExecutionContext`) carries
+        the per-query counters and budget/deadline accounting; without
+        one, the dispatched solver creates its own and the legacy
+        ``last_steps()`` shim reads it afterwards.
+        """
         if self._finite_solver is not None:
             return self._finite_solver.shortest_simple_path(
-                graph, source, target
+                graph, source, target, ctx=ctx
             )
         if self._tractable_solver is not None:
             return self._tractable_solver.shortest_simple_path(
-                graph, source, target
+                graph, source, target, ctx=ctx
             )
-        return self._exact_solver.shortest_simple_path(graph, source, target)
+        return self._exact_solver.shortest_simple_path(
+            graph, source, target, ctx=ctx
+        )
 
-    def solve(self, graph, source, target):
+    def solve(self, graph, source, target, ctx=None):
         """Full result object with path and strategy information."""
-        path = self.shortest_simple_path(graph, source, target)
+        path = self.shortest_simple_path(graph, source, target, ctx=ctx)
         return RspqResult(
             found=path is not None,
             path=path,
@@ -121,10 +139,12 @@ class RspqSolver:
         )
 
     def last_steps(self):
-        """Work counter of the most recent query (strategy-specific).
+        """Work counter of the most recent context-less query.
 
         Exact: DFS expansions; tractable: anchored-DFS steps; finite:
-        words tried.  ``None`` when no query has run yet.
+        words tried.  ``None`` when no query has run yet.  Queries that
+        passed an explicit context are invisible here — read their
+        counters off the context via :meth:`steps_in` instead.
         """
         if self._finite_solver is not None:
             return self._finite_solver.words_tried
@@ -133,11 +153,22 @@ class RspqSolver:
             return None if stats is None else stats.dfs_steps
         return self._exact_solver.steps
 
-    def exists(self, graph, source, target):
+    def steps_in(self, ctx):
+        """The strategy-relevant work counter recorded on ``ctx``."""
+        if self._finite_solver is not None:
+            return ctx.words_tried
+        if self._tractable_solver is not None:
+            return ctx.dfs_steps
+        return ctx.steps
+
+    def exists(self, graph, source, target, ctx=None):
         """Decision variant of RSPQ(L)."""
         if self._exact_solver is not None:
-            return self._exact_solver.exists(graph, source, target)
-        return self.shortest_simple_path(graph, source, target) is not None
+            return self._exact_solver.exists(graph, source, target, ctx=ctx)
+        return (
+            self.shortest_simple_path(graph, source, target, ctx=ctx)
+            is not None
+        )
 
 
 def solve_rspq(language, graph, source, target, exact_budget=None):

@@ -7,19 +7,32 @@ to a :class:`~repro.engine.plan.PlanCache` and answers
 :mod:`repro.engine` for the cost model.  Results are identical,
 path-for-path, to what per-query :func:`repro.core.solver.solve_rspq`
 returns on the raw graph; the engine only removes redundant work.
+
+Plans are frozen and solvers re-entrant (per-query state lives in an
+:class:`~repro.execution.ExecutionContext`), so ``run_batch`` can shard
+a workload across a thread pool: queries on the same language share one
+plan, compiled exactly once even under contention (single-flight), and
+results come back in input order with per-query error isolation — the
+same contract as serial execution.  ``mode="process"`` swaps the thread
+pool for worker processes (each with its own engine over the same
+compiled graph), which sidesteps the GIL for CPU-bound workloads on
+standard CPython builds.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..errors import ReproError
+from ..execution import ExecutionContext
 from ..graphs.dbgraph import Path
 from .indexed import IndexedGraph
-from .plan import PlanCache, QueryPlan, plan_key
+from .plan import PlanCache, PlanCacheStats, QueryPlan, plan_key
 
 #: Strategy marker for queries that raised instead of answering.
 STRATEGY_ERROR = "error"
@@ -62,6 +75,13 @@ class BatchResult:
 
     results: list
     seconds: float
+    #: Real :class:`PlanCacheStats` accumulated during this batch (the
+    #: delta over the engine's cache; summed over workers in process
+    #: mode).  Unlike per-result accounting this counts plans that were
+    #: compiled but whose query then errored.
+    cache_stats: Optional[PlanCacheStats] = None
+    #: Worker threads/processes the batch ran with (1 = serial).
+    workers: int = 1
 
     def __len__(self):
         return len(self.results)
@@ -79,12 +99,23 @@ class BatchResult:
 
     @property
     def plan_cache_hits(self):
+        """Cache hits during the batch (real cache counters when known)."""
+        if self.cache_stats is not None:
+            return self.cache_stats.hits
         return sum(
             1 for result in self.results if result.stats.plan_cache_hit
         )
 
     @property
     def plans_compiled(self):
+        """Plans compiled during the batch (real cache counters when known).
+
+        Falls back to inferring from the per-result flags when no cache
+        stats were recorded; the inference undercounts queries that
+        compiled a plan and then errored.
+        """
+        if self.cache_stats is not None:
+            return self.cache_stats.compiles
         return sum(
             1
             for result in self.results
@@ -104,23 +135,62 @@ class BatchResult:
         errors = (
             ", %d errors" % self.error_count if self.error_count else ""
         )
+        cache = ""
+        if self.cache_stats is not None:
+            cache = ", %d misses, %d evictions" % (
+                self.cache_stats.misses,
+                self.cache_stats.evictions,
+            )
+        workers = ", %d workers" % self.workers if self.workers > 1 else ""
         return (
-            "%d queries in %.3fs (%d found%s) — plans: %d compiled, "
-            "%d cache hits — strategies: %s"
+            "%d queries in %.3fs (%d found%s%s) — plans: %d compiled, "
+            "%d cache hits%s — strategies: %s"
             % (
                 len(self.results),
                 self.seconds,
                 self.found_count,
                 errors,
+                workers,
                 self.plans_compiled,
                 self.plan_cache_hits,
+                cache,
                 by_strategy or "none",
             )
         )
 
 
+class _PlanCompilation:
+    """Rendezvous for one in-flight plan compile (single-flight)."""
+
+    __slots__ = ("done",)
+
+    def __init__(self):
+        self.done = threading.Event()
+
+
+def _process_shard(graph, engine_kwargs, shard):
+    """Worker-process entry point: answer one shard of indexed queries.
+
+    Builds a private engine over the (inherited or pickled) compiled
+    graph, so plans are compiled per process — cheap relative to the
+    shard and unavoidable, since plans cannot cross process boundaries.
+    Returns the indexed results plus the worker's cache counters.
+    """
+    engine = QueryEngine(graph, **engine_kwargs)
+    results = [
+        (index, engine._run_single(language, source, target))
+        for index, (language, source, target) in shard
+    ]
+    return results, engine.cache_stats()
+
+
 class QueryEngine:
     """Evaluate many RSPQs against one graph with shared compiled state.
+
+    The engine is thread-safe: plans are immutable, the plan cache
+    locks internally, and per-query state travels in a fresh
+    :class:`~repro.execution.ExecutionContext`; :meth:`run_batch` uses
+    this to run shards of a workload concurrently.
 
     Parameters
     ----------
@@ -130,34 +200,87 @@ class QueryEngine:
     plan_cache_size:
         Capacity of the LRU plan cache (distinct languages kept warm).
     exact_budget:
-        Step budget handed to plans that dispatch to the exponential
+        Step budget handed to queries that dispatch to the exponential
         solver (None = unbounded).
+    deadline_seconds:
+        Optional per-query wall-clock deadline; a query that overruns
+        it fails with :class:`~repro.errors.DeadlineExceededError`
+        (isolated per query in batch mode).
     """
 
-    def __init__(self, graph, plan_cache_size=128, exact_budget=None):
+    def __init__(self, graph, plan_cache_size=128, exact_budget=None,
+                 deadline_seconds=None):
         if isinstance(graph, IndexedGraph):
             self.graph = graph
         else:
             self.graph = IndexedGraph(graph)
         self.plan_cache = PlanCache(plan_cache_size)
         self.exact_budget = exact_budget
+        self.deadline_seconds = deadline_seconds
+        self._compile_lock = threading.Lock()
+        self._inflight = {}
 
     # -- planning ---------------------------------------------------------------
+
+    def _new_context(self):
+        """A fresh per-query execution context with engine defaults."""
+        return ExecutionContext(
+            budget=self.exact_budget,
+            deadline_seconds=self.deadline_seconds,
+        )
+
+    def cache_stats(self):
+        """Engine-lifetime plan-cache counters (an independent snapshot)."""
+        return self.plan_cache.stats.snapshot()
 
     def plan_for(self, language):
         """The cached plan for ``language``, compiling on a miss.
 
-        Returns ``(plan, cache_hit)``.
+        Returns ``(plan, cache_hit)``.  Under concurrent misses on the
+        same key exactly one caller compiles (single-flight); the
+        others wait for its insertion and count as cache hits, so a
+        batch never compiles one language twice however many workers
+        race on it.
         """
         key = plan_key(language)
+        # Optimistic fast path: warm hits never touch the compile lock,
+        # so a hot cache scales across workers instead of serializing.
         plan = self.plan_cache.get(key)
         if plan is not None:
             return plan, True
-        plan = QueryPlan.compile(
-            language, key=key, exact_budget=self.exact_budget
-        )
-        self.plan_cache.put(key, plan)
-        return plan, False
+        while True:
+            with self._compile_lock:
+                # The fast path above already recorded this miss.
+                plan = self.plan_cache.get(key, count_miss=False)
+                if plan is not None:
+                    return plan, True
+                compilation = self._inflight.get(key)
+                if compilation is None:
+                    compilation = _PlanCompilation()
+                    self._inflight[key] = compilation
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                # Wait for the leader, then re-look the key up: on
+                # success it is now cached (a hit); if the leader's
+                # compile raised, take over and surface our own error.
+                compilation.done.wait()
+                continue
+            try:
+                plan = QueryPlan.compile(
+                    language, key=key, exact_budget=self.exact_budget
+                )
+            except BaseException:
+                with self._compile_lock:
+                    del self._inflight[key]
+                compilation.done.set()
+                raise
+            with self._compile_lock:
+                self.plan_cache.put(key, plan)
+                del self._inflight[key]
+            compilation.done.set()
+            return plan, False
 
     # -- querying ----------------------------------------------------------------
 
@@ -165,13 +288,22 @@ class QueryEngine:
         """Answer one RSPQ; returns an :class:`EngineResult`.
 
         Raises :class:`~repro.errors.ReproError` on bad input (unknown
-        vertex, unparseable regex, exceeded budget); ``run_batch``
-        isolates such failures per query instead.
+        vertex, unparseable regex, exceeded budget or deadline);
+        ``run_batch`` isolates such failures per query instead.
         """
         start = time.perf_counter()
         plan, cache_hit = self.plan_for(language)
-        path = plan.solver.shortest_simple_path(self.graph, source, target)
-        seconds = time.perf_counter() - start
+        ctx = self._new_context()
+        path = plan.solver.shortest_simple_path(
+            self.graph, source, target, ctx=ctx
+        )
+        return self._answered_result(
+            language, source, target, plan, cache_hit, ctx, path, start
+        )
+
+    def _answered_result(self, language, source, target, plan, cache_hit,
+                         ctx, path, start):
+        """The :class:`EngineResult` for one successfully answered query."""
         return EngineResult(
             language=language,
             source=source,
@@ -182,52 +314,154 @@ class QueryEngine:
             decompose_failed=plan.decompose_failed,
             stats=QueryStats(
                 strategy=plan.strategy,
-                steps=plan.solver.last_steps(),
+                steps=plan.solver.steps_in(ctx),
                 plan_cache_hit=cache_hit,
-                seconds=seconds,
+                seconds=time.perf_counter() - start,
             ),
         )
 
     def exists(self, language, source, target):
         """Decision variant (plan-cached)."""
         plan, _cache_hit = self.plan_for(language)
-        return plan.solver.exists(self.graph, source, target)
+        return plan.solver.exists(
+            self.graph, source, target, ctx=self._new_context()
+        )
 
-    def run_batch(self, queries):
+    def _run_single(self, language, source, target):
+        """One query with per-query error isolation (batch building block)."""
+        start = time.perf_counter()
+        cache_hit = False
+        try:
+            plan, cache_hit = self.plan_for(language)
+            ctx = self._new_context()
+            path = plan.solver.shortest_simple_path(
+                self.graph, source, target, ctx=ctx
+            )
+        except ReproError as err:
+            return EngineResult(
+                language=language,
+                source=source,
+                target=target,
+                found=False,
+                path=None,
+                strategy=STRATEGY_ERROR,
+                decompose_failed=False,
+                stats=QueryStats(
+                    strategy=STRATEGY_ERROR,
+                    steps=None,
+                    plan_cache_hit=cache_hit,
+                    seconds=time.perf_counter() - start,
+                ),
+                error=str(err),
+            )
+        return self._answered_result(
+            language, source, target, plan, cache_hit, ctx, path, start
+        )
+
+    def run_batch(self, queries, workers=1, mode="thread"):
         """Answer an iterable of ``(language, source, target)`` triples.
 
-        Queries run in order against the shared indexed graph; plans are
-        compiled at most once per distinct language (LRU permitting).
-        A query that raises :class:`~repro.errors.ReproError` (unknown
-        vertex, bad regex, exceeded budget) does not abort the batch:
-        it yields an :class:`EngineResult` with ``error`` set and the
-        remaining queries still run.  Returns a :class:`BatchResult`.
+        Queries run against the shared indexed graph; plans are
+        compiled at most once per distinct language (LRU permitting —
+        single-flight even under contention).  A query that raises
+        :class:`~repro.errors.ReproError` (unknown vertex, bad regex,
+        exceeded budget/deadline) does not abort the batch: it yields
+        an :class:`EngineResult` with ``error`` set and the remaining
+        queries still run.  Results always come back in input order.
+
+        Parameters
+        ----------
+        workers:
+            Concurrency degree; 1 (default) runs serially.  Results
+            are identical, path for path, for every worker count.
+        mode:
+            ``"thread"`` (default) shares this engine's plan cache
+            across a thread pool — the right choice whenever plan
+            compilation dominates, and for true CPU scaling on
+            free-threaded builds.  ``"process"`` shards across worker
+            processes, each with a private engine over the same
+            compiled graph — CPU scaling on GIL builds at the price of
+            per-process plan compiles.
+
+        Returns a :class:`BatchResult` whose ``cache_stats`` carries
+        the real plan-cache counter deltas for this batch.
         """
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %d" % workers)
+        if mode not in ("thread", "process"):
+            raise ValueError(
+                "mode must be 'thread' or 'process', got %r" % (mode,)
+            )
+        queries = list(queries)
+        effective_workers = max(1, min(workers, len(queries)))
         start = time.perf_counter()
-        results = []
-        for language, source, target in queries:
-            query_start = time.perf_counter()
-            try:
-                results.append(self.query(language, source, target))
-            except ReproError as err:
-                results.append(
-                    EngineResult(
-                        language=language,
-                        source=source,
-                        target=target,
-                        found=False,
-                        path=None,
-                        strategy=STRATEGY_ERROR,
-                        decompose_failed=False,
-                        stats=QueryStats(
-                            strategy=STRATEGY_ERROR,
-                            steps=None,
-                            plan_cache_hit=False,
-                            seconds=time.perf_counter() - query_start,
-                        ),
-                        error=str(err),
-                    )
-                )
+        if effective_workers == 1:
+            before = self.cache_stats()
+            results = [
+                self._run_single(language, source, target)
+                for language, source, target in queries
+            ]
+            cache_stats = self.plan_cache.stats.since(before)
+        elif mode == "thread":
+            before = self.cache_stats()
+            results = self._run_batch_threads(queries, effective_workers)
+            cache_stats = self.plan_cache.stats.since(before)
+        else:
+            results, cache_stats = self._run_batch_processes(
+                queries, effective_workers
+            )
         return BatchResult(
-            results=results, seconds=time.perf_counter() - start
+            results=results,
+            seconds=time.perf_counter() - start,
+            cache_stats=cache_stats,
+            workers=effective_workers,
         )
+
+    # -- parallel schedulers -----------------------------------------------------
+
+    def _run_batch_threads(self, queries, workers):
+        """Strided shards over a thread pool; input-order results."""
+        results = [None] * len(queries)
+
+        def run_shard(offset):
+            for index in range(offset, len(queries), workers):
+                language, source, target = queries[index]
+                results[index] = self._run_single(language, source, target)
+
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-batch"
+        ) as pool:
+            futures = [
+                pool.submit(run_shard, offset) for offset in range(workers)
+            ]
+            for future in futures:
+                future.result()
+        return results
+
+    def _run_batch_processes(self, queries, workers):
+        """Strided shards over worker processes; input-order results."""
+        shards = [
+            [
+                (index, queries[index])
+                for index in range(offset, len(queries), workers)
+            ]
+            for offset in range(workers)
+        ]
+        engine_kwargs = {
+            "plan_cache_size": self.plan_cache.capacity,
+            "exact_budget": self.exact_budget,
+            "deadline_seconds": self.deadline_seconds,
+        }
+        results = [None] * len(queries)
+        cache_stats = PlanCacheStats()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_process_shard, self.graph, engine_kwargs, shard)
+                for shard in shards
+            ]
+            for future in futures:
+                shard_results, shard_stats = future.result()
+                for index, result in shard_results:
+                    results[index] = result
+                cache_stats = cache_stats + shard_stats
+        return results, cache_stats

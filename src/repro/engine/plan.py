@@ -8,8 +8,13 @@ graph vertex is ever touched.  A :class:`QueryPlan` freezes all of that
 :class:`~repro.core.solver.RspqSolver` — so repeated queries on the same
 language skip straight to the search.
 
-Plans are cached in :class:`PlanCache`, a small LRU keyed by
-:func:`plan_key`: regex strings key by their text (no re-parse on a
+Plans are **immutable and shareable**: the frozen dataclass holds a
+re-entrant solver whose per-query state lives in the
+:class:`~repro.execution.ExecutionContext` each query brings along, so
+one cached plan can serve any number of concurrent queries.
+
+Plans are cached in :class:`PlanCache`, a small thread-safe LRU keyed
+by :func:`plan_key`: regex strings key by their text (no re-parse on a
 hit), :class:`~repro.languages.Language` objects by the canonical
 signature of their minimal DFA (two different regexes for the same
 language share a plan).
@@ -17,6 +22,7 @@ language share a plan).
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -52,9 +58,9 @@ def plan_key(language):
     )
 
 
-@dataclass
+@dataclass(frozen=True)
 class QueryPlan:
-    """A compiled, reusable evaluation plan for one language."""
+    """A compiled, immutable, shareable evaluation plan for one language."""
 
     key: Any
     solver: RspqSolver
@@ -103,11 +109,17 @@ class QueryPlan:
 
 @dataclass
 class PlanCacheStats:
-    """Counters for one :class:`PlanCache` lifetime."""
+    """Counters for one :class:`PlanCache` lifetime.
+
+    ``compiles`` counts plans inserted into the cache after a fresh
+    compile — including plans whose query later failed (e.g. on an
+    unknown vertex), which per-result accounting used to miss.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    compiles: int = 0
 
     @property
     def lookups(self):
@@ -117,45 +129,98 @@ class PlanCacheStats:
     def hit_rate(self):
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def snapshot(self):
+        """An independent copy of the current counters."""
+        return PlanCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            compiles=self.compiles,
+        )
+
+    def since(self, earlier):
+        """Counter deltas accumulated after the ``earlier`` snapshot."""
+        return PlanCacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            compiles=self.compiles - earlier.compiles,
+        )
+
+    def __add__(self, other):
+        if not isinstance(other, PlanCacheStats):
+            return NotImplemented
+        return PlanCacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            compiles=self.compiles + other.compiles,
+        )
+
 
 class PlanCache:
-    """A bounded LRU mapping plan keys to :class:`QueryPlan` objects."""
+    """A bounded, thread-safe LRU mapping plan keys to :class:`QueryPlan`.
+
+    Every operation holds an internal lock, so concurrent readers of a
+    shared cache cannot corrupt the recency order; single-flight
+    compilation (avoiding duplicate compiles under contention) is
+    layered on top by :class:`~repro.engine.engine.QueryEngine`.
+    """
 
     def __init__(self, capacity=128):
         if capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
         self.capacity = capacity
         self._plans = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = PlanCacheStats()
 
     def __len__(self):
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key):
-        return key in self._plans
+        with self._lock:
+            return key in self._plans
 
-    def get(self, key):
-        """The cached plan for ``key`` (refreshing recency), or None."""
-        plan = self._plans.get(key)
-        if plan is None:
-            self.stats.misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self.stats.hits += 1
-        return plan
+    def get(self, key, count_miss=True):
+        """The cached plan for ``key`` (refreshing recency), or None.
+
+        ``count_miss=False`` suppresses the miss counter — for re-looks
+        after a lookup that already recorded the miss (hits always
+        count, so a reuse is never invisible in the stats).
+        """
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                if count_miss:
+                    self.stats.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.stats.hits += 1
+            return plan
 
     def put(self, key, plan):
-        """Insert ``plan``, evicting the least recently used if full."""
-        if key in self._plans:
-            self._plans.move_to_end(key)
-        self._plans[key] = plan
-        if len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
-            self.stats.evictions += 1
+        """Insert ``plan``, evicting the least recently used if full.
+
+        A first-time insertion counts as a compile (re-inserting an
+        existing key only refreshes recency).
+        """
+        with self._lock:
+            if key in self._plans:
+                self._plans.move_to_end(key)
+            else:
+                self.stats.compiles += 1
+            self._plans[key] = plan
+            if len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self):
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def plans(self):
         """Cached plans, least recently used first."""
-        return list(self._plans.values())
+        with self._lock:
+            return list(self._plans.values())

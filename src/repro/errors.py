@@ -60,3 +60,16 @@ class BudgetExceededError(ReproError):
     def __init__(self, message, steps=0):
         super().__init__(message)
         self.steps = steps
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a query runs past its wall-clock deadline.
+
+    Deadlines are carried by :class:`repro.execution.ExecutionContext`
+    and checked periodically inside the solvers' hot loops, so a
+    runaway query is abandoned close to (not exactly at) the deadline.
+    """
+
+    def __init__(self, message, steps=0):
+        super().__init__(message)
+        self.steps = steps

@@ -1,0 +1,168 @@
+"""Per-query execution state, split out of the solver cores.
+
+Historically every solver carried its own mutable counters —
+``ExactSolver.steps``, ``FiniteLanguageSolver.words_tried``,
+``TractableSolver.last_stats`` — which made a solver instance a
+single-query object: two concurrent queries through one cached
+:class:`~repro.engine.plan.QueryPlan` would trample each other's
+counters and budget accounting.
+
+:class:`ExecutionContext` is the fix.  It owns everything that varies
+per query:
+
+* **work counters** — exact-solver expansions (``steps``), finite-
+  solver words tried (``words_tried``), and the tractable solver's
+  anchored-DFS statistics (``candidates``, ``completions``,
+  ``dfs_steps``, ``gap_bfs``);
+* **budget accounting** — an optional cap on exact-solver expansions,
+  enforced with :class:`~repro.errors.BudgetExceededError` exactly as
+  the legacy ``ExactSolver(budget=...)`` did;
+* **an optional wall-clock deadline** — checked every
+  ``deadline_check_interval`` charges so the hot loops stay cheap,
+  raising :class:`~repro.errors.DeadlineExceededError`.
+
+With the context threaded through, each solver's
+``shortest_simple_path`` / ``exists`` is a pure function of
+``(graph, source, target, ctx)``: one compiled solver (inside a frozen,
+cached plan) can serve any number of concurrent queries, each carrying
+its own context.  Calling a solver *without* a context keeps the legacy
+behaviour — the solver creates a fresh context per query and remembers
+it, so the historical ``solver.steps`` / ``solver.words_tried`` /
+``solver.last_stats`` shims still read the most recent context-less
+query.  Those shims are inherently single-threaded; concurrent callers
+must pass explicit contexts (the batch engine always does).
+"""
+
+from __future__ import annotations
+
+import time
+
+from .errors import BudgetExceededError, DeadlineExceededError
+
+#: How many charges pass between two wall-clock reads when a deadline
+#: is set.  Large enough that ``perf_counter`` stays off the hot path,
+#: small enough that runaway searches are caught within milliseconds.
+DEADLINE_CHECK_INTERVAL = 256
+
+
+class ExecutionContext:
+    """Mutable per-query state: work counters, budget, deadline.
+
+    Create one context per query and hand it to the solver; never share
+    a live context between concurrent queries (counters would mix —
+    exactly the disease this class cures in the solvers).
+
+    Parameters
+    ----------
+    budget:
+        Optional cap on exact-solver search steps; exceeding it raises
+        :class:`~repro.errors.BudgetExceededError`.
+    deadline_seconds:
+        Optional wall-clock allowance for this query, measured from
+        context creation; exceeding it raises
+        :class:`~repro.errors.DeadlineExceededError` at the next
+        periodic check.
+    deadline_check_interval:
+        Charges between deadline checks (tests shrink this to make the
+        deadline bite immediately).
+    """
+
+    __slots__ = (
+        "budget",
+        "deadline",
+        "steps",
+        "words_tried",
+        "candidates",
+        "completions",
+        "dfs_steps",
+        "gap_bfs",
+        "_deadline_check_interval",
+        "_charges_until_deadline_check",
+    )
+
+    def __init__(self, budget=None, deadline_seconds=None,
+                 deadline_check_interval=DEADLINE_CHECK_INTERVAL):
+        self.budget = budget
+        if deadline_seconds is None:
+            self.deadline = None
+        else:
+            self.deadline = time.perf_counter() + deadline_seconds
+        self.steps = 0
+        self.words_tried = 0
+        self.candidates = 0
+        self.completions = 0
+        self.dfs_steps = 0
+        self.gap_bfs = 0
+        if deadline_check_interval < 1:
+            raise ValueError("deadline_check_interval must be >= 1")
+        self._deadline_check_interval = deadline_check_interval
+        self._charges_until_deadline_check = deadline_check_interval
+
+    # -- charging (solver hot paths) ---------------------------------------------
+
+    def charge_step(self):
+        """One exact-solver expansion: budget + deadline accounting."""
+        self.steps += 1
+        if self.budget is not None and self.steps > self.budget:
+            raise BudgetExceededError(
+                "exact solver exceeded its %d-step budget" % self.budget,
+                steps=self.steps,
+            )
+        if self.deadline is not None:
+            self._maybe_check_deadline()
+
+    def charge_word(self):
+        """One finite-language word attempt."""
+        self.words_tried += 1
+        if self.deadline is not None:
+            self._maybe_check_deadline()
+
+    def charge_dfs_step(self):
+        """One anchored-DFS step of the tractable solver."""
+        self.dfs_steps += 1
+        if self.deadline is not None:
+            self._maybe_check_deadline()
+
+    def charge_gap_bfs(self):
+        """One gap-filling BFS/Dijkstra of the tractable solver."""
+        self.gap_bfs += 1
+        if self.deadline is not None:
+            self._maybe_check_deadline()
+
+    def count_candidate(self):
+        self.candidates += 1
+
+    def count_completion(self):
+        self.completions += 1
+
+    # -- deadline ----------------------------------------------------------------
+
+    def _maybe_check_deadline(self):
+        self._charges_until_deadline_check -= 1
+        if self._charges_until_deadline_check > 0:
+            return
+        self._charges_until_deadline_check = self._deadline_check_interval
+        self.check_deadline()
+
+    def check_deadline(self):
+        """Raise if the wall-clock deadline has passed (no-op without one)."""
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise DeadlineExceededError(
+                "query exceeded its wall-clock deadline",
+                steps=self.steps,
+            )
+
+    def __repr__(self):
+        return (
+            "ExecutionContext(steps=%d, words_tried=%d, dfs_steps=%d, "
+            "candidates=%d, completions=%d, gap_bfs=%d, budget=%r)"
+            % (
+                self.steps,
+                self.words_tried,
+                self.dfs_steps,
+                self.candidates,
+                self.completions,
+                self.gap_bfs,
+                self.budget,
+            )
+        )

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -149,3 +151,59 @@ class TestBatch:
         assert "error: unknown vertex 'zzz'" in out
         assert "word abbc" in out  # the good query still ran
         assert "1 errors" in out
+
+    def test_batch_workers_same_answers(
+        self, capsys, graph_file, queries_file
+    ):
+        serial_code = main(["batch", graph_file, queries_file])
+        serial_out = capsys.readouterr().out
+        parallel_code = main(
+            ["batch", graph_file, queries_file, "--workers", "3"]
+        )
+        parallel_out = capsys.readouterr().out
+        assert parallel_code == serial_code
+        # Per-query lines are identical; only the summary (timing,
+        # worker count) may differ.
+        assert parallel_out.splitlines()[:-1] == serial_out.splitlines()[:-1]
+        assert "3 workers" in parallel_out
+
+    def test_batch_bad_workers(self, capsys, graph_file, queries_file):
+        code = main(
+            ["batch", graph_file, queries_file, "--workers", "0"]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_batch_jsonl(self, capsys, graph_file, queries_file, tmp_path):
+        out_path = tmp_path / "results.jsonl"
+        main(["batch", graph_file, queries_file, "--jsonl", str(out_path)])
+        capsys.readouterr()
+        lines = out_path.read_text().strip().splitlines()
+        assert len(lines) == 4
+        records = [json.loads(line) for line in lines]
+        found = [r for r in records if r["found"]]
+        assert found, records
+        first = found[0]
+        assert first["word"] == "abbc"
+        assert first["length"] == 4
+        assert first["strategy"] == "trc-nice-path"
+        assert first["steps"] >= 1
+        assert first["seconds"] >= 0
+        assert first["error"] is None
+        assert {"plan_cache_hit", "path", "source", "target"} <= set(first)
+
+    def test_batch_jsonl_error_row(self, capsys, graph_file, tmp_path):
+        queries = tmp_path / "mixed.txt"
+        queries.write_text("zzz t a*\ns t a*(bb+ + eps)c*\n")
+        out_path = tmp_path / "results.jsonl"
+        main(["batch", graph_file, str(queries), "--jsonl", str(out_path)])
+        capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().strip().splitlines()
+        ]
+        assert len(records) == 2
+        assert "unknown vertex" in records[0]["error"]
+        assert records[0]["strategy"] == "error"
+        assert records[0]["found"] is False
+        assert records[1]["error"] is None

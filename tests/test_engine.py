@@ -290,6 +290,51 @@ class TestQueryEngine:
         assert engine.plan_cache.stats.evictions > 0
 
 
+class TestCacheStats:
+    def test_engine_lifetime_counters(self, graph):
+        engine = QueryEngine(graph)
+        engine.query("a*", 0, 1)
+        engine.query("a*", 0, 2)
+        engine.query("ab", 0, 3)
+        stats = engine.cache_stats()
+        assert stats.compiles == 2
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.evictions == 0
+        assert stats.lookups == 3
+
+    def test_snapshot_is_independent(self, graph):
+        engine = QueryEngine(graph)
+        before = engine.cache_stats()
+        engine.query("a*", 0, 1)
+        assert before.compiles == 0
+        assert engine.cache_stats().compiles == 1
+
+    def test_batch_delta_counts_only_this_batch(self, graph):
+        engine = QueryEngine(graph)
+        engine.run_batch([("a*", 0, 1), ("ab", 0, 2)])
+        batch = engine.run_batch([("a*", 0, 1), ("ab", 0, 2)])
+        assert batch.cache_stats.compiles == 0
+        assert batch.cache_stats.hits == 2
+        assert engine.cache_stats().compiles == 2
+
+    def test_eviction_recompile_counted(self, graph):
+        engine = QueryEngine(graph, plan_cache_size=1)
+        engine.query("a*", 0, 1)
+        engine.query("ab", 0, 2)  # evicts a*
+        engine.query("a*", 0, 3)  # recompiles a*
+        stats = engine.cache_stats()
+        assert stats.compiles == 3
+        assert stats.evictions == 2
+
+    def test_summary_shows_real_counters(self, graph):
+        engine = QueryEngine(graph)
+        batch = engine.run_batch([("a*", 0, 1), ("a*", "nope", 2)])
+        text = batch.summary()
+        assert "1 compiled" in text
+        assert "misses" in text and "evictions" in text
+
+
 class TestCatalogAgreement:
     """Engine answers match the dispatcher on every catalog language."""
 
@@ -346,7 +391,20 @@ class TestBatchErrorIsolation:
         engine = QueryEngine(graph)
         batch = engine.run_batch([("a*", "nope", 1)])
         assert "1 errors" in batch.summary()
-        assert batch.plans_compiled == 0
+        # The plan WAS compiled even though the query then failed on
+        # the unknown vertex; real cache counters must say so.
+        assert batch.plans_compiled == 1
+        assert batch.cache_stats.compiles == 1
+        assert batch.cache_stats.hits == 0
+
+    def test_error_after_cache_hit_still_counted_as_hit(self, graph):
+        engine = QueryEngine(graph)
+        batch = engine.run_batch([("a*", 0, 1), ("a*", "nope", 1)])
+        assert batch.plans_compiled == 1
+        assert batch.cache_stats.hits == 1
+        failed = batch.results[1]
+        assert failed.error is not None
+        assert failed.stats.plan_cache_hit is True
 
     def test_single_query_api_still_raises(self, graph):
         engine = QueryEngine(graph)

@@ -1,0 +1,206 @@
+"""ExecutionContext: pure solver cores, budgets, deadlines, legacy shims.
+
+The refactor contract: a solver constructed once is never mutated by a
+query that passes an explicit context — every counter lands on the
+context — while context-less calls keep the historical behaviour
+(``solver.steps`` / ``words_tried`` / ``last_stats`` read the most
+recent query).
+"""
+
+import pytest
+
+from repro.algorithms.bounded import FiniteLanguageSolver
+from repro.algorithms.exact import ExactSolver
+from repro.core.nice_paths import TractableSolver
+from repro.core.solver import RspqSolver, solve_rspq
+from repro.errors import BudgetExceededError, DeadlineExceededError
+from repro.execution import ExecutionContext
+from repro.graphs.generators import labeled_cycle, random_labeled_graph
+from repro.languages import language
+
+
+@pytest.fixture
+def graph():
+    return random_labeled_graph(25, 75, "abc", seed=11)
+
+
+def _working_pair(regex, graph):
+    """A (source, target) pair the query actually explores."""
+    for source in graph.vertices():
+        for target in graph.vertices():
+            if source == target:
+                continue
+            if solve_rspq(regex, graph, source, target).found:
+                return source, target
+    raise AssertionError("no positive instance in fixture graph")
+
+
+class TestContextIsolation:
+    def test_exact_solver_instance_stays_clean(self, graph):
+        solver = ExactSolver("a*ba*")
+        source, target = _working_pair("a*ba*", graph)
+        ctx = ExecutionContext()
+        path = solver.shortest_simple_path(graph, source, target, ctx=ctx)
+        assert path is not None
+        assert ctx.steps > 0
+        assert solver.steps == 0  # legacy shim untouched by ctx queries
+
+    def test_finite_solver_instance_stays_clean(self, graph):
+        solver = FiniteLanguageSolver(language("ab + ba + abc"))
+        ctx = ExecutionContext()
+        solver.shortest_simple_path(graph, 0, 5, ctx=ctx)
+        assert ctx.words_tried > 0
+        assert solver.words_tried == 0
+
+    def test_tractable_solver_instance_stays_clean(self, graph):
+        solver = TractableSolver(language("a*(bb^+ + eps)c*"))
+        ctx = ExecutionContext()
+        solver.shortest_simple_path(graph, 0, 5, ctx=ctx)
+        assert ctx.dfs_steps > 0
+        assert solver.last_stats is None
+
+    def test_two_contexts_do_not_mix(self, graph):
+        solver = ExactSolver("a*ba*")
+        source, target = _working_pair("a*ba*", graph)
+        first = ExecutionContext()
+        solver.shortest_simple_path(graph, source, target, ctx=first)
+        recorded = first.steps
+        second = ExecutionContext()
+        solver.shortest_simple_path(graph, source, target, ctx=second)
+        assert first.steps == recorded  # untouched by the second query
+        assert second.steps == recorded  # deterministic workload
+
+    def test_shared_solver_is_deterministic_across_contexts(self, graph):
+        solver = TractableSolver(language("a*(bb^+ + eps)c*"))
+        paths = set()
+        counts = set()
+        for _ in range(3):
+            ctx = ExecutionContext()
+            path = solver.shortest_simple_path(graph, 0, 5, ctx=ctx)
+            paths.add(path)
+            counts.add(ctx.dfs_steps)
+        assert len(paths) == 1
+        assert len(counts) == 1
+
+
+class TestLegacyShims:
+    def test_exact_steps_shim(self, graph):
+        solver = ExactSolver("a*ba*")
+        source, target = _working_pair("a*ba*", graph)
+        solver.shortest_simple_path(graph, source, target)
+        assert solver.steps > 0
+
+    def test_exact_steps_shim_is_writable(self, graph):
+        # bench_tractability_frontier resets the counter by assignment.
+        solver = ExactSolver("a*ba*")
+        solver.steps = 0
+        assert solver.steps == 0
+
+    def test_finite_words_tried_shim(self, graph):
+        solver = FiniteLanguageSolver(language("ab + ba + abc"))
+        solver.shortest_simple_path(graph, 0, 5)
+        assert solver.words_tried > 0
+
+    def test_tractable_last_stats_shim(self, graph):
+        solver = TractableSolver(language("a*(bb^+ + eps)c*"))
+        solver.shortest_simple_path(graph, 0, 5)
+        assert solver.last_stats is not None
+        assert solver.last_stats.dfs_steps > 0
+
+
+class TestBudgets:
+    def test_context_budget_on_unbudgeted_solver(self):
+        solver = ExactSolver("(aa)*")  # no instance budget
+        cycle = labeled_cycle("a" * 9)
+        with pytest.raises(BudgetExceededError) as info:
+            solver.shortest_simple_path(
+                cycle, 0, 1, ctx=ExecutionContext(budget=3)
+            )
+        assert info.value.steps > 3
+
+    def test_explicit_context_overrides_instance_budget(self):
+        solver = ExactSolver("(aa)*", budget=3)
+        cycle = labeled_cycle("a" * 9)
+        # An unbudgeted context wins over the instance default.
+        path = solver.shortest_simple_path(
+            cycle, 0, 1, ctx=ExecutionContext()
+        )
+        assert path is None  # odd distance: correctly no (aa)* path
+
+    def test_instance_budget_still_guards_legacy_calls(self):
+        solver = ExactSolver("(aa)*", budget=3)
+        cycle = labeled_cycle("a" * 9)
+        with pytest.raises(BudgetExceededError):
+            solver.shortest_simple_path(cycle, 0, 1)
+
+
+class TestDeadlines:
+    def test_expired_deadline_aborts_query(self):
+        solver = ExactSolver("(aa)*")
+        cycle = labeled_cycle("a" * 9)
+        ctx = ExecutionContext(
+            deadline_seconds=0.0, deadline_check_interval=1
+        )
+        with pytest.raises(DeadlineExceededError):
+            solver.shortest_simple_path(cycle, 0, 1, ctx=ctx)
+
+    def test_generous_deadline_does_not_fire(self, graph):
+        solver = ExactSolver("a*ba*")
+        source, target = _working_pair("a*ba*", graph)
+        ctx = ExecutionContext(
+            deadline_seconds=3600.0, deadline_check_interval=1
+        )
+        path = solver.shortest_simple_path(graph, source, target, ctx=ctx)
+        assert path is not None
+
+    def test_deadline_on_tractable_solver(self, graph):
+        solver = TractableSolver(language("a*(bb^+ + eps)c*"))
+        ctx = ExecutionContext(
+            deadline_seconds=0.0, deadline_check_interval=1
+        )
+        with pytest.raises(DeadlineExceededError):
+            solver.shortest_simple_path(graph, 0, 5, ctx=ctx)
+
+    def test_deadline_on_finite_solver(self, graph):
+        solver = FiniteLanguageSolver(language("ab + ba + abc"))
+        ctx = ExecutionContext(
+            deadline_seconds=0.0, deadline_check_interval=1
+        )
+        with pytest.raises(DeadlineExceededError):
+            solver.shortest_simple_path(graph, 0, 5, ctx=ctx)
+
+    def test_check_interval_validated(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(deadline_check_interval=0)
+
+
+class TestRspqSolverDispatch:
+    @pytest.mark.parametrize(
+        "regex,counter",
+        [
+            ("ab + ba", "words_tried"),
+            ("a*", "dfs_steps"),
+            ("a*ba*", "steps"),
+        ],
+    )
+    def test_steps_in_reads_strategy_counter(self, graph, regex, counter):
+        solver = RspqSolver(regex)
+        source, target = _working_pair(regex, graph)
+        ctx = ExecutionContext()
+        solver.shortest_simple_path(graph, source, target, ctx=ctx)
+        assert solver.steps_in(ctx) == getattr(ctx, counter)
+        assert solver.steps_in(ctx) > 0
+
+    def test_solve_threads_context(self, graph):
+        solver = RspqSolver("a*")
+        ctx = ExecutionContext()
+        result = solver.solve(graph, 0, 5, ctx=ctx)
+        assert result.strategy == solver.strategy
+        assert ctx.dfs_steps > 0
+
+    def test_exists_threads_context(self, graph):
+        solver = RspqSolver("a*ba*")
+        source, target = _working_pair("a*ba*", graph)
+        ctx = ExecutionContext()
+        assert solver.exists(graph, source, target, ctx=ctx)
+        assert ctx.steps > 0

@@ -1,0 +1,195 @@
+"""Concurrency properties of the engine: shared frozen plans, parallel
+batches, single-flight compilation, per-query context isolation.
+
+The core property: ``run_batch(queries, workers=N)`` is
+**observationally identical** to serial execution — same paths, same
+strategies, same per-query step counters (which would differ if two
+queries ever bled counters through a shared solver).
+"""
+
+import threading
+
+import pytest
+
+from benchmarks.workloads import (
+    MIXED_LANGUAGES,
+    distinct_languages,
+    mixed_workload,
+)
+
+from repro.engine import QueryEngine
+from repro.errors import GraphError
+
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Mixed-regime workload with a hot language on every 2nd query."""
+    return mixed_workload(
+        num_queries=60,
+        seed=5,
+        num_vertices=24,
+        num_edges=70,
+        hot_language="a*(bb^+ + eps)c*",
+        hot_every=2,
+    )
+
+
+class TestParallelMatchesSerial:
+    def test_paths_strategies_and_steps_identical(self, workload):
+        graph, queries = workload
+        serial = QueryEngine(graph).run_batch(queries)
+        parallel = QueryEngine(graph).run_batch(queries, workers=WORKERS)
+        assert len(parallel) == len(queries)
+        for reference, result in zip(serial.results, parallel.results):
+            assert result.found == reference.found
+            assert result.path == reference.path
+            assert result.strategy == reference.strategy
+            # Step counters are deterministic per query; equality means
+            # no cross-query counter bleed through the shared plans.
+            assert result.stats.steps == reference.stats.steps
+
+    def test_process_mode_identical(self, workload):
+        graph, queries = workload
+        serial = QueryEngine(graph).run_batch(queries)
+        parallel = QueryEngine(graph).run_batch(
+            queries, workers=2, mode="process"
+        )
+        for reference, result in zip(serial.results, parallel.results):
+            assert result.path == reference.path
+            assert result.strategy == reference.strategy
+            assert result.stats.steps == reference.stats.steps
+
+    def test_results_keep_input_order(self, workload):
+        graph, queries = workload
+        batch = QueryEngine(graph).run_batch(queries, workers=WORKERS)
+        assert [
+            (result.language, result.source, result.target)
+            for result in batch.results
+        ] == queries
+
+
+class TestSingleFlightCompilation:
+    def test_distinct_languages_compiled_exactly_once(self, workload):
+        graph, queries = workload
+        engine = QueryEngine(graph)
+        batch = engine.run_batch(queries, workers=WORKERS)
+        assert batch.cache_stats.compiles == len(
+            distinct_languages(queries)
+        )
+        assert batch.cache_stats.evictions == 0
+
+    def test_hot_language_contention(self, workload):
+        graph, _queries = workload
+        vertices = list(graph.vertices())
+        # Every worker hammers the same cold language at the same time.
+        queries = [
+            ("a*(bb^+ + eps)c*", vertices[i % len(vertices)],
+             vertices[(i + 7) % len(vertices)])
+            for i in range(40)
+        ]
+        engine = QueryEngine(graph)
+        batch = engine.run_batch(queries, workers=WORKERS)
+        assert batch.cache_stats.compiles == 1
+        assert batch.error_count == 0
+
+    def test_stats_sanity(self, workload):
+        graph, queries = workload
+        engine = QueryEngine(graph)
+        batch = engine.run_batch(queries, workers=WORKERS)
+        stats = batch.cache_stats
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.hits + stats.compiles >= len(queries)
+        assert all(result.stats.seconds >= 0 for result in batch.results)
+        assert batch.error_count == 0
+        assert engine.cache_stats().compiles == stats.compiles
+
+    def test_concurrent_query_calls_share_one_plan(self, workload):
+        """Raw engine.query from many threads: one compile, no errors."""
+        graph, _queries = workload
+        engine = QueryEngine(graph)
+        vertices = list(graph.vertices())
+        errors = []
+        barrier = threading.Barrier(WORKERS)
+
+        def hammer(offset):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(10):
+                    engine.query(
+                        "b*c*",
+                        vertices[(offset + i) % len(vertices)],
+                        vertices[(offset + 3 * i + 1) % len(vertices)],
+                    )
+            except Exception as err:  # pragma: no cover - failure path
+                errors.append(err)
+
+        threads = [
+            threading.Thread(target=hammer, args=(offset,))
+            for offset in range(WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert engine.cache_stats().compiles == 1
+
+
+class TestParallelErrorIsolation:
+    def test_bad_queries_isolated_across_workers(self, workload):
+        graph, queries = workload
+        poisoned = list(queries)
+        poisoned[3] = ("a*", "missing-vertex", poisoned[3][2])
+        poisoned[17] = ("((((", poisoned[17][1], poisoned[17][2])
+        serial = QueryEngine(graph).run_batch(poisoned)
+        parallel = QueryEngine(graph).run_batch(poisoned, workers=WORKERS)
+        assert parallel.error_count == serial.error_count == 2
+        for reference, result in zip(serial.results, parallel.results):
+            assert (result.error is None) == (reference.error is None)
+            assert result.path == reference.path
+
+    def test_single_query_api_still_raises_in_parallel_engine(
+        self, workload
+    ):
+        graph, _queries = workload
+        engine = QueryEngine(graph)
+        engine.run_batch(
+            [("a*", 0, 1)], workers=2
+        )  # engine has served a parallel batch
+        with pytest.raises(GraphError):
+            engine.query("a*", "nope", 1)
+
+
+class TestRunBatchArguments:
+    def test_rejects_zero_workers(self, workload):
+        graph, queries = workload
+        with pytest.raises(ValueError):
+            QueryEngine(graph).run_batch(queries, workers=0)
+
+    def test_rejects_unknown_mode(self, workload):
+        graph, queries = workload
+        with pytest.raises(ValueError):
+            QueryEngine(graph).run_batch(queries, mode="fiber")
+
+    def test_workers_clamped_to_queries(self, workload):
+        graph, _queries = workload
+        batch = QueryEngine(graph).run_batch(
+            [("a*", 0, 1)], workers=WORKERS
+        )
+        assert batch.workers == 1
+        assert len(batch) == 1
+
+    def test_empty_batch(self, workload):
+        graph, _queries = workload
+        batch = QueryEngine(graph).run_batch([], workers=WORKERS)
+        assert len(batch) == 0
+        assert batch.cache_stats.compiles == 0
+
+    def test_workload_generator_is_deterministic(self):
+        first = mixed_workload(num_queries=20, seed=9)
+        second = mixed_workload(num_queries=20, seed=9)
+        assert first[1] == second[1]
+        assert list(first[0].edges()) == list(second[0].edges())
+        assert distinct_languages(first[1]) <= set(MIXED_LANGUAGES)
