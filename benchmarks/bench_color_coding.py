@@ -9,7 +9,7 @@ Measured claims:
 
 import pytest
 
-from benchmarks.conftest import measure_seconds
+from benchmarks.conftest import measure_seconds, skip_if_smoke
 
 from repro import language
 from repro.algorithms.color_coding import ColorCodingSolver
@@ -36,6 +36,7 @@ def test_scaling_in_graph_size(benchmark, n):
 
 
 def test_graph_scaling_is_polynomial():
+    skip_if_smoke("growth-ratio wall-clock comparison")
     lang = language(LANGUAGE)
     solver = ColorCodingSolver(lang, seed=1, failure_probability=0.1)
     sizes = [25, 50, 100]

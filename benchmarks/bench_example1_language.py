@@ -8,7 +8,7 @@ back to exponential search.
 
 import pytest
 
-from benchmarks.conftest import growth_ratios, measure_seconds
+from benchmarks.conftest import growth_ratios, measure_seconds, skip_if_smoke
 
 from repro import classify, language
 from repro.core.nice_paths import TractableSolver
@@ -39,6 +39,7 @@ def test_solver_scaling(benchmark, n):
 
 def test_polynomial_growth_shape():
     """Runtime grows polynomially: doubling n must not explode."""
+    skip_if_smoke("growth-ratio wall-clock comparison")
     lang = language(EXAMPLE1)
     solver = TractableSolver(lang)
     sizes = [40, 80, 160]

@@ -23,13 +23,13 @@ import sys
 
 import pytest
 
-from benchmarks.conftest import measure_seconds
+from benchmarks.conftest import measure_seconds, scaled, skip_if_smoke
 from benchmarks.workloads import distinct_languages, mixed_workload
 
 from repro.engine import QueryEngine
 
 WORKERS = 4
-NUM_QUERIES = 150
+NUM_QUERIES = scaled(150, 30)
 
 #: The hot language: every 3rd query shares this plan.
 HOT_LANGUAGE = "a*(bb^+ + eps)c*"
@@ -52,8 +52,8 @@ def workload():
     return mixed_workload(
         num_queries=NUM_QUERIES,
         seed=23,
-        num_vertices=300,
-        num_edges=950,
+        num_vertices=scaled(300, 60),
+        num_edges=scaled(950, 190),
         hot_language=HOT_LANGUAGE,
         hot_every=3,
     )
@@ -98,6 +98,7 @@ def test_thread_contention_compiles_each_plan_exactly_once(workload):
 
 def test_parallel_overhead_is_bounded(workload):
     """Even where parallelism cannot win (1 core), it must not explode."""
+    skip_if_smoke("scheduling-overhead wall-clock bound")
     graph, queries = workload
     serial_engine = QueryEngine(graph)
     parallel_engine = QueryEngine(graph)
@@ -113,6 +114,7 @@ def test_parallel_overhead_is_bounded(workload):
 
 def test_parallel_speedup_over_serial():
     """>1× wall-clock vs serial on the same workload (needs >1 core)."""
+    skip_if_smoke("parallel wall-clock speedup")
     cores = _available_cores()
     if cores < 2:
         pytest.skip(

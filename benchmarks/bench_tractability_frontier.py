@@ -20,7 +20,7 @@ polynomial growth on either side of the frontier.
 
 import pytest
 
-from benchmarks.conftest import measure_seconds
+from benchmarks.conftest import SMOKE, measure_seconds, skip_if_smoke
 
 from repro import language
 from repro.algorithms.exact import ExactSolver
@@ -121,5 +121,8 @@ def test_who_wins_shape():
         assert path is not None
         easy_times.append(seconds)
     # Polynomial: the largest instance costs at most ~50x the smallest
-    # (sizes grew ~2x; generous noise allowance).
-    assert easy_times[-1] <= max(easy_times[0], 1e-4) * 50
+    # (sizes grew ~2x; generous noise allowance).  Not checked under
+    # the smoke profile: wall-clock ratios are meaningless on shared
+    # CI runners (the step-count growth assertions above still run).
+    if not SMOKE:
+        assert easy_times[-1] <= max(easy_times[0], 1e-4) * 50

@@ -5,11 +5,40 @@ Every benchmark module reproduces one experiment row of EXPERIMENTS.md
 Benchmarks both *measure* (via pytest-benchmark) and *assert the shape*
 of the paper's claim (who wins, growth order), so a bench run doubles
 as a reproduction check.
+
+Smoke profile
+-------------
+
+``REPRO_BENCH_PROFILE=smoke`` switches every benchmark to a tiny
+workload: :func:`scaled` picks the small size and
+:func:`skip_if_smoke` drops wall-clock comparison assertions (which
+shared CI runners make flaky by construction).  CI's ``bench-smoke``
+job runs every ``bench_*.py`` under this profile on each push, so a
+benchmark that stops importing or whose harness code rots fails CI
+instead of rotting silently; the full-size profile remains the local
+default.
 """
 
 from __future__ import annotations
 
+import os
 import time
+
+import pytest
+
+#: True when benchmarks run under the tiny CI smoke profile.
+SMOKE = os.environ.get("REPRO_BENCH_PROFILE", "").lower() == "smoke"
+
+
+def scaled(full, smoke):
+    """``full`` normally, ``smoke`` under ``REPRO_BENCH_PROFILE=smoke``."""
+    return smoke if SMOKE else full
+
+
+def skip_if_smoke(reason="wall-clock assertion is meaningless on shared CI runners"):
+    """Skip the calling test under the smoke profile."""
+    if SMOKE:
+        pytest.skip("smoke profile: %s" % reason)
 
 
 def measure_seconds(fn, *args, **kwargs):

@@ -98,3 +98,60 @@ def mixed_workload(num_queries=104, seed=17, num_vertices=40, num_edges=120,
 def distinct_languages(queries):
     """The set of distinct language specs appearing in ``queries``."""
     return {language for language, _source, _target in queries}
+
+
+# -- random regular expressions (differential-testing strategies) ---------------
+#
+# The differential suites (tests/test_hypothesis_solvers.py, the
+# service load generator) want languages nobody hand-picked: random
+# expressions over the parser's own grammar, spanning all three
+# regimes of the trichotomy by construction.  Everything is seeded so
+# a failing example reproduces from its seed alone.
+
+def random_regex(rng, alphabet="abc", max_depth=3):
+    """A random regex string over ``alphabet`` (always parseable).
+
+    Draws from the repository's regex grammar — union ``+``, (implicit)
+    concatenation, star ``*``, plus ``^+``, ``eps`` — with sizes small
+    enough that the exponential exact solver stays usable as the
+    ground-truth oracle on the small graphs the differential tests use.
+    """
+    letters = sorted(alphabet)
+
+    def atom(depth):
+        roll = rng.random()
+        if depth <= 0 or roll < 0.55:
+            return rng.choice(letters)
+        if roll < 0.65:
+            return "eps"
+        return "(%s)" % expression(depth - 1)
+
+    def factor(depth):
+        base = atom(depth)
+        roll = rng.random()
+        if roll < 0.30:
+            # eps* / eps^+ are legal but degenerate; keep them rare by
+            # starring letters and groups only.
+            if base != "eps":
+                return base + ("*" if roll < 0.20 else "^+")
+        return base
+
+    def term(depth):
+        return "".join(
+            factor(depth) for _ in range(rng.randint(1, 3))
+        )
+
+    def expression(depth):
+        terms = [term(depth) for _ in range(rng.randint(1, 2))]
+        return " + ".join(terms)
+
+    return expression(max_depth)
+
+
+def random_regexes(count, seed=0, alphabet="abc", max_depth=3):
+    """``count`` seeded random regexes (deterministic in ``seed``)."""
+    rng = random.Random(seed)
+    return [
+        random_regex(rng, alphabet=alphabet, max_depth=max_depth)
+        for _ in range(count)
+    ]

@@ -12,6 +12,10 @@ Public API highlights
   automatically using the polynomial algorithm for tractable languages.
 * :class:`repro.QueryEngine` — batch evaluation against one compiled
   :class:`repro.IndexedGraph` with an LRU plan cache (:mod:`repro.engine`).
+* :mod:`repro.service` (imported explicitly — it pulls in the serving
+  stack) — the long-lived multi-graph query service: ``GraphRegistry``,
+  snapshot persistence for warm starts, the JSON-over-HTTP server
+  behind ``repro serve`` and its load-generating client.
 """
 
 from .errors import (

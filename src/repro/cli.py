@@ -8,12 +8,17 @@ Usage (also via ``python -m repro``)::
     repro psitr 'a*(bb+ + eps)c*'
     repro batch graph.txt queries.txt
     repro batch graph.txt queries.txt --workers 4 --jsonl results.jsonl
+    repro snapshot graph.txt graph.snap
+    repro serve --graph social=graph.txt --snapshot web=graph.snap
 
 The graph file uses the text format of :mod:`repro.graphs.io`
 (``e source label target`` per line).  A batch queries file has one
 ``source target regex`` query per line (the regex may contain spaces;
 ``#`` comments and blank lines are ignored); the batch is executed by
 :class:`repro.engine.QueryEngine` — graph compiled once, plans cached.
+``snapshot`` compiles a graph and persists the compiled view for
+warm-starts; ``serve`` hosts registered graphs behind the JSON/HTTP
+query service of :mod:`repro.service`.
 Exit status is 0 on success, 1 for "no path" answers, 2 for usage or
 input errors.
 """
@@ -32,6 +37,7 @@ from .core.psitr import decompose
 from .core.solver import RspqSolver
 from .engine import QueryEngine
 from .graphs import io as graph_io
+from .service.protocol import RESULT_FIELDS, result_record
 
 
 def _build_parser():
@@ -122,8 +128,96 @@ def _build_parser():
         metavar="OUT",
         default=None,
         help="stream each query result as one JSON object per line to "
-        "OUT (machine-readable: strategy, found, length, word, steps, "
-        "seconds, plan_cache_hit, error)",
+        "OUT; keys appear in the documented deterministic order "
+        "(repro.service.protocol.RESULT_FIELDS): %s"
+        % ", ".join(RESULT_FIELDS),
+    )
+
+    p_snapshot = sub.add_parser(
+        "snapshot",
+        help="compile a graph and persist the compiled view for "
+        "warm-starts (repro.service.snapshot)",
+        description="Compile GRAPH (text format) into an indexed view "
+        "and write it to OUT as a versioned, checksummed snapshot.  "
+        "'repro serve --snapshot name=OUT' then warm-starts from it "
+        "without recompiling.",
+    )
+    p_snapshot.add_argument("graph", help="path to a graph file")
+    p_snapshot.add_argument("out", help="path to write the snapshot to")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="host registered graphs behind the JSON-over-HTTP query "
+        "service (repro.service)",
+        description="Start the long-lived multi-graph query service.  "
+        "Graphs come from --graph name=path (text format, compiled at "
+        "startup) and --snapshot name=path (warm-started from a "
+        "compiled snapshot).  Endpoints: POST /query, POST /batch, "
+        "POST /classify, POST /graphs, DELETE /graphs/<name>, GET "
+        "/graphs, GET /stats, GET /healthz.",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--graph",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register a graph from a text-format file (repeatable)",
+    )
+    p_serve.add_argument(
+        "--snapshot",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register a graph from a compiled snapshot (repeatable)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="solver threads; also the cap on per-request batch "
+        "workers (default 4)",
+    )
+    p_serve.add_argument(
+        "--parallel-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="default scheduler for multi-worker /batch requests",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission control: queries in flight beyond this are "
+        "rejected immediately with 429 (default 64)",
+    )
+    p_serve.add_argument(
+        "--deadline-seconds",
+        type=float,
+        default=None,
+        help="default per-query wall-clock deadline (requests may "
+        "override per query); unset = no deadline",
+    )
+    p_serve.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="default step budget for exact-strategy queries",
+    )
+    p_serve.add_argument(
+        "--plan-cache-size",
+        type=int,
+        default=128,
+        help="per-graph LRU plan cache capacity (default 128)",
+    )
+    p_serve.add_argument(
+        "--max-graphs",
+        type=int,
+        default=64,
+        help="cap on simultaneously registered graphs — POST /graphs "
+        "beyond it is rejected with 409 so unauthenticated "
+        "registrations cannot grow memory unboundedly (default 64)",
     )
     return parser
 
@@ -161,7 +255,17 @@ def _cmd_psitr(args):
     return 0
 
 
+def _checked_budget(budget):
+    """Map a non-positive --budget to a usage error, not a traceback."""
+    if budget is not None and budget <= 0:
+        raise ReproError(
+            "--budget must be a positive step count, got %d" % budget
+        )
+    return budget
+
+
 def _cmd_solve(args):
+    _checked_budget(args.budget)
     lang = language(args.regex)
     graph = graph_io.load(args.graph)
     solver = RspqSolver(lang, exact_budget=args.budget)
@@ -196,38 +300,16 @@ def _parse_queries(path):
     return queries
 
 
-def _result_record(result):
-    """One :class:`EngineResult` as a JSON-serialisable dict."""
-    return {
-        "language": str(result.language),
-        "source": result.source,
-        "target": result.target,
-        "strategy": result.strategy,
-        "found": result.found,
-        "length": result.length,
-        "word": None if result.path is None else result.path.word,
-        "path": (
-            None
-            if result.path is None
-            else list(result.path.vertices)
-        ),
-        "decompose_failed": result.decompose_failed,
-        "steps": result.stats.steps,
-        "seconds": result.stats.seconds,
-        "plan_cache_hit": result.stats.plan_cache_hit,
-        "error": result.error,
-    }
-
-
 def _write_jsonl(path, results):
-    """Stream one compact JSON object per result to ``path``."""
+    """Stream one compact JSON object per result to ``path``.
+
+    Keys appear in the documented order of
+    :data:`repro.service.protocol.RESULT_FIELDS` — deterministic, so
+    JSONL outputs of equal batches are byte-identical and diffable.
+    """
     with open(path, "w", encoding="utf-8") as handle:
         for result in results:
-            handle.write(
-                json.dumps(
-                    _result_record(result), sort_keys=True, default=str
-                )
-            )
+            handle.write(json.dumps(result_record(result), default=str))
             handle.write("\n")
 
 
@@ -240,6 +322,7 @@ def _cmd_batch(args):
         raise ReproError(
             "--workers must be >= 1, got %d" % args.workers
         )
+    _checked_budget(args.budget)
     graph = graph_io.load(args.graph)
     queries = _parse_queries(args.queries)
     engine = QueryEngine(
@@ -288,12 +371,107 @@ def _cmd_batch(args):
     return 0 if batch.found_count == len(queries) else 1
 
 
+def _cmd_snapshot(args):
+    from .engine import IndexedGraph
+    from .service.snapshot import save_snapshot
+
+    graph = graph_io.load(args.graph)
+    indexed = IndexedGraph(graph)
+    size = save_snapshot(indexed, args.out)
+    print(
+        "snapshot %s: |V|=%d |E|=%d, %d bytes"
+        % (args.out, indexed.num_vertices, indexed.num_edges, size)
+    )
+    return 0
+
+
+def _parse_named_paths(pairs, option):
+    """``NAME=PATH`` pairs from a repeatable option."""
+    parsed = []
+    for pair in pairs:
+        name, sep, path = pair.partition("=")
+        if not sep or not name or not path:
+            raise ReproError(
+                "%s expects NAME=PATH, got %r" % (option, pair)
+            )
+        parsed.append((name, path))
+    return parsed
+
+
+def _cmd_serve(args):
+    import asyncio
+
+    from .service import GraphRegistry, QueryService, ServiceConfig
+
+    graphs = _parse_named_paths(args.graph, "--graph")
+    snapshots = _parse_named_paths(args.snapshot, "--snapshot")
+    if not graphs and not snapshots:
+        raise ReproError(
+            "serve needs at least one --graph NAME=PATH or "
+            "--snapshot NAME=PATH"
+        )
+    if args.plan_cache_size < 1:
+        raise ReproError(
+            "--plan-cache-size must be >= 1, got %d" % args.plan_cache_size
+        )
+    _checked_budget(args.budget)
+    if args.deadline_seconds is not None and args.deadline_seconds <= 0:
+        raise ReproError(
+            "--deadline-seconds must be positive, got %r"
+            % args.deadline_seconds
+        )
+    if args.max_graphs < 1:
+        raise ReproError(
+            "--max-graphs must be >= 1, got %d" % args.max_graphs
+        )
+    registry = GraphRegistry(
+        plan_cache_size=args.plan_cache_size,
+        exact_budget=args.budget,
+        deadline_seconds=args.deadline_seconds,
+        max_graphs=args.max_graphs,
+    )
+    for name, path in graphs:
+        entry = registry.register(name, graph_io.load(path))
+        print(
+            "registered %s from %s (compiled in %.3fs)"
+            % (name, path, entry.stats.prepare_seconds)
+        )
+    for name, path in snapshots:
+        entry = registry.register_snapshot(name, path)
+        print(
+            "registered %s from snapshot %s (warm-started in %.3fs)"
+            % (name, path, entry.stats.prepare_seconds)
+        )
+    try:
+        config = ServiceConfig(
+            workers=args.workers,
+            parallel_mode=args.parallel_mode,
+            max_inflight=args.max_inflight,
+        )
+    except ValueError as err:
+        raise ReproError(str(err))
+    service = QueryService(registry, config)
+    print(
+        "serving %d graph(s) on http://%s:%d (workers=%d, "
+        "max_inflight=%d)"
+        % (len(registry), args.host, args.port, args.workers,
+           args.max_inflight)
+    )
+    try:
+        asyncio.run(service.serve_forever(args.host, args.port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("shutting down")
+    return 0
+
+
 _COMMANDS = {
     "classify": _cmd_classify,
     "witness": _cmd_witness,
     "psitr": _cmd_psitr,
     "solve": _cmd_solve,
     "batch": _cmd_batch,
+    "snapshot": _cmd_snapshot,
+    "serve": _cmd_serve,
 }
 
 

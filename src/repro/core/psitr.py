@@ -23,7 +23,9 @@ The anchored simple-path solver (:mod:`repro.core.nice_paths`) consumes
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import FrozenSet, Tuple
 
 from ..errors import NotInTrCError, ReproError
@@ -452,30 +454,99 @@ def extract(ast_node):
 # =========================================================================
 
 
-def _transit_words(dfa, source, targets, allowed_skip, bound):
+#: Total units of enumeration work one synthesis may spend, across
+#: every connector enumeration and candidate sequence it builds.
+#: Synthesis is best-effort: blowing past this raises ReproError,
+#: which ``RspqSolver`` turns into the ``decompose_failed`` exact
+#: fallback — strictly better than grinding through an exponential
+#: prefix tree.  The budget is a deterministic work *count* (never
+#: wall-clock), so whether a borderline language synthesizes — and
+#: hence which strategy the plan dispatches to — is identical on every
+#: machine and every run.
+_SYNTHESIS_WORK_BUDGET = 300_000
+
+
+class _SynthesisBudget:
+    """Deterministic work meter shared by one synthesis run.
+
+    Also carries the run's memoised backward-reachability structures:
+    the DFA predecessor map (target-independent) and one
+    distance-to-targets table per distinct target set, so the repeated
+    connector enumerations of a synthesis don't rebuild them.
+    """
+
+    __slots__ = ("remaining", "predecessors", "distances")
+
+    def __init__(self, units=_SYNTHESIS_WORK_BUDGET):
+        self.remaining = units
+        self.predecessors = None
+        self.distances = {}
+
+    def charge(self, units=1):
+        self.remaining -= units
+        if self.remaining < 0:
+            raise ReproError(
+                "Ψtr synthesis exceeded its work budget of %d units; "
+                "falling back to the exact solver" % _SYNTHESIS_WORK_BUDGET
+            )
+
+
+def _transit_words(dfa, source, targets, allowed_skip, bound, budget):
     """All words of length ≤ bound from ``source`` to any state in
     ``targets`` whose intermediate states avoid looping detours.
 
     Used to enumerate the finite connector words between component
-    stays.  Exponential in ``bound`` — callers keep ``bound`` small.
+    stays.  Branches that cannot reach ``targets`` within the length
+    budget are pruned via a backward-BFS distance map (sound: pruned
+    branches can never contribute a word), and every expansion charges
+    the shared synthesis ``budget`` — the result set is exponential in
+    ``bound`` for some automata, and a failed synthesis must fail
+    *fast*.
     """
+    if budget.predecessors is None:
+        predecessors = {}
+        for (state, _symbol), nxt in dfa._delta.items():
+            predecessors.setdefault(nxt, []).append(state)
+        budget.predecessors = predecessors
+    else:
+        predecessors = budget.predecessors
+    targets_key = frozenset(targets)
+    distance = budget.distances.get(targets_key)
+    if distance is None:
+        distance = {target: 0 for target in targets}
+        queue = deque(targets)
+        while queue:
+            state = queue.popleft()
+            for previous in predecessors.get(state, ()):
+                if previous not in distance:
+                    distance[previous] = distance[state] + 1
+                    queue.append(previous)
+        budget.distances[targets_key] = distance
+
+    symbols = sorted(dfa.alphabet)
     results = []
     stack = [(source, "")]
     while stack:
         state, word = stack.pop()
+        budget.charge()
         if state in targets and word:
             results.append(word)
             # A target may also be passed through.
-        if len(word) >= bound:
+        remaining = bound - len(word)
+        if remaining <= 0:
             continue
-        for symbol in sorted(dfa.alphabet):
+        for symbol in symbols:
             nxt = dfa.transition(state, symbol)
-            if nxt in allowed_skip or nxt in targets:
-                stack.append((nxt, word + symbol))
+            if nxt not in allowed_skip and nxt not in targets:
+                continue
+            # nxt must still be able to hit a target in the budget.
+            if distance.get(nxt, bound + 1) > remaining - 1:
+                continue
+            stack.append((nxt, word + symbol))
     return results
 
 
-def synthesize(lang_or_dfa, max_connector_length=None, max_sequences=4096):
+def synthesize(lang_or_dfa, max_connector_length=None, max_sequences=256):
     """Best-effort DFA → Ψtr synthesis for a trC language.
 
     Strategy (a pragmatic rendition of Lemma 18): enumerate chains of
@@ -506,9 +577,17 @@ def synthesize(lang_or_dfa, max_connector_length=None, max_sequences=4096):
         for component in looping_components
     }
     # Finite part: all accepted words short enough to avoid any loop.
-    finite_words = [
-        word for word in dfa.enumerate_words(max_connector_length)
-    ]
+    # Enumerated lazily against the sequence budget — a language with
+    # thousands of short words will fail verification anyway, so bail
+    # out before materialising an exponential word list.
+    finite_words = list(
+        islice(dfa.enumerate_words(max_connector_length), max_sequences + 1)
+    )
+    if len(finite_words) > max_sequences:
+        raise ReproError(
+            "Ψtr synthesis: more than %d short words; exceeded the "
+            "sequence budget" % max_sequences
+        )
     sequences = [
         PsitrSequence(word, (), "") for word in finite_words
     ]
@@ -530,19 +609,30 @@ def synthesize(lang_or_dfa, max_connector_length=None, max_sequences=4096):
                     yield from chains_from(nxt + 1, chain + [order[nxt]])
 
     seen_chains = set()
+    # Dedupe as candidates accumulate: the budget is about how large a
+    # union we can afford to *verify* (the union NFA is determinised),
+    # so duplicates must not count against it.  All enumeration shares
+    # one deterministic work meter, so a pathological automaton fails
+    # fast — and fails identically on every machine.
+    work = _SynthesisBudget()
+    sequences = dict.fromkeys(sequences)
     for chain in chains_from(0, []):
         key = tuple(id(component) for component in chain)
         if not chain or key in seen_chains:
             continue
         seen_chains.add(key)
-        sequences.extend(
-            _sequences_for_chain(
-                dfa, chain, alphabets, max_connector_length
-            )
+        chain_candidates = _sequences_for_chain(
+            dfa, chain, alphabets, max_connector_length,
+            limit=8 * max_sequences, budget=work,
         )
+        sequences.update(dict.fromkeys(chain_candidates))
         if len(sequences) > max_sequences:
-            raise ReproError("Ψtr synthesis exceeded the sequence budget")
-    expression = PsitrExpression(tuple(dict.fromkeys(sequences)))
+            raise ReproError(
+                "Ψtr synthesis exceeded its %d-sequence budget — "
+                "verification of a larger union is not affordable"
+                % max_sequences
+            )
+    expression = PsitrExpression(tuple(sequences))
     if not equivalent_to(expression, dfa):
         raise ReproError(
             "Ψtr synthesis produced a non-equivalent candidate; the "
@@ -552,26 +642,40 @@ def synthesize(lang_or_dfa, max_connector_length=None, max_sequences=4096):
     return expression
 
 
-def _sequences_for_chain(dfa, chain, alphabets, bound):
-    """Candidate sequences whose stars follow a given component chain."""
+def _sequences_for_chain(dfa, chain, alphabets, bound, limit, budget):
+    """Candidate sequences whose stars follow a given component chain.
+
+    ``limit`` caps the raw (pre-dedupe) candidate count: connector
+    enumeration multiplies across chain links, so one chain could
+    otherwise emit millions of sequences before the caller's budget
+    check ever sees them.  Exceeding it raises ReproError — synthesis
+    is best-effort and must fail fast, not grind.
+    """
     # Enumerate connector words between the initial state, each
     # component, and the accepting states, all with length ≤ bound.
     results = []
     non_loop_skip = set(dfa.states())
     first = chain[0]
     entry_words = ["" ] if dfa.initial in first else _transit_words(
-        dfa, dfa.initial, first, non_loop_skip, bound
+        dfa, dfa.initial, first, non_loop_skip, bound, budget
     )
     for entry in entry_words:
         results.extend(
             _extend_chain_sequences(
-                dfa, chain, 0, alphabets, bound, entry, []
+                dfa, chain, 0, alphabets, bound, entry, [],
+                limit - len(results), budget,
             )
         )
+        if len(results) > limit:
+            raise ReproError(
+                "Ψtr synthesis: one component chain emitted more than "
+                "%d candidate sequences" % limit
+            )
     return results
 
 
-def _extend_chain_sequences(dfa, chain, index, alphabets, bound, lead, terms):
+def _extend_chain_sequences(dfa, chain, index, alphabets, bound, lead, terms,
+                            limit, budget):
     component = chain[index]
     alphabet = alphabets[component]
     star = StarTerm(alphabet, 1)
@@ -583,6 +687,7 @@ def _extend_chain_sequences(dfa, chain, index, alphabets, bound, lead, terms):
             chain[index + 1],
             set(dfa.states()),
             bound,
+            budget,
         )
         for connector in connectors:
             for middle in ({OptionalWordTerm(connector)} if connector else set()):
@@ -595,19 +700,26 @@ def _extend_chain_sequences(dfa, chain, index, alphabets, bound, lead, terms):
                         bound,
                         lead,
                         terms + [star, middle],
+                        limit - len(results),
+                        budget,
                     )
                 )
+                if len(results) > limit:
+                    return results
     else:
         for state in sorted(component):
             exits = _transit_words(
-                dfa, state, dfa.accepting, set(dfa.states()), bound
+                dfa, state, dfa.accepting, set(dfa.states()), bound, budget
             )
             if state in dfa.accepting:
                 exits = [""] + exits
             for exit_word in exits:
+                budget.charge()
                 results.append(
                     PsitrSequence(lead, tuple(terms + [star]), exit_word)
                 )
+                if len(results) > limit:
+                    return results
     return results
 
 

@@ -168,7 +168,7 @@ class _PlanCompilation:
         self.done = threading.Event()
 
 
-def _process_shard(graph, engine_kwargs, shard):
+def _process_shard(graph, engine_kwargs, shard, overrides):
     """Worker-process entry point: answer one shard of indexed queries.
 
     Builds a private engine over the (inherited or pickled) compiled
@@ -178,7 +178,7 @@ def _process_shard(graph, engine_kwargs, shard):
     """
     engine = QueryEngine(graph, **engine_kwargs)
     results = [
-        (index, engine._run_single(language, source, target))
+        (index, engine._run_single(language, source, target, **overrides))
         for index, (language, source, target) in shard
     ]
     return results, engine.cache_stats()
@@ -201,15 +201,33 @@ class QueryEngine:
         Capacity of the LRU plan cache (distinct languages kept warm).
     exact_budget:
         Step budget handed to queries that dispatch to the exponential
-        solver (None = unbounded).
+        solver (None = unbounded).  Must be positive when given: a
+        zero or negative budget would fail every exact-strategy query,
+        so it is rejected with :class:`ValueError` here rather than
+        surfacing as per-query budget errors.
     deadline_seconds:
         Optional per-query wall-clock deadline; a query that overruns
         it fails with :class:`~repro.errors.DeadlineExceededError`
-        (isolated per query in batch mode).
+        (isolated per query in batch mode).  Must be positive when
+        given — an engine whose default deadline is already expired is
+        a misconfiguration and is rejected with :class:`ValueError`.
     """
 
     def __init__(self, graph, plan_cache_size=128, exact_budget=None,
                  deadline_seconds=None):
+        # Validate before compiling: a misconfigured engine must fail
+        # instantly, not after an O(V+E) graph compile.
+        if exact_budget is not None and exact_budget <= 0:
+            raise ValueError(
+                "exact_budget must be a positive step count or None "
+                "for unbounded, got %r" % (exact_budget,)
+            )
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                "deadline_seconds must be positive or None for no "
+                "deadline, got %r (an engine default that is already "
+                "expired would fail every query)" % (deadline_seconds,)
+            )
         if isinstance(graph, IndexedGraph):
             self.graph = graph
         else:
@@ -222,11 +240,29 @@ class QueryEngine:
 
     # -- planning ---------------------------------------------------------------
 
-    def _new_context(self):
-        """A fresh per-query execution context with engine defaults."""
+    @staticmethod
+    def _check_overrides(deadline_seconds, budget):
+        """Validate per-query/batch overrides before any query runs."""
+        if deadline_seconds is not None and deadline_seconds < 0:
+            raise ValueError(
+                "deadline_seconds override must be >= 0, got %r"
+                % (deadline_seconds,)
+            )
+        if budget is not None and budget <= 0:
+            raise ValueError(
+                "budget override must be a positive step count, got %r"
+                % (budget,)
+            )
+
+    def _new_context(self, deadline_seconds=None, budget=None):
+        """A fresh per-query context; overrides beat engine defaults."""
         return ExecutionContext(
-            budget=self.exact_budget,
-            deadline_seconds=self.deadline_seconds,
+            budget=self.exact_budget if budget is None else budget,
+            deadline_seconds=(
+                self.deadline_seconds
+                if deadline_seconds is None
+                else deadline_seconds
+            ),
         )
 
     def cache_stats(self):
@@ -284,16 +320,24 @@ class QueryEngine:
 
     # -- querying ----------------------------------------------------------------
 
-    def query(self, language, source, target):
+    def query(self, language, source, target, deadline_seconds=None,
+              budget=None):
         """Answer one RSPQ; returns an :class:`EngineResult`.
+
+        ``deadline_seconds`` / ``budget`` override the engine defaults
+        for this query only (the serving tier uses this to map a
+        per-request deadline onto the query's execution context).
 
         Raises :class:`~repro.errors.ReproError` on bad input (unknown
         vertex, unparseable regex, exceeded budget or deadline);
         ``run_batch`` isolates such failures per query instead.
         """
+        self._check_overrides(deadline_seconds, budget)
         start = time.perf_counter()
         plan, cache_hit = self.plan_for(language)
-        ctx = self._new_context()
+        ctx = self._new_context(
+            deadline_seconds=deadline_seconds, budget=budget
+        )
         path = plan.solver.shortest_simple_path(
             self.graph, source, target, ctx=ctx
         )
@@ -327,13 +371,16 @@ class QueryEngine:
             self.graph, source, target, ctx=self._new_context()
         )
 
-    def _run_single(self, language, source, target):
+    def _run_single(self, language, source, target, deadline_seconds=None,
+                    budget=None):
         """One query with per-query error isolation (batch building block)."""
         start = time.perf_counter()
         cache_hit = False
         try:
             plan, cache_hit = self.plan_for(language)
-            ctx = self._new_context()
+            ctx = self._new_context(
+                deadline_seconds=deadline_seconds, budget=budget
+            )
             path = plan.solver.shortest_simple_path(
                 self.graph, source, target, ctx=ctx
             )
@@ -358,7 +405,8 @@ class QueryEngine:
             language, source, target, plan, cache_hit, ctx, path, start
         )
 
-    def run_batch(self, queries, workers=1, mode="thread"):
+    def run_batch(self, queries, workers=1, mode="thread",
+                  deadline_seconds=None, budget=None):
         """Answer an iterable of ``(language, source, target)`` triples.
 
         Queries run against the shared indexed graph; plans are
@@ -382,6 +430,12 @@ class QueryEngine:
             processes, each with a private engine over the same
             compiled graph — CPU scaling on GIL builds at the price of
             per-process plan compiles.
+        deadline_seconds / budget:
+            Per-batch overrides of the engine defaults, applied to
+            every query's execution context (each query still gets its
+            own deadline measured from its own start).  Validated
+            upfront: a negative deadline or non-positive budget raises
+            :class:`ValueError` before any query runs.
 
         Returns a :class:`BatchResult` whose ``cache_stats`` carries
         the real plan-cache counter deltas for this batch.
@@ -392,23 +446,27 @@ class QueryEngine:
             raise ValueError(
                 "mode must be 'thread' or 'process', got %r" % (mode,)
             )
+        self._check_overrides(deadline_seconds, budget)
+        overrides = {"deadline_seconds": deadline_seconds, "budget": budget}
         queries = list(queries)
         effective_workers = max(1, min(workers, len(queries)))
         start = time.perf_counter()
         if effective_workers == 1:
             before = self.cache_stats()
             results = [
-                self._run_single(language, source, target)
+                self._run_single(language, source, target, **overrides)
                 for language, source, target in queries
             ]
             cache_stats = self.plan_cache.stats.since(before)
         elif mode == "thread":
             before = self.cache_stats()
-            results = self._run_batch_threads(queries, effective_workers)
+            results = self._run_batch_threads(
+                queries, effective_workers, overrides
+            )
             cache_stats = self.plan_cache.stats.since(before)
         else:
             results, cache_stats = self._run_batch_processes(
-                queries, effective_workers
+                queries, effective_workers, overrides
             )
         return BatchResult(
             results=results,
@@ -419,14 +477,16 @@ class QueryEngine:
 
     # -- parallel schedulers -----------------------------------------------------
 
-    def _run_batch_threads(self, queries, workers):
+    def _run_batch_threads(self, queries, workers, overrides):
         """Strided shards over a thread pool; input-order results."""
         results = [None] * len(queries)
 
         def run_shard(offset):
             for index in range(offset, len(queries), workers):
                 language, source, target = queries[index]
-                results[index] = self._run_single(language, source, target)
+                results[index] = self._run_single(
+                    language, source, target, **overrides
+                )
 
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-batch"
@@ -438,7 +498,7 @@ class QueryEngine:
                 future.result()
         return results
 
-    def _run_batch_processes(self, queries, workers):
+    def _run_batch_processes(self, queries, workers, overrides):
         """Strided shards over worker processes; input-order results."""
         shards = [
             [
@@ -456,7 +516,10 @@ class QueryEngine:
         cache_stats = PlanCacheStats()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_process_shard, self.graph, engine_kwargs, shard)
+                pool.submit(
+                    _process_shard, self.graph, engine_kwargs, shard,
+                    overrides,
+                )
                 for shard in shards
             ]
             for future in futures:

@@ -93,6 +93,33 @@ class IndexedGraph:
         # CSR slices on first use.
         self._sorted_succ_by_label = {}
 
+    @classmethod
+    def _from_parts(cls, vertex_of, labels, num_edges, out, in_,
+                    label_indptr, label_targets):
+        """Rebuild a compiled view directly from its frozen parts.
+
+        Used by :mod:`repro.service.snapshot` to warm-start from disk
+        without re-sorting anything: the caller guarantees the parts
+        came from a previously compiled :class:`IndexedGraph`, so the
+        adjacency order is already the canonical repr order.
+        """
+        self = object.__new__(cls)
+        self._vertex_of = tuple(vertex_of)
+        self._id_of = {
+            vertex: index for index, vertex in enumerate(self._vertex_of)
+        }
+        self._labels = frozenset(labels)
+        self._num_edges = num_edges
+        self._out = tuple(out)
+        # Materialised lazily (see _pair_sets): a warm start should pay
+        # for membership structures only if has_edge is actually used.
+        self._out_pair_sets = None
+        self._in = tuple(in_)
+        self._label_indptr = dict(label_indptr)
+        self._label_targets = dict(label_targets)
+        self._sorted_succ_by_label = {}
+        return self
+
     # -- id mapping -------------------------------------------------------------
 
     def vertex_id(self, vertex):
@@ -138,11 +165,17 @@ class IndexedGraph:
         if vertex not in self._id_of:
             raise GraphError("unknown vertex %r" % (vertex,))
 
+    def _pair_sets(self):
+        """Per-vertex ``(label, target)`` membership sets (lazy thaw)."""
+        if self._out_pair_sets is None:
+            self._out_pair_sets = tuple(map(frozenset, self._out))
+        return self._out_pair_sets
+
     def has_edge(self, source, label, target):
         source_id = self._id_of.get(source)
         if source_id is None:
             return False
-        return (label, target) in self._out_pair_sets[source_id]
+        return (label, target) in self._pair_sets()[source_id]
 
     def out_edges(self, vertex):
         """Iterator of ``(label, target)`` pairs (pre-sorted)."""

@@ -73,3 +73,34 @@ class DeadlineExceededError(ReproError):
     def __init__(self, message, steps=0):
         super().__init__(message)
         self.steps = steps
+
+
+class SnapshotError(ReproError):
+    """Raised when a compiled-graph snapshot cannot be written or read.
+
+    Covers unsupported vertex types at save time and, at load time,
+    missing/truncated files, bad magic, unsupported format versions and
+    checksum mismatches (see :mod:`repro.service.snapshot`).
+    """
+
+
+class ServiceError(ReproError):
+    """Raised for query-service failures (unknown graph, bad request).
+
+    Attributes
+    ----------
+    status:
+        The HTTP status the service layer maps this error to (also set
+        on client-side errors from the response status).
+    """
+
+    def __init__(self, message, status=400):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when admission control rejects a request (server full)."""
+
+    def __init__(self, message, status=429):
+        super().__init__(message, status=status)

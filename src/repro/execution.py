@@ -56,12 +56,18 @@ class ExecutionContext:
     ----------
     budget:
         Optional cap on exact-solver search steps; exceeding it raises
-        :class:`~repro.errors.BudgetExceededError`.
+        :class:`~repro.errors.BudgetExceededError`.  Must be positive:
+        a zero or negative budget can never admit a single step, so it
+        is rejected with :class:`ValueError` at construction instead of
+        failing every query obscurely.
     deadline_seconds:
         Optional wall-clock allowance for this query, measured from
         context creation; exceeding it raises
         :class:`~repro.errors.DeadlineExceededError` at the next
-        periodic check.
+        periodic check.  ``0.0`` is permitted and means
+        already-expired (tests use it to make deadlines bite
+        deterministically); negative values are rejected with
+        :class:`ValueError`.
     deadline_check_interval:
         Charges between deadline checks (tests shrink this to make the
         deadline bite immediately).
@@ -82,9 +88,20 @@ class ExecutionContext:
 
     def __init__(self, budget=None, deadline_seconds=None,
                  deadline_check_interval=DEADLINE_CHECK_INTERVAL):
+        if budget is not None and budget <= 0:
+            raise ValueError(
+                "budget must be a positive step count or None for "
+                "unbounded, got %r" % (budget,)
+            )
         self.budget = budget
         if deadline_seconds is None:
             self.deadline = None
+        elif deadline_seconds < 0:
+            raise ValueError(
+                "deadline_seconds must be >= 0 (0 means already "
+                "expired) or None for no deadline, got %r"
+                % (deadline_seconds,)
+            )
         else:
             self.deadline = time.perf_counter() + deadline_seconds
         self.steps = 0

@@ -187,10 +187,21 @@ class DFA:
 
     def enumerate_words(self, max_length, start=None):
         """Yield all accepted words of length ≤ ``max_length`` in
-        length-lexicographic order (exponential — testing helper)."""
+        length-lexicographic order.
+
+        Dead branches — prefixes whose state cannot reach an accepting
+        state at all — are pruned, so the cost is proportional to the
+        *live* prefix tree rather than ``|Σ|^max_length`` (a sink-state
+        DFA used to blow the full tree up even for tiny languages).
+        Still exponential when the language itself has exponentially
+        many short words.
+        """
         if start is None:
             start = self.initial
         symbols = sorted(self.alphabet)
+        live = self.co_reachable_states()
+        if start not in live:
+            return
         layer = [("", start)]
         if start in self.accepting:
             yield ""
@@ -199,11 +210,15 @@ class DFA:
             for word, state in layer:
                 for symbol in symbols:
                     target = self._delta[(state, symbol)]
+                    if target not in live:
+                        continue
                     next_word = word + symbol
                     if target in self.accepting:
                         yield next_word
                     next_layer.append((next_word, target))
             layer = next_layer
+            if not layer:
+                return
 
     def count_words_of_length(self, length, start=None):
         """Number of accepted words of exactly ``length`` letters."""

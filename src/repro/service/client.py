@@ -1,0 +1,189 @@
+"""Stdlib HTTP client and load generator for the query service.
+
+:class:`ServiceClient` speaks the JSON protocol of
+:mod:`repro.service.server` over :mod:`http.client` — one connection
+per request, matching the server's ``connection: close`` discipline.
+Non-2xx responses raise :class:`~repro.errors.ServiceError` carrying
+the HTTP status (:class:`~repro.errors.ServiceOverloadedError` for
+429), so load generators can distinguish shed load from failures.
+
+:func:`run_load` drives a live server with a workload (the seeded
+generators in ``benchmarks/workloads.py`` are the intended source) and
+:func:`verify_against_direct` replays the same queries through direct
+:func:`~repro.core.solver.solve_rspq` calls, comparing **path for
+path** — found flag, strategy, vertex sequence and label word must all
+match.  This is the service-level analogue of the differential tests
+that pin the engine to the solvers: the network, the JSON codec and
+the serving tier may not change a single answer.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from urllib.parse import quote
+
+from ..core.solver import solve_rspq
+from ..errors import ServiceError, ServiceOverloadedError
+
+
+class ServiceClient:
+    """Minimal JSON client for one service address."""
+
+    def __init__(self, host="127.0.0.1", port=8080, timeout=60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------
+
+    def request(self, method, path, payload=None):
+        """One HTTP round-trip; returns ``(status, parsed_body)``."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["content-type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                parsed = json.loads(raw.decode("utf-8")) if raw else None
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                parsed = {"error": "unparseable response body"}
+            return response.status, parsed
+        finally:
+            connection.close()
+
+    def _checked(self, method, path, payload=None):
+        status, parsed = self.request(method, path, payload)
+        if status == 429:
+            raise ServiceOverloadedError(
+                (parsed or {}).get("error", "server overloaded")
+            )
+        if status >= 400:
+            raise ServiceError(
+                (parsed or {}).get("error", "request failed"),
+                status=status,
+            )
+        return parsed
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def healthz(self):
+        return self._checked("GET", "/healthz")
+
+    def stats(self):
+        return self._checked("GET", "/stats")
+
+    def graphs(self):
+        return self._checked("GET", "/graphs")["graphs"]
+
+    def register_graph(self, name, graph_text):
+        return self._checked(
+            "POST", "/graphs", {"name": name, "graph_text": graph_text}
+        )
+
+    def evict_graph(self, name):
+        # Percent-escape so names with spaces/slashes survive the URL
+        # (the server unquotes the path segment).
+        return self._checked("DELETE", "/graphs/%s" % quote(name, safe=""))
+
+    def classify(self, language):
+        return self._checked("POST", "/classify", {"language": language})
+
+    def query(self, language, source, target, graph=None,
+              deadline_seconds=None, budget=None):
+        payload = {"language": language, "source": source, "target": target}
+        if graph is not None:
+            payload["graph"] = graph
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        if budget is not None:
+            payload["budget"] = budget
+        return self._checked("POST", "/query", payload)
+
+    def batch(self, queries, graph=None, workers=None, mode=None,
+              deadline_seconds=None, budget=None):
+        payload = {
+            "queries": [
+                [language, source, target]
+                for language, source, target in queries
+            ]
+        }
+        if graph is not None:
+            payload["graph"] = graph
+        if workers is not None:
+            payload["workers"] = workers
+        if mode is not None:
+            payload["mode"] = mode
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        if budget is not None:
+            payload["budget"] = budget
+        return self._checked("POST", "/batch", payload)
+
+
+def run_load(client, queries, graph=None, batch_size=32, workers=None,
+             mode=None):
+    """Drive the server with ``queries``; result records in input order.
+
+    The workload is chunked into ``/batch`` requests of at most
+    ``batch_size`` queries (keep it at or under the server's
+    ``max_inflight``).  Returns the flat list of result records, one
+    per input query, in input order.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1, got %d" % batch_size)
+    queries = list(queries)
+    records = []
+    for offset in range(0, len(queries), batch_size):
+        chunk = queries[offset:offset + batch_size]
+        response = client.batch(
+            chunk, graph=graph, workers=workers, mode=mode
+        )
+        records.extend(response["results"])
+    return records
+
+
+def verify_against_direct(graph, queries, records):
+    """Mismatches between served records and direct solver answers.
+
+    Replays every query through :func:`solve_rspq` on ``graph`` (the
+    raw :class:`DbGraph` or a compiled view) and compares path for
+    path.  Returns a list of ``(index, field, direct_value,
+    served_value)`` tuples — empty means the service answered every
+    query exactly as the library would.
+    """
+    if len(queries) != len(records):
+        raise ValueError(
+            "got %d records for %d queries" % (len(records), len(queries))
+        )
+    mismatches = []
+    for index, ((language, source, target), record) in enumerate(
+        zip(queries, records)
+    ):
+        direct = solve_rspq(language, graph, source, target)
+        checks = [
+            ("error", None, record.get("error")),
+            ("found", direct.found, record.get("found")),
+            ("strategy", direct.strategy, record.get("strategy")),
+            (
+                "path",
+                None if direct.path is None else list(direct.path.vertices),
+                record.get("path"),
+            ),
+            (
+                "word",
+                None if direct.path is None else direct.path.word,
+                record.get("word"),
+            ),
+        ]
+        for field, expected, actual in checks:
+            if expected != actual:
+                mismatches.append((index, field, expected, actual))
+    return mismatches

@@ -1,0 +1,90 @@
+"""Wire format shared by the HTTP service and the ``--jsonl`` output.
+
+One :class:`~repro.engine.engine.EngineResult` serialises to one flat
+JSON object.  The field order is part of the contract — consumers may
+stream-parse or diff outputs byte-for-byte — and is pinned by
+:data:`RESULT_FIELDS`:
+
+``language, source, target, strategy, found, length, word, path,
+decompose_failed, steps, seconds, plan_cache_hit, error``
+
+* ``language`` — the language spec as a string (regex text).
+* ``source`` / ``target`` — endpoints exactly as queried (JSON keeps
+  int/string vertex names apart).
+* ``strategy`` — the dispatched solver (``finite-AC0`` /
+  ``trc-nice-path`` / ``exact-backtracking``) or ``error``.
+* ``found`` — whether a simple path exists; ``length`` / ``word`` /
+  ``path`` are ``null`` when it does not (or on error).
+* ``decompose_failed`` — the tractable-but-undecomposed warning flag.
+* ``steps`` — the dispatched solver's work counter; ``seconds`` —
+  wall-clock for this query; ``plan_cache_hit`` — whether the plan was
+  already cached.
+* ``error`` — ``null`` for answered queries, otherwise the message of
+  the isolated per-query failure.
+
+:func:`result_record` is the single producer of that shape; both
+``repro batch --jsonl`` and the server's ``/query`` and ``/batch``
+responses go through it, so differential tooling can compare the two
+transports directly.
+"""
+
+from __future__ import annotations
+
+#: The documented, deterministic field order of one result record.
+RESULT_FIELDS = (
+    "language",
+    "source",
+    "target",
+    "strategy",
+    "found",
+    "length",
+    "word",
+    "path",
+    "decompose_failed",
+    "steps",
+    "seconds",
+    "plan_cache_hit",
+    "error",
+)
+
+
+def result_record(result):
+    """One :class:`EngineResult` as a dict in :data:`RESULT_FIELDS` order."""
+    return {
+        "language": str(result.language),
+        "source": result.source,
+        "target": result.target,
+        "strategy": result.strategy,
+        "found": result.found,
+        "length": result.length,
+        "word": None if result.path is None else result.path.word,
+        "path": (
+            None if result.path is None else list(result.path.vertices)
+        ),
+        "decompose_failed": result.decompose_failed,
+        "steps": result.stats.steps,
+        "seconds": result.stats.seconds,
+        "plan_cache_hit": result.stats.plan_cache_hit,
+        "error": result.error,
+    }
+
+
+def batch_record(batch):
+    """A :class:`BatchResult` as a JSON-safe dict (results + counters)."""
+    record = {
+        "results": [result_record(result) for result in batch.results],
+        "seconds": batch.seconds,
+        "workers": batch.workers,
+        "found_count": batch.found_count,
+        "error_count": batch.error_count,
+        "plans_compiled": batch.plans_compiled,
+        "plan_cache_hits": batch.plan_cache_hits,
+    }
+    if batch.cache_stats is not None:
+        record["cache_stats"] = {
+            "hits": batch.cache_stats.hits,
+            "misses": batch.cache_stats.misses,
+            "evictions": batch.cache_stats.evictions,
+            "compiles": batch.cache_stats.compiles,
+        }
+    return record

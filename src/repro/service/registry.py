@@ -1,0 +1,276 @@
+"""The multi-graph registry behind the query service.
+
+A long-lived service owns many graphs at once — one per tenant,
+dataset or snapshot generation — and must amortise compilation across
+every request that hits the same graph.  :class:`GraphRegistry` does
+exactly that: each registered name is bound once to a compiled
+:class:`~repro.engine.IndexedGraph` wrapped in a
+:class:`~repro.engine.QueryEngine` (which carries the thread-safe LRU
+plan cache), plus a :class:`GraphStats` block of serving counters.
+
+Registration accepts a mutable :class:`~repro.graphs.dbgraph.DbGraph`
+(compiled here), an already-compiled view, or a snapshot path
+(:func:`~repro.service.snapshot.load_snapshot` — the warm-start path).
+Eviction drops the engine, its plan cache and its stats atomically.
+All operations lock internally; the registry is shared by every
+request handler of the server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ServiceError
+from ..engine import IndexedGraph, QueryEngine
+from .snapshot import load_snapshot
+
+
+@dataclass
+class GraphStats:
+    """Serving counters for one registered graph."""
+
+    #: "compiled" (from a DbGraph / IndexedGraph) or "snapshot".
+    source: str = "compiled"
+    #: Seconds spent compiling or thawing the indexed view.
+    prepare_seconds: float = 0.0
+    registered_at: float = field(default_factory=time.time)
+    queries: int = 0
+    batches: int = 0
+    found: int = 0
+    errors: int = 0
+    busy_seconds: float = 0.0
+
+    def as_dict(self):
+        return {
+            "source": self.source,
+            "prepare_seconds": self.prepare_seconds,
+            "registered_at": self.registered_at,
+            "queries": self.queries,
+            "batches": self.batches,
+            "found": self.found,
+            "errors": self.errors,
+            "busy_seconds": self.busy_seconds,
+        }
+
+
+class RegisteredGraph:
+    """One registry entry: name, engine, serving stats."""
+
+    __slots__ = ("name", "engine", "stats", "_lock")
+
+    def __init__(self, name, engine, stats):
+        self.name = name
+        self.engine = engine
+        self.stats = stats
+        self._lock = threading.Lock()
+
+    def record_batch(self, batch):
+        """Fold one :class:`BatchResult` into the serving counters."""
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.queries += len(batch)
+            self.stats.found += batch.found_count
+            self.stats.errors += batch.error_count
+            self.stats.busy_seconds += batch.seconds
+
+    def record_query(self, result, seconds):
+        """Fold one :class:`EngineResult` into the serving counters."""
+        with self._lock:
+            self.stats.queries += 1
+            if result.found:
+                self.stats.found += 1
+            if result.error is not None:
+                self.stats.errors += 1
+            self.stats.busy_seconds += seconds
+
+    def record_query_failure(self, seconds):
+        """One query that raised before producing a result."""
+        with self._lock:
+            self.stats.queries += 1
+            self.stats.errors += 1
+            self.stats.busy_seconds += seconds
+
+    def describe(self):
+        """A JSON-safe stats dict (graph shape + serving counters)."""
+        graph = self.engine.graph
+        cache = self.engine.cache_stats()
+        with self._lock:
+            stats = self.stats.as_dict()
+        stats.update(
+            name=self.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            labels="".join(sorted(graph.labels())),
+            plan_cache={
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "compiles": cache.compiles,
+            },
+        )
+        return stats
+
+
+class GraphRegistry:
+    """Thread-safe name → compiled graph + engine + stats mapping.
+
+    Parameters are the engine defaults applied to every graph
+    registered through this registry (individual requests can still
+    override deadline/budget per query).
+
+    Parameters
+    ----------
+    plan_cache_size:
+        LRU capacity of each graph's plan cache.
+    exact_budget:
+        Default step budget for exact-strategy queries.
+    deadline_seconds:
+        Default per-query wall-clock deadline.
+    max_graphs:
+        Optional cap on simultaneously registered graphs; registering
+        beyond it raises :class:`~repro.errors.ServiceError` (evict
+        first — the registry never silently drops a graph).
+    """
+
+    def __init__(self, plan_cache_size=128, exact_budget=None,
+                 deadline_seconds=None, max_graphs=None):
+        if max_graphs is not None and max_graphs < 1:
+            raise ValueError(
+                "max_graphs must be >= 1 or None, got %r" % (max_graphs,)
+            )
+        self.plan_cache_size = plan_cache_size
+        self.exact_budget = exact_budget
+        self.deadline_seconds = deadline_seconds
+        self.max_graphs = max_graphs
+        self._entries = {}
+        self._lock = threading.Lock()
+
+    # -- registration -----------------------------------------------------------
+
+    def _admit(self, name):
+        if name in self._entries:
+            raise ServiceError(
+                "graph %r is already registered (evict it first)" % name,
+                status=409,
+            )
+        if self.max_graphs is not None and (
+            len(self._entries) >= self.max_graphs
+        ):
+            raise ServiceError(
+                "registry is full (%d graphs); evict one before "
+                "registering %r" % (len(self._entries), name),
+                status=409,
+            )
+
+    def _install(self, name, engine, stats):
+        entry = RegisteredGraph(name, engine, stats)
+        with self._lock:
+            self._admit(name)
+            self._entries[name] = entry
+        return entry
+
+    def register(self, name, graph):
+        """Register ``graph`` under ``name``, compiling it if needed.
+
+        Accepts a :class:`DbGraph` (compiled to an indexed view here)
+        or a pre-compiled :class:`IndexedGraph` (e.g. one thawed from a
+        snapshot by the caller).  Returns the :class:`RegisteredGraph`.
+        """
+        with self._lock:
+            self._admit(name)  # fail fast before paying for the compile
+        start = time.perf_counter()
+        engine = QueryEngine(
+            graph,
+            plan_cache_size=self.plan_cache_size,
+            exact_budget=self.exact_budget,
+            deadline_seconds=self.deadline_seconds,
+        )
+        stats = GraphStats(
+            source=(
+                "indexed" if isinstance(graph, IndexedGraph) else "compiled"
+            ),
+            prepare_seconds=time.perf_counter() - start,
+        )
+        return self._install(name, engine, stats)
+
+    def register_snapshot(self, name, path):
+        """Warm-start ``name`` from a snapshot file on disk."""
+        with self._lock:
+            self._admit(name)
+        start = time.perf_counter()
+        graph = load_snapshot(path)
+        engine = QueryEngine(
+            graph,
+            plan_cache_size=self.plan_cache_size,
+            exact_budget=self.exact_budget,
+            deadline_seconds=self.deadline_seconds,
+        )
+        stats = GraphStats(
+            source="snapshot",
+            prepare_seconds=time.perf_counter() - start,
+        )
+        return self._install(name, engine, stats)
+
+    def evict(self, name):
+        """Drop ``name`` (engine, plan cache and stats go with it)."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            raise ServiceError("unknown graph %r" % name, status=404)
+        return entry
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get(self, name):
+        """The :class:`RegisteredGraph` for ``name`` (404 if unknown)."""
+        with self._lock:
+            entry = self._entries.get(name)
+            known = None if entry is not None else sorted(self._entries)
+        if entry is None:
+            raise ServiceError(
+                "unknown graph %r (registered: %s)"
+                % (name, ", ".join(known) or "none"),
+                status=404,
+            )
+        return entry
+
+    def resolve(self, name):
+        """Like :meth:`get`, but ``None`` picks the sole graph if any.
+
+        A single-graph deployment should not need to spell the name in
+        every request; with two or more graphs the name is required.
+        """
+        if name is not None:
+            return self.get(name)
+        with self._lock:
+            if len(self._entries) == 1:
+                return next(iter(self._entries.values()))
+            count = len(self._entries)
+        raise ServiceError(
+            "request names no graph and the registry holds %d — pass "
+            "'graph'" % count,
+            status=400,
+        )
+
+    def engine(self, name):
+        return self.get(name).engine
+
+    def names(self):
+        with self._lock:
+            return sorted(self._entries)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name):
+        with self._lock:
+            return name in self._entries
+
+    def describe(self):
+        """JSON-safe stats for every registered graph (sorted by name)."""
+        with self._lock:
+            entries = sorted(self._entries.items())
+        return [entry.describe() for _name, entry in entries]

@@ -1,0 +1,644 @@
+"""Stdlib-only asyncio JSON-over-HTTP query server (``repro serve``).
+
+One :class:`QueryService` wraps a
+:class:`~repro.service.registry.GraphRegistry` and serves it over a
+minimal HTTP/1.1 implementation built directly on
+:func:`asyncio.start_server` — no third-party web framework, because
+the serving tier must run wherever the solvers do.
+
+Endpoints (all request/response bodies are JSON):
+
+``GET /healthz``
+    Liveness: status, graph count, in-flight queries.
+``GET /stats``
+    Service counters (requests, rejections, errors, uptime) plus
+    per-graph serving stats and plan-cache counters.
+``GET /graphs``
+    The per-graph stats list on its own.
+``POST /graphs``  ``{"name": ..., "graph_text": ...}``
+    Register a graph from the :mod:`repro.graphs.io` text format
+    (compiled on arrival).  409 if the name is taken.
+``DELETE /graphs/<name>``
+    Evict a graph (engine, plan cache and stats drop together).
+``POST /query``
+    ``{"graph"?, "language", "source", "target", "deadline_seconds"?,
+    "budget"?}`` — one RSPQ.  The optional per-request deadline/budget
+    map onto the query's :class:`~repro.execution.ExecutionContext`;
+    non-positive values are rejected upfront with 400 (an
+    already-expired deadline can never admit work).  Failures map to
+    statuses: 400 bad input, 404 unknown graph, 422 budget exhausted,
+    504 deadline exceeded.
+``POST /batch``
+    ``{"graph"?, "queries": [[language, source, target], ...],
+    "workers"?, "mode"?, "deadline_seconds"?, "budget"?}`` — a batch
+    dispatched into :meth:`QueryEngine.run_batch` worker pools.
+    Per-query failures stay isolated inside the 200 response (each
+    result record carries its own ``error`` field), exactly like the
+    library contract.
+``POST /classify``
+    ``{"language": ...}`` — trichotomy classification plus the solver
+    strategy the engine would dispatch to (plan-cached service-side).
+
+Admission control: the service bounds **in-flight queries** (not
+connections).  A single query weighs 1, a batch weighs its query
+count; when accepting a request would push the total past
+``max_inflight`` it is rejected *immediately* with 429 — bounded
+queueing beats unbounded latency.  Consequently a batch larger than
+``max_inflight`` can never be admitted; split it client-side.
+
+Solving happens in a thread-pool executor so the event loop stays free
+to answer health checks while long queries run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from threading import Event, Thread
+from urllib.parse import unquote
+
+from ..errors import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from ..engine.plan import PlanCache, QueryPlan, plan_key
+from ..core.trichotomy import classify
+from ..graphs import io as graph_io
+from ..languages import language as make_language
+from .protocol import batch_record, result_record
+
+#: Bytes of request body the server is willing to read.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Header-section bounds — a client streaming endless header lines
+#: must exhaust its welcome, not the server's memory.
+MAX_HEADER_LINES = 100
+MAX_HEADER_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Ops knobs for one :class:`QueryService`.
+
+    Parameters
+    ----------
+    workers:
+        Size of the solve executor and the default (and maximum)
+        ``workers`` for ``/batch`` requests.
+    parallel_mode:
+        Default scheduler for multi-worker batches.
+    max_inflight:
+        Admission-control bound on simultaneously in-flight queries.
+    read_timeout:
+        Seconds allowed for reading one request off a connection.
+    """
+
+    workers: int = 4
+    parallel_mode: str = "thread"
+    max_inflight: int = 64
+    read_timeout: float = 30.0
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1, got %d" % self.workers)
+        if self.parallel_mode not in ("thread", "process"):
+            raise ValueError(
+                "parallel_mode must be 'thread' or 'process', got %r"
+                % (self.parallel_mode,)
+            )
+        if self.max_inflight < 1:
+            raise ValueError(
+                "max_inflight must be >= 1, got %d" % self.max_inflight
+            )
+        if self.read_timeout <= 0:
+            raise ValueError(
+                "read_timeout must be positive, got %r"
+                % (self.read_timeout,)
+            )
+
+
+def _resolve_vertex(graph, value, side):
+    """Map a JSON endpoint onto the graph's vertex universe.
+
+    JSON cannot express "the int 3" vs "the string '3'" ambiguity a
+    curl user faces, so when the literal value is unknown the other
+    spelling is tried before giving up (the engine still raises its
+    own :class:`GraphError` for genuinely unknown vertices).
+    """
+    if not isinstance(value, (int, str)) or isinstance(value, bool):
+        raise ServiceError(
+            "%s must be an int or string vertex name, got %r"
+            % (side, value)
+        )
+    if graph.has_vertex(value):
+        return value
+    if isinstance(value, int) and graph.has_vertex(str(value)):
+        return str(value)
+    if isinstance(value, str):
+        try:
+            as_int = int(value)
+        except ValueError:
+            pass
+        else:
+            if graph.has_vertex(as_int):
+                return as_int
+    return value
+
+
+def _checked_language(value):
+    if not isinstance(value, str) or not value.strip():
+        raise ServiceError(
+            "'language' must be a non-empty regex string, got %r" % (value,)
+        )
+    return value
+
+
+def _checked_overrides(payload):
+    """Validated (deadline_seconds, budget) from a request payload."""
+    deadline = payload.get("deadline_seconds")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or isinstance(
+            deadline, bool
+        ):
+            raise ServiceError(
+                "'deadline_seconds' must be a number, got %r" % (deadline,)
+            )
+        if deadline <= 0:
+            raise ServiceError(
+                "'deadline_seconds' must be positive, got %r — an "
+                "already-expired deadline can never admit work"
+                % (deadline,)
+            )
+    budget = payload.get("budget")
+    if budget is not None:
+        if not isinstance(budget, int) or isinstance(budget, bool):
+            raise ServiceError(
+                "'budget' must be an integer, got %r" % (budget,)
+            )
+        if budget <= 0:
+            raise ServiceError(
+                "'budget' must be a positive step count, got %r" % (budget,)
+            )
+    return deadline, budget
+
+
+class QueryService:
+    """The serving tier: registry + admission control + HTTP front end."""
+
+    def __init__(self, registry, config=None):
+        self.registry = registry
+        self.config = config or ServiceConfig()
+        self._inflight = 0
+        self._requests = 0
+        self._rejected = 0
+        self._errors = 0
+        self._started_at = time.time()
+        self._executor = None
+        self._server = None
+        # Graph-independent plans for /classify (small, service-wide).
+        self._classify_cache = PlanCache(64)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self, host="127.0.0.1", port=8080):
+        """Bind the listening socket; returns the asyncio server."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port
+        )
+        self._started_at = time.time()
+        return self._server
+
+    @property
+    def port(self):
+        """The bound port (after :meth:`start`; supports ``port=0``)."""
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    async def serve_forever(self, host="127.0.0.1", port=8080):
+        server = await self.start(host, port)
+        async with server:
+            await server.serve_forever()
+
+    # -- HTTP plumbing -----------------------------------------------------------
+
+    async def _handle_client(self, reader, writer):
+        try:
+            try:
+                status, payload = await self._handle_request(reader)
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                status, payload = 400, {"error": "incomplete request"}
+            except ServiceError as err:
+                status, payload = err.status, {"error": str(err)}
+            except Exception as err:  # never kill the acceptor
+                status, payload = 500, {
+                    "error": "internal error: %s" % err,
+                    "error_type": type(err).__name__,
+                }
+            self._requests += 1
+            if status == 429:
+                self._rejected += 1
+            elif status >= 400:
+                self._errors += 1
+            body = json.dumps(payload).encode("utf-8")
+            writer.write(
+                (
+                    "HTTP/1.1 %d %s\r\n"
+                    "content-type: application/json\r\n"
+                    "content-length: %d\r\n"
+                    "connection: close\r\n\r\n"
+                    % (status, _REASONS.get(status, "Error"), len(body))
+                ).encode("ascii")
+            )
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handle_request(self, reader):
+        timeout = self.config.read_timeout
+        request_line = await asyncio.wait_for(
+            reader.readline(), timeout=timeout
+        )
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ServiceError("malformed request line", status=400)
+        method, path = parts[0].upper(), parts[1]
+        headers = {}
+        header_bytes = 0
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            header_bytes += len(line)
+            if len(headers) >= MAX_HEADER_LINES or (
+                header_bytes > MAX_HEADER_BYTES
+            ):
+                raise ServiceError(
+                    "request header section exceeds %d lines / %d bytes"
+                    % (MAX_HEADER_LINES, MAX_HEADER_BYTES),
+                    status=400,
+                )
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                length = int(length)
+            except ValueError:
+                raise ServiceError("bad content-length", status=400)
+            if length > MAX_BODY_BYTES:
+                raise ServiceError(
+                    "request body exceeds %d bytes" % MAX_BODY_BYTES,
+                    status=413,
+                )
+            if length:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), timeout=timeout
+                )
+        return await self._route(method, path, body)
+
+    @staticmethod
+    def _json_body(body):
+        if not body:
+            raise ServiceError("request needs a JSON body", status=400)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise ServiceError("bad JSON body: %s" % err, status=400)
+        if not isinstance(payload, dict):
+            raise ServiceError(
+                "JSON body must be an object, got %s"
+                % type(payload).__name__,
+                status=400,
+            )
+        return payload
+
+    async def _route(self, method, path, body):
+        if path == "/healthz" and method == "GET":
+            return 200, self._healthz()
+        if path == "/stats" and method == "GET":
+            return 200, self._stats()
+        if path == "/graphs" and method == "GET":
+            return 200, {"graphs": self.registry.describe()}
+        if path == "/graphs" and method == "POST":
+            return await self._register_graph(self._json_body(body))
+        if path.startswith("/graphs/") and method == "DELETE":
+            return self._evict_graph(unquote(path[len("/graphs/"):]))
+        if path == "/query" and method == "POST":
+            return await self._query(self._json_body(body))
+        if path == "/batch" and method == "POST":
+            return await self._batch(self._json_body(body))
+        if path == "/classify" and method == "POST":
+            return await self._classify(self._json_body(body))
+        if path in ("/healthz", "/stats", "/graphs", "/query", "/batch",
+                    "/classify") or path.startswith("/graphs/"):
+            raise ServiceError(
+                "%s does not support %s" % (path, method), status=405
+            )
+        raise ServiceError("no such endpoint %r" % path, status=404)
+
+    # -- admission control -------------------------------------------------------
+
+    def _admit(self, weight):
+        """Reserve ``weight`` in-flight query slots or raise 429.
+
+        Runs on the event loop only, so the counter needs no lock; the
+        reservation is released in the caller's ``finally``.
+        """
+        if self._inflight + weight > self.config.max_inflight:
+            raise ServiceOverloadedError(
+                "server overloaded: %d queries in flight, +%d requested, "
+                "limit %d"
+                % (self._inflight, weight, self.config.max_inflight)
+            )
+        self._inflight += weight
+
+    async def _in_executor(self, fn):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn)
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def _healthz(self):
+        return {
+            "status": "ok",
+            "graphs": len(self.registry),
+            "inflight": self._inflight,
+            "uptime_seconds": time.time() - self._started_at,
+        }
+
+    def _stats(self):
+        return {
+            "service": {
+                "uptime_seconds": time.time() - self._started_at,
+                "inflight": self._inflight,
+                "max_inflight": self.config.max_inflight,
+                "workers": self.config.workers,
+                "parallel_mode": self.config.parallel_mode,
+                "requests": self._requests,
+                "rejected": self._rejected,
+                "errors": self._errors,
+            },
+            "graphs": self.registry.describe(),
+        }
+
+    async def _register_graph(self, payload):
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise ServiceError("'name' must be a non-empty string")
+        text = payload.get("graph_text")
+        if not isinstance(text, str):
+            raise ServiceError(
+                "'graph_text' must carry the graph in the text format "
+                "(e source label target / v vertex, one per line)"
+            )
+
+        def work():
+            # Parse + compile off the event loop: a large registration
+            # must not stall health checks or in-flight responses.
+            return self.registry.register(name, graph_io.loads(text))
+
+        try:
+            entry = await self._in_executor(work)
+        except ServiceError:
+            raise  # already carries its status (409 duplicate/full)
+        except ReproError as err:
+            raise ServiceError(str(err), status=400)
+        return 200, {"registered": name, "stats": entry.describe()}
+
+    def _evict_graph(self, name):
+        entry = self.registry.evict(name)
+        return 200, {"evicted": name, "stats": entry.describe()}
+
+    async def _query(self, payload):
+        entry = self.registry.resolve(payload.get("graph"))
+        engine = entry.engine
+        language = _checked_language(payload.get("language"))
+        if "source" not in payload or "target" not in payload:
+            raise ServiceError("'source' and 'target' are required")
+        source = _resolve_vertex(engine.graph, payload["source"], "source")
+        target = _resolve_vertex(engine.graph, payload["target"], "target")
+        deadline, budget = _checked_overrides(payload)
+        self._admit(1)
+        start = time.perf_counter()
+        failure = None
+        try:
+            result = await self._in_executor(
+                functools.partial(
+                    engine.query,
+                    language,
+                    source,
+                    target,
+                    deadline_seconds=deadline,
+                    budget=budget,
+                )
+            )
+        except ReproError as err:
+            failure = err
+        finally:
+            self._inflight -= 1
+            seconds = time.perf_counter() - start
+        if failure is not None:
+            # Failed queries count in the per-graph stats exactly as
+            # they would inside a batch (queries and errors both move).
+            entry.record_query_failure(seconds)
+            if isinstance(failure, DeadlineExceededError):
+                raise ServiceError(
+                    "query exceeded its deadline: %s" % failure, status=504
+                )
+            if isinstance(failure, BudgetExceededError):
+                raise ServiceError(
+                    "query exhausted its step budget: %s" % failure,
+                    status=422,
+                )
+            raise ServiceError(str(failure), status=400)
+        entry.record_query(result, seconds)
+        return 200, result_record(result)
+
+    async def _batch(self, payload):
+        entry = self.registry.resolve(payload.get("graph"))
+        engine = entry.engine
+        raw_queries = payload.get("queries")
+        if not isinstance(raw_queries, list) or not raw_queries:
+            raise ServiceError(
+                "'queries' must be a non-empty list of "
+                "[language, source, target] triples"
+            )
+        triples = []
+        for index, item in enumerate(raw_queries):
+            if (not isinstance(item, (list, tuple))) or len(item) != 3:
+                raise ServiceError(
+                    "queries[%d] is not a [language, source, target] "
+                    "triple: %r" % (index, item)
+                )
+            lang, source, target = item
+            triples.append((
+                _checked_language(lang),
+                _resolve_vertex(engine.graph, source, "source"),
+                _resolve_vertex(engine.graph, target, "target"),
+            ))
+        deadline, budget = _checked_overrides(payload)
+        workers = payload.get("workers", 1)
+        if not isinstance(workers, int) or isinstance(workers, bool) or (
+            workers < 1
+        ):
+            raise ServiceError(
+                "'workers' must be a positive integer, got %r" % (workers,)
+            )
+        workers = min(workers, self.config.workers)
+        mode = payload.get("mode", self.config.parallel_mode)
+        if mode not in ("thread", "process"):
+            raise ServiceError(
+                "'mode' must be 'thread' or 'process', got %r" % (mode,)
+            )
+        self._admit(len(triples))
+        try:
+            batch = await self._in_executor(
+                functools.partial(
+                    engine.run_batch,
+                    triples,
+                    workers=workers,
+                    mode=mode,
+                    deadline_seconds=deadline,
+                    budget=budget,
+                )
+            )
+        finally:
+            self._inflight -= len(triples)
+        entry.record_batch(batch)
+        return 200, batch_record(batch)
+
+    async def _classify(self, payload):
+        regex = _checked_language(payload.get("language"))
+
+        def work():
+            key = plan_key(regex)
+            plan = self._classify_cache.get(key)
+            if plan is None:
+                plan = QueryPlan.compile(regex, key=key)
+                self._classify_cache.put(key, plan)
+            lang = plan.language
+            classification = classify(lang.dfa, with_witness=False)
+            return {
+                "language": regex,
+                "num_states": lang.num_states,
+                "alphabet": "".join(sorted(lang.alphabet)),
+                "finite": classification.finite,
+                "in_trc": classification.in_trc,
+                "complexity_class": classification.complexity_class.value,
+                "strategy": plan.strategy,
+                "decompose_failed": plan.decompose_failed,
+            }
+
+        try:
+            return 200, await self._in_executor(work)
+        except ReproError as err:
+            raise ServiceError(str(err), status=400)
+
+
+class ServiceThread:
+    """Run a :class:`QueryService` on a background event-loop thread.
+
+    The harness tests, benchmarks and load generators use: enter the
+    context manager, read :attr:`port` (``port=0`` picks a free one),
+    drive the server over real sockets, and the exit path shuts the
+    loop down cleanly.
+    """
+
+    def __init__(self, service, host="127.0.0.1", port=0):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.port = None
+        self._ready = Event()
+        self._loop = None
+        self._stop = None
+        self._startup_error = None
+        self._thread = Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            server = await self.service.start(
+                self.host, self._requested_port
+            )
+        except Exception as err:
+            self._startup_error = err
+            self._ready.set()
+            return
+        self.port = self.service.port
+        self._ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            await self.service.close()
+
+    def start(self):
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if not self._ready.is_set():
+            raise RuntimeError("service thread failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self):
+        """Signal shutdown and join; safe after failed or no startup."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed (startup-failure path)
+        if self._thread.ident is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.stop()
+        return False

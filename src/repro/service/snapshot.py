@@ -1,0 +1,387 @@
+"""Snapshot persistence for compiled graphs (warm-start from disk).
+
+Compiling a :class:`~repro.engine.indexed.IndexedGraph` from a
+:class:`~repro.graphs.dbgraph.DbGraph` pays one repr-sort per vertex
+(forward and reverse adjacency) plus the per-label CSR build.  A
+snapshot freezes the *result* of that work: loading one back rebuilds
+the compiled view with pure array reads and tuple construction — no
+sorting, no dict-of-sets traversal — which is what lets a restarted
+query service warm-start in a fraction of the compile time
+(``benchmarks/bench_service.py`` asserts the speedup).
+
+Format (version 1)
+------------------
+
+Little-endian throughout::
+
+    offset 0   magic          8 bytes  b"RSPQSNAP"
+    offset 8   version        u32      currently 1
+    offset 12  header_len     u32
+    offset 16  header         header_len bytes of UTF-8 JSON
+    ...        payload_crc32  u32      zlib.crc32 of header + arrays
+    ...        array section  concatenated int64 arrays
+
+The JSON header carries the label table, the vertex table (ints and
+strings only — JSON round-trips both losslessly) and an ordered
+``arrays`` manifest of ``[name, element_count]`` pairs describing the
+binary section:
+
+``out_indptr`` / ``out_labels`` / ``out_targets``
+    Forward adjacency in compiled (repr) order as one CSR: vertex ``i``
+    owns slice ``out_indptr[i]:out_indptr[i+1]``; labels are indices
+    into the label table, targets are vertex ids.
+``in_indptr`` / ``in_labels`` / ``in_sources``
+    Reverse adjacency, same encoding.
+``csr_offsets`` / ``csr_indptr`` / ``csr_targets``
+    The per-label CSR arrays exactly as the compiled view stores them:
+    label ``j`` owns ``csr_indptr`` rows ``j*(n+1):(j+1)*(n+1)`` and
+    the ``csr_targets`` slice ``csr_offsets[j]:csr_offsets[j+1]``.
+
+Loading validates magic, version, header shape and the checksum over
+the header-plus-arrays payload,
+raising :class:`~repro.errors.SnapshotError` with the reason
+on any mismatch — a truncated or bit-rotted snapshot never produces a
+silently wrong graph.  Files are written atomically (tmp + rename), so
+a crash mid-save cannot corrupt an existing snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import sys
+import zlib
+from array import array
+
+from ..errors import SnapshotError
+from ..engine.indexed import IndexedGraph
+
+MAGIC = b"RSPQSNAP"
+FORMAT_VERSION = 1
+
+_U32 = struct.Struct("<I")
+
+#: Manifest order of the binary arrays (fixed for determinism).
+_ARRAY_NAMES = (
+    "out_indptr",
+    "out_labels",
+    "out_targets",
+    "in_indptr",
+    "in_labels",
+    "in_sources",
+    "csr_offsets",
+    "csr_indptr",
+    "csr_targets",
+)
+
+
+def _int64_bytes(values):
+    """``values`` as little-endian int64 bytes (portable across hosts)."""
+    arr = array("q", values)
+    if sys.byteorder == "big":  # pragma: no cover - exotic hosts
+        arr = array("q", arr)
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _int64_array(raw, count, name):
+    """Parse ``count`` little-endian int64 values out of ``raw``."""
+    expected = count * 8
+    if len(raw) != expected:
+        raise SnapshotError(
+            "array %r truncated: expected %d bytes, got %d"
+            % (name, expected, len(raw))
+        )
+    arr = array("q")
+    arr.frombytes(raw)
+    if sys.byteorder == "big":  # pragma: no cover - exotic hosts
+        arr.byteswap()
+    return arr
+
+
+def _checked_vertices(vertices):
+    """Vertices as a JSON-safe list (ints and strings only)."""
+    checked = []
+    for vertex in vertices:
+        if not isinstance(vertex, (int, str)):
+            raise SnapshotError(
+                "snapshot vertices must be ints or strings, got %r "
+                "(type %s)" % (vertex, type(vertex).__name__)
+            )
+        checked.append(vertex)
+    return checked
+
+
+def save_snapshot(graph, path):
+    """Persist a compiled graph to ``path``; returns the byte size.
+
+    ``graph`` may be an :class:`IndexedGraph` or anything its
+    constructor accepts (a :class:`DbGraph` is compiled first).  The
+    write is atomic: the snapshot lands under a temporary name and is
+    renamed into place, so readers never observe a partial file.
+    """
+    if not isinstance(graph, IndexedGraph):
+        graph = IndexedGraph(graph)
+
+    vertices = _checked_vertices(graph._vertex_of)
+    labels = sorted(graph._labels)
+    label_id = {label: index for index, label in enumerate(labels)}
+    id_of = graph._id_of
+
+    out_indptr, out_labels, out_targets = [0], [], []
+    for pairs in graph._out:
+        for label, target in pairs:
+            out_labels.append(label_id[label])
+            out_targets.append(id_of[target])
+        out_indptr.append(len(out_targets))
+
+    in_indptr, in_labels, in_sources = [0], [], []
+    for pairs in graph._in:
+        for label, source in pairs:
+            in_labels.append(label_id[label])
+            in_sources.append(id_of[source])
+        in_indptr.append(len(in_sources))
+
+    csr_offsets, csr_indptr, csr_targets = [0], [], []
+    for label in labels:
+        csr_indptr.extend(graph._label_indptr[label])
+        csr_targets.extend(graph._label_targets[label])
+        csr_offsets.append(len(csr_targets))
+
+    sections = {
+        "out_indptr": out_indptr,
+        "out_labels": out_labels,
+        "out_targets": out_targets,
+        "in_indptr": in_indptr,
+        "in_labels": in_labels,
+        "in_sources": in_sources,
+        "csr_offsets": csr_offsets,
+        "csr_indptr": csr_indptr,
+        "csr_targets": csr_targets,
+    }
+    array_section = b"".join(
+        _int64_bytes(sections[name]) for name in _ARRAY_NAMES
+    )
+    header = {
+        "format_version": FORMAT_VERSION,
+        "vertices": vertices,
+        "labels": labels,
+        "num_edges": graph._num_edges,
+        "arrays": [[name, len(sections[name])] for name in _ARRAY_NAMES],
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+
+    # One checksum over header *and* arrays: a bit-rotted vertex name
+    # or edge count must fail the load, not rename a vertex silently.
+    payload_crc = zlib.crc32(array_section, zlib.crc32(header_bytes))
+    blob = b"".join((
+        MAGIC,
+        _U32.pack(FORMAT_VERSION),
+        _U32.pack(len(header_bytes)),
+        header_bytes,
+        _U32.pack(payload_crc & 0xFFFFFFFF),
+        array_section,
+    ))
+    tmp_path = "%s.tmp.%d" % (path, os.getpid())
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp_path, path)
+    except BaseException:
+        # A failed write (disk full, interrupt) must not leave orphan
+        # tmp files accumulating next to the snapshot.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return len(blob)
+
+
+def _read_header(data, path):
+    """Parse and validate magic/version/header; returns (header, offset)."""
+    if len(data) < 16:
+        raise SnapshotError(
+            "snapshot %s is truncated (%d bytes, header needs 16)"
+            % (path, len(data))
+        )
+    if bytes(data[:8]) != MAGIC:
+        raise SnapshotError(
+            "%s is not a graph snapshot (bad magic %r)"
+            % (path, bytes(data[:8]))
+        )
+    (version,) = _U32.unpack_from(data, 8)
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            "snapshot %s has format version %d; this build reads "
+            "version %d" % (path, version, FORMAT_VERSION)
+        )
+    (header_len,) = _U32.unpack_from(data, 12)
+    if len(data) < 16 + header_len + 4:
+        raise SnapshotError(
+            "snapshot %s is truncated inside the header" % path
+        )
+    try:
+        header = json.loads(bytes(data[16:16 + header_len]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise SnapshotError(
+            "snapshot %s has a corrupt JSON header: %s" % (path, err)
+        )
+    for field in ("vertices", "labels", "num_edges", "arrays"):
+        if field not in header:
+            raise SnapshotError(
+                "snapshot %s header is missing %r" % (path, field)
+            )
+    return header, 16 + header_len
+
+
+def _parse(data, path):
+    header, offset = _read_header(data, path)
+    header_raw = bytes(data[16:offset])
+    (stored_crc,) = _U32.unpack_from(data, offset)
+    offset += 4
+    array_section = bytes(data[offset:])
+    actual_crc = zlib.crc32(array_section, zlib.crc32(header_raw)) & (
+        0xFFFFFFFF
+    )
+    if actual_crc != stored_crc:
+        raise SnapshotError(
+            "snapshot %s failed its checksum (stored %08x, computed "
+            "%08x) — the file is corrupt or truncated"
+            % (path, stored_crc, actual_crc)
+        )
+
+    manifest = header["arrays"]
+    if [name for name, _count in manifest] != list(_ARRAY_NAMES):
+        raise SnapshotError(
+            "snapshot %s has an unexpected array manifest: %r"
+            % (path, manifest)
+        )
+    arrays = {}
+    cursor = 0
+    for name, count in manifest:
+        size = count * 8
+        arrays[name] = _int64_array(
+            array_section[cursor:cursor + size], count, name
+        )
+        cursor += size
+    if cursor != len(array_section):
+        raise SnapshotError(
+            "snapshot %s has %d trailing bytes after its arrays"
+            % (path, len(array_section) - cursor)
+        )
+    return _thaw(header, arrays, path)
+
+
+def _thaw(header, arrays, path):
+    """Rebuild the compiled view — array reads only, nothing re-sorted."""
+    vertices = tuple(header["vertices"])
+    labels = list(header["labels"])
+    n = len(vertices)
+    num_labels = len(labels)
+
+    out_indptr = arrays["out_indptr"]
+    in_indptr = arrays["in_indptr"]
+    if len(out_indptr) != n + 1 or len(in_indptr) != n + 1:
+        raise SnapshotError(
+            "snapshot %s adjacency indptr does not match its %d "
+            "vertices" % (path, n)
+        )
+    if len(arrays["csr_offsets"]) != num_labels + 1 or (
+        len(arrays["csr_indptr"]) != num_labels * (n + 1)
+    ):
+        raise SnapshotError(
+            "snapshot %s per-label CSR does not match its %d labels"
+            % (path, num_labels)
+        )
+
+    # One flat C-speed pass per direction (map + zip), then slice per
+    # vertex — this is the hot path of a warm start, so no per-edge
+    # Python-level loop bodies.
+    out_pairs = list(zip(
+        map(labels.__getitem__, arrays["out_labels"]),
+        map(vertices.__getitem__, arrays["out_targets"]),
+    ))
+    out = [
+        tuple(out_pairs[start:stop])
+        for start, stop in zip(out_indptr, out_indptr[1:])
+    ]
+    in_pairs = list(zip(
+        map(labels.__getitem__, arrays["in_labels"]),
+        map(vertices.__getitem__, arrays["in_sources"]),
+    ))
+    in_ = [
+        tuple(in_pairs[start:stop])
+        for start, stop in zip(in_indptr, in_indptr[1:])
+    ]
+
+    csr_offsets = arrays["csr_offsets"]
+    label_indptr = {}
+    label_targets = {}
+    for j, label in enumerate(labels):
+        label_indptr[label] = arrays["csr_indptr"][
+            j * (n + 1):(j + 1) * (n + 1)
+        ]
+        label_targets[label] = arrays["csr_targets"][
+            csr_offsets[j]:csr_offsets[j + 1]
+        ]
+
+    return IndexedGraph._from_parts(
+        vertex_of=vertices,
+        labels=labels,
+        num_edges=header["num_edges"],
+        out=out,
+        in_=in_,
+        label_indptr=label_indptr,
+        label_targets=label_targets,
+    )
+
+
+def load_snapshot(path):
+    """Load a snapshot back into an :class:`IndexedGraph` (mmap read).
+
+    Raises :class:`~repro.errors.SnapshotError` on any structural
+    problem: missing file, bad magic, unsupported version, corrupt
+    header, checksum mismatch or inconsistent arrays.
+    """
+    try:
+        with open(path, "rb") as handle:
+            try:
+                mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError:
+                raise SnapshotError("snapshot %s is empty" % path)
+            try:
+                return _parse(mm, path)
+            finally:
+                mm.close()
+    except FileNotFoundError:
+        raise SnapshotError("snapshot %s does not exist" % path)
+
+
+def snapshot_info(path):
+    """The snapshot's header metadata without thawing the graph.
+
+    Returns a dict with ``format_version``, ``num_vertices``,
+    ``num_edges`` and ``labels`` — what a service wants to log at
+    startup before paying for the load.
+    """
+    try:
+        with open(path, "rb") as handle:
+            # Header-only read: the prefix names the header length, so
+            # a multi-GB snapshot costs a few KB here, not a full read.
+            prefix = handle.read(16)
+            header_len = (
+                _U32.unpack_from(prefix, 12)[0] if len(prefix) == 16 else 0
+            )
+            data = prefix + handle.read(header_len + 4)
+    except FileNotFoundError:
+        raise SnapshotError("snapshot %s does not exist" % path)
+    header, _offset = _read_header(data, path)
+    return {
+        "format_version": header["format_version"],
+        "num_vertices": len(header["vertices"]),
+        "num_edges": header["num_edges"],
+        "labels": list(header["labels"]),
+    }

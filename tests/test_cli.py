@@ -167,6 +167,23 @@ class TestBatch:
         assert parallel_out.splitlines()[:-1] == serial_out.splitlines()[:-1]
         assert "3 workers" in parallel_out
 
+    def test_batch_nonpositive_budget_is_usage_error(
+        self, capsys, graph_file, queries_file
+    ):
+        for bad in ("0", "-1"):
+            code = main(
+                ["batch", graph_file, queries_file, "--budget", bad]
+            )
+            assert code == 2
+            assert "--budget" in capsys.readouterr().err
+
+    def test_solve_nonpositive_budget_is_usage_error(
+        self, capsys, graph_file
+    ):
+        code = main(["solve", "a*ba*", graph_file, "s", "t", "--budget", "0"])
+        assert code == 2
+        assert "--budget" in capsys.readouterr().err
+
     def test_batch_bad_workers(self, capsys, graph_file, queries_file):
         code = main(
             ["batch", graph_file, queries_file, "--workers", "0"]
@@ -192,6 +209,76 @@ class TestBatch:
         assert first["error"] is None
         assert {"plan_cache_hit", "path", "source", "target"} <= set(first)
 
+    def test_batch_jsonl_field_order_is_documented(
+        self, capsys, graph_file, queries_file, tmp_path
+    ):
+        from repro.service.protocol import RESULT_FIELDS
+
+        out_path = tmp_path / "results.jsonl"
+        main(["batch", graph_file, queries_file, "--jsonl", str(out_path)])
+        capsys.readouterr()
+        for line in out_path.read_text().strip().splitlines():
+            record = json.loads(line)
+            # insertion order survives json round-trips, so the wire
+            # order is exactly the documented RESULT_FIELDS order
+            assert list(record) == list(RESULT_FIELDS)
+
+    def test_batch_jsonl_is_deterministic(
+        self, capsys, graph_file, queries_file, tmp_path
+    ):
+        first = tmp_path / "one.jsonl"
+        second = tmp_path / "two.jsonl"
+        main(["batch", graph_file, queries_file, "--jsonl", str(first)])
+        main(["batch", graph_file, queries_file, "--jsonl", str(second)])
+        capsys.readouterr()
+
+        def stable(path):
+            # all fields except the per-run timing
+            records = []
+            for line in path.read_text().strip().splitlines():
+                record = json.loads(line)
+                record.pop("seconds")
+                records.append(record)
+            return records
+
+        assert stable(first) == stable(second)
+
+    def test_batch_jsonl_roundtrips_the_batch_result(
+        self, capsys, graph_file, queries_file, tmp_path
+    ):
+        # write → parse → compare to a fresh equivalent BatchResult
+        from repro.cli import _parse_queries
+        from repro.engine import QueryEngine
+        from repro.graphs import io as gio
+
+        out_path = tmp_path / "results.jsonl"
+        main(["batch", graph_file, queries_file, "--jsonl", str(out_path)])
+        capsys.readouterr()
+        parsed = [
+            json.loads(line)
+            for line in out_path.read_text().strip().splitlines()
+        ]
+        batch = QueryEngine(gio.load(graph_file)).run_batch(
+            _parse_queries(queries_file)
+        )
+        assert len(parsed) == len(batch.results)
+        for record, result in zip(parsed, batch.results):
+            assert record["language"] == str(result.language)
+            assert record["source"] == result.source
+            assert record["target"] == result.target
+            assert record["strategy"] == result.strategy
+            assert record["found"] == result.found
+            assert record["length"] == result.length
+            assert record["word"] == (
+                None if result.path is None else result.path.word
+            )
+            assert record["path"] == (
+                None if result.path is None else list(result.path.vertices)
+            )
+            assert record["decompose_failed"] == result.decompose_failed
+            assert record["steps"] == result.stats.steps
+            assert record["error"] == result.error
+
     def test_batch_jsonl_error_row(self, capsys, graph_file, tmp_path):
         queries = tmp_path / "mixed.txt"
         queries.write_text("zzz t a*\ns t a*(bb+ + eps)c*\n")
@@ -207,3 +294,65 @@ class TestBatch:
         assert records[0]["strategy"] == "error"
         assert records[0]["found"] is False
         assert records[1]["error"] is None
+
+
+class TestSnapshotCommand:
+    def test_snapshot_then_warm_load(self, capsys, graph_file, tmp_path):
+        snap = tmp_path / "graph.snap"
+        assert main(["snapshot", graph_file, str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "|V|=5" in out and "bytes" in out
+
+        from repro.service import load_snapshot
+
+        thawed = load_snapshot(str(snap))
+        assert thawed.num_vertices == 5
+        assert thawed.has_vertex("s")
+
+    def test_snapshot_missing_graph(self, capsys, tmp_path):
+        code = main(
+            ["snapshot", "/nonexistent/graph.txt", str(tmp_path / "x.snap")]
+        )
+        assert code == 2
+
+
+class TestServeCommand:
+    def test_serve_requires_a_graph(self, capsys):
+        assert main(["serve"]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_serve_rejects_malformed_pair(self, capsys, graph_file):
+        assert main(["serve", "--graph", graph_file]) == 2
+        assert "NAME=PATH" in capsys.readouterr().err
+
+    def test_serve_rejects_nonpositive_max_graphs(self, capsys, graph_file):
+        code = main([
+            "serve", "--graph", "g=%s" % graph_file, "--max-graphs", "0",
+        ])
+        assert code == 2
+        assert "--max-graphs" in capsys.readouterr().err
+
+    def test_cli_import_stays_light(self):
+        # The CLI needs only the wire protocol; the asyncio server and
+        # HTTP client must load lazily, not on every `repro classify`.
+        import subprocess
+        import sys
+
+        subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import repro.cli, sys; "
+                "assert 'repro.service.server' not in sys.modules; "
+                "assert 'repro.service.client' not in sys.modules",
+            ],
+            check=True,
+        )
+
+    def test_serve_in_help(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "serve" in out and "snapshot" in out

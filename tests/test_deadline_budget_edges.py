@@ -1,0 +1,157 @@
+"""Deadline/budget edge cases: mid-batch isolation and upfront rejection.
+
+Two families of guarantees:
+
+* **Isolation** — a query that dies mid-batch on
+  :class:`DeadlineExceededError` or an exhausted step budget poisons
+  only itself: every other query in the batch completes with its
+  normal answer, in input order, under every scheduler.  The heavy
+  query is deterministic by construction: ``(aa)*`` from 0 to 1 on an
+  odd 301-vertex a-cycle forces the exact solver through >256 context
+  charges (a full deadline-check interval) with no simple witness,
+  while the light queries finish in a handful of charges and never
+  reach a deadline check.
+* **Rejection** — a zero or negative budget, or a negative/expired
+  engine deadline, can never admit any work, so it is rejected with a
+  clear :class:`ValueError` at construction time instead of failing
+  every query one by one.
+"""
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.execution import ExecutionContext
+from repro.graphs.generators import labeled_cycle
+
+#: Light companions for the heavy query: a finite language and a
+#: one-hop tractable reach, both confined to the tiny p/q/r component
+#: of the fixture graph — a handful of context charges, far below the
+#: 256-charge deadline-check interval.
+LIGHT_BEFORE = ("ab + ba", "p", "r")
+HEAVY = ("(aa)*", 0, 1)
+LIGHT_AFTER = ("a*", "p", "q")
+
+
+@pytest.fixture
+def cycle():
+    # The 301-cycle carries the heavy query; the disjoint 3-vertex
+    # component keeps the light queries' exploration tiny.
+    graph = labeled_cycle("a" * 301)
+    graph.add_edge("p", "a", "q")
+    graph.add_edge("q", "b", "r")
+    return graph
+
+
+class TestMidBatchIsolation:
+    @pytest.mark.parametrize("workers,mode", [
+        (1, "thread"), (3, "thread"), (2, "process"),
+    ])
+    def test_budget_exhaustion_isolates_offender(self, cycle, workers, mode):
+        engine = QueryEngine(cycle, exact_budget=50)
+        batch = engine.run_batch(
+            [LIGHT_BEFORE, HEAVY, LIGHT_AFTER], workers=workers, mode=mode
+        )
+        before, heavy, after = batch.results
+        assert heavy.error is not None
+        assert "budget" in heavy.error
+        assert heavy.strategy == "error"
+        assert before.error is None
+        assert after.error is None
+        assert after.found and after.path.word == "a"
+        assert batch.error_count == 1
+
+    @pytest.mark.parametrize("workers,mode", [
+        (1, "thread"), (3, "thread"), (2, "process"),
+    ])
+    def test_deadline_isolates_offender(self, cycle, workers, mode):
+        # 1ns deadline: any query charging past one deadline-check
+        # interval (256 charges) dies; the light queries charge far
+        # fewer times and never look at the clock.
+        engine = QueryEngine(cycle, deadline_seconds=1e-9)
+        batch = engine.run_batch(
+            [LIGHT_BEFORE, HEAVY, LIGHT_AFTER], workers=workers, mode=mode
+        )
+        before, heavy, after = batch.results
+        assert heavy.error is not None
+        assert "deadline" in heavy.error
+        assert before.error is None
+        assert after.error is None
+        assert batch.error_count == 1
+
+    def test_per_batch_override_beats_engine_default(self, cycle):
+        engine = QueryEngine(cycle)  # no default budget
+        batch = engine.run_batch(
+            [LIGHT_BEFORE, HEAVY, LIGHT_AFTER], budget=50
+        )
+        assert batch.results[1].error is not None
+        assert "budget" in batch.results[1].error
+        assert batch.error_count == 1
+        # And without the override the same batch completes cleanly.
+        assert engine.run_batch([LIGHT_BEFORE, LIGHT_AFTER]).error_count == 0
+
+    def test_single_query_raises_instead_of_isolating(self, cycle):
+        from repro.errors import BudgetExceededError, DeadlineExceededError
+
+        engine = QueryEngine(cycle)
+        with pytest.raises(BudgetExceededError):
+            engine.query(*HEAVY, budget=50)
+        with pytest.raises(DeadlineExceededError):
+            engine.query(*HEAVY, deadline_seconds=1e-9)
+
+
+class TestUpfrontRejection:
+    @pytest.mark.parametrize("bad_budget", [0, -1, -100])
+    def test_context_rejects_nonpositive_budget(self, bad_budget):
+        with pytest.raises(ValueError, match="budget"):
+            ExecutionContext(budget=bad_budget)
+
+    def test_context_rejects_negative_deadline(self):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            ExecutionContext(deadline_seconds=-0.5)
+
+    def test_context_keeps_zero_deadline_as_already_expired(self):
+        # Legacy contract: 0.0 means "expired on arrival", used by
+        # tests to make deadlines bite deterministically.
+        ctx = ExecutionContext(deadline_seconds=0.0)
+        assert ctx.deadline is not None
+
+    @pytest.mark.parametrize("bad_budget", [0, -5])
+    def test_engine_rejects_nonpositive_budget(self, cycle, bad_budget):
+        with pytest.raises(ValueError, match="exact_budget"):
+            QueryEngine(cycle, exact_budget=bad_budget)
+
+    def test_engine_validates_before_compiling_the_graph(self):
+        # A misconfigured engine must fail before paying for the
+        # O(V+E) compile: with validation first, the bogus graph
+        # object is never touched (no AttributeError).
+        with pytest.raises(ValueError, match="exact_budget"):
+            QueryEngine(object(), exact_budget=0)
+
+    @pytest.mark.parametrize("bad_deadline", [0, 0.0, -1.0])
+    def test_engine_rejects_nonpositive_default_deadline(
+        self, cycle, bad_deadline
+    ):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            QueryEngine(cycle, deadline_seconds=bad_deadline)
+
+    def test_engine_rejects_bad_overrides_before_any_query_runs(self, cycle):
+        engine = QueryEngine(cycle)
+        with pytest.raises(ValueError, match="budget"):
+            engine.run_batch([LIGHT_AFTER], budget=0)
+        with pytest.raises(ValueError, match="deadline"):
+            engine.run_batch([LIGHT_AFTER], deadline_seconds=-1.0)
+        with pytest.raises(ValueError, match="budget"):
+            engine.query(*LIGHT_AFTER, budget=-2)
+
+    def test_cli_serve_rejects_nonpositive_budget(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.graphs import io as graph_io
+        from repro.graphs.dbgraph import DbGraph
+
+        path = tmp_path / "g.txt"
+        graph_io.dump(DbGraph.from_edges([("x", "a", "y")]), str(path))
+        code = main([
+            "serve", "--graph", "g=%s" % path, "--budget", "0",
+        ])
+        assert code == 2
+        assert "budget" in capsys.readouterr().err

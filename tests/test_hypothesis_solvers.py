@@ -4,15 +4,29 @@ The single most important invariant in the repository: on arbitrary
 graphs, the polynomial trC solver, the finite-language solver and the
 dispatching solver all agree with the exponential exact solver — same
 yes/no answer and same shortest length.
+
+The differential engine suite extends the same idea one layer up, in
+the spirit of configuration fuzzing: random graphs × random regexes
+(the seeded generator from ``benchmarks/workloads.py``), asserting
+that :class:`~repro.engine.QueryEngine` — serial, multi-threaded and
+multi-process batches alike — returns results **path-for-path
+identical** to direct per-query :class:`RspqSolver` evaluation.  Not
+just the same yes/no answer: the same vertices, the same label word,
+the same dispatched strategy.
 """
+
+import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from benchmarks.workloads import MIXED_LANGUAGES, random_regex
 
 from repro import catalog
 from repro.algorithms.exact import ExactSolver
 from repro.core.nice_paths import TractableSolver
 from repro.core.solver import RspqSolver
+from repro.engine import QueryEngine
 from repro.graphs.dbgraph import DbGraph
 from repro.languages import language
 
@@ -83,6 +97,85 @@ class TestDispatcherAgreement:
         assert (mine is None) == (truth is None)
         if mine is not None:
             assert len(mine) == len(truth)
+
+
+#: Seeds for the deterministic random-regex generator; hypothesis
+#: shrinks over the seed, the regex reproduces from it alone.
+REGEX_SEEDS = st.integers(0, 10 ** 6)
+
+
+def _seeded_regex(seed, alphabet="ab"):
+    return random_regex(random.Random(seed), alphabet=alphabet, max_depth=2)
+
+
+def _assert_identical(engine_result, direct_result):
+    """Engine answer == direct solver answer, path for path."""
+    assert engine_result.error is None
+    assert engine_result.found == direct_result.found
+    assert engine_result.strategy == direct_result.strategy
+    assert engine_result.decompose_failed == direct_result.decompose_failed
+    if direct_result.path is None:
+        assert engine_result.path is None
+    else:
+        assert engine_result.path.vertices == direct_result.path.vertices
+        assert engine_result.path.word == direct_result.path.word
+
+
+@st.composite
+def differential_workload(draw):
+    """A random graph plus a mixed curated/random query list."""
+    graph, x, y = draw(small_graph_and_query("abc"))
+    vertices = list(graph.vertices())
+    languages = list(draw(st.lists(
+        st.sampled_from(MIXED_LANGUAGES), min_size=2, max_size=5
+    )))
+    languages.append(_seeded_regex(draw(REGEX_SEEDS), alphabet="abc"))
+    queries = []
+    for index, regex in enumerate(languages):
+        source = vertices[(x + index) % len(vertices)]
+        target = vertices[(y + 2 * index) % len(vertices)]
+        queries.append((regex, source, target))
+    return graph, queries
+
+
+class TestEngineDifferential:
+    """QueryEngine ≡ direct RspqSolver on random graphs × regexes."""
+
+    @given(small_graph_and_query("ab"), REGEX_SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_query_matches_direct_solver(self, instance, seed):
+        graph, x, y = instance
+        regex = _seeded_regex(seed)
+        engine = QueryEngine(graph)
+        result = engine.query(regex, x, y)
+        direct = RspqSolver(regex).solve(graph, x, y)
+        _assert_identical(result, direct)
+
+    @given(differential_workload())
+    @settings(max_examples=15, deadline=None)
+    def test_run_batch_serial_and_threaded_match_direct(self, workload):
+        graph, queries = workload
+        engine = QueryEngine(graph)
+        serial = engine.run_batch(queries)
+        threaded = engine.run_batch(queries, workers=3, mode="thread")
+        assert len(serial) == len(threaded) == len(queries)
+        for (regex, source, target), one, other in zip(
+            queries, serial, threaded
+        ):
+            direct = RspqSolver(regex).solve(graph, source, target)
+            _assert_identical(one, direct)
+            _assert_identical(other, direct)
+
+    @given(differential_workload())
+    @settings(max_examples=3, deadline=None)
+    def test_run_batch_process_mode_matches_direct(self, workload):
+        graph, queries = workload
+        engine = QueryEngine(graph)
+        batch = engine.run_batch(queries, workers=2, mode="process")
+        assert len(batch) == len(queries)
+        for (regex, source, target), result in zip(queries, batch):
+            direct = RspqSolver(regex).solve(graph, source, target)
+            _assert_identical(result, direct)
 
 
 class TestSolutionValidity:

@@ -1,0 +1,381 @@
+"""The serving tier: registry semantics, HTTP endpoints, admission.
+
+Server tests run against a real socket (:class:`ServiceThread` on an
+ephemeral port) — the JSON codec, the HTTP framing and the executor
+dispatch are all in the loop, exactly as in production.  Deadline and
+budget behaviour is made deterministic by construction: the heavy
+query walks an odd labeled cycle long enough that the exact solver
+must charge >256 context steps (one full deadline-check interval),
+while the light queries finish in a handful of charges and never even
+look at the clock.
+"""
+
+import pytest
+
+from repro.errors import ServiceError, ServiceOverloadedError
+from repro.engine import IndexedGraph
+from repro.graphs.dbgraph import DbGraph
+from repro.graphs.generators import labeled_cycle, random_labeled_graph
+from repro.graphs import io as graph_io
+from repro.service import (
+    GraphRegistry,
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+    save_snapshot,
+)
+
+
+@pytest.fixture
+def graph():
+    return random_labeled_graph(20, 60, "abc", seed=9)
+
+
+@pytest.fixture
+def registry(graph):
+    reg = GraphRegistry()
+    reg.register("main", graph)
+    return reg
+
+
+@pytest.fixture
+def live(registry):
+    service = QueryService(
+        registry, ServiceConfig(workers=2, max_inflight=8)
+    )
+    with ServiceThread(service) as running:
+        yield ServiceClient(port=running.port), registry
+
+
+class TestGraphRegistry:
+    def test_register_and_lookup(self, graph):
+        registry = GraphRegistry()
+        entry = registry.register("g", graph)
+        assert registry.get("g") is entry
+        assert "g" in registry
+        assert len(registry) == 1
+        assert registry.names() == ["g"]
+        assert entry.stats.source == "compiled"
+
+    def test_register_precompiled_indexed_graph(self, graph):
+        registry = GraphRegistry()
+        entry = registry.register("g", IndexedGraph(graph))
+        assert entry.stats.source == "indexed"
+
+    def test_duplicate_name_is_conflict(self, graph):
+        registry = GraphRegistry()
+        registry.register("g", graph)
+        with pytest.raises(ServiceError) as info:
+            registry.register("g", graph)
+        assert info.value.status == 409
+
+    def test_unknown_graph_is_404(self):
+        registry = GraphRegistry()
+        with pytest.raises(ServiceError) as info:
+            registry.get("nope")
+        assert info.value.status == 404
+
+    def test_evict(self, graph):
+        registry = GraphRegistry()
+        registry.register("g", graph)
+        registry.evict("g")
+        assert "g" not in registry
+        with pytest.raises(ServiceError):
+            registry.evict("g")
+
+    def test_capacity_bound(self, graph):
+        registry = GraphRegistry(max_graphs=1)
+        registry.register("one", graph)
+        with pytest.raises(ServiceError, match="full"):
+            registry.register("two", graph)
+        registry.evict("one")
+        registry.register("two", graph)
+
+    def test_resolve_sole_graph_without_name(self, graph):
+        registry = GraphRegistry()
+        registry.register("only", graph)
+        assert registry.resolve(None).name == "only"
+        registry.register("second", graph)
+        with pytest.raises(ServiceError, match="names no graph"):
+            registry.resolve(None)
+
+    def test_register_snapshot_warm_start(self, tmp_path, graph):
+        path = str(tmp_path / "g.snap")
+        save_snapshot(IndexedGraph(graph), path)
+        registry = GraphRegistry()
+        entry = registry.register_snapshot("warm", path)
+        assert entry.stats.source == "snapshot"
+        assert entry.engine.graph.num_edges == graph.num_edges
+
+    def test_describe_carries_shape_and_counters(self, graph):
+        registry = GraphRegistry()
+        registry.register("g", graph)
+        (described,) = registry.describe()
+        assert described["name"] == "g"
+        assert described["num_vertices"] == graph.num_vertices
+        assert described["queries"] == 0
+        assert described["plan_cache"]["compiles"] == 0
+
+
+class TestHttpEndpoints:
+    def test_healthz(self, live):
+        client, _registry = live
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["graphs"] == 1
+
+    def test_query_roundtrip_matches_direct(self, live, graph):
+        client, _registry = live
+        from repro.core.solver import solve_rspq
+
+        record = client.query("a*(bb^+ + eps)c*", 0, 5, graph="main")
+        direct = solve_rspq("a*(bb^+ + eps)c*", graph, 0, 5)
+        assert record["found"] == direct.found
+        assert record["strategy"] == direct.strategy
+        if direct.path is not None:
+            assert record["path"] == list(direct.path.vertices)
+            assert record["word"] == direct.path.word
+
+    def test_query_without_graph_name_uses_sole_graph(self, live):
+        client, _registry = live
+        assert client.query("a*", 0, 1)["language"] == "a*"
+
+    def test_string_vertex_coercion(self, live):
+        # JSON-side "0" resolves onto the int vertex 0.
+        client, _registry = live
+        record = client.query("a*", "0", "1")
+        assert record["source"] == 0
+
+    def test_unknown_graph_404(self, live):
+        client, _registry = live
+        with pytest.raises(ServiceError) as info:
+            client.query("a*", 0, 1, graph="ghost")
+        assert info.value.status == 404
+
+    def test_unknown_vertex_400(self, live):
+        client, _registry = live
+        with pytest.raises(ServiceError) as info:
+            client.query("a*", 999, 1)
+        assert info.value.status == 400
+        assert "unknown vertex" in str(info.value)
+
+    def test_bad_regex_400(self, live):
+        client, _registry = live
+        with pytest.raises(ServiceError) as info:
+            client.query("a**((", 0, 1)
+        assert info.value.status == 400
+
+    def test_batch_matches_serial_order(self, live, graph):
+        client, _registry = live
+        queries = [("a*", 0, 1), ("ab + ba", 2, 3), ("a*ba*", 4, 5)]
+        response = client.batch(queries, workers=2)
+        assert [r["language"] for r in response["results"]] == [
+            "a*", "ab + ba", "a*ba*"
+        ]
+        assert response["workers"] == 2
+        assert response["error_count"] == 0
+
+    def test_batch_isolates_per_query_errors(self, live):
+        client, _registry = live
+        response = client.batch([("a*", 0, 1), ("a*", 999, 1)])
+        results = response["results"]
+        assert results[0]["error"] is None
+        assert "unknown vertex" in results[1]["error"]
+        assert response["error_count"] == 1
+
+    def test_classify_endpoint(self, live):
+        client, _registry = live
+        record = client.classify("a*(bb^+ + eps)c*")
+        assert record["in_trc"] is True
+        assert record["complexity_class"] == "NL-complete"
+        assert record["strategy"] == "trc-nice-path"
+
+    def test_stats_count_served_queries(self, live):
+        client, _registry = live
+        client.query("a*", 0, 1)
+        client.batch([("a*", 0, 1), ("c*", 2, 3)])
+        stats = client.stats()
+        (graph_stats,) = stats["graphs"]
+        assert graph_stats["queries"] == 3
+        assert graph_stats["batches"] == 1
+        # the /query and /batch requests (the in-flight /stats request
+        # is only counted once its own response has been written)
+        assert stats["service"]["requests"] >= 2
+
+    def test_register_and_evict_over_http(self, live):
+        client, _registry = live
+        text = graph_io.dumps(
+            DbGraph.from_edges([("x", "a", "y"), ("y", "b", "z")])
+        )
+        client.register_graph("tiny", text)
+        record = client.query("ab", "x", "z", graph="tiny")
+        assert record["found"] is True
+        assert record["word"] == "ab"
+        client.evict_graph("tiny")
+        with pytest.raises(ServiceError) as info:
+            client.query("ab", "x", "z", graph="tiny")
+        assert info.value.status == 404
+
+    def test_duplicate_http_registration_conflicts(self, live):
+        client, _registry = live
+        text = graph_io.dumps(DbGraph.from_edges([("x", "a", "y")]))
+        client.register_graph("dup", text)
+        with pytest.raises(ServiceError) as info:
+            client.register_graph("dup", text)
+        assert info.value.status == 409
+
+    def test_unknown_endpoint_404_and_wrong_method_405(self, live):
+        client, _registry = live
+        status, _body = client.request("GET", "/no-such")
+        assert status == 404
+        status, _body = client.request("DELETE", "/query")
+        assert status == 405
+
+    def test_malformed_graph_text_is_client_error(self, live):
+        client, _registry = live
+        with pytest.raises(ServiceError) as info:
+            client.register_graph("broken", "this is not a graph line")
+        assert info.value.status == 400
+        assert "broken" not in client.stats()["graphs"][0]["name"]
+
+    def test_graph_name_with_spaces_can_be_evicted(self, live):
+        client, _registry = live
+        text = graph_io.dumps(DbGraph.from_edges([("x", "a", "y")]))
+        client.register_graph("two words", text)
+        client.evict_graph("two words")
+        names = [g["name"] for g in client.graphs()]
+        assert "two words" not in names
+
+    def test_failed_single_query_counts_in_graph_stats(self, live):
+        client, _registry = live
+        with pytest.raises(ServiceError):
+            client.query("a*", 999, 1)  # unknown vertex
+        (graph_stats,) = client.stats()["graphs"]
+        assert graph_stats["queries"] == 1
+        assert graph_stats["errors"] == 1
+
+    def test_service_thread_stop_is_safe_after_failed_start(self, registry):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            runner = ServiceThread(
+                QueryService(registry, ServiceConfig()),
+                port=port,
+            )
+            with pytest.raises(OSError):
+                runner.start()
+            runner.stop()  # must be a clean no-op, not a RuntimeError
+        finally:
+            blocker.close()
+        # and stopping a never-started thread is equally safe
+        ServiceThread(QueryService(registry, ServiceConfig())).stop()
+
+
+class TestAdmissionControl:
+    def test_batch_larger_than_capacity_rejected_immediately(self, registry):
+        service = QueryService(
+            registry, ServiceConfig(workers=2, max_inflight=2)
+        )
+        with ServiceThread(service) as running:
+            client = ServiceClient(port=running.port)
+            with pytest.raises(ServiceOverloadedError):
+                client.batch([("a*", 0, 1)] * 3)
+            # Within capacity still works, and the slots were released.
+            assert client.batch([("a*", 0, 1)] * 2)["error_count"] == 0
+            assert client.stats()["service"]["rejected"] == 1
+            assert client.stats()["service"]["inflight"] == 0
+
+    def test_unbounded_header_section_rejected(self, live):
+        import socket
+
+        client, _registry = live
+        with socket.create_connection(
+            (client.host, client.port), timeout=10
+        ) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\n")
+            # One oversized header line trips the byte bound.
+            sock.sendall(b"x-padding: " + b"a" * 20000 + b"\r\n\r\n")
+            chunks = []
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            response = b"".join(chunks).decode("latin-1")
+        assert "400" in response.split("\r\n")[0]
+        assert "header section" in response
+
+    def test_rejection_is_429(self, registry):
+        service = QueryService(
+            registry, ServiceConfig(workers=1, max_inflight=1)
+        )
+        with ServiceThread(service) as running:
+            client = ServiceClient(port=running.port)
+            status, body = client.request(
+                "POST",
+                "/batch",
+                {"queries": [["a*", 0, 1], ["a*", 1, 2]]},
+            )
+            assert status == 429
+            assert "overloaded" in body["error"]
+
+
+class TestDeadlinesAndBudgets:
+    """Per-request limits land on the query's ExecutionContext."""
+
+    @pytest.fixture
+    def cycle_registry(self):
+        # Odd a-cycle: (aa)* from 0 to 1 has no simple witness, but
+        # walks of even length exist, so the exact solver explores the
+        # whole 301-step chain — deterministically >256 context charges
+        # (one full deadline-check interval) and >50 budget steps.
+        registry = GraphRegistry()
+        registry.register("cycle", labeled_cycle("a" * 301))
+        return registry
+
+    def test_nonpositive_deadline_rejected_400(self, live):
+        client, _registry = live
+        for bad in (0, -1.5):
+            with pytest.raises(ServiceError) as info:
+                client.query("a*", 0, 1, deadline_seconds=bad)
+            assert info.value.status == 400
+            assert "deadline" in str(info.value)
+
+    def test_nonpositive_budget_rejected_400(self, live):
+        client, _registry = live
+        for bad in (0, -3):
+            with pytest.raises(ServiceError) as info:
+                client.query("a*", 0, 1, budget=bad)
+            assert info.value.status == 400
+            assert "budget" in str(info.value)
+
+    def test_deadline_exceeded_maps_to_504(self, cycle_registry):
+        service = QueryService(cycle_registry, ServiceConfig(workers=1))
+        with ServiceThread(service) as running:
+            client = ServiceClient(port=running.port)
+            with pytest.raises(ServiceError) as info:
+                client.query("(aa)*", 0, 1, deadline_seconds=1e-9)
+            assert info.value.status == 504
+
+    def test_budget_exhausted_maps_to_422(self, cycle_registry):
+        service = QueryService(cycle_registry, ServiceConfig(workers=1))
+        with ServiceThread(service) as running:
+            client = ServiceClient(port=running.port)
+            with pytest.raises(ServiceError) as info:
+                client.query("(aa)*", 0, 1, budget=50)
+            assert info.value.status == 422
+
+    def test_generous_limits_answer_normally(self, cycle_registry):
+        service = QueryService(cycle_registry, ServiceConfig(workers=1))
+        with ServiceThread(service) as running:
+            client = ServiceClient(port=running.port)
+            record = client.query(
+                "a*", 0, 5, deadline_seconds=60.0, budget=10 ** 9
+            )
+            assert record["found"] is True
+            assert record["word"] == "aaaaa"

@@ -1,0 +1,233 @@
+"""Snapshot persistence: exact round-trips, versioning, corruption.
+
+The warm-start contract: a thawed :class:`IndexedGraph` must be
+indistinguishable from the compiled original — same vertices in the
+same order, same adjacency, same CSR reads, same solver answers path
+for path — and a damaged snapshot must fail loudly with
+:class:`SnapshotError`, never produce a silently wrong graph.
+"""
+
+import struct
+
+import pytest
+
+from repro.engine import IndexedGraph, QueryEngine
+from repro.errors import SnapshotError
+from repro.graphs.dbgraph import DbGraph
+from repro.graphs.generators import labeled_cycle, random_labeled_graph
+from repro.service.snapshot import (
+    FORMAT_VERSION,
+    MAGIC,
+    load_snapshot,
+    save_snapshot,
+    snapshot_info,
+)
+
+
+@pytest.fixture
+def graph():
+    return random_labeled_graph(25, 80, "abc", seed=3)
+
+
+@pytest.fixture
+def snap_path(tmp_path, graph):
+    path = str(tmp_path / "graph.snap")
+    save_snapshot(IndexedGraph(graph), path)
+    return path
+
+
+class TestRoundTrip:
+    def test_structure_is_identical(self, graph, snap_path):
+        original = IndexedGraph(graph)
+        thawed = load_snapshot(snap_path)
+        assert list(thawed.vertices()) == list(original.vertices())
+        assert list(thawed.edges()) == list(original.edges())
+        assert thawed.num_vertices == original.num_vertices
+        assert thawed.num_edges == original.num_edges
+        assert thawed.labels() == original.labels()
+
+    def test_adjacency_reads_are_identical(self, graph, snap_path):
+        original = IndexedGraph(graph)
+        thawed = load_snapshot(snap_path)
+        for vertex in original.vertices():
+            assert thawed.sorted_out_edges(vertex) == (
+                original.sorted_out_edges(vertex)
+            )
+            assert list(thawed.in_edges(vertex)) == list(
+                original.in_edges(vertex)
+            )
+            for label in original.labels():
+                assert thawed.sorted_successors(vertex, label) == (
+                    original.sorted_successors(vertex, label)
+                )
+                vid = original.vertex_id(vertex)
+                assert list(thawed.out_neighbor_ids(vid, label)) == list(
+                    original.out_neighbor_ids(vid, label)
+                )
+
+    def test_vertex_types_survive(self, tmp_path):
+        graph = DbGraph.from_edges(
+            [(0, "a", "one"), ("one", "b", 2), (2, "a", 0)]
+        )
+        path = str(tmp_path / "mixed.snap")
+        save_snapshot(IndexedGraph(graph), path)
+        thawed = load_snapshot(path)
+        # int 0 and str "one" come back with their exact types.
+        assert list(thawed.vertices()) == list(IndexedGraph(graph).vertices())
+        assert thawed.has_vertex(0)
+        assert thawed.has_vertex("one")
+        assert not thawed.has_vertex("0")
+
+    def test_solver_answers_are_path_identical(self, graph, snap_path):
+        cold = QueryEngine(IndexedGraph(graph))
+        warm = QueryEngine(load_snapshot(snap_path))
+        queries = [
+            ("a*(bb^+ + eps)c*", 0, 5),
+            ("ab + ba", 1, 7),
+            ("a*ba*", 2, 9),
+            ("c*", 3, 11),
+        ]
+        for regex, source, target in queries:
+            one = cold.query(regex, source, target)
+            other = warm.query(regex, source, target)
+            assert one.found == other.found
+            assert one.strategy == other.strategy
+            if one.path is None:
+                assert other.path is None
+            else:
+                assert one.path.vertices == other.path.vertices
+                assert one.path.word == other.path.word
+
+    def test_has_edge_and_is_path_on_thawed_graph(self, graph, snap_path):
+        thawed = load_snapshot(snap_path)
+        edge = next(iter(IndexedGraph(graph).edges()))
+        assert thawed.has_edge(*edge)
+        assert not thawed.has_edge(edge[0], "z", edge[2])
+
+    def test_thawed_graph_crosses_process_boundaries(self, graph, snap_path):
+        # process-mode batches pickle the compiled graph into workers;
+        # a thawed view must survive the trip like a compiled one.
+        engine = QueryEngine(load_snapshot(snap_path))
+        queries = [("a*", 0, 5), ("ab + ba", 1, 7)]
+        processed = engine.run_batch(queries, workers=2, mode="process")
+        serial = engine.run_batch(queries)
+        for one, other in zip(processed, serial):
+            assert one.found == other.found
+            assert one.path == other.path
+
+    def test_cycle_graph_roundtrip(self, tmp_path):
+        graph = labeled_cycle("abcab")
+        path = str(tmp_path / "cycle.snap")
+        save_snapshot(IndexedGraph(graph), path)
+        thawed = load_snapshot(path)
+        assert list(thawed.edges()) == list(IndexedGraph(graph).edges())
+
+    def test_save_accepts_raw_dbgraph(self, tmp_path, graph):
+        path = str(tmp_path / "raw.snap")
+        save_snapshot(graph, path)  # compiled internally
+        assert load_snapshot(path).num_edges == graph.num_edges
+
+    def test_info_reads_header_only(self, graph, snap_path):
+        info = snapshot_info(snap_path)
+        assert info["format_version"] == FORMAT_VERSION
+        assert info["num_vertices"] == graph.num_vertices
+        assert info["num_edges"] == graph.num_edges
+        assert info["labels"] == ["a", "b", "c"]
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="does not exist"):
+            load_snapshot(str(tmp_path / "nope.snap"))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.snap"
+        path.write_bytes(b"")
+        with pytest.raises(SnapshotError, match="empty"):
+            load_snapshot(str(path))
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.snap"
+        path.write_bytes(b"NOTASNAP" + b"\x00" * 64)
+        with pytest.raises(SnapshotError, match="bad magic"):
+            load_snapshot(str(path))
+
+    def test_unsupported_version(self, tmp_path, snap_path):
+        data = bytearray(open(snap_path, "rb").read())
+        data[8:12] = struct.pack("<I", FORMAT_VERSION + 1)
+        path = tmp_path / "future.snap"
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="format version"):
+            load_snapshot(str(path))
+
+    def test_truncated_arrays(self, tmp_path, snap_path):
+        data = open(snap_path, "rb").read()
+        path = tmp_path / "trunc.snap"
+        path.write_bytes(data[:-16])
+        with pytest.raises(SnapshotError):
+            load_snapshot(str(path))
+
+    def test_flipped_payload_bit_fails_checksum(self, tmp_path, snap_path):
+        data = bytearray(open(snap_path, "rb").read())
+        data[-5] ^= 0xFF  # inside the array section
+        path = tmp_path / "rot.snap"
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(str(path))
+
+    def test_header_bit_rot_fails_checksum_even_when_json_stays_valid(
+        self, tmp_path
+    ):
+        # A flipped character inside a vertex name keeps the header
+        # perfectly parseable — only the payload checksum can catch it.
+        graph = DbGraph.from_edges([("alpha", "a", "beta")])
+        path = tmp_path / "named.snap"
+        save_snapshot(IndexedGraph(graph), str(path))
+        data = bytearray(path.read_bytes())
+        index = data.index(b"alpha")
+        data[index + 4] = ord("o")  # alpha -> alpho, still valid JSON
+        rotted = tmp_path / "rotted.snap"
+        rotted.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(str(rotted))
+
+    def test_corrupt_header_json(self, tmp_path, snap_path):
+        data = bytearray(open(snap_path, "rb").read())
+        data[20] = 0xFF  # stomp the JSON header
+        path = tmp_path / "badjson.snap"
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError):
+            load_snapshot(str(path))
+
+    def test_unsupported_vertex_type_rejected_at_save(self, tmp_path):
+        graph = DbGraph.from_edges([((1, 2), "a", (3, 4))])
+        with pytest.raises(SnapshotError, match="ints or strings"):
+            save_snapshot(IndexedGraph(graph), str(tmp_path / "t.snap"))
+
+    def test_failed_save_leaves_no_partial_file(self, tmp_path):
+        graph = DbGraph.from_edges([((1, 2), "a", (3, 4))])
+        target = tmp_path / "t.snap"
+        with pytest.raises(SnapshotError):
+            save_snapshot(IndexedGraph(graph), str(target))
+        assert not target.exists()
+
+    def test_failed_replace_cleans_up_tmp_file(
+        self, tmp_path, graph, monkeypatch
+    ):
+        import os as os_module
+
+        import repro.service.snapshot as snap_module
+
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(snap_module.os, "replace", explode)
+        target = tmp_path / "fail.snap"
+        with pytest.raises(OSError, match="disk full"):
+            save_snapshot(IndexedGraph(graph), str(target))
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []  # no orphan tmp files
+        assert os_module.path.exists(str(tmp_path))
+
+    def test_magic_constant_shape(self):
+        assert len(MAGIC) == 8
