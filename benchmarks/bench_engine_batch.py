@@ -17,7 +17,12 @@ Asserted shape (the ISSUE-1 acceptance criteria):
 
 import pytest
 
-from benchmarks.conftest import measure_seconds, scaled, skip_if_smoke
+from benchmarks.conftest import (
+    measure_seconds,
+    record_metric,
+    scaled,
+    skip_if_smoke,
+)
 from benchmarks.workloads import mixed_workload
 
 from repro.core.solver import solve_rspq
@@ -65,6 +70,16 @@ def test_warm_engine_at_least_3x_faster(workload):
     engine.run_batch(queries)  # warm the plan cache
     engine_seconds, batch = measure_seconds(engine.run_batch, queries)
     baseline_seconds, _ = measure_seconds(_run_baseline, graph, queries)
+    record_metric(
+        "engine_batch", "warm_engine_seconds", round(engine_seconds, 6)
+    )
+    record_metric(
+        "engine_batch", "baseline_seconds", round(baseline_seconds, 6)
+    )
+    record_metric(
+        "engine_batch", "warm_speedup",
+        round(baseline_seconds / engine_seconds, 3),
+    )
     assert batch.plans_compiled == 0  # fully warm
     assert batch.plan_cache_hits == len(queries)
     assert baseline_seconds >= 3 * engine_seconds, (

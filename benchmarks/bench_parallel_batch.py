@@ -23,7 +23,12 @@ import sys
 
 import pytest
 
-from benchmarks.conftest import measure_seconds, scaled, skip_if_smoke
+from benchmarks.conftest import (
+    measure_seconds,
+    record_metric,
+    scaled,
+    skip_if_smoke,
+)
 from benchmarks.workloads import distinct_languages, mixed_workload
 
 from repro.engine import QueryEngine
@@ -148,6 +153,17 @@ def test_parallel_speedup_over_serial():
         key=lambda pair: pair[0],
     )
     _assert_identical(serial_batch, parallel_batch)
+    record_metric(
+        "parallel_batch", "serial_seconds", round(serial_seconds, 6)
+    )
+    record_metric(
+        "parallel_batch", "parallel_seconds", round(parallel_seconds, 6)
+    )
+    record_metric(
+        "parallel_batch", "parallel_speedup",
+        round(serial_seconds / parallel_seconds, 3),
+    )
+    record_metric("parallel_batch", "workers", workers)
     assert parallel_seconds < serial_seconds, (
         "expected >1x speedup with %d %s workers, got %.2fx "
         "(serial %.3fs, parallel %.3fs)"

@@ -19,7 +19,12 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import measure_seconds, scaled, skip_if_smoke
+from benchmarks.conftest import (
+    measure_seconds,
+    record_metric,
+    scaled,
+    skip_if_smoke,
+)
 from benchmarks.workloads import mixed_workload, random_regexes
 
 from repro.core.solver import STRATEGY_EXACT, RspqSolver
@@ -100,6 +105,11 @@ def test_snapshot_warm_start_faster_than_recompile(tmp_path, big_graph):
     )
     load_seconds = min(
         measure_seconds(load_snapshot, path)[0] for _ in range(5)
+    )
+    record_metric("service", "compile_seconds", round(compile_seconds, 6))
+    record_metric("service", "thaw_seconds", round(load_seconds, 6))
+    record_metric(
+        "service", "thaw_speedup", round(compile_seconds / load_seconds, 3)
     )
     skip_if_smoke("warm-start timing comparison")
     assert load_seconds * 1.2 < compile_seconds, (

@@ -20,7 +20,7 @@ polynomial growth on either side of the frontier.
 
 import pytest
 
-from benchmarks.conftest import SMOKE, measure_seconds, skip_if_smoke
+from benchmarks.conftest import SMOKE, measure_seconds
 
 from repro import language
 from repro.algorithms.exact import ExactSolver

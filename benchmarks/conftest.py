@@ -17,17 +17,124 @@ job runs every ``bench_*.py`` under this profile on each push, so a
 benchmark that stops importing or whose harness code rots fails CI
 instead of rotting silently; the full-size profile remains the local
 default.
+
+Machine-readable artifacts
+--------------------------
+
+Every benchmark module that runs leaves a ``BENCH_<name>.json`` in the
+artifact directory (``REPRO_BENCH_ARTIFACTS``, default
+``bench-artifacts/``): the profile, per-test outcomes and wall-clock
+durations, plus any named metrics a bench records via
+:func:`record_metric` (speedup ratios, step counts, sizes).  CI
+uploads the directory on every push, so the performance trajectory is
+tracked across PRs instead of living only in commit messages.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 import time
+import types
 
 import pytest
 
 #: True when benchmarks run under the tiny CI smoke profile.
 SMOKE = os.environ.get("REPRO_BENCH_PROFILE", "").lower() == "smoke"
+
+#: Environment variable naming the artifact output directory.
+ARTIFACTS_ENV = "REPRO_BENCH_ARTIFACTS"
+
+# pytest loads this file as the top-level module ``conftest`` while the
+# bench modules import it as ``benchmarks.conftest`` — two module
+# objects for one file.  The artifact state therefore lives in one
+# process-global registry both instances resolve to, so metrics
+# recorded by the benches land in the JSON the hooks write.
+_state = sys.modules.setdefault(
+    "_repro_bench_artifact_state",
+    types.SimpleNamespace(metrics={}, test_rows={}),
+)
+
+#: Per-bench named metrics recorded by the modules themselves.
+_metrics = _state.metrics
+
+#: Per-bench test rows collected by the pytest hooks.
+_test_rows = _state.test_rows
+
+
+def artifact_dir():
+    """Directory the ``BENCH_*.json`` artifacts are written to."""
+    return os.environ.get(ARTIFACTS_ENV, "bench-artifacts")
+
+
+def _bench_name(path):
+    """``benchmarks/bench_engine_batch.py`` -> ``engine_batch``."""
+    base = os.path.basename(str(path))
+    if base.endswith(".py"):
+        base = base[:-3]
+    if base.startswith("bench_"):
+        base = base[len("bench_"):]
+    return base
+
+
+def record_metric(bench, key, value):
+    """Record a named metric for ``bench``'s JSON artifact.
+
+    ``bench`` is the short module name (``"csr_solvers"`` for
+    ``bench_csr_solvers.py``); ``value`` must be JSON-serialisable.
+    Call it from the benchmark test bodies for the numbers worth
+    tracking across PRs — speedup ratios, step counts, sizes.
+    """
+    _metrics.setdefault(bench, {})[key] = value
+
+
+def pytest_runtest_logreport(report):
+    """Collect per-test durations for every bench module that runs."""
+    path = report.nodeid.split("::", 1)[0]
+    base = os.path.basename(path)
+    if not base.startswith("bench_"):
+        return
+    # One row per test: use the call phase, or the setup phase for
+    # skips (skipped tests never reach call).
+    if report.when != "call" and not (
+        report.when == "setup" and report.skipped
+    ):
+        return
+    _test_rows.setdefault(_bench_name(path), []).append({
+        "test": report.nodeid.split("::", 1)[1],
+        "outcome": report.outcome,
+        "seconds": round(report.duration, 6),
+    })
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<name>.json`` per bench module that ran.
+
+    The union of row and metric keys is written, so a metric recorded
+    under a name with no collected test rows (a typo'd bench name, or
+    a module whose tests all died before their call phase) still lands
+    in an artifact instead of vanishing silently.
+    """
+    if not _test_rows and not _metrics:
+        return
+    out_dir = artifact_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    for name in sorted(set(_test_rows) | set(_metrics)):
+        rows = _test_rows.get(name, [])
+        payload = {
+            "bench": name,
+            "profile": "smoke" if SMOKE else "full",
+            "total_seconds": round(
+                sum(row["seconds"] for row in rows), 6
+            ),
+            "tests": rows,
+            "metrics": _metrics.get(name, {}),
+        }
+        out_path = os.path.join(out_dir, "BENCH_%s.json" % name)
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 def scaled(full, smoke):

@@ -29,7 +29,8 @@ def main():
         (u, label, v): base_time[label] + rng.randint(0, 2)
         for u, label, v in graph.edges()
     }
-    travel_time = lambda u, label, v: times[(u, label, v)]
+    def travel_time(u, label, v):
+        return times[(u, label, v)]
 
     constraint = language("h*(f + ε)r*", name="itinerary")
     assert classify(constraint.dfa).is_tractable()

@@ -10,13 +10,19 @@ path with a depth-``|w|`` DFS whose branching is pruned by w's letters.
 The work is ``O(Σ_{w∈L} (branching)^{|w|})`` — constant-depth in the
 graph size, matching the AC0 upper bound's spirit (data-independent
 formula depth), and trivially polynomial for fixed L.
+
+The search runs integer-native over a
+:class:`~repro.graphs.view.GraphView`: letters become label ids, the
+visited set is a flat bytearray indexed by vertex id (shared across all
+word attempts of one query and cleaned by backtracking), and the path
+is materialised back to vertex names only on success.
 """
 
 from __future__ import annotations
 
 from ..errors import ReproError
 from ..execution import ExecutionContext
-from ..graphs.dbgraph import Path, sorted_successors_fn
+from ..graphs.view import as_graph_view
 from ..languages import Language
 
 
@@ -53,13 +59,18 @@ class FiniteLanguageSolver:
         """Shortest simple L-labeled path (words tried short-first)."""
         if ctx is None:
             ctx = self._legacy_ctx = ExecutionContext()
-        graph.require_vertex(source)
-        graph.require_vertex(target)
+        view = as_graph_view(graph)
+        source_id = view.vertex_id(source)
+        target_id = view.vertex_id(target)
+        visited = bytearray(view.num_vertices)
         for word in self.words:
             ctx.charge_word()
-            path = find_simple_word_path(graph, source, target, word)
-            if path is not None:
-                return path
+            found = _word_path_ids(
+                view, source_id, target_id, view.word_label_ids(word),
+                visited,
+            )
+            if found is not None:
+                return view.path(*found)
         return None
 
     def exists(self, graph, source, target, ctx=None):
@@ -76,35 +87,64 @@ def find_simple_word_path(graph, source, target, word):
     Depth-|word| DFS; this is the ``path_w(x, y)`` FO predicate of the
     Lemma 17 easiness proof made executable.
     """
-    if source == target:
-        return Path.single(source) if word == "" else None
-    if word == "":
+    view = as_graph_view(graph)
+    found = _word_path_ids(
+        view,
+        view.vertex_id(source),
+        view.vertex_id(target),
+        view.word_label_ids(word),
+        bytearray(view.num_vertices),
+    )
+    if found is None:
         return None
-    sorted_successors = sorted_successors_fn(graph)
-    vertices = [source]
-    visited = {source}
+    return view.path(*found)
+
+
+def _word_path_ids(view, source_id, target_id, word_label_ids, visited):
+    """Integer-native word-path DFS over a :class:`GraphView`.
+
+    ``visited`` is a caller-owned bytearray scratch (all zeros on
+    entry); backtracking restores it to all zeros on failure, so one
+    allocation serves every word of a finite-language query.  Returns
+    ``(vertex_ids, label_ids)`` or ``None``.
+    """
+    if source_id == target_id:
+        return ((source_id,), ()) if not word_label_ids else None
+    if not word_label_ids or None in word_label_ids:
+        # Empty word between distinct vertices, or a letter labeling
+        # no edge at all — no path can spell it.
+        return None
+    out_by_label = view.out_by_label
+    last_position = len(word_label_ids) - 1
+    vertices = [source_id]
+    visited[source_id] = 1
 
     def dfs(position):
         current = vertices[-1]
-        if position == len(word):
-            return current == target
+        if position > last_position:
+            return current == target_id
         # The last letter must land exactly on the target; intermediate
         # letters must avoid it (a simple path visits it only once).
-        for nxt in sorted_successors(current, word[position]):
-            if nxt in visited:
+        for nxt in out_by_label(current, word_label_ids[position]):
+            if visited[nxt]:
                 continue
-            if position < len(word) - 1 and nxt == target:
+            if position < last_position and nxt == target_id:
                 continue
-            if position == len(word) - 1 and nxt != target:
+            if position == last_position and nxt != target_id:
                 continue
             vertices.append(nxt)
-            visited.add(nxt)
+            visited[nxt] = 1
             if dfs(position + 1):
                 return True
-            visited.discard(nxt)
+            visited[nxt] = 0
             vertices.pop()
         return False
 
     if dfs(0):
-        return Path(tuple(vertices), tuple(word))
+        # Success leaves the path bits set; clear them for the next word.
+        result = tuple(vertices)
+        for vertex_id in result:
+            visited[vertex_id] = 0
+        return result, word_label_ids
+    visited[source_id] = 0
     return None

@@ -12,6 +12,13 @@ while leaving the exponential worst case intact:
   goal in the product graph lower-bounds the remaining simple-path
   length.
 
+The search is integer-native over a
+:class:`~repro.graphs.view.GraphView`: product nodes pack to
+``vertex_id * |Q| + state``, the visited set is a flat bytearray, DFA
+transitions become per-label list rows, and the backward goal-distance
+BFS walks the view's (label-partitioned) reverse adjacency.  Paths are
+materialised back to vertex names only at result construction.
+
 The solver doubles as the ground-truth oracle for the polynomial trC
 solver in the test suite.
 """
@@ -21,7 +28,8 @@ from __future__ import annotations
 from collections import deque
 
 from ..execution import ExecutionContext
-from ..graphs.dbgraph import Path, sorted_out_edges_fn
+from ..graphs.dbgraph import Path
+from ..graphs.view import as_graph_view
 from ..languages import Language
 
 
@@ -66,30 +74,70 @@ class ExactSolver:
 
     # -- internals -----------------------------------------------------------
 
-    def _goal_distances(self, graph, target):
+    def _transition_rows(self, view):
+        """Per-label transition rows: ``rows[label_id][state] -> state'``.
+
+        ``None`` rows mark graph labels outside the DFA alphabet, so
+        the DFS hot loop replaces the string alphabet test plus the
+        keyed transition lookup with one list index each.
+        """
+        dfa = self.dfa
+        states = range(dfa.num_states)
+        rows = []
+        for label_id in range(view.num_labels):
+            label = view.label_at(label_id)
+            if label in dfa.alphabet:
+                rows.append([dfa.transition(state, label) for state in states])
+            else:
+                rows.append(None)
+        return rows
+
+    def _reverse_rows(self, view):
+        """``rows[label_id][state] -> states_before`` (``None`` = dead label)."""
+        dfa = self.dfa
+        reverse = self._reverse_transitions
+        empty = ()
+        rows = []
+        for label_id in range(view.num_labels):
+            label = view.label_at(label_id)
+            if label in dfa.alphabet:
+                rows.append([
+                    reverse.get((state, label), empty)
+                    for state in range(dfa.num_states)
+                ])
+            else:
+                rows.append(None)
+        return rows
+
+    def _goal_distances(self, view, target_id):
         """BFS distance from every product node to an accepting target
-        node, ignoring simplicity (admissible heuristic; None = dead)."""
+        node, ignoring simplicity (admissible heuristic; absent = dead).
+
+        Product nodes pack to ``vertex_id * |Q| + state``; the backward
+        BFS walks the view's reverse adjacency (a precompiled reverse
+        CSR on compiled graphs)."""
+        num_states = self.dfa.num_states
         distances = {}
         queue = deque()
         for final in self.dfa.accepting:
-            node = (target, final)
+            node = target_id * num_states + final
             distances[node] = 0
             queue.append(node)
-        # Backward BFS over the product graph.
-        empty = ()
+        reverse_rows = self._reverse_rows(view)
+        in_pairs = view.in_pairs
         while queue:
-            vertex, state = queue.popleft()
-            base = distances[(vertex, state)]
-            for label, source in graph.in_edges(vertex):
-                if label not in self.dfa.alphabet:
+            node = queue.popleft()
+            vertex_id, state = divmod(node, num_states)
+            base = distances[node] + 1
+            for label_id, source_id in in_pairs(vertex_id):
+                row = reverse_rows[label_id]
+                if row is None:
                     continue
-                for state_before in self._reverse_transitions.get(
-                    (state, label), empty
-                ):
-                    node = (source, state_before)
-                    if node not in distances:
-                        distances[node] = base + 1
-                        queue.append(node)
+                for state_before in row[state]:
+                    previous = source_id * num_states + state_before
+                    if previous not in distances:
+                        distances[previous] = base
+                        queue.append(previous)
         return distances
 
     @property
@@ -129,23 +177,30 @@ class ExactSolver:
                ctx=None):
         if ctx is None:
             ctx = self._legacy_ctx = ExecutionContext(budget=self.budget)
-        graph.require_vertex(source)
-        graph.require_vertex(target)
-        if source == target:
+        view = as_graph_view(graph)
+        source_id = view.vertex_id(source)
+        target_id = view.vertex_id(target)
+        if source_id == target_id:
             if self.dfa.initial in self.dfa.accepting:
-                return Path.single(source)
+                return Path.single(view.vertex_at(source_id))
             return None
-        goal_distance = self._goal_distances(graph, target)
-        sorted_out = sorted_out_edges_fn(graph)
-        start = (source, self.dfa.initial)
+        goal_distance = self._goal_distances(view, target_id)
+        transition_rows = self._transition_rows(view)
+        num_states = self.dfa.num_states
+        accepting = self.dfa.accepting
+        start = source_id * num_states + self.dfa.initial
         if start not in goal_distance:
             return None
+        out = view.out
+        vertex_at = view.vertex_at
+        label_at = view.label_at
         best = [None]
         best_metric = [None]
-        vertices = [source]
+        vertices = [source_id]
         labels = []
         weight_so_far = [0.0]
-        visited = {source}
+        visited = bytearray(view.num_vertices)
+        visited[source_id] = 1
 
         def remaining_bound(node):
             # Admissible lower bound on the remaining cost: walk distance
@@ -159,18 +214,19 @@ class ExactSolver:
                 return weight_so_far[0]
             return len(labels)
 
-        def dfs(vertex, state):
+        def dfs(vertex_id, state):
             ctx.charge_step()
             if best[0] is not None:
                 if not find_shortest:
                     return
                 if (
-                    current_metric() + remaining_bound((vertex, state))
+                    current_metric()
+                    + remaining_bound(vertex_id * num_states + state)
                     >= best_metric[0]
                 ):
                     return
-            if vertex == target and state in self.dfa.accepting:
-                best[0] = Path(tuple(vertices), tuple(labels))
+            if vertex_id == target_id and state in accepting:
+                best[0] = (tuple(vertices), tuple(labels))
                 best_metric[0] = current_metric()
                 if weight_fn is None:
                     return
@@ -179,37 +235,46 @@ class ExactSolver:
                 # this complete path further (extensions cannot return
                 # to the target without revisiting it).
                 return
-            for label, nxt in sorted_out(vertex):
-                if label not in self.dfa.alphabet or nxt in visited:
+            for label_id, nxt in out(vertex_id):
+                row = transition_rows[label_id]
+                if row is None or visited[nxt]:
                     continue
-                next_state = self.dfa.transition(state, label)
-                node = (nxt, next_state)
+                next_state = row[state]
+                node = nxt * num_states + next_state
                 if node not in goal_distance:
                     continue
-                step = 1 if weight_fn is None else weight_fn(vertex, label, nxt)
-                if weight_fn is not None and step <= 0:
-                    raise ValueError(
-                        "edge weights must be strictly positive"
+                if weight_fn is None:
+                    step = 1
+                else:
+                    step = weight_fn(
+                        vertex_at(vertex_id), label_at(label_id),
+                        vertex_at(nxt),
                     )
+                    if step <= 0:
+                        raise ValueError(
+                            "edge weights must be strictly positive"
+                        )
                 if best[0] is not None and find_shortest and (
                     current_metric() + step + remaining_bound(node)
                     >= best_metric[0]
                 ):
                     continue
                 vertices.append(nxt)
-                labels.append(label)
+                labels.append(label_id)
                 weight_so_far[0] += step
-                visited.add(nxt)
+                visited[nxt] = 1
                 dfs(nxt, next_state)
-                visited.discard(nxt)
+                visited[nxt] = 0
                 weight_so_far[0] -= step
                 vertices.pop()
                 labels.pop()
                 if best[0] is not None and not find_shortest:
                     return
 
-        dfs(source, self.dfa.initial)
-        return best[0]
+        dfs(source_id, self.dfa.initial)
+        if best[0] is None:
+            return None
+        return view.path(*best[0])
 
     def count_simple_paths(self, graph, source, target, max_length=None,
                            ctx=None):
@@ -220,29 +285,35 @@ class ExactSolver:
         """
         if ctx is None:
             ctx = self._legacy_ctx = ExecutionContext(budget=self.budget)
-        graph.require_vertex(source)
-        graph.require_vertex(target)
+        view = as_graph_view(graph)
+        source_id = view.vertex_id(source)
+        target_id = view.vertex_id(target)
+        if source_id == target_id:
+            # Only the empty path is simple from x to x.
+            return 1 if self.dfa.initial in self.dfa.accepting else 0
+        transition_rows = self._transition_rows(view)
+        accepting = self.dfa.accepting
+        out = view.out
         count = [0]
-        visited = {source}
+        visited = bytearray(view.num_vertices)
+        visited[source_id] = 1
         length = [0]
 
-        def dfs(vertex, state):
+        def dfs(vertex_id, state):
             ctx.charge_step()
-            if vertex == target and state in self.dfa.accepting:
+            if vertex_id == target_id and state in accepting:
                 count[0] += 1
-            for label, nxt in graph.out_edges(vertex):
-                if label not in self.dfa.alphabet or nxt in visited:
+            for label_id, nxt in out(vertex_id):
+                row = transition_rows[label_id]
+                if row is None or visited[nxt]:
                     continue
                 if max_length is not None and length[0] >= max_length:
                     continue
-                visited.add(nxt)
+                visited[nxt] = 1
                 length[0] += 1
-                dfs(nxt, self.dfa.transition(state, label))
+                dfs(nxt, row[state])
                 length[0] -= 1
-                visited.discard(nxt)
+                visited[nxt] = 0
 
-        if source == target:
-            # Only the empty path is simple from x to x.
-            return 1 if self.dfa.initial in self.dfa.accepting else 0
-        dfs(source, self.dfa.initial)
+        dfs(source_id, self.dfa.initial)
         return count[0]

@@ -20,7 +20,6 @@ from ..errors import ReproError
 from ..graphs.dbgraph import DbGraph
 from ..languages import Language
 from ..languages.dfa import DFA
-from ..languages.nfa import NFA, EPSILON
 from ..core.trc import _as_minimal_dfa
 from ..core.witness import HardnessWitness, find_hardness_witness
 

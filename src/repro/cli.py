@@ -4,6 +4,7 @@ Usage (also via ``python -m repro``)::
 
     repro classify 'a*(bb+ + eps)c*'
     repro witness 'a*ba*'
+    repro explain 'a*ba*' --graph graph.txt
     repro solve 'a*c*' graph.txt 0 5
     repro psitr 'a*(bb+ + eps)c*'
     repro batch graph.txt queries.txt
@@ -34,7 +35,7 @@ from .languages import language
 from .core.trichotomy import classify
 from .core.witness import find_hardness_witness
 from .core.psitr import decompose
-from .core.solver import RspqSolver
+from .core.solver import STRATEGY_TRACTABLE, RspqSolver
 from .engine import QueryEngine
 from .graphs import io as graph_io
 from .service.protocol import RESULT_FIELDS, result_record
@@ -61,6 +62,25 @@ def _build_parser():
         "psitr", help="print a Ψtr decomposition (L ∈ trC)"
     )
     p_psitr.add_argument("regex")
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="print the compiled query plan without executing a search",
+        description="Compile the plan for REGEX (parse -> minimal DFA "
+        "-> trichotomy classification -> strategy dispatch) and print "
+        "what the engine would run: the classification, the chosen "
+        "strategy, whether the Psi-tr decomposition failed (exact "
+        "fallback), the plan-cache key kind, and which graph view the "
+        "solvers would walk.  No graph search is executed.",
+    )
+    p_explain.add_argument("regex")
+    p_explain.add_argument(
+        "--graph",
+        default=None,
+        metavar="PATH",
+        help="optional graph file; when given, the report describes "
+        "the compiled view the engine would serve this graph through",
+    )
 
     p_solve = sub.add_parser(
         "solve", help="find a shortest simple L-labeled path in a graph"
@@ -252,6 +272,53 @@ def _cmd_psitr(args):
     lang = language(args.regex)
     expression = decompose(lang)
     print(expression)
+    return 0
+
+
+def _cmd_explain(args):
+    from .engine import QueryPlan
+
+    plan = QueryPlan.compile(args.regex)
+    lang = plan.language
+    classification = plan.classification
+    if plan.decompose_failed:
+        decompose_note = "FAILED — silent exact fallback"
+    elif plan.strategy == STRATEGY_TRACTABLE:
+        decompose_note = "ok (Ψtr anchored search)"
+    else:
+        decompose_note = "n/a for this strategy"
+    print("language       : %s" % args.regex)
+    print("minimal DFA    : %d states over {%s}" % (
+        lang.num_states, ", ".join(sorted(lang.alphabet))))
+    print("finite         : %s" % classification.finite)
+    print("in trC         : %s" % classification.in_trc)
+    print("RSPQ(L) is     : %s" % classification.complexity_class.value)
+    print("strategy       : %s" % plan.strategy)
+    print("decomposition  : %s" % decompose_note)
+    # The CLI always plans from a regex string, so the key is always
+    # text-kinded (Language objects key by canonical DFA signature).
+    print("plan key kind  : %s (plans cached by exact regex text)"
+          % plan.key[0])
+    if args.graph is not None:
+        graph = graph_io.load(args.graph)
+        engine = QueryEngine(graph)
+        print(
+            "graph view     : %s (IndexedGraph over %s: |V|=%d |E|=%d, "
+            "label-partitioned CSR + reverse CSR)"
+            % (
+                engine.view_kind,
+                args.graph,
+                engine.graph.num_vertices,
+                engine.graph.num_edges,
+            )
+        )
+    else:
+        print(
+            "graph view     : csr (IndexedGraph) inside the engine/"
+            "service; dict (DbGraph reference view) for direct "
+            "solve_rspq"
+        )
+    print("plan compile   : %.6fs" % plan.compile_seconds)
     return 0
 
 
@@ -468,6 +535,7 @@ _COMMANDS = {
     "classify": _cmd_classify,
     "witness": _cmd_witness,
     "psitr": _cmd_psitr,
+    "explain": _cmd_explain,
     "solve": _cmd_solve,
     "batch": _cmd_batch,
     "snapshot": _cmd_snapshot,

@@ -24,6 +24,13 @@ the Ψtr decomposition of L (Theorem 4 and the remark following it):
   anchors appear in the enumeration and its completion is found; hence
   the algorithm is exact and returns a shortest simple L-labeled path.
 
+The whole search runs integer-native over a
+:class:`~repro.graphs.view.GraphView`: vertices are contiguous ids,
+the pinned/blocked sets are flat bytearrays, symbol classes are label
+bitmasks, the live table packs ``(vertex, nfa_state)`` into one int,
+and the winning candidate is materialised back to vertex names only at
+result construction.
+
 Soundness never depends on the adaptation: every produced path is
 checked simple and L-labeled.  Completeness is additionally
 cross-validated against the exponential exact solver in the test suite.
@@ -33,20 +40,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
 
-from ..errors import GraphError, NotInTrCError
+from ..errors import GraphError
 from ..execution import ExecutionContext
-from ..graphs.dbgraph import (
-    Path,
-    sorted_out_edges_fn,
-    sorted_successors_fn,
-)
+from ..graphs.dbgraph import Path
+from ..graphs.view import as_graph_view
 from ..languages import Language
 from .psitr import (
     OptionalWordTerm,
     PsitrExpression,
-    PsitrSequence,
     StarTerm,
     decompose,
 )
@@ -75,6 +77,23 @@ def _segments_of(sequence):
     return segments
 
 
+def _int_segments(view, segments):
+    """Segments with letters as label ids and classes as label masks.
+
+    Word letters that label no graph edge become ``None`` (the DFS dead
+    end the string search would have hit via an empty successor set);
+    star classes become bitmasks over the view's label ids.
+    """
+    result = []
+    for kind, payload in segments:
+        if kind == _STAR:
+            symbols, min_count = payload
+            result.append((kind, (view.label_mask(symbols), min_count)))
+        else:
+            result.append((kind, view.word_label_ids(payload)))
+    return result
+
+
 def _min_remaining(segments):
     """Minimal number of edges each segment suffix must still contribute."""
     totals = [0] * (len(segments) + 1)
@@ -85,17 +104,31 @@ def _min_remaining(segments):
     return totals
 
 
+def _single_label(mask):
+    """The label id of a one-bit mask, else ``None`` (0 or multi-bit).
+
+    Single-symbol classes dominate real Ψtr decompositions, and a
+    one-label restriction can iterate the view's label-partitioned
+    adjacency slice directly instead of scanning every out-edge
+    against the mask — the access pattern the CSR layout exists for.
+    """
+    if mask and not mask & (mask - 1):
+        return mask.bit_length() - 1
+    return None
+
+
 # -- sequence NFA for live-set pruning --------------------------------------------
 
 
 class _SequenceNfa:
-    """Tiny positional NFA over a segment list, used only for pruning.
+    """Tiny positional NFA over an integer segment list, for pruning.
 
     States are integers.  ``letter_arcs[state]`` is a list of
-    ``(symbols, target)``; ``eps_arcs[state]`` a list of targets.  The
-    DFS knows exactly which state it is in at each anchored position, so
-    the live table ``(vertex, state)`` prunes both prefix feasibility
-    (from x) and suffix feasibility (to y).
+    ``(label_mask, target)``; ``eps_arcs[state]`` a list of targets.
+    The DFS knows exactly which state it is in at each anchored
+    position, so the live table ``vertex_id * num_states + state``
+    prunes both prefix feasibility (from x) and suffix feasibility
+    (to y).
     """
 
     def __init__(self, segments):
@@ -115,23 +148,22 @@ class _SequenceNfa:
             self.entry.append(current)
             if kind in (_WORD, _OPTWORD):
                 begin = current
-                for symbol in payload:
+                for label_id in payload:
                     nxt = new_state()
-                    self.letter_arcs[current].append(
-                        (frozenset((symbol,)), nxt)
-                    )
+                    mask = 0 if label_id is None else 1 << label_id
+                    self.letter_arcs[current].append((mask, nxt))
                     current = nxt
                 if kind == _OPTWORD:
                     self.eps_arcs[begin].append(current)
             else:
-                symbols, min_count = payload
+                mask, min_count = payload
                 begin = current
                 for _ in range(min_count):
                     nxt = new_state()
-                    self.letter_arcs[current].append((symbols, nxt))
+                    self.letter_arcs[current].append((mask, nxt))
                     current = nxt
                 # self-loop for additional letters
-                self.letter_arcs[current].append((symbols, current))
+                self.letter_arcs[current].append((mask, current))
                 self.star_loop[index] = current
                 after = new_state()
                 self.eps_arcs[begin].append(after)
@@ -141,72 +173,72 @@ class _SequenceNfa:
         self.final = current
         self.num_states = len(self.letter_arcs)
 
-    def eps_closure_forward(self, states):
-        seen = set(states)
-        stack = list(states)
-        while stack:
-            state = stack.pop()
-            for target in self.eps_arcs[state]:
-                if target not in seen:
-                    seen.add(target)
-                    stack.append(target)
-        return seen
-
     def predecessors(self):
-        """Reverse arcs: list per state of (symbols, source) and ε sources."""
+        """Reverse arcs: list per state of (mask, source) and ε sources."""
         rev_letters = [[] for _ in range(self.num_states)]
         rev_eps = [[] for _ in range(self.num_states)]
         for state in range(self.num_states):
-            for symbols, target in self.letter_arcs[state]:
-                rev_letters[target].append((symbols, state))
+            for mask, target in self.letter_arcs[state]:
+                rev_letters[target].append((mask, state))
             for target in self.eps_arcs[state]:
                 rev_eps[target].append(state)
         return rev_letters, rev_eps
 
 
-def _live_table(graph, nfa, source, target):
-    """Set of ``(vertex, state)`` pairs on some x→y completion walk.
+def _live_table(view, nfa, source_id, target_id):
+    """Flat goal-reachability table over packed ``vertex * |Q| + state``.
 
-    Forward product reachability from ``(source, start)`` intersected
-    with backward reachability from ``(target, final)``; simplicity is
-    ignored (this is a pruning overapproximation).
+    Backward product reachability from ``(target, final)``; simplicity
+    is ignored (this is a pruning overapproximation).  The result is a
+    bytearray indexed by packed node, so the hot-loop liveness test is
+    one array read instead of a set hash.
+
+    The seed intersected this with *forward* reachability from
+    ``(source, start)``, but the anchored DFS only ever constructs
+    configurations that are forward-reachable by construction — pinned
+    runs extend real product walks, and gap exits come from
+    :meth:`_SequenceSearch._reach` through the star's own self-loop
+    state — so the forward half never pruned anything and is dropped
+    (verified behavior-identical, step counts included, by the
+    differential suite).
     """
-    forward = set()
-    stack = []
-    for state in nfa.eps_closure_forward((nfa.start,)):
-        node = (source, state)
-        forward.add(node)
-        stack.append(node)
-    while stack:
-        vertex, state = stack.pop()
-        for symbols, nfa_target in nfa.letter_arcs[state]:
-            for label, graph_target in graph.out_edges(vertex):
-                if label not in symbols:
-                    continue
-                for closed in nfa.eps_closure_forward((nfa_target,)):
-                    node = (graph_target, closed)
-                    if node not in forward:
-                        forward.add(node)
-                        stack.append(node)
+    num_states = nfa.num_states
+    size = view.num_vertices * num_states
     rev_letters, rev_eps = nfa.predecessors()
-    backward = set()
+    in_pairs = view.in_pairs
+    in_by_label = view.in_by_label
+    rev_info = [
+        [(mask, _single_label(mask), source) for mask, source in arcs]
+        for arcs in rev_letters
+    ]
+    backward = bytearray(size)
     stack = []
-
-    def add_backward(node):
-        if node not in backward:
-            backward.add(node)
-            stack.append(node)
-
-    add_backward((target, nfa.final))
+    node = target_id * num_states + nfa.final
+    backward[node] = 1
+    stack.append(node)
     while stack:
-        vertex, state = stack.pop()
+        node = stack.pop()
+        vertex_id, state = divmod(node, num_states)
         for eps_source in rev_eps[state]:
-            add_backward((vertex, eps_source))
-        for symbols, nfa_source in rev_letters[state]:
-            for label, graph_source in graph.in_edges(vertex):
-                if label in symbols:
-                    add_backward((graph_source, nfa_source))
-    return forward & backward
+            nxt = vertex_id * num_states + eps_source
+            if not backward[nxt]:
+                backward[nxt] = 1
+                stack.append(nxt)
+        for mask, label, nfa_source in rev_info[state]:
+            if label is not None:
+                sources = in_by_label(vertex_id, label)
+            else:
+                sources = [
+                    graph_source
+                    for label_id, graph_source in in_pairs(vertex_id)
+                    if mask >> label_id & 1
+                ]
+            for graph_source in sources:
+                nxt = graph_source * num_states + nfa_source
+                if not backward[nxt]:
+                    backward[nxt] = 1
+                    stack.append(nxt)
+    return bytes(backward)
 
 
 # -- candidate anchors and completion ------------------------------------------------
@@ -214,7 +246,7 @@ def _live_table(graph, nfa, source, target):
 
 @dataclass
 class _Run:
-    """A fully pinned stretch of the candidate path."""
+    """A fully pinned stretch of the candidate path (ids / label ids)."""
 
     vertices: list
     labels: list
@@ -224,7 +256,7 @@ class _Run:
 class _Gap:
     """A compressed ``A*`` stretch between two pinned vertices."""
 
-    symbols: frozenset
+    mask: int
 
 
 class SolverStats:
@@ -267,66 +299,104 @@ def path_weight(path, weight_fn):
     return sum(weight_fn(u, label, v) for u, label, v in path.steps())
 
 
-def _gap_distances(graph, entry, symbols, blocked, weight_fn, stats):
+def _gap_distances(view, entry, exit_vertex, mask, blocked, weight_fn,
+                   stats):
     """Shortest distances from ``entry`` inside a gap's restrictions.
 
     Unweighted gaps use BFS; weighted gaps use Dijkstra (the paper's
     remark that the algorithm generalises to db-graphs weighted by
-    ``E → R+``).  Returns ``(dist, parent)``.
+    ``E → R+``).  ``blocked`` is a bytearray over vertex ids.  Returns
+    ``(dist, parent, touched, found)``: flat per-vertex distance and
+    back-pointer lists, the list of discovered ids, and the exit's
+    distance (``None`` when unreachable inside the gap).
+
+    The search stops once every vertex within the exit's distance is
+    settled — vertices strictly farther can neither shorten the gap nor
+    join its ``acc(i)`` ball (which keeps only ``d <= found``), so
+    exploring the rest of the component is pure waste.
     """
     stats.charge_gap_bfs()
-    dist = {entry: 0}
-    parent = {}
+    num_vertices = view.num_vertices
+    dist = [None] * num_vertices
+    parent = [None] * num_vertices
+    dist[entry] = 0
+    touched = [entry]
+    found = None
+    out = view.out
     if weight_fn is None:
-        queue = deque([entry])
+        queue = deque((entry,))
         while queue:
             current = queue.popleft()
-            for label, target in graph.out_edges(current):
-                if label not in symbols:
+            base = dist[current]
+            if found is not None and base >= found:
+                break
+            base += 1
+            for label_id, target in out(current):
+                if not mask >> label_id & 1:
                     continue
-                if target in blocked or target in dist:
+                if blocked[target] or dist[target] is not None:
                     continue
-                dist[target] = dist[current] + 1
-                parent[target] = (current, label)
+                dist[target] = base
+                parent[target] = (current, label_id)
+                touched.append(target)
                 queue.append(target)
-        return dist, parent
+                if target == exit_vertex:
+                    found = base
+        return dist, parent, touched, found
     import heapq
 
-    heap = [(0, repr(entry), entry)]
-    settled = set()
+    vertex_at = view.vertex_at
+    label_at = view.label_at
+    heap = [(0, entry)]
+    settled = bytearray(num_vertices)
     while heap:
-        weight, _tie, current = heapq.heappop(heap)
-        if current in settled:
+        weight, current = heapq.heappop(heap)
+        if settled[current]:
             continue
-        settled.add(current)
-        for label, target in graph.out_edges(current):
-            if label not in symbols or target in blocked:
+        if found is not None and weight > found:
+            break
+        settled[current] = 1
+        if current == exit_vertex:
+            found = weight
+        for label_id, target in out(current):
+            if not mask >> label_id & 1 or blocked[target]:
                 continue
-            step = weight_fn(current, label, target)
+            step = weight_fn(
+                vertex_at(current), label_at(label_id), vertex_at(target)
+            )
             if step <= 0:
                 raise GraphError(
                     "edge weights must be strictly positive, got %r for "
-                    "(%r, %r, %r)" % (step, current, label, target)
+                    "(%r, %r, %r)"
+                    % (
+                        step, vertex_at(current), label_at(label_id),
+                        vertex_at(target),
+                    )
                 )
             candidate = weight + step
-            if target not in dist or candidate < dist[target]:
+            previous = dist[target]
+            if previous is None or candidate < previous:
+                if previous is None:
+                    touched.append(target)
                 dist[target] = candidate
-                parent[target] = (current, label)
-                heapq.heappush(heap, (candidate, repr(target), target))
-    return dist, parent
+                parent[target] = (current, label_id)
+                heapq.heappush(heap, (candidate, target))
+    return dist, parent, touched, found
 
 
-def _complete_candidate(graph, pieces, stats, weight_fn=None):
+def _complete_candidate(view, pieces, stats, weight_fn=None):
     """Fill the gaps of a pinned candidate (Definition 4 discipline).
 
-    ``pieces`` alternates _Run and _Gap, starting and ending with runs.
-    Returns a simple :class:`Path` or ``None`` when some gap cannot be
+    ``pieces`` alternates _Run and _Gap, starting and ending with runs,
+    everything in vertex/label ids.  Returns an id-path
+    ``(vertex_ids, label_ids)`` or ``None`` when some gap cannot be
     filled.
     """
-    pinned = set()
+    pinned = bytearray(view.num_vertices)
     for piece in pieces:
         if isinstance(piece, _Run):
-            pinned.update(piece.vertices)
+            for vertex_id in piece.vertices:
+                pinned[vertex_id] = 1
     acc_union = set()
     vertices = list(pieces[0].vertices)
     labels = list(pieces[0].labels)
@@ -336,26 +406,29 @@ def _complete_candidate(graph, pieces, stats, weight_fn=None):
         next_run = pieces[index + 1]
         entry = vertices[-1]
         exit_vertex = next_run.vertices[0]
-        blocked = (pinned - {entry, exit_vertex}) | acc_union
-        dist, parent = _gap_distances(
-            graph, entry, gap.symbols, blocked, weight_fn, stats
+        blocked = bytearray(pinned)
+        blocked[entry] = 0
+        blocked[exit_vertex] = 0
+        for vertex_id in acc_union:
+            blocked[vertex_id] = 1
+        dist, parent, touched, found = _gap_distances(
+            view, entry, exit_vertex, gap.mask, blocked, weight_fn, stats
         )
-        found = dist.get(exit_vertex)
         if found is None or exit_vertex == entry:
             return None
         # acc(i): everything within distance `found` under the gap's
         # restrictions (P_i paths of size w(p) <= length_i, Definition 4).
         acc_union.update(
-            vertex for vertex, d in dist.items() if d <= found
+            vertex_id for vertex_id in touched if dist[vertex_id] <= found
         )
         # Reconstruct the shortest gap path.
         gap_labels = deque()
         gap_vertices = deque()
         cursor = exit_vertex
         while cursor != entry:
-            previous, label = parent[cursor]
+            previous, label_id = parent[cursor]
             gap_vertices.appendleft(cursor)
-            gap_labels.appendleft(label)
+            gap_labels.appendleft(label_id)
             cursor = previous
         vertices.extend(gap_vertices)
         labels.extend(gap_labels)
@@ -363,90 +436,114 @@ def _complete_candidate(graph, pieces, stats, weight_fn=None):
         vertices.extend(next_run.vertices[1:])
         labels.extend(next_run.labels)
         index += 2
-    path = Path(tuple(vertices), tuple(labels))
-    if not path.is_simple():  # pragma: no cover - guaranteed by discipline
+    if len(set(vertices)) != len(vertices):  # pragma: no cover - discipline
         return None
-    return path
+    return tuple(vertices), tuple(labels)
 
 
 class _SequenceSearch:
-    """Anchored DFS for one Ψtr-sequence on one query."""
+    """Anchored DFS for one Ψtr-sequence on one query (integer-native)."""
 
-    def __init__(self, graph, sequence, source, target, stats, budget=None,
-                 weight_fn=None, use_live_pruning=True):
-        self.graph = graph
-        self.segments = _segments_of(sequence)
-        self.source = source
-        self.target = target
+    def __init__(self, view, sequence, source_id, target_id, stats,
+                 budget=None, weight_fn=None, use_live_pruning=True):
+        self.view = view
+        self._out = view.out
+        self._out_by_label = view.out_by_label
+        self.segments = _int_segments(view, _segments_of(sequence))
+        self.source_id = source_id
+        self.target_id = target_id
         self.stats = stats
         self.budget = budget
         self.weight_fn = weight_fn
         self.use_live_pruning = use_live_pruning
-        self._sorted_out = sorted_out_edges_fn(graph)
-        self._sorted_successors = sorted_successors_fn(graph)
         self.nfa = _SequenceNfa(self.segments)
         if use_live_pruning:
-            self.live = _live_table(graph, self.nfa, source, target)
+            self.live = _live_table(view, self.nfa, source_id, target_id)
         else:
             self.live = None
         self.min_remaining = _min_remaining(self.segments)
-        self.best = None
+        self.best = None          # (vertex_ids, label_ids) or None
         self.best_metric = None
         self._reach_cache = {}
+        self._num_nfa_states = self.nfa.num_states
+        # arc-target table: _arc_target[state][label_id] -> next state
+        # (or None), replacing a per-edge scan of the state's arcs with
+        # one list index in the anchored-DFS hot loops.  First matching
+        # arc wins, same as the scan it replaces.
+        num_labels = view.num_labels
+        self._arc_target = [
+            [None] * num_labels for _ in range(self._num_nfa_states)
+        ]
+        for state, arcs in enumerate(self.nfa.letter_arcs):
+            row = self._arc_target[state]
+            for mask, target in arcs:
+                label_id = 0
+                while mask:
+                    if mask & 1 and row[label_id] is None:
+                        row[label_id] = target
+                    mask >>= 1
+                    label_id += 1
 
     # -- helpers -----------------------------------------------------------------
 
-    def _alive(self, vertex, state):
+    def _alive(self, vertex_id, state):
         if self.live is None:
             return True
-        return (vertex, state) in self.live
+        return bool(self.live[vertex_id * self._num_nfa_states + state])
 
-    def _metric(self, path):
+    def _metric(self, id_path):
+        vertex_ids, label_ids = id_path
         if self.weight_fn is None:
-            return len(path)
-        return path_weight(path, self.weight_fn)
+            return len(label_ids)
+        vertex_at = self.view.vertex_at
+        label_at = self.view.label_at
+        return sum(
+            self.weight_fn(vertex_at(u), label_at(label_id), vertex_at(v))
+            for u, label_id, v in zip(vertex_ids, label_ids, vertex_ids[1:])
+        )
 
-    def _reach(self, vertex, symbols):
-        """Vertices reachable from ``vertex`` via ≥1 edges in ``symbols``
-        (unrestricted — a pruning superset)."""
-        key = (vertex, symbols)
+    def _reach(self, vertex_id, mask):
+        """Ids reachable from ``vertex_id`` via ≥1 edges in ``mask``
+        (unrestricted — a pruning superset), ascending (= repr order)."""
+        key = (vertex_id, mask)
         cached = self._reach_cache.get(key)
         if cached is not None:
             return cached
+        out = self._out
+        out_by_label = self._out_by_label
+        single = _single_label(mask)
         seen = set()
-        queue = deque()
-        for label, nxt in self.graph.out_edges(vertex):
-            if label in symbols and nxt not in seen:
-                seen.add(nxt)
-                queue.append(nxt)
+        queue = deque((vertex_id,))
         while queue:
             current = queue.popleft()
-            for label, nxt in self.graph.out_edges(current):
-                if label in symbols and nxt not in seen:
+            if single is not None:
+                successors = out_by_label(current, single)
+            else:
+                successors = [
+                    nxt
+                    for label_id, nxt in out(current)
+                    if mask >> label_id & 1
+                ]
+            for nxt in successors:
+                if nxt not in seen:
                     seen.add(nxt)
                     queue.append(nxt)
-        self._reach_cache[key] = seen
-        return seen
-
-    def _candidate_length(self, pieces):
-        """Pinned length so far (gaps count 1 minimum each)."""
-        total = 0
-        for piece in pieces:
-            if isinstance(piece, _Run):
-                total += len(piece.labels)
-            else:
-                total += 1
-        return total
+        result = tuple(sorted(seen))
+        self._reach_cache[key] = result
+        return result
 
     # -- DFS ----------------------------------------------------------------------
 
     def run(self, best_bound=None):
-        if best_bound is not None:
-            self.best_bound = best_bound
-        else:
-            self.best_bound = None
-        start_run = _Run([self.source], [])
-        self._search(0, self.nfa.start, [start_run], {self.source})
+        self.best_bound = best_bound
+        start_run = _Run([self.source_id], [])
+        pinned = bytearray(self.view.num_vertices)
+        pinned[self.source_id] = 1
+        # Pinned length so far (gaps count 1 minimum each), maintained
+        # incrementally at every push/pop site so the per-step length
+        # prune costs O(1) instead of a walk over the pieces.
+        self._pinned_length = 0
+        self._search(0, self.nfa.start, [start_run], pinned)
         return self.best
 
     def _too_long(self, pieces, seg_index):
@@ -454,14 +551,13 @@ class _SequenceSearch:
             # Edge counts do not bound weights; skip the length prune.
             return False
         if self.best is not None:
-            bound = len(self.best)
+            bound = len(self.best[1])
         elif self.best_bound is not None:
             bound = self.best_bound
         else:
             return False
         return (
-            self._candidate_length(pieces) + self.min_remaining[seg_index]
-            >= bound
+            self._pinned_length + self.min_remaining[seg_index] >= bound
         )
 
     def _search(self, seg_index, state, pieces, pinned):
@@ -474,17 +570,17 @@ class _SequenceSearch:
         if state is not None and not self._alive(current, state):
             return
         if seg_index == len(self.segments):
-            if current != self.target:
+            if current != self.target_id:
                 return
             self.stats.count_candidate()
-            path = _complete_candidate(
-                self.graph, pieces, self.stats, weight_fn=self.weight_fn
+            id_path = _complete_candidate(
+                self.view, pieces, self.stats, weight_fn=self.weight_fn
             )
             self.stats.count_completion()
-            if path is not None:
-                metric = self._metric(path)
+            if id_path is not None:
+                metric = self._metric(id_path)
                 if self.best is None or metric < self.best_metric:
-                    self.best = path
+                    self.best = id_path
                     self.best_metric = metric
             return
         kind, payload = self.segments[seg_index]
@@ -502,7 +598,8 @@ class _SequenceSearch:
     def _next_entry_state(self, seg_index):
         return self.nfa.entry[seg_index + 1]
 
-    def _follow_word(self, seg_index, state, pieces, pinned, word, optional):
+    def _follow_word(self, seg_index, state, pieces, pinned, word_label_ids,
+                     optional):
         if optional:
             # Skip branch: ε for (w + ε).
             self._search(
@@ -513,7 +610,7 @@ class _SequenceSearch:
             state,
             pieces,
             pinned,
-            word,
+            word_label_ids,
             0,
             lambda pcs, pnd: self._search(
                 seg_index + 1, self._next_entry_state(seg_index), pcs, pnd
@@ -521,56 +618,56 @@ class _SequenceSearch:
         )
 
     def _follow_letters(
-        self, seg_index, state, pieces, pinned, word, offset, continuation
+        self, seg_index, state, pieces, pinned, word_label_ids, offset,
+        continuation,
     ):
-        """Pin edges spelling ``word[offset:]`` then call continuation."""
-        if offset == len(word):
+        """Pin edges spelling ``word_label_ids[offset:]`` then continue."""
+        if offset == len(word_label_ids):
             continuation(pieces, pinned)
             return
-        symbol = word[offset]
+        label_id = word_label_ids[offset]
+        if label_id is None:
+            # The letter labels no edge anywhere: dead end.
+            return
         run = pieces[-1]
         current = run.vertices[-1]
-        next_state = self._letter_target(state, symbol)
-        for target in self._sorted_successors(current, symbol):
-            if target in pinned:
+        next_state = self._letter_target(state, label_id)
+        live = self.live if next_state is not None else None
+        num_states = self._num_nfa_states
+        vertices = run.vertices
+        labels = run.labels
+        for target in self._out_by_label(current, label_id):
+            if pinned[target]:
                 continue
-            if next_state is not None and not self._alive(target, next_state):
+            if live is not None and not live[
+                target * num_states + next_state
+            ]:
                 continue
-            run.vertices.append(target)
-            run.labels.append(symbol)
-            pinned.add(target)
+            vertices.append(target)
+            labels.append(label_id)
+            pinned[target] = 1
+            self._pinned_length += 1
             self._follow_letters(
                 seg_index,
                 next_state,
                 pieces,
                 pinned,
-                word,
+                word_label_ids,
                 offset + 1,
                 continuation,
             )
-            pinned.discard(target)
-            run.vertices.pop()
-            run.labels.pop()
+            self._pinned_length -= 1
+            pinned[target] = 0
+            vertices.pop()
+            labels.pop()
 
-    def _letter_target(self, state, symbol):
+    def _letter_target(self, state, label_id):
         if state is None:
             return None
-        for symbols, target in self.nfa.letter_arcs[state]:
-            if symbol in symbols:
-                return target
-        return None
-
-    def _class_targets(self, state, symbol):
-        if state is None:
-            return [None]
-        return [
-            target
-            for symbols, target in self.nfa.letter_arcs[state]
-            if symbol in symbols
-        ] or [None]
+        return self._arc_target[state][label_id]
 
     def _follow_star(self, seg_index, state, pieces, pinned, payload):
-        symbols, min_count = payload
+        mask, min_count = payload
         after_state = self._next_entry_state(seg_index)
         # Branch 1: ε.
         self._search(seg_index + 1, after_state, pieces, pinned)
@@ -580,7 +677,7 @@ class _SequenceSearch:
                 state,
                 pieces,
                 pinned,
-                symbols,
+                mask,
                 length,
                 lambda pcs, pnd: self._search(
                     seg_index + 1, after_state, pcs, pnd
@@ -591,61 +688,75 @@ class _SequenceSearch:
 
         def after_head(pcs, pnd):
             head_vertex = pcs[-1].vertices[-1]
-            reachable = self._reach(head_vertex, symbols)
-            for exit_vertex in sorted(reachable, key=repr):
-                if exit_vertex in pnd:
+            live = self.live if loop_state is not None else None
+            num_states = self._num_nfa_states
+            for exit_vertex in self._reach(head_vertex, mask):
+                if pnd[exit_vertex]:
                     continue
-                if loop_state is not None and not self._alive(
-                    exit_vertex, loop_state
-                ):
+                if live is not None and not live[
+                    exit_vertex * num_states + loop_state
+                ]:
                     continue
-                gap = _Gap(symbols)
+                gap = _Gap(mask)
                 new_run = _Run([exit_vertex], [])
                 pcs.append(gap)
                 pcs.append(new_run)
-                pnd.add(exit_vertex)
+                pnd[exit_vertex] = 1
+                self._pinned_length += 1
                 self._follow_class_letters(
                     loop_state,
                     pcs,
                     pnd,
-                    symbols,
+                    mask,
                     min_count,
                     lambda pcs2, pnd2: self._search(
                         seg_index + 1, after_state, pcs2, pnd2
                     ),
                 )
-                pnd.discard(exit_vertex)
+                self._pinned_length -= 1
+                pnd[exit_vertex] = 0
                 pcs.pop()
                 pcs.pop()
 
         self._follow_class_letters(
-            state, pieces, pinned, symbols, min_count, after_head
+            state, pieces, pinned, mask, min_count, after_head
         )
 
     def _follow_class_letters(
-        self, state, pieces, pinned, symbols, count, continuation
+        self, state, pieces, pinned, mask, count, continuation
     ):
-        """Pin ``count`` edges with labels in ``symbols``."""
+        """Pin ``count`` edges with labels in ``mask``."""
         if count == 0:
             continuation(pieces, pinned)
             return
         run = pieces[-1]
         current = run.vertices[-1]
-        for label, target in self._sorted_out(current):
-            if label not in symbols or target in pinned:
+        arc_row = None if state is None else self._arc_target[state]
+        live = self.live
+        num_states = self._num_nfa_states
+        vertices = run.vertices
+        labels = run.labels
+        for label_id, target in self._out(current):
+            if not mask >> label_id & 1 or pinned[target]:
                 continue
-            next_state = self._letter_target(state, label)
-            if next_state is not None and not self._alive(target, next_state):
+            next_state = None if arc_row is None else arc_row[label_id]
+            if (
+                next_state is not None
+                and live is not None
+                and not live[target * num_states + next_state]
+            ):
                 continue
-            run.vertices.append(target)
-            run.labels.append(label)
-            pinned.add(target)
+            vertices.append(target)
+            labels.append(label_id)
+            pinned[target] = 1
+            self._pinned_length += 1
             self._follow_class_letters(
-                next_state, pieces, pinned, symbols, count - 1, continuation
+                next_state, pieces, pinned, mask, count - 1, continuation
             )
-            pinned.discard(target)
-            run.vertices.pop()
-            run.labels.pop()
+            self._pinned_length -= 1
+            pinned[target] = 0
+            vertices.pop()
+            labels.pop()
 
 
 class TractableSolver:
@@ -696,48 +807,47 @@ class TractableSolver:
         deadline); one is created — and remembered as ``last_stats`` —
         when the caller does not supply one.
         """
-        graph.require_vertex(source)
-        graph.require_vertex(target)
+        view = as_graph_view(graph)
+        source_id = view.vertex_id(source)
+        target_id = view.vertex_id(target)
         if ctx is None:
             ctx = ExecutionContext()
             self.last_stats = ctx
         stats = ctx
-        if source == target:
+        if source_id == target_id:
             if self.language.accepts(""):
-                return Path.single(source)
+                return Path.single(view.vertex_at(source_id))
             return None
         best = None
         best_metric = None
         for sequence in self.expression.sequences:
             search = _SequenceSearch(
-                graph, sequence, source, target, stats,
+                view, sequence, source_id, target_id, stats,
                 budget=self.dfs_budget, weight_fn=weight_fn,
                 use_live_pruning=self.use_live_pruning,
             )
             found = search.run(
                 best_bound=(
-                    len(best)
+                    len(best[1])
                     if best is not None and weight_fn is None
                     else None
                 )
             )
             if found is not None:
-                metric = (
-                    len(found)
-                    if weight_fn is None
-                    else path_weight(found, weight_fn)
-                )
+                metric = search.best_metric
                 if best is None or metric < best_metric:
                     best = found
                     best_metric = metric
-        if best is not None:
-            if not best.is_simple():
-                raise GraphError("solver produced a non-simple path (bug)")
-            if not self.language.accepts(best.word):
-                raise GraphError(
-                    "solver produced a path outside L (bug): %r" % best.word
-                )
-        return best
+        if best is None:
+            return None
+        path = view.path(*best)
+        if not path.is_simple():
+            raise GraphError("solver produced a non-simple path (bug)")
+        if not self.language.accepts(path.word):
+            raise GraphError(
+                "solver produced a path outside L (bug): %r" % path.word
+            )
+        return path
 
     def exists(self, graph, source, target, ctx=None):
         """Decision variant of RSPQ(L)."""

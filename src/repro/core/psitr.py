@@ -30,7 +30,7 @@ from typing import FrozenSet, Tuple
 
 from ..errors import NotInTrCError, ReproError
 from ..languages import Language
-from ..languages.nfa import NFA, empty_nfa, epsilon_nfa, nfa_from_ast, word_nfa
+from ..languages.nfa import empty_nfa, nfa_from_ast, word_nfa
 from ..languages.regex import ast as rx
 from ..languages.regex import builder
 from ..languages.analysis import (

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..errors import GraphError
-from ..graphs.dbgraph import Path
 from ..languages.analysis import strongly_connected_components
 from .trc import _as_minimal_dfa
 

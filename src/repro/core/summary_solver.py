@@ -38,6 +38,7 @@ from __future__ import annotations
 from ..errors import NotInTrCError
 from ..graphs.dbgraph import Path
 from ..graphs.product import ProductGraph
+from ..graphs.view import as_graph_view
 from ..languages import Language
 from ..languages.analysis import (
     internal_alphabet,
@@ -134,6 +135,12 @@ class _SummarySearch:
         self.live = self.product.live_states(target)
         self.best = None
         self._reach_cache = {}
+        # The completion step is shared with the production solver,
+        # which runs integer-native over a GraphView; this didactic
+        # enumeration stays on names and translates each candidate at
+        # the completion boundary (negligible next to the n^{O(M·N)}
+        # enumeration itself).
+        self.view = as_graph_view(graph)
 
     def run(self):
         start_state = self.dfa.initial
@@ -153,12 +160,29 @@ class _SummarySearch:
 
     # -- helpers ------------------------------------------------------------------
 
+    def _id_pieces(self, pieces):
+        """Name-level candidate pieces translated to view ids/masks."""
+        view = self.view
+        translated = []
+        for piece in pieces:
+            if isinstance(piece, _Run):
+                translated.append(_Run(
+                    [view.vertex_id(vertex) for vertex in piece.vertices],
+                    [view.label_id(label) for label in piece.labels],
+                ))
+            else:
+                translated.append(_Gap(view.label_mask(piece.mask)))
+        return translated
+
     def _try_complete(self, pieces):
         self.stats.candidates += 1
-        path = _complete_candidate(self.graph, pieces, self.stats)
+        id_path = _complete_candidate(
+            self.view, self._id_pieces(pieces), self.stats
+        )
         self.stats.completions += 1
-        if path is None:
+        if id_path is None:
             return
+        path = self.view.path(*id_path)
         if not self.language_accepts(path):
             return
         if self.best is None or len(path) < len(self.best):

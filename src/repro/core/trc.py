@@ -22,7 +22,6 @@ cross-validation oracle for tests.
 
 from __future__ import annotations
 
-from itertools import combinations_with_replacement
 
 from ..languages import Language
 from ..languages.analysis import looping_states

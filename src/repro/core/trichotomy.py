@@ -18,8 +18,6 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
-from ..languages import Language
-from ..languages.dfa import DFA
 from .trc import _as_minimal_dfa, is_in_trc
 from .witness import HardnessWitness, find_hardness_witness
 

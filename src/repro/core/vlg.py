@@ -25,7 +25,6 @@ from ..graphs.vlgraph import EvlGraph, VlGraph
 from ..languages import Language
 from ..languages.analysis import (
     has_loop_with_last_letter,
-    loop_with_last_letter_nfa,
 )
 from .trc import _as_minimal_dfa
 

@@ -26,11 +26,9 @@ the guided enumeration is validated against the whole catalog in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
-
 from ..errors import ReproError
 from ..languages.analysis import looping_states
-from ..languages.nfa import NFA, star_nfa, word_nfa
+from ..languages.nfa import star_nfa, word_nfa
 from .trc import _as_minimal_dfa, is_in_trc
 
 

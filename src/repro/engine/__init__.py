@@ -8,10 +8,15 @@ solvers want a *deterministic* neighbour order, which the seed obtained
 by re-sorting adjacency by ``repr`` at every expansion.
 :class:`IndexedGraph` compiles the graph once: vertices become
 contiguous ints, forward and reverse adjacency become pre-sorted
-tuples, and each label gets CSR-style ``indptr``/``targets`` arrays for
-label-restricted traversal.  It duck-types the ``DbGraph`` read API, so
-every solver runs on it unchanged — and returns bit-identical paths,
-because the compiled order *is* the repr order the solvers sorted into.
+tuples, and each label gets CSR-style ``indptr``/``targets`` arrays —
+forward *and* reverse — for label-restricted traversal.  Its frozen
+:class:`~repro.engine.indexed.CsrView` implements the integer-native
+:class:`~repro.graphs.view.GraphView` API the solver cores walk, so
+every engine query runs on precompiled int adjacency end to end — and
+returns bit-identical paths to a direct solve on the ``DbGraph``'s own
+dict-backed view, because both views share the canonical repr order.
+(The compiled graph also duck-types the ``DbGraph`` read API for
+callers that want name-level reads.)
 
 **Per-language work.**  Answering ``solve_rspq(regex, ...)`` parses the
 regex, determinises and minimises the automaton, classifies it against

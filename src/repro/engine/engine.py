@@ -232,6 +232,9 @@ class QueryEngine:
             self.graph = graph
         else:
             self.graph = IndexedGraph(graph)
+        # The integer-native CSR view every solver receives; built once
+        # per engine so no query pays for it.
+        self.view = self.graph.view()
         self.plan_cache = PlanCache(plan_cache_size)
         self.exact_budget = exact_budget
         self.deadline_seconds = deadline_seconds
@@ -268,6 +271,11 @@ class QueryEngine:
     def cache_stats(self):
         """Engine-lifetime plan-cache counters (an independent snapshot)."""
         return self.plan_cache.stats.snapshot()
+
+    @property
+    def view_kind(self):
+        """Backend of the graph view the solvers run on ("csr")."""
+        return self.view.kind
 
     def plan_for(self, language):
         """The cached plan for ``language``, compiling on a miss.
@@ -339,7 +347,7 @@ class QueryEngine:
             deadline_seconds=deadline_seconds, budget=budget
         )
         path = plan.solver.shortest_simple_path(
-            self.graph, source, target, ctx=ctx
+            self.view, source, target, ctx=ctx
         )
         return self._answered_result(
             language, source, target, plan, cache_hit, ctx, path, start
@@ -368,7 +376,7 @@ class QueryEngine:
         """Decision variant (plan-cached)."""
         plan, _cache_hit = self.plan_for(language)
         return plan.solver.exists(
-            self.graph, source, target, ctx=self._new_context()
+            self.view, source, target, ctx=self._new_context()
         )
 
     def _run_single(self, language, source, target, deadline_seconds=None,
@@ -382,7 +390,7 @@ class QueryEngine:
                 deadline_seconds=deadline_seconds, budget=budget
             )
             path = plan.solver.shortest_simple_path(
-                self.graph, source, target, ctx=ctx
+                self.view, source, target, ctx=ctx
             )
         except ReproError as err:
             return EngineResult(

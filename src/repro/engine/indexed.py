@@ -26,6 +26,134 @@ from array import array
 
 from ..errors import GraphError
 from ..graphs.dbgraph import DbGraph
+from ..graphs.view import GraphView
+
+
+def _transpose_label_csr(num_vertices, label_indptr, label_targets):
+    """Reverse (label-partitioned) CSR from the forward per-label CSR.
+
+    For each label, slice ``i`` of the result lists the *sources* of
+    ``label``-edges into vertex ``i``, in ascending source-id order
+    (sources are visited ascending, so each slice comes out sorted).
+    One counting pass per label — O(V·|Σ| + E) total, the same cost
+    class as the forward build.
+    """
+    rev_indptr = {}
+    rev_sources = {}
+    for label, targets in label_targets.items():
+        indptr = label_indptr[label]
+        counts = [0] * (num_vertices + 1)
+        for target_id in targets:
+            counts[target_id + 1] += 1
+        for index in range(num_vertices):
+            counts[index + 1] += counts[index]
+        sources = [0] * len(targets)
+        cursor = counts[:-1]
+        for source_id in range(num_vertices):
+            for position in range(indptr[source_id], indptr[source_id + 1]):
+                target_id = targets[position]
+                sources[cursor[target_id]] = source_id
+                cursor[target_id] += 1
+        rev_indptr[label] = array("l", counts)
+        rev_sources[label] = array("l", sources)
+    return rev_indptr, rev_sources
+
+
+class CsrView(GraphView):
+    """Frozen CSR :class:`~repro.graphs.view.GraphView` (see graphs.view).
+
+    Everything the solver hot loops read is precompiled: per-vertex
+    ``(label_id, target_id)`` pairs in the canonical repr order,
+    per-label forward CSR slices for label-partitioned successor
+    iteration, and the label-partitioned reverse CSR for backward
+    product searches (``ExactSolver._goal_distances``).  Built once
+    per compiled graph via :meth:`IndexedGraph.view`.
+    """
+
+    kind = "csr"
+
+    def __init__(self, graph):
+        self.graph = graph
+        self._vertex_of = graph._vertex_of
+        self._id_of = graph._id_of
+        self._label_of = tuple(sorted(graph._labels))
+        self._label_ids = {
+            label: index for index, label in enumerate(self._label_of)
+        }
+        label_ids = self._label_ids
+        id_of = self._id_of
+        self._out_pairs = [
+            tuple((label_ids[label], id_of[target]) for label, target in pairs)
+            for pairs in graph._out
+        ]
+        self._in_id_pairs = [
+            tuple((label_ids[label], id_of[source]) for label, source in pairs)
+            for pairs in graph._in
+        ]
+        self._fwd = [
+            (graph._label_indptr[label], graph._label_targets[label])
+            for label in self._label_of
+        ]
+        self._rev = [
+            (graph._rev_label_indptr[label], graph._rev_label_sources[label])
+            for label in self._label_of
+        ]
+        # (vertex_id, label_id) -> tuple memo over the CSR slices, so a
+        # hot (vertex, label) pair costs one dict hit instead of a new
+        # array slice object per read.  Empty slices are answered with
+        # a shared () and never cached, so the memo is bounded by the
+        # number of (vertex, label) pairs that actually carry edges —
+        # O(E) per direction, not O(|V|·|Σ|).
+        self._succ_memo = {}
+        self._pred_memo = {}
+
+    def out(self, vertex_id):
+        """``(label_id, target_id)`` pairs in repr order — precompiled."""
+        return self._out_pairs[vertex_id]
+
+    def out_by_label(self, vertex_id, label_id):
+        """``label_id``-successors (ascending ids) — memoised CSR slice."""
+        if label_id is None:
+            return ()
+        key = vertex_id * len(self._fwd) + label_id
+        cached = self._succ_memo.get(key)
+        if cached is None:
+            indptr, targets = self._fwd[label_id]
+            start = indptr[vertex_id]
+            stop = indptr[vertex_id + 1]
+            if start == stop:
+                return ()
+            cached = tuple(targets[start:stop])
+            self._succ_memo[key] = cached
+        return cached
+
+    def in_pairs(self, vertex_id):
+        """``(label_id, source_id)`` pairs — precompiled."""
+        return self._in_id_pairs[vertex_id]
+
+    def in_by_label(self, vertex_id, label_id):
+        """``label_id``-predecessors — memoised reverse-CSR slice."""
+        if label_id is None:
+            return ()
+        key = vertex_id * len(self._rev) + label_id
+        cached = self._pred_memo.get(key)
+        if cached is None:
+            indptr, sources = self._rev[label_id]
+            start = indptr[vertex_id]
+            stop = indptr[vertex_id + 1]
+            if start == stop:
+                return ()
+            cached = tuple(sources[start:stop])
+            self._pred_memo[key] = cached
+        return cached
+
+    def out_degree(self, vertex_id):
+        return len(self._out_pairs[vertex_id])
+
+    def __repr__(self):
+        return "CsrView(|V|=%d, |Σ|=%d over %r)" % (
+            self.num_vertices, self.num_labels, self.graph,
+        )
 
 
 class IndexedGraph:
@@ -41,7 +169,10 @@ class IndexedGraph:
         "_out_pair_sets",
         "_label_indptr",
         "_label_targets",
+        "_rev_label_indptr",
+        "_rev_label_sources",
         "_sorted_succ_by_label",
+        "_view",
     )
 
     def __init__(self, graph):
@@ -89,13 +220,22 @@ class IndexedGraph:
                     len(self._label_targets[label])
                 )
 
+        # Label-partitioned reverse CSR, built once at compile time so
+        # backward product searches (goal-distance BFS) read array
+        # slices instead of rescanning in-edge sets.
+        self._rev_label_indptr, self._rev_label_sources = (
+            _transpose_label_csr(n, self._label_indptr, self._label_targets)
+        )
+
         # (vertex, label) -> sorted target tuple, filled lazily from the
         # CSR slices on first use.
         self._sorted_succ_by_label = {}
+        self._view = None
 
     @classmethod
     def _from_parts(cls, vertex_of, labels, num_edges, out, in_,
-                    label_indptr, label_targets):
+                    label_indptr, label_targets,
+                    rev_label_indptr=None, rev_label_sources=None):
         """Rebuild a compiled view directly from its frozen parts.
 
         Used by :mod:`repro.service.snapshot` to warm-start from disk
@@ -117,8 +257,44 @@ class IndexedGraph:
         self._in = tuple(in_)
         self._label_indptr = dict(label_indptr)
         self._label_targets = dict(label_targets)
+        if rev_label_indptr is None or rev_label_sources is None:
+            # Pre-reverse-CSR snapshot (format v1): rebuild the reverse
+            # index in memory from the forward arrays.
+            rev_label_indptr, rev_label_sources = _transpose_label_csr(
+                len(self._vertex_of), self._label_indptr,
+                self._label_targets,
+            )
+        self._rev_label_indptr = dict(rev_label_indptr)
+        self._rev_label_sources = dict(rev_label_sources)
         self._sorted_succ_by_label = {}
+        self._view = None
         return self
+
+    # -- pickling (process-mode batch workers) -----------------------------------
+
+    def __getstate__(self):
+        # The compiled view ships its frozen parts; the GraphView and
+        # the lazy membership sets are rebuilt on demand in the worker.
+        state = {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_view", "_out_pair_sets")
+        }
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._out_pair_sets = None
+        self._view = None
+
+    # -- integer-native view ------------------------------------------------------
+
+    def view(self):
+        """The frozen :class:`CsrView` over this graph (built once)."""
+        if self._view is None:
+            self._view = CsrView(self)
+        return self._view
 
     # -- id mapping -------------------------------------------------------------
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any
 
@@ -32,27 +32,88 @@ from ..core.solver import RspqSolver
 from ..languages import Language
 
 
+def _canonical_dfa_signature(dfa):
+    """Representation-independent signature of the language of ``dfa``.
+
+    Minimisation pins the automaton up to one degree of freedom the raw
+    transition table still leaks: the *dead-state representation*.  The
+    same language completed over a larger alphabet grows a sink state
+    and extra transitions into it, so ``Language("a*")`` and
+    ``Language("a*", alphabet="ab")`` — one language, two minimal DFAs —
+    would key differently and silently stop sharing a plan.
+
+    The signature therefore normalises the dead part away: it is
+    computed on the *live* states only (those that can still reach an
+    accepting state), over the *live* symbols only (those carrying some
+    live→live transition), with live states renumbered in BFS order
+    from the initial state over the sorted live alphabet.  The live
+    part is exactly the trim automaton of L, which determines the
+    language — so equal signatures mean equal languages, and any two
+    dead-state representations of one language collide on purpose.
+    RSPQ evaluation is oblivious to the difference (a word using a dead
+    symbol is not in L either way), so the shared plan answers both
+    spellings identically.
+    """
+    delta = {}
+    reverse = {}
+    for state, symbol, target in dfa.transitions():
+        delta[(state, symbol)] = target
+        reverse.setdefault(target, []).append(state)
+    # Live states: backward closure from the accepting set.
+    live = set(dfa.accepting)
+    stack = list(live)
+    while stack:
+        state = stack.pop()
+        for previous in reverse.get(state, ()):
+            if previous not in live:
+                live.add(previous)
+                stack.append(previous)
+    if dfa.initial not in live:
+        # The empty language: every representation shares one key.
+        return ("dfa", 0, (), (), ())
+    live_symbols = tuple(sorted({
+        symbol
+        for (state, symbol), target in delta.items()
+        if state in live and target in live
+    }))
+    # Canonical renumbering: BFS from the initial state over the sorted
+    # live alphabet, through live transitions only.
+    order = {dfa.initial: 0}
+    queue = deque((dfa.initial,))
+    while queue:
+        state = queue.popleft()
+        for symbol in live_symbols:
+            target = delta[(state, symbol)]
+            if target in live and target not in order:
+                order[target] = len(order)
+                queue.append(target)
+    transitions = tuple(
+        (order[state], symbol, order[delta[(state, symbol)]])
+        for state in sorted(order, key=order.get)
+        for symbol in live_symbols
+        if delta[(state, symbol)] in live
+    )
+    accepting = tuple(sorted(
+        order[state] for state in dfa.accepting if state in order
+    ))
+    return ("dfa", len(order), live_symbols, accepting, transitions)
+
+
 def plan_key(language):
     """A hashable cache key for a regex string or ``Language``.
 
     Strings key by their exact text — the cheap path, no parsing.
-    ``Language`` objects key by the canonical minimal-DFA signature
-    (state count, alphabet, initial, accepting set, transition table),
-    which is representation-independent: ``a*`` and ``(a*)*`` collide on
-    purpose.
+    ``Language`` objects key by the canonical signature of their
+    minimal DFA's *live part* (see :func:`_canonical_dfa_signature`),
+    which is representation-independent: ``a*`` and ``(a*)*`` collide
+    on purpose, and so do two minimal DFAs differing only in their
+    dead-state/sink representation (e.g. the same language completed
+    over a larger alphabet).
     """
     if isinstance(language, str):
         return ("regex", language)
     if isinstance(language, Language):
-        dfa = language.dfa
-        return (
-            "dfa",
-            dfa.num_states,
-            tuple(sorted(dfa.alphabet)),
-            dfa.initial,
-            tuple(sorted(dfa.accepting)),
-            tuple(sorted(dfa.transitions())),
-        )
+        return _canonical_dfa_signature(language.dfa)
     raise TypeError(
         "plan keys need a regex string or Language, got %r" % (language,)
     )

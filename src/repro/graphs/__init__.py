@@ -1,16 +1,20 @@
 """Graph-database substrate: db-graphs, vl/evl graphs, generators, IO."""
 
 from .dbgraph import DbGraph, Path
+from .view import DbGraphView, GraphView, as_graph_view
 from .vlgraph import EvlGraph, VlGraph
 from .product import ProductGraph, rpq_reachable, shortest_walk
 from . import generators, io
 
 __all__ = [
     "DbGraph",
+    "DbGraphView",
     "EvlGraph",
+    "GraphView",
     "Path",
     "ProductGraph",
     "VlGraph",
+    "as_graph_view",
     "generators",
     "io",
     "rpq_reachable",

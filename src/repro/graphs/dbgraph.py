@@ -36,6 +36,10 @@ class DbGraph:
         self._sorted_vertices = None
         self._sorted_succ = {}
         self._sorted_succ_by_label = {}
+        # Integer-native GraphView over this graph, memoised per
+        # mutation generation (see view()).
+        self._view = None
+        self._view_mutations = -1
 
     def _sync_caches(self):
         if self._cache_mutations != self._mutations:
@@ -206,6 +210,21 @@ class DbGraph:
 
     def in_degree(self, vertex):
         return len(self._pred.get(vertex, ()))
+
+    def view(self):
+        """The integer-native :class:`~repro.graphs.view.DbGraphView`.
+
+        Memoised per mutation generation: repeated solves against an
+        unchanged graph share one view (and its id tables); any
+        mutation invalidates it wholesale, exactly like the sorted
+        adjacency caches.
+        """
+        if self._view is None or self._view_mutations != self._mutations:
+            from .view import DbGraphView
+
+            self._view = DbGraphView(self)
+            self._view_mutations = self._mutations
+        return self._view
 
     # -- restricted views ------------------------------------------------------------
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from collections import deque
 
-from ..errors import GraphError
 from .dbgraph import Path
 
 

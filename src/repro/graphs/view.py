@@ -1,0 +1,227 @@
+"""GraphView — the integer-native read layer under the solver cores.
+
+The three solver cores (finite / tractable / exact) spend their hot
+loops asking the same four questions: *what are this vertex's
+successors, partitioned by label?  what is its out-degree?  who points
+at it?  have I visited it?*  Asking those questions of a
+:class:`~repro.graphs.dbgraph.DbGraph` means hashing vertex names and
+label strings on every expansion.  A :class:`GraphView` answers them in
+integers instead: vertices carry contiguous ids ``0..n-1`` assigned in
+the graph's deterministic (repr-sorted) order, labels carry ids
+``0..L-1`` in sorted order, and label *sets* become bitmasks — so a
+visited set is a flat ``bytearray`` index, a label-class test is one
+shift-and-mask, and a DFA transition is a list lookup.
+
+Two implementations:
+
+:class:`DbGraphView`
+    Dict-backed with *reference semantics*: every read goes through the
+    live graph's own adjacency (plus its cached repr-sorted views), so
+    the view is cheap to build and never copies the edge set.  This is
+    what a direct ``solve_rspq`` on a mutable :class:`DbGraph` uses —
+    ``DbGraph.view()`` memoises one per mutation generation.
+
+``CsrView`` (:mod:`repro.engine.indexed`)
+    Frozen CSR arrays with everything precompiled: per-vertex integer
+    adjacency pairs, per-label forward CSR slices, and a
+    label-partitioned *reverse* CSR for backward product searches.
+    This is what :class:`~repro.engine.QueryEngine` (and therefore
+    every batch and HTTP-served query) hands to the solvers.
+
+Both views assign vertex ids in the same repr-sorted order and iterate
+adjacency in the same precomputed repr order, so the solvers return
+**bit-identical paths** on either backing — the property the
+CSR-vs-DbGraph differential suite in ``tests/test_hypothesis_solvers``
+pins down.
+
+:func:`as_graph_view` is the solvers' entry point: it accepts a view
+(identity), anything exposing ``.view()`` (``DbGraph``,
+``IndexedGraph``), or any duck-typed graph with the ``DbGraph`` read
+API (wrapped in a fresh :class:`DbGraphView`).
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from .dbgraph import (
+    DbGraph,
+    Path,
+    sorted_out_edges_fn,
+    sorted_successors_fn,
+)
+
+
+class GraphView:
+    """Abstract integer-native graph view (see module docstring).
+
+    Subclasses provide ``_vertex_of`` / ``_id_of`` (vertex tables),
+    ``_label_of`` / ``_label_ids`` (label tables) and the adjacency
+    methods :meth:`out`, :meth:`out_by_label`, :meth:`in_pairs`,
+    :meth:`in_by_label` and :meth:`out_degree`.  Vertex ids follow the
+    repr-sorted vertex order; label ids follow sorted label order;
+    adjacency iterates in the same repr order every solver historically
+    sorted into, which is what makes results view-independent.
+    """
+
+    #: Short machine-readable backend name ("dict" / "csr").
+    kind = "abstract"
+
+    # -- id tables ---------------------------------------------------------------
+
+    @property
+    def num_vertices(self):
+        return len(self._vertex_of)
+
+    @property
+    def num_labels(self):
+        return len(self._label_of)
+
+    def vertex_id(self, vertex):
+        """The contiguous int id of ``vertex`` (GraphError if unknown)."""
+        try:
+            return self._id_of[vertex]
+        except KeyError:
+            raise GraphError("unknown vertex %r" % (vertex,))
+
+    def vertex_at(self, vertex_id):
+        """The vertex carrying id ``vertex_id``."""
+        return self._vertex_of[vertex_id]
+
+    def label_id(self, label):
+        """The int id of ``label``, or ``None`` when no edge carries it."""
+        return self._label_ids.get(label)
+
+    def label_at(self, label_id):
+        return self._label_of[label_id]
+
+    def label_mask(self, symbols):
+        """Bitmask over label ids for a set of label strings.
+
+        Symbols that label no edge contribute no bit — a class test
+        against the mask then fails exactly like the string-set test
+        used to.
+        """
+        mask = 0
+        label_ids = self._label_ids
+        for symbol in symbols:
+            label_id = label_ids.get(symbol)
+            if label_id is not None:
+                mask |= 1 << label_id
+        return mask
+
+    def word_label_ids(self, word):
+        """Per-letter label ids; ``None`` marks a letter with no edges."""
+        label_ids = self._label_ids
+        return tuple(label_ids.get(symbol) for symbol in word)
+
+    def path(self, vertex_ids, label_ids):
+        """Materialise an id-path back into a named :class:`Path`."""
+        vertex_of = self._vertex_of
+        label_of = self._label_of
+        return Path(
+            tuple(vertex_of[vertex_id] for vertex_id in vertex_ids),
+            tuple(label_of[label_id] for label_id in label_ids),
+        )
+
+
+class DbGraphView(GraphView):
+    """Dict-backed :class:`GraphView` with reference semantics.
+
+    Reads go straight through the backing graph's adjacency (using its
+    cached repr-sorted accessors when available), converting names to
+    ids on the fly — nothing about the edge set is copied, so the view
+    costs one pass over the vertex set to build.  The id tables are a
+    snapshot: after the graph mutates, build a new view
+    (``DbGraph.view()`` does this automatically via its mutation
+    counter).
+    """
+
+    kind = "dict"
+
+    def __init__(self, graph):
+        self.graph = graph
+        if isinstance(graph, DbGraph):
+            # DbGraph.vertices() is already repr-sorted (and cached).
+            vertices = tuple(graph.vertices())
+        else:
+            vertices = tuple(sorted(graph.vertices(), key=repr))
+        self._vertex_of = vertices
+        self._id_of = {
+            vertex: index for index, vertex in enumerate(vertices)
+        }
+        self._label_of = tuple(sorted(graph.labels()))
+        self._label_ids = {
+            label: index for index, label in enumerate(self._label_of)
+        }
+        self._sorted_out = sorted_out_edges_fn(graph)
+        self._sorted_successors = sorted_successors_fn(graph)
+
+    def out(self, vertex_id):
+        """``(label_id, target_id)`` pairs in repr order."""
+        label_ids = self._label_ids
+        id_of = self._id_of
+        return [
+            (label_ids[label], id_of[target])
+            for label, target in self._sorted_out(self._vertex_of[vertex_id])
+        ]
+
+    def out_by_label(self, vertex_id, label_id):
+        """Target ids of ``label_id``-edges, ascending (= repr order)."""
+        if label_id is None:
+            return ()
+        id_of = self._id_of
+        return [
+            id_of[target]
+            for target in self._sorted_successors(
+                self._vertex_of[vertex_id], self._label_of[label_id]
+            )
+        ]
+
+    def in_pairs(self, vertex_id):
+        """``(label_id, source_id)`` pairs (order unspecified)."""
+        label_ids = self._label_ids
+        id_of = self._id_of
+        return [
+            (label_ids[label], id_of[source])
+            for label, source in self.graph.in_edges(
+                self._vertex_of[vertex_id]
+            )
+        ]
+
+    def in_by_label(self, vertex_id, label_id):
+        """Source ids of ``label_id``-edges into ``vertex_id``."""
+        if label_id is None:
+            return ()
+        label = self._label_of[label_id]
+        id_of = self._id_of
+        return [
+            id_of[source]
+            for edge_label, source in self.graph.in_edges(
+                self._vertex_of[vertex_id]
+            )
+            if edge_label == label
+        ]
+
+    def out_degree(self, vertex_id):
+        return self.graph.out_degree(self._vertex_of[vertex_id])
+
+    def __repr__(self):
+        return "DbGraphView(|V|=%d, |Σ|=%d over %r)" % (
+            self.num_vertices, self.num_labels, self.graph,
+        )
+
+
+def as_graph_view(graph):
+    """The :class:`GraphView` for ``graph`` (identity when already one).
+
+    ``DbGraph`` and :class:`~repro.engine.indexed.IndexedGraph` expose
+    a cached ``view()`` (rebuilt on mutation / built once per compiled
+    graph); any other duck-typed graph with the ``DbGraph`` read API is
+    wrapped in a fresh :class:`DbGraphView`.
+    """
+    if isinstance(graph, GraphView):
+        return graph
+    viewer = getattr(graph, "view", None)
+    if viewer is not None:
+        return viewer()
+    return DbGraphView(graph)

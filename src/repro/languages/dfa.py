@@ -17,7 +17,6 @@ States are integers ``0 .. num_states-1``.
 from __future__ import annotations
 
 from collections import deque
-from itertools import product as iter_product
 
 from ..errors import AutomatonError
 

@@ -8,7 +8,6 @@ in its conclusion.  A language is subword-closed iff its downward closure
 
 from __future__ import annotations
 
-from .dfa import DFA
 from .nfa import NFA, EPSILON
 
 

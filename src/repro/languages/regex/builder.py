@@ -16,7 +16,6 @@ from .ast import (
     Literal,
     Optional,
     Plus,
-    RegexNode,
     Repeat,
     Star,
     Union,

@@ -43,7 +43,6 @@ from .ast import (
     Literal,
     Optional,
     Plus,
-    RegexNode,
     Repeat,
     Star,
     Union,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.trc import is_in_trc, violating_pairs
+from ..core.trc import violating_pairs
 from ..languages.dfa import DFA
 
 

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..languages import Language
 from ..languages.dfa import from_nfa
 from ..languages.nfa import NFA, nfa_from_ast
 from ..languages.regex.parser import parse
-from .dfa_recognizer import RecognitionReport, recognize_tractable_dfa
+from .dfa_recognizer import recognize_tractable_dfa
 
 
 @dataclass

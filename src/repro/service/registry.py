@@ -103,6 +103,7 @@ class RegisteredGraph:
             num_vertices=graph.num_vertices,
             num_edges=graph.num_edges,
             labels="".join(sorted(graph.labels())),
+            graph_view=self.engine.view_kind,
             plan_cache={
                 "hits": cache.hits,
                 "misses": cache.misses,

@@ -71,7 +71,6 @@ from ..errors import (
 from ..engine.plan import PlanCache, QueryPlan, plan_key
 from ..core.trichotomy import classify
 from ..graphs import io as graph_io
-from ..languages import language as make_language
 from .protocol import batch_record, result_record
 
 #: Bytes of request body the server is willing to read.

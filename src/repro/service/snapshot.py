@@ -9,13 +9,13 @@ sorting, no dict-of-sets traversal — which is what lets a restarted
 query service warm-start in a fraction of the compile time
 (``benchmarks/bench_service.py`` asserts the speedup).
 
-Format (version 1)
-------------------
+Format (version 2; version 1 still loads)
+------------------------------------------
 
 Little-endian throughout::
 
     offset 0   magic          8 bytes  b"RSPQSNAP"
-    offset 8   version        u32      currently 1
+    offset 8   version        u32      currently 2
     offset 12  header_len     u32
     offset 16  header         header_len bytes of UTF-8 JSON
     ...        payload_crc32  u32      zlib.crc32 of header + arrays
@@ -36,13 +36,23 @@ binary section:
     The per-label CSR arrays exactly as the compiled view stores them:
     label ``j`` owns ``csr_indptr`` rows ``j*(n+1):(j+1)*(n+1)`` and
     the ``csr_targets`` slice ``csr_offsets[j]:csr_offsets[j+1]``.
+``rcsr_offsets`` / ``rcsr_indptr`` / ``rcsr_sources`` (version ≥ 2)
+    The label-partitioned *reverse* CSR, same layout as the forward
+    per-label section: label ``j`` owns ``rcsr_indptr`` rows
+    ``j*(n+1):(j+1)*(n+1)`` and the ``rcsr_sources`` slice
+    ``rcsr_offsets[j]:rcsr_offsets[j+1]``.  Solvers use it for
+    backward product searches; persisting it means a warm start
+    rebuilds nothing.
 
-Loading validates magic, version, header shape and the checksum over
-the header-plus-arrays payload,
-raising :class:`~repro.errors.SnapshotError` with the reason
-on any mismatch — a truncated or bit-rotted snapshot never produces a
-silently wrong graph.  Files are written atomically (tmp + rename), so
-a crash mid-save cannot corrupt an existing snapshot.
+A version-1 snapshot (no reverse-CSR section) still loads: the reverse
+index is rebuilt in memory by transposing the forward per-label CSR,
+and the thawed graph serves queries identically.  Loading validates
+magic, version, header shape and the checksum over the
+header-plus-arrays payload, raising
+:class:`~repro.errors.SnapshotError` with the reason on any mismatch —
+a truncated or bit-rotted snapshot never produces a silently wrong
+graph.  Files are written atomically (tmp + rename), so a crash
+mid-save cannot corrupt an existing snapshot.
 """
 
 from __future__ import annotations
@@ -59,12 +69,13 @@ from ..errors import SnapshotError
 from ..engine.indexed import IndexedGraph
 
 MAGIC = b"RSPQSNAP"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 _U32 = struct.Struct("<I")
 
 #: Manifest order of the binary arrays (fixed for determinism).
-_ARRAY_NAMES = (
+_ARRAY_NAMES_V1 = (
     "out_indptr",
     "out_labels",
     "out_targets",
@@ -75,6 +86,15 @@ _ARRAY_NAMES = (
     "csr_indptr",
     "csr_targets",
 )
+
+#: Version-2 appends the label-partitioned reverse CSR.
+_REVERSE_ARRAY_NAMES = ("rcsr_offsets", "rcsr_indptr", "rcsr_sources")
+
+
+def _array_names(version):
+    if version >= 2:
+        return _ARRAY_NAMES_V1 + _REVERSE_ARRAY_NAMES
+    return _ARRAY_NAMES_V1
 
 
 def _int64_bytes(values):
@@ -114,14 +134,23 @@ def _checked_vertices(vertices):
     return checked
 
 
-def save_snapshot(graph, path):
+def save_snapshot(graph, path, format_version=FORMAT_VERSION):
     """Persist a compiled graph to ``path``; returns the byte size.
 
     ``graph`` may be an :class:`IndexedGraph` or anything its
     constructor accepts (a :class:`DbGraph` is compiled first).  The
     write is atomic: the snapshot lands under a temporary name and is
     renamed into place, so readers never observe a partial file.
+
+    ``format_version`` defaults to the current format; passing ``1``
+    writes the legacy layout without the reverse-CSR section (useful
+    for serving fleets mid-upgrade — every supported version loads).
     """
+    if format_version not in SUPPORTED_VERSIONS:
+        raise SnapshotError(
+            "cannot write snapshot format version %r (supported: %s)"
+            % (format_version, ", ".join(map(str, SUPPORTED_VERSIONS)))
+        )
     if not isinstance(graph, IndexedGraph):
         graph = IndexedGraph(graph)
 
@@ -161,15 +190,26 @@ def save_snapshot(graph, path):
         "csr_indptr": csr_indptr,
         "csr_targets": csr_targets,
     }
+    if format_version >= 2:
+        rcsr_offsets, rcsr_indptr, rcsr_sources = [0], [], []
+        for label in labels:
+            rcsr_indptr.extend(graph._rev_label_indptr[label])
+            rcsr_sources.extend(graph._rev_label_sources[label])
+            rcsr_offsets.append(len(rcsr_sources))
+        sections["rcsr_offsets"] = rcsr_offsets
+        sections["rcsr_indptr"] = rcsr_indptr
+        sections["rcsr_sources"] = rcsr_sources
+
+    names = _array_names(format_version)
     array_section = b"".join(
-        _int64_bytes(sections[name]) for name in _ARRAY_NAMES
+        _int64_bytes(sections[name]) for name in names
     )
     header = {
-        "format_version": FORMAT_VERSION,
+        "format_version": format_version,
         "vertices": vertices,
         "labels": labels,
         "num_edges": graph._num_edges,
-        "arrays": [[name, len(sections[name])] for name in _ARRAY_NAMES],
+        "arrays": [[name, len(sections[name])] for name in names],
     }
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
 
@@ -178,7 +218,7 @@ def save_snapshot(graph, path):
     payload_crc = zlib.crc32(array_section, zlib.crc32(header_bytes))
     blob = b"".join((
         MAGIC,
-        _U32.pack(FORMAT_VERSION),
+        _U32.pack(format_version),
         _U32.pack(len(header_bytes)),
         header_bytes,
         _U32.pack(payload_crc & 0xFFFFFFFF),
@@ -213,10 +253,11 @@ def _read_header(data, path):
             % (path, bytes(data[:8]))
         )
     (version,) = _U32.unpack_from(data, 8)
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise SnapshotError(
             "snapshot %s has format version %d; this build reads "
-            "version %d" % (path, version, FORMAT_VERSION)
+            "versions %s"
+            % (path, version, ", ".join(map(str, SUPPORTED_VERSIONS)))
         )
     (header_len,) = _U32.unpack_from(data, 12)
     if len(data) < 16 + header_len + 4:
@@ -234,6 +275,12 @@ def _read_header(data, path):
             raise SnapshotError(
                 "snapshot %s header is missing %r" % (path, field)
             )
+    if header.get("format_version") != version:
+        raise SnapshotError(
+            "snapshot %s header claims format version %r but the "
+            "binary prefix says %d"
+            % (path, header.get("format_version"), version)
+        )
     return header, 16 + header_len
 
 
@@ -254,7 +301,8 @@ def _parse(data, path):
         )
 
     manifest = header["arrays"]
-    if [name for name, _count in manifest] != list(_ARRAY_NAMES):
+    expected = list(_array_names(header["format_version"]))
+    if [name for name, _count in manifest] != expected:
         raise SnapshotError(
             "snapshot %s has an unexpected array manifest: %r"
             % (path, manifest)
@@ -296,6 +344,28 @@ def _thaw(header, arrays, path):
             "snapshot %s per-label CSR does not match its %d labels"
             % (path, num_labels)
         )
+    if num_labels and len(arrays["csr_targets"]) != arrays["csr_offsets"][-1]:
+        raise SnapshotError(
+            "snapshot %s per-label CSR targets disagree with their "
+            "offsets" % path
+        )
+    has_reverse = "rcsr_offsets" in arrays
+    if has_reverse:
+        if (
+            len(arrays["rcsr_offsets"]) != num_labels + 1
+            or len(arrays["rcsr_indptr"]) != num_labels * (n + 1)
+        ):
+            raise SnapshotError(
+                "snapshot %s reverse per-label CSR does not match its %d "
+                "labels" % (path, num_labels)
+            )
+        if num_labels and (
+            len(arrays["rcsr_sources"]) != arrays["rcsr_offsets"][-1]
+        ):
+            raise SnapshotError(
+                "snapshot %s reverse per-label CSR sources disagree "
+                "with their offsets" % path
+            )
 
     # One flat C-speed pass per direction (map + zip), then slice per
     # vertex — this is the hot path of a warm start, so no per-edge
@@ -328,6 +398,22 @@ def _thaw(header, arrays, path):
             csr_offsets[j]:csr_offsets[j + 1]
         ]
 
+    rev_label_indptr = None
+    rev_label_sources = None
+    if has_reverse:
+        rcsr_offsets = arrays["rcsr_offsets"]
+        rev_label_indptr = {}
+        rev_label_sources = {}
+        for j, label in enumerate(labels):
+            rev_label_indptr[label] = arrays["rcsr_indptr"][
+                j * (n + 1):(j + 1) * (n + 1)
+            ]
+            rev_label_sources[label] = arrays["rcsr_sources"][
+                rcsr_offsets[j]:rcsr_offsets[j + 1]
+            ]
+
+    # A v1 snapshot has no reverse section; _from_parts rebuilds the
+    # reverse index in memory by transposing the forward label CSR.
     return IndexedGraph._from_parts(
         vertex_of=vertices,
         labels=labels,
@@ -336,6 +422,8 @@ def _thaw(header, arrays, path):
         in_=in_,
         label_indptr=label_indptr,
         label_targets=label_targets,
+        rev_label_indptr=rev_label_indptr,
+        rev_label_sources=rev_label_sources,
     )
 
 

@@ -6,7 +6,6 @@ import random
 
 import pytest
 
-from repro import language
 from repro.graphs.generators import random_labeled_graph
 
 

@@ -356,3 +356,54 @@ class TestServeCommand:
             main(["--help"])
         out = capsys.readouterr().out
         assert "serve" in out and "snapshot" in out
+
+
+class TestExplain:
+    def test_tractable_plan(self, capsys):
+        assert main(["explain", "a*(bb+ + eps)c*"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy       : trc-nice-path" in out
+        assert "in trC         : True" in out
+        assert "NL-complete" in out
+        assert "Ψtr anchored search" in out
+        assert "plan key kind  : regex" in out
+        assert "plan compile" in out
+
+    def test_hard_plan_without_graph_names_both_views(self, capsys):
+        assert main(["explain", "a*ba*"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy       : exact-backtracking" in out
+        assert "NP-complete" in out
+        assert "csr (IndexedGraph)" in out
+        assert "dict (DbGraph" in out
+
+    def test_finite_plan(self, capsys):
+        assert main(["explain", "ab + ba"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy       : finite-AC0" in out
+        assert "finite         : True" in out
+
+    def test_graph_option_reports_compiled_view(self, capsys, graph_file):
+        assert main(["explain", "a*", "--graph", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "graph view     : csr (IndexedGraph over" in out
+        assert "|V|=5 |E|=4" in out
+        assert "reverse CSR" in out
+
+    def test_never_executes_a_search(self, capsys, graph_file, monkeypatch):
+        # explain must not touch a solver's search entry points.
+        from repro.core.solver import RspqSolver
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("explain executed a search")
+
+        monkeypatch.setattr(RspqSolver, "shortest_simple_path", boom)
+        assert main(["explain", "a*ba*", "--graph", graph_file]) == 0
+
+    def test_bad_regex_is_usage_error(self, capsys):
+        assert main(["explain", "a*("]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_graph_file_is_usage_error(self, capsys):
+        assert main(["explain", "a*", "--graph", "/no/such/file"]) == 2
+        assert "error" in capsys.readouterr().err

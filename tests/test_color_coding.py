@@ -7,7 +7,7 @@ from tests.conftest import random_instance
 from repro.algorithms.color_coding import ColorCodingSolver
 from repro.algorithms.exact import ExactSolver
 from repro.graphs.dbgraph import Path
-from repro.graphs.generators import labeled_cycle, labeled_path
+from repro.graphs.generators import labeled_path
 from repro.languages import language
 
 

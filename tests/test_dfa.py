@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import AutomatonError
-from repro.languages import language
 from repro.languages.dfa import DFA, dfa_from_words, from_nfa
 from repro.languages.nfa import nfa_from_ast
 from repro.languages.regex.parser import parse

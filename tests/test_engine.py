@@ -18,7 +18,7 @@ from repro.engine import (
 )
 from repro.errors import GraphError
 from repro.graphs.dbgraph import DbGraph
-from repro.graphs.generators import labeled_path, random_labeled_graph
+from repro.graphs.generators import random_labeled_graph
 from repro.languages import language
 
 
@@ -169,6 +169,55 @@ class TestPlanKey:
     def test_rejects_other_types(self):
         with pytest.raises(TypeError):
             plan_key(42)
+
+    def test_dead_state_representation_is_normalised(self):
+        # One language, two minimal DFAs: completing over a larger
+        # alphabet grows a dead sink state and transitions into it.
+        # The canonical signature erases the dead part, so the two
+        # spellings share a plan (the ISSUE-4 collision-hazard fix).
+        assert plan_key(language("a*")) == plan_key(
+            language("a*", alphabet="ab")
+        )
+        assert plan_key(language("ab + ba")) == plan_key(
+            language("ab + ba", alphabet="abcd")
+        )
+        assert plan_key(language("a*ba*")) == plan_key(
+            language("a*ba*", alphabet="abc")
+        )
+
+    def test_distinct_languages_never_share_a_key(self):
+        specs = [
+            language("a*"),
+            language("a^+"),
+            language("b*", alphabet="ab"),
+            language("ab + ba"),
+            language("(aa)*"),
+            language("a*ba*"),
+        ]
+        keys = [plan_key(lang) for lang in specs]
+        assert len(set(keys)) == len(keys)
+
+    def test_all_empty_languages_share_one_key(self):
+        # Same answers everywhere (no path, ever) — one plan suffices.
+        from repro.languages import DFA
+
+        empty_ab = language(
+            DFA(1, "ab", {(0, "a"): 0, (0, "b"): 0}, 0, ())
+        )
+        empty_c = language(DFA(1, "c", {(0, "c"): 0}, 0, ()))
+        assert plan_key(empty_ab) == plan_key(empty_c)
+
+    def test_dead_state_variants_share_one_engine_plan(self):
+        graph = DbGraph.from_edges(
+            [(0, "a", 1), (1, "a", 2), (2, "b", 3)]
+        )
+        engine = QueryEngine(graph)
+        narrow = engine.query(language("a*"), 0, 2)
+        wide = engine.query(language("a*", alphabet="ab"), 0, 2)
+        assert engine.cache_stats().compiles == 1
+        assert wide.found == narrow.found
+        assert wide.path == narrow.path
+        assert wide.strategy == narrow.strategy
 
 
 class TestPlanCache:

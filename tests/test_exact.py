@@ -130,18 +130,25 @@ class TestGoalDistances:
     )
     def test_distances_match_naive_scan(self, regex):
         from repro.graphs.generators import random_labeled_graph
+        from repro.graphs.view import as_graph_view
 
         solver = ExactSolver(regex)
+        num_states = solver.dfa.num_states
         for seed in range(5):
             graph = random_labeled_graph(10, 30, "abc", seed=seed)
+            view = as_graph_view(graph)
             for target in (0, 5, 9):
-                assert solver._goal_distances(
-                    graph, target
-                ) == _naive_goal_distances(solver, graph, target), (
-                    regex,
-                    seed,
-                    target,
+                packed = solver._goal_distances(
+                    view, view.vertex_id(target)
                 )
+                unpacked = {
+                    (view.vertex_at(node // num_states), node % num_states):
+                        distance
+                    for node, distance in packed.items()
+                }
+                assert unpacked == _naive_goal_distances(
+                    solver, graph, target
+                ), (regex, seed, target)
 
     def test_reverse_index_covers_all_transitions(self):
         solver = ExactSolver("a*(bb^+ + eps)c*")

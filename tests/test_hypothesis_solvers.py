@@ -22,11 +22,10 @@ from hypothesis import strategies as st
 
 from benchmarks.workloads import MIXED_LANGUAGES, random_regex
 
-from repro import catalog
 from repro.algorithms.exact import ExactSolver
 from repro.core.nice_paths import TractableSolver
 from repro.core.solver import RspqSolver
-from repro.engine import QueryEngine
+from repro.engine import IndexedGraph, QueryEngine
 from repro.graphs.dbgraph import DbGraph
 from repro.languages import language
 
@@ -173,6 +172,65 @@ class TestEngineDifferential:
         engine = QueryEngine(graph)
         batch = engine.run_batch(queries, workers=2, mode="process")
         assert len(batch) == len(queries)
+        for (regex, source, target), result in zip(queries, batch):
+            direct = RspqSolver(regex).solve(graph, source, target)
+            _assert_identical(result, direct)
+
+
+class TestCsrDbGraphDifferential:
+    """One solver, two GraphView backends, bit-identical behavior.
+
+    The ISSUE-4 acceptance suite: across random graphs × random
+    regexes spanning all three trichotomy regimes, solving over the
+    dict-backed ``DbGraph`` view and over the compiled CSR
+    ``IndexedGraph`` view must agree *exactly* — found/path/strategy/
+    decompose_failed, and even the per-query work counters, because
+    both views iterate adjacency in the same canonical order.
+    """
+
+    @given(small_graph_and_query("abc"), REGEX_SEEDS)
+    @settings(max_examples=50, deadline=None)
+    def test_solver_cores_identical_on_both_views(self, instance, seed):
+        from repro.execution import ExecutionContext
+
+        graph, x, y = instance
+        regex = _seeded_regex(seed, alphabet="abc")
+        solver = RspqSolver(regex)
+        indexed = IndexedGraph(graph)
+        db_ctx = ExecutionContext()
+        csr_ctx = ExecutionContext()
+        db_result = solver.solve(graph, x, y, ctx=db_ctx)
+        csr_result = solver.solve(indexed, x, y, ctx=csr_ctx)
+        assert csr_result.found == db_result.found
+        assert csr_result.path == db_result.path
+        assert csr_result.strategy == db_result.strategy
+        assert csr_result.decompose_failed == db_result.decompose_failed
+        # Same expansion order on both backends — identical work, not
+        # merely identical answers.
+        assert solver.steps_in(csr_ctx) == solver.steps_in(db_ctx)
+
+    @given(differential_workload())
+    @settings(max_examples=10, deadline=None)
+    def test_engine_and_batches_match_dbgraph_direct(self, workload):
+        graph, queries = workload
+        engine = QueryEngine(graph)  # CSR view end to end
+        serial = engine.run_batch(queries)
+        threaded = engine.run_batch(queries, workers=3, mode="thread")
+        for (regex, source, target), one, other in zip(
+            queries, serial, threaded
+        ):
+            direct = RspqSolver(regex).solve(graph, source, target)
+            _assert_identical(one, direct)
+            _assert_identical(other, direct)
+            single = engine.query(regex, source, target)
+            _assert_identical(single, direct)
+
+    @given(differential_workload())
+    @settings(max_examples=3, deadline=None)
+    def test_process_batches_match_dbgraph_direct(self, workload):
+        graph, queries = workload
+        engine = QueryEngine(graph)
+        batch = engine.run_batch(queries, workers=2, mode="process")
         for (regex, source, target), result in zip(queries, batch):
             direct = RspqSolver(regex).solve(graph, source, target)
             _assert_identical(result, direct)

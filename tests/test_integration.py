@@ -1,6 +1,5 @@
 """End-to-end integration scenarios across modules."""
 
-import pytest
 
 from tests.conftest import paths_agree
 

@@ -7,7 +7,7 @@ from tests.conftest import paths_agree, random_instance
 from repro import catalog
 from repro.algorithms.exact import ExactSolver
 from repro.core.nice_paths import TractableSolver
-from repro.graphs.dbgraph import DbGraph, Path
+from repro.graphs.dbgraph import Path
 from repro.graphs.generators import (
     component_chain_graph,
     figure3_graph,

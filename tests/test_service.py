@@ -379,3 +379,64 @@ class TestDeadlinesAndBudgets:
             )
             assert record["found"] is True
             assert record["word"] == "aaaaa"
+
+
+class TestCsrDbGraphDifferentialOverHttp:
+    """The served (CSR-backed) answers ≡ direct DbGraph evaluation.
+
+    The HTTP leg of the ISSUE-4 differential suite: random regexes
+    spanning all three trichotomy regimes are answered by a live
+    server — whose engine walks the compiled CSR view — and replayed
+    through ``solve_rspq`` on the raw ``DbGraph``, path for path.
+    """
+
+    def _random_queries(self, graph, count=24, seed=123):
+        import random
+
+        from benchmarks.workloads import MIXED_LANGUAGES, random_regexes
+
+        rng = random.Random(seed)
+        vertices = list(graph.vertices())
+        languages = list(MIXED_LANGUAGES) + random_regexes(
+            8, seed=seed, alphabet="abc", max_depth=2
+        )
+        return [
+            (
+                languages[index % len(languages)],
+                rng.choice(vertices),
+                rng.choice(vertices),
+            )
+            for index in range(count)
+        ]
+
+    def test_served_queries_match_dbgraph_direct(self, live, graph):
+        from repro.service.client import run_load, verify_against_direct
+
+        queries = self._random_queries(graph)
+        client, _registry = live
+        records = run_load(
+            client, queries, graph="main", batch_size=8, workers=2
+        )
+        assert verify_against_direct(graph, queries, records) == []
+
+    def test_snapshot_served_queries_match_dbgraph_direct(
+        self, tmp_path, graph
+    ):
+        from repro.service.client import run_load, verify_against_direct
+
+        snap = str(tmp_path / "main.snap")
+        save_snapshot(IndexedGraph(graph), snap)
+        registry = GraphRegistry()
+        registry.register_snapshot("thawed", snap)
+        service = QueryService(registry, ServiceConfig(workers=2))
+        queries = self._random_queries(graph, seed=321)
+        with ServiceThread(service) as running:
+            client = ServiceClient(port=running.port)
+            records = run_load(
+                client, queries, graph="thawed", batch_size=8, workers=2
+            )
+            stats = client.stats()
+        assert verify_against_direct(graph, queries, records) == []
+        (graph_stats,) = stats["graphs"]
+        assert graph_stats["graph_view"] == "csr"
+        assert graph_stats["source"] == "snapshot"

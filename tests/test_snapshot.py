@@ -11,6 +11,7 @@ import struct
 
 import pytest
 
+from repro.core.solver import solve_rspq
 from repro.engine import IndexedGraph, QueryEngine
 from repro.errors import SnapshotError
 from repro.graphs.dbgraph import DbGraph
@@ -231,3 +232,153 @@ class TestFailureModes:
 
     def test_magic_constant_shape(self):
         assert len(MAGIC) == 8
+
+
+class TestVersionMigration:
+    """v1 snapshots (no reverse-CSR section) must still serve (ISSUE-4)."""
+
+    @pytest.fixture
+    def v1_path(self, tmp_path, graph):
+        path = str(tmp_path / "legacy.snap")
+        save_snapshot(IndexedGraph(graph), path, format_version=1)
+        return path
+
+    def test_v1_header_has_no_reverse_section(self, v1_path):
+        info = snapshot_info(v1_path)
+        assert info["format_version"] == 1
+
+    def test_v1_loads_and_rebuilds_reverse_index(self, graph, v1_path):
+        thawed = load_snapshot(v1_path)
+        compiled = IndexedGraph(graph)
+        # The reverse label CSR is rebuilt in memory from the forward
+        # arrays and matches a fresh compile slice for slice.
+        for label in sorted(compiled.labels()):
+            assert list(thawed._rev_label_indptr[label]) == \
+                list(compiled._rev_label_indptr[label])
+            assert list(thawed._rev_label_sources[label]) == \
+                list(compiled._rev_label_sources[label])
+
+    def test_v1_and_v2_serve_identical_answers(
+        self, graph, v1_path, snap_path
+    ):
+        queries = [
+            ("a*", 0, 24), ("ab + ba", 3, 11), ("(aa)*", 5, 20),
+            ("a*ba*", 2, 17), ("a*(bb^+ + eps)c*", 1, 22),
+        ]
+        v1_engine = QueryEngine(load_snapshot(v1_path))
+        v2_engine = QueryEngine(load_snapshot(snap_path))
+        for regex, source, target in queries:
+            direct = solve_rspq(regex, graph, source, target)
+            for engine in (v1_engine, v2_engine):
+                result = engine.query(regex, source, target)
+                assert result.found == direct.found, (regex, source)
+                assert result.path == direct.path, (regex, source)
+                assert result.strategy == direct.strategy, (regex, source)
+
+    def test_v2_is_the_default_and_round_trips_reverse_csr(
+        self, graph, snap_path
+    ):
+        assert snapshot_info(snap_path)["format_version"] == FORMAT_VERSION
+        thawed = load_snapshot(snap_path)
+        compiled = IndexedGraph(graph)
+        for label in sorted(compiled.labels()):
+            assert list(thawed._rev_label_sources[label]) == \
+                list(compiled._rev_label_sources[label])
+
+    def test_unsupported_write_version_rejected(self, tmp_path, graph):
+        with pytest.raises(SnapshotError, match="format version"):
+            save_snapshot(
+                IndexedGraph(graph), str(tmp_path / "x.snap"),
+                format_version=99,
+            )
+
+    def test_corrupt_reverse_section_rejected(self, tmp_path, snap_path):
+        # Rewrite the snapshot with a structurally wrong reverse-CSR
+        # manifest but a *valid* checksum: the shape validation itself
+        # must catch it, not just the CRC.
+        import json
+        import struct
+        import zlib
+
+        data = bytearray(open(snap_path, "rb").read())
+        (header_len,) = struct.unpack_from("<I", data, 12)
+        header = json.loads(bytes(data[16:16 + header_len]).decode())
+        arrays_start = 16 + header_len + 4
+        # Drop one trailing int64 from the final array (rcsr_sources)
+        # and shrink its manifest count to stay self-consistent.
+        assert header["arrays"][-1][0] == "rcsr_sources"
+        assert header["arrays"][-1][1] > 0
+        header["arrays"][-1][1] -= 1
+        new_header = json.dumps(
+            header, separators=(",", ":")
+        ).encode("utf-8")
+        new_arrays = bytes(data[arrays_start:len(data) - 8])
+        crc = zlib.crc32(new_arrays, zlib.crc32(new_header)) & 0xFFFFFFFF
+        blob = b"".join((
+            MAGIC,
+            struct.pack("<I", snapshot_info(snap_path)["format_version"]),
+            struct.pack("<I", len(new_header)),
+            new_header,
+            struct.pack("<I", crc),
+            new_arrays,
+        ))
+        bad_path = str(tmp_path / "bad-rev.snap")
+        with open(bad_path, "wb") as handle:
+            handle.write(blob)
+        with pytest.raises(SnapshotError):
+            load_snapshot(bad_path)
+
+    def test_truncated_reverse_indptr_rejected(self, tmp_path, graph):
+        # A v2 snapshot whose reverse indptr rows disagree with the
+        # label count must fail shape validation even when the
+        # checksum is intact.
+        import json
+        import struct
+        import zlib
+
+        path = str(tmp_path / "v2.snap")
+        save_snapshot(IndexedGraph(graph), path)
+        data = bytearray(open(path, "rb").read())
+        (header_len,) = struct.unpack_from("<I", data, 12)
+        header = json.loads(bytes(data[16:16 + header_len]).decode())
+        arrays_start = 16 + header_len + 4
+        names = [name for name, _count in header["arrays"]]
+        index = names.index("rcsr_indptr")
+        # Byte offset of rcsr_indptr inside the array section.
+        offset = sum(count for _n, count in header["arrays"][:index]) * 8
+        count = header["arrays"][index][1]
+        header["arrays"][index][1] = count - 1
+        section = bytes(data[arrays_start:])
+        new_arrays = (
+            section[:offset]
+            + section[offset + 8:]
+        )
+        new_header = json.dumps(
+            header, separators=(",", ":")
+        ).encode("utf-8")
+        crc = zlib.crc32(new_arrays, zlib.crc32(new_header)) & 0xFFFFFFFF
+        blob = b"".join((
+            MAGIC,
+            struct.pack("<I", header["format_version"]),
+            struct.pack("<I", len(new_header)),
+            new_header,
+            struct.pack("<I", crc),
+            new_arrays,
+        ))
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        with pytest.raises(SnapshotError, match="reverse per-label CSR"):
+            load_snapshot(path)
+
+    def test_v1_snapshot_registers_and_serves(self, tmp_path, graph):
+        from repro.service import GraphRegistry
+
+        path = str(tmp_path / "legacy.snap")
+        save_snapshot(IndexedGraph(graph), path, format_version=1)
+        registry = GraphRegistry()
+        entry = registry.register_snapshot("old", path)
+        assert entry.stats.source == "snapshot"
+        result = entry.engine.query("a*", 0, 10)
+        direct = solve_rspq("a*", graph, 0, 10)
+        assert result.found == direct.found
+        assert result.path == direct.path

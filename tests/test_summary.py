@@ -11,7 +11,7 @@ from repro.core.summary import (
 )
 from repro.errors import GraphError
 from repro.graphs.dbgraph import Path
-from repro.graphs.generators import figure3_graph, labeled_path
+from repro.graphs.generators import figure3_graph
 
 
 FIG3_VERTICES = tuple("v%d" % i for i in range(1, 16))

@@ -4,7 +4,6 @@ import pytest
 
 from repro import catalog
 from repro.languages import Language, language
-from repro.languages.dfa import from_nfa
 from repro.core.trc import (
     find_trc_counterexample,
     is_in_trc,

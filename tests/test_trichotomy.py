@@ -5,7 +5,7 @@ import pytest
 from repro import catalog, classify
 from repro.core.trichotomy import ComplexityClass
 from repro.core.witness import verify_witness
-from repro.languages import Language, language
+from repro.languages import language
 
 
 class TestCatalogClassification:

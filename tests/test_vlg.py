@@ -12,7 +12,6 @@ from repro.core.vlg import (
 )
 from repro.errors import GraphError
 from repro.graphs.vlgraph import EvlGraph, VlGraph, default_pair_encoding
-from repro.languages import Language
 
 
 class TestTrcVlgMembership:

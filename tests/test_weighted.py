@@ -33,7 +33,9 @@ class TestWeightedBasics:
             [(0, "a", 3), (0, "a", 1), (1, "a", 3)]
         )
         weights = {(0, "a", 3): 10, (0, "a", 1): 2, (1, "a", 3): 2}
-        weight_fn = lambda u, l, v: weights[(u, l, v)]
+        def weight_fn(u, label, v):
+            return weights[(u, label, v)]
+
         solver = TractableSolver(language("a*"))
         path = solver.shortest_simple_path(graph, 0, 3, weight_fn=weight_fn)
         assert path.vertices == (0, 1, 3)
@@ -55,14 +57,14 @@ class TestWeightedBasics:
         solver = TractableSolver(language("a*"))
         with pytest.raises(GraphError):
             solver.shortest_simple_path(
-                graph, 0, 6, weight_fn=lambda u, l, v: 0
+                graph, 0, 6, weight_fn=lambda u, label, v: 0
             )
 
     def test_exact_rejects_nonpositive_weights(self):
         graph = DbGraph.from_edges([(0, "a", 1)])
         with pytest.raises(ValueError):
             ExactSolver(language("a*")).shortest_simple_path(
-                graph, 0, 1, weight_fn=lambda u, l, v: -1
+                graph, 0, 1, weight_fn=lambda u, label, v: -1
             )
 
 
@@ -103,7 +105,9 @@ class TestWeightedAgreement:
             (0, "a", 9): 100,
             (0, "a", 1): 1, (1, "a", 2): 1, (2, "a", 9): 1,
         }
-        weight_fn = lambda u, l, v: weights[(u, l, v)]
+        def weight_fn(u, label, v):
+            return weights[(u, label, v)]
+
         solver = TractableSolver(language("a*"))
         light = solver.shortest_simple_path(graph, 0, 9, weight_fn=weight_fn)
         short = solver.shortest_simple_path(graph, 0, 9)

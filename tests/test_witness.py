@@ -3,7 +3,6 @@
 import pytest
 
 from repro import catalog
-from repro.core.trc import is_in_trc
 from repro.core.witness import (
     HardnessWitness,
     find_hardness_witness,
