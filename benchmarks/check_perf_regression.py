@@ -1,0 +1,184 @@
+"""CI perf-regression gate over the ``BENCH_*.json`` artifacts.
+
+Every bench module records its headline numbers (speedup ratios, step
+counts) into a ``BENCH_<name>.json`` artifact via
+``benchmarks/conftest.py``; the committed baselines under
+``benchmarks/baselines/`` pin the expected trajectory.  This script
+diffs a fresh run against those baselines:
+
+* **ratio metrics** (keys ending in ``_speedup`` or ``_ratio``) are
+  higher-is-better and must not fall below ``min(baseline, clamp) *
+  (1 - tolerance)``.  The default tolerance is deliberately generous
+  (50%), and baselines above the clamp (default 5.0) are capped
+  before the tolerance applies — a 40x smoke-profile speedup is a
+  microsecond-scale measurement whose exact magnitude is noise, so
+  the gate only insists it stays clearly above break-even.  Shared CI
+  runners are noisy and the asserted floors inside the benches
+  already guard the hard bars on the full profile; this gate catches
+  *collapses* (a 400x speedup quietly becoming 1x), not jitter.
+* a baseline bench whose artifact is missing from the run fails (the
+  bench stopped running — exactly the silent rot CI must catch);
+* a baseline ratio metric missing from a present artifact fails (the
+  bench stopped recording it);
+* metrics present in the run but not the baseline are reported as new
+  (refresh the baselines to start tracking them).
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        [--artifacts bench-artifacts] [--baselines benchmarks/baselines] \
+        [--tolerance 0.5] [--clamp 5.0]
+
+Exit status 0 when every gated metric holds, 1 on any regression.
+Refresh the baselines by re-running the smoke bench suite with
+``REPRO_BENCH_ARTIFACTS=benchmarks/baselines``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Metric-key suffixes gated as higher-is-better ratios.
+RATIO_SUFFIXES = ("_speedup", "_ratio")
+
+
+def is_ratio_metric(key):
+    return key.endswith(RATIO_SUFFIXES)
+
+
+def load_artifacts(directory):
+    """``{bench_name: metrics_dict}`` for every BENCH_*.json present."""
+    artifacts = {}
+    if not os.path.isdir(directory):
+        return artifacts
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        artifacts[payload.get("bench", name[6:-5])] = payload.get(
+            "metrics", {}
+        )
+    return artifacts
+
+
+def compare(baselines, current, tolerance, clamp):
+    """Returns ``(failures, report_lines)`` for the gated metrics."""
+    failures = []
+    lines = []
+    for bench in sorted(baselines):
+        base_metrics = {
+            key: value
+            for key, value in baselines[bench].items()
+            if is_ratio_metric(key) and isinstance(value, (int, float))
+        }
+        if not base_metrics:
+            continue
+        if bench not in current:
+            failures.append(
+                "%s: artifact missing from this run (did the bench stop "
+                "running?)" % bench
+            )
+            continue
+        run_metrics = current[bench]
+        for key, baseline_value in sorted(base_metrics.items()):
+            if key not in run_metrics:
+                failures.append(
+                    "%s.%s: metric missing from this run (baseline %.3f)"
+                    % (bench, key, baseline_value)
+                )
+                continue
+            value = run_metrics[key]
+            floor = min(baseline_value, clamp) * (1.0 - tolerance)
+            status = "ok" if value >= floor else "REGRESSION"
+            lines.append(
+                "%-12s %s.%s: %.3f (baseline %.3f, floor %.3f)"
+                % (status, bench, key, value, baseline_value, floor)
+            )
+            if value < floor:
+                failures.append(
+                    "%s.%s regressed: %.3f < floor %.3f (baseline %.3f "
+                    "clamped to %.3f, tolerance %d%%)"
+                    % (
+                        bench, key, value, floor, baseline_value,
+                        min(baseline_value, clamp), tolerance * 100,
+                    )
+                )
+    for bench in sorted(current):
+        for key in sorted(current[bench]):
+            if not is_ratio_metric(key):
+                continue
+            if bench not in baselines or key not in baselines[bench]:
+                lines.append(
+                    "%-12s %s.%s: %.3f (no baseline — refresh to track)"
+                    % ("new", bench, key, current[bench][key])
+                )
+    return failures, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_*.json artifacts against the committed "
+        "baselines; fail on ratio regressions beyond the tolerance."
+    )
+    parser.add_argument(
+        "--artifacts", default="bench-artifacts",
+        help="directory the fresh run wrote its artifacts to",
+    )
+    parser.add_argument(
+        "--baselines", default="benchmarks/baselines",
+        help="directory of committed baseline artifacts",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed fractional drop below the baseline (default 0.5)",
+    )
+    parser.add_argument(
+        "--clamp", type=float, default=5.0,
+        help="cap applied to baseline ratios before the tolerance "
+        "(default 5.0): huge smoke-profile ratios are microsecond "
+        "noise, so only a collapse toward break-even should fail",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+    if args.clamp <= 0:
+        parser.error("--clamp must be positive")
+
+    baselines = load_artifacts(args.baselines)
+    if not baselines:
+        print(
+            "no baselines under %s — nothing to gate (refresh with "
+            "REPRO_BENCH_ARTIFACTS=%s and commit the result)"
+            % (args.baselines, args.baselines)
+        )
+        return 0
+    current = load_artifacts(args.artifacts)
+    failures, lines = compare(
+        baselines, current, args.tolerance, args.clamp
+    )
+    for line in lines:
+        print(line)
+    if failures:
+        print()
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        print(
+            "\n%d perf regression(s) against benchmarks/baselines "
+            "(tolerance %d%%)" % (len(failures), args.tolerance * 100),
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "\nperf gate ok: %d ratio metric(s) within tolerance"
+        % len(lines)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,7 @@ class FiniteLanguageSolver:
     ``words_tried`` shim reads the most recent of those.
     """
 
-    def __init__(self, language, max_words=100000):
+    def __init__(self, language, max_words=100000, use_reach_pruning=True):
         if isinstance(language, str):
             language = Language(language)
         if not language.is_finite():
@@ -47,6 +47,11 @@ class FiniteLanguageSolver:
         bound = language.dfa.num_states  # words are shorter than M
         self.words = sorted(
             language.words(bound, limit=max_words), key=lambda w: (len(w), w)
+        )
+        self.use_reach_pruning = use_reach_pruning
+        #: Letters of the finite word list (the query's label mask).
+        self.used_symbols = frozenset(
+            symbol for word in self.words for symbol in word
         )
         self._legacy_ctx = ExecutionContext()
 
@@ -62,12 +67,41 @@ class FiniteLanguageSolver:
         view = as_graph_view(graph)
         source_id = view.vertex_id(source)
         target_id = view.vertex_id(target)
+        index = None
+        if self.use_reach_pruning and source_id != target_id:
+            index = view.reachability()
+            if not index.can_reach(
+                source_id, target_id,
+                view.label_mask(self.used_symbols),
+            ):
+                # No word of L can label any source→target walk, let
+                # alone a simple path: NOT_FOUND without trying a word.
+                return None
         visited = bytearray(view.num_vertices)
         for word in self.words:
             ctx.charge_word()
+            word_label_ids = view.word_label_ids(word)
+            filters = None
+            if index is not None and word_label_ids and (
+                None not in word_label_ids
+            ):
+                # Suffix filters: after consuming letter i, the rest of
+                # the word only uses labels in suffix_mask[i] — a
+                # vertex whose component cannot reach the target under
+                # that mask can never complete this word.
+                suffix_mask = 0
+                masks = [0] * len(word_label_ids)
+                for position in range(len(word_label_ids) - 1, -1, -1):
+                    masks[position] = suffix_mask
+                    suffix_mask |= 1 << word_label_ids[position]
+                if not index.can_reach(source_id, target_id, suffix_mask):
+                    continue
+                filters = [
+                    index.comps_to(target_id, mask) for mask in masks
+                ]
             found = _word_path_ids(
-                view, source_id, target_id, view.word_label_ids(word),
-                visited,
+                view, source_id, target_id, word_label_ids,
+                visited, index.comp_of if filters else None, filters,
             )
             if found is not None:
                 return view.path(*found)
@@ -100,13 +134,19 @@ def find_simple_word_path(graph, source, target, word):
     return view.path(*found)
 
 
-def _word_path_ids(view, source_id, target_id, word_label_ids, visited):
+def _word_path_ids(view, source_id, target_id, word_label_ids, visited,
+                   comp_of=None, reach_filters=None):
     """Integer-native word-path DFS over a :class:`GraphView`.
 
     ``visited`` is a caller-owned bytearray scratch (all zeros on
     entry); backtracking restores it to all zeros on failure, so one
     allocation serves every word of a finite-language query.  Returns
     ``(vertex_ids, label_ids)`` or ``None``.
+
+    ``reach_filters[i]`` (optional) is a per-component bytearray from
+    the reachability index: a vertex entered by letter ``i`` whose
+    component cannot reach the target under the word's remaining
+    letters is abandoned without descending.
     """
     if source_id == target_id:
         return ((source_id,), ()) if not word_label_ids else None
@@ -131,6 +171,10 @@ def _word_path_ids(view, source_id, target_id, word_label_ids, visited):
             if position < last_position and nxt == target_id:
                 continue
             if position == last_position and nxt != target_id:
+                continue
+            if reach_filters is not None and position < last_position and (
+                not reach_filters[position][comp_of[nxt]]
+            ):
                 continue
             vertices.append(nxt)
             visited[nxt] = 1

@@ -31,6 +31,7 @@ from ..execution import ExecutionContext
 from ..graphs.dbgraph import Path
 from ..graphs.view import as_graph_view
 from ..languages import Language
+from ..languages.analysis import useful_symbols
 
 
 class ExactSolver:
@@ -52,14 +53,24 @@ class ExactSolver:
         it raises :class:`~repro.errors.BudgetExceededError` (the worst
         case is exponential, so callers may want a guard).  An explicit
         context's own ``budget`` — possibly None — takes precedence.
+    use_reach_pruning:
+        Consult the view's label-constrained reachability index: a
+        query whose target is provably walk-unreachable from the source
+        under L's usable labels returns ``None`` before the backward
+        BFS runs, and the goal-distance table is restricted to
+        components the source can actually reach (sound — see
+        :mod:`repro.graphs.reach`).
     """
 
-    def __init__(self, language, budget=None):
+    def __init__(self, language, budget=None, use_reach_pruning=True):
         if isinstance(language, str):
             language = Language(language)
         self.language = language
         self.dfa = language.dfa
         self.budget = budget
+        self.use_reach_pruning = use_reach_pruning
+        #: Symbols occurring in some word of L (the query label mask).
+        self.used_symbols = useful_symbols(self.dfa)
         self._legacy_ctx = ExecutionContext(budget=budget)
         # Reverse transition index: (state_after, label) -> states_before.
         # Computed once per solver so the backward product BFS in
@@ -109,13 +120,24 @@ class ExactSolver:
                 rows.append(None)
         return rows
 
-    def _goal_distances(self, view, target_id):
+    def _goal_distances(self, view, target_id, from_source=None,
+                        comp_of=None):
         """BFS distance from every product node to an accepting target
         node, ignoring simplicity (admissible heuristic; absent = dead).
 
         Product nodes pack to ``vertex_id * |Q| + state``; the backward
         BFS walks the view's reverse adjacency (a precompiled reverse
-        CSR on compiled graphs)."""
+        CSR on compiled graphs).
+
+        ``from_source`` (a component filter from the reachability
+        index) drops product nodes whose graph vertex the source can
+        never reach under L's usable labels: the forward DFS only ever
+        visits source-reachable vertices, so the dropped entries could
+        never be read — same answers, smaller backward BFS.  The
+        restricted distances stay admissible: every completion of a
+        partial solution path lies inside the source-reachable region,
+        so its walk distance there lower-bounds the remaining length.
+        """
         num_states = self.dfa.num_states
         distances = {}
         queue = deque()
@@ -132,6 +154,10 @@ class ExactSolver:
             for label_id, source_id in in_pairs(vertex_id):
                 row = reverse_rows[label_id]
                 if row is None:
+                    continue
+                if from_source is not None and not (
+                    from_source[comp_of[source_id]]
+                ):
                     continue
                 for state_before in row[state]:
                     previous = source_id * num_states + state_before
@@ -184,7 +210,19 @@ class ExactSolver:
             if self.dfa.initial in self.dfa.accepting:
                 return Path.single(view.vertex_at(source_id))
             return None
-        goal_distance = self._goal_distances(view, target_id)
+        from_source = comp_of = None
+        if self.use_reach_pruning:
+            index = view.reachability()
+            mask = view.label_mask(self.used_symbols)
+            if not index.can_reach(source_id, target_id, mask):
+                # Provably unreachable even with regular-path semantics
+                # — the simple-path answer is NOT_FOUND, no search runs.
+                return None
+            from_source = index.comps_from(source_id, mask)
+            comp_of = index.comp_of
+        goal_distance = self._goal_distances(
+            view, target_id, from_source, comp_of
+        )
         transition_rows = self._transition_rows(view)
         num_states = self.dfa.num_states
         accepting = self.dfa.accepting

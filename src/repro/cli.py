@@ -70,8 +70,11 @@ def _build_parser():
         "-> trichotomy classification -> strategy dispatch) and print "
         "what the engine would run: the classification, the chosen "
         "strategy, whether the Psi-tr decomposition failed (exact "
-        "fallback), the plan-cache key kind, and which graph view the "
-        "solvers would walk.  No graph search is executed.",
+        "fallback), the plan-cache key kind, which graph view the "
+        "solvers would walk, and — with --graph — the label-mask "
+        "coverage of the reachability index (plus, with --source and "
+        "--target, the index verdict for that exact query).  No graph "
+        "search is executed.",
     )
     p_explain.add_argument("regex")
     p_explain.add_argument(
@@ -79,7 +82,20 @@ def _build_parser():
         default=None,
         metavar="PATH",
         help="optional graph file; when given, the report describes "
-        "the compiled view the engine would serve this graph through",
+        "the compiled view the engine would serve this graph through "
+        "and the reachability index's label-mask coverage for REGEX",
+    )
+    p_explain.add_argument(
+        "--source",
+        default=None,
+        help="with --graph and --target: report the reachability-index "
+        "verdict (short_circuit: unreachable / solver would run) for "
+        "this query without running it",
+    )
+    p_explain.add_argument(
+        "--target",
+        default=None,
+        help="query target for the index verdict (see --source)",
     )
 
     p_solve = sub.add_parser(
@@ -127,6 +143,24 @@ def _build_parser():
         "--stats",
         action="store_true",
         help="print per-query solver steps and timings",
+    )
+    p_batch.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=1024,
+        help="LRU capacity of the engine result cache (default 1024); "
+        "repeated identical queries replay without re-solving",
+    )
+    p_batch.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the engine result cache (every query re-solves)",
+    )
+    p_batch.add_argument(
+        "--no-reach-index",
+        action="store_true",
+        help="disable the reachability index (no short-circuit of "
+        "provably unreachable queries, no frontier pruning)",
     )
     p_batch.add_argument(
         "--workers",
@@ -232,6 +266,24 @@ def _build_parser():
         help="per-graph LRU plan cache capacity (default 128)",
     )
     p_serve.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=1024,
+        help="per-graph LRU result cache capacity (default 1024); "
+        "repeated identical queries are served from memory",
+    )
+    p_serve.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the per-graph result cache",
+    )
+    p_serve.add_argument(
+        "--no-reach-index",
+        action="store_true",
+        help="disable the reachability index (no short-circuit of "
+        "provably unreachable queries, no frontier pruning)",
+    )
+    p_serve.add_argument(
         "--max-graphs",
         type=int,
         default=64,
@@ -278,6 +330,16 @@ def _cmd_psitr(args):
 def _cmd_explain(args):
     from .engine import QueryPlan
 
+    # Validate the argument combination before printing anything, so
+    # a usage error never emits a half-report on stdout.
+    if (args.source is None) != (args.target is None):
+        raise ReproError(
+            "--source and --target must be given together"
+        )
+    if args.source is not None and args.graph is None:
+        raise ReproError(
+            "--source/--target need --graph to resolve the vertices"
+        )
     plan = QueryPlan.compile(args.regex)
     lang = plan.language
     classification = plan.classification
@@ -299,6 +361,8 @@ def _cmd_explain(args):
     # text-kinded (Language objects key by canonical DFA signature).
     print("plan key kind  : %s (plans cached by exact regex text)"
           % plan.key[0])
+    print("label mask     : {%s} (symbols some word of L uses)"
+          % ", ".join(sorted(plan.used_symbols)))
     if args.graph is not None:
         graph = graph_io.load(args.graph)
         engine = QueryEngine(graph)
@@ -312,6 +376,45 @@ def _cmd_explain(args):
                 engine.graph.num_edges,
             )
         )
+        view = engine.view
+        index = view.reachability()
+        usable = sorted(
+            plan.used_symbols & set(engine.graph.labels())
+        )
+        print(
+            "label coverage : %d/%d graph labels usable by L: {%s} "
+            "(index: %d components, %d condensation edges)"
+            % (
+                len(usable),
+                len(engine.graph.labels()),
+                ", ".join(usable),
+                index.num_comps,
+                index.num_condensation_edges,
+            )
+        )
+        if args.source is not None:
+            # Text-format graphs only ever carry string vertex names,
+            # so the raw arguments resolve directly (exactly like
+            # `repro solve`); unknown names raise the usual GraphError.
+            source = args.source
+            target = args.target
+            source_id = view.vertex_id(source)
+            target_id = view.vertex_id(target)
+            mask = view.label_mask(plan.used_symbols)
+            if source_id != target_id and not index.can_reach(
+                source_id, target_id, mask
+            ):
+                print(
+                    "index verdict  : short_circuit: unreachable — %r "
+                    "cannot reach %r under L's label mask; the engine "
+                    "answers NOT_FOUND without running a solver"
+                    % (source, target)
+                )
+            else:
+                print(
+                    "index verdict  : reachable under L's label mask — "
+                    "the %s solver would run" % plan.strategy
+                )
     else:
         print(
             "graph view     : csr (IndexedGraph) inside the engine/"
@@ -389,6 +492,11 @@ def _cmd_batch(args):
         raise ReproError(
             "--workers must be >= 1, got %d" % args.workers
         )
+    if args.result_cache_size < 1:
+        raise ReproError(
+            "--result-cache-size must be >= 1, got %d (use "
+            "--no-result-cache to disable caching)" % args.result_cache_size
+        )
     _checked_budget(args.budget)
     graph = graph_io.load(args.graph)
     queries = _parse_queries(args.queries)
@@ -396,6 +504,9 @@ def _cmd_batch(args):
         graph,
         plan_cache_size=args.plan_cache_size,
         exact_budget=args.budget,
+        result_cache=not args.no_result_cache,
+        result_cache_size=args.result_cache_size,
+        use_reach_index=not args.no_reach_index,
     )
     batch = engine.run_batch(
         queries, workers=args.workers, mode=args.parallel_mode
@@ -491,11 +602,19 @@ def _cmd_serve(args):
         raise ReproError(
             "--max-graphs must be >= 1, got %d" % args.max_graphs
         )
+    if args.result_cache_size < 1:
+        raise ReproError(
+            "--result-cache-size must be >= 1, got %d (use "
+            "--no-result-cache to disable caching)" % args.result_cache_size
+        )
     registry = GraphRegistry(
         plan_cache_size=args.plan_cache_size,
         exact_budget=args.budget,
         deadline_seconds=args.deadline_seconds,
         max_graphs=args.max_graphs,
+        result_cache=not args.no_result_cache,
+        result_cache_size=args.result_cache_size,
+        use_reach_index=not args.no_reach_index,
     )
     for name, path in graphs:
         entry = registry.register(name, graph_io.load(path))

@@ -46,6 +46,7 @@ from ..execution import ExecutionContext
 from ..graphs.dbgraph import Path
 from ..graphs.view import as_graph_view
 from ..languages import Language
+from ..languages.analysis import useful_symbols
 from .psitr import (
     OptionalWordTerm,
     PsitrExpression,
@@ -92,6 +93,25 @@ def _int_segments(view, segments):
         else:
             result.append((kind, view.word_label_ids(payload)))
     return result
+
+
+def _segments_mask(segments):
+    """Union label mask over an integer segment list.
+
+    The only labels any path matching the sequence can carry: word
+    letters (``None`` letters label no edge and contribute nothing)
+    plus every star class.  Used to gate a sequence against the
+    reachability index before any per-sequence structure is built.
+    """
+    mask = 0
+    for kind, payload in segments:
+        if kind == _STAR:
+            mask |= payload[0]
+        else:
+            for label_id in payload:
+                if label_id is not None:
+                    mask |= 1 << label_id
+    return mask
 
 
 def _min_remaining(segments):
@@ -185,7 +205,8 @@ class _SequenceNfa:
         return rev_letters, rev_eps
 
 
-def _live_table(view, nfa, source_id, target_id):
+def _live_table(view, nfa, source_id, target_id, from_source=None,
+                comp_of=None):
     """Flat goal-reachability table over packed ``vertex * |Q| + state``.
 
     Backward product reachability from ``(target, final)``; simplicity
@@ -201,6 +222,13 @@ def _live_table(view, nfa, source_id, target_id):
     state — so the forward half never pruned anything and is dropped
     (verified behavior-identical, step counts included, by the
     differential suite).
+
+    ``from_source`` (a component filter from the reachability index)
+    restricts the backward BFS to vertices the source can reach under
+    the sequence's label mask.  Every configuration the anchored DFS
+    constructs extends a real product walk from the source, so its
+    vertex lies inside that region — the restriction never changes an
+    aliveness answer the search can ask, it only shrinks the build.
     """
     num_states = nfa.num_states
     size = view.num_vertices * num_states
@@ -234,6 +262,10 @@ def _live_table(view, nfa, source_id, target_id):
                     if mask >> label_id & 1
                 ]
             for graph_source in sources:
+                if from_source is not None and not (
+                    from_source[comp_of[graph_source]]
+                ):
+                    continue
                 nxt = graph_source * num_states + nfa_source
                 if not backward[nxt]:
                     backward[nxt] = 1
@@ -445,11 +477,14 @@ class _SequenceSearch:
     """Anchored DFS for one Ψtr-sequence on one query (integer-native)."""
 
     def __init__(self, view, sequence, source_id, target_id, stats,
-                 budget=None, weight_fn=None, use_live_pruning=True):
+                 budget=None, weight_fn=None, use_live_pruning=True,
+                 reach_index=None, segments=None):
         self.view = view
         self._out = view.out
         self._out_by_label = view.out_by_label
-        self.segments = _int_segments(view, _segments_of(sequence))
+        if segments is None:
+            segments = _int_segments(view, _segments_of(sequence))
+        self.segments = segments
         self.source_id = source_id
         self.target_id = target_id
         self.stats = stats
@@ -458,7 +493,15 @@ class _SequenceSearch:
         self.use_live_pruning = use_live_pruning
         self.nfa = _SequenceNfa(self.segments)
         if use_live_pruning:
-            self.live = _live_table(view, self.nfa, source_id, target_id)
+            from_source = comp_of = None
+            if reach_index is not None and source_id != target_id:
+                from_source = reach_index.comps_from(
+                    source_id, _segments_mask(self.segments)
+                )
+                comp_of = reach_index.comp_of
+            self.live = _live_table(
+                view, self.nfa, source_id, target_id, from_source, comp_of
+            )
         else:
             self.live = None
         self.min_remaining = _min_remaining(self.segments)
@@ -775,7 +818,7 @@ class TractableSolver:
     """
 
     def __init__(self, language, expression=None, dfs_budget=None,
-                 use_live_pruning=True):
+                 use_live_pruning=True, use_reach_pruning=True):
         if isinstance(language, str):
             language = Language(language)
         self.language = language
@@ -786,6 +829,9 @@ class TractableSolver:
         self.expression = expression
         self.dfs_budget = dfs_budget
         self.use_live_pruning = use_live_pruning
+        self.use_reach_pruning = use_reach_pruning
+        #: Symbols occurring in some word of L (the query label mask).
+        self.used_symbols = useful_symbols(language.dfa)
         #: Stats of the last context-less query (legacy shim); queries
         #: that pass an explicit ExecutionContext never touch this, so
         #: a shared solver stays re-entrant.
@@ -818,13 +864,34 @@ class TractableSolver:
             if self.language.accepts(""):
                 return Path.single(view.vertex_at(source_id))
             return None
+        reach_index = None
+        if self.use_reach_pruning:
+            reach_index = view.reachability()
+            if not reach_index.can_reach(
+                source_id, target_id,
+                view.label_mask(self.used_symbols),
+            ):
+                # Unreachable even with regular-path semantics under
+                # every label L can use: NOT_FOUND, no anchored search.
+                return None
         best = None
         best_metric = None
         for sequence in self.expression.sequences:
+            segments = None
+            if reach_index is not None:
+                # A sequence whose own label mask cannot carry the
+                # source to the target is dead: skip the NFA build, the
+                # live table and the whole anchored DFS for it.
+                segments = _int_segments(view, _segments_of(sequence))
+                if not reach_index.can_reach(
+                    source_id, target_id, _segments_mask(segments)
+                ):
+                    continue
             search = _SequenceSearch(
                 view, sequence, source_id, target_id, stats,
                 budget=self.dfs_budget, weight_fn=weight_fn,
                 use_live_pruning=self.use_live_pruning,
+                reach_index=reach_index, segments=segments,
             )
             found = search.run(
                 best_bound=(

@@ -22,6 +22,7 @@ from typing import Optional
 from ..errors import ReproError
 from ..graphs.dbgraph import Path
 from ..languages import Language
+from ..languages.analysis import useful_symbols
 from ..algorithms.bounded import FiniteLanguageSolver
 from ..algorithms.exact import ExactSolver
 from .nice_paths import TractableSolver
@@ -72,14 +73,25 @@ class RspqSolver:
         Step budget handed to the exponential solver when it is used.
     force_exact:
         Skip the tractable machinery (useful for baselines in benches).
+    use_reach_pruning:
+        Consult the graph view's label-constrained reachability index
+        (short-circuiting provably unreachable queries and dropping
+        dead product states).  On by default; the differential suite
+        pins pruned ≡ unpruned results, path for path.
     """
 
-    def __init__(self, language, exact_budget=None, force_exact=False):
+    def __init__(self, language, exact_budget=None, force_exact=False,
+                 use_reach_pruning=True):
         if isinstance(language, str):
             language = Language(language)
         self.language = language
         self.classification = classify(language.dfa, with_witness=False)
+        #: Symbols occurring in some word of L — the query's label mask
+        #: for the reachability index (everything else is dead-state
+        #: plumbing no L-labeled path can use).
+        self.used_symbols = useful_symbols(language.dfa)
         self.exact_budget = exact_budget
+        self.use_reach_pruning = use_reach_pruning
         self._finite_solver = None
         self._tractable_solver = None
         self._exact_solver = None
@@ -88,7 +100,9 @@ class RspqSolver:
         if force_exact:
             pass
         elif self.classification.finite:
-            self._finite_solver = FiniteLanguageSolver(language)
+            self._finite_solver = FiniteLanguageSolver(
+                language, use_reach_pruning=use_reach_pruning
+            )
             self.strategy = STRATEGY_FINITE
         elif self.classification.in_trc:
             try:
@@ -97,7 +111,8 @@ class RspqSolver:
                 expression = None
             if expression is not None:
                 self._tractable_solver = TractableSolver(
-                    language, expression=expression
+                    language, expression=expression,
+                    use_reach_pruning=use_reach_pruning,
                 )
                 self.strategy = STRATEGY_TRACTABLE
             else:
@@ -105,7 +120,10 @@ class RspqSolver:
                 # decomposition; warn rather than silently go exponential.
                 self.decompose_failed = True
         if self.strategy == STRATEGY_EXACT:
-            self._exact_solver = ExactSolver(language, budget=exact_budget)
+            self._exact_solver = ExactSolver(
+                language, budget=exact_budget,
+                use_reach_pruning=use_reach_pruning,
+            )
 
     def shortest_simple_path(self, graph, source, target, ctx=None):
         """Shortest simple L-labeled path or ``None``.

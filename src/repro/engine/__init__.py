@@ -81,6 +81,7 @@ from .engine import (
     EngineResult,
     QueryEngine,
     QueryStats,
+    ResultCacheStats,
 )
 
 __all__ = [
@@ -92,6 +93,7 @@ __all__ = [
     "QueryEngine",
     "QueryPlan",
     "QueryStats",
+    "ResultCacheStats",
     "STRATEGY_ERROR",
     "plan_key",
 ]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import Counter
+from collections import Counter, OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -46,6 +46,12 @@ class QueryStats:
     steps: Optional[int]
     plan_cache_hit: bool
     seconds: float
+    #: True when the answer was replayed from the engine result cache
+    #: (no solver ran; ``steps`` reports the original solve's work).
+    result_cache_hit: bool = False
+    #: True when the reachability index proved the target unreachable
+    #: under the plan's label mask and no solver ran (``steps`` is 0).
+    short_circuit: bool = False
 
 
 @dataclass
@@ -82,6 +88,10 @@ class BatchResult:
     cache_stats: Optional[PlanCacheStats] = None
     #: Worker threads/processes the batch ran with (1 = serial).
     workers: int = 1
+    #: Result-cache counter deltas for this batch (None when the
+    #: engine's result cache is disabled; summed over workers in
+    #: process mode).
+    result_cache_stats: Optional["ResultCacheStats"] = None
 
     def __len__(self):
         return len(self.results)
@@ -142,9 +152,16 @@ class BatchResult:
                 self.cache_stats.evictions,
             )
         workers = ", %d workers" % self.workers if self.workers > 1 else ""
+        results = ""
+        if self.result_cache_stats is not None and (
+            self.result_cache_stats.hits
+        ):
+            results = " — results: %d cache hits" % (
+                self.result_cache_stats.hits
+            )
         return (
             "%d queries in %.3fs (%d found%s%s) — plans: %d compiled, "
-            "%d cache hits%s — strategies: %s"
+            "%d cache hits%s%s — strategies: %s"
             % (
                 len(self.results),
                 self.seconds,
@@ -154,6 +171,7 @@ class BatchResult:
                 self.plans_compiled,
                 self.plan_cache_hits,
                 cache,
+                results,
                 by_strategy or "none",
             )
         )
@@ -166,6 +184,130 @@ class _PlanCompilation:
 
     def __init__(self):
         self.done = threading.Event()
+
+
+@dataclass
+class ResultCacheStats:
+    """Counters for one engine result cache lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Whole-cache invalidations (the backing graph's mutation
+    #: generation moved, so every cached answer died at once).
+    invalidations: int = 0
+    size: int = 0
+    capacity: int = 0
+    enabled: bool = True
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self):
+        return {
+            "enabled": self.enabled,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "capacity": self.capacity,
+        }
+
+    def since(self, earlier):
+        """Counter deltas accumulated after the ``earlier`` snapshot."""
+        return ResultCacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            invalidations=self.invalidations - earlier.invalidations,
+            size=self.size,
+            capacity=self.capacity,
+            enabled=self.enabled,
+        )
+
+    def __add__(self, other):
+        if not isinstance(other, ResultCacheStats):
+            return NotImplemented
+        return ResultCacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            invalidations=self.invalidations + other.invalidations,
+            size=self.size + other.size,
+            capacity=max(self.capacity, other.capacity),
+            enabled=self.enabled or other.enabled,
+        )
+
+
+class _ResultCache:
+    """Bounded thread-safe LRU of answered queries, generation-scoped.
+
+    Keys are ``(plan_key, source, target)``; every entry belongs to the
+    graph generation it was computed on.  A lookup or store that sees a
+    *different* generation than the cache's current one clears the
+    whole cache first (one counter bump) — the invalidation hook for
+    the dict-backed path, where a ``DbGraph`` mutation bumps the view
+    generation between two identical queries.  Only successfully
+    answered results are stored; errors (bad input, exhausted budgets,
+    expired deadlines) always re-execute.
+    """
+
+    __slots__ = ("capacity", "_entries", "_lock", "_generation",
+                 "hits", "misses", "invalidations")
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise ValueError(
+                "result cache capacity must be >= 1, got %r (disable "
+                "the cache with result_cache=False instead)" % (capacity,)
+            )
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self._generation = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _sync_generation(self, generation):
+        # Caller holds the lock.
+        if self._generation != generation:
+            if self._generation is not None and self._entries:
+                self.invalidations += 1
+            self._entries.clear()
+            self._generation = generation
+
+    def lookup(self, generation, key):
+        with self._lock:
+            self._sync_generation(generation)
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def store(self, generation, key, result):
+        with self._lock:
+            self._sync_generation(generation)
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self):
+        with self._lock:
+            return ResultCacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                invalidations=self.invalidations,
+                size=len(self._entries),
+                capacity=self.capacity,
+                enabled=True,
+            )
 
 
 def _process_shard(graph, engine_kwargs, shard, overrides):
@@ -181,7 +323,7 @@ def _process_shard(graph, engine_kwargs, shard, overrides):
         (index, engine._run_single(language, source, target, **overrides))
         for index, (language, source, target) in shard
     ]
-    return results, engine.cache_stats()
+    return results, engine.cache_stats(), engine.result_cache_stats()
 
 
 class QueryEngine:
@@ -211,10 +353,33 @@ class QueryEngine:
         (isolated per query in batch mode).  Must be positive when
         given — an engine whose default deadline is already expired is
         a misconfiguration and is rejected with :class:`ValueError`.
+    result_cache / result_cache_size:
+        The engine-level result cache: answered queries are replayed
+        from an LRU keyed by ``(plan key, source, target)`` and scoped
+        to the graph's mutation generation, so a repeated query in a
+        serving workload returns without touching a solver.  A cache
+        hit returns the *correct* answer at ~zero cost, so per-query
+        budgets/deadlines do not apply to it.  ``result_cache=False``
+        disables it; ``result_cache_size`` bounds the entry count.
+    use_reach_index:
+        Consult the graph's label-constrained reachability index: the
+        engine short-circuits queries whose target is provably
+        unreachable under the plan's label mask (no solver runs), and
+        the solver cores use the same index for frontier pruning.  The
+        index is built eagerly at engine construction (compile time).
+    compile:
+        ``compile=False`` keeps a mutable :class:`DbGraph` live behind
+        the engine instead of freezing it into an
+        :class:`IndexedGraph`: queries run on the graph's dict-backed
+        view of the current mutation generation, and a mutation
+        between two identical queries invalidates the result cache.
+        The compiled path (default) is faster for static graphs.
     """
 
     def __init__(self, graph, plan_cache_size=128, exact_budget=None,
-                 deadline_seconds=None):
+                 deadline_seconds=None, result_cache=True,
+                 result_cache_size=1024, use_reach_index=True,
+                 compile=True):
         # Validate before compiling: a misconfigured engine must fail
         # instantly, not after an O(V+E) graph compile.
         if exact_budget is not None and exact_budget <= 0:
@@ -228,13 +393,32 @@ class QueryEngine:
                 "deadline, got %r (an engine default that is already "
                 "expired would fail every query)" % (deadline_seconds,)
             )
-        if isinstance(graph, IndexedGraph):
-            self.graph = graph
+        self._result_cache = (
+            _ResultCache(result_cache_size) if result_cache else None
+        )
+        self.use_reach_index = use_reach_index
+        if compile or isinstance(graph, IndexedGraph):
+            if isinstance(graph, IndexedGraph):
+                self.graph = graph
+            else:
+                self.graph = IndexedGraph(graph)
+            # The integer-native CSR view every solver receives; built
+            # once per engine so no query pays for it.
+            self._static_view = self.graph.view()
+            if use_reach_index:
+                # Compile-time indexing: pay for the SCC condensation
+                # here, not on the first short-circuit check.
+                self._static_view.reachability()
         else:
-            self.graph = IndexedGraph(graph)
-        # The integer-native CSR view every solver receives; built once
-        # per engine so no query pays for it.
-        self.view = self.graph.view()
+            if not hasattr(graph, "view"):
+                raise ValueError(
+                    "compile=False needs a graph exposing .view() "
+                    "(a DbGraph); got %r" % (graph,)
+                )
+            # Dict-backed serving: reads go through the live graph's
+            # own view, rebuilt per mutation generation.
+            self.graph = graph
+            self._static_view = None
         self.plan_cache = PlanCache(plan_cache_size)
         self.exact_budget = exact_budget
         self.deadline_seconds = deadline_seconds
@@ -271,6 +455,32 @@ class QueryEngine:
     def cache_stats(self):
         """Engine-lifetime plan-cache counters (an independent snapshot)."""
         return self.plan_cache.stats.snapshot()
+
+    def result_cache_stats(self):
+        """Engine-lifetime result-cache counters (hits / misses /
+        invalidations plus size and capacity); ``enabled=False`` when
+        the cache is off."""
+        if self._result_cache is None:
+            return ResultCacheStats(enabled=False)
+        return self._result_cache.stats()
+
+    @property
+    def view(self):
+        """The graph view every solver receives.
+
+        The frozen CSR view on the compiled path; the live graph's
+        dict-backed view of the current mutation generation on the
+        ``compile=False`` path.
+        """
+        if self._static_view is not None:
+            return self._static_view
+        return self.graph.view()
+
+    def reachability_info(self):
+        """JSON-safe shape of the reachability index (or None if off)."""
+        if not self.use_reach_index:
+            return None
+        return self.view.reachability().describe()
 
     @property
     def view_kind(self):
@@ -313,7 +523,8 @@ class QueryEngine:
                 continue
             try:
                 plan = QueryPlan.compile(
-                    language, key=key, exact_budget=self.exact_budget
+                    language, key=key, exact_budget=self.exact_budget,
+                    use_reach_pruning=self.use_reach_index,
                 )
             except BaseException:
                 with self._compile_lock:
@@ -334,24 +545,91 @@ class QueryEngine:
 
         ``deadline_seconds`` / ``budget`` override the engine defaults
         for this query only (the serving tier uses this to map a
-        per-request deadline onto the query's execution context).
+        per-request deadline onto the query's execution context).  They
+        bound *work*, so a result replayed from the result cache — or
+        proved by the reachability index without any search — is
+        returned even under a budget no fresh solve could meet.
 
         Raises :class:`~repro.errors.ReproError` on bad input (unknown
         vertex, unparseable regex, exceeded budget or deadline);
         ``run_batch`` isolates such failures per query instead.
         """
         self._check_overrides(deadline_seconds, budget)
+        return self._execute(
+            language, source, target,
+            deadline_seconds=deadline_seconds, budget=budget,
+        )
+
+    def _execute(self, language, source, target, deadline_seconds=None,
+                 budget=None, _hit_box=None):
+        """One query through cache → short-circuit → solver (may raise)."""
         start = time.perf_counter()
         plan, cache_hit = self.plan_for(language)
+        if _hit_box is not None:
+            _hit_box[0] = cache_hit
+        view = self.view
+        cache = self._result_cache
+        # The generation must be the one the view was built at (not a
+        # separate read of the live graph): a concurrent mutation
+        # between the two reads would otherwise tag a stale answer
+        # with the new generation and poison the cache.
+        generation = view.generation
+        result_key = (plan.key, source, target)
+        if cache is not None:
+            cached = cache.lookup(generation, result_key)
+            if cached is not None:
+                return EngineResult(
+                    language=language,
+                    source=source,
+                    target=target,
+                    found=cached.found,
+                    path=cached.path,
+                    strategy=cached.strategy,
+                    decompose_failed=cached.decompose_failed,
+                    stats=QueryStats(
+                        strategy=cached.strategy,
+                        steps=cached.stats.steps,
+                        plan_cache_hit=cache_hit,
+                        seconds=time.perf_counter() - start,
+                        result_cache_hit=True,
+                        short_circuit=cached.stats.short_circuit,
+                    ),
+                )
+        if self._short_circuits(view, plan, source, target):
+            # Provably NOT_FOUND: the target is not even
+            # walk-reachable under any label L can use, and every
+            # simple path is a path.  No solver runs.
+            result = EngineResult(
+                language=language,
+                source=source,
+                target=target,
+                found=False,
+                path=None,
+                strategy=plan.strategy,
+                decompose_failed=plan.decompose_failed,
+                stats=QueryStats(
+                    strategy=plan.strategy,
+                    steps=0,
+                    plan_cache_hit=cache_hit,
+                    seconds=time.perf_counter() - start,
+                    short_circuit=True,
+                ),
+            )
+            if cache is not None:
+                cache.store(generation, result_key, result)
+            return result
         ctx = self._new_context(
             deadline_seconds=deadline_seconds, budget=budget
         )
         path = plan.solver.shortest_simple_path(
-            self.view, source, target, ctx=ctx
+            view, source, target, ctx=ctx
         )
-        return self._answered_result(
+        result = self._answered_result(
             language, source, target, plan, cache_hit, ctx, path, start
         )
+        if cache is not None:
+            cache.store(generation, result_key, result)
+        return result
 
     def _answered_result(self, language, source, target, plan, cache_hit,
                          ctx, path, start):
@@ -372,25 +650,42 @@ class QueryEngine:
             ),
         )
 
+    def _short_circuits(self, view, plan, source, target):
+        """True when the reachability index proves the query NOT_FOUND.
+
+        Unknown vertices raise :class:`~repro.errors.GraphError` here
+        exactly as the solver would have (batch mode isolates it per
+        query); a same-vertex query is never short-circuited (the
+        empty-word case belongs to the solver).
+        """
+        if not self.use_reach_index:
+            return False
+        source_id = view.vertex_id(source)
+        target_id = view.vertex_id(target)
+        return source_id != target_id and not view.reachability().can_reach(
+            source_id, target_id, view.label_mask(plan.used_symbols)
+        )
+
     def exists(self, language, source, target):
-        """Decision variant (plan-cached)."""
+        """Decision variant (plan-cached, index-short-circuited)."""
         plan, _cache_hit = self.plan_for(language)
+        view = self.view
+        if self._short_circuits(view, plan, source, target):
+            return False
         return plan.solver.exists(
-            self.view, source, target, ctx=self._new_context()
+            view, source, target, ctx=self._new_context()
         )
 
     def _run_single(self, language, source, target, deadline_seconds=None,
                     budget=None):
         """One query with per-query error isolation (batch building block)."""
         start = time.perf_counter()
-        cache_hit = False
+        hit_box = [False]
         try:
-            plan, cache_hit = self.plan_for(language)
-            ctx = self._new_context(
-                deadline_seconds=deadline_seconds, budget=budget
-            )
-            path = plan.solver.shortest_simple_path(
-                self.view, source, target, ctx=ctx
+            return self._execute(
+                language, source, target,
+                deadline_seconds=deadline_seconds, budget=budget,
+                _hit_box=hit_box,
             )
         except ReproError as err:
             return EngineResult(
@@ -404,14 +699,11 @@ class QueryEngine:
                 stats=QueryStats(
                     strategy=STRATEGY_ERROR,
                     steps=None,
-                    plan_cache_hit=cache_hit,
+                    plan_cache_hit=hit_box[0],
                     seconds=time.perf_counter() - start,
                 ),
                 error=str(err),
             )
-        return self._answered_result(
-            language, source, target, plan, cache_hit, ctx, path, start
-        )
 
     def run_batch(self, queries, workers=1, mode="thread",
                   deadline_seconds=None, budget=None):
@@ -461,27 +753,39 @@ class QueryEngine:
         start = time.perf_counter()
         if effective_workers == 1:
             before = self.cache_stats()
+            results_before = self.result_cache_stats()
             results = [
                 self._run_single(language, source, target, **overrides)
                 for language, source, target in queries
             ]
             cache_stats = self.plan_cache.stats.since(before)
+            result_cache_stats = self._result_cache_delta(results_before)
         elif mode == "thread":
             before = self.cache_stats()
+            results_before = self.result_cache_stats()
             results = self._run_batch_threads(
                 queries, effective_workers, overrides
             )
             cache_stats = self.plan_cache.stats.since(before)
+            result_cache_stats = self._result_cache_delta(results_before)
         else:
-            results, cache_stats = self._run_batch_processes(
-                queries, effective_workers, overrides
+            results, cache_stats, result_cache_stats = (
+                self._run_batch_processes(
+                    queries, effective_workers, overrides
+                )
             )
         return BatchResult(
             results=results,
             seconds=time.perf_counter() - start,
             cache_stats=cache_stats,
             workers=effective_workers,
+            result_cache_stats=result_cache_stats,
         )
+
+    def _result_cache_delta(self, earlier):
+        if self._result_cache is None:
+            return None
+        return self.result_cache_stats().since(earlier)
 
     # -- parallel schedulers -----------------------------------------------------
 
@@ -519,9 +823,19 @@ class QueryEngine:
             "plan_cache_size": self.plan_cache.capacity,
             "exact_budget": self.exact_budget,
             "deadline_seconds": self.deadline_seconds,
+            "use_reach_index": self.use_reach_index,
+            "result_cache": self._result_cache is not None,
+            "result_cache_size": (
+                self._result_cache.capacity
+                if self._result_cache is not None
+                else 1024
+            ),
         }
         results = [None] * len(queries)
         cache_stats = PlanCacheStats()
+        result_cache_stats = (
+            ResultCacheStats() if self._result_cache is not None else None
+        )
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
@@ -531,8 +845,14 @@ class QueryEngine:
                 for shard in shards
             ]
             for future in futures:
-                shard_results, shard_stats = future.result()
+                shard_results, shard_stats, shard_result_stats = (
+                    future.result()
+                )
                 for index, result in shard_results:
                     results[index] = result
                 cache_stats = cache_stats + shard_stats
-        return results, cache_stats
+                if result_cache_stats is not None:
+                    result_cache_stats = (
+                        result_cache_stats + shard_result_stats
+                    )
+        return results, cache_stats, result_cache_stats

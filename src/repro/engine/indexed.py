@@ -26,6 +26,7 @@ from array import array
 
 from ..errors import GraphError
 from ..graphs.dbgraph import DbGraph
+from ..graphs.reach import ReachabilityIndex, condense
 from ..graphs.view import GraphView
 
 
@@ -107,6 +108,13 @@ class CsrView(GraphView):
         self._succ_memo = {}
         self._pred_memo = {}
 
+    def _build_reachability(self):
+        """Index from the graph's (possibly snapshot-thawed) parts."""
+        comp_of, num_comps, label_edges = self.graph.reach_parts()
+        return ReachabilityIndex(
+            comp_of, num_comps, label_edges, num_labels=self.num_labels
+        )
+
     def out(self, vertex_id):
         """``(label_id, target_id)`` pairs in repr order — precompiled."""
         return self._out_pairs[vertex_id]
@@ -172,6 +180,7 @@ class IndexedGraph:
         "_rev_label_indptr",
         "_rev_label_sources",
         "_sorted_succ_by_label",
+        "_reach_parts",
         "_view",
     )
 
@@ -230,12 +239,16 @@ class IndexedGraph:
         # (vertex, label) -> sorted target tuple, filled lazily from the
         # CSR slices on first use.
         self._sorted_succ_by_label = {}
+        # SCC condensation + per-label condensation edges, computed on
+        # first use (reach_parts) and persisted by snapshot format v3.
+        self._reach_parts = None
         self._view = None
 
     @classmethod
     def _from_parts(cls, vertex_of, labels, num_edges, out, in_,
                     label_indptr, label_targets,
-                    rev_label_indptr=None, rev_label_sources=None):
+                    rev_label_indptr=None, rev_label_sources=None,
+                    reach_parts=None):
         """Rebuild a compiled view directly from its frozen parts.
 
         Used by :mod:`repro.service.snapshot` to warm-start from disk
@@ -267,6 +280,9 @@ class IndexedGraph:
         self._rev_label_indptr = dict(rev_label_indptr)
         self._rev_label_sources = dict(rev_label_sources)
         self._sorted_succ_by_label = {}
+        # A pre-index snapshot (format < 3) carries no reach section;
+        # the condensation is then rebuilt in memory on first use.
+        self._reach_parts = reach_parts
         self._view = None
         return self
 
@@ -295,6 +311,37 @@ class IndexedGraph:
         if self._view is None:
             self._view = CsrView(self)
         return self._view
+
+    #: Frozen graphs never mutate; the result cache keys on this.
+    @property
+    def generation(self):
+        return 0
+
+    # -- reachability index -------------------------------------------------------
+
+    def reach_parts(self):
+        """The SCC condensation parts ``(comp_of, num_comps, label_edges)``.
+
+        Computed once per compiled graph (iterative Tarjan over the
+        forward adjacency in canonical order) and cached; snapshot
+        format v3 persists the result so a warm start thaws the index
+        instead of re-condensing.
+        """
+        if self._reach_parts is None:
+            # The CSR view's precompiled (label_id, target_id) pairs
+            # are exactly the integer adjacency the condensation
+            # walks; reuse them instead of re-mapping the string
+            # adjacency (the view is built once per compiled graph
+            # and every index consumer needs it anyway).
+            out_pairs = self.view()._out_pairs
+            self._reach_parts = condense(
+                len(self._vertex_of), out_pairs.__getitem__
+            )
+        return self._reach_parts
+
+    def reachability(self):
+        """The shared :class:`ReachabilityIndex` (via the CSR view)."""
+        return self.view().reachability()
 
     # -- id mapping -------------------------------------------------------------
 
@@ -414,11 +461,31 @@ class IndexedGraph:
         return True
 
     def reachable_within(self, start, allowed_labels=None, forbidden=()):
-        """Same contract as :meth:`DbGraph.reachable_within`."""
+        """Same contract as :meth:`DbGraph.reachable_within`.
+
+        When nothing restricts the walk (no forbidden vertices, and
+        either no label filter or one covering every edge label), the
+        answer is read off the reachability index — the condensation is
+        *exact* for unrestricted reachability — instead of re-walking
+        the CSR arrays per call.  Restricted queries (where the index's
+        free intra-component movement would overapproximate) fall back
+        to the original DFS.
+        """
         start_id = self.vertex_id(start)
         blocked = set(forbidden)
         if start in blocked:
             return set()
+        if not blocked and (
+            allowed_labels is None or self._labels <= set(allowed_labels)
+        ):
+            index = self.reachability()
+            comp_of = index.comp_of
+            reachable = index.comps_from(start_id)
+            return {
+                vertex
+                for vertex_id, vertex in enumerate(self._vertex_of)
+                if reachable[comp_of[vertex_id]]
+            }
         seen = {start}
         stack = [start_id]
         seen_ids = {start_id}

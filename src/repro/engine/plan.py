@@ -143,13 +143,29 @@ class QueryPlan:
     def decompose_failed(self):
         return self.solver.decompose_failed
 
+    @property
+    def used_symbols(self):
+        """Symbols some word of L uses — the query's label mask for the
+        reachability index (anything else can never appear on an
+        L-labeled path)."""
+        return self.solver.used_symbols
+
     @classmethod
-    def compile(cls, language, key=None, exact_budget=None):
-        """Build a plan (regex → DFA → classification → solver) once."""
+    def compile(cls, language, key=None, exact_budget=None,
+                use_reach_pruning=True):
+        """Build a plan (regex → DFA → classification → solver) once.
+
+        ``use_reach_pruning=False`` compiles solvers that ignore the
+        reachability index entirely (the engine's ``use_reach_index``
+        kill-switch, and the unpruned side of the differential suite).
+        """
         if key is None:
             key = plan_key(language)
         start = time.perf_counter()
-        solver = RspqSolver(language, exact_budget=exact_budget)
+        solver = RspqSolver(
+            language, exact_budget=exact_budget,
+            use_reach_pruning=use_reach_pruning,
+        )
         return cls(
             key=key,
             solver=solver,

@@ -119,6 +119,17 @@ class DbGraph:
     def num_edges(self):
         return self._num_edges
 
+    @property
+    def generation(self):
+        """Monotonic mutation counter (bumps on any structural change).
+
+        Consumers that snapshot derived state — the memoised
+        :class:`~repro.graphs.view.DbGraphView`, the engine's result
+        cache — compare generations to detect staleness in one int
+        compare instead of hashing the edge set.
+        """
+        return self._mutations
+
     def vertices(self):
         """Iterator over all vertices, in deterministic (repr) order.
 

@@ -66,6 +66,35 @@ class GraphView:
     #: Short machine-readable backend name ("dict" / "csr").
     kind = "abstract"
 
+    #: Mutation generation of the backing graph at view-build time
+    #: (always 0 for frozen views).  The engine's result cache keys on
+    #: it, so cached answers die with the view they were computed on.
+    generation = 0
+
+    # -- reachability index -------------------------------------------------------
+
+    def reachability(self):
+        """The :class:`~repro.graphs.reach.ReachabilityIndex` for this view.
+
+        Built lazily on first use and memoised on the view instance —
+        a :class:`DbGraphView` is rebuilt per mutation generation, so
+        its index can never serve a stale graph; a ``CsrView`` is
+        frozen, so its index (possibly thawed straight from a snapshot)
+        lives as long as the compiled graph.  Both backends condense in
+        the same canonical order, so the component partition — and
+        therefore every pruning decision — is view-independent.
+        """
+        index = getattr(self, "_reach_index", None)
+        if index is None:
+            index = self._build_reachability()
+            self._reach_index = index
+        return index
+
+    def _build_reachability(self):
+        from .reach import ReachabilityIndex
+
+        return ReachabilityIndex.from_view(self)
+
     # -- id tables ---------------------------------------------------------------
 
     @property
@@ -140,6 +169,7 @@ class DbGraphView(GraphView):
 
     def __init__(self, graph):
         self.graph = graph
+        self.generation = getattr(graph, "generation", 0)
         if isinstance(graph, DbGraph):
             # DbGraph.vertices() is already repr-sorted (and cached).
             vertices = tuple(graph.vertices())

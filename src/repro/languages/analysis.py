@@ -92,6 +92,48 @@ def strongly_connected_components(dfa, restrict_to=None):
     return components
 
 
+def useful_symbols(dfa):
+    """Symbols that occur in at least one word of ``L(dfa)``.
+
+    A symbol ``a`` is *useful* iff some transition ``q --a--> r`` has
+    ``q`` reachable from the initial state and ``r`` co-accessible (able
+    to reach an accepting state): the word ``w1·a·w2`` through that
+    transition is then in L.  Everything else is dead-state plumbing the
+    completion added — no L-labeled path can ever use it, which is what
+    lets the reachability index bound a query by the frozenset returned
+    here (the query's *label mask*).
+    """
+    # Forward closure from the initial state.
+    reachable = {dfa.initial}
+    queue = deque((dfa.initial,))
+    while queue:
+        state = queue.popleft()
+        for symbol in dfa.alphabet:
+            target = dfa.transition(state, symbol)
+            if target not in reachable:
+                reachable.add(target)
+                queue.append(target)
+    # Backward closure from the accepting set.
+    reverse = {}
+    for state in range(dfa.num_states):
+        for symbol in dfa.alphabet:
+            reverse.setdefault(dfa.transition(state, symbol), []).append(state)
+    live = set(dfa.accepting)
+    queue = deque(live)
+    while queue:
+        state = queue.popleft()
+        for previous in reverse.get(state, ()):
+            if previous not in live:
+                live.add(previous)
+                queue.append(previous)
+    return frozenset(
+        symbol
+        for state in reachable
+        for symbol in dfa.alphabet
+        if dfa.transition(state, symbol) in live
+    )
+
+
 def component_of(components, state):
     """The component (frozenset) containing ``state``."""
     for component in components:

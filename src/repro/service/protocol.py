@@ -6,7 +6,8 @@ stream-parse or diff outputs byte-for-byte — and is pinned by
 :data:`RESULT_FIELDS`:
 
 ``language, source, target, strategy, found, length, word, path,
-decompose_failed, steps, seconds, plan_cache_hit, error``
+decompose_failed, steps, seconds, plan_cache_hit, result_cache_hit,
+short_circuit, error``
 
 * ``language`` — the language spec as a string (regex text).
 * ``source`` / ``target`` — endpoints exactly as queried (JSON keeps
@@ -19,6 +20,10 @@ decompose_failed, steps, seconds, plan_cache_hit, error``
 * ``steps`` — the dispatched solver's work counter; ``seconds`` —
   wall-clock for this query; ``plan_cache_hit`` — whether the plan was
   already cached.
+* ``result_cache_hit`` — the answer was replayed from the engine
+  result cache (no solver ran; ``steps`` reports the original solve).
+* ``short_circuit`` — the reachability index proved NOT_FOUND under
+  the plan's label mask and no solver ran (``steps`` is 0).
 * ``error`` — ``null`` for answered queries, otherwise the message of
   the isolated per-query failure.
 
@@ -44,6 +49,8 @@ RESULT_FIELDS = (
     "steps",
     "seconds",
     "plan_cache_hit",
+    "result_cache_hit",
+    "short_circuit",
     "error",
 )
 
@@ -65,6 +72,8 @@ def result_record(result):
         "steps": result.stats.steps,
         "seconds": result.stats.seconds,
         "plan_cache_hit": result.stats.plan_cache_hit,
+        "result_cache_hit": result.stats.result_cache_hit,
+        "short_circuit": result.stats.short_circuit,
         "error": result.error,
     }
 
@@ -86,5 +95,11 @@ def batch_record(batch):
             "misses": batch.cache_stats.misses,
             "evictions": batch.cache_stats.evictions,
             "compiles": batch.cache_stats.compiles,
+        }
+    if batch.result_cache_stats is not None:
+        record["result_cache_stats"] = {
+            "hits": batch.result_cache_stats.hits,
+            "misses": batch.result_cache_stats.misses,
+            "invalidations": batch.result_cache_stats.invalidations,
         }
     return record

@@ -98,6 +98,7 @@ class RegisteredGraph:
         cache = self.engine.cache_stats()
         with self._lock:
             stats = self.stats.as_dict()
+        result_cache = self.engine.result_cache_stats()
         stats.update(
             name=self.name,
             num_vertices=graph.num_vertices,
@@ -110,6 +111,8 @@ class RegisteredGraph:
                 "evictions": cache.evictions,
                 "compiles": cache.compiles,
             },
+            result_cache=result_cache.as_dict(),
+            reachability_index=self.engine.reachability_info(),
         )
         return stats
 
@@ -133,10 +136,19 @@ class GraphRegistry:
         Optional cap on simultaneously registered graphs; registering
         beyond it raises :class:`~repro.errors.ServiceError` (evict
         first — the registry never silently drops a graph).
+    result_cache / result_cache_size:
+        Per-graph engine result cache knobs (see
+        :class:`~repro.engine.QueryEngine`): repeated identical
+        queries replay without touching a solver.
+    use_reach_index:
+        Build the label-constrained reachability index for every
+        registered graph (short-circuits provably-negative queries).
     """
 
     def __init__(self, plan_cache_size=128, exact_budget=None,
-                 deadline_seconds=None, max_graphs=None):
+                 deadline_seconds=None, max_graphs=None,
+                 result_cache=True, result_cache_size=1024,
+                 use_reach_index=True):
         if max_graphs is not None and max_graphs < 1:
             raise ValueError(
                 "max_graphs must be >= 1 or None, got %r" % (max_graphs,)
@@ -145,8 +157,21 @@ class GraphRegistry:
         self.exact_budget = exact_budget
         self.deadline_seconds = deadline_seconds
         self.max_graphs = max_graphs
+        self.result_cache = result_cache
+        self.result_cache_size = result_cache_size
+        self.use_reach_index = use_reach_index
         self._entries = {}
         self._lock = threading.Lock()
+
+    def _engine_kwargs(self):
+        return {
+            "plan_cache_size": self.plan_cache_size,
+            "exact_budget": self.exact_budget,
+            "deadline_seconds": self.deadline_seconds,
+            "result_cache": self.result_cache,
+            "result_cache_size": self.result_cache_size,
+            "use_reach_index": self.use_reach_index,
+        }
 
     # -- registration -----------------------------------------------------------
 
@@ -182,12 +207,7 @@ class GraphRegistry:
         with self._lock:
             self._admit(name)  # fail fast before paying for the compile
         start = time.perf_counter()
-        engine = QueryEngine(
-            graph,
-            plan_cache_size=self.plan_cache_size,
-            exact_budget=self.exact_budget,
-            deadline_seconds=self.deadline_seconds,
-        )
+        engine = QueryEngine(graph, **self._engine_kwargs())
         stats = GraphStats(
             source=(
                 "indexed" if isinstance(graph, IndexedGraph) else "compiled"
@@ -202,12 +222,7 @@ class GraphRegistry:
             self._admit(name)
         start = time.perf_counter()
         graph = load_snapshot(path)
-        engine = QueryEngine(
-            graph,
-            plan_cache_size=self.plan_cache_size,
-            exact_budget=self.exact_budget,
-            deadline_seconds=self.deadline_seconds,
-        )
+        engine = QueryEngine(graph, **self._engine_kwargs())
         stats = GraphStats(
             source="snapshot",
             prepare_seconds=time.perf_counter() - start,

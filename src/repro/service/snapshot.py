@@ -9,13 +9,13 @@ sorting, no dict-of-sets traversal — which is what lets a restarted
 query service warm-start in a fraction of the compile time
 (``benchmarks/bench_service.py`` asserts the speedup).
 
-Format (version 2; version 1 still loads)
-------------------------------------------
+Format (version 3; versions 1 and 2 still load)
+------------------------------------------------
 
 Little-endian throughout::
 
     offset 0   magic          8 bytes  b"RSPQSNAP"
-    offset 8   version        u32      currently 2
+    offset 8   version        u32      currently 3
     offset 12  header_len     u32
     offset 16  header         header_len bytes of UTF-8 JSON
     ...        payload_crc32  u32      zlib.crc32 of header + arrays
@@ -43,10 +43,21 @@ binary section:
     ``rcsr_offsets[j]:rcsr_offsets[j+1]``.  Solvers use it for
     backward product searches; persisting it means a warm start
     rebuilds nothing.
+``scc_comp_of`` / ``scc_edge_labels`` / ``scc_edge_sources`` /
+``scc_edge_targets`` (version ≥ 3)
+    The label-constrained reachability index's compiled parts:
+    ``scc_comp_of`` maps each vertex to its SCC component id (the
+    header carries ``num_comps``), and the three edge arrays list the
+    distinct inter-component condensation edges as parallel
+    ``(label_id, comp_from, comp_to)`` columns sorted by that triple.
+    A warm start thaws the index instead of re-running Tarjan; the
+    closure bitsets stay lazy either way.
 
 A version-1 snapshot (no reverse-CSR section) still loads: the reverse
 index is rebuilt in memory by transposing the forward per-label CSR,
-and the thawed graph serves queries identically.  Loading validates
+and the thawed graph serves queries identically.  Likewise a version-1
+or version-2 snapshot (no reachability section) loads by re-condensing
+in memory on first index use.  Loading validates
 magic, version, header shape and the checksum over the
 header-plus-arrays payload, raising
 :class:`~repro.errors.SnapshotError` with the reason on any mismatch —
@@ -69,8 +80,8 @@ from ..errors import SnapshotError
 from ..engine.indexed import IndexedGraph
 
 MAGIC = b"RSPQSNAP"
-FORMAT_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+FORMAT_VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 _U32 = struct.Struct("<I")
 
@@ -90,11 +101,22 @@ _ARRAY_NAMES_V1 = (
 #: Version-2 appends the label-partitioned reverse CSR.
 _REVERSE_ARRAY_NAMES = ("rcsr_offsets", "rcsr_indptr", "rcsr_sources")
 
+#: Version-3 appends the reachability index (SCC condensation).
+_REACH_ARRAY_NAMES = (
+    "scc_comp_of",
+    "scc_edge_labels",
+    "scc_edge_sources",
+    "scc_edge_targets",
+)
+
 
 def _array_names(version):
+    names = _ARRAY_NAMES_V1
     if version >= 2:
-        return _ARRAY_NAMES_V1 + _REVERSE_ARRAY_NAMES
-    return _ARRAY_NAMES_V1
+        names = names + _REVERSE_ARRAY_NAMES
+    if version >= 3:
+        names = names + _REACH_ARRAY_NAMES
+    return names
 
 
 def _int64_bytes(values):
@@ -143,8 +165,9 @@ def save_snapshot(graph, path, format_version=FORMAT_VERSION):
     renamed into place, so readers never observe a partial file.
 
     ``format_version`` defaults to the current format; passing ``1``
-    writes the legacy layout without the reverse-CSR section (useful
-    for serving fleets mid-upgrade — every supported version loads).
+    or ``2`` writes the legacy layouts without the reverse-CSR and/or
+    reachability-index sections (useful for serving fleets mid-upgrade
+    — every supported version loads).
     """
     if format_version not in SUPPORTED_VERSIONS:
         raise SnapshotError(
@@ -200,6 +223,20 @@ def save_snapshot(graph, path, format_version=FORMAT_VERSION):
         sections["rcsr_indptr"] = rcsr_indptr
         sections["rcsr_sources"] = rcsr_sources
 
+    num_comps = None
+    if format_version >= 3:
+        comp_of, num_comps, label_edges = graph.reach_parts()
+        edge_labels, edge_sources, edge_targets = [], [], []
+        for label_id, edges in enumerate(label_edges):
+            for comp_from, comp_to in edges:
+                edge_labels.append(label_id)
+                edge_sources.append(comp_from)
+                edge_targets.append(comp_to)
+        sections["scc_comp_of"] = comp_of
+        sections["scc_edge_labels"] = edge_labels
+        sections["scc_edge_sources"] = edge_sources
+        sections["scc_edge_targets"] = edge_targets
+
     names = _array_names(format_version)
     array_section = b"".join(
         _int64_bytes(sections[name]) for name in names
@@ -211,6 +248,8 @@ def save_snapshot(graph, path, format_version=FORMAT_VERSION):
         "num_edges": graph._num_edges,
         "arrays": [[name, len(sections[name])] for name in names],
     }
+    if num_comps is not None:
+        header["num_comps"] = num_comps
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
 
     # One checksum over header *and* arrays: a bit-rotted vertex name
@@ -412,8 +451,14 @@ def _thaw(header, arrays, path):
                 rcsr_offsets[j]:rcsr_offsets[j + 1]
             ]
 
+    reach_parts = None
+    if "scc_comp_of" in arrays:
+        reach_parts = _thaw_reach_parts(header, arrays, n, num_labels, path)
+
     # A v1 snapshot has no reverse section; _from_parts rebuilds the
     # reverse index in memory by transposing the forward label CSR.
+    # Pre-v3 snapshots likewise carry no reachability section; the
+    # condensation is then recomputed in memory on first index use.
     return IndexedGraph._from_parts(
         vertex_of=vertices,
         labels=labels,
@@ -424,7 +469,72 @@ def _thaw(header, arrays, path):
         label_targets=label_targets,
         rev_label_indptr=rev_label_indptr,
         rev_label_sources=rev_label_sources,
+        reach_parts=reach_parts,
     )
+
+
+def _thaw_reach_parts(header, arrays, n, num_labels, path):
+    """Validate and rebuild the v3 reachability-index section."""
+    num_comps = header.get("num_comps")
+    if not isinstance(num_comps, int) or not 0 <= num_comps <= n or (
+        n > 0 and num_comps < 1
+    ):
+        raise SnapshotError(
+            "snapshot %s header carries an invalid num_comps %r for %d "
+            "vertices" % (path, num_comps, n)
+        )
+    raw_comp_of = arrays["scc_comp_of"]
+    if len(raw_comp_of) != n:
+        raise SnapshotError(
+            "snapshot %s reachability section does not match its %d "
+            "vertices (%d component entries)" % (path, n, len(raw_comp_of))
+        )
+    comp_of = array("l", raw_comp_of)
+    for comp in comp_of:
+        if not 0 <= comp < num_comps:
+            raise SnapshotError(
+                "snapshot %s reachability section names component %d "
+                "outside 0..%d" % (path, comp, num_comps - 1)
+            )
+    edge_labels = arrays["scc_edge_labels"]
+    edge_sources = arrays["scc_edge_sources"]
+    edge_targets = arrays["scc_edge_targets"]
+    if not (len(edge_labels) == len(edge_sources) == len(edge_targets)):
+        raise SnapshotError(
+            "snapshot %s reachability edge arrays disagree in length "
+            "(%d/%d/%d)"
+            % (path, len(edge_labels), len(edge_sources), len(edge_targets))
+        )
+    label_edge_lists = [[] for _ in range(num_labels)]
+    for label_id, comp_from, comp_to in zip(
+        edge_labels, edge_sources, edge_targets
+    ):
+        if not 0 <= label_id < num_labels:
+            raise SnapshotError(
+                "snapshot %s reachability edge names label id %d outside "
+                "0..%d" % (path, label_id, num_labels - 1)
+            )
+        if not (0 <= comp_from < num_comps and 0 <= comp_to < num_comps):
+            raise SnapshotError(
+                "snapshot %s reachability edge (%d -> %d) is outside the "
+                "component range 0..%d"
+                % (path, comp_from, comp_to, num_comps - 1)
+            )
+        if comp_to >= comp_from:
+            # Tarjan numbers components in reverse topological order,
+            # so every legitimate condensation edge points to a
+            # strictly smaller id; the closure pass in
+            # ReachabilityIndex._reach_for depends on it, and a
+            # violating edge would silently under-approximate
+            # reachability (false "unreachable" proofs).
+            raise SnapshotError(
+                "snapshot %s reachability edge (%d -> %d) violates the "
+                "reverse-topological component numbering"
+                % (path, comp_from, comp_to)
+            )
+        label_edge_lists[label_id].append((comp_from, comp_to))
+    label_edges = tuple(tuple(edges) for edges in label_edge_lists)
+    return comp_of, num_comps, label_edges
 
 
 def load_snapshot(path):

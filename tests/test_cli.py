@@ -407,3 +407,61 @@ class TestExplain:
     def test_missing_graph_file_is_usage_error(self, capsys):
         assert main(["explain", "a*", "--graph", "/no/such/file"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_label_mask_and_coverage(self, capsys, graph_file):
+        assert main(["explain", "a*b", "--graph", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "label mask     : {a, b}" in out
+        assert "label coverage : 2/3 graph labels usable by L" in out
+        assert "components" in out
+
+    def test_index_verdict_reachable(self, capsys, graph_file):
+        assert main([
+            "explain", "a*(bb+ + eps)c*", "--graph", graph_file,
+            "--source", "s", "--target", "t",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "index verdict  : reachable under L's label mask" in out
+
+    def test_index_verdict_short_circuit(self, capsys, graph_file):
+        # t has no outgoing edges: nothing is reachable from it.
+        assert main([
+            "explain", "a*", "--graph", graph_file,
+            "--source", "t", "--target", "s",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "index verdict  : short_circuit: unreachable" in out
+        assert "NOT_FOUND" in out
+
+    def test_verdict_never_executes_a_search(self, capsys, graph_file,
+                                             monkeypatch):
+        from repro.core.solver import RspqSolver
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("explain executed a search")
+
+        monkeypatch.setattr(RspqSolver, "shortest_simple_path", boom)
+        assert main([
+            "explain", "a*ba*", "--graph", graph_file,
+            "--source", "s", "--target", "t",
+        ]) == 0
+
+    def test_source_without_target_is_usage_error(self, capsys,
+                                                  graph_file):
+        assert main([
+            "explain", "a*", "--graph", graph_file, "--source", "s",
+        ]) == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_source_without_graph_is_usage_error(self, capsys):
+        assert main([
+            "explain", "a*", "--source", "s", "--target", "t",
+        ]) == 2
+        assert "--graph" in capsys.readouterr().err
+
+    def test_unknown_vertex_is_usage_error(self, capsys, graph_file):
+        assert main([
+            "explain", "a*", "--graph", graph_file,
+            "--source", "nope", "--target", "t",
+        ]) == 2
+        assert "unknown vertex" in capsys.readouterr().err

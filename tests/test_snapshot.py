@@ -292,14 +292,17 @@ class TestVersionMigration:
                 format_version=99,
             )
 
-    def test_corrupt_reverse_section_rejected(self, tmp_path, snap_path):
-        # Rewrite the snapshot with a structurally wrong reverse-CSR
-        # manifest but a *valid* checksum: the shape validation itself
-        # must catch it, not just the CRC.
+    def test_corrupt_reverse_section_rejected(self, tmp_path, graph):
+        # Rewrite a v2 snapshot (rcsr_sources is its final array) with
+        # a structurally wrong reverse-CSR manifest but a *valid*
+        # checksum: the shape validation itself must catch it, not
+        # just the CRC.
         import json
         import struct
         import zlib
 
+        snap_path = str(tmp_path / "v2.snap")
+        save_snapshot(IndexedGraph(graph), snap_path, format_version=2)
         data = bytearray(open(snap_path, "rb").read())
         (header_len,) = struct.unpack_from("<I", data, 12)
         header = json.loads(bytes(data[16:16 + header_len]).decode())
@@ -382,3 +385,202 @@ class TestVersionMigration:
         direct = solve_rspq("a*", graph, 0, 10)
         assert result.found == direct.found
         assert result.path == direct.path
+
+
+def _rewrite_snapshot(path, out_path, mutate):
+    """Reassemble ``path`` after ``mutate(header, arrays_bytes)`` with a
+    valid checksum, so shape validation — not the CRC — must object."""
+    import json
+    import zlib
+
+    data = bytearray(open(path, "rb").read())
+    (header_len,) = struct.unpack_from("<I", data, 12)
+    header = json.loads(bytes(data[16:16 + header_len]).decode())
+    arrays = bytes(data[16 + header_len + 4:])
+    header, arrays = mutate(header, arrays)
+    new_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    crc = zlib.crc32(arrays, zlib.crc32(new_header)) & 0xFFFFFFFF
+    with open(out_path, "wb") as handle:
+        handle.write(b"".join((
+            MAGIC,
+            struct.pack("<I", header["format_version"]),
+            struct.pack("<I", len(new_header)),
+            new_header,
+            struct.pack("<I", crc),
+            arrays,
+        )))
+    return out_path
+
+
+def _array_span(header, name):
+    """(byte offset, byte length) of array ``name`` in the section."""
+    offset = 0
+    for array_name, count in header["arrays"]:
+        if array_name == name:
+            return offset, count * 8
+        offset += count * 8
+    raise AssertionError("no array %r in manifest" % name)
+
+
+class TestFormatV3ReachabilityIndex:
+    """v3 persists the reachability index; v1/v2 rebuild in memory."""
+
+    def test_v3_is_the_default(self, snap_path):
+        assert FORMAT_VERSION == 3
+        assert snapshot_info(snap_path)["format_version"] == 3
+
+    @pytest.mark.parametrize("legacy_version", [1, 2])
+    def test_legacy_versions_load_and_rebuild_the_index(
+        self, tmp_path, graph, legacy_version
+    ):
+        path = str(tmp_path / "legacy.snap")
+        save_snapshot(IndexedGraph(graph), path,
+                      format_version=legacy_version)
+        assert snapshot_info(path)["format_version"] == legacy_version
+        thawed = load_snapshot(path)
+        compiled = IndexedGraph(graph)
+        # Index rebuilt in memory ≡ fresh compile.
+        t_comp, t_n, t_edges = thawed.reach_parts()
+        c_comp, c_n, c_edges = compiled.reach_parts()
+        assert list(t_comp) == list(c_comp)
+        assert t_n == c_n
+        assert t_edges == c_edges
+
+    def test_v3_round_trips_the_index_without_recondensing(
+        self, graph, snap_path
+    ):
+        thawed = load_snapshot(snap_path)
+        # The parts were thawed, not recomputed lazily.
+        assert thawed._reach_parts is not None
+        compiled = IndexedGraph(graph)
+        assert list(thawed.reach_parts()[0]) == (
+            list(compiled.reach_parts()[0])
+        )
+
+    def test_all_versions_serve_identical_answers(self, tmp_path, graph):
+        engines = []
+        for version in (1, 2, 3):
+            path = str(tmp_path / ("v%d.snap" % version))
+            save_snapshot(IndexedGraph(graph), path, format_version=version)
+            engines.append(QueryEngine(load_snapshot(path)))
+        queries = [
+            ("a*", 0, 24), ("ab + ba", 3, 11), ("(aa)*", 5, 20),
+            ("a*ba*", 2, 17),
+        ]
+        for regex, source, target in queries:
+            direct = solve_rspq(regex, graph, source, target)
+            for engine in engines:
+                result = engine.query(regex, source, target)
+                assert result.found == direct.found, (regex, source)
+                assert result.path == direct.path, (regex, source)
+
+    def test_comp_out_of_range_rejected(self, tmp_path, snap_path):
+        def mutate(header, arrays):
+            offset, length = _array_span(header, "scc_comp_of")
+            assert length > 0
+            bad = struct.pack("<q", header["num_comps"])  # one past range
+            return header, arrays[:offset] + bad + arrays[offset + 8:]
+
+        bad_path = _rewrite_snapshot(
+            snap_path, str(tmp_path / "bad-comp.snap"), mutate
+        )
+        with pytest.raises(SnapshotError, match="component"):
+            load_snapshot(bad_path)
+
+    def test_truncated_comp_of_rejected(self, tmp_path, snap_path):
+        def mutate(header, arrays):
+            offset, length = _array_span(header, "scc_comp_of")
+            index = [n for n, _c in header["arrays"]].index("scc_comp_of")
+            header["arrays"][index][1] -= 1
+            return header, arrays[:offset] + arrays[offset + 8:]
+
+        bad_path = _rewrite_snapshot(
+            snap_path, str(tmp_path / "short-comp.snap"), mutate
+        )
+        with pytest.raises(SnapshotError, match="reachability"):
+            load_snapshot(bad_path)
+
+    def test_mismatched_edge_arrays_rejected(self, tmp_path, snap_path):
+        def mutate(header, arrays):
+            offset, length = _array_span(header, "scc_edge_targets")
+            assert length > 0
+            index = [
+                n for n, _c in header["arrays"]
+            ].index("scc_edge_targets")
+            header["arrays"][index][1] -= 1
+            return header, arrays[:offset] + arrays[offset + 8:]
+
+        bad_path = _rewrite_snapshot(
+            snap_path, str(tmp_path / "bad-edges.snap"), mutate
+        )
+        with pytest.raises(SnapshotError, match="edge arrays"):
+            load_snapshot(bad_path)
+
+    def test_bad_num_comps_header_rejected(self, tmp_path, snap_path):
+        def mutate(header, arrays):
+            header["num_comps"] = -1
+            return header, arrays
+
+        bad_path = _rewrite_snapshot(
+            snap_path, str(tmp_path / "bad-ncomps.snap"), mutate
+        )
+        with pytest.raises(SnapshotError, match="num_comps"):
+            load_snapshot(bad_path)
+
+    def test_edge_violating_topological_numbering_rejected(
+        self, tmp_path, snap_path
+    ):
+        # Every legitimate condensation edge points to a strictly
+        # smaller component id (Tarjan's reverse-topological
+        # numbering); the closure pass depends on it, so a violating
+        # edge must fail the load rather than silently corrupt
+        # reachability answers.
+        def mutate(header, arrays):
+            src_off, src_len = _array_span(header, "scc_edge_sources")
+            dst_off, dst_len = _array_span(header, "scc_edge_targets")
+            assert src_len > 0
+            (source_comp,) = struct.unpack_from("<q", arrays, src_off)
+            bad = struct.pack("<q", source_comp)  # self/forward edge
+            return header, (
+                arrays[:dst_off] + bad + arrays[dst_off + 8:]
+            )
+
+        bad_path = _rewrite_snapshot(
+            snap_path, str(tmp_path / "bad-topo.snap"), mutate
+        )
+        with pytest.raises(SnapshotError, match="reverse-topological"):
+            load_snapshot(bad_path)
+
+    def test_edge_label_out_of_range_rejected(self, tmp_path, snap_path):
+        def mutate(header, arrays):
+            offset, length = _array_span(header, "scc_edge_labels")
+            assert length > 0
+            bad = struct.pack("<q", len(header["labels"]))
+            return header, arrays[:offset] + bad + arrays[offset + 8:]
+
+        bad_path = _rewrite_snapshot(
+            snap_path, str(tmp_path / "bad-label.snap"), mutate
+        )
+        with pytest.raises(SnapshotError, match="label id"):
+            load_snapshot(bad_path)
+
+    def test_flipped_index_bit_fails_the_checksum(self, tmp_path,
+                                                  snap_path):
+        data = bytearray(open(snap_path, "rb").read())
+        data[-4] ^= 0x10  # inside the v3 tail section
+        bad_path = str(tmp_path / "rot.snap")
+        with open(bad_path, "wb") as handle:
+            handle.write(data)
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(bad_path)
+
+    def test_v3_thawed_engine_short_circuits(self, tmp_path):
+        graph = DbGraph()
+        graph.add_edge(0, "a", 1)
+        graph.add_vertex(5)
+        path = str(tmp_path / "island.snap")
+        save_snapshot(IndexedGraph(graph), path)
+        engine = QueryEngine(load_snapshot(path))
+        result = engine.query("a*", 0, 5)
+        assert result.found is False
+        assert result.stats.short_circuit is True
