@@ -63,6 +63,7 @@ class FiniteLanguageSolver:
     def shortest_simple_path(self, graph, source, target, ctx=None):
         """Shortest simple L-labeled path (words tried short-first)."""
         if ctx is None:
+            # invariant: allow=solver-purity (documented legacy stats shim)
             ctx = self._legacy_ctx = ExecutionContext()
         view = as_graph_view(graph)
         source_id = view.vertex_id(source)
@@ -134,6 +135,7 @@ def find_simple_word_path(graph, source, target, word):
     return view.path(*found)
 
 
+# invariant: hot-loop
 def _word_path_ids(view, source_id, target_id, word_label_ids, visited,
                    comp_of=None, reach_filters=None):
     """Integer-native word-path DFS over a :class:`GraphView`.

@@ -123,7 +123,8 @@ class ColorCodingSolver:
     # -- public API --------------------------------------------------------------------
 
     def bounded_simple_path(
-        self, graph, source, target, max_edges, family="monte-carlo"
+        self, graph, source, target, max_edges, family="monte-carlo",
+        ctx=None,
     ):
         """A simple L-labeled path with ≤ ``max_edges`` edges, or None.
 
@@ -138,6 +139,8 @@ class ColorCodingSolver:
         for coloring in self.colorings(
             graph.vertices(), num_colors, family=family
         ):
+            if ctx is not None:
+                ctx.check_deadline()
             path = self.colorful_path(
                 graph, source, target, coloring, num_colors
             )
@@ -148,11 +151,12 @@ class ColorCodingSolver:
                     break
         return best
 
-    def exists(self, graph, source, target, max_edges, family="monte-carlo"):
+    def exists(self, graph, source, target, max_edges, family="monte-carlo",
+               ctx=None):
         """Decision variant of k-RSPQ."""
         return (
             self.bounded_simple_path(
-                graph, source, target, max_edges, family=family
+                graph, source, target, max_edges, family=family, ctx=ctx
             )
             is not None
         )

@@ -48,7 +48,7 @@ class DagRspqSolver:
             raise GraphError("DagRspqSolver requires an acyclic graph")
         self.graph = graph
 
-    def shortest_simple_path(self, language, source, target):
+    def shortest_simple_path(self, language, source, target, ctx=None):
         """Shortest simple L-labeled path via one product BFS.
 
         In a DAG every walk is a simple path, so the shortest L-walk is
@@ -56,8 +56,13 @@ class DagRspqSolver:
         """
         if isinstance(language, str):
             language = Language(language)
+        if ctx is not None:
+            ctx.check_deadline()
         return shortest_walk(self.graph, language.dfa, source, target)
 
-    def exists(self, language, source, target):
+    def exists(self, language, source, target, ctx=None):
         """Decision variant (combined complexity, DAG input)."""
-        return self.shortest_simple_path(language, source, target) is not None
+        return (
+            self.shortest_simple_path(language, source, target, ctx=ctx)
+            is not None
+        )

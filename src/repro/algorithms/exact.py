@@ -120,6 +120,7 @@ class ExactSolver:
                 rows.append(None)
         return rows
 
+    # invariant: hot-loop
     def _goal_distances(self, view, target_id, from_source=None,
                         comp_of=None):
         """BFS distance from every product node to an accepting target
@@ -173,6 +174,7 @@ class ExactSolver:
 
     @steps.setter
     def steps(self, value):
+        # invariant: allow=solver-purity (documented legacy stats shim)
         self._legacy_ctx.steps = value
 
     # -- public API ------------------------------------------------------------
@@ -199,9 +201,11 @@ class ExactSolver:
         """Decision variant of RSPQ(L)."""
         return self.any_simple_path(graph, source, target, ctx=ctx) is not None
 
+    # invariant: hot-loop
     def _solve(self, graph, source, target, find_shortest, weight_fn=None,
                ctx=None):
         if ctx is None:
+            # invariant: allow=solver-purity (documented legacy stats shim)
             ctx = self._legacy_ctx = ExecutionContext(budget=self.budget)
         view = as_graph_view(graph)
         source_id = view.vertex_id(source)
@@ -322,6 +326,7 @@ class ExactSolver:
         bounds the search depth when given.
         """
         if ctx is None:
+            # invariant: allow=solver-purity (documented legacy stats shim)
             ctx = self._legacy_ctx = ExecutionContext(budget=self.budget)
         view = as_graph_view(graph)
         source_id = view.vertex_id(source)

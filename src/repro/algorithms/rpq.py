@@ -22,8 +22,10 @@ class RpqSolver:
         self.language = language
         self.dfa = language.dfa
 
-    def exists(self, graph, source, target):
+    def exists(self, graph, source, target, ctx=None):
         """True iff some L-labeled walk connects source to target."""
+        if ctx is not None:
+            ctx.check_deadline()
         return target in rpq_reachable(graph, self.dfa, source)
 
     def shortest_walk(self, graph, source, target):

@@ -41,8 +41,10 @@ class SemanticsEvaluator:
 
     # -- existence -------------------------------------------------------------
 
-    def exists(self, graph, source, target, semantics):
+    def exists(self, graph, source, target, semantics, ctx=None):
         """Is there a matching path under the given semantics?"""
+        if ctx is not None:
+            ctx.check_deadline()
         if semantics == WALK:
             return target in rpq_reachable(graph, self.dfa, source)
         if semantics == TRAIL:
@@ -51,14 +53,14 @@ class SemanticsEvaluator:
             from .exact import ExactSolver
 
             return ExactSolver(self.language, budget=self.budget).exists(
-                graph, source, target
+                graph, source, target, ctx=ctx
             )
         raise ValueError("unknown semantics %r" % (semantics,))
 
-    def evaluate_all(self, graph, source, target):
+    def evaluate_all(self, graph, source, target, ctx=None):
         """Mapping semantics -> bool for one query."""
         return {
-            semantics: self.exists(graph, source, target, semantics)
+            semantics: self.exists(graph, source, target, semantics, ctx=ctx)
             for semantics in SEMANTICS
         }
 

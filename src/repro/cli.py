@@ -635,7 +635,7 @@ def _cmd_serve(args):
             max_inflight=args.max_inflight,
         )
     except ValueError as err:
-        raise ReproError(str(err))
+        raise ReproError(str(err)) from err
     service = QueryService(registry, config)
     print(
         "serving %d graph(s) on http://%s:%d (workers=%d, "

@@ -205,6 +205,7 @@ class _SequenceNfa:
         return rev_letters, rev_eps
 
 
+# invariant: hot-loop
 def _live_table(view, nfa, source_id, target_id, from_source=None,
                 comp_of=None):
     """Flat goal-reachability table over packed ``vertex * |Q| + state``.
@@ -331,6 +332,7 @@ def path_weight(path, weight_fn):
     return sum(weight_fn(u, label, v) for u, label, v in path.steps())
 
 
+# invariant: hot-loop
 def _gap_distances(view, entry, exit_vertex, mask, blocked, weight_fn,
                    stats):
     """Shortest distances from ``entry`` inside a gap's restrictions.
@@ -545,6 +547,7 @@ class _SequenceSearch:
             for u, label_id, v in zip(vertex_ids, label_ids, vertex_ids[1:])
         )
 
+    # invariant: hot-loop
     def _reach(self, vertex_id, mask):
         """Ids reachable from ``vertex_id`` via ≥1 edges in ``mask``
         (unrestricted — a pruning superset), ascending (= repr order)."""
@@ -660,6 +663,7 @@ class _SequenceSearch:
             ),
         )
 
+    # invariant: hot-loop
     def _follow_letters(
         self, seg_index, state, pieces, pinned, word_label_ids, offset,
         continuation,
@@ -858,6 +862,7 @@ class TractableSolver:
         target_id = view.vertex_id(target)
         if ctx is None:
             ctx = ExecutionContext()
+            # invariant: allow=solver-purity (documented legacy stats shim)
             self.last_stats = ctx
         stats = ctx
         if source_id == target_id:

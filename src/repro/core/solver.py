@@ -189,7 +189,7 @@ class RspqSolver:
         )
 
 
-def solve_rspq(language, graph, source, target, exact_budget=None):
+def solve_rspq(language, graph, source, target, exact_budget=None, ctx=None):
     """One-shot helper: build a solver and answer a single query."""
     solver = RspqSolver(language, exact_budget=exact_budget)
-    return solver.solve(graph, source, target)
+    return solver.solve(graph, source, target, ctx=ctx)

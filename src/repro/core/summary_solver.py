@@ -99,12 +99,14 @@ class SummarySolver:
 
     # -- public API -------------------------------------------------------------
 
-    def shortest_simple_path(self, graph, source, target):
+    def shortest_simple_path(self, graph, source, target, ctx=None):
         """Shortest simple L-labeled path (complete for ``N = 2M²``)."""
         graph.require_vertex(source)
         graph.require_vertex(target)
+        if ctx is not None:
+            ctx.check_deadline()
         stats = SolverStats()
-        self.last_stats = stats
+        self.last_stats = stats  # invariant: allow=solver-purity (legacy stats shim)
         if source == target:
             if self.dfa.initial in self.dfa.accepting:
                 return Path.single(source)
@@ -116,8 +118,11 @@ class SummarySolver:
             assert self.language.accepts(best.word)
         return best
 
-    def exists(self, graph, source, target):
-        return self.shortest_simple_path(graph, source, target) is not None
+    def exists(self, graph, source, target, ctx=None):
+        return (
+            self.shortest_simple_path(graph, source, target, ctx=ctx)
+            is not None
+        )
 
 
 class _SummarySearch:

@@ -159,7 +159,7 @@ def find_trc_vlg_counterexample(lang_or_dfa, repetitions, max_length):
 # -- evaluation on vl-graphs ---------------------------------------------------------
 
 
-def solve_vlg(language, vlgraph, source, target, exact_budget=None):
+def solve_vlg(language, vlgraph, source, target, exact_budget=None, ctx=None):
     """Exact RSPQ on a vertex-labeled graph.
 
     The query asks for a simple path ``x = v1, …, vk = y`` whose
@@ -188,7 +188,7 @@ def solve_vlg(language, vlgraph, source, target, exact_budget=None):
         quotient_dfa.with_initial(quotient_state), name="quotient"
     )
     solver = RspqSolver(quotient, exact_budget=exact_budget)
-    return solver.solve(encoded, source, target)
+    return solver.solve(encoded, source, target, ctx=ctx)
 
 
 def _vl_labels(vlgraph):
@@ -196,7 +196,7 @@ def _vl_labels(vlgraph):
 
 
 def solve_evlg(language, evlgraph, source, target, encoding=None,
-               exact_budget=None):
+               exact_budget=None, ctx=None):
     """Exact RSPQ on a vertex+edge-labeled graph via the pair encoding.
 
     ``language`` must be given over the *encoded* pair alphabet (use
@@ -212,4 +212,4 @@ def solve_evlg(language, evlgraph, source, target, encoding=None,
     if isinstance(language, str):
         language = Language(language)
     solver = RspqSolver(language, exact_budget=exact_budget)
-    return solver.solve(encoded, source, target), used_encoding
+    return solver.solve(encoded, source, target, ctx=ctx), used_encoding

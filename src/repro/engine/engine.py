@@ -26,7 +26,10 @@ import time
 from collections import Counter, OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:
+    from ..languages import Language
 
 from ..errors import ReproError
 from ..execution import ExecutionContext
@@ -71,7 +74,7 @@ class EngineResult:
     error: Optional[str] = None
 
     @property
-    def length(self):
+    def length(self) -> int | None:
         return None if self.path is None else len(self.path)
 
 
@@ -79,7 +82,7 @@ class EngineResult:
 class BatchResult:
     """Outcome of :meth:`QueryEngine.run_batch`."""
 
-    results: list
+    results: list[EngineResult]
     seconds: float
     #: Real :class:`PlanCacheStats` accumulated during this batch (the
     #: delta over the engine's cache; summed over workers in process
@@ -93,22 +96,22 @@ class BatchResult:
     #: process mode).
     result_cache_stats: Optional["ResultCacheStats"] = None
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[EngineResult]":
         return iter(self.results)
 
     @property
-    def found_count(self):
+    def found_count(self) -> int:
         return sum(1 for result in self.results if result.found)
 
     @property
-    def error_count(self):
+    def error_count(self) -> int:
         return sum(1 for result in self.results if result.error is not None)
 
     @property
-    def plan_cache_hits(self):
+    def plan_cache_hits(self) -> int:
         """Cache hits during the batch (real cache counters when known)."""
         if self.cache_stats is not None:
             return self.cache_stats.hits
@@ -117,7 +120,7 @@ class BatchResult:
         )
 
     @property
-    def plans_compiled(self):
+    def plans_compiled(self) -> int:
         """Plans compiled during the batch (real cache counters when known).
 
         Falls back to inferring from the per-result flags when no cache
@@ -132,11 +135,11 @@ class BatchResult:
             if result.error is None and not result.stats.plan_cache_hit
         )
 
-    def strategy_counts(self):
+    def strategy_counts(self) -> "Counter[str]":
         """``Counter`` of queries answered per strategy."""
         return Counter(result.strategy for result in self.results)
 
-    def summary(self):
+    def summary(self) -> str:
         """A short multi-line report (used by the batch CLI)."""
         by_strategy = ", ".join(
             "%s=%d" % (strategy, count)
@@ -200,14 +203,14 @@ class ResultCacheStats:
     enabled: bool = True
 
     @property
-    def lookups(self):
+    def lookups(self) -> int:
         return self.hits + self.misses
 
     @property
-    def hit_rate(self):
+    def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def as_dict(self):
+    def as_dict(self) -> dict[str, Any]:
         return {
             "enabled": self.enabled,
             "hits": self.hits,
@@ -217,7 +220,7 @@ class ResultCacheStats:
             "capacity": self.capacity,
         }
 
-    def since(self, earlier):
+    def since(self, earlier: "ResultCacheStats") -> "ResultCacheStats":
         """Counter deltas accumulated after the ``earlier`` snapshot."""
         return ResultCacheStats(
             hits=self.hits - earlier.hits,
@@ -228,7 +231,7 @@ class ResultCacheStats:
             enabled=self.enabled,
         )
 
-    def __add__(self, other):
+    def __add__(self, other: object) -> "ResultCacheStats":
         if not isinstance(other, ResultCacheStats):
             return NotImplemented
         return ResultCacheStats(
@@ -271,6 +274,7 @@ class _ResultCache:
         self.misses = 0
         self.invalidations = 0
 
+    # invariant: holds-lock
     def _sync_generation(self, generation):
         # Caller holds the lock.
         if self._generation != generation:
@@ -376,10 +380,13 @@ class QueryEngine:
         The compiled path (default) is faster for static graphs.
     """
 
-    def __init__(self, graph, plan_cache_size=128, exact_budget=None,
-                 deadline_seconds=None, result_cache=True,
-                 result_cache_size=1024, use_reach_index=True,
-                 compile=True):
+    def __init__(self, graph: Any, plan_cache_size: int = 128,
+                 exact_budget: int | None = None,
+                 deadline_seconds: float | None = None,
+                 result_cache: bool = True,
+                 result_cache_size: int = 1024,
+                 use_reach_index: bool = True,
+                 compile: bool = True):
         # Validate before compiling: a misconfigured engine must fail
         # instantly, not after an O(V+E) graph compile.
         if exact_budget is not None and exact_budget <= 0:
@@ -423,7 +430,7 @@ class QueryEngine:
         self.exact_budget = exact_budget
         self.deadline_seconds = deadline_seconds
         self._compile_lock = threading.Lock()
-        self._inflight = {}
+        self._inflight: dict[tuple, _PlanCompilation] = {}
 
     # -- planning ---------------------------------------------------------------
 
@@ -452,11 +459,11 @@ class QueryEngine:
             ),
         )
 
-    def cache_stats(self):
+    def cache_stats(self) -> PlanCacheStats:
         """Engine-lifetime plan-cache counters (an independent snapshot)."""
-        return self.plan_cache.stats.snapshot()
+        return self.plan_cache.stats_snapshot()
 
-    def result_cache_stats(self):
+    def result_cache_stats(self) -> ResultCacheStats:
         """Engine-lifetime result-cache counters (hits / misses /
         invalidations plus size and capacity); ``enabled=False`` when
         the cache is off."""
@@ -465,7 +472,7 @@ class QueryEngine:
         return self._result_cache.stats()
 
     @property
-    def view(self):
+    def view(self) -> Any:
         """The graph view every solver receives.
 
         The frozen CSR view on the compiled path; the live graph's
@@ -476,18 +483,20 @@ class QueryEngine:
             return self._static_view
         return self.graph.view()
 
-    def reachability_info(self):
+    def reachability_info(self) -> dict[str, Any] | None:
         """JSON-safe shape of the reachability index (or None if off)."""
         if not self.use_reach_index:
             return None
         return self.view.reachability().describe()
 
     @property
-    def view_kind(self):
+    def view_kind(self) -> str:
         """Backend of the graph view the solvers run on ("csr")."""
         return self.view.kind
 
-    def plan_for(self, language):
+    def plan_for(
+        self, language: "str | Language"
+    ) -> tuple[QueryPlan, bool]:
         """The cached plan for ``language``, compiling on a miss.
 
         Returns ``(plan, cache_hit)``.  Under concurrent misses on the
@@ -539,8 +548,9 @@ class QueryEngine:
 
     # -- querying ----------------------------------------------------------------
 
-    def query(self, language, source, target, deadline_seconds=None,
-              budget=None):
+    def query(self, language: "str | Language", source: Any, target: Any,
+              deadline_seconds: float | None = None,
+              budget: int | None = None) -> EngineResult:
         """Answer one RSPQ; returns an :class:`EngineResult`.
 
         ``deadline_seconds`` / ``budget`` override the engine defaults
@@ -666,7 +676,9 @@ class QueryEngine:
             source_id, target_id, view.label_mask(plan.used_symbols)
         )
 
-    def exists(self, language, source, target):
+    def exists(
+        self, language: "str | Language", source: Any, target: Any
+    ) -> bool:
         """Decision variant (plan-cached, index-short-circuited)."""
         plan, _cache_hit = self.plan_for(language)
         view = self.view
@@ -705,8 +717,10 @@ class QueryEngine:
                 error=str(err),
             )
 
-    def run_batch(self, queries, workers=1, mode="thread",
-                  deadline_seconds=None, budget=None):
+    def run_batch(self, queries: Iterable[tuple], workers: int = 1,
+                  mode: str = "thread",
+                  deadline_seconds: float | None = None,
+                  budget: int | None = None) -> BatchResult:
         """Answer an iterable of ``(language, source, target)`` triples.
 
         Queries run against the shared indexed graph; plans are
@@ -748,30 +762,30 @@ class QueryEngine:
             )
         self._check_overrides(deadline_seconds, budget)
         overrides = {"deadline_seconds": deadline_seconds, "budget": budget}
-        queries = list(queries)
-        effective_workers = max(1, min(workers, len(queries)))
+        query_list = list(queries)
+        effective_workers = max(1, min(workers, len(query_list)))
         start = time.perf_counter()
         if effective_workers == 1:
             before = self.cache_stats()
             results_before = self.result_cache_stats()
             results = [
                 self._run_single(language, source, target, **overrides)
-                for language, source, target in queries
+                for language, source, target in query_list
             ]
-            cache_stats = self.plan_cache.stats.since(before)
+            cache_stats = self.plan_cache.stats_delta(before)
             result_cache_stats = self._result_cache_delta(results_before)
         elif mode == "thread":
             before = self.cache_stats()
             results_before = self.result_cache_stats()
             results = self._run_batch_threads(
-                queries, effective_workers, overrides
+                query_list, effective_workers, overrides
             )
-            cache_stats = self.plan_cache.stats.since(before)
+            cache_stats = self.plan_cache.stats_delta(before)
             result_cache_stats = self._result_cache_delta(results_before)
         else:
             results, cache_stats, result_cache_stats = (
                 self._run_batch_processes(
-                    queries, effective_workers, overrides
+                    query_list, effective_workers, overrides
                 )
             )
         return BatchResult(

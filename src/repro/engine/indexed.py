@@ -23,11 +23,16 @@ reuse across every query; see :mod:`repro.engine` for when that pays.
 from __future__ import annotations
 
 from array import array
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from ..errors import GraphError
 from ..graphs.dbgraph import DbGraph
 from ..graphs.reach import ReachabilityIndex, condense
 from ..graphs.view import GraphView
+
+if TYPE_CHECKING:
+    from ..graphs.dbgraph import Path
+    from ..graphs.reach import ReachabilityIndex as _ReachabilityIndex
 
 
 def _transpose_label_csr(num_vertices, label_indptr, label_targets):
@@ -73,7 +78,7 @@ class CsrView(GraphView):
 
     kind = "csr"
 
-    def __init__(self, graph):
+    def __init__(self, graph: "IndexedGraph") -> None:
         self.graph = graph
         self._vertex_of = graph._vertex_of
         self._id_of = graph._id_of
@@ -105,8 +110,8 @@ class CsrView(GraphView):
         # a shared () and never cached, so the memo is bounded by the
         # number of (vertex, label) pairs that actually carry edges —
         # O(E) per direction, not O(|V|·|Σ|).
-        self._succ_memo = {}
-        self._pred_memo = {}
+        self._succ_memo: dict[int, tuple[int, ...]] = {}
+        self._pred_memo: dict[int, tuple[int, ...]] = {}
 
     def _build_reachability(self):
         """Index from the graph's (possibly snapshot-thawed) parts."""
@@ -115,11 +120,14 @@ class CsrView(GraphView):
             comp_of, num_comps, label_edges, num_labels=self.num_labels
         )
 
-    def out(self, vertex_id):
+    def out(self, vertex_id: int) -> tuple[tuple[int, int], ...]:
         """``(label_id, target_id)`` pairs in repr order — precompiled."""
         return self._out_pairs[vertex_id]
 
-    def out_by_label(self, vertex_id, label_id):
+    # invariant: hot-loop
+    def out_by_label(
+        self, vertex_id: int, label_id: int | None
+    ) -> tuple[int, ...]:
         """``label_id``-successors (ascending ids) — memoised CSR slice."""
         if label_id is None:
             return ()
@@ -135,11 +143,14 @@ class CsrView(GraphView):
             self._succ_memo[key] = cached
         return cached
 
-    def in_pairs(self, vertex_id):
+    def in_pairs(self, vertex_id: int) -> tuple[tuple[int, int], ...]:
         """``(label_id, source_id)`` pairs — precompiled."""
         return self._in_id_pairs[vertex_id]
 
-    def in_by_label(self, vertex_id, label_id):
+    # invariant: hot-loop
+    def in_by_label(
+        self, vertex_id: int, label_id: int | None
+    ) -> tuple[int, ...]:
         """``label_id``-predecessors — memoised reverse-CSR slice."""
         if label_id is None:
             return ()
@@ -155,7 +166,7 @@ class CsrView(GraphView):
             self._pred_memo[key] = cached
         return cached
 
-    def out_degree(self, vertex_id):
+    def out_degree(self, vertex_id: int) -> int:
         return len(self._out_pairs[vertex_id])
 
     def __repr__(self):
@@ -184,7 +195,7 @@ class IndexedGraph:
         "_view",
     )
 
-    def __init__(self, graph):
+    def __init__(self, graph: Any) -> None:
         if isinstance(graph, IndexedGraph):
             raise GraphError("graph is already an IndexedGraph")
         # Contiguous ids in the graph's own deterministic vertex order.
@@ -200,8 +211,10 @@ class IndexedGraph:
         # in exactly the repr order the solvers would sort into.
         sorted_out = getattr(graph, "sorted_out_edges", None)
         if sorted_out is None:  # any duck-typed graph
-            def sorted_out(vertex, _graph=graph):
+            def _sorted_out_fallback(vertex, _graph=graph):
                 return sorted(_graph.out_edges(vertex), key=repr)
+
+            sorted_out = _sorted_out_fallback
         self._out = tuple(
             tuple(sorted_out(vertex)) for vertex in self._vertex_of
         )
@@ -238,11 +251,11 @@ class IndexedGraph:
 
         # (vertex, label) -> sorted target tuple, filled lazily from the
         # CSR slices on first use.
-        self._sorted_succ_by_label = {}
+        self._sorted_succ_by_label: dict[tuple, tuple] = {}
         # SCC condensation + per-label condensation edges, computed on
         # first use (reach_parts) and persisted by snapshot format v3.
-        self._reach_parts = None
-        self._view = None
+        self._reach_parts: Any = None
+        self._view: Any = None
 
     @classmethod
     def _from_parts(cls, vertex_of, labels, num_edges, out, in_,
@@ -306,7 +319,7 @@ class IndexedGraph:
 
     # -- integer-native view ------------------------------------------------------
 
-    def view(self):
+    def view(self) -> CsrView:
         """The frozen :class:`CsrView` over this graph (built once)."""
         if self._view is None:
             self._view = CsrView(self)
@@ -314,12 +327,12 @@ class IndexedGraph:
 
     #: Frozen graphs never mutate; the result cache keys on this.
     @property
-    def generation(self):
+    def generation(self) -> int:
         return 0
 
     # -- reachability index -------------------------------------------------------
 
-    def reach_parts(self):
+    def reach_parts(self) -> tuple:
         """The SCC condensation parts ``(comp_of, num_comps, label_edges)``.
 
         Computed once per compiled graph (iterative Tarjan over the
@@ -339,24 +352,24 @@ class IndexedGraph:
             )
         return self._reach_parts
 
-    def reachability(self):
+    def reachability(self) -> "_ReachabilityIndex":
         """The shared :class:`ReachabilityIndex` (via the CSR view)."""
         return self.view().reachability()
 
     # -- id mapping -------------------------------------------------------------
 
-    def vertex_id(self, vertex):
+    def vertex_id(self, vertex: Any) -> int:
         """The contiguous int id of ``vertex``."""
         try:
             return self._id_of[vertex]
         except KeyError:
-            raise GraphError("unknown vertex %r" % (vertex,))
+            raise GraphError("unknown vertex %r" % (vertex,)) from None
 
-    def vertex_at(self, index):
+    def vertex_at(self, index: int) -> Any:
         """The vertex carrying id ``index``."""
         return self._vertex_of[index]
 
-    def out_neighbor_ids(self, vertex_id, label):
+    def out_neighbor_ids(self, vertex_id: int, label: str) -> Any:
         """CSR slice of ``label``-successors of ``vertex_id`` (ids)."""
         indptr = self._label_indptr.get(label)
         if indptr is None:
@@ -367,24 +380,24 @@ class IndexedGraph:
     # -- DbGraph read API (duck-typed) ----------------------------------------------
 
     @property
-    def num_vertices(self):
+    def num_vertices(self) -> int:
         return len(self._vertex_of)
 
     @property
-    def num_edges(self):
+    def num_edges(self) -> int:
         return self._num_edges
 
-    def vertices(self):
+    def vertices(self) -> Iterator[Any]:
         """Iterator over all vertices in id (= repr) order."""
         return iter(self._vertex_of)
 
-    def labels(self):
+    def labels(self) -> frozenset[str]:
         return self._labels
 
-    def has_vertex(self, vertex):
+    def has_vertex(self, vertex: Any) -> bool:
         return vertex in self._id_of
 
-    def require_vertex(self, vertex):
+    def require_vertex(self, vertex: Any) -> None:
         if vertex not in self._id_of:
             raise GraphError("unknown vertex %r" % (vertex,))
 
@@ -394,25 +407,25 @@ class IndexedGraph:
             self._out_pair_sets = tuple(map(frozenset, self._out))
         return self._out_pair_sets
 
-    def has_edge(self, source, label, target):
+    def has_edge(self, source: Any, label: str, target: Any) -> bool:
         source_id = self._id_of.get(source)
         if source_id is None:
             return False
         return (label, target) in self._pair_sets()[source_id]
 
-    def out_edges(self, vertex):
+    def out_edges(self, vertex: Any) -> Iterator[tuple[str, Any]]:
         """Iterator of ``(label, target)`` pairs (pre-sorted)."""
         return iter(self._out[self.vertex_id(vertex)])
 
-    def in_edges(self, vertex):
+    def in_edges(self, vertex: Any) -> Iterator[tuple[str, Any]]:
         """Iterator of ``(label, source)`` pairs (pre-sorted)."""
         return iter(self._in[self.vertex_id(vertex)])
 
-    def sorted_out_edges(self, vertex):
+    def sorted_out_edges(self, vertex: Any) -> tuple[tuple[str, Any], ...]:
         """``(label, target)`` pairs in repr order — O(1), precompiled."""
         return self._out[self.vertex_id(vertex)]
 
-    def sorted_successors(self, vertex, label):
+    def sorted_successors(self, vertex: Any, label: str) -> tuple[Any, ...]:
         """``label``-successors in repr order — cached CSR read."""
         key = (vertex, label)
         targets = self._sorted_succ_by_label.get(key)
@@ -426,14 +439,16 @@ class IndexedGraph:
             self._sorted_succ_by_label[key] = targets
         return targets
 
-    def successors(self, vertex, label=None):
+    def successors(self, vertex: Any, label: str | None = None) -> set[Any]:
         if label is None:
             return {
                 target for _label, target in self._out[self.vertex_id(vertex)]
             }
         return set(self.sorted_successors(vertex, label))
 
-    def predecessors(self, vertex, label=None):
+    def predecessors(
+        self, vertex: Any, label: str | None = None
+    ) -> set[Any]:
         pairs = self._in[self.vertex_id(vertex)]
         if label is None:
             return {source for _label, source in pairs}
@@ -441,26 +456,29 @@ class IndexedGraph:
             source for edge_label, source in pairs if edge_label == label
         }
 
-    def edges(self):
+    def edges(self) -> Iterator[tuple[Any, str, Any]]:
         """Iterator over all ``(source, label, target)`` triples."""
         for source_id, source in enumerate(self._vertex_of):
             for label, target in self._out[source_id]:
                 yield source, label, target
 
-    def out_degree(self, vertex):
+    def out_degree(self, vertex: Any) -> int:
         return len(self._out[self.vertex_id(vertex)])
 
-    def in_degree(self, vertex):
+    def in_degree(self, vertex: Any) -> int:
         return len(self._in[self.vertex_id(vertex)])
 
-    def is_path(self, path):
+    def is_path(self, path: "Path") -> bool:
         """Check a ``Path`` is edge-consistent with this graph."""
         for source, label, target in path.steps():
             if not self.has_edge(source, label, target):
                 return False
         return True
 
-    def reachable_within(self, start, allowed_labels=None, forbidden=()):
+    # invariant: hot-loop
+    def reachable_within(self, start: Any,
+                         allowed_labels: Iterable[str] | None = None,
+                         forbidden: Iterable[Any] = ()) -> set[Any]:
         """Same contract as :meth:`DbGraph.reachable_within`.
 
         When nothing restricts the walk (no forbidden vertices, and
@@ -504,7 +522,7 @@ class IndexedGraph:
 
     # -- conversion -----------------------------------------------------------------
 
-    def to_dbgraph(self):
+    def to_dbgraph(self) -> DbGraph:
         """Thaw back into a mutable :class:`DbGraph`."""
         result = DbGraph()
         for vertex in self._vertex_of:

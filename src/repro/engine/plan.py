@@ -99,7 +99,7 @@ def _canonical_dfa_signature(dfa):
     return ("dfa", len(order), live_symbols, accepting, transitions)
 
 
-def plan_key(language):
+def plan_key(language: str | Language) -> tuple:
     """A hashable cache key for a regex string or ``Language``.
 
     Strings key by their exact text — the cheap path, no parsing.
@@ -128,31 +128,32 @@ class QueryPlan:
     compile_seconds: float
 
     @property
-    def language(self):
+    def language(self) -> Language:
         return self.solver.language
 
     @property
-    def strategy(self):
+    def strategy(self) -> str:
         return self.solver.strategy
 
     @property
-    def classification(self):
+    def classification(self) -> str:
         return self.solver.classification
 
     @property
-    def decompose_failed(self):
+    def decompose_failed(self) -> bool:
         return self.solver.decompose_failed
 
     @property
-    def used_symbols(self):
+    def used_symbols(self) -> frozenset[str]:
         """Symbols some word of L uses — the query's label mask for the
         reachability index (anything else can never appear on an
         L-labeled path)."""
         return self.solver.used_symbols
 
     @classmethod
-    def compile(cls, language, key=None, exact_budget=None,
-                use_reach_pruning=True):
+    def compile(cls, language: str | Language, key: Any = None,
+                exact_budget: int | None = None,
+                use_reach_pruning: bool = True) -> "QueryPlan":
         """Build a plan (regex → DFA → classification → solver) once.
 
         ``use_reach_pruning=False`` compiles solvers that ignore the
@@ -172,7 +173,7 @@ class QueryPlan:
             compile_seconds=time.perf_counter() - start,
         )
 
-    def describe(self):
+    def describe(self) -> str:
         """One-line human summary (used by the batch CLI)."""
         note = " (decompose failed — exact fallback)" if (
             self.decompose_failed
@@ -199,14 +200,14 @@ class PlanCacheStats:
     compiles: int = 0
 
     @property
-    def lookups(self):
+    def lookups(self) -> int:
         return self.hits + self.misses
 
     @property
-    def hit_rate(self):
+    def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def snapshot(self):
+    def snapshot(self) -> "PlanCacheStats":
         """An independent copy of the current counters."""
         return PlanCacheStats(
             hits=self.hits,
@@ -215,7 +216,7 @@ class PlanCacheStats:
             compiles=self.compiles,
         )
 
-    def since(self, earlier):
+    def since(self, earlier: "PlanCacheStats") -> "PlanCacheStats":
         """Counter deltas accumulated after the ``earlier`` snapshot."""
         return PlanCacheStats(
             hits=self.hits - earlier.hits,
@@ -224,7 +225,7 @@ class PlanCacheStats:
             compiles=self.compiles - earlier.compiles,
         )
 
-    def __add__(self, other):
+    def __add__(self, other: object) -> "PlanCacheStats":
         if not isinstance(other, PlanCacheStats):
             return NotImplemented
         return PlanCacheStats(
@@ -244,23 +245,23 @@ class PlanCache:
     layered on top by :class:`~repro.engine.engine.QueryEngine`.
     """
 
-    def __init__(self, capacity=128):
+    def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
         self.capacity = capacity
-        self._plans = OrderedDict()
+        self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
         self._lock = threading.RLock()
         self.stats = PlanCacheStats()
 
-    def __len__(self):
+    def __len__(self) -> int:
         with self._lock:
             return len(self._plans)
 
-    def __contains__(self, key):
+    def __contains__(self, key: tuple) -> bool:
         with self._lock:
             return key in self._plans
 
-    def get(self, key, count_miss=True):
+    def get(self, key: tuple, count_miss: bool = True) -> QueryPlan | None:
         """The cached plan for ``key`` (refreshing recency), or None.
 
         ``count_miss=False`` suppresses the miss counter — for re-looks
@@ -277,7 +278,7 @@ class PlanCache:
             self.stats.hits += 1
             return plan
 
-    def put(self, key, plan):
+    def put(self, key: tuple, plan: QueryPlan) -> None:
         """Insert ``plan``, evicting the least recently used if full.
 
         A first-time insertion counts as a compile (re-inserting an
@@ -293,11 +294,27 @@ class PlanCache:
                 self._plans.popitem(last=False)
                 self.stats.evictions += 1
 
-    def clear(self):
+    def stats_snapshot(self) -> PlanCacheStats:
+        """A consistent copy of the counters, taken under the lock.
+
+        ``self.stats`` is mutated under the cache lock by concurrent
+        lookups; reading its fields without the lock (as ``/stats``
+        handlers once did) can observe a torn multi-counter state —
+        e.g. a hit counted but the lookup total not yet caught up.
+        """
+        with self._lock:
+            return self.stats.snapshot()
+
+    def stats_delta(self, earlier: PlanCacheStats) -> PlanCacheStats:
+        """Counters accumulated since ``earlier``, read under the lock."""
+        with self._lock:
+            return self.stats.since(earlier)
+
+    def clear(self) -> None:
         with self._lock:
             self._plans.clear()
 
-    def plans(self):
+    def plans(self) -> list[QueryPlan]:
         """Cached plans, least recently used first."""
         with self._lock:
             return list(self._plans.values())

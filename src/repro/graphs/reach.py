@@ -190,6 +190,7 @@ class ReachabilityIndex:
             return self.full_mask
         return mask & self.full_mask
 
+    # invariant: holds-lock
     def _cache_get(self, cache, key):
         # Caller holds the lock.
         value = cache.get(key)
@@ -198,6 +199,7 @@ class ReachabilityIndex:
         return value
 
     @staticmethod
+    # invariant: holds-lock
     def _cache_put(cache, key, value, capacity):
         # Caller holds the lock.  LRU-bounded: the index must stay
         # memory-safe in a long-lived serving process however many
@@ -292,10 +294,12 @@ class ReachabilityIndex:
 
     def describe(self):
         """JSON-safe shape/usage counters (service observability)."""
+        with self._lock:
+            masks_cached = len(self._mask_reach)
         return {
             "num_components": self.num_comps,
             "condensation_edges": self.num_condensation_edges,
-            "masks_cached": len(self._mask_reach),
+            "masks_cached": masks_cached,
         }
 
     def __repr__(self):

@@ -42,6 +42,8 @@ API (wrapped in a fresh :class:`DbGraphView`).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
 from ..errors import GraphError
 from .dbgraph import (
     DbGraph,
@@ -49,6 +51,9 @@ from .dbgraph import (
     sorted_out_edges_fn,
     sorted_successors_fn,
 )
+
+if TYPE_CHECKING:
+    from .reach import ReachabilityIndex
 
 
 class GraphView:
@@ -66,6 +71,13 @@ class GraphView:
     #: Short machine-readable backend name ("dict" / "csr").
     kind = "abstract"
 
+    #: Subclass contract: the id tables behind the generic accessors.
+    _vertex_of: Sequence[Any]
+    _id_of: dict[Any, int]
+    _label_of: Sequence[str]
+    _label_ids: dict[str, int]
+    _reach_index: "ReachabilityIndex | None"
+
     #: Mutation generation of the backing graph at view-build time
     #: (always 0 for frozen views).  The engine's result cache keys on
     #: it, so cached answers die with the view they were computed on.
@@ -73,7 +85,7 @@ class GraphView:
 
     # -- reachability index -------------------------------------------------------
 
-    def reachability(self):
+    def reachability(self) -> ReachabilityIndex:
         """The :class:`~repro.graphs.reach.ReachabilityIndex` for this view.
 
         Built lazily on first use and memoised on the view instance —
@@ -90,7 +102,7 @@ class GraphView:
             self._reach_index = index
         return index
 
-    def _build_reachability(self):
+    def _build_reachability(self) -> ReachabilityIndex:
         from .reach import ReachabilityIndex
 
         return ReachabilityIndex.from_view(self)
@@ -98,32 +110,32 @@ class GraphView:
     # -- id tables ---------------------------------------------------------------
 
     @property
-    def num_vertices(self):
+    def num_vertices(self) -> int:
         return len(self._vertex_of)
 
     @property
-    def num_labels(self):
+    def num_labels(self) -> int:
         return len(self._label_of)
 
-    def vertex_id(self, vertex):
+    def vertex_id(self, vertex: Any) -> int:
         """The contiguous int id of ``vertex`` (GraphError if unknown)."""
         try:
             return self._id_of[vertex]
         except KeyError:
-            raise GraphError("unknown vertex %r" % (vertex,))
+            raise GraphError("unknown vertex %r" % (vertex,)) from None
 
-    def vertex_at(self, vertex_id):
+    def vertex_at(self, vertex_id: int) -> Any:
         """The vertex carrying id ``vertex_id``."""
         return self._vertex_of[vertex_id]
 
-    def label_id(self, label):
+    def label_id(self, label: str) -> int | None:
         """The int id of ``label``, or ``None`` when no edge carries it."""
         return self._label_ids.get(label)
 
-    def label_at(self, label_id):
+    def label_at(self, label_id: int) -> str:
         return self._label_of[label_id]
 
-    def label_mask(self, symbols):
+    def label_mask(self, symbols: Iterable[str]) -> int:
         """Bitmask over label ids for a set of label strings.
 
         Symbols that label no edge contribute no bit — a class test
@@ -138,12 +150,13 @@ class GraphView:
                 mask |= 1 << label_id
         return mask
 
-    def word_label_ids(self, word):
+    def word_label_ids(self, word: Iterable[str]) -> tuple[int | None, ...]:
         """Per-letter label ids; ``None`` marks a letter with no edges."""
         label_ids = self._label_ids
         return tuple(label_ids.get(symbol) for symbol in word)
 
-    def path(self, vertex_ids, label_ids):
+    def path(self, vertex_ids: Sequence[int],
+             label_ids: Sequence[int]) -> Path:
         """Materialise an id-path back into a named :class:`Path`."""
         vertex_of = self._vertex_of
         label_of = self._label_of
@@ -167,7 +180,7 @@ class DbGraphView(GraphView):
 
     kind = "dict"
 
-    def __init__(self, graph):
+    def __init__(self, graph: Any) -> None:
         self.graph = graph
         self.generation = getattr(graph, "generation", 0)
         if isinstance(graph, DbGraph):
@@ -186,7 +199,7 @@ class DbGraphView(GraphView):
         self._sorted_out = sorted_out_edges_fn(graph)
         self._sorted_successors = sorted_successors_fn(graph)
 
-    def out(self, vertex_id):
+    def out(self, vertex_id: int) -> list[tuple[int, int]]:
         """``(label_id, target_id)`` pairs in repr order."""
         label_ids = self._label_ids
         id_of = self._id_of
@@ -195,7 +208,8 @@ class DbGraphView(GraphView):
             for label, target in self._sorted_out(self._vertex_of[vertex_id])
         ]
 
-    def out_by_label(self, vertex_id, label_id):
+    def out_by_label(self, vertex_id: int,
+                     label_id: int | None) -> Sequence[int]:
         """Target ids of ``label_id``-edges, ascending (= repr order)."""
         if label_id is None:
             return ()
@@ -207,7 +221,7 @@ class DbGraphView(GraphView):
             )
         ]
 
-    def in_pairs(self, vertex_id):
+    def in_pairs(self, vertex_id: int) -> list[tuple[int, int]]:
         """``(label_id, source_id)`` pairs (order unspecified)."""
         label_ids = self._label_ids
         id_of = self._id_of
@@ -218,7 +232,8 @@ class DbGraphView(GraphView):
             )
         ]
 
-    def in_by_label(self, vertex_id, label_id):
+    def in_by_label(self, vertex_id: int,
+                    label_id: int | None) -> Sequence[int]:
         """Source ids of ``label_id``-edges into ``vertex_id``."""
         if label_id is None:
             return ()
@@ -232,16 +247,16 @@ class DbGraphView(GraphView):
             if edge_label == label
         ]
 
-    def out_degree(self, vertex_id):
+    def out_degree(self, vertex_id: int) -> int:
         return self.graph.out_degree(self._vertex_of[vertex_id])
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "DbGraphView(|V|=%d, |Σ|=%d over %r)" % (
             self.num_vertices, self.num_labels, self.graph,
         )
 
 
-def as_graph_view(graph):
+def as_graph_view(graph: Any) -> GraphView:
     """The :class:`GraphView` for ``graph`` (identity when already one).
 
     ``DbGraph`` and :class:`~repro.engine.indexed.IndexedGraph` expose

@@ -63,7 +63,7 @@ class VlGraph:
         try:
             return self._labels[vertex]
         except KeyError:
-            raise GraphError("unknown vertex %r" % (vertex,))
+            raise GraphError("unknown vertex %r" % (vertex,)) from None
 
     def edges(self):
         return iter(sorted(self._edges, key=repr))
@@ -133,7 +133,7 @@ class EvlGraph:
         try:
             return self._labels[vertex]
         except KeyError:
-            raise GraphError("unknown vertex %r" % (vertex,))
+            raise GraphError("unknown vertex %r" % (vertex,)) from None
 
     def edges(self):
         return iter(sorted(self._edges, key=repr))

@@ -57,7 +57,7 @@ class DFA:
         except KeyError:
             raise AutomatonError(
                 "symbol %r not in alphabet %r" % (symbol, sorted(self.alphabet))
-            )
+            ) from None
 
     def run_from(self, state, word):
         """State reached reading ``word`` from ``state`` (Δ(q, w))."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import http.client
 import json
+from typing import Any, Iterable, Sequence
 from urllib.parse import quote
 
 from ..core.solver import solve_rspq
@@ -30,21 +31,23 @@ from ..errors import ServiceError, ServiceOverloadedError
 class ServiceClient:
     """Minimal JSON client for one service address."""
 
-    def __init__(self, host="127.0.0.1", port=8080, timeout=60.0):
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 60.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
 
     # -- transport ---------------------------------------------------------------
 
-    def request(self, method, path, payload=None):
+    def request(self, method: str, path: str,
+                payload: Any = None) -> tuple[int, Any]:
         """One HTTP round-trip; returns ``(status, parsed_body)``."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
-            body = None
-            headers = {}
+            body: str | None = None
+            headers: dict[str, str] = {}
             if payload is not None:
                 body = json.dumps(payload)
                 headers["content-type"] = "application/json"
@@ -74,31 +77,35 @@ class ServiceClient:
 
     # -- endpoints ---------------------------------------------------------------
 
-    def healthz(self):
+    def healthz(self) -> Any:
         return self._checked("GET", "/healthz")
 
-    def stats(self):
+    def stats(self) -> Any:
         return self._checked("GET", "/stats")
 
-    def graphs(self):
+    def graphs(self) -> Any:
         return self._checked("GET", "/graphs")["graphs"]
 
-    def register_graph(self, name, graph_text):
+    def register_graph(self, name: str, graph_text: str) -> Any:
         return self._checked(
             "POST", "/graphs", {"name": name, "graph_text": graph_text}
         )
 
-    def evict_graph(self, name):
+    def evict_graph(self, name: str) -> Any:
         # Percent-escape so names with spaces/slashes survive the URL
         # (the server unquotes the path segment).
         return self._checked("DELETE", "/graphs/%s" % quote(name, safe=""))
 
-    def classify(self, language):
+    def classify(self, language: str) -> Any:
         return self._checked("POST", "/classify", {"language": language})
 
-    def query(self, language, source, target, graph=None,
-              deadline_seconds=None, budget=None):
-        payload = {"language": language, "source": source, "target": target}
+    def query(self, language: str, source: Any, target: Any,
+              graph: str | None = None,
+              deadline_seconds: float | None = None,
+              budget: int | None = None) -> Any:
+        payload: dict[str, Any] = {
+            "language": language, "source": source, "target": target,
+        }
         if graph is not None:
             payload["graph"] = graph
         if deadline_seconds is not None:
@@ -107,9 +114,11 @@ class ServiceClient:
             payload["budget"] = budget
         return self._checked("POST", "/query", payload)
 
-    def batch(self, queries, graph=None, workers=None, mode=None,
-              deadline_seconds=None, budget=None):
-        payload = {
+    def batch(self, queries: Iterable[tuple], graph: str | None = None,
+              workers: int | None = None, mode: str | None = None,
+              deadline_seconds: float | None = None,
+              budget: int | None = None) -> Any:
+        payload: dict[str, Any] = {
             "queries": [
                 [language, source, target]
                 for language, source, target in queries
@@ -128,8 +137,10 @@ class ServiceClient:
         return self._checked("POST", "/batch", payload)
 
 
-def run_load(client, queries, graph=None, batch_size=32, workers=None,
-             mode=None):
+def run_load(client: ServiceClient, queries: Iterable[tuple],
+             graph: str | None = None, batch_size: int = 32,
+             workers: int | None = None,
+             mode: str | None = None) -> list[dict]:
     """Drive the server with ``queries``; result records in input order.
 
     The workload is chunked into ``/batch`` requests of at most
@@ -139,10 +150,10 @@ def run_load(client, queries, graph=None, batch_size=32, workers=None,
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1, got %d" % batch_size)
-    queries = list(queries)
-    records = []
-    for offset in range(0, len(queries), batch_size):
-        chunk = queries[offset:offset + batch_size]
+    query_list = list(queries)
+    records: list[dict] = []
+    for offset in range(0, len(query_list), batch_size):
+        chunk = query_list[offset:offset + batch_size]
         response = client.batch(
             chunk, graph=graph, workers=workers, mode=mode
         )
@@ -150,7 +161,9 @@ def run_load(client, queries, graph=None, batch_size=32, workers=None,
     return records
 
 
-def verify_against_direct(graph, queries, records):
+def verify_against_direct(
+    graph: Any, queries: Sequence[tuple], records: list[dict]
+) -> list[tuple]:
     """Mismatches between served records and direct solver answers.
 
     Replays every query through :func:`solve_rspq` on ``graph`` (the
@@ -163,7 +176,7 @@ def verify_against_direct(graph, queries, records):
         raise ValueError(
             "got %d records for %d queries" % (len(records), len(queries))
         )
-    mismatches = []
+    mismatches: list[tuple] = []
     for index, ((language, source, target), record) in enumerate(
         zip(queries, records)
     ):

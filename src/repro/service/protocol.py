@@ -35,6 +35,11 @@ transports directly.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from ..engine.engine import BatchResult, EngineResult
+
 #: The documented, deterministic field order of one result record.
 RESULT_FIELDS = (
     "language",
@@ -55,7 +60,7 @@ RESULT_FIELDS = (
 )
 
 
-def result_record(result):
+def result_record(result: EngineResult) -> dict[str, Any]:
     """One :class:`EngineResult` as a dict in :data:`RESULT_FIELDS` order."""
     return {
         "language": str(result.language),
@@ -78,9 +83,9 @@ def result_record(result):
     }
 
 
-def batch_record(batch):
+def batch_record(batch: BatchResult) -> dict[str, Any]:
     """A :class:`BatchResult` as a JSON-safe dict (results + counters)."""
-    record = {
+    record: dict[str, Any] = {
         "results": [result_record(result) for result in batch.results],
         "seconds": batch.seconds,
         "workers": batch.workers,

@@ -21,10 +21,14 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from ..errors import ServiceError
 from ..engine import IndexedGraph, QueryEngine
 from .snapshot import load_snapshot
+
+if TYPE_CHECKING:
+    from ..engine.engine import BatchResult, EngineResult
 
 
 @dataclass
@@ -42,7 +46,7 @@ class GraphStats:
     errors: int = 0
     busy_seconds: float = 0.0
 
-    def as_dict(self):
+    def as_dict(self) -> dict[str, Any]:
         return {
             "source": self.source,
             "prepare_seconds": self.prepare_seconds,
@@ -60,13 +64,14 @@ class RegisteredGraph:
 
     __slots__ = ("name", "engine", "stats", "_lock")
 
-    def __init__(self, name, engine, stats):
+    def __init__(self, name: str, engine: QueryEngine,
+                 stats: GraphStats) -> None:
         self.name = name
         self.engine = engine
         self.stats = stats
         self._lock = threading.Lock()
 
-    def record_batch(self, batch):
+    def record_batch(self, batch: BatchResult) -> None:
         """Fold one :class:`BatchResult` into the serving counters."""
         with self._lock:
             self.stats.batches += 1
@@ -75,7 +80,7 @@ class RegisteredGraph:
             self.stats.errors += batch.error_count
             self.stats.busy_seconds += batch.seconds
 
-    def record_query(self, result, seconds):
+    def record_query(self, result: EngineResult, seconds: float) -> None:
         """Fold one :class:`EngineResult` into the serving counters."""
         with self._lock:
             self.stats.queries += 1
@@ -85,14 +90,14 @@ class RegisteredGraph:
                 self.stats.errors += 1
             self.stats.busy_seconds += seconds
 
-    def record_query_failure(self, seconds):
+    def record_query_failure(self, seconds: float) -> None:
         """One query that raised before producing a result."""
         with self._lock:
             self.stats.queries += 1
             self.stats.errors += 1
             self.stats.busy_seconds += seconds
 
-    def describe(self):
+    def describe(self) -> dict[str, Any]:
         """A JSON-safe stats dict (graph shape + serving counters)."""
         graph = self.engine.graph
         cache = self.engine.cache_stats()
@@ -145,10 +150,13 @@ class GraphRegistry:
         registered graph (short-circuits provably-negative queries).
     """
 
-    def __init__(self, plan_cache_size=128, exact_budget=None,
-                 deadline_seconds=None, max_graphs=None,
-                 result_cache=True, result_cache_size=1024,
-                 use_reach_index=True):
+    def __init__(self, plan_cache_size: int = 128,
+                 exact_budget: int | None = None,
+                 deadline_seconds: float | None = None,
+                 max_graphs: int | None = None,
+                 result_cache: bool = True,
+                 result_cache_size: int = 1024,
+                 use_reach_index: bool = True) -> None:
         if max_graphs is not None and max_graphs < 1:
             raise ValueError(
                 "max_graphs must be >= 1 or None, got %r" % (max_graphs,)
@@ -160,10 +168,10 @@ class GraphRegistry:
         self.result_cache = result_cache
         self.result_cache_size = result_cache_size
         self.use_reach_index = use_reach_index
-        self._entries = {}
+        self._entries: dict[str, RegisteredGraph] = {}
         self._lock = threading.Lock()
 
-    def _engine_kwargs(self):
+    def _engine_kwargs(self) -> dict[str, Any]:
         return {
             "plan_cache_size": self.plan_cache_size,
             "exact_budget": self.exact_budget,
@@ -175,7 +183,8 @@ class GraphRegistry:
 
     # -- registration -----------------------------------------------------------
 
-    def _admit(self, name):
+    # invariant: holds-lock
+    def _admit(self, name: str) -> None:
         if name in self._entries:
             raise ServiceError(
                 "graph %r is already registered (evict it first)" % name,
@@ -190,14 +199,15 @@ class GraphRegistry:
                 status=409,
             )
 
-    def _install(self, name, engine, stats):
+    def _install(self, name: str, engine: QueryEngine,
+                 stats: GraphStats) -> RegisteredGraph:
         entry = RegisteredGraph(name, engine, stats)
         with self._lock:
             self._admit(name)
             self._entries[name] = entry
         return entry
 
-    def register(self, name, graph):
+    def register(self, name: str, graph: Any) -> RegisteredGraph:
         """Register ``graph`` under ``name``, compiling it if needed.
 
         Accepts a :class:`DbGraph` (compiled to an indexed view here)
@@ -216,7 +226,7 @@ class GraphRegistry:
         )
         return self._install(name, engine, stats)
 
-    def register_snapshot(self, name, path):
+    def register_snapshot(self, name: str, path: Any) -> RegisteredGraph:
         """Warm-start ``name`` from a snapshot file on disk."""
         with self._lock:
             self._admit(name)
@@ -229,7 +239,7 @@ class GraphRegistry:
         )
         return self._install(name, engine, stats)
 
-    def evict(self, name):
+    def evict(self, name: str) -> RegisteredGraph:
         """Drop ``name`` (engine, plan cache and stats go with it)."""
         with self._lock:
             entry = self._entries.pop(name, None)
@@ -239,11 +249,11 @@ class GraphRegistry:
 
     # -- lookup ------------------------------------------------------------------
 
-    def get(self, name):
+    def get(self, name: str) -> RegisteredGraph:
         """The :class:`RegisteredGraph` for ``name`` (404 if unknown)."""
         with self._lock:
             entry = self._entries.get(name)
-            known = None if entry is not None else sorted(self._entries)
+            known = sorted(self._entries) if entry is None else []
         if entry is None:
             raise ServiceError(
                 "unknown graph %r (registered: %s)"
@@ -252,7 +262,7 @@ class GraphRegistry:
             )
         return entry
 
-    def resolve(self, name):
+    def resolve(self, name: str | None) -> RegisteredGraph:
         """Like :meth:`get`, but ``None`` picks the sole graph if any.
 
         A single-graph deployment should not need to spell the name in
@@ -270,22 +280,22 @@ class GraphRegistry:
             status=400,
         )
 
-    def engine(self, name):
+    def engine(self, name: str) -> QueryEngine:
         return self.get(name).engine
 
-    def names(self):
+    def names(self) -> list[str]:
         with self._lock:
             return sorted(self._entries)
 
-    def __len__(self):
+    def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
-    def __contains__(self, name):
+    def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._entries
 
-    def describe(self):
+    def describe(self) -> list[dict[str, Any]]:
         """JSON-safe stats for every registered graph (sorted by name)."""
         with self._lock:
             entries = sorted(self._entries.items())

@@ -56,6 +56,7 @@ import asyncio
 import functools
 import json
 import time
+from typing import TYPE_CHECKING, Any
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from threading import Event, Thread
@@ -72,6 +73,9 @@ from ..engine.plan import PlanCache, QueryPlan, plan_key
 from ..core.trichotomy import classify
 from ..graphs import io as graph_io
 from .protocol import batch_record, result_record
+
+if TYPE_CHECKING:
+    from .registry import GraphRegistry
 
 #: Bytes of request body the server is willing to read.
 MAX_BODY_BYTES = 32 * 1024 * 1024
@@ -204,7 +208,8 @@ def _checked_overrides(payload):
 class QueryService:
     """The serving tier: registry + admission control + HTTP front end."""
 
-    def __init__(self, registry, config=None):
+    def __init__(self, registry: "GraphRegistry",
+                 config: "ServiceConfig | None" = None) -> None:
         self.registry = registry
         self.config = config or ServiceConfig()
         self._inflight = 0
@@ -212,14 +217,15 @@ class QueryService:
         self._rejected = 0
         self._errors = 0
         self._started_at = time.time()
-        self._executor = None
-        self._server = None
+        self._executor: Any = None
+        self._server: Any = None
         # Graph-independent plans for /classify (small, service-wide).
         self._classify_cache = PlanCache(64)
 
     # -- lifecycle ---------------------------------------------------------------
 
-    async def start(self, host="127.0.0.1", port=8080):
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 8080) -> "asyncio.AbstractServer":
         """Bind the listening socket; returns the asyncio server."""
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers,
@@ -232,18 +238,19 @@ class QueryService:
         return self._server
 
     @property
-    def port(self):
+    def port(self) -> int:
         """The bound port (after :meth:`start`; supports ``port=0``)."""
         return self._server.sockets[0].getsockname()[1]
 
-    async def close(self):
+    async def close(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
 
-    async def serve_forever(self, host="127.0.0.1", port=8080):
+    async def serve_forever(self, host: str = "127.0.0.1",
+                            port: int = 8080) -> None:
         server = await self.start(host, port)
         async with server:
             await server.serve_forever()
@@ -321,7 +328,9 @@ class QueryService:
             try:
                 length = int(length)
             except ValueError:
-                raise ServiceError("bad content-length", status=400)
+                raise ServiceError(
+                    "bad content-length", status=400
+                ) from None
             if length > MAX_BODY_BYTES:
                 raise ServiceError(
                     "request body exceeds %d bytes" % MAX_BODY_BYTES,
@@ -340,7 +349,7 @@ class QueryService:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as err:
-            raise ServiceError("bad JSON body: %s" % err, status=400)
+            raise ServiceError("bad JSON body: %s" % err, status=400) from err
         if not isinstance(payload, dict):
             raise ServiceError(
                 "JSON body must be an object, got %s"
@@ -439,7 +448,7 @@ class QueryService:
         except ServiceError:
             raise  # already carries its status (409 duplicate/full)
         except ReproError as err:
-            raise ServiceError(str(err), status=400)
+            raise ServiceError(str(err), status=400) from err
         return 200, {"registered": name, "stats": entry.describe()}
 
     def _evict_graph(self, name):
@@ -569,7 +578,7 @@ class QueryService:
         try:
             return 200, await self._in_executor(work)
         except ReproError as err:
-            raise ServiceError(str(err), status=400)
+            raise ServiceError(str(err), status=400) from err
 
 
 class ServiceThread:
@@ -581,15 +590,16 @@ class ServiceThread:
     loop down cleanly.
     """
 
-    def __init__(self, service, host="127.0.0.1", port=0):
+    def __init__(self, service: QueryService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
         self.service = service
         self.host = host
         self._requested_port = port
-        self.port = None
+        self.port: int | None = None
         self._ready = Event()
-        self._loop = None
-        self._stop = None
-        self._startup_error = None
+        self._loop: Any = None
+        self._stop: Any = None
+        self._startup_error: Exception | None = None
         self._thread = Thread(
             target=self._run, name="repro-service", daemon=True
         )
@@ -616,7 +626,7 @@ class ServiceThread:
         finally:
             await self.service.close()
 
-    def start(self):
+    def start(self) -> "ServiceThread":
         self._thread.start()
         self._ready.wait(timeout=30)
         if not self._ready.is_set():
@@ -625,7 +635,7 @@ class ServiceThread:
             raise self._startup_error
         return self
 
-    def stop(self):
+    def stop(self) -> None:
         """Signal shutdown and join; safe after failed or no startup."""
         if self._loop is not None and self._stop is not None:
             try:

@@ -75,6 +75,7 @@ import struct
 import sys
 import zlib
 from array import array
+from typing import Any
 
 from ..errors import SnapshotError
 from ..engine.indexed import IndexedGraph
@@ -156,7 +157,8 @@ def _checked_vertices(vertices):
     return checked
 
 
-def save_snapshot(graph, path, format_version=FORMAT_VERSION):
+def save_snapshot(graph: Any, path: Any,
+                  format_version: int = FORMAT_VERSION) -> int:
     """Persist a compiled graph to ``path``; returns the byte size.
 
     ``graph`` may be an :class:`IndexedGraph` or anything its
@@ -308,7 +310,7 @@ def _read_header(data, path):
     except (UnicodeDecodeError, json.JSONDecodeError) as err:
         raise SnapshotError(
             "snapshot %s has a corrupt JSON header: %s" % (path, err)
-        )
+        ) from err
     for field in ("vertices", "labels", "num_edges", "arrays"):
         if field not in header:
             raise SnapshotError(
@@ -537,7 +539,7 @@ def _thaw_reach_parts(header, arrays, n, num_labels, path):
     return comp_of, num_comps, label_edges
 
 
-def load_snapshot(path):
+def load_snapshot(path: Any) -> IndexedGraph:
     """Load a snapshot back into an :class:`IndexedGraph` (mmap read).
 
     Raises :class:`~repro.errors.SnapshotError` on any structural
@@ -549,16 +551,20 @@ def load_snapshot(path):
             try:
                 mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
             except ValueError:
-                raise SnapshotError("snapshot %s is empty" % path)
+                raise SnapshotError(
+                    "snapshot %s is empty" % path
+                ) from None
             try:
                 return _parse(mm, path)
             finally:
                 mm.close()
     except FileNotFoundError:
-        raise SnapshotError("snapshot %s does not exist" % path)
+        raise SnapshotError(
+            "snapshot %s does not exist" % path
+        ) from None
 
 
-def snapshot_info(path):
+def snapshot_info(path: Any) -> dict[str, Any]:
     """The snapshot's header metadata without thawing the graph.
 
     Returns a dict with ``format_version``, ``num_vertices``,
@@ -575,7 +581,9 @@ def snapshot_info(path):
             )
             data = prefix + handle.read(header_len + 4)
     except FileNotFoundError:
-        raise SnapshotError("snapshot %s does not exist" % path)
+        raise SnapshotError(
+            "snapshot %s does not exist" % path
+        ) from None
     header, _offset = _read_header(data, path)
     return {
         "format_version": header["format_version"],

@@ -1,0 +1,39 @@
+"""AST-based invariant analyzer for the RSPQ engine repo.
+
+The engine's load-bearing invariants — lock discipline on shared
+caches, solver purity, hot-loop hygiene, snapshot layout versioning,
+wire-protocol field order, public-API annotation completeness — were
+documented in prose (CHANGES.md, docstrings) but never checked by a
+machine.  This package turns each one into a rule over the parsed AST
+of the source tree, with per-line suppression comments, JSON or human
+output, and a CI-friendly exit-code contract.
+
+Usage::
+
+    python tools/invariants/run.py src/repro            # human output
+    python tools/invariants/run.py src/repro --json     # machine output
+    repro-invariants --list-rules                       # installed entry point
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage/internal error.
+"""
+
+from .base import (
+    AnalyzerError,
+    Project,
+    Rule,
+    SourceModule,
+    Violation,
+)
+from .engine import run_analysis
+from .rules import ALL_RULES, get_rule
+
+__all__ = [
+    "ALL_RULES",
+    "AnalyzerError",
+    "Project",
+    "Rule",
+    "SourceModule",
+    "Violation",
+    "get_rule",
+    "run_analysis",
+]

@@ -1,0 +1,236 @@
+"""Core data model of the invariant analyzer.
+
+A :class:`SourceModule` is one parsed ``.py`` file plus the comment
+directives extracted from it; a :class:`Project` is the set of modules
+under analysis; a :class:`Rule` inspects a project and yields
+:class:`Violation` records.
+
+Comment directives (all spelled ``# invariant: ...``):
+
+``# invariant: allow=<rule>[,<rule>...]``
+    Suppress the named rules on this line, or — when the comment is on
+    a line of its own — on the line directly below it.  ``allow=all``
+    suppresses every rule.
+
+``# invariant: hot-loop``
+    Marks the ``def`` on this line (or the line below the comment) as a
+    hot loop subject to the ``hot-loop`` rule.
+
+``# invariant: holds-lock``
+    Marks the ``def`` as a private helper whose callers are required
+    to hold the instance lock; the ``lock-discipline`` rule treats its
+    body as lock-covered.
+
+``# invariant-scope: <rule>[,<rule>...]``
+    Forces the named rules in scope for this file regardless of its
+    path.  Used by the seeded-violation fixtures under
+    ``tools/invariants/fixtures/`` so they stay self-contained.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+_DIRECTIVE_RE = re.compile(r"#\s*invariant:\s*(?P<body>[\w=,\- ]+)")
+_SCOPE_RE = re.compile(r"#\s*invariant-scope:\s*(?P<rules>[\w,\- ]+)")
+
+#: Pragmas that attach to a ``def`` (on its line or the line above).
+PRAGMAS = ("hot-loop", "holds-lock")
+
+
+class AnalyzerError(Exception):
+    """Unrecoverable analyzer failure (bad paths, internal errors)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return "%s:%d:%d: [%s] %s" % (
+            self.path, self.line, self.col, self.rule, self.message
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class SourceModule:
+    """One parsed source file plus its comment directives."""
+
+    def __init__(self, path: Path, relpath: str, text: str):
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.tree: ast.AST | None = None
+        self.parse_error: SyntaxError | None = None
+        #: line -> set of rule names allowed (suppressed) on that line.
+        self.allowed: dict[int, set[str]] = {}
+        #: line -> set of pragma names attached to that line.
+        self.pragmas: dict[int, set[str]] = {}
+        #: rules forced in scope for this file by ``# invariant-scope:``.
+        self.forced_scope: set[str] = set()
+        try:
+            self.tree = ast.parse(text, filename=str(path))
+        except SyntaxError as err:
+            self.parse_error = err
+        self._scan_comments()
+
+    # -- comment directives ------------------------------------------------------
+
+    def _scan_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            # Fall back to a line scan; good enough for directives.
+            comments = [
+                (lineno, line[line.index("#"):])
+                for lineno, line in enumerate(self.text.splitlines(), start=1)
+                if "#" in line
+            ]
+        lines = self.text.splitlines()
+        for lineno, comment in comments:
+            scope = _SCOPE_RE.search(comment)
+            if scope:
+                self.forced_scope.update(_split_names(scope.group("rules")))
+            match = _DIRECTIVE_RE.search(comment)
+            if not match:
+                continue
+            body = match.group("body").strip()
+            # A comment on its own line applies to the line below it.
+            own_line = lineno <= len(lines) and (
+                lines[lineno - 1].lstrip().startswith("#")
+            )
+            target = lineno + 1 if own_line else lineno
+            if body.startswith("allow="):
+                names = _split_names(body[len("allow="):])
+                self.allowed.setdefault(target, set()).update(names)
+                if own_line:
+                    # Also honour same-line placement of the comment.
+                    self.allowed.setdefault(lineno, set()).update(names)
+            elif body in PRAGMAS:
+                self.pragmas.setdefault(target, set()).add(body)
+                if own_line:
+                    self.pragmas.setdefault(lineno, set()).add(body)
+
+    def pragma_on_def(self, node: ast.AST, name: str) -> bool:
+        """True if ``# invariant: <name>`` is attached to this ``def``."""
+        lineno = getattr(node, "lineno", None)
+        if lineno is None:
+            return False
+        return name in self.pragmas.get(lineno, ())
+
+    def suppressed(self, violation: Violation) -> bool:
+        allowed = self.allowed.get(violation.line, ())
+        return violation.rule in allowed or "all" in allowed
+
+    # -- helpers -----------------------------------------------------------------
+
+    def violation(self, rule: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=rule,
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+@dataclass
+class Project:
+    """The set of modules under analysis plus analyzer options."""
+
+    root: Path
+    modules: list[SourceModule] = field(default_factory=list)
+    #: Path of the committed snapshot-layout fingerprint file.
+    snapshot_fingerprint: Path | None = None
+    #: Path of the committed annotations baseline file.
+    annotations_baseline: Path | None = None
+
+    def find(self, *suffixes: str) -> Iterator[SourceModule]:
+        """Modules whose relative path ends with any given suffix."""
+        for module in self.modules:
+            posix = self.posix(module)
+            if any(posix.endswith(suffix) for suffix in suffixes):
+                yield module
+
+    @staticmethod
+    def posix(module: SourceModule) -> str:
+        return module.relpath.replace("\\", "/")
+
+
+class Rule:
+    """Base class: one named invariant checked over a project."""
+
+    name: str = ""
+    description: str = ""
+
+    def run(self, project: Project) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def in_scope(self, project: Project, module: SourceModule) -> bool:
+        """Whether this rule applies to ``module`` (path or forced)."""
+        if self.name in module.forced_scope:
+            return True
+        return self.path_in_scope(Project.posix(module))
+
+    def path_in_scope(self, posix_relpath: str) -> bool:
+        return True
+
+
+def _split_names(raw: str) -> list[str]:
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def load_module(path: Path, root: Path) -> SourceModule:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        raise AnalyzerError("cannot read %s: %s" % (path, err)) from err
+    try:
+        relpath = str(path.relative_to(root))
+    except ValueError:
+        relpath = str(path)
+    return SourceModule(path=path, relpath=relpath, text=text)
+
+
+def collect_files(paths: Iterable[Path]) -> list[Path]:
+    """All ``.py`` files under the given files/directories, sorted."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path)
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if any(part.startswith(".") for part in sub.parts):
+                    continue
+                if "__pycache__" in sub.parts:
+                    continue
+                found.add(sub)
+        else:
+            raise AnalyzerError("no such file or directory: %s" % path)
+    return sorted(found)

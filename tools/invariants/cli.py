@@ -1,0 +1,200 @@
+"""Command-line front end: ``repro-invariants``.
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .base import AnalyzerError, Project
+from .engine import build_project, run_analysis
+from .rules import ALL_RULES, get_rule
+from .rules.api_types import ApiTypesRule, baseline_key, _missing_annotations
+from .rules.snapshot_layout import (
+    compute_layout,
+    current_version,
+    layout_fingerprint,
+    snapshot_modules,
+)
+
+_TOOL_DIR = Path(__file__).resolve().parent
+DEFAULT_SNAPSHOT_FINGERPRINT = _TOOL_DIR / "snapshot_layout.json"
+DEFAULT_ANNOTATIONS_BASELINE = _TOOL_DIR / "annotations_baseline.txt"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-invariants",
+        description=(
+            "AST-based invariant analyzer for the RSPQ engine: lock "
+            "discipline, solver purity, hot-loop hygiene, snapshot "
+            "layout versioning, protocol drift, API annotations."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="repo root used to relativize reported paths (default: cwd)",
+    )
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON output",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    parser.add_argument(
+        "--snapshot-fingerprint", metavar="PATH",
+        default=str(DEFAULT_SNAPSHOT_FINGERPRINT),
+        help="committed snapshot layout fingerprint file",
+    )
+    parser.add_argument(
+        "--annotations-baseline", metavar="PATH",
+        default=str(DEFAULT_ANNOTATIONS_BASELINE),
+        help="committed api-types baseline file",
+    )
+    parser.add_argument(
+        "--update-snapshot-fingerprint", action="store_true",
+        help="recompute and rewrite the snapshot layout fingerprint "
+             "(after a deliberate, version-bumped layout change)",
+    )
+    parser.add_argument(
+        "--update-annotations-baseline", action="store_true",
+        help="rewrite the api-types baseline from the current tree",
+    )
+    return parser
+
+
+def _update_snapshot_fingerprint(project: Project, path: Path) -> int:
+    modules = list(snapshot_modules(project))
+    if not modules:
+        print(
+            "error: no snapshot module in the analyzed paths",
+            file=sys.stderr,
+        )
+        return 2
+    module = modules[0]
+    layout, missing = compute_layout(module)
+    version = current_version(module)
+    if missing or version is None:
+        print(
+            "error: cannot fingerprint %s (missing: %s)"
+            % (module.relpath, ", ".join(missing) or "FORMAT_VERSION"),
+            file=sys.stderr,
+        )
+        return 2
+    payload = {
+        "format_version": version,
+        "fingerprint": layout_fingerprint(layout),
+        "source": Project.posix(module),
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print("wrote %s (format v%d)" % (path, version))
+    return 0
+
+
+def _update_annotations_baseline(project: Project, path: Path) -> int:
+    rule = ApiTypesRule()
+    entries = []
+    for module in project.modules:
+        if module.tree is None or not rule.in_scope(project, module):
+            continue
+        for qualname, fn in rule.public_functions(module):
+            if _missing_annotations(fn, is_method="." in qualname):
+                entries.append(baseline_key(module, qualname))
+    header = (
+        "# api-types baseline: public signatures still missing\n"
+        "# annotations. Regenerate with\n"
+        "# `repro-invariants --update-annotations-baseline`.\n"
+        "# Shrink this file, never grow it.\n"
+    )
+    path.write_text(
+        header + "".join(entry + "\n" for entry in sorted(entries)),
+        encoding="utf-8",
+    )
+    print("wrote %s (%d entries)" % (path, len(entries)))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print("%-16s %s" % (rule.name, rule.description))
+        return 0
+
+    root = Path(args.root).resolve()
+    raw_paths = args.paths or ["src/repro"]
+    paths = [Path(p) for p in raw_paths]
+    fingerprint = Path(args.snapshot_fingerprint)
+    baseline = Path(args.annotations_baseline)
+
+    try:
+        if args.rules:
+            for name in args.rules:
+                get_rule(name)  # fail fast on typos
+        if args.update_snapshot_fingerprint or (
+            args.update_annotations_baseline
+        ):
+            project = build_project(
+                paths, root,
+                snapshot_fingerprint=fingerprint,
+                annotations_baseline=baseline,
+            )
+            status = 0
+            if args.update_snapshot_fingerprint:
+                status = _update_snapshot_fingerprint(project, fingerprint)
+            if status == 0 and args.update_annotations_baseline:
+                status = _update_annotations_baseline(project, baseline)
+            return status
+        violations, project = run_analysis(
+            paths, root,
+            rule_names=args.rules,
+            snapshot_fingerprint=fingerprint,
+            annotations_baseline=baseline,
+        )
+    except AnalyzerError as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps({
+            "violations": [v.as_dict() for v in violations],
+            "checked_files": len(project.modules),
+            "rules": [rule.name for rule in ALL_RULES],
+        }, indent=2))
+    else:
+        for violation in violations:
+            print(violation.render())
+        print(
+            "%d violation%s in %d file%s checked."
+            % (
+                len(violations),
+                "" if len(violations) == 1 else "s",
+                len(project.modules),
+                "" if len(project.modules) == 1 else "s",
+            )
+        )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

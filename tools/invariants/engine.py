@@ -1,0 +1,73 @@
+"""Analysis driver: load modules, run rules, filter suppressions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .base import Project, Violation, collect_files, load_module
+from .rules import ALL_RULES, get_rule
+
+
+def build_project(
+    paths: Iterable[Path],
+    root: Path,
+    snapshot_fingerprint: Path | None = None,
+    annotations_baseline: Path | None = None,
+) -> Project:
+    files = collect_files(paths)
+    modules = [load_module(path, root) for path in files]
+    return Project(
+        root=root,
+        modules=modules,
+        snapshot_fingerprint=snapshot_fingerprint,
+        annotations_baseline=annotations_baseline,
+    )
+
+
+def run_analysis(
+    paths: Iterable[Path],
+    root: Path,
+    rule_names: Sequence[str] | None = None,
+    snapshot_fingerprint: Path | None = None,
+    annotations_baseline: Path | None = None,
+) -> tuple[list[Violation], Project]:
+    """Run the selected rules and return surviving violations.
+
+    Violations suppressed by ``# invariant: allow=`` comments are
+    dropped; parse failures surface as ``parse-error`` violations so a
+    broken file can never silently pass.
+    """
+    project = build_project(
+        paths, root,
+        snapshot_fingerprint=snapshot_fingerprint,
+        annotations_baseline=annotations_baseline,
+    )
+    violations: list[Violation] = []
+    for module in project.modules:
+        if module.parse_error is not None:
+            err = module.parse_error
+            violations.append(Violation(
+                rule="parse-error",
+                path=module.relpath,
+                line=err.lineno or 1,
+                col=(err.offset or 0) + 1,
+                message="cannot parse: %s" % err.msg,
+            ))
+    if rule_names is None:
+        rules = list(ALL_RULES)
+    else:
+        rules = [get_rule(name) for name in rule_names]
+    for rule in rules:
+        violations.extend(rule.run(project))
+
+    by_path = {module.relpath: module for module in project.modules}
+    kept = []
+    for violation in violations:
+        module = by_path.get(violation.path)
+        if violation.rule == "parse-error" or module is None:
+            kept.append(violation)
+        elif not module.suppressed(violation):
+            kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return kept, project

@@ -1,0 +1,7 @@
+# invariant-scope: api-types
+"""Seeded violation for the api-types rule (analyzer test fixture)."""
+
+
+def untyped_entry(value, flag=True):
+    """Public function with no annotations."""
+    return (value, flag)

@@ -1,0 +1,11 @@
+# invariant-scope: hot-loop
+"""Seeded violations for the hot-loop rule (analyzer test fixture)."""
+
+
+# invariant: hot-loop
+def count_labeled_edges(graph, vertices):
+    total = 0
+    for vertex in vertices:
+        for _target in graph.successors(vertex):
+            total += len(f"visiting {vertex}")
+    return total

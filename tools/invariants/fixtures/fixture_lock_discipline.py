@@ -1,0 +1,19 @@
+# invariant-scope: lock-discipline
+"""Seeded violation for the lock-discipline rule (analyzer test fixture)."""
+
+import threading
+
+
+class LeakyCache:
+    """Reads its guarded dict without taking the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def get(self, key):
+        return self._entries.get(key)  # unlocked read of guarded state

@@ -1,0 +1,12 @@
+# invariant-scope: protocol-drift
+"""Seeded violation for the protocol-drift rule (analyzer test fixture)."""
+
+RESULT_FIELDS = ("language", "source", "target")
+
+
+def result_record(result):
+    return {
+        "language": str(result.language),
+        "target": result.target,
+        "source": result.source,
+    }

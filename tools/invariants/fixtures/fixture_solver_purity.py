@@ -1,0 +1,15 @@
+# invariant-scope: solver-purity
+"""Seeded violations for the solver-purity rule (analyzer test fixture)."""
+
+_RESULT_MEMO = {}
+
+
+class LeakySolver:
+    """Stores per-query state on the instance and takes no context."""
+
+    def __init__(self, language):
+        self.language = language
+
+    def solve(self, graph, source, target):
+        self.last_result = (graph, source, target)
+        return None

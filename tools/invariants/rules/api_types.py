@@ -1,0 +1,119 @@
+"""Rule ``api-types``: the public engine/service API is fully annotated.
+
+``engine/``, ``service/`` and ``graphs/view.py`` are the surfaces
+other code (and external users, via ``py.typed``) programs against, so
+every public function and method there must carry complete parameter
+and return annotations for mypy to check callers.
+
+"Public" means module-level ``def``s and methods of public classes
+whose names do not start with ``_`` (``__init__`` is included, minus
+its return annotation; other dunders are mypy's business).  Known
+not-yet-typed internals live in the committed baseline file
+(``tools/invariants/annotations_baseline.txt``, one
+``path::qualname`` per line, regenerated with
+``repro-invariants --update-annotations-baseline``); shrink it, never
+grow it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..base import Project, Rule, SourceModule, Violation
+
+
+def baseline_key(module: SourceModule, qualname: str) -> str:
+    return "%s::%s" % (Project.posix(module), qualname)
+
+
+def load_baseline(project: Project) -> set[str]:
+    path = project.annotations_baseline
+    if path is None or not path.is_file():
+        return set()
+    entries = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def _checked(name: str) -> bool:
+    if name == "__init__":
+        return True
+    if name.startswith("__") and name.endswith("__"):
+        return False  # other dunders: mypy's business
+    return not name.startswith("_")
+
+
+def _missing_annotations(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, is_method: bool
+) -> list[str]:
+    missing: list[str] = []
+    args = fn.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if is_method and positional:
+        positional = positional[1:]  # self / cls
+    for arg in positional + list(args.kwonlyargs):
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if fn.returns is None and fn.name != "__init__":
+        missing.append("return")
+    return missing
+
+
+class ApiTypesRule(Rule):
+    name = "api-types"
+    description = (
+        "public engine/, service/ and graphs/view.py signatures carry "
+        "complete type annotations (baseline-gated)"
+    )
+
+    def path_in_scope(self, posix_relpath: str) -> bool:
+        return (
+            "repro/engine/" in posix_relpath
+            or "repro/service/" in posix_relpath
+            or posix_relpath.endswith("graphs/view.py")
+        )
+
+    def run(self, project: Project) -> Iterable[Violation]:
+        baseline = load_baseline(project)
+        for module in project.modules:
+            if module.tree is None or not self.in_scope(project, module):
+                continue
+            for qualname, fn in self.public_functions(module):
+                missing = _missing_annotations(
+                    fn, is_method="." in qualname
+                )
+                if not missing:
+                    continue
+                if baseline_key(module, qualname) in baseline:
+                    continue
+                yield module.violation(
+                    self.name,
+                    fn,
+                    "public %s() is missing annotations for: %s"
+                    % (qualname, ", ".join(missing)),
+                )
+
+    @staticmethod
+    def public_functions(
+        module: SourceModule,
+    ) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _checked(node.name) and node.name != "__init__":
+                    yield node.name, node
+            elif isinstance(node, ast.ClassDef) and (
+                not node.name.startswith("_")
+            ):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        if _checked(sub.name):
+                            yield "%s.%s" % (node.name, sub.name), sub

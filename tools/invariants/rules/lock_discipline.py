@@ -1,0 +1,217 @@
+"""Rule ``lock-discipline``: guarded state only under ``with self._lock``.
+
+A class that creates a ``threading.Lock``/``RLock`` in ``__init__``
+is a lock-guarded class.  Its *guarded attributes* are inferred as:
+
+* attributes initialised to a mutable container in ``__init__``
+  (``{}``, ``[]``, ``set()``, ``OrderedDict()``, ``deque()``, ...);
+* attributes stored or ``+=``-mutated in any method other than
+  ``__init__`` (shared counters, generation markers);
+* attributes mutated through a method call (``self._lru.pop(...)``).
+
+Every access to a guarded attribute outside ``__init__`` must then be
+lexically inside a ``with self.<lock>:`` block.  Private helpers whose
+contract is "caller holds the lock" carry a ``# invariant: holds-lock``
+pragma on their ``def`` line and are exempt (their call sites are
+checked instead, as ordinary attribute accesses are).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..base import Project, Rule, SourceModule, Violation
+
+LOCK_FACTORIES = {"Lock", "RLock"}
+MUTABLE_CONSTRUCTORS = {
+    "dict", "list", "set", "bytearray",
+    "OrderedDict", "defaultdict", "deque", "Counter",
+}
+MUTATOR_METHODS = {
+    "append", "add", "insert", "extend", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "move_to_end",
+}
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> ``X`` for a plain one-level attribute access."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id == "self":
+            return node.attr
+    return None
+
+
+def _base_self_attr(node: ast.AST) -> str | None:
+    """The first attribute off ``self`` in a target chain.
+
+    ``self.stats.queries`` -> ``stats``; ``self._lru[k]`` -> ``_lru``.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        name = _self_attr(node)
+        if name is not None:
+            return name
+        node = node.value
+    return None
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set,
+                         ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return _call_name(node) in MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    locks: set[str] = set()
+    for method in _methods(cls):
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            if _call_name(node.value) not in LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                name = _self_attr(target)
+                if name is not None:
+                    locks.add(name)
+    return locks
+
+
+def _stored_attrs(node: ast.AST) -> Iterator[str]:
+    """Base self-attrs stored/mutated by an assignment statement."""
+    if isinstance(node, ast.Assign):
+        targets: Iterable[ast.AST] = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = node.targets
+    else:
+        return
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                name = _base_self_attr(element)
+                if name is not None:
+                    yield name
+        else:
+            name = _base_self_attr(target)
+            if name is not None:
+                yield name
+
+
+def _guarded_attrs(cls: ast.ClassDef, locks: set[str]) -> set[str]:
+    guarded: set[str] = set()
+    for method in _methods(cls):
+        is_init = method.name == "__init__"
+        for node in ast.walk(method):
+            for name in _stored_attrs(node):
+                if is_init:
+                    continue  # construction happens-before publication
+                guarded.add(name)
+            if is_init and isinstance(node, ast.Assign):
+                if _is_mutable_value(node.value):
+                    for target in node.targets:
+                        name = _self_attr(target)
+                        if name is not None:
+                            guarded.add(name)
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in MUTATOR_METHODS):
+                    name = _base_self_attr(func.value)
+                    if name is not None and not is_init:
+                        guarded.add(name)
+    return guarded - locks
+
+
+def _is_lock_item(item: ast.withitem, locks: set[str]) -> bool:
+    name = _self_attr(item.context_expr)
+    return name is not None and name in locks
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "guarded cache/counter state of lock-carrying classes is only "
+        "touched inside `with self._lock:` blocks"
+    )
+
+    def run(self, project: Project) -> Iterable[Violation]:
+        for module in project.modules:
+            if module.tree is None or not self.in_scope(project, module):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: SourceModule, cls: ast.ClassDef
+    ) -> Iterator[Violation]:
+        locks = _lock_attrs(cls)
+        if not locks:
+            return
+        guarded = _guarded_attrs(cls, locks)
+        if not guarded:
+            return
+        for method in _methods(cls):
+            if method.name == "__init__":
+                continue
+            if module.pragma_on_def(method, "holds-lock"):
+                continue
+            yield from self._check_method(module, cls, method, locks, guarded)
+
+    def _check_method(
+        self,
+        module: SourceModule,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        locks: set[str],
+        guarded: set[str],
+    ) -> Iterator[Violation]:
+        def scan(node: ast.AST, covered: bool) -> Iterator[Violation]:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                takes_lock = any(
+                    _is_lock_item(item, locks) for item in node.items
+                )
+                for item in node.items:
+                    yield from scan(item, covered)
+                for child in node.body:
+                    yield from scan(child, covered or takes_lock)
+                return
+            name = _self_attr(node)
+            if name is not None and name in guarded and not covered:
+                yield module.violation(
+                    self.name,
+                    node,
+                    "%s.%s: access to lock-guarded attribute %r outside "
+                    "`with self.%s:` (wrap it, or mark the helper with "
+                    "`# invariant: holds-lock`)"
+                    % (cls.name, method.name, name, sorted(locks)[0]),
+                )
+            for child in ast.iter_child_nodes(node):
+                yield from scan(child, covered)
+
+        for statement in method.body:
+            yield from scan(statement, False)

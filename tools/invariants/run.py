@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Uninstalled entry point: ``python tools/invariants/run.py [paths]``.
+
+Equivalent to the ``repro-invariants`` console script, for checkouts
+where nothing is pip-installed (CI bootstrap, fresh clones).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from invariants.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
