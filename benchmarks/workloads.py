@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 
+from repro.graphs.dbgraph import DbGraph
 from repro.graphs.generators import random_labeled_graph
 
 #: Finite languages (AC0 regime) over the default ``abc`` alphabet.
@@ -98,6 +99,51 @@ def mixed_workload(num_queries=104, seed=17, num_vertices=40, num_edges=120,
 def distinct_languages(queries):
     """The set of distinct language specs appearing in ``queries``."""
     return {language for language, _source, _target in queries}
+
+
+def sweep_skewed_workload(num_pairs, num_vertices, seed=0, out_degree=3,
+                          language="a*ba*", sink_every=10):
+    """Few plans, many endpoint pairs: the vectorized sweep's home turf.
+
+    Returns ``(graph, queries)`` where every query asks ``language``
+    (one shared plan) over distinct endpoint pairs drawn from a random
+    ``a``-labeled multigraph of ``num_vertices`` vertices with
+    ``out_degree`` edges each.  Every ``sink_every``-th vertex also
+    carries a ``b`` edge into a dedicated out-degree-0 ``"sink"``
+    vertex, so the workload is adversarial by construction for the
+    engine's *other* batch shortcuts:
+
+    * endpoints are reachable under the label closure ``{a, b}``, so
+      the reachability index cannot short-circuit the answers;
+    * yet (with the default ``a*ba*``) almost no pair admits a
+      language-ordered walk — the only ``b`` edges dead-end in the
+      sink — so nearly every query is a sweep-provable negative that
+      per-query solving must discover the slow way, once per query.
+
+    Pairs are distinct, so the result cache never fires inside the
+    batch either.  Deterministic in ``seed``.
+    """
+    if num_pairs > num_vertices * (num_vertices - 1):
+        raise ValueError(
+            "cannot draw %d distinct pairs from %d vertices"
+            % (num_pairs, num_vertices)
+        )
+    rng = random.Random(seed)
+    edges = []
+    for vertex in range(num_vertices):
+        for _ in range(out_degree):
+            edges.append((vertex, "a", rng.randrange(num_vertices)))
+    for vertex in range(0, num_vertices, sink_every):
+        edges.append((vertex, "b", "sink"))
+    graph = DbGraph.from_edges(edges)
+    seen = set()
+    queries = []
+    while len(queries) < num_pairs:
+        pair = (rng.randrange(num_vertices), rng.randrange(num_vertices))
+        if pair[0] != pair[1] and pair not in seen:
+            seen.add(pair)
+            queries.append((language, pair[0], pair[1]))
+    return graph, queries
 
 
 # -- random regular expressions (differential-testing strategies) ---------------

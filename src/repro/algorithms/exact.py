@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..core.product import reverse_transition_rows, transition_rows
 from ..execution import ExecutionContext
 from ..graphs.dbgraph import Path
 from ..graphs.view import as_graph_view
@@ -90,35 +91,16 @@ class ExactSolver:
 
         ``None`` rows mark graph labels outside the DFA alphabet, so
         the DFS hot loop replaces the string alphabet test plus the
-        keyed transition lookup with one list index each.
+        keyed transition lookup with one list index each.  Shared with
+        the vectorized batch executor via :mod:`repro.core.product`.
         """
-        dfa = self.dfa
-        states = range(dfa.num_states)
-        rows = []
-        for label_id in range(view.num_labels):
-            label = view.label_at(label_id)
-            if label in dfa.alphabet:
-                rows.append([dfa.transition(state, label) for state in states])
-            else:
-                rows.append(None)
-        return rows
+        return transition_rows(self.dfa, view)
 
     def _reverse_rows(self, view):
         """``rows[label_id][state] -> states_before`` (``None`` = dead label)."""
-        dfa = self.dfa
-        reverse = self._reverse_transitions
-        empty = ()
-        rows = []
-        for label_id in range(view.num_labels):
-            label = view.label_at(label_id)
-            if label in dfa.alphabet:
-                rows.append([
-                    reverse.get((state, label), empty)
-                    for state in range(dfa.num_states)
-                ])
-            else:
-                rows.append(None)
-        return rows
+        return reverse_transition_rows(
+            self.dfa, view, self._reverse_transitions
+        )
 
     # invariant: hot-loop
     def _goal_distances(self, view, target_id, from_source=None,

@@ -178,6 +178,20 @@ def _build_parser():
         "worker processes for CPU scaling on GIL builds",
     )
     p_batch.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="disable vectorized batch execution (queries sharing one "
+        "plan normally advance through a single multi-source product "
+        "sweep; results are identical either way)",
+    )
+    p_batch.add_argument(
+        "--group-min-size",
+        type=int,
+        default=2,
+        help="smallest plan-key group worth a shared sweep (default "
+        "2); smaller groups run per query",
+    )
+    p_batch.add_argument(
         "--jsonl",
         metavar="OUT",
         default=None,
@@ -282,6 +296,19 @@ def _build_parser():
         action="store_true",
         help="disable the reachability index (no short-circuit of "
         "provably unreachable queries, no frontier pruning)",
+    )
+    p_serve.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="disable vectorized /batch execution (per-request "
+        "'vectorize' can still override)",
+    )
+    p_serve.add_argument(
+        "--group-min-size",
+        type=int,
+        default=2,
+        help="smallest plan-key group worth a shared sweep in /batch "
+        "requests (default 2)",
     )
     p_serve.add_argument(
         "--max-graphs",
@@ -498,6 +525,10 @@ def _cmd_batch(args):
             "--no-result-cache to disable caching)" % args.result_cache_size
         )
     _checked_budget(args.budget)
+    if args.group_min_size < 1:
+        raise ReproError(
+            "--group-min-size must be >= 1, got %d" % args.group_min_size
+        )
     graph = graph_io.load(args.graph)
     queries = _parse_queries(args.queries)
     engine = QueryEngine(
@@ -507,6 +538,8 @@ def _cmd_batch(args):
         result_cache=not args.no_result_cache,
         result_cache_size=args.result_cache_size,
         use_reach_index=not args.no_reach_index,
+        vectorize=not args.no_vectorize,
+        group_min_size=args.group_min_size,
     )
     batch = engine.run_batch(
         queries, workers=args.workers, mode=args.parallel_mode
@@ -536,10 +569,11 @@ def _cmd_batch(args):
         )
         if args.stats:
             print(
-                "    steps=%s plan_cache_hit=%s time=%.6fs"
+                "    steps=%s plan_cache_hit=%s vectorized=%s time=%.6fs"
                 % (
                     result.stats.steps,
                     result.stats.plan_cache_hit,
+                    result.stats.vectorized,
                     result.stats.seconds,
                 )
             )
@@ -607,6 +641,10 @@ def _cmd_serve(args):
             "--result-cache-size must be >= 1, got %d (use "
             "--no-result-cache to disable caching)" % args.result_cache_size
         )
+    if args.group_min_size < 1:
+        raise ReproError(
+            "--group-min-size must be >= 1, got %d" % args.group_min_size
+        )
     registry = GraphRegistry(
         plan_cache_size=args.plan_cache_size,
         exact_budget=args.budget,
@@ -615,6 +653,8 @@ def _cmd_serve(args):
         result_cache=not args.no_result_cache,
         result_cache_size=args.result_cache_size,
         use_reach_index=not args.no_reach_index,
+        vectorize=not args.no_vectorize,
+        group_min_size=args.group_min_size,
     )
     for name, path in graphs:
         entry = registry.register(name, graph_io.load(path))

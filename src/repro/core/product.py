@@ -1,0 +1,95 @@
+"""Shared product-graph expansion helpers (DFA × graph, label-native).
+
+Every solver that walks the product of the minimal DFA with a
+:class:`~repro.graphs.view.GraphView` needs the same two precomputed
+tables before its hot loop starts:
+
+* **per-label transition rows** — ``rows[label_id][state] -> state'``
+  with ``None`` rows for graph labels outside the DFA alphabet, so the
+  inner loop replaces a string alphabet test plus a keyed transition
+  lookup with one list index each;
+* **the live-state row** — a flat 0/1 table over DFA states marking
+  the co-reachable (accepting-capable) states, so dead product states
+  are dropped at expansion time instead of being explored to
+  exhaustion.
+
+Historically each solver rebuilt these privately
+(:meth:`~repro.algorithms.exact.ExactSolver._transition_rows`, the
+tractable solver's segment automaton); the vectorized batch executor
+(:mod:`repro.engine.vectorized`) shares the same product expansion
+across a whole query group, so the helpers live here once and both
+layers call them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..graphs.view import GraphView
+    from ..languages.dfa import DFA
+
+
+def transition_rows(dfa: "DFA", view: "GraphView") -> list[list[int] | None]:
+    """Per-label transition rows: ``rows[label_id][state] -> state'``.
+
+    ``None`` rows mark graph labels outside the DFA alphabet — a word
+    using such a label is not in L, so product expansion skips the
+    whole label with one ``is None`` test.
+    """
+    states = range(dfa.num_states)
+    rows: list[list[int] | None] = []
+    for label_id in range(view.num_labels):
+        label = view.label_at(label_id)
+        if label in dfa.alphabet:
+            rows.append([dfa.transition(state, label) for state in states])
+        else:
+            rows.append(None)
+    return rows
+
+
+def reverse_transition_rows(
+    dfa: "DFA",
+    view: "GraphView",
+    reverse_transitions: dict[tuple[int, str], tuple[int, ...]] | None = None,
+) -> list[list[tuple[int, ...]] | None]:
+    """``rows[label_id][state_after] -> states_before`` (``None`` = dead label).
+
+    ``reverse_transitions`` is the optional precomputed
+    ``(state_after, label) -> states_before`` index (solvers that keep
+    one per language pass it in); without it the index is derived from
+    the DFA's transition table here.
+    """
+    if reverse_transitions is None:
+        reverse: dict[tuple[int, str], list[int]] = {}
+        for state_before, label, state_after in dfa.transitions():
+            reverse.setdefault((state_after, label), []).append(state_before)
+        reverse_transitions = {
+            key: tuple(values) for key, values in reverse.items()
+        }
+    empty: tuple[int, ...] = ()
+    rows: list[list[tuple[int, ...]] | None] = []
+    for label_id in range(view.num_labels):
+        label = view.label_at(label_id)
+        if label in dfa.alphabet:
+            rows.append([
+                reverse_transitions.get((state, label), empty)
+                for state in range(dfa.num_states)
+            ])
+        else:
+            rows.append(None)
+    return rows
+
+
+def live_state_row(dfa: "DFA") -> bytearray:
+    """Flat 0/1 row over DFA states: 1 = some accepting state is reachable.
+
+    Product states whose DFA component is dead (``row[state] == 0``)
+    can never complete a word of L, so expansions drop them on sight —
+    the same pruning the exact solver's goal-distance table implies,
+    available before any per-query search runs.
+    """
+    live = bytearray(dfa.num_states)
+    for state in dfa.co_reachable_states():
+        live[state] = 1
+    return live

@@ -74,7 +74,8 @@ Entry points
 """
 
 from .indexed import IndexedGraph
-from .plan import PlanCache, PlanCacheStats, QueryPlan, plan_key
+from .plan import PlanCache, PlanCacheStats, QueryPlan, group_by_plan, plan_key
+from .vectorized import VectorizedBatchStats
 from .engine import (
     STRATEGY_ERROR,
     BatchResult,
@@ -95,5 +96,7 @@ __all__ = [
     "QueryStats",
     "ResultCacheStats",
     "STRATEGY_ERROR",
+    "VectorizedBatchStats",
+    "group_by_plan",
     "plan_key",
 ]

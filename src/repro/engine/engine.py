@@ -31,14 +31,24 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional
 if TYPE_CHECKING:
     from ..languages import Language
 
+from ..core.solver import (
+    STRATEGY_EXACT,
+    STRATEGY_FINITE,
+    STRATEGY_TRACTABLE,
+)
 from ..errors import ReproError
-from ..execution import ExecutionContext
+from ..execution import ExecutionContext, GroupExecution
 from ..graphs.dbgraph import Path
 from .indexed import IndexedGraph
-from .plan import PlanCache, PlanCacheStats, QueryPlan, plan_key
+from .plan import PlanCache, PlanCacheStats, QueryPlan, group_by_plan, plan_key
+from .vectorized import VectorizedBatchStats, sweep_group, sweepable
 
 #: Strategy marker for queries that raised instead of answering.
 STRATEGY_ERROR = "error"
+
+#: Plan strategies the shared product sweep understands; anything else
+#: (a hypothetical weighted/exotic plan) falls back to per-query solving.
+_SWEEP_STRATEGIES = (STRATEGY_FINITE, STRATEGY_TRACTABLE, STRATEGY_EXACT)
 
 
 @dataclass
@@ -55,6 +65,10 @@ class QueryStats:
     #: True when the reachability index proved the target unreachable
     #: under the plan's label mask and no solver ran (``steps`` is 0).
     short_circuit: bool = False
+    #: True when a shared multi-query product sweep answered the query
+    #: (proven NOT_FOUND with no per-query solver run; ``steps``
+    #: reports sweep rounds charged to this query).
+    vectorized: bool = False
 
 
 @dataclass
@@ -95,6 +109,10 @@ class BatchResult:
     #: engine's result cache is disabled; summed over workers in
     #: process mode).
     result_cache_stats: Optional["ResultCacheStats"] = None
+    #: Vectorized-execution counters — groups formed, sweeps run,
+    #: members peeled by cache/short-circuit, sweep-proven negatives —
+    #: or None when the batch ran with ``vectorize=False``.
+    stats: Optional[VectorizedBatchStats] = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -161,6 +179,11 @@ class BatchResult:
         ):
             results = " — results: %d cache hits" % (
                 self.result_cache_stats.hits
+            )
+        if self.stats is not None and self.stats.sweeps:
+            results += " — vectorized: %d sweeps over %d groups" % (
+                self.stats.sweeps,
+                self.stats.groups,
             )
         return (
             "%d queries in %.3fs (%d found%s%s) — plans: %d compiled, "
@@ -314,20 +337,59 @@ class _ResultCache:
             )
 
 
-def _process_shard(graph, engine_kwargs, shard, overrides):
+def _process_shard(graph, engine_kwargs, shard, overrides,
+                   vectorized=False):
     """Worker-process entry point: answer one shard of indexed queries.
 
     Builds a private engine over the (inherited or pickled) compiled
     graph, so plans are compiled per process — cheap relative to the
     shard and unavoidable, since plans cannot cross process boundaries.
-    Returns the indexed results plus the worker's cache counters.
+    ``vectorized`` shards re-group their queries by plan key (the
+    parent ships whole groups, so grouping reconstructs exactly the
+    groups a serial vectorized run would sweep).  Returns the indexed
+    results plus the worker's cache and vectorization counters.
     """
     engine = QueryEngine(graph, **engine_kwargs)
-    results = [
-        (index, engine._run_single(language, source, target, **overrides))
-        for index, (language, source, target) in shard
-    ]
-    return results, engine.cache_stats(), engine.result_cache_stats()
+    if vectorized:
+        results, vec_stats = engine._run_batch_vectorized_indexed(
+            shard, overrides, engine.group_min_size
+        )
+    else:
+        vec_stats = None
+        results = [
+            (index, engine._run_single(language, source, target,
+                                       **overrides))
+            for index, (language, source, target) in shard
+        ]
+    return (
+        results, engine.cache_stats(), engine.result_cache_stats(),
+        vec_stats,
+    )
+
+
+@dataclass
+class _PendingQuery:
+    """A group member past the serial prefix, awaiting sweep/solver.
+
+    Captures everything :meth:`QueryEngine._execute` had in hand when
+    it would have called the solver: the resolved plan, the view and
+    generation the answer must be cached under, and — when the
+    reachability index resolved them — the integer endpoint ids that
+    seed the group sweep (``None`` ids keep the member out of the
+    sweep; the solver resolves and validates the vertices itself).
+    """
+
+    language: Any
+    source: Any
+    target: Any
+    plan: QueryPlan
+    cache_hit: bool
+    start: float
+    view: Any
+    generation: Any
+    result_key: tuple
+    source_id: Optional[int]
+    target_id: Optional[int]
 
 
 class QueryEngine:
@@ -378,6 +440,15 @@ class QueryEngine:
         view of the current mutation generation, and a mutation
         between two identical queries invalidates the result cache.
         The compiled path (default) is faster for static graphs.
+    vectorize / group_min_size:
+        Default knobs for :meth:`run_batch`'s vectorized execution:
+        batch queries sharing one plan key are grouped, and groups of
+        at least ``group_min_size`` sweep-eligible members advance
+        through a single multi-source product sweep over the CSR
+        arrays (:mod:`repro.engine.vectorized`) instead of one solver
+        run per query.  Results stay bit-identical to serial
+        execution; ``vectorize=False`` restores the strictly
+        per-query batch path.  ``group_min_size`` must be >= 1.
     """
 
     def __init__(self, graph: Any, plan_cache_size: int = 128,
@@ -386,13 +457,19 @@ class QueryEngine:
                  result_cache: bool = True,
                  result_cache_size: int = 1024,
                  use_reach_index: bool = True,
-                 compile: bool = True):
+                 compile: bool = True,
+                 vectorize: bool = True,
+                 group_min_size: int = 2):
         # Validate before compiling: a misconfigured engine must fail
         # instantly, not after an O(V+E) graph compile.
         if exact_budget is not None and exact_budget <= 0:
             raise ValueError(
                 "exact_budget must be a positive step count or None "
                 "for unbounded, got %r" % (exact_budget,)
+            )
+        if group_min_size < 1:
+            raise ValueError(
+                "group_min_size must be >= 1, got %r" % (group_min_size,)
             )
         if deadline_seconds is not None and deadline_seconds <= 0:
             raise ValueError(
@@ -429,6 +506,8 @@ class QueryEngine:
         self.plan_cache = PlanCache(plan_cache_size)
         self.exact_budget = exact_budget
         self.deadline_seconds = deadline_seconds
+        self.vectorize = vectorize
+        self.group_min_size = group_min_size
         self._compile_lock = threading.Lock()
         self._inflight: dict[tuple, _PlanCompilation] = {}
 
@@ -588,42 +667,15 @@ class QueryEngine:
         if cache is not None:
             cached = cache.lookup(generation, result_key)
             if cached is not None:
-                return EngineResult(
-                    language=language,
-                    source=source,
-                    target=target,
-                    found=cached.found,
-                    path=cached.path,
-                    strategy=cached.strategy,
-                    decompose_failed=cached.decompose_failed,
-                    stats=QueryStats(
-                        strategy=cached.strategy,
-                        steps=cached.stats.steps,
-                        plan_cache_hit=cache_hit,
-                        seconds=time.perf_counter() - start,
-                        result_cache_hit=True,
-                        short_circuit=cached.stats.short_circuit,
-                    ),
+                return self._replayed_result(
+                    language, source, target, cached, cache_hit, start
                 )
         if self._short_circuits(view, plan, source, target):
             # Provably NOT_FOUND: the target is not even
             # walk-reachable under any label L can use, and every
             # simple path is a path.  No solver runs.
-            result = EngineResult(
-                language=language,
-                source=source,
-                target=target,
-                found=False,
-                path=None,
-                strategy=plan.strategy,
-                decompose_failed=plan.decompose_failed,
-                stats=QueryStats(
-                    strategy=plan.strategy,
-                    steps=0,
-                    plan_cache_hit=cache_hit,
-                    seconds=time.perf_counter() - start,
-                    short_circuit=True,
-                ),
+            result = self._short_circuit_result(
+                language, source, target, plan, cache_hit, start
             )
             if cache is not None:
                 cache.store(generation, result_key, result)
@@ -660,6 +712,86 @@ class QueryEngine:
             ),
         )
 
+    def _replayed_result(self, language, source, target, cached, cache_hit,
+                         start):
+        """An answer replayed from the result cache (no solver ran)."""
+        return EngineResult(
+            language=language,
+            source=source,
+            target=target,
+            found=cached.found,
+            path=cached.path,
+            strategy=cached.strategy,
+            decompose_failed=cached.decompose_failed,
+            stats=QueryStats(
+                strategy=cached.strategy,
+                steps=cached.stats.steps,
+                plan_cache_hit=cache_hit,
+                seconds=time.perf_counter() - start,
+                result_cache_hit=True,
+                short_circuit=cached.stats.short_circuit,
+            ),
+        )
+
+    def _short_circuit_result(self, language, source, target, plan,
+                              cache_hit, start):
+        """A NOT_FOUND proven by the reachability index (no solver ran)."""
+        return EngineResult(
+            language=language,
+            source=source,
+            target=target,
+            found=False,
+            path=None,
+            strategy=plan.strategy,
+            decompose_failed=plan.decompose_failed,
+            stats=QueryStats(
+                strategy=plan.strategy,
+                steps=0,
+                plan_cache_hit=cache_hit,
+                seconds=time.perf_counter() - start,
+                short_circuit=True,
+            ),
+        )
+
+    def _error_result(self, language, source, target, cache_hit, start,
+                      err):
+        """The isolated-failure result batch mode returns for ``err``."""
+        return EngineResult(
+            language=language,
+            source=source,
+            target=target,
+            found=False,
+            path=None,
+            strategy=STRATEGY_ERROR,
+            decompose_failed=False,
+            stats=QueryStats(
+                strategy=STRATEGY_ERROR,
+                steps=None,
+                plan_cache_hit=cache_hit,
+                seconds=time.perf_counter() - start,
+            ),
+            error=str(err),
+        )
+
+    def _probe_short_circuit(self, view, plan, source, target):
+        """``(short_circuits, source_id, target_id)`` for one query.
+
+        The vectorized batch path needs the resolved vertex ids the
+        short-circuit probe computes anyway (they seed the group
+        sweep), so this returns them alongside the verdict; ids are
+        ``None`` when the reachability index is off (nothing was
+        resolved — the solver validates vertices itself in that
+        configuration, preserving its error messages).
+        """
+        if not self.use_reach_index:
+            return False, None, None
+        source_id = view.vertex_id(source)
+        target_id = view.vertex_id(target)
+        short = source_id != target_id and not view.reachability().can_reach(
+            source_id, target_id, view.label_mask(plan.used_symbols)
+        )
+        return short, source_id, target_id
+
     def _short_circuits(self, view, plan, source, target):
         """True when the reachability index proves the query NOT_FOUND.
 
@@ -668,13 +800,7 @@ class QueryEngine:
         query); a same-vertex query is never short-circuited (the
         empty-word case belongs to the solver).
         """
-        if not self.use_reach_index:
-            return False
-        source_id = view.vertex_id(source)
-        target_id = view.vertex_id(target)
-        return source_id != target_id and not view.reachability().can_reach(
-            source_id, target_id, view.label_mask(plan.used_symbols)
-        )
+        return self._probe_short_circuit(view, plan, source, target)[0]
 
     def exists(
         self, language: "str | Language", source: Any, target: Any
@@ -700,27 +826,235 @@ class QueryEngine:
                 _hit_box=hit_box,
             )
         except ReproError as err:
-            return EngineResult(
-                language=language,
-                source=source,
-                target=target,
-                found=False,
-                path=None,
-                strategy=STRATEGY_ERROR,
-                decompose_failed=False,
-                stats=QueryStats(
-                    strategy=STRATEGY_ERROR,
-                    steps=None,
-                    plan_cache_hit=hit_box[0],
-                    seconds=time.perf_counter() - start,
-                ),
-                error=str(err),
+            return self._error_result(
+                language, source, target, hit_box[0], start, err
             )
+
+    # -- vectorized batch execution ----------------------------------------------
+
+    def _sweep_allowed(self, overrides):
+        """True when this batch's groups may run shared sweeps.
+
+        A sweep proves negatives with no per-query solver run, so a
+        query whose budget or deadline would have expired mid-solve
+        could come back answered instead of errored.  Bit-identity
+        with serial execution is the contract, so any *effective*
+        budget or deadline — engine default or batch override —
+        disables sweeping and every query runs the per-query path.
+        """
+        budget = overrides.get("budget")
+        if (self.exact_budget if budget is None else budget) is not None:
+            return False
+        deadline = overrides.get("deadline_seconds")
+        effective_deadline = (
+            self.deadline_seconds if deadline is None else deadline
+        )
+        return effective_deadline is None
+
+    def _pre_solve(self, language, source, target, stats):
+        """The serial :meth:`_execute` prefix for one group member.
+
+        Runs plan resolution, the result-cache lookup and the
+        reachability short-circuit in exactly serial order (with
+        serial error isolation), so every cache and serving counter
+        moves as a per-query run would.  Returns a finished
+        :class:`EngineResult` when the prefix decided the query, or a
+        :class:`_PendingQuery` to be answered by the group sweep or
+        the per-query solver.
+        """
+        start = time.perf_counter()
+        cache_hit = False
+        try:
+            plan, cache_hit = self.plan_for(language)
+            view = self.view
+            generation = view.generation
+            result_key = (plan.key, source, target)
+            cache = self._result_cache
+            if cache is not None:
+                cached = cache.lookup(generation, result_key)
+                if cached is not None:
+                    stats.peeled_cache_hits += 1
+                    return self._replayed_result(
+                        language, source, target, cached, cache_hit, start
+                    )
+            short, source_id, target_id = self._probe_short_circuit(
+                view, plan, source, target
+            )
+            if short:
+                stats.peeled_short_circuits += 1
+                result = self._short_circuit_result(
+                    language, source, target, plan, cache_hit, start
+                )
+                if cache is not None:
+                    cache.store(generation, result_key, result)
+                return result
+        except ReproError as err:
+            return self._error_result(
+                language, source, target, cache_hit, start, err
+            )
+        return _PendingQuery(
+            language=language,
+            source=source,
+            target=target,
+            plan=plan,
+            cache_hit=cache_hit,
+            start=start,
+            view=view,
+            generation=generation,
+            result_key=result_key,
+            source_id=source_id,
+            target_id=target_id,
+        )
+
+    def _finish_pending(self, rec, overrides):
+        """Finish one pending member exactly as serial execution would:
+        a fresh per-query context, the plan's solver, serial caching
+        and serial error isolation."""
+        try:
+            ctx = self._new_context(**overrides)
+            path = rec.plan.solver.shortest_simple_path(
+                rec.view, rec.source, rec.target, ctx=ctx
+            )
+            result = self._answered_result(
+                rec.language, rec.source, rec.target, rec.plan,
+                rec.cache_hit, ctx, path, rec.start,
+            )
+            if self._result_cache is not None:
+                self._result_cache.store(
+                    rec.generation, rec.result_key, result
+                )
+            return result
+        except ReproError as err:
+            return self._error_result(
+                rec.language, rec.source, rec.target, rec.cache_hit,
+                rec.start, err,
+            )
+
+    def _run_group(self, members, overrides, min_size, sweep_ok, stats):
+        """Answer one plan-key group; returns ``(index, result)`` pairs.
+
+        Stage A walks the members in input order through the serial
+        prefix (:meth:`_pre_solve`); duplicate endpoint pairs of a
+        still-pending member are deferred and replayed per query after
+        the group resolves, so their result-cache accounting matches
+        serial execution hit for hit.  Stage B sweeps the pending
+        members through one shared product expansion when eligible;
+        sweep positives (walk witnesses) and everything unswept fall
+        back to the authoritative per-query solver.
+        """
+        results = []
+        pending = []
+        deferred = []
+        seen_pairs = set()
+        for index, (language, source, target) in members:
+            pair = (source, target)
+            if pair in seen_pairs:
+                stats.deferred_duplicates += 1
+                deferred.append((index, language, source, target))
+                continue
+            outcome = self._pre_solve(language, source, target, stats)
+            if isinstance(outcome, _PendingQuery):
+                seen_pairs.add(pair)
+                pending.append((index, outcome))
+            else:
+                results.append((index, outcome))
+        sweep_members = [
+            (index, rec) for index, rec in pending
+            if rec.source_id is not None
+        ]
+        swept = set()
+        if sweep_ok and len(sweep_members) >= min_size:
+            plan = sweep_members[0][1].plan
+            view = sweep_members[0][1].view
+            if sweepable(view, plan, _SWEEP_STRATEGIES):
+                stats.sweeps += 1
+                group_exec = GroupExecution({
+                    member: self._new_context(**overrides)
+                    for member in range(len(sweep_members))
+                })
+                sweep_outcome = sweep_group(
+                    view, plan,
+                    [
+                        (member, rec.source_id, rec.target_id)
+                        for member, (index, rec)
+                        in enumerate(sweep_members)
+                    ],
+                    group_exec,
+                )
+                for member in sweep_outcome.negatives:
+                    index, rec = sweep_members[member]
+                    swept.add(index)
+                    stats.swept_negatives += 1
+                    result = EngineResult(
+                        language=rec.language,
+                        source=rec.source,
+                        target=rec.target,
+                        found=False,
+                        path=None,
+                        strategy=rec.plan.strategy,
+                        decompose_failed=rec.plan.decompose_failed,
+                        stats=QueryStats(
+                            strategy=rec.plan.strategy,
+                            steps=sweep_outcome.steps_of(member),
+                            plan_cache_hit=rec.cache_hit,
+                            seconds=time.perf_counter() - rec.start,
+                            vectorized=True,
+                        ),
+                    )
+                    if self._result_cache is not None:
+                        self._result_cache.store(
+                            rec.generation, rec.result_key, result
+                        )
+                    results.append((index, result))
+        for index, rec in pending:
+            if index in swept:
+                continue
+            stats.fallback_solves += 1
+            results.append((index, self._finish_pending(rec, overrides)))
+        for index, language, source, target in deferred:
+            results.append((
+                index,
+                self._run_single(language, source, target, **overrides),
+            ))
+        return results
+
+    def _run_batch_vectorized_indexed(self, indexed, overrides, min_size):
+        """Answer ``(position, query)`` pairs through plan-key groups.
+
+        The building block every vectorized schedule shares: serial
+        passes the whole batch, thread tasks pass one group each, and
+        process workers pass their shard (whole groups by
+        construction, so re-grouping here reconstructs them exactly).
+        Returns unordered ``(position, result)`` pairs plus the
+        :class:`VectorizedBatchStats` for this slice.
+        """
+        groups, ungroupable = group_by_plan(indexed)
+        stats = VectorizedBatchStats(
+            groups=len(groups),
+            grouped_queries=sum(
+                len(members) for members in groups.values()
+            ),
+        )
+        sweep_ok = self._sweep_allowed(overrides)
+        results = []
+        for members in groups.values():
+            results.extend(
+                self._run_group(members, overrides, min_size, sweep_ok,
+                                stats)
+            )
+        for index, (language, source, target) in ungroupable:
+            results.append((
+                index,
+                self._run_single(language, source, target, **overrides),
+            ))
+        return results, stats
 
     def run_batch(self, queries: Iterable[tuple], workers: int = 1,
                   mode: str = "thread",
                   deadline_seconds: float | None = None,
-                  budget: int | None = None) -> BatchResult:
+                  budget: int | None = None,
+                  vectorize: bool | None = None,
+                  group_min_size: int | None = None) -> BatchResult:
         """Answer an iterable of ``(language, source, target)`` triples.
 
         Queries run against the shared indexed graph; plans are
@@ -749,10 +1083,19 @@ class QueryEngine:
             every query's execution context (each query still gets its
             own deadline measured from its own start).  Validated
             upfront: a negative deadline or non-positive budget raises
-            :class:`ValueError` before any query runs.
+            :class:`ValueError` before any query runs.  An effective
+            budget or deadline also disables group sweeps for the
+            batch (per-query contracts must bite exactly as serial).
+        vectorize / group_min_size:
+            Per-batch overrides of the engine's vectorization knobs
+            (None keeps the engine default): ``vectorize=False`` runs
+            the strictly per-query batch path; ``group_min_size``
+            (>= 1) sets the smallest plan-key group worth sweeping.
 
         Returns a :class:`BatchResult` whose ``cache_stats`` carries
-        the real plan-cache counter deltas for this batch.
+        the real plan-cache counter deltas for this batch and whose
+        ``stats`` reports the vectorized-execution counters (None with
+        ``vectorize=False``).
         """
         if workers < 1:
             raise ValueError("workers must be >= 1, got %d" % workers)
@@ -761,27 +1104,56 @@ class QueryEngine:
                 "mode must be 'thread' or 'process', got %r" % (mode,)
             )
         self._check_overrides(deadline_seconds, budget)
+        use_vectorize = self.vectorize if vectorize is None else vectorize
+        min_size = (
+            self.group_min_size if group_min_size is None
+            else group_min_size
+        )
+        if min_size < 1:
+            raise ValueError(
+                "group_min_size must be >= 1, got %r" % (min_size,)
+            )
         overrides = {"deadline_seconds": deadline_seconds, "budget": budget}
         query_list = list(queries)
         effective_workers = max(1, min(workers, len(query_list)))
         start = time.perf_counter()
+        vec_stats = None
         if effective_workers == 1:
             before = self.cache_stats()
             results_before = self.result_cache_stats()
-            results = [
-                self._run_single(language, source, target, **overrides)
-                for language, source, target in query_list
-            ]
+            if use_vectorize:
+                pairs, vec_stats = self._run_batch_vectorized_indexed(
+                    list(enumerate(query_list)), overrides, min_size
+                )
+                results = [None] * len(query_list)
+                for index, result in pairs:
+                    results[index] = result
+            else:
+                results = [
+                    self._run_single(language, source, target, **overrides)
+                    for language, source, target in query_list
+                ]
             cache_stats = self.plan_cache.stats_delta(before)
             result_cache_stats = self._result_cache_delta(results_before)
         elif mode == "thread":
             before = self.cache_stats()
             results_before = self.result_cache_stats()
-            results = self._run_batch_threads(
-                query_list, effective_workers, overrides
-            )
+            if use_vectorize:
+                results, vec_stats = self._run_batch_threads_vectorized(
+                    query_list, effective_workers, overrides, min_size
+                )
+            else:
+                results = self._run_batch_threads(
+                    query_list, effective_workers, overrides
+                )
             cache_stats = self.plan_cache.stats_delta(before)
             result_cache_stats = self._result_cache_delta(results_before)
+        elif use_vectorize:
+            results, cache_stats, result_cache_stats, vec_stats = (
+                self._run_batch_processes_vectorized(
+                    query_list, effective_workers, overrides, min_size
+                )
+            )
         else:
             results, cache_stats, result_cache_stats = (
                 self._run_batch_processes(
@@ -794,6 +1166,7 @@ class QueryEngine:
             cache_stats=cache_stats,
             workers=effective_workers,
             result_cache_stats=result_cache_stats,
+            stats=vec_stats,
         )
 
     def _result_cache_delta(self, earlier):
@@ -824,16 +1197,44 @@ class QueryEngine:
                 future.result()
         return results
 
-    def _run_batch_processes(self, queries, workers, overrides):
-        """Strided shards over worker processes; input-order results."""
-        shards = [
-            [
-                (index, queries[index])
-                for index in range(offset, len(queries), workers)
+    def _run_batch_threads_vectorized(self, queries, workers, overrides,
+                                      min_size):
+        """Vectorized thread schedule: one pool task per plan group.
+
+        Groups are formed once here, so the sweep compositions — and
+        therefore every member's charged steps — are identical to a
+        serial vectorized run of the same batch.  Ungroupable queries
+        (no plan key) run in strided per-query shards alongside.
+        """
+        groups, ungroupable = group_by_plan(list(enumerate(queries)))
+        tasks = list(groups.values())
+        if ungroupable:
+            stride = min(workers, len(ungroupable))
+            tasks.extend(
+                ungroupable[offset::stride] for offset in range(stride)
+            )
+        results = [None] * len(queries)
+        total = VectorizedBatchStats()
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-batch"
+        ) as pool:
+            futures = [
+                pool.submit(
+                    self._run_batch_vectorized_indexed, task, overrides,
+                    min_size,
+                )
+                for task in tasks
             ]
-            for offset in range(workers)
-        ]
-        engine_kwargs = {
+            for future in futures:
+                pairs, task_stats = future.result()
+                for index, result in pairs:
+                    results[index] = result
+                total = total + task_stats
+        return results, total
+
+    def _worker_engine_kwargs(self):
+        """Constructor kwargs reproducing this engine in a worker process."""
+        return {
             "plan_cache_size": self.plan_cache.capacity,
             "exact_budget": self.exact_budget,
             "deadline_seconds": self.deadline_seconds,
@@ -844,22 +1245,80 @@ class QueryEngine:
                 if self._result_cache is not None
                 else 1024
             ),
+            "vectorize": self.vectorize,
+            "group_min_size": self.group_min_size,
         }
-        results = [None] * len(queries)
+
+    def _run_batch_processes(self, queries, workers, overrides):
+        """Strided shards over worker processes; input-order results."""
+        shards = [
+            [
+                (index, queries[index])
+                for index in range(offset, len(queries), workers)
+            ]
+            for offset in range(workers)
+        ]
+        results, cache_stats, result_cache_stats, _vec = (
+            self._collect_process_shards(
+                shards, self._worker_engine_kwargs(), overrides,
+                vectorized=False, workers=workers,
+                total=len(queries),
+            )
+        )
+        return results, cache_stats, result_cache_stats
+
+    def _run_batch_processes_vectorized(self, queries, workers, overrides,
+                                        min_size):
+        """Vectorized process schedule: whole groups shipped to workers.
+
+        Groups are formed once in the parent and assigned whole to
+        workers (largest first onto the least-loaded worker, ties by
+        first batch position — deterministic), so each worker re-groups
+        its shard into exactly the groups formed here and sweeps them
+        as serial execution would.  Ungroupable queries stride across
+        the workers.
+        """
+        groups, ungroupable = group_by_plan(list(enumerate(queries)))
+        shards = [[] for _ in range(workers)]
+        loads = [0] * workers
+        ordered = sorted(
+            groups.values(),
+            key=lambda members: (-len(members), members[0][0]),
+        )
+        for members in ordered:
+            worker = loads.index(min(loads))
+            shards[worker].extend(members)
+            loads[worker] += len(members)
+        for offset, item in enumerate(ungroupable):
+            shards[offset % workers].append(item)
+        engine_kwargs = self._worker_engine_kwargs()
+        engine_kwargs["vectorize"] = True
+        engine_kwargs["group_min_size"] = min_size
+        return self._collect_process_shards(
+            shards, engine_kwargs, overrides, vectorized=True,
+            workers=workers, total=len(queries),
+        )
+
+    def _collect_process_shards(self, shards, engine_kwargs, overrides,
+                                vectorized, workers, total):
+        """Run shards on a process pool and merge results and counters."""
+        results = [None] * total
         cache_stats = PlanCacheStats()
         result_cache_stats = (
             ResultCacheStats() if self._result_cache is not None else None
         )
+        vec_stats = VectorizedBatchStats() if vectorized else None
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
                     _process_shard, self.graph, engine_kwargs, shard,
-                    overrides,
+                    overrides, vectorized,
                 )
                 for shard in shards
+                if shard
             ]
             for future in futures:
-                shard_results, shard_stats, shard_result_stats = (
+                shard_results, shard_stats, shard_result_stats, shard_vec = (
                     future.result()
                 )
                 for index, result in shard_results:
@@ -869,4 +1328,6 @@ class QueryEngine:
                     result_cache_stats = (
                         result_cache_stats + shard_result_stats
                     )
-        return results, cache_stats, result_cache_stats
+                if vec_stats is not None and shard_vec is not None:
+                    vec_stats = vec_stats + shard_vec
+        return results, cache_stats, result_cache_stats, vec_stats

@@ -124,6 +124,18 @@ class CsrView(GraphView):
         """``(label_id, target_id)`` pairs in repr order — precompiled."""
         return self._out_pairs[vertex_id]
 
+    def out_csr(
+        self, label_id: int
+    ) -> tuple["array[int]", "array[int]"]:
+        """Bulk successors-by-label: the frozen ``(indptr, targets)`` pair.
+
+        The raw per-label CSR arrays (see
+        :meth:`~repro.graphs.view.GraphView.out_csr`) — the vectorized
+        batch sweep reads whole label partitions off these instead of
+        slicing per vertex through :meth:`out_by_label`.
+        """
+        return self._fwd[label_id]
+
     # invariant: hot-loop
     def out_by_label(
         self, vertex_id: int, label_id: int | None

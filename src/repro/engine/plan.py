@@ -119,6 +119,34 @@ def plan_key(language: str | Language) -> tuple:
     )
 
 
+def group_by_plan(
+    indexed_queries: "list[tuple[int, tuple]]",
+) -> "tuple[dict[tuple, list[tuple[int, tuple]]], list[tuple[int, tuple]]]":
+    """Partition indexed batch queries by plan key for vectorized runs.
+
+    Takes ``(position, (language, source, target))`` pairs — positions
+    are the batch slots results scatter back into, so shards re-group
+    to exactly the groups the parent formed.  Returns
+    ``(groups, ungroupable)``: ``groups`` maps each plan key to its
+    members in first-occurrence order (dict insertion order preserves
+    it), and ``ungroupable`` collects queries whose language has no
+    plan key — those run per query, where :func:`plan_key` raises the
+    same error at the query's own turn.  Grouping never touches the
+    plan cache, so it leaves the cache counters exactly as serial
+    execution would.
+    """
+    groups: dict[tuple, list[tuple[int, tuple]]] = {}
+    ungroupable: list[tuple[int, tuple]] = []
+    for position, query in indexed_queries:
+        try:
+            key = plan_key(query[0])
+        except Exception:
+            ungroupable.append((position, query))
+            continue
+        groups.setdefault(key, []).append((position, query))
+    return groups, ungroupable
+
+
 @dataclass(frozen=True)
 class QueryPlan:
     """A compiled, immutable, shareable evaluation plan for one language."""

@@ -155,6 +155,22 @@ class GraphView:
         label_ids = self._label_ids
         return tuple(label_ids.get(symbol) for symbol in word)
 
+    def out_csr(
+        self, label_id: int
+    ) -> tuple[Sequence[int], Sequence[int]] | None:
+        """Bulk successors-by-label: the ``(indptr, targets)`` CSR pair.
+
+        ``targets[indptr[v]:indptr[v + 1]]`` lists the ``label_id``-
+        successors of vertex ``v`` in ascending id order — the whole
+        label partition in two flat arrays, so a multi-source sweep
+        (:mod:`repro.engine.vectorized`) can expand every pending
+        query's frontier through one label without a per-vertex method
+        call.  Returns ``None`` on backings with no CSR arrays (the
+        dict-backed view) — callers must fall back to per-vertex
+        :meth:`out_by_label` or per-query solving.
+        """
+        return None
+
     def path(self, vertex_ids: Sequence[int],
              label_ids: Sequence[int]) -> Path:
         """Materialise an id-path back into a named :class:`Path`."""

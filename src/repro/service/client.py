@@ -117,7 +117,9 @@ class ServiceClient:
     def batch(self, queries: Iterable[tuple], graph: str | None = None,
               workers: int | None = None, mode: str | None = None,
               deadline_seconds: float | None = None,
-              budget: int | None = None) -> Any:
+              budget: int | None = None,
+              vectorize: bool | None = None,
+              group_min_size: int | None = None) -> Any:
         payload: dict[str, Any] = {
             "queries": [
                 [language, source, target]
@@ -134,6 +136,10 @@ class ServiceClient:
             payload["deadline_seconds"] = deadline_seconds
         if budget is not None:
             payload["budget"] = budget
+        if vectorize is not None:
+            payload["vectorize"] = vectorize
+        if group_min_size is not None:
+            payload["group_min_size"] = group_min_size
         return self._checked("POST", "/batch", payload)
 
 

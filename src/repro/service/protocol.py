@@ -7,7 +7,7 @@ stream-parse or diff outputs byte-for-byte — and is pinned by
 
 ``language, source, target, strategy, found, length, word, path,
 decompose_failed, steps, seconds, plan_cache_hit, result_cache_hit,
-short_circuit, error``
+short_circuit, vectorized, error``
 
 * ``language`` — the language spec as a string (regex text).
 * ``source`` / ``target`` — endpoints exactly as queried (JSON keeps
@@ -24,6 +24,9 @@ short_circuit, error``
   result cache (no solver ran; ``steps`` reports the original solve).
 * ``short_circuit`` — the reachability index proved NOT_FOUND under
   the plan's label mask and no solver ran (``steps`` is 0).
+* ``vectorized`` — a shared multi-query product sweep proved the
+  answer (batch mode only; ``steps`` reports sweep rounds charged to
+  this query).
 * ``error`` — ``null`` for answered queries, otherwise the message of
   the isolated per-query failure.
 
@@ -56,6 +59,7 @@ RESULT_FIELDS = (
     "plan_cache_hit",
     "result_cache_hit",
     "short_circuit",
+    "vectorized",
     "error",
 )
 
@@ -79,6 +83,7 @@ def result_record(result: EngineResult) -> dict[str, Any]:
         "plan_cache_hit": result.stats.plan_cache_hit,
         "result_cache_hit": result.stats.result_cache_hit,
         "short_circuit": result.stats.short_circuit,
+        "vectorized": result.stats.vectorized,
         "error": result.error,
     }
 
@@ -107,4 +112,6 @@ def batch_record(batch: BatchResult) -> dict[str, Any]:
             "misses": batch.result_cache_stats.misses,
             "invalidations": batch.result_cache_stats.invalidations,
         }
+    if batch.stats is not None:
+        record["vectorized_stats"] = batch.stats.as_dict()
     return record

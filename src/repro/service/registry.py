@@ -118,6 +118,10 @@ class RegisteredGraph:
             },
             result_cache=result_cache.as_dict(),
             reachability_index=self.engine.reachability_info(),
+            vectorized={
+                "enabled": self.engine.vectorize,
+                "group_min_size": self.engine.group_min_size,
+            },
         )
         return stats
 
@@ -148,6 +152,12 @@ class GraphRegistry:
     use_reach_index:
         Build the label-constrained reachability index for every
         registered graph (short-circuits provably-negative queries).
+    vectorize / group_min_size:
+        Per-graph vectorized batch-execution knobs (see
+        :class:`~repro.engine.QueryEngine`): batch queries sharing one
+        plan are answered by a shared product sweep when the group has
+        at least ``group_min_size`` members.  Individual ``/batch``
+        requests can still override both.
     """
 
     def __init__(self, plan_cache_size: int = 128,
@@ -156,7 +166,9 @@ class GraphRegistry:
                  max_graphs: int | None = None,
                  result_cache: bool = True,
                  result_cache_size: int = 1024,
-                 use_reach_index: bool = True) -> None:
+                 use_reach_index: bool = True,
+                 vectorize: bool = True,
+                 group_min_size: int = 2) -> None:
         if max_graphs is not None and max_graphs < 1:
             raise ValueError(
                 "max_graphs must be >= 1 or None, got %r" % (max_graphs,)
@@ -168,6 +180,8 @@ class GraphRegistry:
         self.result_cache = result_cache
         self.result_cache_size = result_cache_size
         self.use_reach_index = use_reach_index
+        self.vectorize = vectorize
+        self.group_min_size = group_min_size
         self._entries: dict[str, RegisteredGraph] = {}
         self._lock = threading.Lock()
 
@@ -179,6 +193,8 @@ class GraphRegistry:
             "result_cache": self.result_cache,
             "result_cache_size": self.result_cache_size,
             "use_reach_index": self.use_reach_index,
+            "vectorize": self.vectorize,
+            "group_min_size": self.group_min_size,
         }
 
     # -- registration -----------------------------------------------------------

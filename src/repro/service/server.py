@@ -30,11 +30,15 @@ Endpoints (all request/response bodies are JSON):
     504 deadline exceeded.
 ``POST /batch``
     ``{"graph"?, "queries": [[language, source, target], ...],
-    "workers"?, "mode"?, "deadline_seconds"?, "budget"?}`` — a batch
-    dispatched into :meth:`QueryEngine.run_batch` worker pools.
-    Per-query failures stay isolated inside the 200 response (each
-    result record carries its own ``error`` field), exactly like the
-    library contract.
+    "workers"?, "mode"?, "deadline_seconds"?, "budget"?,
+    "vectorize"?, "group_min_size"?}`` — a batch dispatched into
+    :meth:`QueryEngine.run_batch` worker pools.  ``vectorize`` /
+    ``group_min_size`` override the engine's vectorized-execution
+    knobs for this batch (grouped queries sharing a plan sweep the
+    product graph together; the response's ``vectorized_stats`` block
+    reports groups, sweeps and peels).  Per-query failures stay
+    isolated inside the 200 response (each result record carries its
+    own ``error`` field), exactly like the library contract.
 ``POST /classify``
     ``{"language": ...}`` — trichotomy classification plus the solver
     strategy the engine would dispatch to (plan-cached service-side).
@@ -536,6 +540,21 @@ class QueryService:
             raise ServiceError(
                 "'mode' must be 'thread' or 'process', got %r" % (mode,)
             )
+        vectorize = payload.get("vectorize")
+        if vectorize is not None and not isinstance(vectorize, bool):
+            raise ServiceError(
+                "'vectorize' must be a boolean, got %r" % (vectorize,)
+            )
+        group_min_size = payload.get("group_min_size")
+        if group_min_size is not None and (
+            not isinstance(group_min_size, int)
+            or isinstance(group_min_size, bool)
+            or group_min_size < 1
+        ):
+            raise ServiceError(
+                "'group_min_size' must be a positive integer, got %r"
+                % (group_min_size,)
+            )
         self._admit(len(triples))
         try:
             batch = await self._in_executor(
@@ -546,6 +565,8 @@ class QueryService:
                     mode=mode,
                     deadline_seconds=deadline,
                     budget=budget,
+                    vectorize=vectorize,
+                    group_min_size=group_min_size,
                 )
             )
         finally:
