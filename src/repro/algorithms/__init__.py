@@ -1,7 +1,8 @@
 """Baseline and comparison algorithms."""
 
+from .algebraic import AlgebraicSolver
 from .bounded import FiniteLanguageSolver, find_simple_word_path
-from .color_coding import ColorCodingSolver
+from .color_coding import ColorCodingSolver, trials_for_prob
 from .dag import DagRspqSolver, is_dag
 from .disjoint_paths import vertex_disjoint_paths_exist
 from .exact import ExactSolver
@@ -11,6 +12,7 @@ from .semantics import SEMANTICS, SemanticsEvaluator
 from . import reductions, treewidth
 
 __all__ = [
+    "AlgebraicSolver",
     "ColorCodingSolver",
     "DagRspqSolver",
     "ExactSolver",
@@ -24,5 +26,6 @@ __all__ = [
     "para_rspq_finite",
     "reductions",
     "treewidth",
+    "trials_for_prob",
     "vertex_disjoint_paths_exist",
 ]

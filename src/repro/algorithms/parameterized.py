@@ -27,12 +27,17 @@ from .color_coding import ColorCodingSolver
 
 
 def k_rspq(language, graph, source, target, k, seed=0,
-           failure_probability=1e-3, family="monte-carlo"):
+           failure_probability=1e-3, family="monte-carlo", ctx=None,
+           shortest=False):
     """Theorem 7: decide k-RSPQ, FPT in the path-size parameter ``k``.
 
     Returns a simple L-labeled path with ≤ k edges, or ``None`` (with
     one-sided error under the Monte-Carlo coloring family; pass
-    ``family="exhaustive"`` for tiny exact runs).
+    ``family="exhaustive"`` for tiny exact runs).  ``ctx`` threads an
+    :class:`~repro.execution.ExecutionContext` through the trials so
+    deadlines and step budgets are enforced mid-search; ``shortest``
+    keeps searching after the first witness for the shortest one the
+    trial family can certify (existence mode returns immediately).
     """
     if isinstance(language, str):
         language = Language(language)
@@ -40,7 +45,8 @@ def k_rspq(language, graph, source, target, k, seed=0,
         language, seed=seed, failure_probability=failure_probability
     )
     return solver.bounded_simple_path(
-        graph, source, target, k, family=family
+        graph, source, target, k, family=family, ctx=ctx,
+        shortest=shortest,
     )
 
 

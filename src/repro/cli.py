@@ -192,6 +192,37 @@ def _build_parser():
         "2); smaller groups run per query",
     )
     p_batch.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="route exact-strategy (NP-hard) queries through the "
+        "anytime solver portfolio: bounded-length probe, Monte-Carlo "
+        "color coding, algebraic detection, exact fallback; negatives "
+        "may be probabilistic (see the result 'confidence' field)",
+    )
+    p_batch.add_argument(
+        "--max-path-edges",
+        type=int,
+        default=None,
+        metavar="K",
+        help="answer the bounded k-RSPQ variant: only simple paths of "
+        "at most K edges count (the portfolio's FPT rungs shine here)",
+    )
+    p_batch.add_argument(
+        "--portfolio-failure-probability",
+        type=float,
+        default=1e-3,
+        metavar="DELTA",
+        help="calibrated bound on a probabilistic NOT_FOUND being "
+        "wrong (default 1e-3); smaller = more trials = slower",
+    )
+    p_batch.add_argument(
+        "--portfolio-seed",
+        type=int,
+        default=0,
+        help="base seed for the portfolio's randomized rungs "
+        "(default 0); results are deterministic per seed",
+    )
+    p_batch.add_argument(
         "--jsonl",
         metavar="OUT",
         default=None,
@@ -311,6 +342,27 @@ def _build_parser():
         "requests (default 2)",
     )
     p_serve.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="route exact-strategy queries through the anytime solver "
+        "portfolio by default (per-request 'portfolio' can still "
+        "override either way)",
+    )
+    p_serve.add_argument(
+        "--portfolio-failure-probability",
+        type=float,
+        default=1e-3,
+        metavar="DELTA",
+        help="calibrated bound on a probabilistic NOT_FOUND being "
+        "wrong (default 1e-3)",
+    )
+    p_serve.add_argument(
+        "--portfolio-seed",
+        type=int,
+        default=0,
+        help="base seed for the portfolio's randomized rungs (default 0)",
+    )
+    p_serve.add_argument(
         "--max-graphs",
         type=int,
         default=64,
@@ -384,6 +436,29 @@ def _cmd_explain(args):
     print("RSPQ(L) is     : %s" % classification.complexity_class.value)
     print("strategy       : %s" % plan.strategy)
     print("decomposition  : %s" % decompose_note)
+    if plan.portfolio is not None:
+        ladder = plan.portfolio.describe()
+        print(
+            "portfolio      : %s (opt-in via engine portfolio=True or "
+            "per-query override)" % " -> ".join(ladder["ladder"])
+        )
+        split = ladder["budget_split"]
+        print(
+            "  budget split : %s (share of remaining budget per rung)"
+            % ", ".join(
+                "%s=%.0f%%" % (name, split[name] * 100.0)
+                for name in ladder["ladder"]
+            )
+        )
+        print(
+            "  calibration  : failure bound %g, color rung up to %d "
+            "edges, algebraic rung up to %d edges"
+            % (
+                ladder["failure_probability"],
+                ladder["color_max_edges"],
+                ladder["algebraic_max_edges"],
+            )
+        )
     # The CLI always plans from a regex string, so the key is always
     # text-kinded (Language objects key by canonical DFA signature).
     print("plan key kind  : %s (plans cached by exact regex text)"
@@ -529,6 +604,15 @@ def _cmd_batch(args):
         raise ReproError(
             "--group-min-size must be >= 1, got %d" % args.group_min_size
         )
+    if args.max_path_edges is not None and args.max_path_edges < 0:
+        raise ReproError(
+            "--max-path-edges must be >= 0, got %d" % args.max_path_edges
+        )
+    if not 0.0 < args.portfolio_failure_probability < 1.0:
+        raise ReproError(
+            "--portfolio-failure-probability must be in (0, 1), got %r"
+            % args.portfolio_failure_probability
+        )
     graph = graph_io.load(args.graph)
     queries = _parse_queries(args.queries)
     engine = QueryEngine(
@@ -540,9 +624,15 @@ def _cmd_batch(args):
         use_reach_index=not args.no_reach_index,
         vectorize=not args.no_vectorize,
         group_min_size=args.group_min_size,
+        portfolio=args.portfolio,
+        portfolio_failure_probability=args.portfolio_failure_probability,
+        portfolio_seed=args.portfolio_seed,
     )
     batch = engine.run_batch(
-        queries, workers=args.workers, mode=args.parallel_mode
+        queries,
+        workers=args.workers,
+        mode=args.parallel_mode,
+        max_path_edges=args.max_path_edges,
     )
     if args.jsonl:
         _write_jsonl(args.jsonl, batch.results)
@@ -551,6 +641,11 @@ def _cmd_batch(args):
             answer = "error: %s" % result.error
         elif result.found:
             answer = "length %d, word %s" % (result.length, result.path.word)
+        elif result.failure_bound is not None:
+            answer = (
+                "no path (probabilistic, failure bound %g)"
+                % result.failure_bound
+            )
         else:
             answer = "no path"
         flag = "  [warning: decompose failed, exact fallback]" if (
@@ -645,6 +740,11 @@ def _cmd_serve(args):
         raise ReproError(
             "--group-min-size must be >= 1, got %d" % args.group_min_size
         )
+    if not 0.0 < args.portfolio_failure_probability < 1.0:
+        raise ReproError(
+            "--portfolio-failure-probability must be in (0, 1), got %r"
+            % args.portfolio_failure_probability
+        )
     registry = GraphRegistry(
         plan_cache_size=args.plan_cache_size,
         exact_budget=args.budget,
@@ -655,6 +755,9 @@ def _cmd_serve(args):
         use_reach_index=not args.no_reach_index,
         vectorize=not args.no_vectorize,
         group_min_size=args.group_min_size,
+        portfolio=args.portfolio,
+        portfolio_failure_probability=args.portfolio_failure_probability,
+        portfolio_seed=args.portfolio_seed,
     )
     for name, path in graphs:
         entry = registry.register(name, graph_io.load(path))

@@ -75,6 +75,13 @@ Entry points
 
 from .indexed import IndexedGraph
 from .plan import PlanCache, PlanCacheStats, QueryPlan, group_by_plan, plan_key
+from .portfolio import (
+    CONFIDENCE_CERTIFIED,
+    CONFIDENCE_PROBABILISTIC,
+    PortfolioOutcome,
+    PortfolioSolver,
+    RungReport,
+)
 from .vectorized import VectorizedBatchStats
 from .engine import (
     STRATEGY_ERROR,
@@ -87,14 +94,19 @@ from .engine import (
 
 __all__ = [
     "BatchResult",
+    "CONFIDENCE_CERTIFIED",
+    "CONFIDENCE_PROBABILISTIC",
     "EngineResult",
     "IndexedGraph",
     "PlanCache",
     "PlanCacheStats",
+    "PortfolioOutcome",
+    "PortfolioSolver",
     "QueryEngine",
     "QueryPlan",
     "QueryStats",
     "ResultCacheStats",
+    "RungReport",
     "STRATEGY_ERROR",
     "VectorizedBatchStats",
     "group_by_plan",

@@ -41,6 +41,7 @@ from ..execution import ExecutionContext, GroupExecution
 from ..graphs.dbgraph import Path
 from .indexed import IndexedGraph
 from .plan import PlanCache, PlanCacheStats, QueryPlan, group_by_plan, plan_key
+from .portfolio import CONFIDENCE_CERTIFIED
 from .vectorized import VectorizedBatchStats, sweep_group, sweepable
 
 #: Strategy marker for queries that raised instead of answering.
@@ -83,6 +84,13 @@ class EngineResult:
     strategy: str
     decompose_failed: bool
     stats: QueryStats
+    #: ``"certified"`` for exact answers (every classic-strategy
+    #: result, and portfolio answers backed by a witness or proof);
+    #: ``"probabilistic"`` for portfolio negatives whose randomized
+    #: rungs may have missed a path (see ``failure_bound``).
+    confidence: str = CONFIDENCE_CERTIFIED
+    #: Error bound of a probabilistic negative (None when certified).
+    failure_bound: Optional[float] = None
     #: Error message when the query failed (batch mode isolates
     #: failures per query); None for answered queries.
     error: Optional[str] = None
@@ -449,6 +457,16 @@ class QueryEngine:
         run per query.  Results stay bit-identical to serial
         execution; ``vectorize=False`` restores the strictly
         per-query batch path.  ``group_min_size`` must be >= 1.
+    portfolio:
+        Route hard-regime (exact-strategy) queries through the anytime
+        strategy ladder of :mod:`repro.engine.portfolio` by default.
+        Ladder answers carry a ``confidence``: certified results are
+        exact, probabilistic negatives report their ``failure_bound``
+        and are **never** stored in the result cache.  Queries can
+        override the default either way (``query(portfolio=...)``).
+    portfolio_failure_probability / portfolio_seed:
+        One-sided error bound δ of each randomized ladder rung and the
+        root of their deterministic random streams.
     """
 
     def __init__(self, graph: Any, plan_cache_size: int = 128,
@@ -459,7 +477,10 @@ class QueryEngine:
                  use_reach_index: bool = True,
                  compile: bool = True,
                  vectorize: bool = True,
-                 group_min_size: int = 2):
+                 group_min_size: int = 2,
+                 portfolio: bool = False,
+                 portfolio_failure_probability: float = 1e-3,
+                 portfolio_seed: int = 0):
         # Validate before compiling: a misconfigured engine must fail
         # instantly, not after an O(V+E) graph compile.
         if exact_budget is not None and exact_budget <= 0:
@@ -476,6 +497,11 @@ class QueryEngine:
                 "deadline_seconds must be positive or None for no "
                 "deadline, got %r (an engine default that is already "
                 "expired would fail every query)" % (deadline_seconds,)
+            )
+        if not 0.0 < portfolio_failure_probability < 1.0:
+            raise ValueError(
+                "portfolio_failure_probability must be in (0, 1), "
+                "got %r" % (portfolio_failure_probability,)
             )
         self._result_cache = (
             _ResultCache(result_cache_size) if result_cache else None
@@ -508,13 +534,16 @@ class QueryEngine:
         self.deadline_seconds = deadline_seconds
         self.vectorize = vectorize
         self.group_min_size = group_min_size
+        self.portfolio = portfolio
+        self.portfolio_failure_probability = portfolio_failure_probability
+        self.portfolio_seed = portfolio_seed
         self._compile_lock = threading.Lock()
         self._inflight: dict[tuple, _PlanCompilation] = {}
 
     # -- planning ---------------------------------------------------------------
 
     @staticmethod
-    def _check_overrides(deadline_seconds, budget):
+    def _check_overrides(deadline_seconds, budget, max_path_edges=None):
         """Validate per-query/batch overrides before any query runs."""
         if deadline_seconds is not None and deadline_seconds < 0:
             raise ValueError(
@@ -525,6 +554,11 @@ class QueryEngine:
             raise ValueError(
                 "budget override must be a positive step count, got %r"
                 % (budget,)
+            )
+        if max_path_edges is not None and max_path_edges < 0:
+            raise ValueError(
+                "max_path_edges must be >= 0 or None for unbounded, "
+                "got %r" % (max_path_edges,)
             )
 
     def _new_context(self, deadline_seconds=None, budget=None):
@@ -613,6 +647,12 @@ class QueryEngine:
                 plan = QueryPlan.compile(
                     language, key=key, exact_budget=self.exact_budget,
                     use_reach_pruning=self.use_reach_index,
+                    portfolio_config={
+                        "seed": self.portfolio_seed,
+                        "failure_probability": (
+                            self.portfolio_failure_probability
+                        ),
+                    },
                 )
             except BaseException:
                 with self._compile_lock:
@@ -629,7 +669,9 @@ class QueryEngine:
 
     def query(self, language: "str | Language", source: Any, target: Any,
               deadline_seconds: float | None = None,
-              budget: int | None = None) -> EngineResult:
+              budget: int | None = None,
+              portfolio: bool | None = None,
+              max_path_edges: int | None = None) -> EngineResult:
         """Answer one RSPQ; returns an :class:`EngineResult`.
 
         ``deadline_seconds`` / ``budget`` override the engine defaults
@@ -639,18 +681,62 @@ class QueryEngine:
         proved by the reachability index without any search — is
         returned even under a budget no fresh solve could meet.
 
+        ``portfolio`` overrides the engine's default routing of
+        hard-regime queries through the anytime strategy ladder
+        (``None`` keeps the engine default; it never affects finite or
+        tractable plans, which stay on their polynomial solvers).
+        ``max_path_edges`` bounds the answer to simple paths of at
+        most that many edges (k-RSPQ); ``None`` asks the classical
+        unbounded question.
+
         Raises :class:`~repro.errors.ReproError` on bad input (unknown
         vertex, unparseable regex, exceeded budget or deadline);
         ``run_batch`` isolates such failures per query instead.
         """
-        self._check_overrides(deadline_seconds, budget)
+        self._check_overrides(deadline_seconds, budget, max_path_edges)
         return self._execute(
             language, source, target,
             deadline_seconds=deadline_seconds, budget=budget,
+            portfolio=portfolio, max_path_edges=max_path_edges,
         )
 
+    def _portfolio_mode(self, plan, overrides):
+        """``(use_portfolio, max_path_edges)`` for one query.
+
+        The per-query override beats the engine default; a plan
+        without a ladder (finite/tractable — already polynomial)
+        never uses the portfolio regardless.
+        """
+        requested = overrides.get("portfolio")
+        use = self.portfolio if requested is None else requested
+        if use and plan.portfolio is None:
+            use = False
+        return use, overrides.get("max_path_edges")
+
+    def _result_key(self, plan, source, target, overrides):
+        """The result-cache key for one query's effective mode.
+
+        Portfolio witnesses need not be shortest paths and bounded
+        (k-RSPQ) queries answer a different question, so both are
+        tagged apart from the classic 3-tuple key — neither may ever
+        be replayed as a classic answer (or vice versa).
+        """
+        use_portfolio, max_path_edges = self._portfolio_mode(
+            plan, overrides
+        )
+        if use_portfolio or max_path_edges is not None:
+            return (
+                plan.key, source, target,
+                (
+                    "portfolio" if use_portfolio else "bounded",
+                    max_path_edges,
+                ),
+            )
+        return (plan.key, source, target)
+
     def _execute(self, language, source, target, deadline_seconds=None,
-                 budget=None, _hit_box=None):
+                 budget=None, portfolio=None, max_path_edges=None,
+                 _hit_box=None):
         """One query through cache → short-circuit → solver (may raise)."""
         start = time.perf_counter()
         plan, cache_hit = self.plan_for(language)
@@ -663,7 +749,13 @@ class QueryEngine:
         # between the two reads would otherwise tag a stale answer
         # with the new generation and poison the cache.
         generation = view.generation
-        result_key = (plan.key, source, target)
+        overrides = {
+            "deadline_seconds": deadline_seconds,
+            "budget": budget,
+            "portfolio": portfolio,
+            "max_path_edges": max_path_edges,
+        }
+        result_key = self._result_key(plan, source, target, overrides)
         if cache is not None:
             cached = cache.lookup(generation, result_key)
             if cached is not None:
@@ -680,12 +772,54 @@ class QueryEngine:
             if cache is not None:
                 cache.store(generation, result_key, result)
             return result
-        ctx = self._new_context(
-            deadline_seconds=deadline_seconds, budget=budget
+        return self._solve_query(
+            language, source, target, plan, cache_hit, start, view,
+            generation, result_key, overrides,
         )
+
+    def _solve_query(self, language, source, target, plan, cache_hit,
+                     start, view, generation, result_key, overrides):
+        """Run the solver (ladder or classic) and cache what is safe.
+
+        The shared tail of :meth:`_execute` and the vectorized batch
+        path's :meth:`_finish_pending`: builds the per-query context,
+        dispatches to the portfolio ladder or the plan's classic
+        solver, applies the ``max_path_edges`` bound, and stores the
+        result — certified answers only; a probabilistic NOT_FOUND
+        must never be replayed as definitive.
+        """
+        ctx = self._new_context(
+            deadline_seconds=overrides.get("deadline_seconds"),
+            budget=overrides.get("budget"),
+        )
+        cache = self._result_cache
+        use_portfolio, max_path_edges = self._portfolio_mode(
+            plan, overrides
+        )
+        if use_portfolio:
+            outcome = plan.portfolio.solve(
+                view, source, target, ctx=ctx,
+                max_path_edges=max_path_edges,
+            )
+            result = self._portfolio_result(
+                language, source, target, plan, cache_hit, ctx, outcome,
+                start,
+            )
+            if cache is not None and (
+                outcome.confidence == CONFIDENCE_CERTIFIED
+            ):
+                cache.store(generation, result_key, result)
+            return result
         path = plan.solver.shortest_simple_path(
             view, source, target, ctx=ctx
         )
+        if max_path_edges is not None and path is not None and (
+            len(path) > max_path_edges
+        ):
+            # The classic solver answers the unbounded question with
+            # the *shortest* simple path; if even that overshoots the
+            # bound, no bounded path exists — a certified negative.
+            path = None
         result = self._answered_result(
             language, source, target, plan, cache_hit, ctx, path, start
         )
@@ -712,9 +846,40 @@ class QueryEngine:
             ),
         )
 
+    def _portfolio_result(self, language, source, target, plan, cache_hit,
+                          ctx, outcome, start):
+        """The result of one portfolio-ladder solve.
+
+        ``steps`` aggregates every rung's work: each rung ran on a
+        budget-capped child context folded back into ``ctx``.
+        """
+        return EngineResult(
+            language=language,
+            source=source,
+            target=target,
+            found=outcome.found,
+            path=outcome.path,
+            strategy=outcome.strategy,
+            decompose_failed=plan.decompose_failed,
+            stats=QueryStats(
+                strategy=outcome.strategy,
+                steps=ctx.steps,
+                plan_cache_hit=cache_hit,
+                seconds=time.perf_counter() - start,
+            ),
+            confidence=outcome.confidence,
+            failure_bound=outcome.failure_bound,
+        )
+
     def _replayed_result(self, language, source, target, cached, cache_hit,
                          start):
-        """An answer replayed from the result cache (no solver ran)."""
+        """An answer replayed from the result cache (no solver ran).
+
+        Only certified results are ever stored, so the replayed
+        confidence is always ``certified`` — carried over from the
+        cached result rather than assumed, so a store-policy bug would
+        surface in results instead of being masked here.
+        """
         return EngineResult(
             language=language,
             source=source,
@@ -731,6 +896,8 @@ class QueryEngine:
                 result_cache_hit=True,
                 short_circuit=cached.stats.short_circuit,
             ),
+            confidence=cached.confidence,
+            failure_bound=cached.failure_bound,
         )
 
     def _short_circuit_result(self, language, source, target, plan,
@@ -815,7 +982,7 @@ class QueryEngine:
         )
 
     def _run_single(self, language, source, target, deadline_seconds=None,
-                    budget=None):
+                    budget=None, portfolio=None, max_path_edges=None):
         """One query with per-query error isolation (batch building block)."""
         start = time.perf_counter()
         hit_box = [False]
@@ -823,6 +990,7 @@ class QueryEngine:
             return self._execute(
                 language, source, target,
                 deadline_seconds=deadline_seconds, budget=budget,
+                portfolio=portfolio, max_path_edges=max_path_edges,
                 _hit_box=hit_box,
             )
         except ReproError as err:
@@ -851,7 +1019,7 @@ class QueryEngine:
         )
         return effective_deadline is None
 
-    def _pre_solve(self, language, source, target, stats):
+    def _pre_solve(self, language, source, target, stats, overrides):
         """The serial :meth:`_execute` prefix for one group member.
 
         Runs plan resolution, the result-cache lookup and the
@@ -868,7 +1036,7 @@ class QueryEngine:
             plan, cache_hit = self.plan_for(language)
             view = self.view
             generation = view.generation
-            result_key = (plan.key, source, target)
+            result_key = self._result_key(plan, source, target, overrides)
             cache = self._result_cache
             if cache is not None:
                 cached = cache.lookup(generation, result_key)
@@ -908,22 +1076,14 @@ class QueryEngine:
 
     def _finish_pending(self, rec, overrides):
         """Finish one pending member exactly as serial execution would:
-        a fresh per-query context, the plan's solver, serial caching
-        and serial error isolation."""
+        a fresh per-query context, the plan's solver (or ladder),
+        serial caching and serial error isolation."""
         try:
-            ctx = self._new_context(**overrides)
-            path = rec.plan.solver.shortest_simple_path(
-                rec.view, rec.source, rec.target, ctx=ctx
-            )
-            result = self._answered_result(
+            return self._solve_query(
                 rec.language, rec.source, rec.target, rec.plan,
-                rec.cache_hit, ctx, path, rec.start,
+                rec.cache_hit, rec.start, rec.view, rec.generation,
+                rec.result_key, overrides,
             )
-            if self._result_cache is not None:
-                self._result_cache.store(
-                    rec.generation, rec.result_key, result
-                )
-            return result
         except ReproError as err:
             return self._error_result(
                 rec.language, rec.source, rec.target, rec.cache_hit,
@@ -952,7 +1112,9 @@ class QueryEngine:
                 stats.deferred_duplicates += 1
                 deferred.append((index, language, source, target))
                 continue
-            outcome = self._pre_solve(language, source, target, stats)
+            outcome = self._pre_solve(
+                language, source, target, stats, overrides
+            )
             if isinstance(outcome, _PendingQuery):
                 seen_pairs.add(pair)
                 pending.append((index, outcome))
@@ -969,7 +1131,10 @@ class QueryEngine:
             if sweepable(view, plan, _SWEEP_STRATEGIES):
                 stats.sweeps += 1
                 group_exec = GroupExecution({
-                    member: self._new_context(**overrides)
+                    member: self._new_context(
+                        deadline_seconds=overrides.get("deadline_seconds"),
+                        budget=overrides.get("budget"),
+                    )
                     for member in range(len(sweep_members))
                 })
                 sweep_outcome = sweep_group(
@@ -1054,7 +1219,9 @@ class QueryEngine:
                   deadline_seconds: float | None = None,
                   budget: int | None = None,
                   vectorize: bool | None = None,
-                  group_min_size: int | None = None) -> BatchResult:
+                  group_min_size: int | None = None,
+                  portfolio: bool | None = None,
+                  max_path_edges: int | None = None) -> BatchResult:
         """Answer an iterable of ``(language, source, target)`` triples.
 
         Queries run against the shared indexed graph; plans are
@@ -1091,6 +1258,11 @@ class QueryEngine:
             (None keeps the engine default): ``vectorize=False`` runs
             the strictly per-query batch path; ``group_min_size``
             (>= 1) sets the smallest plan-key group worth sweeping.
+        portfolio / max_path_edges:
+            Applied to every query in the batch: ``portfolio``
+            overrides the engine's default hard-regime ladder routing
+            (None keeps it), ``max_path_edges`` bounds every answer to
+            simple paths of at most that many edges (k-RSPQ).
 
         Returns a :class:`BatchResult` whose ``cache_stats`` carries
         the real plan-cache counter deltas for this batch and whose
@@ -1103,7 +1275,7 @@ class QueryEngine:
             raise ValueError(
                 "mode must be 'thread' or 'process', got %r" % (mode,)
             )
-        self._check_overrides(deadline_seconds, budget)
+        self._check_overrides(deadline_seconds, budget, max_path_edges)
         use_vectorize = self.vectorize if vectorize is None else vectorize
         min_size = (
             self.group_min_size if group_min_size is None
@@ -1113,7 +1285,12 @@ class QueryEngine:
             raise ValueError(
                 "group_min_size must be >= 1, got %r" % (min_size,)
             )
-        overrides = {"deadline_seconds": deadline_seconds, "budget": budget}
+        overrides = {
+            "deadline_seconds": deadline_seconds,
+            "budget": budget,
+            "portfolio": portfolio,
+            "max_path_edges": max_path_edges,
+        }
         query_list = list(queries)
         effective_workers = max(1, min(workers, len(query_list)))
         start = time.perf_counter()
@@ -1247,6 +1424,11 @@ class QueryEngine:
             ),
             "vectorize": self.vectorize,
             "group_min_size": self.group_min_size,
+            "portfolio": self.portfolio,
+            "portfolio_failure_probability": (
+                self.portfolio_failure_probability
+            ),
+            "portfolio_seed": self.portfolio_seed,
         }
 
     def _run_batch_processes(self, queries, workers, overrides):

@@ -152,6 +152,79 @@ class ExecutionContext:
     def count_completion(self):
         self.completions += 1
 
+    # -- portfolio rung slicing ---------------------------------------------------
+
+    def remaining_budget(self):
+        """Steps left under the budget (``None`` = unbounded)."""
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.steps)
+
+    def remaining_seconds(self):
+        """Wall-clock left before the deadline (``None`` = no deadline)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.perf_counter())
+
+    def child(self, budget=None, seconds=None):
+        """A fresh context for one portfolio rung, capped by this one.
+
+        ``budget`` / ``seconds`` request the rung's slice; the child
+        never receives more than this context has left, so a ladder of
+        children can never overspend the parent's contract.  Raises
+        :class:`~repro.errors.BudgetExceededError` /
+        :class:`~repro.errors.DeadlineExceededError` when nothing
+        remains to slice — the caller's rung could not have run at
+        all.  Fold the child's counters back with :meth:`absorb` when
+        the rung finishes (or fails).
+        """
+        remaining = self.remaining_budget()
+        if budget is None:
+            child_budget = remaining
+        elif remaining is None:
+            child_budget = budget
+        else:
+            child_budget = min(budget, remaining)
+        if child_budget is not None and child_budget < 1:
+            raise BudgetExceededError(
+                "exact solver exceeded its %d-step budget"
+                % (self.budget or 0),
+                steps=self.steps,
+            )
+        left = self.remaining_seconds()
+        if seconds is None:
+            child_seconds = left
+        elif left is None:
+            child_seconds = seconds
+        else:
+            child_seconds = min(seconds, left)
+        if child_seconds is not None and child_seconds <= 0.0:
+            raise DeadlineExceededError(
+                "query exceeded its wall-clock deadline",
+                steps=self.steps,
+            )
+        return ExecutionContext(
+            budget=child_budget,
+            deadline_seconds=child_seconds,
+            deadline_check_interval=self._deadline_check_interval,
+        )
+
+    def absorb(self, child):
+        """Fold a rung child's work counters into this context.
+
+        Pure accounting: the child already enforced its (parent-capped)
+        budget and deadline while running, so absorbing never raises —
+        the parent's ``steps`` may land exactly at its budget but not
+        beyond it while further rungs still run (each new child slices
+        from what genuinely remains).
+        """
+        self.steps += child.steps
+        self.words_tried += child.words_tried
+        self.candidates += child.candidates
+        self.completions += child.completions
+        self.dfs_steps += child.dfs_steps
+        self.gap_bfs += child.gap_bfs
+
     # -- deadline ----------------------------------------------------------------
 
     def _maybe_check_deadline(self):

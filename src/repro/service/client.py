@@ -102,7 +102,9 @@ class ServiceClient:
     def query(self, language: str, source: Any, target: Any,
               graph: str | None = None,
               deadline_seconds: float | None = None,
-              budget: int | None = None) -> Any:
+              budget: int | None = None,
+              portfolio: bool | None = None,
+              max_path_edges: int | None = None) -> Any:
         payload: dict[str, Any] = {
             "language": language, "source": source, "target": target,
         }
@@ -112,6 +114,10 @@ class ServiceClient:
             payload["deadline_seconds"] = deadline_seconds
         if budget is not None:
             payload["budget"] = budget
+        if portfolio is not None:
+            payload["portfolio"] = portfolio
+        if max_path_edges is not None:
+            payload["max_path_edges"] = max_path_edges
         return self._checked("POST", "/query", payload)
 
     def batch(self, queries: Iterable[tuple], graph: str | None = None,
@@ -119,7 +125,9 @@ class ServiceClient:
               deadline_seconds: float | None = None,
               budget: int | None = None,
               vectorize: bool | None = None,
-              group_min_size: int | None = None) -> Any:
+              group_min_size: int | None = None,
+              portfolio: bool | None = None,
+              max_path_edges: int | None = None) -> Any:
         payload: dict[str, Any] = {
             "queries": [
                 [language, source, target]
@@ -140,6 +148,10 @@ class ServiceClient:
             payload["vectorize"] = vectorize
         if group_min_size is not None:
             payload["group_min_size"] = group_min_size
+        if portfolio is not None:
+            payload["portfolio"] = portfolio
+        if max_path_edges is not None:
+            payload["max_path_edges"] = max_path_edges
         return self._checked("POST", "/batch", payload)
 
 

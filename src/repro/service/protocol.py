@@ -7,7 +7,7 @@ stream-parse or diff outputs byte-for-byte — and is pinned by
 
 ``language, source, target, strategy, found, length, word, path,
 decompose_failed, steps, seconds, plan_cache_hit, result_cache_hit,
-short_circuit, vectorized, error``
+short_circuit, vectorized, confidence, failure_bound, error``
 
 * ``language`` — the language spec as a string (regex text).
 * ``source`` / ``target`` — endpoints exactly as queried (JSON keeps
@@ -27,6 +27,12 @@ short_circuit, vectorized, error``
 * ``vectorized`` — a shared multi-query product sweep proved the
   answer (batch mode only; ``steps`` reports sweep rounds charged to
   this query).
+* ``confidence`` — ``certified`` for exact answers (every classic
+  strategy, and portfolio answers backed by a witness or proof);
+  ``probabilistic`` for portfolio negatives whose randomized rungs
+  may have missed a path.
+* ``failure_bound`` — the error bound of a probabilistic negative;
+  ``null`` when ``confidence`` is ``certified``.
 * ``error`` — ``null`` for answered queries, otherwise the message of
   the isolated per-query failure.
 
@@ -60,6 +66,8 @@ RESULT_FIELDS = (
     "result_cache_hit",
     "short_circuit",
     "vectorized",
+    "confidence",
+    "failure_bound",
     "error",
 )
 
@@ -84,6 +92,8 @@ def result_record(result: EngineResult) -> dict[str, Any]:
         "result_cache_hit": result.stats.result_cache_hit,
         "short_circuit": result.stats.short_circuit,
         "vectorized": result.stats.vectorized,
+        "confidence": result.confidence,
+        "failure_bound": result.failure_bound,
         "error": result.error,
     }
 

@@ -122,6 +122,13 @@ class RegisteredGraph:
                 "enabled": self.engine.vectorize,
                 "group_min_size": self.engine.group_min_size,
             },
+            portfolio={
+                "enabled": self.engine.portfolio,
+                "failure_probability": (
+                    self.engine.portfolio_failure_probability
+                ),
+                "seed": self.engine.portfolio_seed,
+            },
         )
         return stats
 
@@ -158,6 +165,12 @@ class GraphRegistry:
         plan are answered by a shared product sweep when the group has
         at least ``group_min_size`` members.  Individual ``/batch``
         requests can still override both.
+    portfolio / portfolio_failure_probability / portfolio_seed:
+        Per-graph hard-regime ladder knobs (see
+        :class:`~repro.engine.QueryEngine`): ``portfolio`` routes
+        exact-strategy queries through the anytime strategy ladder by
+        default; individual ``/query`` and ``/batch`` requests can
+        still override the routing either way.
     """
 
     def __init__(self, plan_cache_size: int = 128,
@@ -168,7 +181,10 @@ class GraphRegistry:
                  result_cache_size: int = 1024,
                  use_reach_index: bool = True,
                  vectorize: bool = True,
-                 group_min_size: int = 2) -> None:
+                 group_min_size: int = 2,
+                 portfolio: bool = False,
+                 portfolio_failure_probability: float = 1e-3,
+                 portfolio_seed: int = 0) -> None:
         if max_graphs is not None and max_graphs < 1:
             raise ValueError(
                 "max_graphs must be >= 1 or None, got %r" % (max_graphs,)
@@ -182,6 +198,9 @@ class GraphRegistry:
         self.use_reach_index = use_reach_index
         self.vectorize = vectorize
         self.group_min_size = group_min_size
+        self.portfolio = portfolio
+        self.portfolio_failure_probability = portfolio_failure_probability
+        self.portfolio_seed = portfolio_seed
         self._entries: dict[str, RegisteredGraph] = {}
         self._lock = threading.Lock()
 
@@ -195,6 +214,11 @@ class GraphRegistry:
             "use_reach_index": self.use_reach_index,
             "vectorize": self.vectorize,
             "group_min_size": self.group_min_size,
+            "portfolio": self.portfolio,
+            "portfolio_failure_probability": (
+                self.portfolio_failure_probability
+            ),
+            "portfolio_seed": self.portfolio_seed,
         }
 
     # -- registration -----------------------------------------------------------

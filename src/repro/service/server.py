@@ -22,16 +22,23 @@ Endpoints (all request/response bodies are JSON):
     Evict a graph (engine, plan cache and stats drop together).
 ``POST /query``
     ``{"graph"?, "language", "source", "target", "deadline_seconds"?,
-    "budget"?}`` — one RSPQ.  The optional per-request deadline/budget
+    "budget"?, "portfolio"?, "max_path_edges"?}`` — one RSPQ.  The
+    optional per-request deadline/budget
     map onto the query's :class:`~repro.execution.ExecutionContext`;
     non-positive values are rejected upfront with 400 (an
-    already-expired deadline can never admit work).  Failures map to
+    already-expired deadline can never admit work).  ``portfolio``
+    (boolean) overrides the engine's default hard-regime ladder
+    routing; ``max_path_edges`` (int >= 0) bounds the answer to
+    simple paths of at most that many edges (k-RSPQ).  Result records
+    carry ``confidence`` / ``failure_bound`` for ladder answers.
+    Failures map to
     statuses: 400 bad input, 404 unknown graph, 422 budget exhausted,
     504 deadline exceeded.
 ``POST /batch``
     ``{"graph"?, "queries": [[language, source, target], ...],
     "workers"?, "mode"?, "deadline_seconds"?, "budget"?,
-    "vectorize"?, "group_min_size"?}`` — a batch dispatched into
+    "vectorize"?, "group_min_size"?, "portfolio"?,
+    "max_path_edges"?}`` — a batch dispatched into
     :meth:`QueryEngine.run_batch` worker pools.  ``vectorize`` /
     ``group_min_size`` override the engine's vectorized-execution
     knobs for this batch (grouped queries sharing a plan sweep the
@@ -207,6 +214,25 @@ def _checked_overrides(payload):
                 "'budget' must be a positive step count, got %r" % (budget,)
             )
     return deadline, budget
+
+
+def _checked_portfolio_knobs(payload):
+    """Validated (portfolio, max_path_edges) from a request payload."""
+    portfolio = payload.get("portfolio")
+    if portfolio is not None and not isinstance(portfolio, bool):
+        raise ServiceError(
+            "'portfolio' must be a boolean, got %r" % (portfolio,)
+        )
+    max_path_edges = payload.get("max_path_edges")
+    if max_path_edges is not None:
+        if not isinstance(max_path_edges, int) or isinstance(
+            max_path_edges, bool
+        ) or max_path_edges < 0:
+            raise ServiceError(
+                "'max_path_edges' must be an integer >= 0, got %r"
+                % (max_path_edges,)
+            )
+    return portfolio, max_path_edges
 
 
 class QueryService:
@@ -468,6 +494,7 @@ class QueryService:
         source = _resolve_vertex(engine.graph, payload["source"], "source")
         target = _resolve_vertex(engine.graph, payload["target"], "target")
         deadline, budget = _checked_overrides(payload)
+        portfolio, max_path_edges = _checked_portfolio_knobs(payload)
         self._admit(1)
         start = time.perf_counter()
         failure = None
@@ -480,6 +507,8 @@ class QueryService:
                     target,
                     deadline_seconds=deadline,
                     budget=budget,
+                    portfolio=portfolio,
+                    max_path_edges=max_path_edges,
                 )
             )
         except ReproError as err:
@@ -527,6 +556,7 @@ class QueryService:
                 _resolve_vertex(engine.graph, target, "target"),
             ))
         deadline, budget = _checked_overrides(payload)
+        portfolio, max_path_edges = _checked_portfolio_knobs(payload)
         workers = payload.get("workers", 1)
         if not isinstance(workers, int) or isinstance(workers, bool) or (
             workers < 1
@@ -567,6 +597,8 @@ class QueryService:
                     budget=budget,
                     vectorize=vectorize,
                     group_min_size=group_min_size,
+                    portfolio=portfolio,
+                    max_path_edges=max_path_edges,
                 )
             )
         finally:

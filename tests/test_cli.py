@@ -119,6 +119,51 @@ class TestBatch:
         queries.write_text("s t a*(bb+ + eps)c*\n")
         assert main(["batch", graph_file, str(queries)]) == 0
 
+    @pytest.fixture
+    def gadget_files(self, tmp_path):
+        # (aa)* from 0 to 4: accepting walk 0-1-2-3-1-2-4 but no
+        # simple path; padding keeps the walk under the n-1 cap, so
+        # the portfolio answers with a probabilistic negative.
+        graph = DbGraph()
+        for u, l, v in [
+            ("0", "a", "1"), ("1", "a", "2"), ("2", "a", "3"),
+            ("3", "a", "1"), ("2", "a", "4"),
+        ]:
+            graph.add_edge(u, l, v)
+        graph.add_vertex("5")
+        graph.add_vertex("6")
+        graph_path = tmp_path / "gadget.txt"
+        graph_io.dump(graph, graph_path)
+        queries = tmp_path / "hard.txt"
+        queries.write_text("0 4 (aa)*\n0 2 (aa)*\n")
+        return str(graph_path), str(queries)
+
+    def test_batch_portfolio_flag(self, capsys, gadget_files):
+        graph_path, queries_path = gadget_files
+        code = main(["batch", graph_path, queries_path, "--portfolio"])
+        out = capsys.readouterr().out
+        assert code == 1  # the hard query finds no path
+        assert "portfolio:" in out
+        assert "probabilistic, failure bound" in out
+
+    def test_batch_max_path_edges_flag(self, capsys, gadget_files):
+        graph_path, queries_path = gadget_files
+        code = main(
+            ["batch", graph_path, queries_path, "--max-path-edges", "1"]
+        )
+        assert code == 1
+        assert "no path" in capsys.readouterr().out
+
+    def test_batch_bad_portfolio_knobs(self, capsys, gadget_files):
+        graph_path, queries_path = gadget_files
+        assert main(
+            ["batch", graph_path, queries_path, "--max-path-edges", "-1"]
+        ) == 2
+        assert main(
+            ["batch", graph_path, queries_path,
+             "--portfolio-failure-probability", "1.5"]
+        ) == 2
+
     def test_batch_malformed_line(self, capsys, graph_file, tmp_path):
         queries = tmp_path / "bad.txt"
         queries.write_text("s t\n")
@@ -382,6 +427,21 @@ class TestExplain:
         out = capsys.readouterr().out
         assert "strategy       : finite-AC0" in out
         assert "finite         : True" in out
+
+    def test_hard_plan_reports_the_ladder(self, capsys):
+        assert main(["explain", "(aa)*"]) == 0
+        out = capsys.readouterr().out
+        assert (
+            "portfolio      : walk-probe -> color-coding -> algebraic "
+            "-> exact" in out
+        )
+        assert "budget split" in out
+        assert "exact=30%" in out
+        assert "failure bound 0.001" in out
+
+    def test_tractable_plan_has_no_ladder(self, capsys):
+        assert main(["explain", "a*c*"]) == 0
+        assert "portfolio      :" not in capsys.readouterr().out
 
     def test_graph_option_reports_compiled_view(self, capsys, graph_file):
         assert main(["explain", "a*", "--graph", graph_file]) == 0

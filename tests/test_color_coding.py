@@ -4,8 +4,10 @@ import pytest
 
 from tests.conftest import random_instance
 
-from repro.algorithms.color_coding import ColorCodingSolver
+from repro.algorithms.color_coding import ColorCodingSolver, trials_for_prob
 from repro.algorithms.exact import ExactSolver
+from repro.errors import BudgetExceededError, DeadlineExceededError
+from repro.execution import ExecutionContext
 from repro.graphs.dbgraph import Path
 from repro.graphs.generators import labeled_path
 from repro.languages import language
@@ -46,6 +48,32 @@ class TestExhaustiveFamily:
             truth = truth_path is not None and len(truth_path) <= k
             got = cc.exists(graph, x, y, k, family="exhaustive")
             assert got == truth, seed
+
+    @pytest.mark.parametrize("regex", ["a*ba*", "(aa)*"])
+    def test_shortest_matches_exact_path_for_path(self, regex):
+        # The exhaustive family is deterministic, so with
+        # ``shortest=True`` the solver must reproduce the exact
+        # solver's bounded answer length-for-length — not just the
+        # yes/no bit.
+        lang = language(regex)
+        cc = ColorCodingSolver(lang)
+        exact = ExactSolver(lang)
+        for seed in range(8):
+            graph, x, y = random_instance(seed, "ab", max_vertices=5)
+            k = 3
+            truth = exact.shortest_simple_path(graph, x, y)
+            if truth is not None and len(truth) > k:
+                truth = None
+            got = cc.bounded_simple_path(
+                graph, x, y, k, family="exhaustive", shortest=True
+            )
+            if truth is None:
+                assert got is None, (regex, seed)
+            else:
+                assert got is not None, (regex, seed)
+                assert len(got) == len(truth), (regex, seed)
+                assert got.is_simple()
+                assert lang.accepts(got.word)
 
 
 class TestMonteCarloFamily:
@@ -93,3 +121,88 @@ class TestTrialCount:
         strict = ColorCodingSolver("a*", failure_probability=1e-6)
         loose = ColorCodingSolver("a*", failure_probability=1e-1)
         assert strict._num_trials(4) > loose._num_trials(4)
+
+    def test_single_vertex_paths_need_one_trial(self):
+        # Every coloring renders a one-vertex path colorful.
+        assert trials_for_prob(1, 1, 1e-9) == 1
+
+    def test_calibration_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            trials_for_prob(4, 4, 0.0)
+        with pytest.raises(ValueError):
+            trials_for_prob(0, 4, 1e-3)
+        with pytest.raises(ValueError):
+            # A path on more vertices than colors is never colorful.
+            trials_for_prob(5, 4, 1e-3)
+
+
+class TestExistenceEarlyExit:
+    def test_first_witness_ends_the_solve(self):
+        # Existence mode must return on the first certifying trial;
+        # ``shortest=True`` keeps drawing colorings.  The step counters
+        # make the difference observable without timing.
+        graph = labeled_path("aaaa")
+        solver = ColorCodingSolver("a{4}")
+        fast = ExecutionContext()
+        path = solver.bounded_simple_path(graph, 0, 4, 4, ctx=fast)
+        assert path is not None
+        slow = ExecutionContext()
+        best = solver.bounded_simple_path(
+            graph, 0, 4, 4, ctx=slow, shortest=True
+        )
+        assert best is not None and len(best) == len(path)
+        assert fast.steps < slow.steps
+
+    def test_shortest_flag_still_certifies_shortest(self):
+        # Two witnesses of different lengths: a*ba* from 0 to 3 via
+        # the direct b edge (1 edge) or the long way (3 edges).
+        graph = labeled_path("aba")
+        graph.add_edge(0, "b", 3)
+        solver = ColorCodingSolver("a*ba*", seed=5)
+        best = solver.bounded_simple_path(graph, 0, 3, 3, shortest=True)
+        assert best is not None
+        assert len(best) == 1
+
+
+class TestTrialDecorrelation:
+    def test_streams_differ_across_queries(self):
+        solver = ColorCodingSolver("a*", seed=0)
+        same = solver._trial_rng(0, 1, 0)
+        twin = solver._trial_rng(0, 1, 0)
+        other_query = solver._trial_rng(0, 2, 0)
+        other_trial = solver._trial_rng(0, 1, 1)
+        draw = lambda rng: [rng.randrange(1 << 30) for _ in range(8)]
+        reference = draw(same)
+        assert draw(twin) == reference
+        assert draw(other_query) != reference
+        assert draw(other_trial) != reference
+
+    def test_string_seeding_distinguishes_types(self):
+        # %r-seeding keeps vertex 1 and vertex "1" on distinct
+        # streams (tuple seeds would raise, str() would collide).
+        solver = ColorCodingSolver("a*", seed=0)
+        ints = solver._trial_rng(0, 1, 0)
+        strs = solver._trial_rng(0, "1", 0)
+        assert [ints.randrange(100) for _ in range(8)] != (
+            [strs.randrange(100) for _ in range(8)]
+        )
+
+
+class TestBudgetAndDeadline:
+    def test_budget_bites_inside_a_trial(self):
+        graph = labeled_path("aaaa")
+        solver = ColorCodingSolver("a{4}")
+        ctx = ExecutionContext(budget=1)
+        with pytest.raises(BudgetExceededError):
+            solver.bounded_simple_path(graph, 0, 4, 4, ctx=ctx)
+
+    def test_deadline_bites_inside_a_trial(self):
+        # An already-expired deadline with a per-charge check interval
+        # must fire during the first BFS layer, not between trials.
+        graph = labeled_path("aaaa")
+        solver = ColorCodingSolver("a{4}")
+        ctx = ExecutionContext(
+            deadline_seconds=0.0, deadline_check_interval=1
+        )
+        with pytest.raises(DeadlineExceededError):
+            solver.bounded_simple_path(graph, 0, 4, 4, ctx=ctx)

@@ -381,6 +381,84 @@ class TestDeadlinesAndBudgets:
             assert record["word"] == "aaaaa"
 
 
+class TestPortfolioOverHttp:
+    """The /query and /batch portfolio knobs and confidence fields."""
+
+    @pytest.fixture
+    def portfolio_live(self):
+        # The probabilistic-negative gadget from tests/test_portfolio:
+        # an accepting (aa)* walk 0-1-2-3-1-2-4 exists but no simple
+        # path does, and padding vertices keep the walk under the cap.
+        graph = DbGraph()
+        for u, l, v in [
+            (0, "a", 1), (1, "a", 2), (2, "a", 3), (3, "a", 1),
+            (2, "a", 4),
+        ]:
+            graph.add_edge(u, l, v)
+        graph.add_vertex(5)
+        graph.add_vertex(6)
+        registry = GraphRegistry(portfolio=True)
+        registry.register("gadget", graph)
+        service = QueryService(registry, ServiceConfig(workers=2))
+        with ServiceThread(service) as running:
+            yield ServiceClient(port=running.port), registry
+
+    def test_probabilistic_negative_over_the_wire(self, portfolio_live):
+        client, _registry = portfolio_live
+        record = client.query("(aa)*", 0, 4)
+        assert record["found"] is False
+        assert record["strategy"].startswith("portfolio:")
+        assert record["confidence"] == "probabilistic"
+        assert 0.0 < record["failure_bound"] < 1.0
+
+    def test_per_request_opt_out(self, portfolio_live):
+        client, _registry = portfolio_live
+        record = client.query("(aa)*", 0, 4, portfolio=False)
+        assert record["strategy"] == "exact-backtracking"
+        assert record["confidence"] == "certified"
+        assert record["failure_bound"] is None
+
+    def test_bounded_query_knob(self, portfolio_live):
+        client, _registry = portfolio_live
+        record = client.query("(aa)*", 0, 2, max_path_edges=1)
+        assert record["found"] is False
+        assert record["confidence"] == "certified"
+
+    def test_batch_carries_portfolio_overrides(self, portfolio_live):
+        client, _registry = portfolio_live
+        response = client.batch(
+            [("(aa)*", 0, 4), ("(aa)*", 0, 2)], portfolio=True
+        )
+        by_target = {
+            record["target"]: record for record in response["results"]
+        }
+        assert by_target[4]["found"] is False
+        assert by_target[2]["found"] is True
+        assert by_target[2]["confidence"] == "certified"
+
+    def test_invalid_knobs_rejected_400(self, portfolio_live):
+        client, _registry = portfolio_live
+        for payload in (
+            {"language": "a*", "source": 0, "target": 1,
+             "max_path_edges": -1},
+            {"language": "a*", "source": 0, "target": 1,
+             "max_path_edges": 1.5},
+            {"language": "a*", "source": 0, "target": 1,
+             "portfolio": "yes"},
+        ):
+            status, _body = client.request("POST", "/query", payload)
+            assert status == 400, payload
+
+    def test_stats_report_the_ladder_config(self, portfolio_live):
+        client, _registry = portfolio_live
+        graphs = client.stats()["graphs"]
+        assert graphs[0]["portfolio"] == {
+            "enabled": True,
+            "failure_probability": 1e-3,
+            "seed": 0,
+        }
+
+
 class TestCsrDbGraphDifferentialOverHttp:
     """The served (CSR-backed) answers ≡ direct DbGraph evaluation.
 
