@@ -13,9 +13,19 @@ Two claims of the serving layer (the ISSUE-3 acceptance criteria):
   control, thread-pool dispatch) must return results **path-for-path
   identical** to direct :func:`solve_rspq` calls — for a compiled
   registration and for a snapshot warm-started one alike.
+* **Pre-fork serving scales past the GIL.**  A
+  :class:`~repro.service.WorkerPool` of N processes attached to one
+  shared snapshot must lift batch throughput with N (``≥2.5×`` at 4
+  workers, asserted only on machines that actually have 4 cores) while
+  per-worker RSS stays near-flat — the mmapped graph is shared, not
+  copied.  ``scaling_efficiency`` (= throughput(4) / throughput(1) / 4)
+  lands in ``BENCH_service.json`` and is gated by
+  ``check_perf_regression.py``.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -115,6 +125,94 @@ def test_snapshot_warm_start_faster_than_recompile(tmp_path, big_graph):
     assert load_seconds * 1.2 < compile_seconds, (
         "snapshot load (%.4fs) should beat recompilation (%.4fs) by "
         ">=1.2x" % (load_seconds, compile_seconds)
+    )
+
+
+#: Pool-scaling workload: enough per-batch solver work that the fork
+#: and pipe overheads amortise away.
+POOL_QUERIES = scaled(320, 32)
+POOL_WORKER_STEPS = (1, 2, 4)
+
+
+def _pool_workload(graph, count):
+    """Polynomial-strategy queries spread over the big graph."""
+    import random
+
+    rng = random.Random(5)
+    vertices = list(graph.vertices())
+    rotation = ["a*bc*", "a*(bb^+ + eps)c*", "ab + ba", "(ab)^+", "c*a*"]
+    return [
+        (
+            rotation[index % len(rotation)],
+            rng.choice(vertices),
+            rng.choice(vertices),
+        )
+        for index in range(count)
+    ]
+
+
+def test_worker_pool_scaling(tmp_path, big_graph):
+    from repro.engine import QueryEngine
+    from repro.service import WorkerPool
+
+    indexed = IndexedGraph(big_graph)
+    path = str(tmp_path / "pool.snap")
+    save_snapshot(indexed, path)
+    queries = _pool_workload(big_graph, POOL_QUERIES)
+    # The result cache is off so repeated languages are re-solved: the
+    # measurement is solver throughput, not cache replay.
+    engine_kwargs = {"result_cache": False}
+    expected = QueryEngine(indexed, result_cache=False).run_batch(
+        queries, vectorize=False
+    )
+    throughput = {}
+    rss_mb = []
+    for workers in POOL_WORKER_STEPS:
+        with WorkerPool(path, engine_kwargs=engine_kwargs,
+                        workers=workers) as pool:
+            pool.run_batch(queries[:8], vectorize=False)  # warm plans
+            # Best-of-3: one slow scheduler wakeup must not poison a
+            # gated ratio (1-core smoke runs sit entirely in overhead).
+            seconds = float("inf")
+            for _ in range(3):
+                run_seconds, batch = measure_seconds(
+                    pool.run_batch, queries, vectorize=False
+                )
+                seconds = min(seconds, run_seconds)
+            throughput[workers] = len(queries) / seconds
+            if workers == max(POOL_WORKER_STEPS):
+                for served, direct in zip(batch.results, expected.results):
+                    assert served.found == direct.found
+                    assert served.path == direct.path
+                rss_mb = [
+                    block["rss_mb"]
+                    for block in pool.stats()["per_worker"]
+                    if block["rss_mb"] is not None
+                ]
+    scaling = throughput[4] / throughput[1]
+    record_metric(
+        "service", "pool_queries_per_second_1worker",
+        round(throughput[1], 1),
+    )
+    record_metric(
+        "service", "pool_queries_per_second_4workers",
+        round(throughput[4], 1),
+    )
+    record_metric("service", "worker_scaling_ratio", round(scaling, 3))
+    record_metric(
+        "service", "scaling_efficiency", round(scaling / 4, 3)
+    )
+    if rss_mb:
+        record_metric("service", "worker_rss_mb", round(max(rss_mb), 1))
+    skip_if_smoke("multi-process scaling timing")
+    if len(os.sched_getaffinity(0)) < 4:
+        pytest.skip(
+            "scaling assertion needs >= 4 cores (this runner has %d)"
+            % len(os.sched_getaffinity(0))
+        )
+    assert scaling >= 2.5, (
+        "4 pool workers should lift throughput >= 2.5x over 1 "
+        "(got %.2fx: %s)" % (scaling, throughput)
     )
 
 

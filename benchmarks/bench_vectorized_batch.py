@@ -84,7 +84,6 @@ def test_sweeps_decide_the_workload(workload):
 
 def test_vectorized_speedup_over_parallel_baseline(workload):
     """≥ 5× over ``vectorize=False, workers=4`` on the skewed batch."""
-    skip_if_smoke("vectorized wall-clock speedup")
     graph, queries = workload
     # No result cache: the best-of-two reruns must re-solve, not
     # replay (pairs are already distinct within one run).
@@ -122,6 +121,9 @@ def test_vectorized_speedup_over_parallel_baseline(workload):
         "vectorized_batch", "swept_negatives",
         vectorized_batch.stats.swept_negatives,
     )
+    # Metrics land in the artifact even under smoke — the perf gate
+    # tracks the ratio trajectory; the hard bar only binds on full.
+    skip_if_smoke("vectorized wall-clock speedup")
     assert speedup >= MIN_SPEEDUP, (
         "expected >=%.1fx over the per-query parallel path, got %.2fx "
         "(baseline %.3fs, vectorized %.3fs)"

@@ -6,8 +6,8 @@ counts) into a ``BENCH_<name>.json`` artifact via
 ``benchmarks/baselines/`` pin the expected trajectory.  This script
 diffs a fresh run against those baselines:
 
-* **ratio metrics** (keys ending in ``_speedup`` or ``_ratio``) are
-  higher-is-better and must not fall below ``min(baseline, clamp) *
+* **ratio metrics** (keys ending in ``_speedup``, ``_ratio`` or
+  ``_efficiency``) are higher-is-better and must not fall below ``min(baseline, clamp) *
   (1 - tolerance)``.  The default tolerance is deliberately generous
   (50%), and baselines above the clamp (default 5.0) are capped
   before the tolerance applies — a 40x smoke-profile speedup is a
@@ -42,7 +42,7 @@ import os
 import sys
 
 #: Metric-key suffixes gated as higher-is-better ratios.
-RATIO_SUFFIXES = ("_speedup", "_ratio")
+RATIO_SUFFIXES = ("_speedup", "_ratio", "_efficiency")
 
 
 def is_ratio_metric(key):

@@ -279,6 +279,16 @@ def _build_parser():
         "workers (default 4)",
     )
     p_serve.add_argument(
+        "--worker-processes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="pre-fork N query worker processes per graph, all "
+        "attached to one shared read-only snapshot mapping — the "
+        "multi-core serving path (default 0 = in-process threads "
+        "only)",
+    )
+    p_serve.add_argument(
         "--parallel-mode",
         choices=("thread", "process"),
         default="thread",
@@ -745,6 +755,11 @@ def _cmd_serve(args):
             "--portfolio-failure-probability must be in (0, 1), got %r"
             % args.portfolio_failure_probability
         )
+    if args.worker_processes < 0:
+        raise ReproError(
+            "--worker-processes must be >= 0, got %d"
+            % args.worker_processes
+        )
     registry = GraphRegistry(
         plan_cache_size=args.plan_cache_size,
         exact_budget=args.budget,
@@ -758,38 +773,47 @@ def _cmd_serve(args):
         portfolio=args.portfolio,
         portfolio_failure_probability=args.portfolio_failure_probability,
         portfolio_seed=args.portfolio_seed,
-    )
-    for name, path in graphs:
-        entry = registry.register(name, graph_io.load(path))
-        print(
-            "registered %s from %s (compiled in %.3fs)"
-            % (name, path, entry.stats.prepare_seconds)
-        )
-    for name, path in snapshots:
-        entry = registry.register_snapshot(name, path)
-        print(
-            "registered %s from snapshot %s (warm-started in %.3fs)"
-            % (name, path, entry.stats.prepare_seconds)
-        )
-    try:
-        config = ServiceConfig(
-            workers=args.workers,
-            parallel_mode=args.parallel_mode,
-            max_inflight=args.max_inflight,
-        )
-    except ValueError as err:
-        raise ReproError(str(err)) from err
-    service = QueryService(registry, config)
-    print(
-        "serving %d graph(s) on http://%s:%d (workers=%d, "
-        "max_inflight=%d)"
-        % (len(registry), args.host, args.port, args.workers,
-           args.max_inflight)
+        worker_processes=args.worker_processes,
     )
     try:
-        asyncio.run(service.serve_forever(args.host, args.port))
-    except KeyboardInterrupt:  # pragma: no cover - interactive only
-        print("shutting down")
+        for name, path in graphs:
+            entry = registry.register(name, graph_io.load(path))
+            print(
+                "registered %s from %s (compiled in %.3fs)"
+                % (name, path, entry.stats.prepare_seconds)
+            )
+        for name, path in snapshots:
+            entry = registry.register_snapshot(name, path)
+            print(
+                "registered %s from snapshot %s (warm-started in %.3fs)"
+                % (name, path, entry.stats.prepare_seconds)
+            )
+        try:
+            config = ServiceConfig(
+                workers=args.workers,
+                parallel_mode=args.parallel_mode,
+                max_inflight=args.max_inflight,
+            )
+        except ValueError as err:
+            raise ReproError(str(err)) from err
+        service = QueryService(registry, config)
+        pool_note = (
+            ", worker_processes=%d/graph" % args.worker_processes
+            if args.worker_processes
+            else ""
+        )
+        print(
+            "serving %d graph(s) on http://%s:%d (workers=%d, "
+            "max_inflight=%d%s)"
+            % (len(registry), args.host, args.port, args.workers,
+               args.max_inflight, pool_note)
+        )
+        try:
+            asyncio.run(service.serve_forever(args.host, args.port))
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            print("shutting down")
+    finally:
+        registry.close()
     return 0
 
 

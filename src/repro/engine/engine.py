@@ -596,6 +596,31 @@ class QueryEngine:
             return self._static_view
         return self.graph.view()
 
+    @property
+    def snapshot_path(self) -> str | None:
+        """Path of the snapshot backing this engine's graph, or None.
+
+        Set when the compiled graph was loaded from, attached to, or
+        saved as a snapshot file.  A snapshot-backed engine's
+        process-mode batches ship the *path* to the workers (which
+        attach the shared mapping) instead of pickling the arrays, and
+        the pre-fork pool (:class:`repro.service.workers.WorkerPool`)
+        points its workers at the same file.
+        """
+        return getattr(self.graph, "_snapshot_path", None)
+
+    def save_snapshot(self, path: Any) -> int:
+        """Persist the compiled graph; returns the snapshot byte size.
+
+        Afterwards the engine is snapshot-backed (see
+        :attr:`snapshot_path`), and a :func:`load_snapshot` of the
+        same file in this process reuses the graph's already-compiled
+        condensation instead of re-thawing it.
+        """
+        from ..service.snapshot import save_snapshot as _save_snapshot
+
+        return _save_snapshot(self.graph, path)
+
     def reachability_info(self) -> dict[str, Any] | None:
         """JSON-safe shape of the reachability index (or None if off)."""
         if not self.use_reach_index:

@@ -86,16 +86,7 @@ class CsrView(GraphView):
         self._label_ids = {
             label: index for index, label in enumerate(self._label_of)
         }
-        label_ids = self._label_ids
-        id_of = self._id_of
-        self._out_pairs = [
-            tuple((label_ids[label], id_of[target]) for label, target in pairs)
-            for pairs in graph._out
-        ]
-        self._in_id_pairs = [
-            tuple((label_ids[label], id_of[source]) for label, source in pairs)
-            for pairs in graph._in
-        ]
+        self._build_pairs(graph)
         self._fwd = [
             (graph._label_indptr[label], graph._label_targets[label])
             for label in self._label_of
@@ -112,6 +103,25 @@ class CsrView(GraphView):
         # O(E) per direction, not O(|V|·|Σ|).
         self._succ_memo: dict[int, tuple[int, ...]] = {}
         self._pred_memo: dict[int, tuple[int, ...]] = {}
+
+    def _build_pairs(self, graph: "IndexedGraph") -> None:
+        """Precompile the per-vertex ``(label_id, other_id)`` tuples.
+
+        Overridden by the snapshot attach view
+        (:class:`repro.service.snapshot.AttachedCsrView`), which reads
+        the pairs lazily off the mmapped adjacency arrays instead of
+        materialising every tuple up front.
+        """
+        label_ids = self._label_ids
+        id_of = self._id_of
+        self._out_pairs = [
+            tuple((label_ids[label], id_of[target]) for label, target in pairs)
+            for pairs in graph._out
+        ]
+        self._in_id_pairs = [
+            tuple((label_ids[label], id_of[source]) for label, source in pairs)
+            for pairs in graph._in
+        ]
 
     def _build_reachability(self):
         """Index from the graph's (possibly snapshot-thawed) parts."""
@@ -205,6 +215,19 @@ class IndexedGraph:
         "_sorted_succ_by_label",
         "_reach_parts",
         "_view",
+        # Snapshot provenance: set by repro.service.snapshot when the
+        # graph was saved to / loaded from / attached to a snapshot
+        # file.  A path + stored-CRC pair lets pickling ship the path
+        # instead of the arrays (workers re-attach the shared mapping).
+        "_snapshot_path",
+        "_snapshot_crc",
+        # Attach-mode storage (AttachedGraph): the open mmap keeping
+        # every buffer alive, and the raw name -> memoryview dict.
+        "_mapping",
+        "_raw",
+        # Needed so the snapshot module can hold weak references to
+        # saved graphs (condensation reuse across save/load).
+        "__weakref__",
     )
 
     def __init__(self, graph: Any) -> None:
@@ -268,6 +291,10 @@ class IndexedGraph:
         # first use (reach_parts) and persisted by snapshot format v3.
         self._reach_parts: Any = None
         self._view: Any = None
+        self._snapshot_path: Any = None
+        self._snapshot_crc: Any = None
+        self._mapping: Any = None
+        self._raw: Any = None
 
     @classmethod
     def _from_parts(cls, vertex_of, labels, num_edges, out, in_,
@@ -309,17 +336,42 @@ class IndexedGraph:
         # the condensation is then rebuilt in memory on first use.
         self._reach_parts = reach_parts
         self._view = None
+        self._snapshot_path = None
+        self._snapshot_crc = None
+        self._mapping = None
+        self._raw = None
         return self
 
     # -- pickling (process-mode batch workers) -----------------------------------
+
+    #: Slots never pickled: rebuilt on demand (the view and the lazy
+    #: membership sets) or process-local by nature (the mmap and the
+    #: raw buffer views into it).
+    _UNPICKLED_SLOTS = (
+        "_view", "_out_pair_sets", "_mapping", "_raw", "__weakref__",
+    )
+
+    def __reduce_ex__(self, protocol):
+        # Snapshot-backed graphs ship their *path*, not their arrays:
+        # each process worker attaches to the shared, page-cached
+        # mapping instead of unpickling a private copy of every CSR
+        # array.  Falls back to full-state pickling when the file on
+        # disk no longer matches (deleted or replaced since the save).
+        if self._snapshot_path is not None:
+            from ..service.snapshot import attach_spec
+
+            spec = attach_spec(self)
+            if spec is not None:
+                return spec
+        return super().__reduce_ex__(protocol)
 
     def __getstate__(self):
         # The compiled view ships its frozen parts; the GraphView and
         # the lazy membership sets are rebuilt on demand in the worker.
         state = {
             slot: getattr(self, slot)
-            for slot in self.__slots__
-            if slot not in ("_view", "_out_pair_sets")
+            for slot in IndexedGraph.__slots__
+            if slot not in self._UNPICKLED_SLOTS
         }
         return state
 
@@ -328,6 +380,8 @@ class IndexedGraph:
             setattr(self, slot, value)
         self._out_pair_sets = None
         self._view = None
+        self._mapping = None
+        self._raw = None
 
     # -- integer-native view ------------------------------------------------------
 
@@ -357,10 +411,12 @@ class IndexedGraph:
             # are exactly the integer adjacency the condensation
             # walks; reuse them instead of re-mapping the string
             # adjacency (the view is built once per compiled graph
-            # and every index consumer needs it anyway).
-            out_pairs = self.view()._out_pairs
+            # and every index consumer needs it anyway).  Going
+            # through view.out (rather than the _out_pairs list)
+            # keeps this correct for attach-mode views, which read
+            # the pairs lazily off the mmapped arrays.
             self._reach_parts = condense(
-                len(self._vertex_of), out_pairs.__getitem__
+                len(self._vertex_of), self.view().out
             )
         return self._reach_parts
 

@@ -104,3 +104,13 @@ class ServiceOverloadedError(ServiceError):
 
     def __init__(self, message, status=429):
         super().__init__(message, status=status)
+
+
+class WorkerCrashError(ReproError):
+    """Raised when a pre-fork pool worker dies answering a request.
+
+    The pool (:class:`repro.service.workers.WorkerPool`) respawns
+    crashed workers automatically with exponential backoff and retries
+    the request on a healthy sibling (queries are pure, so a retry is
+    safe); this error surfaces only after the retry budget is spent.
+    """

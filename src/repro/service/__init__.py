@@ -10,7 +10,13 @@ compiled graph, in process.  This package turns that into a service:
 * :mod:`repro.service.snapshot` persists a compiled graph (CSR arrays
   + label table behind a versioned, checksummed header) so a restarted
   service warm-starts from disk instead of recompiling — loading a
-  snapshot skips every repr-sort the compile pass pays for;
+  snapshot skips every repr-sort the compile pass pays for, and
+  *attaching* (:func:`attach_snapshot`) maps the file read-only with
+  zero array copies so many processes share one copy of the graph;
+* :class:`WorkerPool` (:mod:`repro.service.workers`) pre-forks N
+  query workers attached to one shared snapshot mapping — the
+  multi-core serving path (``repro serve --worker-processes N``) with
+  crash detection, respawn-with-backoff and deadline-aware dispatch;
 * :class:`QueryService` (:mod:`repro.service.server`) is a stdlib-only
   asyncio JSON-over-HTTP server (``repro serve``) exposing
   query/batch/classify/stats/graph-management endpoints, with
@@ -42,9 +48,12 @@ _EXPORTS = {
     "GraphRegistry": ".registry",
     "GraphStats": ".registry",
     "RegisteredGraph": ".registry",
+    "attach_snapshot": ".snapshot",
+    "AttachedGraph": ".snapshot",
     "load_snapshot": ".snapshot",
     "save_snapshot": ".snapshot",
     "snapshot_info": ".snapshot",
+    "WorkerPool": ".workers",
     "QueryService": ".server",
     "ServiceConfig": ".server",
     "ServiceThread": ".server",

@@ -18,6 +18,9 @@ request handler of the server.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -25,10 +28,18 @@ from typing import TYPE_CHECKING, Any
 
 from ..errors import ServiceError
 from ..engine import IndexedGraph, QueryEngine
-from .snapshot import load_snapshot
+from .snapshot import attach_snapshot, load_snapshot
 
 if TYPE_CHECKING:
     from ..engine.engine import BatchResult, EngineResult
+    from .workers import WorkerPool
+
+
+def _safe_name(name: str) -> str:
+    """A filesystem-safe slug of a graph name (spool file naming)."""
+    return "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in name[:48]
+    )
 
 
 @dataclass
@@ -60,16 +71,30 @@ class GraphStats:
 
 
 class RegisteredGraph:
-    """One registry entry: name, engine, serving stats."""
+    """One registry entry: name, engine, serving stats, optional pool.
 
-    __slots__ = ("name", "engine", "stats", "_lock")
+    When the registry runs with ``worker_processes > 0``, ``pool`` is
+    the entry's pre-fork :class:`~repro.service.workers.WorkerPool`
+    (workers attached to the graph's shared snapshot); the server
+    dispatches ``/query`` and ``/batch`` to it instead of the
+    in-process engine.
+    """
+
+    __slots__ = ("name", "engine", "stats", "pool", "_lock")
 
     def __init__(self, name: str, engine: QueryEngine,
-                 stats: GraphStats) -> None:
+                 stats: GraphStats,
+                 pool: "WorkerPool | None" = None) -> None:
         self.name = name
         self.engine = engine
         self.stats = stats
+        self.pool = pool
         self._lock = threading.Lock()
+
+    def close(self) -> None:
+        """Release serving resources (the worker pool, if any)."""
+        if self.pool is not None:
+            self.pool.close()
 
     def record_batch(self, batch: BatchResult) -> None:
         """Fold one :class:`BatchResult` into the serving counters."""
@@ -130,6 +155,12 @@ class RegisteredGraph:
                 "seed": self.engine.portfolio_seed,
             },
         )
+        if self.pool is not None:
+            # Pool-served graphs report both sides: the shared
+            # parent-side counters above and the per-worker
+            # cache/serving counters below.
+            stats["workers"] = self.pool.stats()
+            stats["snapshot_path"] = self.pool.snapshot_path
         return stats
 
 
@@ -171,6 +202,18 @@ class GraphRegistry:
         exact-strategy queries through the anytime strategy ladder by
         default; individual ``/query`` and ``/batch`` requests can
         still override the routing either way.
+    worker_processes:
+        When > 0, every registered graph gets a pre-fork
+        :class:`~repro.service.workers.WorkerPool` of this many
+        processes, all attached read-only to one shared snapshot
+        mapping, and the server answers ``/query`` and ``/batch``
+        from the pool.  Graphs registered from memory (not from a
+        snapshot file) are spooled to ``spool_dir`` first.  ``0``
+        (the default) keeps the classic in-process serving path.
+    spool_dir:
+        Where pool snapshots for memory-registered graphs land.
+        ``None`` creates a private temporary directory, removed by
+        :meth:`close`.
     """
 
     def __init__(self, plan_cache_size: int = 128,
@@ -184,10 +227,16 @@ class GraphRegistry:
                  group_min_size: int = 2,
                  portfolio: bool = False,
                  portfolio_failure_probability: float = 1e-3,
-                 portfolio_seed: int = 0) -> None:
+                 portfolio_seed: int = 0,
+                 worker_processes: int = 0,
+                 spool_dir: Any = None) -> None:
         if max_graphs is not None and max_graphs < 1:
             raise ValueError(
                 "max_graphs must be >= 1 or None, got %r" % (max_graphs,)
+            )
+        if worker_processes < 0:
+            raise ValueError(
+                "worker_processes must be >= 0, got %d" % worker_processes
             )
         self.plan_cache_size = plan_cache_size
         self.exact_budget = exact_budget
@@ -201,6 +250,10 @@ class GraphRegistry:
         self.portfolio = portfolio
         self.portfolio_failure_probability = portfolio_failure_probability
         self.portfolio_seed = portfolio_seed
+        self.worker_processes = worker_processes
+        self._spool_dir = None if spool_dir is None else os.fspath(spool_dir)
+        self._spool_owned = False
+        self._spool_counter = 0
         self._entries: dict[str, RegisteredGraph] = {}
         self._lock = threading.Lock()
 
@@ -221,6 +274,62 @@ class GraphRegistry:
             "portfolio_seed": self.portfolio_seed,
         }
 
+    # -- worker pools ------------------------------------------------------------
+
+    def _ensure_spool_dir(self) -> str:
+        with self._lock:
+            if self._spool_dir is None:
+                self._spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
+                self._spool_owned = True
+            else:
+                os.makedirs(self._spool_dir, exist_ok=True)
+            return self._spool_dir
+
+    def _build_pool(self, name: str, engine: QueryEngine) -> Any:
+        """The pre-fork pool for one graph (None when pools are off).
+
+        Pool workers need a snapshot file to attach to; an engine
+        built from an in-memory graph gets one spooled here first
+        (the snapshot *is* the shared-memory segment).
+        """
+        if not self.worker_processes:
+            return None
+        from .workers import WorkerPool
+
+        snapshot_path = engine.snapshot_path
+        if snapshot_path is None:
+            directory = self._ensure_spool_dir()
+            with self._lock:
+                self._spool_counter += 1
+                count = self._spool_counter
+            snapshot_path = os.path.join(
+                directory, "graph-%04d-%s.snap" % (count, _safe_name(name))
+            )
+            engine.save_snapshot(snapshot_path)
+        return WorkerPool(
+            snapshot_path,
+            engine_kwargs=engine._worker_engine_kwargs(),
+            workers=self.worker_processes,
+        )
+
+    def close(self) -> None:
+        """Shut down every entry's worker pool and drop the registry.
+
+        A pool-less registry needs no teardown; with pools this must
+        run before interpreter exit so workers exit cleanly and an
+        owned spool directory is removed.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            spool_dir = self._spool_dir if self._spool_owned else None
+            self._spool_dir = None if self._spool_owned else self._spool_dir
+            self._spool_owned = False
+        for entry in entries:
+            entry.close()
+        if spool_dir is not None:
+            shutil.rmtree(spool_dir, ignore_errors=True)
+
     # -- registration -----------------------------------------------------------
 
     # invariant: holds-lock
@@ -240,11 +349,15 @@ class GraphRegistry:
             )
 
     def _install(self, name: str, engine: QueryEngine,
-                 stats: GraphStats) -> RegisteredGraph:
-        entry = RegisteredGraph(name, engine, stats)
-        with self._lock:
-            self._admit(name)
-            self._entries[name] = entry
+                 stats: GraphStats, pool: Any = None) -> RegisteredGraph:
+        entry = RegisteredGraph(name, engine, stats, pool)
+        try:
+            with self._lock:
+                self._admit(name)
+                self._entries[name] = entry
+        except BaseException:
+            entry.close()  # a raced duplicate must not leak its pool
+            raise
         return entry
 
     def register(self, name: str, graph: Any) -> RegisteredGraph:
@@ -258,33 +371,44 @@ class GraphRegistry:
             self._admit(name)  # fail fast before paying for the compile
         start = time.perf_counter()
         engine = QueryEngine(graph, **self._engine_kwargs())
+        pool = self._build_pool(name, engine)
         stats = GraphStats(
             source=(
                 "indexed" if isinstance(graph, IndexedGraph) else "compiled"
             ),
             prepare_seconds=time.perf_counter() - start,
         )
-        return self._install(name, engine, stats)
+        return self._install(name, engine, stats, pool)
 
     def register_snapshot(self, name: str, path: Any) -> RegisteredGraph:
-        """Warm-start ``name`` from a snapshot file on disk."""
+        """Warm-start ``name`` from a snapshot file on disk.
+
+        With worker pools enabled the parent *attaches* to the
+        snapshot instead of copying it — parent and every pool worker
+        then share one physical copy of the graph.
+        """
         with self._lock:
             self._admit(name)
         start = time.perf_counter()
-        graph = load_snapshot(path)
+        if self.worker_processes:
+            graph = attach_snapshot(path)
+        else:
+            graph = load_snapshot(path)
         engine = QueryEngine(graph, **self._engine_kwargs())
+        pool = self._build_pool(name, engine)
         stats = GraphStats(
             source="snapshot",
             prepare_seconds=time.perf_counter() - start,
         )
-        return self._install(name, engine, stats)
+        return self._install(name, engine, stats, pool)
 
     def evict(self, name: str) -> RegisteredGraph:
-        """Drop ``name`` (engine, plan cache and stats go with it)."""
+        """Drop ``name`` (engine, plan cache, pool and stats go with it)."""
         with self._lock:
             entry = self._entries.pop(name, None)
         if entry is None:
             raise ServiceError("unknown graph %r" % name, status=404)
+        entry.close()
         return entry
 
     # -- lookup ------------------------------------------------------------------

@@ -79,6 +79,7 @@ from ..errors import (
     ReproError,
     ServiceError,
     ServiceOverloadedError,
+    WorkerCrashError,
 )
 from ..engine.plan import PlanCache, QueryPlan, plan_key
 from ..core.trichotomy import classify
@@ -496,12 +497,16 @@ class QueryService:
         deadline, budget = _checked_overrides(payload)
         portfolio, max_path_edges = _checked_portfolio_knobs(payload)
         self._admit(1)
+        # Pool-backed graphs answer on a pre-forked worker process
+        # (shared-snapshot memory model); the executor thread only
+        # waits on the worker's pipe, so the GIL stays free.
+        run_query = engine.query if entry.pool is None else entry.pool.query
         start = time.perf_counter()
         failure = None
         try:
             result = await self._in_executor(
                 functools.partial(
-                    engine.query,
+                    run_query,
                     language,
                     source,
                     target,
@@ -529,6 +534,10 @@ class QueryService:
                     "query exhausted its step budget: %s" % failure,
                     status=422,
                 )
+            if isinstance(failure, WorkerCrashError):
+                # A crashed-and-unrecovered pool worker is a server
+                # fault, not a bad request.
+                raise ServiceError(str(failure), status=500)
             raise ServiceError(str(failure), status=400)
         entry.record_query(result, seconds)
         return 200, result_record(result)
@@ -586,21 +595,37 @@ class QueryService:
                 % (group_min_size,)
             )
         self._admit(len(triples))
-        try:
-            batch = await self._in_executor(
-                functools.partial(
-                    engine.run_batch,
-                    triples,
-                    workers=workers,
-                    mode=mode,
-                    deadline_seconds=deadline,
-                    budget=budget,
-                    vectorize=vectorize,
-                    group_min_size=group_min_size,
-                    portfolio=portfolio,
-                    max_path_edges=max_path_edges,
-                )
+        if entry.pool is not None:
+            # Pool dispatch: the batch is sharded across pre-forked
+            # workers attached to the shared snapshot ('mode' is
+            # irrelevant — the pool *is* the process mode, with the
+            # graph mapped once instead of pickled per worker).
+            run_batch = functools.partial(
+                entry.pool.run_batch,
+                triples,
+                workers=workers,
+                deadline_seconds=deadline,
+                budget=budget,
+                vectorize=vectorize,
+                group_min_size=group_min_size,
+                portfolio=portfolio,
+                max_path_edges=max_path_edges,
             )
+        else:
+            run_batch = functools.partial(
+                engine.run_batch,
+                triples,
+                workers=workers,
+                mode=mode,
+                deadline_seconds=deadline,
+                budget=budget,
+                vectorize=vectorize,
+                group_min_size=group_min_size,
+                portfolio=portfolio,
+                max_path_edges=max_path_edges,
+            )
+        try:
+            batch = await self._in_executor(run_batch)
         finally:
             self._inflight -= len(triples)
         entry.record_batch(batch)

@@ -73,12 +73,13 @@ import mmap
 import os
 import struct
 import sys
+import weakref
 import zlib
 from array import array
-from typing import Any
+from typing import Any, Iterable, Iterator
 
 from ..errors import SnapshotError
-from ..engine.indexed import IndexedGraph
+from ..engine.indexed import CsrView, IndexedGraph, _transpose_label_csr
 
 MAGIC = b"RSPQSNAP"
 FORMAT_VERSION = 3
@@ -118,6 +119,45 @@ def _array_names(version):
     if version >= 3:
         names = names + _REACH_ARRAY_NAMES
     return names
+
+
+#: Recently *saved* graphs by absolute path: path -> (stored_crc,
+#: weakref to the compiled graph).  Loading the same file back while
+#: the saved graph is alive reuses its already-compiled condensation
+#: (object identity) instead of re-thawing the reach section.  Weak
+#: references only — the registry never keeps a graph alive — and no
+#: lock: dict get/set are GIL-atomic, and a stale read merely skips
+#: the reuse (a pure optimisation).
+_SAVED_GRAPHS: dict[str, tuple[int, Any]] = {}
+_SAVED_LIMIT = 16
+
+#: Process-local attach cache for pickled snapshot-backed graphs:
+#: (path, crc) -> attached graph.  A process-mode batch that fans N
+#: shards into one worker attaches once, not N times.
+_ATTACHED_CACHE: Any = weakref.WeakValueDictionary()
+
+
+def _remember_saved(path, crc, graph):
+    key = os.path.abspath(os.fspath(path))
+    while len(_SAVED_GRAPHS) >= _SAVED_LIMIT:
+        _SAVED_GRAPHS.pop(next(iter(_SAVED_GRAPHS)))
+    _SAVED_GRAPHS[key] = (crc, weakref.ref(graph))
+
+
+def _saved_reach_parts(path, crc):
+    """The live, already-compiled condensation for ``(path, crc)``."""
+    key = os.path.abspath(os.fspath(path))
+    entry = _SAVED_GRAPHS.get(key)
+    if entry is None:
+        return None
+    saved_crc, ref = entry
+    graph = ref()
+    if graph is None:
+        _SAVED_GRAPHS.pop(key, None)
+        return None
+    if saved_crc != crc:
+        return None
+    return graph._reach_parts
 
 
 def _int64_bytes(values):
@@ -278,6 +318,13 @@ def save_snapshot(graph: Any, path: Any,
         except OSError:
             pass
         raise
+    # The graph is now snapshot-backed: pickling ships the path (see
+    # IndexedGraph.__reduce_ex__) and an immediate load of the same
+    # file reuses this graph's compiled condensation by identity.
+    crc = payload_crc & 0xFFFFFFFF
+    graph._snapshot_path = os.fspath(path)
+    graph._snapshot_crc = crc
+    _remember_saved(path, crc, graph)
     return len(blob)
 
 
@@ -325,47 +372,93 @@ def _read_header(data, path):
     return header, 16 + header_len
 
 
-def _parse(data, path):
+def _parse(data, path, mapping=None, snapshot_path=None):
+    """Validate ``data`` and thaw (or attach) the compiled graph.
+
+    With ``mapping=None`` every array is copied into process-private
+    ``array("q")`` storage (the classic load).  With ``mapping`` set to
+    the open read-only mmap backing ``data``, the arrays are zero-copy
+    ``memoryview`` slices of the mapping and the result is an
+    :class:`AttachedGraph` that keeps the mapping alive.
+    """
     header, offset = _read_header(data, path)
     header_raw = bytes(data[16:offset])
     (stored_crc,) = _U32.unpack_from(data, offset)
     offset += 4
-    array_section = bytes(data[offset:])
-    actual_crc = zlib.crc32(array_section, zlib.crc32(header_raw)) & (
-        0xFFFFFFFF
-    )
-    if actual_crc != stored_crc:
-        raise SnapshotError(
-            "snapshot %s failed its checksum (stored %08x, computed "
-            "%08x) — the file is corrupt or truncated"
-            % (path, stored_crc, actual_crc)
-        )
-
-    manifest = header["arrays"]
-    expected = list(_array_names(header["format_version"]))
-    if [name for name, _count in manifest] != expected:
-        raise SnapshotError(
-            "snapshot %s has an unexpected array manifest: %r"
-            % (path, manifest)
-        )
+    # CRC over a memoryview: no copy of the (possibly huge) array
+    # section even in attach mode; every mapped page is touched once.
+    array_section = memoryview(data)[offset:]
+    attach = mapping is not None
     arrays = {}
     cursor = 0
-    for name, count in manifest:
-        size = count * 8
-        arrays[name] = _int64_array(
-            array_section[cursor:cursor + size], count, name
+    try:
+        actual_crc = zlib.crc32(array_section, zlib.crc32(header_raw)) & (
+            0xFFFFFFFF
         )
-        cursor += size
-    if cursor != len(array_section):
-        raise SnapshotError(
-            "snapshot %s has %d trailing bytes after its arrays"
-            % (path, len(array_section) - cursor)
+        if actual_crc != stored_crc:
+            raise SnapshotError(
+                "snapshot %s failed its checksum (stored %08x, computed "
+                "%08x) — the file is corrupt or truncated"
+                % (path, stored_crc, actual_crc)
+            )
+        manifest = header["arrays"]
+        expected = list(_array_names(header["format_version"]))
+        if [name for name, _count in manifest] != expected:
+            raise SnapshotError(
+                "snapshot %s has an unexpected array manifest: %r"
+                % (path, manifest)
+            )
+        for name, count in manifest:
+            size = count * 8
+            if cursor + size > len(array_section):
+                raise SnapshotError(
+                    "array %r truncated: expected %d bytes, got %d"
+                    % (name, size, len(array_section) - cursor)
+                )
+            chunk = array_section[cursor:cursor + size]
+            if attach:
+                # memoryview slicing + cast is zero-copy: the int64
+                # view reads straight out of the shared file mapping.
+                arrays[name] = chunk.cast("q")
+            else:
+                arrays[name] = _int64_array(bytes(chunk), count, name)
+                chunk.release()
+            cursor += size
+        if cursor != len(array_section):
+            raise SnapshotError(
+                "snapshot %s has %d trailing bytes after its arrays"
+                % (path, len(array_section) - cursor)
+            )
+        reach_reuse = None
+        if snapshot_path is not None:
+            # Satellite of the save path: an immediate load of a file
+            # this process just saved reuses the saver's compiled
+            # condensation.
+            reach_reuse = _saved_reach_parts(snapshot_path, stored_crc)
+        return _thaw(
+            header, arrays, path,
+            mapping=mapping,
+            snapshot_path=snapshot_path,
+            crc=stored_crc,
+            reach_reuse=reach_reuse,
         )
-    return _thaw(header, arrays, path)
+    finally:
+        # Drop this frame's buffer export so a copy-mode caller can
+        # close its mmap even while an error is propagating (the
+        # per-name views in ``arrays`` are what attach mode keeps).
+        array_section.release()
 
 
-def _thaw(header, arrays, path):
-    """Rebuild the compiled view — array reads only, nothing re-sorted."""
+def _thaw(header, arrays, path, mapping=None, snapshot_path=None,
+          crc=None, reach_reuse=None):
+    """Rebuild the compiled view — array reads only, nothing re-sorted.
+
+    With ``mapping`` set (attach mode), the per-label CSR dicts are
+    built from zero-copy slices of the mmapped arrays, the per-vertex
+    adjacency tuples are *not* materialised (the attached view reads
+    them lazily), and the result is an :class:`AttachedGraph` holding
+    the mapping alive.
+    """
     vertices = tuple(header["vertices"])
     labels = list(header["labels"])
     n = len(vertices)
@@ -408,25 +501,27 @@ def _thaw(header, arrays, path):
                 "with their offsets" % path
             )
 
-    # One flat C-speed pass per direction (map + zip), then slice per
-    # vertex — this is the hot path of a warm start, so no per-edge
-    # Python-level loop bodies.
-    out_pairs = list(zip(
-        map(labels.__getitem__, arrays["out_labels"]),
-        map(vertices.__getitem__, arrays["out_targets"]),
-    ))
-    out = [
-        tuple(out_pairs[start:stop])
-        for start, stop in zip(out_indptr, out_indptr[1:])
-    ]
-    in_pairs = list(zip(
-        map(labels.__getitem__, arrays["in_labels"]),
-        map(vertices.__getitem__, arrays["in_sources"]),
-    ))
-    in_ = [
-        tuple(in_pairs[start:stop])
-        for start, stop in zip(in_indptr, in_indptr[1:])
-    ]
+    attach = mapping is not None
+    if not attach:
+        # One flat C-speed pass per direction (map + zip), then slice
+        # per vertex — this is the hot path of a warm start, so no
+        # per-edge Python-level loop bodies.
+        out_pairs = list(zip(
+            map(labels.__getitem__, arrays["out_labels"]),
+            map(vertices.__getitem__, arrays["out_targets"]),
+        ))
+        out = [
+            tuple(out_pairs[start:stop])
+            for start, stop in zip(out_indptr, out_indptr[1:])
+        ]
+        in_pairs = list(zip(
+            map(labels.__getitem__, arrays["in_labels"]),
+            map(vertices.__getitem__, arrays["in_sources"]),
+        ))
+        in_ = [
+            tuple(in_pairs[start:stop])
+            for start, stop in zip(in_indptr, in_indptr[1:])
+        ]
 
     csr_offsets = arrays["csr_offsets"]
     label_indptr = {}
@@ -453,15 +548,33 @@ def _thaw(header, arrays, path):
                 rcsr_offsets[j]:rcsr_offsets[j + 1]
             ]
 
-    reach_parts = None
-    if "scc_comp_of" in arrays:
-        reach_parts = _thaw_reach_parts(header, arrays, n, num_labels, path)
+    reach_parts = reach_reuse
+    if reach_parts is None and "scc_comp_of" in arrays:
+        reach_parts = _thaw_reach_parts(
+            header, arrays, n, num_labels, path, copy=not attach
+        )
+
+    if attach:
+        return AttachedGraph._attach(
+            vertex_of=vertices,
+            labels=labels,
+            num_edges=header["num_edges"],
+            raw=arrays,
+            label_indptr=label_indptr,
+            label_targets=label_targets,
+            rev_label_indptr=rev_label_indptr,
+            rev_label_sources=rev_label_sources,
+            reach_parts=reach_parts,
+            mapping=mapping,
+            snapshot_path=snapshot_path,
+            crc=crc,
+        )
 
     # A v1 snapshot has no reverse section; _from_parts rebuilds the
     # reverse index in memory by transposing the forward label CSR.
     # Pre-v3 snapshots likewise carry no reachability section; the
     # condensation is then recomputed in memory on first index use.
-    return IndexedGraph._from_parts(
+    graph = IndexedGraph._from_parts(
         vertex_of=vertices,
         labels=labels,
         num_edges=header["num_edges"],
@@ -473,10 +586,22 @@ def _thaw(header, arrays, path):
         rev_label_sources=rev_label_sources,
         reach_parts=reach_parts,
     )
+    if snapshot_path is not None:
+        # Loaded graphs are snapshot-backed too: process-mode batches
+        # on them ship the path, and workers attach instead of
+        # unpickling private array copies.
+        graph._snapshot_path = os.fspath(snapshot_path)
+        graph._snapshot_crc = crc
+    return graph
 
 
-def _thaw_reach_parts(header, arrays, n, num_labels, path):
-    """Validate and rebuild the v3 reachability-index section."""
+def _thaw_reach_parts(header, arrays, n, num_labels, path, copy=True):
+    """Validate and rebuild the v3 reachability-index section.
+
+    ``copy=False`` (attach mode) keeps ``comp_of`` as the zero-copy
+    memoryview over the mapping — :class:`ReachabilityIndex` only ever
+    indexes into it, so a buffer works as well as an array.
+    """
     num_comps = header.get("num_comps")
     if not isinstance(num_comps, int) or not 0 <= num_comps <= n or (
         n > 0 and num_comps < 1
@@ -491,7 +616,7 @@ def _thaw_reach_parts(header, arrays, n, num_labels, path):
             "snapshot %s reachability section does not match its %d "
             "vertices (%d component entries)" % (path, n, len(raw_comp_of))
         )
-    comp_of = array("l", raw_comp_of)
+    comp_of = array("l", raw_comp_of) if copy else raw_comp_of
     for comp in comp_of:
         if not 0 <= comp < num_comps:
             raise SnapshotError(
@@ -539,6 +664,370 @@ def _thaw_reach_parts(header, arrays, n, num_labels, path):
     return comp_of, num_comps, label_edges
 
 
+class AttachedCsrView(CsrView):
+    """:class:`CsrView` reading straight off a mmapped snapshot.
+
+    The per-label CSR tuples it serves are zero-copy memoryview slices
+    of the shared mapping; the per-vertex ``(label_id, other_id)``
+    pair tuples are decoded lazily from the flat adjacency arrays and
+    memoised, so a worker only ever pays (and caches) the vertices its
+    queries actually touch.  All mapped buffers are strictly read-only
+    — the ``snapshot-readonly`` invariant rule enforces this in
+    serving code.
+    """
+
+    def _build_pairs(self, graph: "AttachedGraph") -> None:
+        raw = graph._raw
+        self._raw_out = (
+            raw["out_indptr"], raw["out_labels"], raw["out_targets"],
+        )
+        self._raw_in = (
+            raw["in_indptr"], raw["in_labels"], raw["in_sources"],
+        )
+        self._out_pair_memo: dict[int, tuple] = {}
+        self._in_pair_memo: dict[int, tuple] = {}
+
+    # invariant: hot-loop
+    def out(self, vertex_id: int) -> tuple[tuple[int, int], ...]:
+        pairs = self._out_pair_memo.get(vertex_id)
+        if pairs is None:
+            indptr, edge_labels, targets = self._raw_out
+            start = indptr[vertex_id]
+            stop = indptr[vertex_id + 1]
+            pairs = tuple(zip(
+                edge_labels[start:stop], targets[start:stop]
+            ))
+            self._out_pair_memo[vertex_id] = pairs
+        return pairs
+
+    # invariant: hot-loop
+    def in_pairs(self, vertex_id: int) -> tuple[tuple[int, int], ...]:
+        pairs = self._in_pair_memo.get(vertex_id)
+        if pairs is None:
+            indptr, edge_labels, sources = self._raw_in
+            start = indptr[vertex_id]
+            stop = indptr[vertex_id + 1]
+            pairs = tuple(zip(
+                edge_labels[start:stop], sources[start:stop]
+            ))
+            self._in_pair_memo[vertex_id] = pairs
+        return pairs
+
+    def out_degree(self, vertex_id: int) -> int:
+        indptr = self._raw_out[0]
+        return indptr[vertex_id + 1] - indptr[vertex_id]
+
+    def __repr__(self):
+        return "AttachedCsrView(|V|=%d, |Σ|=%d over %r)" % (
+            self.num_vertices, self.num_labels, self.graph,
+        )
+
+
+class AttachedGraph(IndexedGraph):
+    """An :class:`IndexedGraph` attached to a read-only mmapped snapshot.
+
+    Every CSR array (forward, reverse, reachability) is a zero-copy
+    memoryview slice of the mapping held in ``_mapping``; the string
+    adjacency tuples (``_out`` / ``_in``) are thawed lazily only if a
+    caller actually uses the string-level ``DbGraph`` API (the solver
+    hot paths go through :class:`AttachedCsrView` and never do).
+
+    Safe for any number of concurrent readers: the mapping is
+    ``ACCESS_READ`` and nothing here mutates shared state after
+    construction except process-private memo dicts.  Forked workers
+    share the physical pages through the page cache — N workers, one
+    copy of the graph.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def _attach(cls, vertex_of, labels, num_edges, raw,
+                label_indptr, label_targets,
+                rev_label_indptr, rev_label_sources,
+                reach_parts, mapping, snapshot_path, crc):
+        self = object.__new__(cls)
+        self._vertex_of = tuple(vertex_of)
+        self._id_of = {
+            vertex: index for index, vertex in enumerate(self._vertex_of)
+        }
+        self._labels = frozenset(labels)
+        self._num_edges = num_edges
+        self._out = None
+        self._in = None
+        self._out_pair_sets = None
+        self._label_indptr = dict(label_indptr)
+        self._label_targets = dict(label_targets)
+        if rev_label_indptr is None or rev_label_sources is None:
+            # v1 snapshot: no reverse section on disk — transpose into
+            # process-private arrays (the one non-shared structure; v2+
+            # snapshots attach it zero-copy like everything else).
+            rev_label_indptr, rev_label_sources = _transpose_label_csr(
+                len(self._vertex_of), self._label_indptr,
+                self._label_targets,
+            )
+        self._rev_label_indptr = dict(rev_label_indptr)
+        self._rev_label_sources = dict(rev_label_sources)
+        self._sorted_succ_by_label = {}
+        self._reach_parts = reach_parts
+        self._view = None
+        self._raw = dict(raw)
+        self._mapping = mapping
+        self._snapshot_path = (
+            None if snapshot_path is None else os.fspath(snapshot_path)
+        )
+        self._snapshot_crc = crc
+        return self
+
+    def view(self) -> CsrView:
+        if self._view is None:
+            if self._raw is None:
+                # Unpickled through the full-state fallback (backing
+                # file vanished): the arrays were materialised, so the
+                # ordinary view serves them.
+                self._view = CsrView(self)
+            else:
+                self._view = AttachedCsrView(self)
+        return self._view
+
+    def _ensure_adjacency(self) -> None:
+        """Thaw the string-level ``_out`` / ``_in`` tuples on demand."""
+        if self._out is not None:
+            return
+        vertices = self._vertex_of
+        labels = sorted(self._labels)
+        raw = self._raw
+        out_indptr = raw["out_indptr"]
+        out_pairs = list(zip(
+            map(labels.__getitem__, raw["out_labels"]),
+            map(vertices.__getitem__, raw["out_targets"]),
+        ))
+        self._out = tuple(
+            tuple(out_pairs[start:stop])
+            for start, stop in zip(out_indptr, out_indptr[1:])
+        )
+        in_indptr = raw["in_indptr"]
+        in_pairs = list(zip(
+            map(labels.__getitem__, raw["in_labels"]),
+            map(vertices.__getitem__, raw["in_sources"]),
+        ))
+        self._in = tuple(
+            tuple(in_pairs[start:stop])
+            for start, stop in zip(in_indptr, in_indptr[1:])
+        )
+
+    # -- string-level DbGraph API: thaw lazily, then defer to the base --
+
+    def _pair_sets(self):
+        self._ensure_adjacency()
+        return super()._pair_sets()
+
+    def out_edges(self, vertex: Any) -> Iterator[tuple[str, Any]]:
+        self._ensure_adjacency()
+        return super().out_edges(vertex)
+
+    def in_edges(self, vertex: Any) -> Iterator[tuple[str, Any]]:
+        self._ensure_adjacency()
+        return super().in_edges(vertex)
+
+    def sorted_out_edges(
+        self, vertex: Any
+    ) -> tuple[tuple[str, Any], ...]:
+        self._ensure_adjacency()
+        return super().sorted_out_edges(vertex)
+
+    def successors(
+        self, vertex: Any, label: str | None = None
+    ) -> set[Any]:
+        if label is None:
+            self._ensure_adjacency()
+        return super().successors(vertex, label)
+
+    def predecessors(
+        self, vertex: Any, label: str | None = None
+    ) -> set[Any]:
+        self._ensure_adjacency()
+        return super().predecessors(vertex, label)
+
+    def edges(self) -> Iterator[tuple[Any, str, Any]]:
+        self._ensure_adjacency()
+        return super().edges()
+
+    def out_degree(self, vertex: Any) -> int:
+        if self._raw is not None:
+            indptr = self._raw["out_indptr"]
+            vertex_id = self.vertex_id(vertex)
+            return indptr[vertex_id + 1] - indptr[vertex_id]
+        return super().out_degree(vertex)
+
+    def in_degree(self, vertex: Any) -> int:
+        if self._raw is not None:
+            indptr = self._raw["in_indptr"]
+            vertex_id = self.vertex_id(vertex)
+            return indptr[vertex_id + 1] - indptr[vertex_id]
+        return super().in_degree(vertex)
+
+    def reachable_within(self, start: Any,
+                         allowed_labels: Iterable[str] | None = None,
+                         forbidden: Iterable[Any] = ()) -> set[Any]:
+        if forbidden or (
+            allowed_labels is not None
+            and not self._labels <= set(allowed_labels)
+        ):
+            # Only the restricted fallback walks _out directly.
+            self._ensure_adjacency()
+        return super().reachable_within(start, allowed_labels, forbidden)
+
+    # -- pickling ------------------------------------------------------------------
+
+    def __getstate__(self):
+        # Reached only when attach-by-path is impossible (the backing
+        # file was deleted or replaced): materialise every mmap-backed
+        # buffer so the pickle is self-contained, and drop the stale
+        # provenance so the copy doesn't advertise a dead path.
+        self._ensure_adjacency()
+        state = super().__getstate__()
+        state["_label_indptr"] = {
+            label: array("q", values)
+            for label, values in self._label_indptr.items()
+        }
+        state["_label_targets"] = {
+            label: array("q", values)
+            for label, values in self._label_targets.items()
+        }
+        state["_rev_label_indptr"] = {
+            label: array("q", values)
+            for label, values in self._rev_label_indptr.items()
+        }
+        state["_rev_label_sources"] = {
+            label: array("q", values)
+            for label, values in self._rev_label_sources.items()
+        }
+        if self._reach_parts is not None:
+            comp_of, num_comps, label_edges = self._reach_parts
+            state["_reach_parts"] = (
+                array("l", comp_of), num_comps, label_edges,
+            )
+        state["_snapshot_path"] = None
+        state["_snapshot_crc"] = None
+        return state
+
+    def __repr__(self):
+        return "AttachedGraph(|V|=%d, |E|=%d, Σ=%s, path=%r)" % (
+            self.num_vertices,
+            self.num_edges,
+            "".join(sorted(self._labels)),
+            self._snapshot_path,
+        )
+
+
+def attach_snapshot(path: Any) -> IndexedGraph:
+    """Attach to a snapshot: a compiled graph over the mmapped file.
+
+    Unlike :func:`load_snapshot` (which copies every array into
+    process-private memory), attaching maps the file read-only and
+    builds the compiled view directly over the mapping — zero array
+    copies.  N processes attached to one snapshot therefore share one
+    physical copy of the graph through the page cache, which is the
+    memory model behind the pre-fork worker pool
+    (:class:`repro.service.workers.WorkerPool`).
+
+    The returned :class:`AttachedGraph` keeps the mapping alive for
+    its own lifetime and is safe for concurrent readers.  POSIX
+    semantics apply to the file itself: deleting or atomically
+    replacing the snapshot on disk does *not* disturb already-attached
+    graphs (they keep serving the old inode); only fresh attaches see
+    the new file — or raise a clean :class:`SnapshotError` when the
+    file is gone or damaged.
+
+    Validates exactly like :func:`load_snapshot` (magic, version,
+    header, full payload checksum) before returning.
+    """
+    try:
+        handle = open(path, "rb")
+    except FileNotFoundError:
+        raise SnapshotError(
+            "snapshot %s does not exist" % path
+        ) from None
+    with handle:
+        try:
+            mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:
+            raise SnapshotError(
+                "snapshot %s is empty" % path
+            ) from None
+    if sys.byteorder == "big":  # pragma: no cover - exotic hosts
+        # memoryview.cast("q") reads native-endian; on big-endian
+        # hosts fall back to the copying load (correct, just not
+        # shared).
+        try:
+            return _parse(mm, path, snapshot_path=path)
+        finally:
+            mm.close()
+    try:
+        return _parse(mm, path, mapping=mm, snapshot_path=path)
+    except BaseException:
+        try:
+            mm.close()
+        except BufferError:
+            # The in-flight traceback still exports buffer views of
+            # the mapping; it is released when the last view dies.
+            pass
+        raise
+
+
+def _stored_crc(path):
+    """The payload CRC a snapshot file carries, or ``None`` if unreadable."""
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(16)
+            if len(prefix) != 16 or prefix[:8] != MAGIC:
+                return None
+            (header_len,) = _U32.unpack_from(prefix, 12)
+            handle.seek(16 + header_len)
+            raw = handle.read(4)
+    except OSError:
+        return None
+    if len(raw) != 4:
+        return None
+    return _U32.unpack(raw)[0]
+
+
+def attach_spec(graph: IndexedGraph) -> tuple | None:
+    """Pickle spec shipping a snapshot-backed graph by path.
+
+    Returns ``(callable, args)`` for ``__reduce_ex__`` when the file
+    on disk still carries the CRC the graph was saved/loaded with
+    (a cheap header-only read), else ``None`` — the caller then falls
+    back to pickling the full arrays, trading the shared-memory win
+    for correctness.
+    """
+    path = graph._snapshot_path
+    crc = graph._snapshot_crc
+    if path is None or crc is None:
+        return None
+    if _stored_crc(path) != crc:
+        return None
+    return (_attach_for_pickle, (path, crc))
+
+
+def _attach_for_pickle(path, crc):
+    """Unpickle hook: attach (once per process) to a pickled-by-path graph."""
+    key = (os.path.abspath(path), crc)
+    graph = _ATTACHED_CACHE.get(key)
+    if graph is not None:
+        return graph
+    graph = attach_snapshot(path)
+    if graph._snapshot_crc != crc:
+        raise SnapshotError(
+            "snapshot %s changed since the graph was pickled (stored "
+            "crc %08x, expected %08x)"
+            % (path, graph._snapshot_crc, crc)
+        )
+    _ATTACHED_CACHE[key] = graph
+    return graph
+
+
 def load_snapshot(path: Any) -> IndexedGraph:
     """Load a snapshot back into an :class:`IndexedGraph` (mmap read).
 
@@ -555,7 +1044,7 @@ def load_snapshot(path: Any) -> IndexedGraph:
                     "snapshot %s is empty" % path
                 ) from None
             try:
-                return _parse(mm, path)
+                return _parse(mm, path, snapshot_path=path)
             finally:
                 mm.close()
     except FileNotFoundError:

@@ -1,0 +1,738 @@
+"""Pre-fork worker pool serving queries off one shared snapshot.
+
+The single-interpreter bottleneck: every solver in this repo runs
+under the GIL, so one process can saturate exactly one core no matter
+how many threads the service executor spawns.  The classic escape —
+``run_batch(mode="process")`` — used to pickle the whole compiled
+graph into every worker, multiplying memory by the worker count and
+dominating startup with array deserialisation.
+
+:class:`WorkerPool` replaces both costs with the snapshot file
+itself.  Workers are spawned with only a *path* and an engine config;
+each one attaches read-only to the mmapped snapshot
+(:func:`~repro.service.snapshot.attach_snapshot`) — zero array
+copies, so N workers share one physical copy of the graph through
+the page cache — and builds its own :class:`~repro.engine.QueryEngine`
+around it (private plan cache, private result cache, private
+``ExecutionContext`` per query, exactly like an independent server).
+
+Parent ↔ worker protocol is a strict request/response over one
+:func:`multiprocessing.Pipe` per worker:
+
+``("query", (language, source, target, overrides))``
+    One RSPQ; the reply carries the :class:`EngineResult` or a
+    re-raisable :class:`~repro.errors.ReproError` by class name.
+``("batch", (shard, overrides, vectorized, group_min_size))``
+    An indexed shard of a batch — ``[(index, (lang, src, tgt)), ...]``
+    — answered serially or through the vectorized shared-plan sweep,
+    replying with ``(pairs, plan_delta, result_delta, vec_stats)``.
+``("stats",)`` / ``("ping",)`` / ``("shutdown",)``
+    Introspection, liveness and orderly exit.
+
+The parent side polls the pipe with a short interval so it can
+notice three things between frames: the reply arriving, the worker
+*dying* (``is_alive`` goes false → respawn with exponential backoff
+and retry the request on a sibling — queries are pure, so the retry
+is idempotent), and the request overrunning its deadline plus a
+grace period (the worker is presumed wedged, killed, respawned, and
+the caller gets :class:`~repro.errors.DeadlineExceededError`).
+
+Batch sharding reuses the engine's plan-group discipline: queries
+are grouped by compiled plan, groups placed largest-first onto the
+least-loaded worker, ungroupable leftovers strided — the same
+balancing ``run_batch(mode="process")`` uses, so pool answers are
+bit-identical to single-process answers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from types import MappingProxyType
+from typing import Any
+
+from .. import errors as _errors
+from ..errors import (
+    DeadlineExceededError,
+    ReproError,
+    SnapshotError,
+    WorkerCrashError,
+)
+from ..engine import (
+    BatchResult,
+    PlanCacheStats,
+    QueryEngine,
+    VectorizedBatchStats,
+    group_by_plan,
+)
+
+_OVERRIDE_KEYS = (
+    "deadline_seconds", "budget", "portfolio", "max_path_edges",
+)
+
+
+def _rss_mb():
+    """This process's resident set size in MiB (None if unknown)."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        pass
+    return None  # pragma: no cover - non-procfs hosts
+
+
+def _worker_main(snapshot_path, engine_kwargs, conn):
+    """Worker process body: attach once, then serve requests forever.
+
+    Every mapped buffer the attached graph exposes is read-only
+    shared state — nothing here may write into it (enforced by the
+    ``snapshot-readonly`` invariant rule).
+    """
+    from .snapshot import attach_snapshot
+
+    try:
+        graph = attach_snapshot(snapshot_path)
+        engine = QueryEngine(graph, **engine_kwargs)
+    except BaseException as err:
+        try:
+            conn.send(
+                ("startup-error", "%s: %s" % (type(err).__name__, err))
+            )
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        conn.close()
+        return
+    conn.send(("ready", os.getpid()))
+    served_queries = 0
+    served_batches = 0
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = request[0]
+        if kind == "shutdown":
+            try:
+                conn.send(("ok", None))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            break
+        if kind == "exit":
+            # Test hook: simulate a hard crash (no reply, no cleanup).
+            os._exit(int(request[1]))
+        try:
+            if kind == "query":
+                language, source, target, overrides = request[1]
+                result = engine.query(language, source, target, **overrides)
+                served_queries += 1
+                reply = ("ok", result)
+            elif kind == "batch":
+                shard, overrides, vectorized, min_size = request[1]
+                plan_before = engine.cache_stats()
+                results_before = engine.result_cache_stats()
+                if vectorized:
+                    pairs, vec_stats = engine._run_batch_vectorized_indexed(
+                        shard, overrides, min_size
+                    )
+                else:
+                    vec_stats = None
+                    pairs = [
+                        (
+                            index,
+                            engine._run_single(
+                                language, source, target, **overrides
+                            ),
+                        )
+                        for index, (language, source, target) in shard
+                    ]
+                served_batches += 1
+                served_queries += len(shard)
+                reply = ("ok", (
+                    pairs,
+                    engine.plan_cache.stats_delta(plan_before),
+                    engine._result_cache_delta(results_before),
+                    vec_stats,
+                ))
+            elif kind == "stats":
+                cache = engine.cache_stats()
+                reply = ("ok", {
+                    "pid": os.getpid(),
+                    "served_queries": served_queries,
+                    "served_batches": served_batches,
+                    "rss_mb": _rss_mb(),
+                    "plan_cache": {
+                        "hits": cache.hits,
+                        "misses": cache.misses,
+                        "evictions": cache.evictions,
+                        "compiles": cache.compiles,
+                    },
+                    "result_cache": engine.result_cache_stats().as_dict(),
+                })
+            elif kind == "ping":
+                reply = ("ok", os.getpid())
+            else:
+                reply = (
+                    "error", "ValueError",
+                    "unknown request kind %r" % (kind,),
+                )
+        except ReproError as err:
+            # Engine-level errors are *answers*: re-raised by class
+            # name on the parent side, exactly like in-process serving.
+            reply = ("repro-error", type(err).__name__, str(err))
+        except BaseException as err:  # pragma: no cover - defensive
+            reply = ("error", type(err).__name__, str(err))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            break
+    conn.close()
+
+
+class _WorkerDied(Exception):
+    """Internal: the worker's process ended mid-request."""
+
+
+class _WorkerHung(Exception):
+    """Internal: the worker overran deadline + grace without replying."""
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("index", "process", "conn", "crashes")
+
+    def __init__(self, index, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        #: Consecutive crashes at this slot (drives respawn backoff;
+        #: reset by the first successful reply).
+        self.crashes = 0
+
+
+class WorkerPool:
+    """Pre-fork query workers attached to one shared snapshot.
+
+    Parameters
+    ----------
+    snapshot_path:
+        The snapshot every worker attaches to (see module docstring).
+    engine_kwargs:
+        :class:`~repro.engine.QueryEngine` constructor kwargs applied
+        in every worker (typically ``engine._worker_engine_kwargs()``).
+    workers:
+        Number of pre-forked processes.
+    respawn_backoff / max_backoff:
+        Exponential backoff between a crash and the respawn: the n-th
+        consecutive crash of a slot waits ``respawn_backoff * 2**(n-1)``
+        seconds, capped at ``max_backoff``.
+    grace_seconds:
+        Extra wall-clock allowance past a request's deadline before
+        the worker is presumed wedged and killed.
+    poll_interval:
+        Pipe polling granularity (crash/deadline detection latency).
+    max_retries:
+        How many times one request may be retried across crashes
+        before :class:`~repro.errors.WorkerCrashError` surfaces.
+    start_timeout:
+        Seconds to wait for a fresh worker's ready handshake.
+    """
+
+    def __init__(self, snapshot_path: Any,
+                 engine_kwargs: dict | None = None,
+                 workers: int = 2,
+                 respawn_backoff: float = 0.05,
+                 max_backoff: float = 2.0,
+                 grace_seconds: float = 10.0,
+                 poll_interval: float = 0.05,
+                 max_retries: int = 2,
+                 start_timeout: float = 60.0,
+                 mp_context: Any = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %d" % workers)
+        self.snapshot_path = os.fspath(snapshot_path)
+        # Read-only after construction (workers inherit it at fork
+        # time); the proxy also keeps it out of lock-guarded state.
+        self.engine_kwargs = MappingProxyType(dict(engine_kwargs or {}))
+        self.respawn_backoff = respawn_backoff
+        self.max_backoff = max_backoff
+        self.grace_seconds = grace_seconds
+        self.poll_interval = poll_interval
+        self.max_retries = max_retries
+        self.start_timeout = start_timeout
+        self._workers = workers
+        self._ctx = (
+            mp_context if mp_context is not None
+            else multiprocessing.get_context()
+        )
+        self._lock = threading.Lock()
+        self._closed = False
+        self._crashes = 0
+        self._respawns = 0
+        self._requests = 0
+        self._idle: queue.Queue = queue.Queue()
+        self._handles: list[_WorkerHandle] = []
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-pool"
+        )
+        try:
+            for index in range(workers):
+                self._handles.append(self._spawn(index))
+        except BaseException:
+            for handle in self._handles:
+                self._kill(handle)
+            self._executor.shutdown(wait=False)
+            raise
+        for handle in self._handles:
+            self._idle.put(handle)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut every worker down (drain in-flight batches first)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+        self._executor.shutdown(wait=True)
+        for handle in handles:
+            try:
+                handle.conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout=timeout)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.kill()
+                handle.process.join(timeout=timeout)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def kill_worker(self, index: int) -> None:
+        """Test hook: hard-kill worker ``index`` (crash-recovery drills)."""
+        with self._lock:
+            handle = self._handles[index]
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+
+    def _spawn(self, index):
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self.snapshot_path, dict(self.engine_kwargs), child_conn),
+            name="repro-pool-%d" % index,
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        deadline = time.monotonic() + self.start_timeout
+        message = None
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                if parent_conn.poll(min(max(remaining, 0.0), 0.1)):
+                    message = parent_conn.recv()
+                    break
+            except (EOFError, OSError):
+                break
+            if not process.is_alive():
+                # One final poll: the ready frame may have landed just
+                # before the exit.
+                try:
+                    if parent_conn.poll(0):
+                        message = parent_conn.recv()
+                except (EOFError, OSError):  # pragma: no cover
+                    pass
+                break
+            if remaining <= 0:
+                break
+        if message is None:
+            process.kill()
+            process.join(timeout=5.0)
+            parent_conn.close()
+            raise WorkerCrashError(
+                "pool worker %d died or hung before its ready handshake"
+                % index
+            )
+        if message[0] != "ready":
+            process.join(timeout=5.0)
+            parent_conn.close()
+            raise SnapshotError(
+                "pool worker %d could not attach %s: %s"
+                % (index, self.snapshot_path, message[1])
+            )
+        return _WorkerHandle(index, process, parent_conn)
+
+    def _kill(self, handle):
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(timeout=5.0)
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _respawn(self, handle):
+        """Replace a dead worker: backoff, spawn, register, return it."""
+        self._kill(handle)
+        with self._lock:
+            self._crashes += 1
+            handle.crashes += 1
+            crashes = handle.crashes
+            closed = self._closed
+        if closed:
+            raise WorkerCrashError("pool is closed")
+        delay = min(
+            self.respawn_backoff * (2 ** (crashes - 1)), self.max_backoff
+        )
+        if delay > 0:
+            time.sleep(delay)
+        fresh = self._spawn(handle.index)
+        fresh.crashes = crashes
+        with self._lock:
+            self._handles[handle.index] = fresh
+            self._respawns += 1
+        return fresh
+
+    # -- request plumbing --------------------------------------------------------
+
+    def _checkout(self, deadline):
+        with self._lock:
+            if self._closed:
+                raise WorkerCrashError("pool is closed")
+        timeout = (
+            None if deadline is None else max(deadline - time.monotonic(), 0)
+        )
+        try:
+            return self._idle.get(timeout=timeout)
+        except queue.Empty:
+            raise DeadlineExceededError(
+                "no pool worker became idle before the request deadline"
+            ) from None
+
+    def _recv(self, handle, deadline):
+        """Deadline-aware reply wait with crash detection."""
+        conn = handle.conn
+        process = handle.process
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                raise _WorkerHung()
+            try:
+                if conn.poll(self.poll_interval):
+                    return conn.recv()
+            except (EOFError, OSError):
+                raise _WorkerDied() from None
+            if not process.is_alive():
+                # Drain a reply the worker may have flushed right
+                # before dying.
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):  # pragma: no cover
+                    pass
+                raise _WorkerDied()
+
+    def _roundtrip(self, message, deadline=None):
+        """Send one request to an idle worker; returns the raw reply.
+
+        Crashed workers are respawned (with backoff) and the request
+        retried on a sibling up to ``max_retries`` times; a worker
+        overrunning ``deadline`` is killed and the caller gets a
+        :class:`DeadlineExceededError`.
+        """
+        attempts = 0
+        while True:
+            handle = self._checkout(deadline)
+            try:
+                handle.conn.send(message)
+                reply = self._recv(handle, deadline)
+            except (_WorkerDied, BrokenPipeError, OSError):
+                replacement = self._respawn(handle)
+                self._idle.put(replacement)
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise WorkerCrashError(
+                        "pool worker died %d time(s) answering one "
+                        "request (each crash respawned a replacement)"
+                        % attempts
+                    ) from None
+                continue
+            except _WorkerHung:
+                replacement = self._respawn(handle)
+                self._idle.put(replacement)
+                raise DeadlineExceededError(
+                    "pool worker overran the request deadline plus "
+                    "%.1fs grace and was respawned" % self.grace_seconds
+                ) from None
+            except BaseException:
+                # Parent-side failure with the worker healthy.
+                self._idle.put(handle)
+                raise
+            handle.crashes = 0
+            self._idle.put(handle)
+            with self._lock:
+                self._requests += 1
+            return reply
+
+    @staticmethod
+    def _unwrap(reply):
+        kind = reply[0]
+        if kind == "ok":
+            return reply[1]
+        if kind == "repro-error":
+            _kind, cls_name, message = reply
+            cls = getattr(_errors, cls_name, ReproError)
+            if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+                cls = ReproError  # pragma: no cover - defensive
+            raise cls(message)
+        raise WorkerCrashError(
+            "pool worker failed a request: %s: %s" % (reply[1], reply[2])
+        )
+
+    def _request_deadline(self, deadline_seconds, weight):
+        """Absolute give-up time for one request (None = wait forever).
+
+        The worker enforces the real per-query deadline inside its
+        ``ExecutionContext``; this is only the parent-side hang
+        detector, so it is scaled by the shard size and padded with
+        the grace period.
+        """
+        effective = deadline_seconds
+        if effective is None:
+            effective = self.engine_kwargs.get("deadline_seconds")
+        if effective is None:
+            return None
+        return (
+            time.monotonic()
+            + effective * max(1, weight)
+            + self.grace_seconds
+        )
+
+    # -- public query API --------------------------------------------------------
+
+    def query(self, language: Any, source: Any, target: Any,
+              deadline_seconds: float | None = None,
+              budget: int | None = None,
+              portfolio: bool | None = None,
+              max_path_edges: int | None = None) -> Any:
+        """One RSPQ answered by a pool worker (engine-identical).
+
+        Raises exactly what :meth:`QueryEngine.query` raises
+        (re-constructed by class), plus :class:`WorkerCrashError` when
+        the retry budget is spent.
+        """
+        QueryEngine._check_overrides(deadline_seconds, budget, max_path_edges)
+        overrides = {
+            "deadline_seconds": deadline_seconds,
+            "budget": budget,
+            "portfolio": portfolio,
+            "max_path_edges": max_path_edges,
+        }
+        deadline = self._request_deadline(deadline_seconds, 1)
+        reply = self._roundtrip(
+            ("query", (language, source, target, overrides)), deadline
+        )
+        return self._unwrap(reply)
+
+    def run_batch(self, queries: Any, workers: int | None = None,
+                  deadline_seconds: float | None = None,
+                  budget: int | None = None,
+                  vectorize: bool | None = None,
+                  group_min_size: int | None = None,
+                  portfolio: bool | None = None,
+                  max_path_edges: int | None = None) -> BatchResult:
+        """A batch sharded across the pool; same contract as the engine.
+
+        Results land in input order and are bit-identical to
+        ``QueryEngine.run_batch`` on the same snapshot: shards are
+        built with the engine's own plan grouping (largest group to
+        the least-loaded worker, leftovers strided), and each worker
+        answers its shard through the identical serial-or-vectorized
+        dispatch.
+        """
+        query_list = list(queries)
+        QueryEngine._check_overrides(deadline_seconds, budget, max_path_edges)
+        if workers is None:
+            workers = self._workers
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %d" % workers)
+        use_vectorize = (
+            vectorize if vectorize is not None
+            else self.engine_kwargs.get("vectorize", True)
+        )
+        # Mirror QueryEngine._sweep_allowed: any *effective* budget or
+        # deadline (override or worker-engine default) disables shared
+        # sweeps so pool batches stay bit-identical to serial ones.
+        effective_budget = (
+            self.engine_kwargs.get("exact_budget")
+            if budget is None else budget
+        )
+        effective_deadline = (
+            self.engine_kwargs.get("deadline_seconds")
+            if deadline_seconds is None else deadline_seconds
+        )
+        if effective_budget is not None or effective_deadline is not None:
+            use_vectorize = False
+        min_size = (
+            group_min_size if group_min_size is not None
+            else self.engine_kwargs.get("group_min_size", 2)
+        )
+        if min_size < 1:
+            raise ValueError(
+                "group_min_size must be >= 1, got %d" % min_size
+            )
+        overrides = {
+            "deadline_seconds": deadline_seconds,
+            "budget": budget,
+            "portfolio": portfolio,
+            "max_path_edges": max_path_edges,
+        }
+        start = time.perf_counter()
+        shard_count = max(1, min(workers, self._workers, len(query_list)))
+        shards: list[list] = [[] for _ in range(shard_count)]
+        if use_vectorize:
+            groups, ungroupable = group_by_plan(
+                list(enumerate(query_list))
+            )
+            loads = [0] * shard_count
+            ordered = sorted(
+                groups.values(),
+                key=lambda members: (-len(members), members[0][0]),
+            )
+            for members in ordered:
+                slot = loads.index(min(loads))
+                shards[slot].extend(members)
+                loads[slot] += len(members)
+            for offset, item in enumerate(ungroupable):
+                shards[offset % shard_count].append(item)
+        else:
+            for index, triple in enumerate(query_list):
+                shards[index % shard_count].append((index, triple))
+        futures = [
+            self._executor.submit(
+                self._run_shard, shard, overrides, use_vectorize,
+                min_size, deadline_seconds,
+            )
+            for shard in shards if shard
+        ]
+        results: list = [None] * len(query_list)
+        plan_stats = PlanCacheStats()
+        result_cache_stats = None
+        vec_stats = VectorizedBatchStats() if use_vectorize else None
+        errors = []
+        for future in futures:
+            try:
+                pairs, shard_plan, shard_result, shard_vec = future.result()
+            except BaseException as err:
+                errors.append(err)
+                continue
+            for index, result in pairs:
+                results[index] = result
+            plan_stats = plan_stats + shard_plan
+            if shard_result is not None:
+                result_cache_stats = (
+                    shard_result if result_cache_stats is None
+                    else result_cache_stats + shard_result
+                )
+            if vec_stats is not None and shard_vec is not None:
+                vec_stats = vec_stats + shard_vec
+        if errors:
+            raise errors[0]
+        return BatchResult(
+            results=results,
+            seconds=time.perf_counter() - start,
+            cache_stats=plan_stats,
+            workers=shard_count,
+            result_cache_stats=result_cache_stats,
+            stats=vec_stats,
+        )
+
+    def _run_shard(self, shard, overrides, vectorized, min_size,
+                   deadline_seconds):
+        deadline = self._request_deadline(deadline_seconds, len(shard))
+        reply = self._roundtrip(
+            ("batch", (shard, overrides, vectorized, min_size)), deadline
+        )
+        return self._unwrap(reply)
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Pool counters plus a per-worker sample (for ``/stats``).
+
+        Per-worker blocks are collected from workers that are *idle*
+        at the instant of the call (a stats probe never queues behind
+        a long-running query); ``sampled`` says how many of the
+        ``workers`` answered.  Aggregate cache/serving counters are
+        summed over the sampled workers.
+        """
+        with self._lock:
+            info: dict[str, Any] = {
+                "workers": self._workers,
+                "requests": self._requests,
+                "crashes": self._crashes,
+                "respawns": self._respawns,
+            }
+        handles = []
+        while True:
+            try:
+                handles.append(self._idle.get_nowait())
+            except queue.Empty:
+                break
+        per_worker = []
+        aggregate = {
+            "served_queries": 0,
+            "served_batches": 0,
+            "plan_cache": {
+                "hits": 0, "misses": 0, "evictions": 0, "compiles": 0,
+            },
+        }
+        probe_deadline = time.monotonic() + self.grace_seconds
+        for handle in handles:
+            try:
+                handle.conn.send(("stats",))
+                block = self._unwrap(self._recv(handle, probe_deadline))
+            except (_WorkerDied, _WorkerHung, BrokenPipeError, OSError,
+                    WorkerCrashError):
+                # A worker found dead during a probe is respawned like
+                # any other crash; the probe itself is best-effort.
+                try:
+                    self._idle.put(self._respawn(handle))
+                except ReproError:  # pragma: no cover - respawn failed
+                    pass
+                continue
+            self._idle.put(handle)
+            per_worker.append(block)
+            aggregate["served_queries"] += block["served_queries"]
+            aggregate["served_batches"] += block["served_batches"]
+            for key in aggregate["plan_cache"]:
+                aggregate["plan_cache"][key] += block["plan_cache"][key]
+        info["sampled"] = len(per_worker)
+        info["aggregate"] = aggregate
+        info["per_worker"] = per_worker
+        return info
+
+    def __repr__(self):
+        return "WorkerPool(workers=%d, snapshot=%r)" % (
+            self._workers, self.snapshot_path,
+        )

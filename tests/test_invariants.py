@@ -54,7 +54,14 @@ def run_cli(*args):
 
 @pytest.mark.parametrize(
     "rule",
-    ["lock-discipline", "solver-purity", "hot-loop", "protocol-drift", "api-types"],
+    [
+        "lock-discipline",
+        "solver-purity",
+        "hot-loop",
+        "snapshot-readonly",
+        "protocol-drift",
+        "api-types",
+    ],
 )
 def test_rule_flags_its_fixture(rule):
     fixture = FIXTURES / ("fixture_%s.py" % rule.replace("-", "_"))
@@ -88,6 +95,17 @@ def test_lock_fixture_message_names_attribute():
     (violation,) = analyze([fixture], rules=["lock-discipline"])
     assert "_entries" in violation.message
     assert violation.line == 19
+
+
+def test_snapshot_readonly_fixture_reports_all_shapes():
+    fixture = FIXTURES / "fixture_snapshot_readonly.py"
+    violations = analyze([fixture], rules=["snapshot-readonly"])
+    assert len(violations) == 5
+    messages = "\n".join(v.message for v in violations)
+    assert "store into a subscript" in messages
+    assert "del of a subscript" in messages
+    assert "in-place byteswap()" in messages
+    assert "held snapshot mapping" in messages
 
 
 def test_purity_fixture_reports_all_three_shapes():
@@ -171,7 +189,7 @@ def test_cli_json_output_shape():
     assert proc.returncode == 1
     payload = json.loads(proc.stdout)
     assert payload["checked_files"] == 1
-    assert len(payload["rules"]) == 6
+    assert len(payload["rules"]) == 7
     (record,) = payload["violations"]
     assert record["rule"] == "api-types"
     assert record["path"].endswith("fixture_api_types.py")
@@ -179,12 +197,12 @@ def test_cli_json_output_shape():
     assert "missing annotations" in record["message"]
 
 
-def test_cli_list_rules_covers_all_six():
+def test_cli_list_rules_covers_all_seven():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     for rule in ALL_RULES:
         assert rule.name in proc.stdout
-    assert len(ALL_RULES) == 6
+    assert len(ALL_RULES) == 7
 
 
 def test_cli_unknown_rule_is_usage_error():

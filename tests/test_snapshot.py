@@ -584,3 +584,152 @@ class TestFormatV3ReachabilityIndex:
         result = engine.query("a*", 0, 5)
         assert result.found is False
         assert result.stats.short_circuit is True
+
+
+class TestAttachSnapshot:
+    """Zero-copy attach: mmapped views, path pickling, reach reuse."""
+
+    def test_attached_graph_answers_identically(self, graph, snap_path):
+        from repro.service.snapshot import attach_snapshot
+
+        attached = attach_snapshot(snap_path)
+        compiled = IndexedGraph(graph)
+        assert list(attached.vertices()) == list(compiled.vertices())
+        assert attached.num_edges == compiled.num_edges
+        queries = [
+            ("a*", 0, 24), ("ab + ba", 3, 11), ("(aa)*", 5, 20),
+            ("a*ba*", 2, 17), ("a*(bb^+ + eps)c*", 0, 5),
+        ]
+        engine = QueryEngine(attached)
+        for regex, source, target in queries:
+            direct = solve_rspq(regex, graph, source, target)
+            served = engine.query(regex, source, target)
+            assert served.found == direct.found, (regex, source)
+            assert served.path == direct.path, (regex, source)
+
+    def test_attached_views_are_zero_copy(self, snap_path):
+        from repro.service.snapshot import attach_snapshot
+
+        attached = attach_snapshot(snap_path)
+        view = attached.view()
+        indptr, labels, targets = view._raw_out
+        # Every CSR array is a cast of the one mmap — no copies.
+        for raw in (indptr, labels, targets):
+            assert isinstance(raw, memoryview)
+            assert raw.obj is attached._mapping
+        for label_arrays in (
+            attached._label_indptr, attached._label_targets,
+        ):
+            for raw in label_arrays.values():
+                assert raw.obj is attached._mapping
+
+    def test_attached_adjacency_matches_loaded(self, graph, snap_path):
+        from repro.service.snapshot import attach_snapshot
+
+        attached = attach_snapshot(snap_path)
+        loaded = load_snapshot(snap_path)
+        for vertex in loaded.vertices():
+            assert attached.sorted_out_edges(vertex) == (
+                loaded.sorted_out_edges(vertex)
+            )
+            assert list(attached.in_edges(vertex)) == (
+                list(loaded.in_edges(vertex))
+            )
+            assert attached.out_degree(vertex) == loaded.out_degree(vertex)
+            assert attached.in_degree(vertex) == loaded.in_degree(vertex)
+
+    def test_attach_missing_or_empty_file_raises(self, tmp_path):
+        from repro.service.snapshot import attach_snapshot
+
+        with pytest.raises(SnapshotError):
+            attach_snapshot(str(tmp_path / "absent.snap"))
+        empty = tmp_path / "empty.snap"
+        empty.write_bytes(b"")
+        with pytest.raises(SnapshotError, match="empty"):
+            attach_snapshot(str(empty))
+
+
+class TestSnapshotPickleByPath:
+    """Snapshot-backed graphs pickle as a path, not as CSR arrays."""
+
+    def test_pickle_ships_path_not_arrays(self, graph, snap_path):
+        import pickle
+
+        loaded = load_snapshot(snap_path)
+        by_path = pickle.dumps(loaded)
+        # The path spec is a few dozen bytes; a full-state pickle of
+        # this graph is tens of kilobytes.  The margin is the
+        # regression guard: re-serialised CSR arrays cannot fit.
+        assert len(by_path) < 2048
+        plain = IndexedGraph(graph)
+        assert len(pickle.dumps(plain)) > 4 * len(by_path)
+        clone = pickle.loads(by_path)
+        assert list(clone.vertices()) == list(loaded.vertices())
+        assert clone.num_edges == loaded.num_edges
+
+    def test_unpickled_clone_is_attached_and_shared(self, snap_path):
+        import pickle
+
+        from repro.service.snapshot import AttachedGraph
+
+        loaded = load_snapshot(snap_path)
+        first = pickle.loads(pickle.dumps(loaded))
+        second = pickle.loads(pickle.dumps(loaded))
+        assert isinstance(first, AttachedGraph)
+        # The process-local attach cache maps (path, crc) to one graph.
+        assert first is second
+
+    def test_pickle_falls_back_to_full_state_when_file_gone(
+        self, graph, snap_path
+    ):
+        import os
+        import pickle
+
+        loaded = load_snapshot(snap_path)
+        os.unlink(snap_path)
+        blob = pickle.dumps(loaded)
+        assert len(blob) > 2048  # full arrays, self-contained
+        clone = pickle.loads(blob)
+        compiled = IndexedGraph(graph)
+        for vertex in compiled.vertices():
+            assert clone.sorted_out_edges(vertex) == (
+                compiled.sorted_out_edges(vertex)
+            )
+
+    def test_process_mode_batch_over_snapshot_engine(self, graph,
+                                                     snap_path):
+        engine = QueryEngine(load_snapshot(snap_path))
+        queries = [
+            ("a*", 0, 24), ("ab + ba", 3, 11), ("(aa)*", 5, 20),
+            ("a*ba*", 2, 17),
+        ]
+        batch = engine.run_batch(queries, mode="process", workers=2)
+        for (regex, source, target), result in zip(queries, batch.results):
+            direct = solve_rspq(regex, graph, source, target)
+            assert result.found == direct.found
+            assert result.path == direct.path
+
+
+class TestCondensationReuse:
+    """save -> load reuses the already-compiled condensation object."""
+
+    def test_load_after_save_shares_reach_parts_identity(
+        self, tmp_path, graph
+    ):
+        compiled = IndexedGraph(graph)
+        path = str(tmp_path / "reuse.snap")
+        save_snapshot(compiled, path)  # v3 computes reach_parts()
+        loaded = load_snapshot(path)
+        assert loaded.reach_parts() is compiled.reach_parts()
+
+    def test_reuse_is_skipped_when_file_rewritten(self, tmp_path):
+        first = IndexedGraph(random_labeled_graph(10, 30, "ab", seed=1))
+        second = IndexedGraph(random_labeled_graph(12, 40, "ab", seed=2))
+        path = str(tmp_path / "rewrite.snap")
+        save_snapshot(first, path)
+        save_snapshot(second, path)  # same path, different CRC
+        loaded = load_snapshot(path)
+        assert loaded.reach_parts() is not first.reach_parts()
+        assert list(loaded.reach_parts()[0]) == (
+            list(second.reach_parts()[0])
+        )

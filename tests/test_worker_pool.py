@@ -1,0 +1,375 @@
+"""Pre-fork worker pool: differential answers, crashes, mmap lifecycle.
+
+The pool's contract is *bit-identical serving*: every answer produced
+by N forked workers attached to one shared snapshot must match, path
+for path, what a single in-process :class:`QueryEngine` (and the raw
+:func:`solve_rspq` library call) produces — including when overrides
+tighten budgets or deadlines, and including across a mid-run worker
+crash (queries are pure, so the retry on a respawned sibling is
+invisible to the caller).
+
+The mmap lifecycle tests pin POSIX semantics the serving design leans
+on: deleting or replacing the snapshot file never disturbs already
+attached workers (the old inode lives until the last mapping drops),
+while *fresh* attaches see the new file or fail with a clean
+:class:`SnapshotError`.
+"""
+
+import os
+
+import pytest
+
+from repro.core.solver import solve_rspq
+from repro.engine import IndexedGraph, QueryEngine
+from repro.errors import (
+    BudgetExceededError,
+    GraphError,
+    ReproError,
+    SnapshotError,
+    WorkerCrashError,
+)
+from repro.graphs.generators import labeled_cycle, random_labeled_graph
+from repro.service import GraphRegistry, save_snapshot
+from repro.service.workers import WorkerPool
+
+QUERIES = [
+    ("a*", 0, 1),
+    ("a*(bb^+ + eps)c*", 0, 5),
+    ("ab + ba", 2, 3),
+    ("a*ba*", 4, 5),
+    ("(ab)^+", 1, 4),
+    ("c*a", 3, 0),
+    ("a*", 0, 1),  # repeat: exercises the per-worker result cache
+    ("b^+", 5, 2),
+]
+
+
+@pytest.fixture
+def graph():
+    return random_labeled_graph(25, 80, "abc", seed=3)
+
+
+@pytest.fixture
+def snap_path(tmp_path, graph):
+    path = str(tmp_path / "graph.snap")
+    save_snapshot(IndexedGraph(graph), path)
+    return path
+
+
+@pytest.fixture
+def pool(snap_path):
+    with WorkerPool(snap_path, workers=2) as running:
+        yield running
+
+
+def assert_results_identical(served, direct):
+    assert served.found == direct.found
+    assert served.strategy == direct.strategy
+    assert served.confidence == direct.confidence
+    assert served.error == direct.error
+    if direct.path is None:
+        assert served.path is None
+    else:
+        assert list(served.path.vertices) == list(direct.path.vertices)
+        assert served.path.word == direct.path.word
+
+
+class TestDifferential:
+    def test_query_matches_engine_and_direct(self, pool, snap_path, graph):
+        engine = QueryEngine(IndexedGraph(graph))
+        for language, source, target in QUERIES:
+            served = pool.query(language, source, target)
+            assert_results_identical(
+                served, engine.query(language, source, target)
+            )
+            direct = solve_rspq(language, graph, source, target)
+            assert served.found == direct.found
+            if direct.path is not None:
+                assert list(served.path.vertices) == list(
+                    direct.path.vertices
+                )
+
+    def test_graph_errors_reconstructed_by_class(self, pool):
+        with pytest.raises(GraphError, match="unknown"):
+            pool.query("a*", 999, 1)
+
+    def test_batch_matches_engine_vectorized_and_serial(self, pool, graph):
+        engine = QueryEngine(IndexedGraph(graph))
+        expected = engine.run_batch(QUERIES)
+        for vectorize in (True, False):
+            batch = pool.run_batch(QUERIES, vectorize=vectorize)
+            assert len(batch.results) == len(QUERIES)
+            for served, direct in zip(batch.results, expected.results):
+                assert_results_identical(served, direct)
+
+    def test_batch_isolates_per_query_errors(self, pool, graph):
+        queries = [("a*", 0, 1), ("a*", 999, 1)]
+        batch = pool.run_batch(queries)
+        expected = QueryEngine(IndexedGraph(graph)).run_batch(queries)
+        assert batch.results[0].error is None
+        assert batch.results[0].found == expected.results[0].found
+        assert batch.results[1].error == expected.results[1].error
+
+    def test_budget_override_matches_cold_engine(self, tmp_path):
+        # Budget comparisons need matching cache states: a warm result
+        # cache replays answers no fresh budgeted solve could reach, so
+        # both sides run with the cache off.
+        cycle = labeled_cycle("ababababa")
+        path = str(tmp_path / "cycle.snap")
+        save_snapshot(IndexedGraph(cycle), path)
+        engine = QueryEngine(IndexedGraph(cycle), result_cache=False)
+        queries = [("a*", 0, 1), ("(ab)^+ba", 0, 5), ("b*a*b*", 2, 7)]
+        with WorkerPool(
+            path, engine_kwargs={"result_cache": False}, workers=2
+        ) as pool:
+            for language, source, target in queries:
+                for budget in (5, 100000):
+                    outcomes = []
+                    for run in (
+                        lambda: pool.query(
+                            language, source, target, budget=budget
+                        ),
+                        lambda: engine.query(
+                            language, source, target, budget=budget
+                        ),
+                    ):
+                        try:
+                            outcomes.append(("ok", run().found))
+                        except BudgetExceededError:
+                            outcomes.append(("budget", None))
+                    assert outcomes[0] == outcomes[1]
+            served = pool.run_batch(queries, budget=5)
+            direct = engine.run_batch(queries, budget=5)
+            for pool_result, engine_result in zip(
+                served.results, direct.results
+            ):
+                assert_results_identical(pool_result, engine_result)
+
+    def test_deadline_override_matches_engine(self, pool, graph):
+        # A generous deadline must not perturb answers (the engine
+        # disables shared sweeps whenever a deadline is in force, and
+        # the pool mirrors that choice).
+        engine = QueryEngine(IndexedGraph(graph))
+        served = pool.run_batch(QUERIES, deadline_seconds=30.0)
+        direct = engine.run_batch(QUERIES, deadline_seconds=30.0)
+        for pool_result, engine_result in zip(
+            served.results, direct.results
+        ):
+            assert_results_identical(pool_result, engine_result)
+
+    def test_batch_aggregates_worker_cache_stats(self, pool):
+        batch = pool.run_batch(QUERIES, vectorize=False)
+        assert batch.cache_stats.compiles >= 1
+        assert batch.workers == 2
+
+
+class TestCrashRecovery:
+    def test_respawn_then_identical_results(self, pool, graph):
+        engine = QueryEngine(IndexedGraph(graph))
+        before = [pool.query(lang, s, t) for lang, s, t in QUERIES]
+        pool.kill_worker(0)
+        pool.kill_worker(1)
+        after = [pool.query(lang, s, t) for lang, s, t in QUERIES]
+        for first, second in zip(before, after):
+            assert_results_identical(first, second)
+        for served, (language, source, target) in zip(after, QUERIES):
+            assert_results_identical(
+                served, engine.query(language, source, target)
+            )
+        stats = pool.stats()
+        assert stats["crashes"] >= 2
+        assert stats["respawns"] >= 2
+
+    def test_retry_budget_exhaustion_surfaces_worker_crash_error(
+        self, pool
+    ):
+        # The "exit" frame is the crash drill: every worker that picks
+        # it up dies without replying, so the request burns through its
+        # retries and surfaces as WorkerCrashError — after which the
+        # respawned pool keeps serving.
+        with pytest.raises(WorkerCrashError, match="died"):
+            pool._roundtrip(("exit", 1))
+        assert pool.query("a*", 0, 1) is not None
+        assert pool.stats()["respawns"] >= pool.max_retries
+
+    def test_worker_crash_error_is_repro_error(self):
+        assert issubclass(WorkerCrashError, ReproError)
+
+
+class TestMmapLifecycle:
+    def test_unlink_while_attached_keeps_serving(self, snap_path, graph):
+        engine = QueryEngine(IndexedGraph(graph))
+        with WorkerPool(snap_path, workers=1) as pool:
+            os.unlink(snap_path)
+            for language, source, target in QUERIES[:4]:
+                assert_results_identical(
+                    pool.query(language, source, target),
+                    engine.query(language, source, target),
+                )
+
+    def test_replace_while_attached_keeps_old_graph(
+        self, snap_path, graph
+    ):
+        from repro.service.snapshot import attach_snapshot
+
+        engine = QueryEngine(IndexedGraph(graph))
+        replacement = labeled_cycle("aaaa")
+        with WorkerPool(snap_path, workers=1) as pool:
+            save_snapshot(IndexedGraph(replacement), snap_path)
+            # Attached workers still serve the old inode ...
+            assert_results_identical(
+                pool.query("a*(bb^+ + eps)c*", 0, 5),
+                engine.query("a*(bb^+ + eps)c*", 0, 5),
+            )
+            # ... while a fresh attach sees the new file.
+            fresh = attach_snapshot(snap_path)
+            assert fresh.num_vertices == replacement.num_vertices
+            assert fresh.num_edges == replacement.num_edges
+
+    def test_respawn_after_delete_is_clean_snapshot_error(self, snap_path):
+        with WorkerPool(
+            snap_path, workers=1, max_retries=1, respawn_backoff=0.0
+        ) as pool:
+            os.unlink(snap_path)
+            pool.kill_worker(0)
+            with pytest.raises(SnapshotError, match="could not attach"):
+                pool.query("a*", 0, 1)
+
+    def test_truncated_fresh_attach_raises(self, snap_path):
+        from repro.service.snapshot import attach_snapshot
+
+        size = os.path.getsize(snap_path)
+        with open(snap_path, "r+b") as handle:
+            handle.truncate(size // 2)
+        with pytest.raises(SnapshotError):
+            attach_snapshot(snap_path)
+
+    def test_pool_on_missing_snapshot_fails_at_construction(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            WorkerPool(str(tmp_path / "absent.snap"), workers=1)
+
+
+class TestPoolStats:
+    def test_stats_shape_and_counters(self, pool):
+        pool.query("a*", 0, 1)
+        pool.run_batch(QUERIES[:4])
+        stats = pool.stats()
+        assert stats["workers"] == 2
+        assert stats["requests"] >= 2
+        assert stats["sampled"] == 2
+        assert stats["aggregate"]["served_queries"] >= 5
+        assert len(stats["per_worker"]) == 2
+        for block in stats["per_worker"]:
+            assert block["pid"] > 0
+            assert set(block["plan_cache"]) == {
+                "hits", "misses", "evictions", "compiles",
+            }
+
+    def test_per_worker_rss_stays_flat(self, pool):
+        # The whole point of attach-by-path: worker RSS is fork
+        # inheritance plus engine overhead, never a private copy of
+        # the graph.  Forked children start from the parent's
+        # footprint, so the bound is relative — a pickled-graph worker
+        # would add the whole graph on top of it.
+        from repro.service.workers import _rss_mb
+
+        pool.run_batch(QUERIES)
+        parent_rss = _rss_mb()
+        for block in pool.stats()["per_worker"]:
+            if block["rss_mb"] is None or parent_rss is None:
+                continue
+            assert block["rss_mb"] < parent_rss + 32.0
+
+
+class TestPoolBackedService:
+    def _random_queries(self, graph, count=24, seed=11):
+        import random
+
+        rng = random.Random(seed)
+        vertices = list(graph.vertices())
+        languages = ["a*", "a*(bb^+ + eps)c*", "ab + ba", "(ab)^+", "c*a"]
+        return [
+            (
+                languages[index % len(languages)],
+                rng.choice(vertices),
+                rng.choice(vertices),
+            )
+            for index in range(count)
+        ]
+
+    def test_registry_spools_snapshot_and_serves_identically(self, graph):
+        from repro.service import (
+            QueryService, ServiceClient, ServiceConfig, ServiceThread,
+        )
+        from repro.service.client import run_load, verify_against_direct
+
+        registry = GraphRegistry(worker_processes=2)
+        try:
+            entry = registry.register("main", graph)
+            assert entry.pool is not None
+            assert entry.pool.workers == 2
+            assert os.path.exists(entry.pool.snapshot_path)
+            queries = self._random_queries(graph)
+            service = QueryService(registry, ServiceConfig(workers=2))
+            with ServiceThread(service) as running:
+                client = ServiceClient(port=running.port)
+                records = run_load(
+                    client, queries, graph="main", batch_size=8, workers=2
+                )
+                stats = client.stats()
+            assert verify_against_direct(graph, queries, records) == []
+            (graph_stats,) = stats["graphs"]
+            workers_block = graph_stats["workers"]
+            assert workers_block["workers"] == 2
+            assert workers_block["aggregate"]["served_queries"] >= len(
+                queries
+            )
+            assert graph_stats["snapshot_path"] == entry.pool.snapshot_path
+        finally:
+            registry.close()
+
+    def test_register_snapshot_attaches_for_pool(self, snap_path, graph):
+        registry = GraphRegistry(worker_processes=1)
+        try:
+            entry = registry.register_snapshot("warm", snap_path)
+            assert entry.pool is not None
+            assert entry.pool.snapshot_path == snap_path
+            served = entry.pool.query("a*(bb^+ + eps)c*", 0, 5)
+            direct = solve_rspq("a*(bb^+ + eps)c*", graph, 0, 5)
+            assert served.found == direct.found
+        finally:
+            registry.close()
+
+    def test_close_terminates_workers_and_spool(self, graph):
+        registry = GraphRegistry(worker_processes=1)
+        entry = registry.register("main", graph)
+        pool = entry.pool
+        spooled = pool.snapshot_path
+        processes = [handle.process for handle in pool._handles]
+        registry.close()
+        for process in processes:
+            process.join(timeout=5.0)
+            assert not process.is_alive()
+        assert not os.path.exists(spooled)
+
+    def test_single_query_via_http_uses_pool(self, graph):
+        from repro.service import (
+            QueryService, ServiceClient, ServiceConfig, ServiceThread,
+        )
+
+        registry = GraphRegistry(worker_processes=1)
+        try:
+            registry.register("main", graph)
+            service = QueryService(registry, ServiceConfig(workers=2))
+            with ServiceThread(service) as running:
+                client = ServiceClient(port=running.port)
+                record = client.query("a*(bb^+ + eps)c*", 0, 5)
+            direct = solve_rspq("a*(bb^+ + eps)c*", graph, 0, 5)
+            assert record["found"] == direct.found
+            assert record["strategy"] == direct.strategy
+        finally:
+            registry.close()
+
+    def test_negative_worker_processes_rejected(self):
+        with pytest.raises(ValueError):
+            GraphRegistry(worker_processes=-1)

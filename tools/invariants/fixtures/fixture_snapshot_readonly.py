@@ -1,0 +1,31 @@
+# invariant-scope: snapshot-readonly
+"""Seeded violations for the snapshot-readonly rule (test fixture)."""
+
+
+class FakeAttached:
+    def __init__(self, raw, mapping):
+        self._raw = raw
+        self._mapping = mapping
+        self._label_indptr = {}
+
+    def ok_rebind(self, raw):
+        # Rebinding the attribute is allowed: it does not touch the
+        # mapped pages, only the Python object graph.
+        self._raw = dict(raw)
+        local = self._raw["out_targets"]
+        return local[0]
+
+    def bad_item_store(self):
+        self._raw["out_targets"][0] = 7  # store through mapped array
+
+    def bad_aug_store(self):
+        self._label_indptr["a"][1] += 1  # in-place add on mapped array
+
+    def bad_delete(self):
+        del self._raw["out_labels"][2]  # del through mapped array
+
+    def bad_mutator(self):
+        self._raw["out_indptr"].byteswap()  # in-place mutator
+
+    def bad_close(self):
+        self._mapping.close()  # explicit teardown of a held mapping

@@ -9,12 +9,14 @@ from .lock_discipline import LockDisciplineRule
 from .protocol_drift import ProtocolDriftRule
 from .purity import SolverPurityRule
 from .snapshot_layout import SnapshotLayoutRule
+from .snapshot_readonly import SnapshotReadonlyRule
 
 ALL_RULES: tuple[Rule, ...] = (
     LockDisciplineRule(),
     SolverPurityRule(),
     HotLoopRule(),
     SnapshotLayoutRule(),
+    SnapshotReadonlyRule(),
     ProtocolDriftRule(),
     ApiTypesRule(),
 )
