@@ -380,6 +380,80 @@ def _build_parser():
         "beyond it is rejected with 409 so unauthenticated "
         "registrations cannot grow memory unboundedly (default 64)",
     )
+    p_serve.add_argument(
+        "--shed-policy",
+        choices=("flat", "deadline"),
+        default="deadline",
+        help="admission control: 'flat' is the hard in-flight cap "
+        "only; 'deadline' (default) additionally sheds "
+        "doomed-deadline work and, above --soft-inflight, "
+        "cheap-to-retry requests first",
+    )
+    p_serve.add_argument(
+        "--soft-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pressure watermark for the deadline shed policy: above "
+        "N in-flight queries, single-query (cheap-to-retry) requests "
+        "are shed with 429 before the hard cap bites (default: off)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive worker-crash failures that open a graph's "
+        "circuit breaker (default 5)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="base cooldown before an open circuit admits a half-open "
+        "probe; doubles per consecutive open (default 1.0)",
+    )
+    p_serve.add_argument(
+        "--breaker-max-cooldown",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="cap on the breaker's exponential cooldown (default 30)",
+    )
+    p_serve.add_argument(
+        "--watchdog-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard-kill a pool worker busy on one request for longer "
+        "than this (reclaims wedged workers even for requests "
+        "without deadlines; default: off)",
+    )
+    p_serve.add_argument(
+        "--degrade-crash-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="worker-loss events per window that climb one "
+        "degradation rung (default 3)",
+    )
+    p_serve.add_argument(
+        "--degrade-recovery-seconds",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="quiet seconds before the service steps one degradation "
+        "rung back down (default 5)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="seconds SIGTERM/SIGINT shutdown waits for in-flight "
+        "requests before closing worker pools (default 10)",
+    )
     return parser
 
 
@@ -719,6 +793,15 @@ def _cmd_serve(args):
     import asyncio
 
     from .service import GraphRegistry, QueryService, ServiceConfig
+    from .service import faults
+
+    try:
+        # Dormant unless REPRO_FAULTS carries a JSON fault spec; the
+        # chaos harness uses this to inject faults into a real
+        # `repro serve` process without touching its code paths.
+        faults.install_from_env()
+    except ValueError as err:
+        raise ReproError(str(err)) from err
 
     graphs = _parse_named_paths(args.graph, "--graph")
     snapshots = _parse_named_paths(args.snapshot, "--snapshot")
@@ -760,6 +843,14 @@ def _cmd_serve(args):
             "--worker-processes must be >= 0, got %d"
             % args.worker_processes
         )
+    if args.watchdog_seconds is not None and args.watchdog_seconds <= 0:
+        raise ReproError(
+            "--watchdog-seconds must be positive, got %r"
+            % args.watchdog_seconds
+        )
+    pool_kwargs = {}
+    if args.watchdog_seconds is not None:
+        pool_kwargs["watchdog_seconds"] = args.watchdog_seconds
     registry = GraphRegistry(
         plan_cache_size=args.plan_cache_size,
         exact_budget=args.budget,
@@ -774,6 +865,7 @@ def _cmd_serve(args):
         portfolio_failure_probability=args.portfolio_failure_probability,
         portfolio_seed=args.portfolio_seed,
         worker_processes=args.worker_processes,
+        pool_kwargs=pool_kwargs,
     )
     try:
         for name, path in graphs:
@@ -793,6 +885,14 @@ def _cmd_serve(args):
                 workers=args.workers,
                 parallel_mode=args.parallel_mode,
                 max_inflight=args.max_inflight,
+                shed_policy=args.shed_policy,
+                soft_inflight=args.soft_inflight,
+                breaker_threshold=args.breaker_threshold,
+                breaker_cooldown=args.breaker_cooldown,
+                breaker_max_cooldown=args.breaker_max_cooldown,
+                degrade_crash_threshold=args.degrade_crash_threshold,
+                degrade_recovery_seconds=args.degrade_recovery_seconds,
+                drain_timeout=args.drain_timeout,
             )
         except ValueError as err:
             raise ReproError(str(err)) from err
@@ -802,16 +902,28 @@ def _cmd_serve(args):
             if args.worker_processes
             else ""
         )
-        print(
-            "serving %d graph(s) on http://%s:%d (workers=%d, "
-            "max_inflight=%d%s)"
-            % (len(registry), args.host, args.port, args.workers,
-               args.max_inflight, pool_note)
-        )
+
+        def announce(port):
+            # Printed after bind so --port 0 reports the real port.
+            print(
+                "serving %d graph(s) on http://%s:%d (workers=%d, "
+                "max_inflight=%d, shed_policy=%s%s)"
+                % (len(registry), args.host, port, args.workers,
+                   args.max_inflight, args.shed_policy, pool_note),
+                flush=True,
+            )
+
         try:
-            asyncio.run(service.serve_forever(args.host, args.port))
+            # SIGTERM/SIGINT drain in-flight requests and close the
+            # registry (worker pools, spool dirs) before exiting.
+            asyncio.run(
+                service.serve_until_interrupted(
+                    args.host, args.port, ready=announce
+                )
+            )
         except KeyboardInterrupt:  # pragma: no cover - interactive only
-            print("shutting down")
+            pass
+        print("shut down cleanly", flush=True)
     finally:
         registry.close()
     return 0

@@ -994,6 +994,32 @@ class QueryEngine:
         """
         return self._probe_short_circuit(view, plan, source, target)[0]
 
+    def reach_only_result(
+        self, language: "str | Language", source: Any, target: Any
+    ) -> "EngineResult | None":
+        """A certified NOT_FOUND from the reachability index alone.
+
+        The deepest rung of the serving tier's degradation ladder:
+        answer *only* what the label-constrained reachability index
+        can prove without running any solver.  Returns the same
+        short-circuit :class:`EngineResult` a full query would have
+        produced when the index proves the target unreachable, and
+        ``None`` when the index is off or cannot decide (the caller
+        sheds the request rather than guessing).
+
+        Never wrong by construction: a short-circuit NOT_FOUND is a
+        proof, not an estimate.  Raises exactly what plan compilation
+        or vertex resolution would raise on a full query.
+        """
+        start = time.perf_counter()
+        plan, cache_hit = self.plan_for(language)
+        view = self.view
+        if not self._short_circuits(view, plan, source, target):
+            return None
+        return self._short_circuit_result(
+            language, source, target, plan, cache_hit, start
+        )
+
     def exists(
         self, language: "str | Language", source: Any, target: Any
     ) -> bool:

@@ -92,18 +92,30 @@ class ServiceError(ReproError):
     status:
         The HTTP status the service layer maps this error to (also set
         on client-side errors from the response status).
+    retry_after:
+        Seconds after which the client should retry, or None.  Sent as
+        a ``Retry-After`` header and in the structured error body for
+        429/503 responses.
+    error_type:
+        Short machine-readable error category for structured error
+        bodies (e.g. ``"overloaded"``, ``"worker_crash"``), or None.
     """
 
-    def __init__(self, message, status=400):
+    def __init__(self, message, status=400, retry_after=None,
+                 error_type=None):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+        self.error_type = error_type
 
 
 class ServiceOverloadedError(ServiceError):
     """Raised when admission control rejects a request (server full)."""
 
-    def __init__(self, message, status=429):
-        super().__init__(message, status=status)
+    def __init__(self, message, status=429, retry_after=None,
+                 error_type="overloaded"):
+        super().__init__(message, status=status, retry_after=retry_after,
+                         error_type=error_type)
 
 
 class WorkerCrashError(ReproError):

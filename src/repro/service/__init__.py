@@ -30,7 +30,16 @@ compiled graph, in process.  This package turns that into a service:
 * :mod:`repro.service.protocol` pins the wire format — in particular
   :data:`~repro.service.protocol.RESULT_FIELDS`, the documented,
   deterministic field order shared by the HTTP responses and the
-  ``repro batch --jsonl`` output.
+  ``repro batch --jsonl`` output;
+* :mod:`repro.service.resilience` holds the self-healing primitives —
+  per-graph :class:`CircuitBreaker`, deadline-aware
+  :class:`LoadShedder` and the graceful-degradation
+  :class:`DegradationLadder` the server wires together;
+* :mod:`repro.service.faults` is the deterministic fault-injection
+  harness (:class:`FaultPlan`) the chaos tests drive — worker
+  crash/hang/slow-reply, snapshot corruption, spool IO errors and
+  clock-skewed deadlines, all dormant unless a plan is explicitly
+  installed.
 
 Everything here is standard library only, by design: the serving tier
 must run wherever the solvers do.
@@ -62,6 +71,13 @@ _EXPORTS = {
     "verify_against_direct": ".client",
     "RESULT_FIELDS": ".protocol",
     "result_record": ".protocol",
+    "FaultPlan": ".faults",
+    "BreakerConfig": ".resilience",
+    "CircuitBreaker": ".resilience",
+    "DegradationLadder": ".resilience",
+    "LadderConfig": ".resilience",
+    "LoadShedder": ".resilience",
+    "ShedConfig": ".resilience",
 }
 
 __all__ = sorted(_EXPORTS)

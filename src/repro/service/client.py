@@ -21,6 +21,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
+import socket
+import time
 from typing import Any, Iterable, Sequence
 from urllib.parse import quote
 
@@ -29,21 +32,79 @@ from ..errors import ServiceError, ServiceOverloadedError
 
 
 class ServiceClient:
-    """Minimal JSON client for one service address."""
+    """Minimal JSON client for one service address.
+
+    Parameters
+    ----------
+    timeout:
+        Legacy single knob: used for both connect and read when the
+        split knobs below are not given.
+    connect_timeout / read_timeout:
+        Separate TCP-connect and response-read timeouts; a wedged
+        server can no longer hold a client for the full combined
+        window during connect.
+    max_retries:
+        How many times a 429/503 response (or a connect failure) is
+        retried before the error propagates.  0 — the default, for
+        backward compatibility and for load generators that *measure*
+        shedding — surfaces every rejection immediately.
+    backoff_seconds / backoff_cap / backoff_jitter / retry_seed:
+        Capped exponential backoff between retries: attempt n sleeps
+        ``backoff_seconds * 2**(n-1)`` (capped) with seeded
+        ``±backoff_jitter`` fractional jitter.  A server-provided
+        ``Retry-After`` (header or structured body) overrides the
+        computed delay — the server knows its own drain rate better.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0,
+                 connect_timeout: "float | None" = None,
+                 read_timeout: "float | None" = None,
+                 max_retries: int = 0,
+                 backoff_seconds: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 backoff_jitter: float = 0.1,
+                 retry_seed: int = 0) -> None:
+        if max_retries < 0:
+            raise ValueError(
+                "max_retries must be >= 0, got %d" % max_retries
+            )
+        if backoff_seconds <= 0 or backoff_cap <= 0:
+            raise ValueError("backoff knobs must be positive")
+        if not 0.0 <= backoff_jitter < 1.0:
+            raise ValueError(
+                "backoff_jitter must be in [0, 1), got %r"
+                % (backoff_jitter,)
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = (
+            timeout if connect_timeout is None else connect_timeout
+        )
+        self.read_timeout = (
+            timeout if read_timeout is None else read_timeout
+        )
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self._rng = random.Random(retry_seed)
+        self.retries = 0
 
     # -- transport ---------------------------------------------------------------
 
     def request(self, method: str, path: str,
                 payload: Any = None) -> tuple[int, Any]:
         """One HTTP round-trip; returns ``(status, parsed_body)``."""
+        status, parsed, _headers = self.request_full(method, path, payload)
+        return status, parsed
+
+    def request_full(self, method: str, path: str,
+                     payload: Any = None) -> tuple[int, Any, dict]:
+        """One HTTP round-trip: ``(status, parsed_body, headers)``."""
         connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+            self.host, self.port, timeout=self.connect_timeout
         )
         try:
             body: str | None = None
@@ -51,6 +112,11 @@ class ServiceClient:
             if payload is not None:
                 body = json.dumps(payload)
                 headers["content-type"] = "application/json"
+            connection.connect()
+            if connection.sock is not None:
+                # The connect timeout bounded the handshake; from here
+                # on the read timeout governs the response wait.
+                connection.sock.settimeout(self.read_timeout)
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             raw = response.read()
@@ -58,22 +124,82 @@ class ServiceClient:
                 parsed = json.loads(raw.decode("utf-8")) if raw else None
             except (UnicodeDecodeError, json.JSONDecodeError):
                 parsed = {"error": "unparseable response body"}
-            return response.status, parsed
+            response_headers = {
+                name.lower(): value
+                for name, value in response.getheaders()
+            }
+            return response.status, parsed, response_headers
         finally:
             connection.close()
 
+    def _retry_delay(self, attempt, parsed, headers):
+        """Seconds to sleep before retry ``attempt`` (1-based).
+
+        Honors the server's Retry-After (structured body first — it
+        keeps sub-second precision — then the integer header), falling
+        back to capped exponential backoff with seeded jitter.
+        """
+        hinted = None
+        if isinstance(parsed, dict):
+            hinted = parsed.get("retry_after")
+        if hinted is None and headers:
+            raw = headers.get("retry-after")
+            if raw is not None:
+                try:
+                    hinted = float(raw)
+                except ValueError:
+                    hinted = None
+        if isinstance(hinted, (int, float)) and not isinstance(
+            hinted, bool
+        ) and hinted >= 0:
+            delay = float(hinted)
+        else:
+            delay = min(
+                self.backoff_seconds * (2 ** (attempt - 1)),
+                self.backoff_cap,
+            )
+        if self.backoff_jitter:
+            delay *= 1.0 + self.backoff_jitter * self._rng.uniform(
+                -1.0, 1.0
+            )
+        return max(delay, 0.0)
+
     def _checked(self, method, path, payload=None):
-        status, parsed = self.request(method, path, payload)
-        if status == 429:
-            raise ServiceOverloadedError(
-                (parsed or {}).get("error", "server overloaded")
-            )
-        if status >= 400:
-            raise ServiceError(
-                (parsed or {}).get("error", "request failed"),
-                status=status,
-            )
-        return parsed
+        attempt = 0
+        while True:
+            try:
+                status, parsed, headers = self.request_full(
+                    method, path, payload
+                )
+            except (ConnectionError, socket.timeout, socket.gaierror,
+                    OSError):
+                # Connect/read failure: retryable exactly like a 503
+                # (queries are pure, so resending is safe).
+                if attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                self.retries += 1
+                time.sleep(self._retry_delay(attempt, None, None))
+                continue
+            if status in (429, 503) and attempt < self.max_retries:
+                attempt += 1
+                self.retries += 1
+                time.sleep(self._retry_delay(attempt, parsed, headers))
+                continue
+            if status == 429:
+                raise ServiceOverloadedError(
+                    (parsed or {}).get("error", "server overloaded"),
+                    retry_after=(parsed or {}).get("retry_after"),
+                    error_type=(parsed or {}).get("error_type"),
+                )
+            if status >= 400:
+                raise ServiceError(
+                    (parsed or {}).get("error", "request failed"),
+                    status=status,
+                    retry_after=(parsed or {}).get("retry_after"),
+                    error_type=(parsed or {}).get("error_type"),
+                )
+            return parsed
 
     # -- endpoints ---------------------------------------------------------------
 

@@ -1,0 +1,361 @@
+"""Deterministic fault injection for the serving tier.
+
+Chaos testing only proves something when the faults are *injected into
+the production code paths* — a mock that never touches the real pipe
+protocol or the real snapshot parser exercises the mock, not the
+service.  This module therefore plants tiny, guarded hooks directly
+inside the serving tier (worker request loop, snapshot reads, registry
+spooling, deadline mapping) and keeps every one of them inert unless a
+:class:`FaultPlan` has been explicitly installed.
+
+Design rules (enforced by the ``fault-gate`` invariant rule):
+
+* Every hook function starts with ``if _ACTIVE is None: return ...``
+  — with no plan installed, a hook is one global read and a return.
+  Production traffic never pays more than that.
+* Production modules may only call the hook functions plus the
+  propagation helpers (:func:`active_spec` / :func:`install_spec` /
+  :func:`install_from_env`); they may never construct a
+  :class:`FaultPlan` or call :func:`install` themselves.  Plans enter
+  the process exactly two ways: a test calls :func:`install`, or the
+  operator sets ``REPRO_FAULTS`` and the CLI calls
+  :func:`install_from_env` at startup.
+
+Fault counters are **per process**: each worker counts its own served
+requests and its own snapshot reads, so a plan like
+``worker_crash_at=(2,)`` means "every worker crashes serving its 2nd
+request" — deterministic regardless of how the pool schedules work.
+The plan travels into pre-forked workers as a plain dict
+(:func:`active_spec` in the parent, :func:`install_spec` in the child)
+so a plan installed in a test process faults the real worker
+processes it spawns.
+
+All randomness (bit-flip offsets) is seeded through the plan, so a
+chaos run replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+from typing import Any
+
+__all__ = [
+    "FaultPlan",
+    "active",
+    "active_spec",
+    "install",
+    "install_from_env",
+    "install_spec",
+    "uninstall",
+    "mutate_snapshot_bytes",
+    "skewed_deadline",
+    "spool_fault",
+    "worker_fault",
+]
+
+#: Environment variable carrying a JSON fault spec (see FaultPlan.spec).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: The installed plan (None = every hook is inert).
+_ACTIVE: "FaultPlan | None" = None
+
+
+class FaultPlan:
+    """One seeded, deterministic schedule of injected faults.
+
+    All ordinals are 1-based and counted per process (see module
+    docstring).  Every knob defaults to "no fault", so an empty plan
+    is indistinguishable from no plan.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the bit-flip offset choice (and nothing else — the
+        schedule itself is the explicit ordinals, not randomness).
+    worker_crash_at / worker_hang_at / worker_slow_at:
+        Request ordinals at which a pool worker hard-exits
+        (``os._exit``), stalls for ``hang_seconds``, or sleeps
+        ``slow_seconds`` before answering normally.
+    hang_seconds / slow_seconds:
+        Stall durations for the hang/slow actions.
+    snapshot_truncate_at / snapshot_bitflip_at:
+        Snapshot-read ordinals at which the bytes handed to the parser
+        are truncated to half, or have one seeded bit flipped — the
+        real header/checksum validation then runs against the damage.
+    spool_errors:
+        The first N registry spool writes raise :class:`OSError`.
+    deadline_skew_seconds:
+        Added to every per-request deadline the server maps onto a
+        query (negative = clocks running fast; the result is clamped
+        to stay positive so the skewed deadline still admits work and
+        then expires inside the solvers, exercising the real paths).
+    """
+
+    _FIELDS = (
+        "seed",
+        "worker_crash_at", "worker_hang_at", "worker_slow_at",
+        "hang_seconds", "slow_seconds",
+        "snapshot_truncate_at", "snapshot_bitflip_at",
+        "spool_errors", "deadline_skew_seconds",
+    )
+
+    def __init__(self, seed: int = 0,
+                 worker_crash_at: Any = (),
+                 worker_hang_at: Any = (),
+                 worker_slow_at: Any = (),
+                 hang_seconds: float = 30.0,
+                 slow_seconds: float = 0.05,
+                 snapshot_truncate_at: Any = (),
+                 snapshot_bitflip_at: Any = (),
+                 spool_errors: int = 0,
+                 deadline_skew_seconds: float = 0.0) -> None:
+        self.seed = int(seed)
+        self.worker_crash_at = frozenset(int(n) for n in worker_crash_at)
+        self.worker_hang_at = frozenset(int(n) for n in worker_hang_at)
+        self.worker_slow_at = frozenset(int(n) for n in worker_slow_at)
+        self.hang_seconds = float(hang_seconds)
+        self.slow_seconds = float(slow_seconds)
+        self.snapshot_truncate_at = frozenset(
+            int(n) for n in snapshot_truncate_at
+        )
+        self.snapshot_bitflip_at = frozenset(
+            int(n) for n in snapshot_bitflip_at
+        )
+        self.spool_errors = int(spool_errors)
+        self.deadline_skew_seconds = float(deadline_skew_seconds)
+        overlap = self.worker_crash_at & self.worker_hang_at | (
+            self.worker_crash_at & self.worker_slow_at
+        ) | (self.worker_hang_at & self.worker_slow_at)
+        if overlap:
+            raise ValueError(
+                "worker fault ordinals overlap across actions: %s"
+                % sorted(overlap)
+            )
+        # Per-process mutable counters (never shipped in the spec).
+        self._lock = threading.Lock()
+        self._worker_requests = 0
+        self._snapshot_reads = 0
+        self._spool_failures_left = self.spool_errors
+
+    # -- (de)serialisation -------------------------------------------------------
+
+    def spec(self) -> dict[str, Any]:
+        """A JSON-safe dict reconstructing this plan (counters reset)."""
+        return {
+            "seed": self.seed,
+            "worker_crash_at": sorted(self.worker_crash_at),
+            "worker_hang_at": sorted(self.worker_hang_at),
+            "worker_slow_at": sorted(self.worker_slow_at),
+            "hang_seconds": self.hang_seconds,
+            "slow_seconds": self.slow_seconds,
+            "snapshot_truncate_at": sorted(self.snapshot_truncate_at),
+            "snapshot_bitflip_at": sorted(self.snapshot_bitflip_at),
+            "spool_errors": self.spool_errors,
+            "deadline_skew_seconds": self.deadline_skew_seconds,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict[str, Any]) -> "FaultPlan":
+        unknown = set(spec) - set(cls._FIELDS)
+        if unknown:
+            raise ValueError(
+                "unknown fault spec keys: %s" % ", ".join(sorted(unknown))
+            )
+        return cls(**spec)
+
+    def __repr__(self) -> str:
+        knobs = ", ".join(
+            "%s=%r" % (key, value)
+            for key, value in sorted(self.spec().items())
+            if value not in (0, 0.0, [])
+            and key not in ("hang_seconds", "slow_seconds")
+        )
+        return "FaultPlan(%s)" % knobs
+
+    # -- per-process fault decisions ---------------------------------------------
+
+    def next_worker_action(self) -> "str | None":
+        """Fault for the next served worker request (counts the request)."""
+        with self._lock:
+            self._worker_requests += 1
+            ordinal = self._worker_requests
+        if ordinal in self.worker_crash_at:
+            return "crash"
+        if ordinal in self.worker_hang_at:
+            return "hang"
+        if ordinal in self.worker_slow_at:
+            return "slow"
+        return None
+
+    def next_snapshot_mutation(self) -> "str | None":
+        """Mutation for the next snapshot read (counts the read)."""
+        with self._lock:
+            self._snapshot_reads += 1
+            ordinal = self._snapshot_reads
+        if ordinal in self.snapshot_truncate_at:
+            return "truncate"
+        if ordinal in self.snapshot_bitflip_at:
+            return "bitflip"
+        return None
+
+    def take_spool_failure(self) -> bool:
+        """True when the next spool write should fail (consumes one)."""
+        with self._lock:
+            if self._spool_failures_left <= 0:
+                return False
+            self._spool_failures_left -= 1
+            return True
+
+    def mutate(self, kind: str, data: bytes) -> bytes:
+        """Apply one snapshot mutation to ``data`` (seeded, pure)."""
+        if kind == "truncate":
+            return bytes(data[: len(data) // 2])
+        if kind == "bitflip":
+            if not data:
+                return data
+            rng = random.Random(self.seed * 1000003 + len(data))
+            offset = rng.randrange(len(data))
+            bit = 1 << rng.randrange(8)
+            flipped = bytearray(data)
+            flipped[offset] ^= bit
+            return bytes(flipped)
+        raise ValueError("unknown snapshot mutation %r" % kind)
+
+
+# -- installation ----------------------------------------------------------------
+
+
+def install(plan: "FaultPlan | None") -> "FaultPlan | None":
+    """Install ``plan`` as the process-wide fault plan; returns the old one.
+
+    Test hook: pair with :func:`uninstall` (or install the returned
+    previous plan) in a ``finally`` so one chaos test can never leak
+    faults into the next.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    return previous
+
+
+def uninstall() -> None:
+    """Remove the installed plan; every hook goes back to inert."""
+    install(None)
+
+
+def active() -> "FaultPlan | None":
+    """The installed plan, or None."""
+    return _ACTIVE
+
+
+def active_spec() -> "dict[str, Any] | None":
+    """JSON-safe spec of the installed plan (ships it into workers)."""
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.spec()
+
+
+def install_spec(spec: "dict[str, Any] | None") -> None:
+    """Install a plan from a spec dict; ``None`` is a no-op.
+
+    Propagation hook for pre-forked workers: the parent ships
+    :func:`active_spec` (None when chaos is off), so a worker only
+    ever installs what the parent already had installed.
+    """
+    if spec is None:
+        return
+    install(FaultPlan.from_spec(spec))
+
+
+def install_from_env() -> "FaultPlan | None":
+    """Install a plan from the ``REPRO_FAULTS`` JSON env var, if set.
+
+    The operator-facing activation path (``repro serve`` calls this at
+    startup).  Returns the installed plan, or None when the variable
+    is unset/empty.  A malformed spec raises :class:`ValueError` —
+    a chaos drill with a typo'd schedule must fail loudly, not run
+    faultless and "pass".
+    """
+    raw = os.environ.get(FAULTS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        spec = json.loads(raw)
+    except json.JSONDecodeError as err:
+        raise ValueError(
+            "%s is not valid JSON: %s" % (FAULTS_ENV, err)
+        ) from err
+    if not isinstance(spec, dict):
+        raise ValueError(
+            "%s must be a JSON object of FaultPlan knobs" % FAULTS_ENV
+        )
+    plan = FaultPlan.from_spec(spec)
+    install(plan)
+    return plan
+
+
+# -- hooks (one global read when chaos is off) -----------------------------------
+
+
+def worker_fault() -> "str | None":
+    """Action for the worker request about to be served.
+
+    Called by the pool worker's request loop; returns ``None`` (no
+    fault), ``"crash"``, ``"hang"`` or ``"slow"``.
+    """
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.next_worker_action()
+
+
+def worker_stall_seconds(action: str) -> float:
+    """Stall duration for a ``"hang"``/``"slow"`` worker fault."""
+    if _ACTIVE is None:
+        return 0.0
+    return (
+        _ACTIVE.hang_seconds if action == "hang" else _ACTIVE.slow_seconds
+    )
+
+
+def mutate_snapshot_bytes(data: Any) -> "bytes | None":
+    """Damaged bytes for this snapshot read, or None (serve the real file).
+
+    Called with the mmapped snapshot contents; when the plan schedules
+    a fault for this read ordinal, returns a truncated or bit-flipped
+    private copy for the parser to choke on — the file itself is never
+    touched, so the *next* read can succeed (recovery is testable).
+    """
+    if _ACTIVE is None:
+        return None
+    kind = _ACTIVE.next_snapshot_mutation()
+    if kind is None:
+        return None
+    return _ACTIVE.mutate(kind, bytes(data))
+
+
+def spool_fault(path: Any) -> None:
+    """Raise :class:`OSError` when the plan schedules a spool failure."""
+    if _ACTIVE is None:
+        return
+    if _ACTIVE.take_spool_failure():
+        raise OSError(
+            "injected fault: spool write to %s failed" % (path,)
+        )
+
+
+def skewed_deadline(deadline_seconds: "float | None") -> "float | None":
+    """``deadline_seconds`` with the plan's clock skew applied.
+
+    ``None`` (no deadline) stays None; a skewed deadline is clamped to
+    a small positive value so it is still *admitted* and then expires
+    inside the solver/pool machinery — the paths a skewed clock
+    actually breaks in production.
+    """
+    if _ACTIVE is None:
+        return deadline_seconds
+    if deadline_seconds is None or not _ACTIVE.deadline_skew_seconds:
+        return deadline_seconds
+    return max(deadline_seconds + _ACTIVE.deadline_skew_seconds, 1e-3)

@@ -7,7 +7,8 @@ stream-parse or diff outputs byte-for-byte — and is pinned by
 
 ``language, source, target, strategy, found, length, word, path,
 decompose_failed, steps, seconds, plan_cache_hit, result_cache_hit,
-short_circuit, vectorized, confidence, failure_bound, error``
+short_circuit, vectorized, confidence, failure_bound, degraded,
+error``
 
 * ``language`` — the language spec as a string (regex text).
 * ``source`` / ``target`` — endpoints exactly as queried (JSON keeps
@@ -33,6 +34,11 @@ short_circuit, vectorized, confidence, failure_bound, error``
   may have missed a path.
 * ``failure_bound`` — the error bound of a probabilistic negative;
   ``null`` when ``confidence`` is ``certified``.
+* ``degraded`` — the serving tier answered below full service (the
+  degradation ladder routed this query through the portfolio or the
+  reachability index only); always ``false`` for direct engine use.
+  Degraded answers are never *wrong* — ``confidence`` /
+  ``failure_bound`` still say exactly how strong the answer is.
 * ``error`` — ``null`` for answered queries, otherwise the message of
   the isolated per-query failure.
 
@@ -68,11 +74,13 @@ RESULT_FIELDS = (
     "vectorized",
     "confidence",
     "failure_bound",
+    "degraded",
     "error",
 )
 
 
-def result_record(result: EngineResult) -> dict[str, Any]:
+def result_record(result: EngineResult,
+                  degraded: bool = False) -> dict[str, Any]:
     """One :class:`EngineResult` as a dict in :data:`RESULT_FIELDS` order."""
     return {
         "language": str(result.language),
@@ -94,14 +102,19 @@ def result_record(result: EngineResult) -> dict[str, Any]:
         "vectorized": result.stats.vectorized,
         "confidence": result.confidence,
         "failure_bound": result.failure_bound,
+        "degraded": degraded,
         "error": result.error,
     }
 
 
-def batch_record(batch: BatchResult) -> dict[str, Any]:
+def batch_record(batch: BatchResult,
+                 degraded: bool = False) -> dict[str, Any]:
     """A :class:`BatchResult` as a JSON-safe dict (results + counters)."""
     record: dict[str, Any] = {
-        "results": [result_record(result) for result in batch.results],
+        "results": [
+            result_record(result, degraded=degraded)
+            for result in batch.results
+        ],
         "seconds": batch.seconds,
         "workers": batch.workers,
         "found_count": batch.found_count,

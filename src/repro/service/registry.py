@@ -24,10 +24,12 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import TYPE_CHECKING, Any
 
 from ..errors import ServiceError
 from ..engine import IndexedGraph, QueryEngine
+from . import faults
 from .snapshot import attach_snapshot, load_snapshot
 
 if TYPE_CHECKING:
@@ -56,6 +58,11 @@ class GraphStats:
     found: int = 0
     errors: int = 0
     busy_seconds: float = 0.0
+    #: Requests that exhausted the pool's crash-retry budget
+    #: (surfaced to clients as 503 + Retry-After).
+    worker_crashes: int = 0
+    #: Requests answered below full service (degradation ladder > 0).
+    degraded: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -67,6 +74,8 @@ class GraphStats:
             "found": self.found,
             "errors": self.errors,
             "busy_seconds": self.busy_seconds,
+            "worker_crashes": self.worker_crashes,
+            "degraded": self.degraded,
         }
 
 
@@ -121,6 +130,16 @@ class RegisteredGraph:
             self.stats.queries += 1
             self.stats.errors += 1
             self.stats.busy_seconds += seconds
+
+    def record_worker_crash(self) -> None:
+        """One request lost to a crashed pool worker (after retries)."""
+        with self._lock:
+            self.stats.worker_crashes += 1
+
+    def record_degraded(self) -> None:
+        """One request answered below full service quality."""
+        with self._lock:
+            self.stats.degraded += 1
 
     def describe(self) -> dict[str, Any]:
         """A JSON-safe stats dict (graph shape + serving counters)."""
@@ -214,6 +233,11 @@ class GraphRegistry:
         Where pool snapshots for memory-registered graphs land.
         ``None`` creates a private temporary directory, removed by
         :meth:`close`.
+    pool_kwargs:
+        Extra :class:`~repro.service.workers.WorkerPool` constructor
+        kwargs applied to every pool this registry builds (e.g.
+        ``watchdog_seconds``, ``grace_seconds``); ignored when
+        ``worker_processes`` is 0.
     """
 
     def __init__(self, plan_cache_size: int = 128,
@@ -229,7 +253,8 @@ class GraphRegistry:
                  portfolio_failure_probability: float = 1e-3,
                  portfolio_seed: int = 0,
                  worker_processes: int = 0,
-                 spool_dir: Any = None) -> None:
+                 spool_dir: Any = None,
+                 pool_kwargs: dict | None = None) -> None:
         if max_graphs is not None and max_graphs < 1:
             raise ValueError(
                 "max_graphs must be >= 1 or None, got %r" % (max_graphs,)
@@ -251,6 +276,8 @@ class GraphRegistry:
         self.portfolio_failure_probability = portfolio_failure_probability
         self.portfolio_seed = portfolio_seed
         self.worker_processes = worker_processes
+        # Read-only after construction (applied to every pool build).
+        self.pool_kwargs = MappingProxyType(dict(pool_kwargs or {}))
         self._spool_dir = None if spool_dir is None else os.fspath(spool_dir)
         self._spool_owned = False
         self._spool_counter = 0
@@ -305,11 +332,26 @@ class GraphRegistry:
             snapshot_path = os.path.join(
                 directory, "graph-%04d-%s.snap" % (count, _safe_name(name))
             )
-            engine.save_snapshot(snapshot_path)
+            try:
+                faults.spool_fault(snapshot_path)
+                engine.save_snapshot(snapshot_path)
+            except OSError as err:
+                # Spool-dir IO failure (disk full, permissions, or an
+                # injected fault): a clean 503 the client can retry,
+                # not a stack trace — and no half-written snapshot
+                # (save_snapshot writes via rename).
+                raise ServiceError(
+                    "could not spool snapshot for graph %r: %s"
+                    % (name, err),
+                    status=503,
+                    retry_after=1.0,
+                    error_type="spool_io",
+                ) from err
         return WorkerPool(
             snapshot_path,
             engine_kwargs=engine._worker_engine_kwargs(),
             workers=self.worker_processes,
+            **self.pool_kwargs,
         )
 
     def close(self) -> None:

@@ -66,6 +66,8 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import math
+import signal
 import time
 from typing import TYPE_CHECKING, Any
 from concurrent.futures import ThreadPoolExecutor
@@ -84,7 +86,18 @@ from ..errors import (
 from ..engine.plan import PlanCache, QueryPlan, plan_key
 from ..core.trichotomy import classify
 from ..graphs import io as graph_io
+from . import faults
 from .protocol import batch_record, result_record
+from .resilience import (
+    LEVEL_PORTFOLIO,
+    LEVEL_REACH_ONLY,
+    BreakerConfig,
+    CircuitBreaker,
+    DegradationLadder,
+    LadderConfig,
+    LoadShedder,
+    ShedConfig,
+)
 
 if TYPE_CHECKING:
     from .registry import GraphRegistry
@@ -107,6 +120,7 @@ _REASONS = {
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -126,12 +140,45 @@ class ServiceConfig:
         Admission-control bound on simultaneously in-flight queries.
     read_timeout:
         Seconds allowed for reading one request off a connection.
+    shed_policy / soft_inflight:
+        Load-shedding knobs (see
+        :class:`~repro.service.resilience.LoadShedder`): ``"flat"``
+        is the legacy hard cap only; ``"deadline"`` (the default)
+        additionally sheds doomed-deadline work and, above
+        ``soft_inflight``, cheap-to-retry requests first.  With
+        ``soft_inflight`` unset the soft band is empty.
+    breaker_threshold / breaker_cooldown / breaker_max_cooldown /
+    breaker_jitter / breaker_seed:
+        Per-graph circuit-breaker knobs (see
+        :class:`~repro.service.resilience.CircuitBreaker`): after
+        ``breaker_threshold`` consecutive worker-crash failures a
+        graph's circuit opens for a seeded-jittered exponential
+        cooldown; one half-open probe decides recovery.
+    degrade_crash_threshold / degrade_shed_threshold /
+    degrade_window_seconds / degrade_recovery_seconds:
+        Graceful-degradation ladder knobs (see
+        :class:`~repro.service.resilience.DegradationLadder`).
+    drain_timeout:
+        Seconds :meth:`QueryService.shutdown` waits for in-flight
+        requests to finish before tearing the executor down.
     """
 
     workers: int = 4
     parallel_mode: str = "thread"
     max_inflight: int = 64
     read_timeout: float = 30.0
+    shed_policy: str = "deadline"
+    soft_inflight: int | None = None
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 1.0
+    breaker_max_cooldown: float = 30.0
+    breaker_jitter: float = 0.1
+    breaker_seed: int = 0
+    degrade_crash_threshold: int = 3
+    degrade_shed_threshold: int = 16
+    degrade_window_seconds: float = 30.0
+    degrade_recovery_seconds: float = 5.0
+    drain_timeout: float = 10.0
 
     def __post_init__(self):
         if self.workers < 1:
@@ -150,6 +197,39 @@ class ServiceConfig:
                 "read_timeout must be positive, got %r"
                 % (self.read_timeout,)
             )
+        if self.drain_timeout < 0:
+            raise ValueError(
+                "drain_timeout must be >= 0, got %r"
+                % (self.drain_timeout,)
+            )
+        # The resilience configs validate their own knobs eagerly so a
+        # bad flag fails at construction, not at the first overload.
+        self.shed_config()
+        self.breaker_config()
+        self.ladder_config()
+
+    def shed_config(self) -> ShedConfig:
+        return ShedConfig(
+            policy=self.shed_policy,
+            max_inflight=self.max_inflight,
+            soft_inflight=self.soft_inflight,
+        )
+
+    def breaker_config(self) -> BreakerConfig:
+        return BreakerConfig(
+            failure_threshold=self.breaker_threshold,
+            cooldown_seconds=self.breaker_cooldown,
+            max_cooldown_seconds=self.breaker_max_cooldown,
+            jitter=self.breaker_jitter,
+        )
+
+    def ladder_config(self) -> LadderConfig:
+        return LadderConfig(
+            crash_threshold=self.degrade_crash_threshold,
+            shed_threshold=self.degrade_shed_threshold,
+            window_seconds=self.degrade_window_seconds,
+            recovery_seconds=self.degrade_recovery_seconds,
+        )
 
 
 def _resolve_vertex(graph, value, side):
@@ -243,7 +323,6 @@ class QueryService:
                  config: "ServiceConfig | None" = None) -> None:
         self.registry = registry
         self.config = config or ServiceConfig()
-        self._inflight = 0
         self._requests = 0
         self._rejected = 0
         self._errors = 0
@@ -252,6 +331,13 @@ class QueryService:
         self._server: Any = None
         # Graph-independent plans for /classify (small, service-wide).
         self._classify_cache = PlanCache(64)
+        # Resilience state: one shedder and one degradation ladder for
+        # the whole service, one circuit breaker per graph (created
+        # lazily; all accessed from the event loop, internally locked).
+        self.shedder = LoadShedder(self.config.shed_config())
+        self.ladder = DegradationLadder(self.config.ladder_config())
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._worker_crashes = 0
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -280,22 +366,84 @@ class QueryService:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
 
+    async def shutdown(self, drain_timeout: "float | None" = None) -> None:
+        """Graceful teardown: stop accepting, drain, close the registry.
+
+        Closes the listening socket first (no new connections), waits
+        up to ``drain_timeout`` (default: the config's) for in-flight
+        queries to finish, then shuts the executor down and closes the
+        registry — worker pools exit cleanly and owned spool
+        directories are removed.  This is what ``repro serve`` runs on
+        SIGTERM/SIGINT.
+        """
+        timeout = (
+            self.config.drain_timeout if drain_timeout is None
+            else drain_timeout
+        )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        give_up = time.monotonic() + timeout
+        while self.shedder.inflight > 0 and time.monotonic() < give_up:
+            await asyncio.sleep(0.02)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self.registry.close()
+
     async def serve_forever(self, host: str = "127.0.0.1",
                             port: int = 8080) -> None:
         server = await self.start(host, port)
         async with server:
             await server.serve_forever()
 
+    async def serve_until_interrupted(
+            self, host: str = "127.0.0.1", port: int = 8080,
+            ready: "Any | None" = None) -> None:
+        """Serve until SIGTERM/SIGINT, then drain and close cleanly.
+
+        ``ready``, when given, is called with the bound port once the
+        socket is listening (``port=0`` deployments need the real
+        one).  Falls back to plain serving when the platform or the
+        calling thread cannot install loop signal handlers.
+        """
+        await self.start(host, port)
+        if ready is not None:
+            ready(self.port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                continue  # non-main thread or platform without support
+            installed.append(signum)
+        try:
+            await stop.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.shutdown()
+
     # -- HTTP plumbing -----------------------------------------------------------
 
     async def _handle_client(self, reader, writer):
         try:
+            retry_after = None
             try:
                 status, payload = await self._handle_request(reader)
             except (asyncio.TimeoutError, asyncio.IncompleteReadError):
                 status, payload = 400, {"error": "incomplete request"}
             except ServiceError as err:
+                # Structured error body: machine-readable type and
+                # retry hint beside the human message, mirrored by the
+                # Retry-After header below for header-only clients.
                 status, payload = err.status, {"error": str(err)}
+                if err.error_type is not None:
+                    payload["error_type"] = err.error_type
+                if err.retry_after is not None:
+                    retry_after = max(err.retry_after, 0.0)
+                    payload["retry_after"] = round(retry_after, 3)
             except Exception as err:  # never kill the acceptor
                 status, payload = 500, {
                     "error": "internal error: %s" % err,
@@ -307,15 +455,18 @@ class QueryService:
             elif status >= 400:
                 self._errors += 1
             body = json.dumps(payload).encode("utf-8")
-            writer.write(
-                (
-                    "HTTP/1.1 %d %s\r\n"
-                    "content-type: application/json\r\n"
-                    "content-length: %d\r\n"
-                    "connection: close\r\n\r\n"
-                    % (status, _REASONS.get(status, "Error"), len(body))
-                ).encode("ascii")
+            headers = (
+                "HTTP/1.1 %d %s\r\n"
+                "content-type: application/json\r\n"
+                "content-length: %d\r\n"
+                % (status, _REASONS.get(status, "Error"), len(body))
             )
+            if retry_after is not None and status in (429, 503):
+                # HTTP Retry-After is integer seconds; round up so the
+                # header never promises an earlier retry than the body.
+                headers += "retry-after: %d\r\n" % math.ceil(retry_after)
+            headers += "connection: close\r\n\r\n"
+            writer.write(headers.encode("ascii"))
             writer.write(body)
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
@@ -415,19 +566,61 @@ class QueryService:
 
     # -- admission control -------------------------------------------------------
 
-    def _admit(self, weight):
+    def _admit(self, weight, deadline_seconds=None):
         """Reserve ``weight`` in-flight query slots or raise 429.
 
-        Runs on the event loop only, so the counter needs no lock; the
-        reservation is released in the caller's ``finally``.
+        Delegates to the :class:`LoadShedder` (hard cap, doomed
+        deadlines, soft-band cheap-first shedding); a shed feeds the
+        degradation ladder's overload window before propagating.  The
+        reservation is released in the caller's ``finally`` via
+        ``self.shedder.release(weight)``.
         """
-        if self._inflight + weight > self.config.max_inflight:
-            raise ServiceOverloadedError(
-                "server overloaded: %d queries in flight, +%d requested, "
-                "limit %d"
-                % (self._inflight, weight, self.config.max_inflight)
+        try:
+            self.shedder.admit(weight, deadline_seconds)
+        except ServiceOverloadedError:
+            self.ladder.record_shed()
+            raise
+
+    def _breaker(self, name):
+        """The (lazily created) circuit breaker for graph ``name``."""
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.config.breaker_config(),
+                seed=self.config.breaker_seed,
             )
-        self._inflight += weight
+            self._breakers[name] = breaker
+        return breaker
+
+    def _check_breaker(self, name):
+        """503 + Retry-After when ``name``'s circuit refuses admission."""
+        retry_in = self._breaker(name).admit()
+        if retry_in is not None:
+            raise ServiceError(
+                "graph %r circuit is open after repeated worker "
+                "failures; retry in %.3fs" % (name, retry_in),
+                status=503,
+                retry_after=retry_in,
+                error_type="circuit_open",
+            )
+
+    def _record_worker_crash(self, entry, failure):
+        """Fold one unrecovered worker crash into every counter it feeds."""
+        self._worker_crashes += 1
+        entry.record_worker_crash()
+        breaker = self._breaker(entry.name)
+        breaker.record_failure()
+        if breaker.state != "closed":
+            self.ladder.record_breaker_open()
+        else:
+            self.ladder.record_crash()
+        return ServiceError(
+            "worker pool lost the request to a crashed worker: %s"
+            % failure,
+            status=503,
+            retry_after=1.0,
+            error_type="worker_crash",
+        )
 
     async def _in_executor(self, fn):
         loop = asyncio.get_running_loop()
@@ -436,10 +629,15 @@ class QueryService:
     # -- endpoints ---------------------------------------------------------------
 
     def _healthz(self):
+        level = self.ladder.level
         return {
-            "status": "ok",
+            "status": "ok" if level == 0 else "degraded",
             "graphs": len(self.registry),
-            "inflight": self._inflight,
+            "inflight": self.shedder.inflight,
+            "degradation": {
+                "level": level,
+                "level_name": self.ladder.level_name,
+            },
             "uptime_seconds": time.time() - self._started_at,
         }
 
@@ -447,13 +645,22 @@ class QueryService:
         return {
             "service": {
                 "uptime_seconds": time.time() - self._started_at,
-                "inflight": self._inflight,
+                "inflight": self.shedder.inflight,
                 "max_inflight": self.config.max_inflight,
                 "workers": self.config.workers,
                 "parallel_mode": self.config.parallel_mode,
                 "requests": self._requests,
                 "rejected": self._rejected,
                 "errors": self._errors,
+                "worker_crashes": self._worker_crashes,
+            },
+            "resilience": {
+                "shedder": self.shedder.describe(),
+                "ladder": self.ladder.describe(),
+                "breakers": {
+                    name: breaker.describe()
+                    for name, breaker in sorted(self._breakers.items())
+                },
             },
             "graphs": self.registry.describe(),
         }
@@ -496,7 +703,22 @@ class QueryService:
         target = _resolve_vertex(engine.graph, payload["target"], "target")
         deadline, budget = _checked_overrides(payload)
         portfolio, max_path_edges = _checked_portfolio_knobs(payload)
-        self._admit(1)
+        deadline = faults.skewed_deadline(deadline)
+        self._check_breaker(entry.name)
+        level = self.ladder.level
+        if level >= LEVEL_REACH_ONLY:
+            return await self._query_reach_only(
+                entry, language, source, target
+            )
+        degraded = level >= LEVEL_PORTFOLIO
+        if degraded and portfolio is None:
+            # Ladder level 1: hard-regime queries go through the
+            # anytime portfolio by default (an explicit per-request
+            # override still wins).  Finite/tractable plans are
+            # unaffected — the engine routes only hard plans through
+            # the ladder, so easy queries stay certified.
+            portfolio = True
+        self._admit(1, deadline)
         # Pool-backed graphs answer on a pre-forked worker process
         # (shared-snapshot memory model); the executor thread only
         # waits on the worker's pipe, so the GIL stays free.
@@ -519,7 +741,7 @@ class QueryService:
         except ReproError as err:
             failure = err
         finally:
-            self._inflight -= 1
+            self.shedder.release(1)
             seconds = time.perf_counter() - start
         if failure is not None:
             # Failed queries count in the per-graph stats exactly as
@@ -536,11 +758,54 @@ class QueryService:
                 )
             if isinstance(failure, WorkerCrashError):
                 # A crashed-and-unrecovered pool worker is a server
-                # fault, not a bad request.
-                raise ServiceError(str(failure), status=500)
+                # fault, not a bad request: 503 + Retry-After, counted
+                # per graph, fed to the breaker and the ladder.
+                raise self._record_worker_crash(entry, failure)
             raise ServiceError(str(failure), status=400)
+        self.shedder.observe(seconds, 1)
+        self._breaker(entry.name).record_success()
+        self.ladder.record_ok()
         entry.record_query(result, seconds)
-        return 200, result_record(result)
+        if degraded:
+            entry.record_degraded()
+        return 200, result_record(result, degraded=degraded)
+
+    async def _query_reach_only(self, entry, language, source, target):
+        """Ladder level 2: certified index negatives only, shed the rest.
+
+        The deepest degradation rung never runs a solver: the
+        reachability index either *proves* NOT_FOUND (served with
+        ``degraded=true``, still certified) or the request is shed
+        with 503 + Retry-After — a wrong answer is never an option.
+        """
+        self._admit(1, None)
+        start = time.perf_counter()
+        try:
+            result = await self._in_executor(
+                functools.partial(
+                    entry.engine.reach_only_result, language, source, target
+                )
+            )
+        except ReproError as err:
+            self.shedder.release(1)
+            entry.record_query_failure(time.perf_counter() - start)
+            raise ServiceError(str(err), status=400) from err
+        finally:
+            seconds = time.perf_counter() - start
+        self.shedder.release(1)
+        if result is None:
+            raise ServiceError(
+                "service is in reach-only degraded mode and the "
+                "reachability index cannot certify this query; retry "
+                "after recovery",
+                status=503,
+                retry_after=self.config.degrade_recovery_seconds,
+                error_type="degraded_reach_only",
+            )
+        self.ladder.record_ok()
+        entry.record_query(result, seconds)
+        entry.record_degraded()
+        return 200, result_record(result, degraded=True)
 
     async def _batch(self, payload):
         entry = self.registry.resolve(payload.get("graph"))
@@ -566,6 +831,24 @@ class QueryService:
             ))
         deadline, budget = _checked_overrides(payload)
         portfolio, max_path_edges = _checked_portfolio_knobs(payload)
+        deadline = faults.skewed_deadline(deadline)
+        self._check_breaker(entry.name)
+        level = self.ladder.level
+        if level >= LEVEL_REACH_ONLY:
+            # Reach-only mode cannot bound a whole batch's work;
+            # batches are shed until the service steps back down
+            # (single queries still get index-certified negatives).
+            raise ServiceError(
+                "service is in reach-only degraded mode; batches are "
+                "shed until recovery — retry later or resend as "
+                "individual queries",
+                status=503,
+                retry_after=self.config.degrade_recovery_seconds,
+                error_type="degraded_reach_only",
+            )
+        degraded = level >= LEVEL_PORTFOLIO
+        if degraded and portfolio is None:
+            portfolio = True
         workers = payload.get("workers", 1)
         if not isinstance(workers, int) or isinstance(workers, bool) or (
             workers < 1
@@ -594,7 +877,7 @@ class QueryService:
                 "'group_min_size' must be a positive integer, got %r"
                 % (group_min_size,)
             )
-        self._admit(len(triples))
+        self._admit(len(triples), deadline)
         if entry.pool is not None:
             # Pool dispatch: the batch is sharded across pre-forked
             # workers attached to the shared snapshot ('mode' is
@@ -624,12 +907,20 @@ class QueryService:
                 portfolio=portfolio,
                 max_path_edges=max_path_edges,
             )
+        start = time.perf_counter()
         try:
             batch = await self._in_executor(run_batch)
+        except WorkerCrashError as err:
+            raise self._record_worker_crash(entry, err)
         finally:
-            self._inflight -= len(triples)
+            self.shedder.release(len(triples))
+        self.shedder.observe(time.perf_counter() - start, len(triples))
+        self._breaker(entry.name).record_success()
+        self.ladder.record_ok()
         entry.record_batch(batch)
-        return 200, batch_record(batch)
+        if degraded:
+            entry.record_degraded()
+        return 200, batch_record(batch, degraded=degraded)
 
     async def _classify(self, payload):
         regex = _checked_language(payload.get("language"))

@@ -80,6 +80,7 @@ from typing import Any, Iterable, Iterator
 
 from ..errors import SnapshotError
 from ..engine.indexed import CsrView, IndexedGraph, _transpose_label_csr
+from . import faults
 
 MAGIC = b"RSPQSNAP"
 FORMAT_VERSION = 3
@@ -956,6 +957,14 @@ def attach_snapshot(path: Any) -> IndexedGraph:
             raise SnapshotError(
                 "snapshot %s is empty" % path
             ) from None
+    mutated = faults.mutate_snapshot_bytes(mm)
+    if mutated is not None:
+        # Fault injection: validate the damaged copy through the real
+        # parse/checksum path (no mapping is kept in fault mode).
+        try:
+            return _parse(mutated, path, snapshot_path=path)
+        finally:
+            mm.close()
     if sys.byteorder == "big":  # pragma: no cover - exotic hosts
         # memoryview.cast("q") reads native-endian; on big-endian
         # hosts fall back to the copying load (correct, just not
@@ -1044,6 +1053,9 @@ def load_snapshot(path: Any) -> IndexedGraph:
                     "snapshot %s is empty" % path
                 ) from None
             try:
+                mutated = faults.mutate_snapshot_bytes(mm)
+                if mutated is not None:
+                    return _parse(mutated, path, snapshot_path=path)
                 return _parse(mm, path, snapshot_path=path)
             finally:
                 mm.close()

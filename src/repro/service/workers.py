@@ -69,6 +69,7 @@ from ..engine import (
     VectorizedBatchStats,
     group_by_plan,
 )
+from . import faults
 
 _OVERRIDE_KEYS = (
     "deadline_seconds", "budget", "portfolio", "max_path_edges",
@@ -87,15 +88,21 @@ def _rss_mb():
     return None  # pragma: no cover - non-procfs hosts
 
 
-def _worker_main(snapshot_path, engine_kwargs, conn):
+def _worker_main(snapshot_path, engine_kwargs, conn, fault_spec=None):
     """Worker process body: attach once, then serve requests forever.
 
     Every mapped buffer the attached graph exposes is read-only
     shared state — nothing here may write into it (enforced by the
     ``snapshot-readonly`` invariant rule).
+
+    ``fault_spec`` propagates the parent's installed
+    :class:`~repro.service.faults.FaultPlan` (None in production):
+    installing it *before* the attach means snapshot-corruption
+    faults exercise the real worker startup path too.
     """
     from .snapshot import attach_snapshot
 
+    faults.install_spec(fault_spec)
     try:
         graph = attach_snapshot(snapshot_path)
         engine = QueryEngine(graph, **engine_kwargs)
@@ -126,6 +133,14 @@ def _worker_main(snapshot_path, engine_kwargs, conn):
         if kind == "exit":
             # Test hook: simulate a hard crash (no reply, no cleanup).
             os._exit(int(request[1]))
+        if kind in ("query", "batch"):
+            action = faults.worker_fault()
+            if action == "crash":
+                os._exit(3)
+            elif action is not None:
+                # "hang" sleeps past any deadline (the parent kills
+                # us); "slow" delays the reply but still answers.
+                time.sleep(faults.worker_stall_seconds(action))
         try:
             if kind == "query":
                 language, source, target, overrides = request[1]
@@ -205,7 +220,8 @@ class _WorkerHung(Exception):
 class _WorkerHandle:
     """Parent-side bookkeeping for one worker process."""
 
-    __slots__ = ("index", "process", "conn", "crashes")
+    __slots__ = ("index", "process", "conn", "crashes", "busy_since",
+                 "busy_deadline")
 
     def __init__(self, index, process, conn):
         self.index = index
@@ -214,6 +230,11 @@ class _WorkerHandle:
         #: Consecutive crashes at this slot (drives respawn backoff;
         #: reset by the first successful reply).
         self.crashes = 0
+        #: Monotonic instant the in-flight request started (None when
+        #: idle) and its absolute give-up time — what the watchdog
+        #: reads to find wedged workers.
+        self.busy_since = None
+        self.busy_deadline = None
 
 
 class WorkerPool:
@@ -242,6 +263,13 @@ class WorkerPool:
         before :class:`~repro.errors.WorkerCrashError` surfaces.
     start_timeout:
         Seconds to wait for a fresh worker's ready handshake.
+    watchdog_seconds:
+        When set, a daemon watchdog thread hard-kills any worker
+        that has been busy on one request for longer than this (or
+        past the request's own give-up deadline, whichever is
+        sooner).  This is what reclaims a wedged worker holding a
+        request *without* a deadline — the per-request ``_recv``
+        timeout only fires when a deadline exists.  None disables it.
     """
 
     def __init__(self, snapshot_path: Any,
@@ -253,9 +281,15 @@ class WorkerPool:
                  poll_interval: float = 0.05,
                  max_retries: int = 2,
                  start_timeout: float = 60.0,
+                 watchdog_seconds: float | None = None,
                  mp_context: Any = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1, got %d" % workers)
+        if watchdog_seconds is not None and watchdog_seconds <= 0:
+            raise ValueError(
+                "watchdog_seconds must be positive or None, got %r"
+                % (watchdog_seconds,)
+            )
         self.snapshot_path = os.fspath(snapshot_path)
         # Read-only after construction (workers inherit it at fork
         # time); the proxy also keeps it out of lock-guarded state.
@@ -266,6 +300,10 @@ class WorkerPool:
         self.poll_interval = poll_interval
         self.max_retries = max_retries
         self.start_timeout = start_timeout
+        self.watchdog_seconds = watchdog_seconds
+        self._watchdog_kills = 0
+        self._watchdog_stop = threading.Event()
+        self._watchdog_thread: threading.Thread | None = None
         self._workers = workers
         self._ctx = (
             mp_context if mp_context is not None
@@ -291,6 +329,13 @@ class WorkerPool:
             raise
         for handle in self._handles:
             self._idle.put(handle)
+        if watchdog_seconds is not None:
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop,
+                name="repro-pool-watchdog",
+                daemon=True,
+            )
+            self._watchdog_thread.start()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -311,6 +356,9 @@ class WorkerPool:
                 return
             self._closed = True
             handles = list(self._handles)
+        self._watchdog_stop.set()
+        if self._watchdog_thread is not None:
+            self._watchdog_thread.join(timeout=timeout)
         self._executor.shutdown(wait=True)
         for handle in handles:
             try:
@@ -339,7 +387,8 @@ class WorkerPool:
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(self.snapshot_path, dict(self.engine_kwargs), child_conn),
+            args=(self.snapshot_path, dict(self.engine_kwargs), child_conn,
+                  faults.active_spec()),
             name="repro-pool-%d" % index,
             daemon=True,
         )
@@ -414,6 +463,35 @@ class WorkerPool:
             self._respawns += 1
         return fresh
 
+    def _watchdog_loop(self):
+        """Hard-kill workers wedged on one request for too long.
+
+        Scans every ``poll_interval`` for handles whose in-flight
+        request has outlived ``watchdog_seconds`` (or its own give-up
+        deadline) and kills the process.  The thread blocked in
+        ``_recv`` then observes the death and runs the normal
+        respawn-and-retry path — the watchdog only converts a silent
+        wedge into a detectable crash.
+        """
+        interval = max(self.poll_interval, 0.01)
+        while not self._watchdog_stop.wait(interval):
+            now = time.monotonic()
+            with self._lock:
+                handles = list(self._handles)
+            for handle in handles:
+                busy_since = handle.busy_since
+                if busy_since is None:
+                    continue
+                limit = busy_since + self.watchdog_seconds
+                deadline = handle.busy_deadline
+                if deadline is not None:
+                    limit = min(limit, deadline)
+                if now <= limit or not handle.process.is_alive():
+                    continue
+                with self._lock:
+                    self._watchdog_kills += 1
+                handle.process.kill()
+
     # -- request plumbing --------------------------------------------------------
 
     def _checkout(self, deadline):
@@ -463,6 +541,8 @@ class WorkerPool:
         attempts = 0
         while True:
             handle = self._checkout(deadline)
+            handle.busy_since = time.monotonic()
+            handle.busy_deadline = deadline
             try:
                 handle.conn.send(message)
                 reply = self._recv(handle, deadline)
@@ -486,8 +566,12 @@ class WorkerPool:
                 ) from None
             except BaseException:
                 # Parent-side failure with the worker healthy.
+                handle.busy_since = None
+                handle.busy_deadline = None
                 self._idle.put(handle)
                 raise
+            handle.busy_since = None
+            handle.busy_deadline = None
             handle.crashes = 0
             self._idle.put(handle)
             with self._lock:
@@ -692,6 +776,7 @@ class WorkerPool:
                 "requests": self._requests,
                 "crashes": self._crashes,
                 "respawns": self._respawns,
+                "watchdog_kills": self._watchdog_kills,
             }
         handles = []
         while True:

@@ -61,6 +61,7 @@ def run_cli(*args):
         "snapshot-readonly",
         "protocol-drift",
         "api-types",
+        "fault-gate",
     ],
 )
 def test_rule_flags_its_fixture(rule):
@@ -189,7 +190,7 @@ def test_cli_json_output_shape():
     assert proc.returncode == 1
     payload = json.loads(proc.stdout)
     assert payload["checked_files"] == 1
-    assert len(payload["rules"]) == 7
+    assert len(payload["rules"]) == 8
     (record,) = payload["violations"]
     assert record["rule"] == "api-types"
     assert record["path"].endswith("fixture_api_types.py")
@@ -197,12 +198,12 @@ def test_cli_json_output_shape():
     assert "missing annotations" in record["message"]
 
 
-def test_cli_list_rules_covers_all_seven():
+def test_cli_list_rules_covers_all_eight():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     for rule in ALL_RULES:
         assert rule.name in proc.stdout
-    assert len(ALL_RULES) == 7
+    assert len(ALL_RULES) == 8
 
 
 def test_cli_unknown_rule_is_usage_error():

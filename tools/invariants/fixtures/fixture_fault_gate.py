@@ -1,0 +1,39 @@
+# invariant-scope: fault-gate
+"""Seeded violations for the fault-gate rule (test fixture)."""
+
+from repro.service import faults
+from repro.service.faults import FaultPlan, install  # forbidden imports
+
+_ACTIVE = None
+
+
+def ok_guarded_hook():
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE
+
+
+def ok_propagation():
+    # Propagation helpers are the sanctioned production surface.
+    spec = faults.active_spec()
+    faults.install_spec(spec)
+    faults.install_from_env()
+    return faults.worker_fault()
+
+
+def bad_unguarded_hook():
+    # Does work before (and without) the inert guard.
+    value = len(str(_ACTIVE))
+    return value
+
+
+def bad_install_call():
+    faults.install(FaultPlan(worker_crash_at=(1,)))  # installs a plan
+
+
+def bad_uninstall_call():
+    faults.uninstall()  # tears down test state from production code
+
+
+def bad_direct_poke():
+    faults._ACTIVE = install  # bypasses install() entirely

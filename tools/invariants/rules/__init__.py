@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..base import AnalyzerError, Rule
 from .api_types import ApiTypesRule
+from .fault_gate import FaultGateRule
 from .hot_loop import HotLoopRule
 from .lock_discipline import LockDisciplineRule
 from .protocol_drift import ProtocolDriftRule
@@ -19,6 +20,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SnapshotReadonlyRule(),
     ProtocolDriftRule(),
     ApiTypesRule(),
+    FaultGateRule(),
 )
 
 

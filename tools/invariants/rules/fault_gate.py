@@ -1,0 +1,204 @@
+"""Rule ``fault-gate``: fault hooks are unreachable without a plan.
+
+The serving tier plants fault-injection hooks *inside* production code
+paths (:mod:`repro.service.faults`): the worker request loop, the
+snapshot parser, registry spooling and deadline mapping all call into
+the faults module on every request.  That is only safe under two
+contracts, which this rule enforces statically:
+
+* **Hooks are inert by construction.**  Every hook in
+  ``service/faults.py`` — any module-level function that reads the
+  ``_ACTIVE`` plan, other than the sanctioned installer/propagation
+  helpers — must *begin* with the literal guard
+  ``if _ACTIVE is None: return ...``.  With no plan installed, a hook
+  is one global read and a return; a hook that does work before the
+  guard would tax (or fault!) production traffic with chaos disabled.
+* **Production code never installs a plan.**  Modules under
+  ``repro/`` may call the hooks and the propagation helpers
+  (``active_spec`` / ``install_spec`` / ``install_from_env`` /
+  ``active``), but may never construct a ``FaultPlan``, call
+  ``install()`` / ``uninstall()``, or poke ``faults._ACTIVE``
+  directly.  Plans enter the process exactly two ways — a test calls
+  ``install()``, or the operator sets ``REPRO_FAULTS`` and the CLI
+  calls ``install_from_env()`` at startup — so a fault can never be
+  reachable unless someone explicitly asked for chaos.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..base import Project, Rule, SourceModule, Violation
+
+#: Functions in the faults module allowed to touch ``_ACTIVE`` without
+#: the inert guard: the install/uninstall/propagation surface itself.
+INSTALLER_FUNCS = frozenset({
+    "install",
+    "uninstall",
+    "active",
+    "active_spec",
+    "install_spec",
+    "install_from_env",
+})
+
+#: faults-module attributes production code must never call.
+FORBIDDEN_CALLS = frozenset({"install", "uninstall", "FaultPlan"})
+
+#: Names production code must never import from the faults module.
+FORBIDDEN_IMPORTS = frozenset({"install", "uninstall", "FaultPlan"})
+
+
+def _is_faults_base(node: ast.AST) -> bool:
+    """True when ``node`` names the faults module (``faults`` / ``x.faults``)."""
+    if isinstance(node, ast.Name):
+        return node.id == "faults"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "faults"
+    return False
+
+
+def _is_inert_guard(stmt: ast.stmt) -> bool:
+    """True for ``if _ACTIVE is None: return ...`` (returns only, no else)."""
+    if not isinstance(stmt, ast.If) or stmt.orelse:
+        return False
+    test = stmt.test
+    if not (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == "_ACTIVE"
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Is)
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        return False
+    return all(isinstance(body, ast.Return) for body in stmt.body)
+
+
+def _reads_active(fn: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == "_ACTIVE"
+        for node in ast.walk(fn)
+    )
+
+
+class FaultGateRule(Rule):
+    name = "fault-gate"
+    description = (
+        "fault hooks start with the 'if _ACTIVE is None' inert guard, "
+        "and production code never installs a FaultPlan itself"
+    )
+
+    def path_in_scope(self, posix_relpath: str) -> bool:
+        return "repro/" in posix_relpath and "tests/" not in posix_relpath
+
+    def run(self, project: Project) -> Iterable[Violation]:
+        for module in project.modules:
+            if module.tree is None or not self.in_scope(project, module):
+                continue
+            posix = Project.posix(module)
+            is_faults = posix.endswith("service/faults.py")
+            # A fixture opting in via # invariant-scope: declares its
+            # hooks with a module-level _ACTIVE, same as the real module.
+            declares_active = any(
+                isinstance(stmt, (ast.Assign, ast.AnnAssign))
+                and any(
+                    isinstance(target, ast.Name) and target.id == "_ACTIVE"
+                    for target in (
+                        stmt.targets
+                        if isinstance(stmt, ast.Assign)
+                        else [stmt.target]
+                    )
+                )
+                for stmt in module.tree.body
+            )
+            if is_faults or declares_active:
+                yield from self._check_hooks(module)
+            if not is_faults:
+                yield from self._check_production(module)
+
+    # -- the faults module: hooks must be inert-guarded ----------------------------
+
+    def _check_hooks(self, module: SourceModule) -> Iterator[Violation]:
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.FunctionDef):
+                continue
+            if stmt.name in INSTALLER_FUNCS or stmt.name.startswith("_"):
+                continue
+            if not _reads_active(stmt):
+                continue
+            body = stmt.body
+            # Skip a leading docstring before looking for the guard.
+            if body and isinstance(body[0], ast.Expr) and isinstance(
+                body[0].value, ast.Constant
+            ) and isinstance(body[0].value.value, str):
+                body = body[1:]
+            if not body or not _is_inert_guard(body[0]):
+                yield module.violation(
+                    self.name,
+                    stmt,
+                    "fault hook %s() must start with 'if _ACTIVE is "
+                    "None: return ...' so it is one global read when "
+                    "no FaultPlan is installed" % stmt.name,
+                )
+
+    # -- production modules: never install a plan ----------------------------------
+
+    def _check_production(self, module: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[-1] == "faults":
+                    for alias in node.names:
+                        if alias.name in FORBIDDEN_IMPORTS:
+                            yield module.violation(
+                                self.name,
+                                node,
+                                "importing %r from the faults module — "
+                                "production code may only use the gated "
+                                "hooks and the active_spec/install_spec/"
+                                "install_from_env propagation helpers"
+                                % alias.name,
+                            )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and (
+                        target.attr == "_ACTIVE"
+                        and _is_faults_base(target.value)
+                    ):
+                        yield module.violation(
+                            self.name,
+                            node,
+                            "assigning faults._ACTIVE directly — plans "
+                            "are installed only via install() in tests "
+                            "or install_from_env() at CLI startup",
+                        )
+
+    def _check_call(
+        self, module: SourceModule, call: ast.Call
+    ) -> Iterator[Violation]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in FORBIDDEN_CALLS and _is_faults_base(func.value):
+                yield module.violation(
+                    self.name,
+                    call,
+                    "faults.%s() in production code — a FaultPlan may "
+                    "only be installed explicitly by a test or via the "
+                    "REPRO_FAULTS env var at CLI startup" % func.attr,
+                )
+        elif isinstance(func, ast.Name) and func.id == "FaultPlan":
+            yield module.violation(
+                self.name,
+                call,
+                "constructing FaultPlan in production code — plans are "
+                "built only by tests or install_from_env()",
+            )
