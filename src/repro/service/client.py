@@ -44,10 +44,13 @@ class ServiceClient:
         server can no longer hold a client for the full combined
         window during connect.
     max_retries:
-        How many times a 429/503 response (or a connect failure) is
-        retried before the error propagates.  0 — the default, for
-        backward compatibility and for load generators that *measure*
-        shedding — surfaces every rejection immediately.
+        How many times a 429/503 response (or, for idempotent calls
+        only, a connection failure) is retried before the error
+        propagates.  0 — the default, for backward compatibility and
+        for load generators that *measure* shedding — surfaces every
+        rejection immediately.  Registration and eviction never retry
+        on connection failures: the request may already have been
+        applied.
     backoff_seconds / backoff_cap / backoff_jitter / retry_seed:
         Capped exponential backoff between retries: attempt n sleeps
         ``backoff_seconds * 2**(n-1)`` (capped) with seeded
@@ -164,7 +167,7 @@ class ServiceClient:
             )
         return max(delay, 0.0)
 
-    def _checked(self, method, path, payload=None):
+    def _checked(self, method, path, payload=None, idempotent=True):
         attempt = 0
         while True:
             try:
@@ -173,9 +176,15 @@ class ServiceClient:
                 )
             except (ConnectionError, socket.timeout, socket.gaierror,
                     OSError):
-                # Connect/read failure: retryable exactly like a 503
-                # (queries are pure, so resending is safe).
-                if attempt >= self.max_retries:
+                # Connect/read failure: retryable like a 503, but only
+                # for idempotent calls — after a send, the client
+                # cannot tell a lost request from a lost response, and
+                # re-sending a registration or eviction the server
+                # already applied turns one transient fault into a
+                # duplicate-name 409 or a double eviction.  (A 429/503
+                # *response* below is always safe to retry: it proves
+                # the server refused the request without applying it.)
+                if not idempotent or attempt >= self.max_retries:
                     raise
                 attempt += 1
                 self.retries += 1
@@ -213,14 +222,22 @@ class ServiceClient:
         return self._checked("GET", "/graphs")["graphs"]
 
     def register_graph(self, name: str, graph_text: str) -> Any:
+        # Not idempotent: a re-sent registration the server already
+        # applied answers 409, so connection failures surface instead
+        # of retrying (429/503 responses still retry — see _checked).
         return self._checked(
-            "POST", "/graphs", {"name": name, "graph_text": graph_text}
+            "POST", "/graphs", {"name": name, "graph_text": graph_text},
+            idempotent=False,
         )
 
     def evict_graph(self, name: str) -> Any:
         # Percent-escape so names with spaces/slashes survive the URL
-        # (the server unquotes the path segment).
-        return self._checked("DELETE", "/graphs/%s" % quote(name, safe=""))
+        # (the server unquotes the path segment).  Not idempotent: a
+        # re-sent eviction after a lost response 404s.
+        return self._checked(
+            "DELETE", "/graphs/%s" % quote(name, safe=""),
+            idempotent=False,
+        )
 
     def classify(self, language: str) -> Any:
         return self._checked("POST", "/classify", {"language": language})

@@ -136,6 +136,7 @@ class CircuitBreaker:
         self._opened_at: "float | None" = None
         self._cooldown = 0.0
         self._probe_inflight = False
+        self._probe_started_at: "float | None" = None
         self._rejections = 0
 
     # -- decisions ---------------------------------------------------------------
@@ -157,6 +158,7 @@ class CircuitBreaker:
         self._opened_at = self._clock()
         self._cooldown = self._next_cooldown()
         self._probe_inflight = False
+        self._probe_started_at = None
 
     def admit(self) -> "float | None":
         """None = admitted; else seconds the caller should retry after."""
@@ -172,18 +174,46 @@ class CircuitBreaker:
                     return max(remaining, 1e-3)
                 self._state = HALF_OPEN
                 self._probe_inflight = False
-            # Half-open: one probe at a time decides recovery.
-            if self._probe_inflight:
+                self._probe_started_at = None
+            # Half-open: one probe at a time decides recovery.  A probe
+            # outstanding for longer than a full cooldown is presumed
+            # lost (its request was shed downstream or its handler died
+            # before reporting an outcome) and its slot re-opens — a
+            # leaked probe must never wedge the circuit half-open with
+            # every request rejected and nothing left to close it.
+            if self._probe_inflight and (
+                self._probe_started_at is not None
+                and now - self._probe_started_at < self._cooldown
+            ):
                 self._rejections += 1
                 return max(self._cooldown, 1e-3)
             self._probe_inflight = True
+            self._probe_started_at = now
             return None
+
+    def release_probe(self) -> None:
+        """Hand back an unresolved half-open probe slot.
+
+        The server calls this in a ``finally`` after every admitted
+        request: when the request ended without reaching
+        :meth:`record_success` or :meth:`record_failure` (shed by the
+        load shedder, rejected input, deadline/budget exhaustion, an
+        unexpected handler error, …) it learned nothing about server
+        health, so the probe it may have been holding returns and the
+        next request can probe instead.  No-op when the probe was
+        already resolved or no probe is outstanding.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_inflight = False
+                self._probe_started_at = None
 
     def record_success(self) -> None:
         """A served request: closes a half-open circuit, clears failures."""
         with self._lock:
             self._consecutive_failures = 0
             self._probe_inflight = False
+            self._probe_started_at = None
             if self._state == HALF_OPEN:
                 self._state = CLOSED
                 self._opened_at = None
@@ -242,6 +272,10 @@ class ShedConfig:
 
     policy: str = "deadline"
     max_inflight: int = 64
+    #: Concurrent service lanes draining the in-flight queue (the
+    #: executor/pool worker count).  Wait and drain estimates divide
+    #: by this: N workers serve N queries per per-query interval.
+    workers: int = 1
     #: Start shedding cheap-to-retry work above this watermark
     #: (None = no soft band; only the hard cap sheds).
     soft_inflight: "int | None" = None
@@ -260,6 +294,10 @@ class ShedConfig:
         if self.max_inflight < 1:
             raise ValueError(
                 "max_inflight must be >= 1, got %d" % self.max_inflight
+            )
+        if self.workers < 1:
+            raise ValueError(
+                "workers must be >= 1, got %d" % self.workers
             )
         if self.soft_inflight is not None and not (
             1 <= self.soft_inflight <= self.max_inflight
@@ -337,19 +375,31 @@ class LoadShedder:
 
     # invariant: holds-lock
     def _retry_after(self, excess: int) -> float:
-        """Seconds until ``excess`` queries have likely drained."""
+        """Seconds until ``excess`` queries have likely drained.
+
+        Floored at 1ms (like the breaker's hints) so a sub-millisecond
+        drain estimate survives the server's 3-decimal body rounding —
+        a shed must never advertise ``retry_after: 0``.
+        """
         per_query = self._avg_query_seconds
         if per_query is None or per_query <= 0:
             return self.config.retry_after_seconds
-        return max(excess, 1) * per_query
+        return max(
+            max(excess, 1) * per_query / self.config.workers, 1e-3
+        )
 
     # invariant: holds-lock
     def _estimated_wait(self) -> float:
-        """Expected seconds before a new request reaches a worker."""
+        """Expected seconds before a new request reaches a worker.
+
+        The queue drains ``workers`` queries per per-query interval,
+        not one — estimating serially would overstate the wait N-fold
+        and shed doomed-deadline work whose deadline would hold.
+        """
         per_query = self._avg_query_seconds
         if per_query is None:
             return 0.0
-        return self._inflight * per_query
+        return self._inflight * per_query / self.config.workers
 
     def admit(self, weight: int,
               deadline_seconds: "float | None" = None) -> None:
@@ -419,6 +469,7 @@ class LoadShedder:
             return {
                 "policy": self.config.policy,
                 "max_inflight": self.config.max_inflight,
+                "workers": self.config.workers,
                 "soft_inflight": self.config.soft_inflight,
                 "inflight": self._inflight,
                 "admitted": self._admitted,

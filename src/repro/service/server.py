@@ -212,6 +212,7 @@ class ServiceConfig:
         return ShedConfig(
             policy=self.shed_policy,
             max_inflight=self.max_inflight,
+            workers=self.workers,
             soft_inflight=self.soft_inflight,
         )
 
@@ -704,7 +705,25 @@ class QueryService:
         deadline, budget = _checked_overrides(payload)
         portfolio, max_path_edges = _checked_portfolio_knobs(payload)
         deadline = faults.skewed_deadline(deadline)
+        breaker = self._breaker(entry.name)
         self._check_breaker(entry.name)
+        # Past this point the request may hold the breaker's single
+        # half-open probe slot.  Every exit path must either resolve
+        # the probe (record_success / record_failure) or hand it back
+        # — a request shed by admission, rejected for bad input, or
+        # timed out says nothing about the graph's health, and a
+        # leaked slot would 503 the graph forever.
+        try:
+            return await self._query_checked(
+                entry, engine, language, source, target,
+                deadline, budget, portfolio, max_path_edges,
+            )
+        finally:
+            breaker.release_probe()
+
+    async def _query_checked(self, entry, engine, language, source,
+                             target, deadline, budget, portfolio,
+                             max_path_edges):
         level = self.ladder.level
         if level >= LEVEL_REACH_ONLY:
             return await self._query_reach_only(
@@ -802,6 +821,10 @@ class QueryService:
                 retry_after=self.config.degrade_recovery_seconds,
                 error_type="degraded_reach_only",
             )
+        # A certified negative is a served request: it must close a
+        # half-open breaker exactly like the full and batch paths, or
+        # a service stuck at reach-only could never re-close circuits.
+        self._breaker(entry.name).record_success()
         self.ladder.record_ok()
         entry.record_query(result, seconds)
         entry.record_degraded()
@@ -832,7 +855,21 @@ class QueryService:
         deadline, budget = _checked_overrides(payload)
         portfolio, max_path_edges = _checked_portfolio_knobs(payload)
         deadline = faults.skewed_deadline(deadline)
+        breaker = self._breaker(entry.name)
         self._check_breaker(entry.name)
+        # Same probe discipline as _query: hand back an unresolved
+        # half-open probe slot on every exit path.
+        try:
+            return await self._batch_checked(
+                entry, engine, payload, triples,
+                deadline, budget, portfolio, max_path_edges,
+            )
+        finally:
+            breaker.release_probe()
+
+    async def _batch_checked(self, entry, engine, payload, triples,
+                             deadline, budget, portfolio,
+                             max_path_edges):
         level = self.ladder.level
         if level >= LEVEL_REACH_ONLY:
             # Reach-only mode cannot bound a whole batch's work;

@@ -220,8 +220,8 @@ class _WorkerHung(Exception):
 class _WorkerHandle:
     """Parent-side bookkeeping for one worker process."""
 
-    __slots__ = ("index", "process", "conn", "crashes", "busy_since",
-                 "busy_deadline")
+    __slots__ = ("index", "process", "conn", "crashes", "lock",
+                 "busy_since", "busy_deadline", "busy_token")
 
     def __init__(self, index, process, conn):
         self.index = index
@@ -230,11 +230,21 @@ class _WorkerHandle:
         #: Consecutive crashes at this slot (drives respawn backoff;
         #: reset by the first successful reply).
         self.crashes = 0
+        #: Guards the busy_* fields: the request thread stamps and
+        #: clears them under this lock, and the watchdog re-checks
+        #: under it immediately before a kill, so a worker that just
+        #: finished (or started a fresh request) is never shot for a
+        #: stale observation.
+        self.lock = threading.Lock()
         #: Monotonic instant the in-flight request started (None when
         #: idle) and its absolute give-up time — what the watchdog
         #: reads to find wedged workers.
         self.busy_since = None
         self.busy_deadline = None
+        #: Generation counter bumped at every checkout; the watchdog
+        #: only kills if the token it scanned is still the one in
+        #: flight.
+        self.busy_token = 0
 
 
 class WorkerPool:
@@ -472,6 +482,12 @@ class WorkerPool:
         ``_recv`` then observes the death and runs the normal
         respawn-and-retry path — the watchdog only converts a silent
         wedge into a detectable crash.
+
+        The kill re-validates the scanned generation token under the
+        handle lock: between the scan and the kill the long request
+        may have completed and the worker been checked out for a new
+        one — shooting it then would crash a healthy request and feed
+        a spurious failure into the breaker and the ladder.
         """
         interval = max(self.poll_interval, 0.01)
         while not self._watchdog_stop.wait(interval):
@@ -479,18 +495,24 @@ class WorkerPool:
             with self._lock:
                 handles = list(self._handles)
             for handle in handles:
-                busy_since = handle.busy_since
+                with handle.lock:
+                    busy_since = handle.busy_since
+                    busy_deadline = handle.busy_deadline
+                    busy_token = handle.busy_token
                 if busy_since is None:
                     continue
                 limit = busy_since + self.watchdog_seconds
-                deadline = handle.busy_deadline
-                if deadline is not None:
-                    limit = min(limit, deadline)
+                if busy_deadline is not None:
+                    limit = min(limit, busy_deadline)
                 if now <= limit or not handle.process.is_alive():
                     continue
+                with handle.lock:
+                    if (handle.busy_since is None
+                            or handle.busy_token != busy_token):
+                        continue  # that request already completed
+                    handle.process.kill()
                 with self._lock:
                     self._watchdog_kills += 1
-                handle.process.kill()
 
     # -- request plumbing --------------------------------------------------------
 
@@ -541,8 +563,10 @@ class WorkerPool:
         attempts = 0
         while True:
             handle = self._checkout(deadline)
-            handle.busy_since = time.monotonic()
-            handle.busy_deadline = deadline
+            with handle.lock:
+                handle.busy_token += 1
+                handle.busy_since = time.monotonic()
+                handle.busy_deadline = deadline
             try:
                 handle.conn.send(message)
                 reply = self._recv(handle, deadline)
@@ -566,12 +590,14 @@ class WorkerPool:
                 ) from None
             except BaseException:
                 # Parent-side failure with the worker healthy.
-                handle.busy_since = None
-                handle.busy_deadline = None
+                with handle.lock:
+                    handle.busy_since = None
+                    handle.busy_deadline = None
                 self._idle.put(handle)
                 raise
-            handle.busy_since = None
-            handle.busy_deadline = None
+            with handle.lock:
+                handle.busy_since = None
+                handle.busy_deadline = None
             handle.crashes = 0
             self._idle.put(handle)
             with self._lock:

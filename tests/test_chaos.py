@@ -19,6 +19,7 @@ fake clock, so every transition is exercised without sleeping.
 
 import math
 import os
+import socket
 import time
 
 import pytest
@@ -256,6 +257,44 @@ class TestCircuitBreaker:
             breaker.record_failure()
         assert breaker.describe()["cooldown_seconds"] <= 4.0
 
+    def test_released_probe_slot_is_reusable(self):
+        # A probe request that resolves nothing (shed downstream, bad
+        # input, deadline) hands its slot back; the next request can
+        # probe instead of the circuit wedging half-open forever.
+        clock = FakeClock()
+        breaker = make_breaker(clock, threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.admit() is None  # the probe
+        breaker.release_probe()
+        assert breaker.admit() is None  # slot returned: probe again
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_release_probe_is_noop_when_resolved_or_closed(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, threshold=1, cooldown=1.0)
+        breaker.release_probe()  # closed: nothing to release
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        breaker.release_probe()  # open, no probe outstanding
+        assert breaker.admit() is not None  # still cooling down
+
+    def test_leaked_probe_times_out_after_a_cooldown(self):
+        # Belt-and-braces for a handler that dies without releasing:
+        # a probe outstanding past a full cooldown is presumed lost
+        # and the slot re-opens by itself.
+        clock = FakeClock()
+        breaker = make_breaker(clock, threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.admit() is None  # the probe — never resolved
+        assert breaker.admit() is not None  # slot held meanwhile
+        clock.advance(1.5)
+        assert breaker.admit() is None  # stale probe re-admitted
+        breaker.record_success()
+        assert breaker.state == "closed"
+
     def test_jitter_is_seeded(self):
         config = BreakerConfig(failure_threshold=1, jitter=0.3)
         clocks = FakeClock(), FakeClock()
@@ -312,6 +351,20 @@ class TestLoadShedder:
         assert info.value.error_type == "pressure_shed"
         shedder.admit(5)  # expensive batch: still admitted
         assert shedder.inflight == 7
+
+    def test_estimated_wait_divides_by_worker_lanes(self):
+        # 4 in flight over 4 workers drain in ~1 per-query interval,
+        # not 4: a 2s deadline survives the queue and must be
+        # admitted; a serial estimate would shed it as doomed.
+        shedder = LoadShedder(ShedConfig(max_inflight=8, workers=4))
+        shedder.observe(1.0, 1)
+        shedder.admit(4)
+        shedder.admit(1, deadline_seconds=2.0)
+        with pytest.raises(ServiceOverloadedError) as info:
+            shedder.admit(1, deadline_seconds=0.5)  # genuinely doomed
+        assert info.value.error_type == "doomed_deadline"
+        # Retry-After hints scale with the drain rate too.
+        assert info.value.retry_after == pytest.approx(5 / 4)
 
     def test_release_floors_at_zero(self):
         shedder = LoadShedder(ShedConfig(max_inflight=4))
@@ -727,6 +780,83 @@ class TestDegradedServing:
 
 
 # ---------------------------------------------------------------------------
+# Half-open probe discipline over HTTP: consumed probes never wedge.
+# ---------------------------------------------------------------------------
+
+
+def half_open_service(graph, **config_extra):
+    """A one-graph service whose breaker is half-open in ~0.05s."""
+    registry = GraphRegistry()
+    registry.register("main", graph)
+    config = ServiceConfig(
+        workers=1,
+        breaker_threshold=1,
+        breaker_cooldown=0.05,
+        breaker_jitter=0.0,
+        **config_extra,
+    )
+    return QueryService(registry, config)
+
+
+class TestProbeRecovery:
+    def test_probe_burned_on_bad_input_does_not_wedge(self, graph):
+        # The half-open probe request dies on a 400 (bad regex) after
+        # clearing the breaker check: it proves nothing about graph
+        # health, so the slot must return — the next good request
+        # probes and closes the circuit instead of 503ing forever.
+        service = half_open_service(graph)
+        with ServiceThread(service) as running:
+            client = ServiceClient(port=running.port)
+            service._breaker("main").record_failure()
+            time.sleep(0.1)  # cooldown elapses: next request probes
+            with pytest.raises(ServiceError) as info:
+                client.query("a*(", 0, 1)
+            assert info.value.status == 400
+            record = client.query("a*", 0, 1)
+            assert record["error"] is None
+            stats = client.stats()
+        assert stats["resilience"]["breakers"]["main"]["state"] == "closed"
+
+    def test_probe_shed_by_admission_does_not_wedge(self, graph):
+        # The probe clears the breaker but the load shedder 429s it
+        # (admission runs after the breaker check): same discipline.
+        service = half_open_service(graph, max_inflight=1)
+        with ServiceThread(service) as running:
+            client = ServiceClient(port=running.port)
+            service._breaker("main").record_failure()
+            time.sleep(0.1)
+            service.shedder.admit(1)  # hold the only slot
+            try:
+                with pytest.raises(ServiceOverloadedError):
+                    client.query("a*", 0, 1)
+            finally:
+                service.shedder.release(1)
+            record = client.query("a*", 0, 1)
+            assert record["error"] is None
+            stats = client.stats()
+        assert stats["resilience"]["breakers"]["main"]["state"] == "closed"
+
+    def test_reach_only_negative_closes_a_half_open_breaker(self):
+        # While the ladder is pinned at reach-only, served certified
+        # negatives are successes: a half-open breaker must close on
+        # them, not stay open until full service resumes.
+        graph = DbGraph()
+        graph.add_edge(0, "a", 1)
+        graph.add_vertex(9)
+        service = half_open_service(graph)
+        service.ladder.force(2)
+        with ServiceThread(service) as running:
+            client = ServiceClient(port=running.port)
+            service._breaker("main").record_failure()
+            time.sleep(0.1)
+            negative = client.query("a*", 0, 9)
+            assert negative["found"] is False
+            assert negative["degraded"] is True
+            stats = client.stats()
+        assert stats["resilience"]["breakers"]["main"]["state"] == "closed"
+
+
+# ---------------------------------------------------------------------------
 # Retry-After plumbing: server headers/body, client honoring them.
 # ---------------------------------------------------------------------------
 
@@ -807,6 +937,32 @@ class TestRetryAfter:
         # The client slept through the server-announced cooldown
         # instead of hammering: total wait covers the 0.2s window.
         assert elapsed >= 0.15
+
+    def test_connect_failures_retry_only_idempotent_calls(self):
+        # Nothing listens on this port: every request dies at connect.
+        # Pure queries retry up to the cap; registration must not —
+        # after a send the client cannot prove the server did not
+        # already apply it.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(
+            port=port,
+            max_retries=2,
+            backoff_seconds=0.01,
+            backoff_jitter=0.0,
+            connect_timeout=0.5,
+        )
+        with pytest.raises(OSError):
+            client.register_graph("g", "v 0\n")
+        assert client.retries == 0
+        with pytest.raises(OSError):
+            client.evict_graph("g")
+        assert client.retries == 0
+        with pytest.raises(OSError):
+            client.query("a*", 0, 1)
+        assert client.retries == 2
 
     def test_retry_delay_prefers_body_then_header_then_backoff(self):
         client = ServiceClient(

@@ -10,7 +10,8 @@ list and its *order* are contractual.  The rule enforces:
 * the server handlers (``_query``/``_batch`` in ``service/server.py``)
   and the ``--jsonl`` writer (``_write_jsonl`` in ``cli.py``) build
   their payloads through ``result_record``/``batch_record`` rather
-  than ad-hoc dicts.
+  than ad-hoc dicts — directly or via the module-local helpers the
+  handler delegates its body to.
 """
 
 from __future__ import annotations
@@ -39,6 +40,40 @@ def _calls_function(fn: ast.AST, callee: str) -> bool:
                 return True
             if isinstance(func, ast.Attribute) and func.attr == callee:
                 return True
+    return False
+
+
+def _called_names(fn: ast.AST) -> set[str]:
+    names = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                names.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                names.add(func.attr)
+    return names
+
+
+def _reaches_function(tree: ast.AST, fn: ast.AST, callee: str) -> bool:
+    """True when ``fn`` calls ``callee``, possibly through module-local
+    helpers (a handler may delegate its body to ``_query_checked`` so a
+    ``finally`` can wrap it; the payload producer travels with it)."""
+    local = {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    seen: set[str] = set()
+    frontier = [fn]
+    while frontier:
+        current = frontier.pop()
+        if _calls_function(current, callee):
+            return True
+        for name in _called_names(current):
+            if name in local and name not in seen:
+                seen.add(name)
+                frontier.append(local[name])
     return False
 
 
@@ -188,7 +223,7 @@ class ProtocolDriftRule(Rule):
             fn = _find_function(module.tree, handler)
             if fn is None:
                 continue
-            if not _calls_function(fn, producer):
+            if not _reaches_function(module.tree, fn, producer):
                 yield module.violation(
                     self.name, fn,
                     "server handler %s() does not build its payload via "
